@@ -1,0 +1,103 @@
+// Ablation: fixed-budget Monte-Carlo (the paper's Phase 3) vs the
+// sequential-sampling decider. The engine only needs p >= θ, and candidates
+// far from the boundary separate after a few hundred samples — the adaptive
+// decider achieves the same answers at a fraction of the samples.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "mc/adaptive_monte_carlo.h"
+#include "mc/monte_carlo.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 5);
+  const uint64_t budget = bench::EnvOr("GPRQ_MC_SAMPLES", 100000);
+  const double delta = 25.0;
+  const double theta = 0.01;
+  const double gamma = 10.0;
+
+  std::printf("Ablation: fixed-budget vs adaptive Monte-Carlo Phase 3 "
+              "(gamma=%.0f, delta=%.0f, theta=%.2f, budget=%llu)\n\n",
+              gamma, delta, theta, static_cast<unsigned long long>(budget));
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  const auto tree = bench::BuildTree(dataset);
+  const core::PrqEngine engine(&tree);
+  engine.radius_catalog();
+  engine.alpha_catalog();
+
+  rng::Random random(42);
+  std::vector<la::Vector> centers;
+  for (uint64_t t = 0; t < trials; ++t) {
+    centers.push_back(dataset.points[random.NextUint64(dataset.size())]);
+  }
+  const la::Matrix cov = workload::PaperCovariance2D(gamma);
+
+  std::printf("%-22s%14s%18s%14s%12s\n", "phase-3 backend", "phase3 (ms)",
+              "samples/object", "fallbacks", "answers");
+  bench::Rule(80);
+
+  // Fixed budget.
+  {
+    double phase3 = 0.0, answers = 0.0, objects = 0.0;
+    for (const auto& center : centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      const core::PrqQuery query{std::move(*g), delta, theta};
+      mc::MonteCarloEvaluator evaluator({.samples = budget, .seed = 7});
+      core::PrqStats stats;
+      auto result =
+          engine.Execute(query, core::PrqOptions(), &evaluator, &stats);
+      if (!result.ok()) std::abort();
+      phase3 += stats.phase3_seconds * 1e3;
+      answers += static_cast<double>(stats.result_size);
+      objects += static_cast<double>(stats.integration_candidates);
+    }
+    std::printf("%-22s%14.1f%18.0f%14s%12.0f\n", "fixed budget",
+                phase3 / trials, static_cast<double>(budget), "n/a",
+                answers / trials);
+    (void)objects;
+  }
+
+  // Adaptive.
+  {
+    double phase3 = 0.0, answers = 0.0, objects = 0.0;
+    uint64_t samples = 0, fallbacks = 0;
+    for (const auto& center : centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      const core::PrqQuery query{std::move(*g), delta, theta};
+      mc::AdaptiveMonteCarloEvaluator evaluator(
+          {.max_samples = budget, .seed = 7});
+      core::PrqStats stats;
+      auto result =
+          engine.Execute(query, core::PrqOptions(), &evaluator, &stats);
+      if (!result.ok()) std::abort();
+      phase3 += stats.phase3_seconds * 1e3;
+      answers += static_cast<double>(stats.result_size);
+      objects += static_cast<double>(stats.integration_candidates);
+      samples += evaluator.total_samples();
+      fallbacks += evaluator.undecided_fallbacks();
+    }
+    std::printf("%-22s%14.1f%18.0f%14llu%12.0f\n", "adaptive (z=4)",
+                phase3 / trials,
+                static_cast<double>(samples) / std::max(objects, 1.0),
+                static_cast<unsigned long long>(fallbacks),
+                answers / trials);
+  }
+
+  std::printf("\nexpected shape: nearly identical answer counts, with the "
+              "adaptive decider using 10-100x fewer samples per object.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

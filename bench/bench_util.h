@@ -1,0 +1,63 @@
+#ifndef GPRQ_BENCH_BENCH_UTIL_H_
+#define GPRQ_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the paper-reproduction benches: dataset/engine
+// setup, the six strategy combinations of Section V-A, and environment
+// overrides so the harnesses can be scaled down for quick runs:
+//
+//   GPRQ_MC_SAMPLES  Monte-Carlo samples per integration (default 20000;
+//                    the paper used 100000 on 2006 hardware)
+//   GPRQ_TRIALS      query repetitions to average (default: per-bench)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/prq.h"
+#include "index/str_bulk_load.h"
+#include "workload/generators.h"
+
+namespace gprq::bench {
+
+/// The six combinations evaluated in the paper (Section V-A).
+inline const std::vector<core::StrategyMask>& PaperCombos() {
+  static const std::vector<core::StrategyMask> kCombos = {
+      core::kStrategyRR,
+      core::kStrategyBF,
+      core::kStrategyRR | core::kStrategyBF,
+      core::kStrategyRR | core::kStrategyOR,
+      core::kStrategyBF | core::kStrategyOR,
+      core::kStrategyAll,
+  };
+  return kCombos;
+}
+
+inline uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// Builds the R*-tree for a dataset, or aborts (benches have no caller to
+/// propagate errors to).
+inline index::RStarTree BuildTree(const workload::Dataset& dataset) {
+  auto tree = index::StrBulkLoader::Load(dataset.dim, dataset.points);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 tree.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*tree);
+}
+
+/// Prints a horizontal rule sized to the table width.
+inline void Rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace gprq::bench
+
+#endif  // GPRQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// Reproduces paper Figs. 13-16: the integration regions of the three
+// strategies for the default query (δ = 25, θ = 0.01) at γ = 10 (Fig. 13),
+// the intersection region of ALL (Fig. 14), and the γ = 1 / γ = 100
+// variants (Figs. 15-16). The figures annotate the region dimensions; we
+// print the same quantities — RR box half-widths, OR oblique half-widths,
+// BF radii — plus Monte-Carlo area estimates of each region and of their
+// intersection, which quantify the papers' visual argument: at γ = 1 the
+// regions nearly coincide (combining adds little), at γ = 100 the
+// intersection is much smaller than each region (combining pays off).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/filters.h"
+#include "core/radius_catalog.h"
+#include "rng/random.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const double delta = 25.0;
+  const double theta = 0.01;
+  const double r_theta = core::RadiusCatalog::ExactRadius(2, theta);
+  std::printf("Figs. 13-16 reproduction: integration-region geometry "
+              "(delta=%.0f, theta=%.2f, r_theta=%.3f)\n\n",
+              delta, theta, r_theta);
+  std::printf("paper annotations for comparison:\n"
+              "  Fig.13 (gamma=10): 46.9, 15.3, 25.0, 23.4, 15.6\n"
+              "  Fig.15 (gamma=1) : 10.7, 32.0, 4.8, 25.0, 7.4\n"
+              "  Fig.16 (gamma=100): 92.8, 48.5, 25.0, 30.9, 74.1\n\n");
+
+  for (double gamma : {1.0, 10.0, 100.0}) {
+    const la::Matrix cov = workload::PaperCovariance2D(gamma);
+    auto g = core::GaussianDistribution::Create(la::Vector{0.0, 0.0}, cov);
+    if (!g.ok()) std::abort();
+
+    const core::RrRegion rr = core::RrRegion::Compute(*g, delta, r_theta);
+    const core::OrRegion oreg = core::OrRegion::Compute(*g, delta, r_theta);
+    const core::BfBounds bf =
+        core::BfBounds::Compute(*g, delta, theta, /*catalog=*/nullptr);
+
+    std::printf("gamma = %.0f\n", gamma);
+    std::printf("  RR  core box half-widths (sigma_i * r_theta): "
+                "x=%.1f y=%.1f;  search box: x=%.1f y=%.1f\n",
+                rr.core_box.hi()[0], rr.core_box.hi()[1],
+                rr.search_box.hi()[0], rr.search_box.hi()[1]);
+    std::printf("  OR  oblique half-widths (s_i*r_theta + delta): "
+                "minor=%.1f major=%.1f\n",
+                oreg.half_widths[0], oreg.half_widths[1]);
+    if (bf.nothing_qualifies) {
+      std::printf("  BF  proves result empty\n");
+    } else {
+      std::printf("  BF  outer radius alpha_par=%.1f", bf.alpha_outer);
+      if (bf.has_inner) {
+        std::printf(", inner radius alpha_perp=%.1f", bf.alpha_inner);
+      } else {
+        std::printf(", no inner hole");
+      }
+      std::printf("\n");
+    }
+
+    // Monte-Carlo area of each strategy's integration region and of every
+    // combination (Fig. 14 is the ALL intersection). Sample the BF annulus
+    // bounding box, the largest region.
+    rng::Random random(31);
+    const double extent = bf.alpha_outer + 1.0;
+    const int n = 400000;
+    int in_rr = 0, in_or = 0, in_bf = 0, in_rr_bf = 0, in_rr_or = 0,
+        in_bf_or = 0, in_all = 0;
+    for (int i = 0; i < n; ++i) {
+      la::Vector p{random.NextDouble(-extent, extent),
+                   random.NextDouble(-extent, extent)};
+      const bool rr_in = rr.PassesFringe(p, delta);
+      const bool or_in = oreg.Contains(*g, p);
+      const double dist_sq = la::SquaredNorm(p);
+      const bool bf_in =
+          dist_sq <= bf.alpha_outer * bf.alpha_outer &&
+          !(bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner);
+      in_rr += rr_in;
+      in_or += or_in;
+      in_bf += bf_in;
+      in_rr_bf += rr_in && bf_in;
+      in_rr_or += rr_in && or_in;
+      in_bf_or += bf_in && or_in;
+      in_all += rr_in && or_in && bf_in;
+    }
+    const double cell = (2.0 * extent) * (2.0 * extent) / n;
+    std::printf("  integration-region areas (x1000 units^2): "
+                "RR=%.1f OR=%.1f BF=%.1f RR+BF=%.1f RR+OR=%.1f "
+                "BF+OR=%.1f ALL=%.1f\n",
+                in_rr * cell / 1e3, in_or * cell / 1e3, in_bf * cell / 1e3,
+                in_rr_bf * cell / 1e3, in_rr_or * cell / 1e3,
+                in_bf_or * cell / 1e3, in_all * cell / 1e3);
+    std::printf("  ALL / min(single region) = %.2f\n\n",
+                static_cast<double>(in_all) /
+                    std::min({in_rr, in_or, in_bf}));
+  }
+  std::printf("expected shape: at gamma=1 ALL is close to the best single "
+              "region; at gamma=100 ALL is a small fraction of it "
+              "(combining strategies pays off for vague locations).\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

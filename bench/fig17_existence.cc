@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 17: the probability that a point drawn from the
+// d-dimensional normalized Gaussian lies within radius r of the origin
+// ("probability of existence"), for d ∈ {2, 3, 5, 9, 15} — the curse-of-
+// dimensionality picture driving the Section VI discussion. Also prints
+// the paper's quoted check values.
+
+#include <cstdio>
+
+#include "stats/chi_squared.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  std::printf("Fig. 17 reproduction: probability of existence vs radius\n\n");
+  const size_t dims[] = {2, 3, 5, 9, 15};
+  std::printf("%-8s", "radius");
+  for (size_t d : dims) std::printf("%10zuD", d);
+  std::printf("\n");
+  for (int i = 0; i < 8 + 11 * 5; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+  for (double r = 0.0; r <= 6.0 + 1e-9; r += 0.25) {
+    std::printf("%-8.2f", r);
+    for (size_t d : dims) {
+      std::printf("%11.4f", stats::GaussianBallMass(d, r));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper check values:\n");
+  std::printf("  2-D, r=1: %.0f%% (paper: 39%%)\n",
+              100.0 * stats::GaussianBallMass(2, 1.0));
+  std::printf("  9-D, r=2: %.0f%% (paper: 9%%)\n",
+              100.0 * stats::GaussianBallMass(9, 2.0));
+  std::printf("  r_theta(2-D, theta=0.01) = %.2f (paper: 2.79)\n",
+              stats::ThetaRegionRadius(2, 0.01));
+  std::printf("  r_theta(9-D, theta=0.01) = %.2f (paper: 4.44)\n",
+              stats::ThetaRegionRadius(9, 0.01));
+  std::printf("  r_theta(9-D, theta=0.4)  = %.2f (paper: 2.32)\n",
+              stats::ThetaRegionRadius(9, 0.4));
+  std::printf("\nexpected shape: for fixed probability the radius grows "
+              "with dimension; a 9-D query object is within distance 2 of "
+              "its own mean only ~9%% of the time.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: Phase-1 index choice — the paper's R*-tree vs a uniform grid.
+// On the clustered TIGER data the grid wastes work in dense cells and empty
+// regions; the R*-tree adapts its partitioning to the data. Quantifies why
+// the paper "uses the R-tree index family".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/filters.h"
+#include "core/radius_catalog.h"
+#include "index/grid_index.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const int queries = 200;
+  std::printf("Ablation: Phase-1 search — R*-tree vs uniform grid "
+              "(TIGER 50,747 pts, RR search box at gamma=10, delta=25, "
+              "theta=0.01, %d queries)\n\n",
+              queries);
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  auto tree = bench::BuildTree(dataset);
+
+  const double r_theta = core::RadiusCatalog::ExactRadius(2, 0.01);
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+  rng::Random random(42);
+  std::vector<geom::Rect> boxes;
+  for (int i = 0; i < queries; ++i) {
+    const la::Vector& center =
+        dataset.points[random.NextUint64(dataset.size())];
+    auto g = core::GaussianDistribution::Create(center, cov);
+    boxes.push_back(core::RrRegion::Compute(*g, 25.0, r_theta).search_box);
+  }
+
+  // R*-tree.
+  {
+    tree.ResetStats();
+    std::vector<index::ObjectId> out;
+    Stopwatch timer;
+    size_t hits = 0;
+    for (const auto& box : boxes) {
+      out.clear();
+      tree.RangeQuery(box, &out);
+      hits += out.size();
+    }
+    std::printf("%-22s%14.1f us/query%14.1f node-reads/query  "
+                "(%zu hits/query)\n",
+                "R*-tree",
+                timer.ElapsedSeconds() * 1e6 / queries,
+                static_cast<double>(tree.stats().node_reads) / queries,
+                hits / queries);
+  }
+
+  // Uniform grids at several resolutions.
+  for (size_t cells : {32u, 128u, 512u}) {
+    auto grid = index::UniformGridIndex::Build(dataset.points, cells);
+    if (!grid.ok()) std::abort();
+    grid->ResetStats();
+    std::vector<index::ObjectId> out;
+    Stopwatch timer;
+    size_t hits = 0;
+    for (const auto& box : boxes) {
+      out.clear();
+      grid->RangeQuery(box, &out);
+      hits += out.size();
+    }
+    std::printf("grid %4zux%-4zu        %14.1f us/query%14.1f cells/query"
+                "       (%zu hits/query)\n",
+                cells, cells, timer.ElapsedSeconds() * 1e6 / queries,
+                static_cast<double>(grid->cells_touched()) / queries,
+                hits / queries);
+  }
+  std::printf("\nexpected shape: identical hit counts; the tree touches "
+              "few dozen nodes regardless of skew, the grid's cost swings "
+              "with resolution (too coarse: scans crowded cells; too "
+              "fine: touches thousands of cells).\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Extension bench: the exact per-axis marginal filter on the paper's 9-D
+// pseudo-feedback workload (the setting where Section VI concludes "for
+// efficient processing of medium- or high-dimensional cases, we need
+// further development by considering the nature of Gaussian
+// distributions"). Reports integration candidates for each strategy combo
+// with and without the marginal filter.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "la/eigen_sym.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/corel_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 10);
+  const double delta = 0.7;
+  const double theta = 0.4;
+
+  std::printf("Extension: marginal filter on the Table III workload "
+              "(9-D pseudo-feedback, delta=%.1f theta=%.1f, %llu trials)\n\n",
+              delta, theta, static_cast<unsigned long long>(trials));
+
+  const auto dataset = workload::GenerateCorelSynthetic();
+  const auto tree = bench::BuildTree(dataset);
+  const core::PrqEngine engine(&tree);
+  engine.radius_catalog();
+  engine.alpha_catalog();
+  mc::ImhofEvaluator exact;
+
+  rng::Random random(2024);
+  double base_counts[6] = {0.0}, mf_counts[6] = {0.0};
+  double answers = 0.0;
+
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const la::Vector& center =
+        dataset.points[random.NextUint64(dataset.size())];
+    std::vector<std::pair<double, index::ObjectId>> knn;
+    tree.KnnQuery(center, 20, &knn);
+    la::Vector mean(9);
+    for (const auto& [dist, id] : knn) mean += dataset.points[id];
+    mean *= 1.0 / static_cast<double>(knn.size());
+    la::Matrix sigma(9, 9);
+    for (const auto& [dist, id] : knn) {
+      const la::Vector diff = dataset.points[id] - mean;
+      for (size_t a = 0; a < 9; ++a) {
+        for (size_t b = 0; b < 9; ++b) sigma(a, b) += diff[a] * diff[b];
+      }
+    }
+    sigma *= 1.0 / static_cast<double>(knn.size());
+    auto eigen = la::DecomposeSymmetric(sigma);
+    double log_det = 0.0;
+    for (size_t i = 0; i < 9; ++i) {
+      log_det += std::log(std::max(eigen->eigenvalues[i], 1e-12));
+    }
+    const la::Matrix cov =
+        sigma + la::Matrix::Identity(9) * std::exp(log_det / 9.0);
+
+    int idx = 0;
+    for (auto mask : bench::PaperCombos()) {
+      for (int use_mf = 0; use_mf < 2; ++use_mf) {
+        auto g = core::GaussianDistribution::Create(center, cov);
+        const core::PrqQuery query{std::move(*g), delta, theta};
+        core::PrqOptions options;
+        options.strategies = mask;
+        options.use_marginal_filter = (use_mf == 1);
+        core::PrqStats stats;
+        auto result = engine.Execute(query, options, &exact, &stats);
+        if (!result.ok()) std::abort();
+        (use_mf ? mf_counts : base_counts)[idx] +=
+            static_cast<double>(stats.integration_candidates);
+        if (use_mf && mask == core::kStrategyAll) {
+          answers += static_cast<double>(stats.result_size);
+        }
+      }
+      ++idx;
+    }
+  }
+
+  std::printf("%-12s", "");
+  for (auto mask : bench::PaperCombos()) {
+    std::printf("%8s", core::StrategyName(mask).c_str());
+  }
+  std::printf("\n");
+  bench::Rule(12 + 8 * 6);
+  std::printf("%-12s", "paper combo");
+  for (int c = 0; c < 6; ++c) {
+    std::printf("%8.0f", base_counts[c] / static_cast<double>(trials));
+  }
+  std::printf("\n%-12s", "+marginal");
+  for (int c = 0; c < 6; ++c) {
+    std::printf("%8.0f", mf_counts[c] / static_cast<double>(trials));
+  }
+  std::printf("\n%-12s", "reduction");
+  for (int c = 0; c < 6; ++c) {
+    std::printf("%7.0f%%", 100.0 * (1.0 - mf_counts[c] /
+                                              std::max(base_counts[c], 1.0)));
+  }
+  std::printf("\n\navg ANS (unchanged by the filter): %.1f\n",
+              answers / static_cast<double>(trials));
+  std::printf("expected shape: the exact per-axis bound removes a large "
+              "share of the integration candidates the paper's filters "
+              "keep in 9-D, at the cost of 2d Phi evaluations per "
+              "candidate.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

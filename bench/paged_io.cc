@@ -1,0 +1,99 @@
+// Ablation: disk-resident query processing. Serializes the TIGER tree into
+// the paper's 1 KB pages and runs the PRQ pipeline through a buffer pool,
+// reporting logical node accesses vs physical page reads for cold and warm
+// caches and across pool sizes. The paper treats Phase-1 I/O as negligible
+// next to Phase 3; this bench puts numbers on that claim for an actual
+// disk layout.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/paged_prq.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const double delta = 25.0;
+  const double theta = 0.01;
+  const double gamma = 10.0;
+  const size_t page_size = 1024;  // the paper's node page size
+
+  std::printf("Ablation: paged PRQ I/O (1 KB pages, gamma=%.0f, "
+              "delta=%.0f, theta=%.2f)\n\n",
+              gamma, delta, theta);
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  index::RStarTreeOptions tree_options;
+  tree_options.max_entries =
+      index::TreeSnapshot::MaxEntriesPerPage(page_size, 2);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points, tree_options);
+  if (!tree.ok()) std::abort();
+
+  const std::string path = "/tmp/gprq_paged_io.pages";
+  if (!index::TreeSnapshot::Write(*tree, path, page_size).ok()) std::abort();
+  std::printf("snapshot: %zu nodes -> %zu pages of %zu bytes\n\n",
+              tree->node_count(), tree->node_count() + 1, page_size);
+
+  mc::ImhofEvaluator exact;
+  rng::Random random(42);
+  std::vector<la::Vector> centers;
+  for (int t = 0; t < 5; ++t) {
+    centers.push_back(dataset.points[random.NextUint64(dataset.size())]);
+  }
+  const la::Matrix cov = workload::PaperCovariance2D(gamma);
+  core::PrqOptions options;
+  options.use_catalogs = false;
+
+  std::printf("%-14s%12s%14s%16s%14s\n", "pool pages", "cache", "node reads",
+              "physical reads", "phase1 (us)");
+  bench::Rule(70);
+  for (size_t pool_pages : {8u, 64u, 512u, 4096u}) {
+    index::PagedRStarTree::OpenOptions open_options;
+    open_options.page_size = page_size;
+    open_options.buffer_pages = pool_pages;
+    auto paged = index::PagedRStarTree::Open(path, open_options);
+    if (!paged.ok()) std::abort();
+
+    for (int warm = 0; warm < 2; ++warm) {
+      if (warm == 0) paged->DropCache();
+      paged->ResetPoolStats();
+      uint64_t node_reads = 0;
+      const uint64_t physical_before = paged->physical_reads();
+      double phase1 = 0.0;
+      for (const auto& center : centers) {
+        auto g = core::GaussianDistribution::Create(center, cov);
+        const core::PrqQuery query{std::move(*g), delta, theta};
+        core::PrqStats stats;
+        auto result = core::ExecutePagedPrq(*paged, query, options, &exact,
+                                            nullptr, nullptr, &stats);
+        if (!result.ok()) std::abort();
+        node_reads += stats.node_reads;
+        phase1 += stats.phase1_seconds * 1e6;
+      }
+      std::printf("%-14zu%12s%14llu%16llu%14.0f\n", pool_pages,
+                  warm ? "warm" : "cold",
+                  static_cast<unsigned long long>(node_reads),
+                  static_cast<unsigned long long>(paged->physical_reads() -
+                                                  physical_before),
+                  phase1 / 5.0);
+    }
+  }
+  std::remove(path.c_str());
+  std::printf("\nexpected shape: warm runs with a big enough pool do zero "
+              "physical reads; even cold Phase 1 costs far less than one "
+              "Monte-Carlo integration (~ms), confirming the paper's "
+              "'retrieval cost is negligible' premise.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: Phase-3 thread scaling. Numerical integrations are independent
+// per candidate, and Phase 3 dominates query time with Monte-Carlo
+// integration (paper: >= 97%), so parallel Phase 3 should scale close to
+// linearly in the worker count.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "mc/monte_carlo.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const uint64_t samples = bench::EnvOr("GPRQ_MC_SAMPLES", 20000);
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 3);
+  const double delta = 25.0;
+  const double theta = 0.01;
+  const double gamma = 100.0;  // vaguest setting = most integrations
+
+  std::printf("Ablation: Phase-3 thread scaling "
+              "(gamma=%.0f, delta=%.0f, theta=%.2f, %llu MC samples; "
+              "machine has %u hardware threads)\n\n",
+              gamma, delta, theta,
+              static_cast<unsigned long long>(samples),
+              std::thread::hardware_concurrency());
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  const auto tree = bench::BuildTree(dataset);
+  const core::PrqEngine engine(&tree);
+  engine.radius_catalog();
+  engine.alpha_catalog();
+
+  rng::Random random(42);
+  std::vector<la::Vector> centers;
+  for (uint64_t t = 0; t < trials; ++t) {
+    centers.push_back(dataset.points[random.NextUint64(dataset.size())]);
+  }
+  const la::Matrix cov = workload::PaperCovariance2D(gamma);
+
+  std::printf("%-10s%14s%14s%10s\n", "threads", "phase3 (ms)", "total (ms)",
+              "speedup");
+  bench::Rule(48);
+  double baseline = 0.0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    double phase3 = 0.0, total = 0.0;
+    for (const auto& center : centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      const core::PrqQuery query{std::move(*g), delta, theta};
+      core::PrqStats stats;
+      auto result = engine.ExecuteParallel(
+          query, core::PrqOptions(),
+          [samples](size_t worker) {
+            return std::make_unique<mc::MonteCarloEvaluator>(
+                mc::MonteCarloOptions{.samples = samples,
+                                      .seed = 100 + worker});
+          },
+          threads, &stats);
+      if (!result.ok()) std::abort();
+      phase3 += stats.phase3_seconds * 1e3;
+      total += stats.total_seconds() * 1e3;
+    }
+    if (threads == 1) baseline = phase3;
+    std::printf("%-10zu%14.1f%14.1f%9.2fx\n", threads, phase3 / trials,
+                total / trials, baseline / std::max(phase3, 1e-9));
+  }
+  std::printf("\nexpected shape: near-linear speedup up to the physical "
+              "core count.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the R*-tree substrate: insertion,
+// STR bulk loading, window queries, ball queries and k-NN, across data
+// sizes. Not a paper experiment; establishes that Phase 1 is cheap relative
+// to Phase 3 (the paper: "the cost of Phase 1 is negligible").
+
+#include <benchmark/benchmark.h>
+
+#include "index/rstar_tree.h"
+#include "index/str_bulk_load.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq {
+namespace {
+
+workload::Dataset MakeData(size_t n) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1000.0, 1000.0});
+  return workload::GenerateClustered(n, extent, 16, 30.0, n);
+}
+
+void BM_RStarInsert(benchmark::State& state) {
+  const auto dataset = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    index::RStarTree tree(2);
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      benchmark::DoNotOptimize(tree.Insert(dataset.points[i],
+                                           static_cast<index::ObjectId>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RStarInsert)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_StrBulkLoad(benchmark::State& state) {
+  const auto dataset = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = index::StrBulkLoader::Load(2, dataset.points);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StrBulkLoad)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowQuery(benchmark::State& state) {
+  const auto dataset = MakeData(50000);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  const double half = static_cast<double>(state.range(0));
+  rng::Random random(5);
+  std::vector<index::ObjectId> out;
+  for (auto _ : state) {
+    la::Vector center{random.NextDouble(0.0, 1000.0),
+                      random.NextDouble(0.0, 1000.0)};
+    out.clear();
+    tree->RangeQuery(geom::Rect::CenteredUniform(center, half), &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WindowQuery)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BallQuery(benchmark::State& state) {
+  const auto dataset = MakeData(50000);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  const double radius = static_cast<double>(state.range(0));
+  rng::Random random(6);
+  std::vector<index::ObjectId> out;
+  for (auto _ : state) {
+    la::Vector center{random.NextDouble(0.0, 1000.0),
+                      random.NextDouble(0.0, 1000.0)};
+    out.clear();
+    tree->BallQuery(center, radius, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BallQuery)->Arg(25)->Arg(100);
+
+void BM_KnnQuery(benchmark::State& state) {
+  const auto dataset = MakeData(50000);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  const size_t k = static_cast<size_t>(state.range(0));
+  rng::Random random(7);
+  std::vector<std::pair<double, index::ObjectId>> out;
+  for (auto _ : state) {
+    la::Vector center{random.NextDouble(0.0, 1000.0),
+                      random.NextDouble(0.0, 1000.0)};
+    tree->KnnQuery(center, k, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KnnQuery)->Arg(1)->Arg(20)->Arg(100);
+
+void BM_KnnQuery9D(benchmark::State& state) {
+  const geom::Rect extent(la::Vector(9, 0.0), la::Vector(9, 10.0));
+  const auto dataset = workload::GenerateClustered(20000, extent, 30, 0.8, 9);
+  auto tree = index::StrBulkLoader::Load(9, dataset.points);
+  rng::Random random(8);
+  std::vector<std::pair<double, index::ObjectId>> out;
+  for (auto _ : state) {
+    const la::Vector& center =
+        dataset.points[random.NextUint64(dataset.size())];
+    tree->KnnQuery(center, 20, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KnnQuery9D);
+
+}  // namespace
+}  // namespace gprq
+
+BENCHMARK_MAIN();

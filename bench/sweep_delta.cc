@@ -1,0 +1,89 @@
+// Reproduces the first bullet of paper Section V-B.3: sweeping the distance
+// threshold δ. The paper's findings: the overall trend is unchanged; for a
+// small δ the combination is relatively more effective; for large δ the RR
+// and BF filtering regions nearly coincide and their difference shrinks.
+// We report integration candidates per combination for each δ.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 5);
+  const double theta = 0.01;
+  const double gamma = 10.0;
+
+  std::printf("Section V-B.3 sweep: distance threshold delta "
+              "(gamma=%.0f, theta=%.2f, %llu trials)\n\n",
+              gamma, theta, static_cast<unsigned long long>(trials));
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  const auto tree = bench::BuildTree(dataset);
+  const core::PrqEngine engine(&tree);
+  engine.radius_catalog();
+  engine.alpha_catalog();
+  mc::ImhofEvaluator exact;
+
+  rng::Random random(42);
+  std::vector<la::Vector> centers;
+  for (uint64_t t = 0; t < trials; ++t) {
+    centers.push_back(dataset.points[random.NextUint64(dataset.size())]);
+  }
+
+  std::printf("%-8s", "delta");
+  for (auto mask : bench::PaperCombos()) {
+    std::printf("%8s", core::StrategyName(mask).c_str());
+  }
+  std::printf("%8s%12s%12s\n", "ANS", "RR/ALL", "RR/BF");
+  bench::Rule(8 + 8 * 7 + 24);
+
+  const la::Matrix cov = workload::PaperCovariance2D(gamma);
+  for (double delta : {5.0, 10.0, 25.0, 50.0, 100.0}) {
+    std::printf("%-8.0f", delta);
+    double per_combo[6] = {0.0};
+    double answers = 0.0;
+    int idx = 0;
+    for (auto mask : bench::PaperCombos()) {
+      for (const auto& center : centers) {
+        auto g = core::GaussianDistribution::Create(center, cov);
+        const core::PrqQuery query{std::move(*g), delta, theta};
+        core::PrqOptions options;
+        options.strategies = mask;
+        core::PrqStats stats;
+        auto result = engine.Execute(query, options, &exact, &stats);
+        if (!result.ok()) std::abort();
+        per_combo[idx] += static_cast<double>(stats.integration_candidates);
+        if (mask == core::kStrategyAll) {
+          answers += static_cast<double>(stats.result_size);
+        }
+      }
+      per_combo[idx] /= static_cast<double>(trials);
+      std::printf("%8.0f", per_combo[idx]);
+      ++idx;
+    }
+    std::printf("%8.0f%12.2f%12.2f\n", answers / static_cast<double>(trials),
+                per_combo[0] / std::max(per_combo[5], 1.0),
+                per_combo[0] / std::max(per_combo[1], 1.0));
+  }
+  std::printf("\nexpected shape: the *outer* RR and BF regions converge as "
+              "delta grows (both approach a delta-ball), as the paper "
+              "notes. In this implementation BF additionally auto-accepts "
+              "its inner hole, whose area grows with delta, so BF's "
+              "integration count pulls ahead of RR at large delta — the "
+              "paper's catalog-based BF had a weaker inner hole and the "
+              "two stayed close.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

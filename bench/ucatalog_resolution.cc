@@ -1,0 +1,91 @@
+// Ablation: U-catalog grid resolution vs filtering quality. The paper's
+// conservative table rounding (Section IV-A.3 / Eqs. 32-33) trades table
+// size for extra integration candidates; this bench quantifies the
+// trade-off and compares against exact (no-table) radii.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/alpha_catalog.h"
+#include "core/radius_catalog.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+void Run() {
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 5);
+  const double delta = 25.0;
+  const double gamma = 10.0;
+
+  std::printf("Ablation: U-catalog resolution (gamma=%.0f, delta=%.0f)\n\n",
+              gamma, delta);
+
+  // Part 1: θ-region radius inflation vs table size.
+  std::printf("RadiusCatalog: table size vs worst-case r_theta "
+              "over-approximation (d=2, theta in [0.001, 0.49])\n");
+  std::printf("%-10s%16s\n", "entries", "max inflation");
+  bench::Rule(26);
+  for (size_t entries : {16u, 64u, 256u, 1024u, 4096u}) {
+    const auto catalog = core::RadiusCatalog::Build(2, entries);
+    double worst = 0.0;
+    for (double theta = 0.001; theta < 0.5; theta *= 1.15) {
+      const double exact = core::RadiusCatalog::ExactRadius(2, theta);
+      worst = std::max(worst, catalog.LookupRadius(theta) - exact);
+    }
+    std::printf("%-10zu%16.4f\n", entries, worst);
+  }
+
+  // Part 2: end-to-end integration candidates vs alpha-catalog grid.
+  std::printf("\nAlphaCatalog grid vs integration candidates "
+              "(BF strategy, theta=0.01, %llu trials)\n",
+              static_cast<unsigned long long>(trials));
+
+  const auto dataset = workload::GenerateTigerSynthetic();
+  const auto tree = bench::BuildTree(dataset);
+  mc::ImhofEvaluator exact;
+  rng::Random random(42);
+  std::vector<la::Vector> centers;
+  for (uint64_t t = 0; t < trials; ++t) {
+    centers.push_back(dataset.points[random.NextUint64(dataset.size())]);
+  }
+  const la::Matrix cov = workload::PaperCovariance2D(gamma);
+
+  std::printf("%-22s%14s%14s\n", "catalog", "candidates", "accepted free");
+  bench::Rule(50);
+  // use_catalogs=false runs the exact solver per query — the "infinite
+  // resolution" reference.
+  for (int mode = 0; mode < 2; ++mode) {
+    const core::PrqEngine engine(&tree);
+    double candidates = 0.0, accepted = 0.0;
+    for (const auto& center : centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      const core::PrqQuery query{std::move(*g), delta, 0.01};
+      core::PrqOptions options;
+      options.strategies = core::kStrategyBF;
+      options.use_catalogs = (mode == 0);
+      core::PrqStats stats;
+      auto result = engine.Execute(query, options, &exact, &stats);
+      if (!result.ok()) std::abort();
+      candidates += static_cast<double>(stats.integration_candidates);
+      accepted += static_cast<double>(stats.accepted_without_integration);
+    }
+    std::printf("%-22s%14.0f%14.0f\n",
+                mode == 0 ? "table (default grid)" : "exact (no table)",
+                candidates / static_cast<double>(trials),
+                accepted / static_cast<double>(trials));
+  }
+  std::printf("\nexpected shape: radius inflation shrinks ~linearly with "
+              "table size; the default alpha grid costs only a few extra "
+              "integration candidates over exact radii.\n");
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

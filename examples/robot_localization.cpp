@@ -1,0 +1,82 @@
+// Example: the paper's motivating scenario (Section I, Example 1) — a
+// mobile robot whose position estimate comes from probabilistic
+// localization and is therefore a Gaussian whose uncertainty grows as the
+// robot moves between fixes. At each waypoint the robot asks: "which
+// landmarks are within 10 meters of me with probability at least 20%?"
+//
+// Demonstrates: per-step covariance growth (a simple odometry noise model),
+// the engine's three-phase execution, and how the strategies' filtering
+// power changes as the position gets vaguer.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace gprq;
+
+  // A warehouse floor with 20,000 tagged landmarks (shelves, chargers...).
+  const geom::Rect floor(la::Vector{0.0, 0.0}, la::Vector{500.0, 500.0});
+  const auto landmarks = workload::GenerateClustered(
+      20000, floor, 24, 12.0, /*seed=*/7);
+  auto tree = index::StrBulkLoader::Load(2, landmarks.points);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  const core::PrqEngine engine(&*tree);
+  mc::ImhofEvaluator evaluator;  // exact probabilities, no sampling noise
+
+  // The robot drives from one landmark toward another (so the corridor
+  // actually passes through shelving); odometry noise accumulates
+  // anisotropically (more along the direction of travel), and a GPS fix at
+  // step 4 collapses the uncertainty again.
+  const la::Vector& start = landmarks.points[100];
+  const la::Vector& goal = landmarks.points[15000];
+  const double kDelta = 10.0;   // "within ten meters" (Example 1)
+  const double kTheta = 0.2;
+  double along = 4.0, across = 1.0;  // variance components
+  std::printf("step  position      var(along,across)  candidates  "
+              "integrated  answers  time(ms)\n");
+  for (int step = 0; step < 6; ++step) {
+    const double t = static_cast<double>(step) / 5.0;
+    const double x = start[0] + t * (goal[0] - start[0]);
+    const double y = start[1] + t * (goal[1] - start[1]);
+    if (step == 4) {
+      std::printf("      -- GPS fix: uncertainty collapses --\n");
+      along = 4.0;
+      across = 1.0;
+    }
+    // Covariance aligned with the direction of travel (here the x axis).
+    la::Matrix cov{{along, 0.0}, {0.0, across}};
+    auto g = core::GaussianDistribution::Create(la::Vector{x, y}, cov);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    const core::PrqQuery query{std::move(*g), kDelta, kTheta};
+    core::PrqStats stats;
+    auto result = engine.Execute(query, core::PrqOptions(), &evaluator,
+                                 &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-5d (%3.0f,%3.0f)     (%5.1f,%5.1f)      %6zu      %6zu  "
+                "%7zu  %8.2f\n",
+                step, x, y, along, across, stats.index_candidates,
+                stats.integration_candidates, result->size(),
+                stats.total_seconds() * 1e3);
+    // Odometry noise accumulates until the next fix.
+    along *= 2.2;
+    across *= 1.6;
+  }
+  std::printf("\nCandidate counts track both the local landmark density "
+              "and the position uncertainty; the first query also pays "
+              "the engine's one-time U-catalog construction.\n");
+  return 0;
+}

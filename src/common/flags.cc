@@ -1,0 +1,118 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace gprq {
+
+Result<FlagSet> FlagSet::Parse(const std::vector<std::string>& args) {
+  FlagSet flags;
+  size_t i = 0;
+  if (!args.empty() && args[0].rfind("--", 0) != 0) {
+    flags.command_ = args[0];
+    i = 1;
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("expected --flag, got '" + arg + "'");
+    }
+    const size_t equals = arg.find('=');
+    if (equals != std::string::npos) {
+      flags.values_[arg.substr(2, equals - 2)] = arg.substr(equals + 1);
+      continue;
+    }
+    const std::string key = arg.substr(2);
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      flags.values_[key] = args[i + 1];
+      ++i;
+    } else {
+      flags.values_[key] = "true";
+    }
+  }
+  return flags;
+}
+
+bool FlagSet::Has(const std::string& key) const {
+  if (values_.count(key) == 0) return false;
+  used_[key] = true;
+  return true;
+}
+
+std::string FlagSet::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_[key] = true;
+  return it->second;
+}
+
+Result<double> FlagSet::GetDouble(const std::string& key,
+                                  double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_[key] = true;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& key,
+                                int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_[key] = true;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<std::vector<double>> FlagSet::GetDoubleList(
+    const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::NotFound("--" + key + " is required");
+  }
+  used_[key] = true;
+  std::vector<double> values;
+  const std::string& text = it->second;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string cell =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("--" + key + ": bad entry '" + cell +
+                                     "'");
+    }
+    values.push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+std::vector<std::string> FlagSet::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (used_.count(key) == 0) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace gprq

@@ -1,0 +1,48 @@
+#ifndef GPRQ_COMMON_FLAGS_H_
+#define GPRQ_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq {
+
+/// A minimal `--key value` / `--key=value` command-line parser for the CLI
+/// tool. Grammar: the first non-flag token is the command; every flag must
+/// start with `--`; `--key` followed by another flag or end-of-args is a
+/// boolean flag with value "true".
+class FlagSet {
+ public:
+  /// Parses argv (excluding argv[0]). Fails on malformed flags.
+  static Result<FlagSet> Parse(const std::vector<std::string>& args);
+
+  /// The leading non-flag token ("generate", "query", ...); empty if none.
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const;
+
+  /// String value or fallback.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Numeric accessors; fail on unparsable values.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+
+  /// Comma-separated doubles ("1.5,2,-3"); fails on malformed entries.
+  Result<std::vector<double>> GetDoubleList(const std::string& key) const;
+
+  /// Keys that were parsed but never read — for unknown-flag warnings.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace gprq
+
+#endif  // GPRQ_COMMON_FLAGS_H_

@@ -1,0 +1,133 @@
+#ifndef GPRQ_COMMON_STATUS_H_
+#define GPRQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gprq {
+
+/// Error categories used across the library. Modeled on the Arrow/RocksDB
+/// Status idiom: the library does not throw; fallible operations return a
+/// Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kNumericalError,   // e.g. non-positive-definite covariance, non-convergence
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored Result aborts the process (programming error), mirroring
+/// absl::StatusOr semantics without exceptions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : repr_(std::move(value)) {}            // NOLINT
+  Result(Status status) : repr_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+/// Aborts with the given status message; out-of-line to keep Result light.
+[[noreturn]] void AbortOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::AbortOnBadResultAccess(std::get<Status>(repr_));
+}
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define GPRQ_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::gprq::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace gprq
+
+#endif  // GPRQ_COMMON_STATUS_H_

@@ -1,0 +1,211 @@
+#include "core/alpha_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "stats/noncentral_chi_squared.h"
+
+namespace gprq::core {
+
+namespace {
+
+std::vector<double> LogSpaced(double lo, double hi, size_t steps) {
+  std::vector<double> values(steps);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (size_t i = 0; i < steps; ++i) {
+    values[i] = std::exp(log_lo + (log_hi - log_lo) * static_cast<double>(i) /
+                                      static_cast<double>(steps - 1));
+  }
+  return values;
+}
+
+}  // namespace
+
+AlphaCatalog AlphaCatalog::Build(size_t dim, const GridSpec& spec) {
+  assert(dim >= 1);
+  assert(spec.delta_steps >= 2 && spec.theta_steps >= 2 &&
+         spec.alpha_steps >= 8);
+  assert(spec.delta_min > 0.0 && spec.delta_min < spec.delta_max);
+  assert(spec.theta_min > 0.0 && spec.theta_min < spec.theta_max &&
+         spec.theta_max < 1.0);
+
+  std::vector<double> deltas =
+      LogSpaced(spec.delta_min, spec.delta_max, spec.delta_steps);
+  std::vector<double> thetas =
+      LogSpaced(spec.theta_min, spec.theta_max, spec.theta_steps);
+
+  std::vector<double> outer(spec.delta_steps * spec.theta_steps, kNoEntry);
+  std::vector<double> inner(spec.delta_steps * spec.theta_steps, kNoEntry);
+
+  // α must reach far enough that the ball mass drops below theta_min: the
+  // mass is bounded by the 1-D normal tail Φ(δ − α), so δ + 8 is ample for
+  // theta_min >= 1e-9 (Φ(−8) ≈ 6e-16, with margin for the d-dim geometry).
+  std::vector<double> masses(spec.alpha_steps);
+  for (size_t i = 0; i < spec.delta_steps; ++i) {
+    const double delta = deltas[i];
+    const double alpha_max =
+        delta + 8.0 + 2.0 * std::sqrt(static_cast<double>(dim));
+    for (size_t k = 0; k < spec.alpha_steps; ++k) {
+      const double alpha = alpha_max * static_cast<double>(k) /
+                           static_cast<double>(spec.alpha_steps - 1);
+      masses[k] = stats::OffsetGaussianBallMass(dim, alpha, delta);
+    }
+    // Numerical noise can break strict monotonicity at the 1e-14 level;
+    // enforce it so the bracketing below stays valid.
+    for (size_t k = 1; k < spec.alpha_steps; ++k) {
+      masses[k] = std::min(masses[k], masses[k - 1]);
+    }
+
+    for (size_t j = 0; j < spec.theta_steps; ++j) {
+      const double theta = thetas[j];
+      double* out = &outer[i * spec.theta_steps + j];
+      double* in = &inner[i * spec.theta_steps + j];
+      if (theta > masses[0]) {
+        *out = kUnreachable;
+        *in = kUnreachable;
+        continue;
+      }
+      // Smallest grid α with mass(α) <= θ → conservative outer radius
+      // (true α is between this grid point and the previous one).
+      const auto it = std::partition_point(
+          masses.begin(), masses.end(),
+          [theta](double mass) { return mass > theta; });
+      if (it == masses.end()) {
+        // The sweep never dropped below θ (cannot happen with the α range
+        // above, but stay safe).
+        continue;
+      }
+      const size_t k = static_cast<size_t>(it - masses.begin());
+      const double alpha_step = alpha_max / static_cast<double>(
+                                                spec.alpha_steps - 1);
+      *out = static_cast<double>(k) * alpha_step;
+      // Largest grid α with mass(α) >= θ → conservative inner radius.
+      *in = (k > 0) ? static_cast<double>(k - 1) * alpha_step : 0.0;
+    }
+  }
+  return AlphaCatalog(dim, std::move(deltas), std::move(thetas),
+                      std::move(outer), std::move(inner));
+}
+
+AlphaLookup AlphaCatalog::LookupOuter(double delta, double theta) const {
+  assert(delta > 0.0);
+  assert(theta > 0.0 && theta < 1.0);
+  // Smallest grid δ >= delta.
+  auto dit = std::lower_bound(deltas_.begin(), deltas_.end(), delta);
+  if (dit == deltas_.end()) return {AlphaLookup::Kind::kUnavailable, 0.0};
+  // Largest grid θ <= theta.
+  auto tit = std::upper_bound(thetas_.begin(), thetas_.end(), theta);
+  if (tit == thetas_.begin()) return {AlphaLookup::Kind::kUnavailable, 0.0};
+  const size_t di = static_cast<size_t>(dit - deltas_.begin());
+  const size_t tj = static_cast<size_t>(tit - thetas_.begin()) - 1;
+  const double alpha = outer_[di * thetas_.size() + tj];
+  if (alpha == kUnreachable) {
+    // The grid point dominates the query (δ_grid >= δ, θ_grid <= θ), so if
+    // even it is unreachable, the query's mass threshold is unreachable too.
+    return {AlphaLookup::Kind::kNothingQualifies, 0.0};
+  }
+  if (alpha == kNoEntry) return {AlphaLookup::Kind::kUnavailable, 0.0};
+  return {AlphaLookup::Kind::kValue, alpha};
+}
+
+AlphaLookup AlphaCatalog::LookupInner(double delta, double theta) const {
+  assert(delta > 0.0);
+  assert(theta > 0.0 && theta < 1.0);
+  // Largest grid δ <= delta.
+  auto dit = std::upper_bound(deltas_.begin(), deltas_.end(), delta);
+  if (dit == deltas_.begin()) return {AlphaLookup::Kind::kUnavailable, 0.0};
+  // Smallest grid θ >= theta.
+  auto tit = std::lower_bound(thetas_.begin(), thetas_.end(), theta);
+  if (tit == thetas_.end()) return {AlphaLookup::Kind::kUnavailable, 0.0};
+  const size_t di = static_cast<size_t>(dit - deltas_.begin()) - 1;
+  const size_t tj = static_cast<size_t>(tit - thetas_.begin());
+  const double alpha = inner_[di * thetas_.size() + tj];
+  if (alpha == kUnreachable || alpha == kNoEntry) {
+    // No free-accept ball exists at the dominated grid point; the inner
+    // bound is an optimization, never required.
+    return {AlphaLookup::Kind::kUnavailable, 0.0};
+  }
+  return {AlphaLookup::Kind::kValue, alpha};
+}
+
+AlphaLookup AlphaCatalog::Exact(size_t dim, double delta, double theta) {
+  assert(delta > 0.0);
+  assert(theta > 0.0 && theta < 1.0);
+  const double alpha = stats::SolveBallCenterOffset(dim, delta, theta);
+  if (alpha < 0.0) return {AlphaLookup::Kind::kNothingQualifies, 0.0};
+  return {AlphaLookup::Kind::kValue, alpha};
+}
+
+namespace {
+
+constexpr uint64_t kAlphaCatalogMagic = 0x4750525141434154ULL;  // "GPRQACAT"
+
+bool WriteVector(std::FILE* file, const std::vector<double>& values) {
+  const uint64_t count = values.size();
+  return std::fwrite(&count, sizeof(count), 1, file) == 1 &&
+         std::fwrite(values.data(), sizeof(double), values.size(), file) ==
+             values.size();
+}
+
+bool ReadVector(std::FILE* file, std::vector<double>* values,
+                size_t max_entries) {
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, file) != 1) return false;
+  if (count > max_entries) return false;
+  values->resize(static_cast<size_t>(count));
+  return std::fread(values->data(), sizeof(double), values->size(), file) ==
+         values->size();
+}
+
+}  // namespace
+
+Status AlphaCatalog::Save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "'");
+  }
+  const uint64_t header[2] = {kAlphaCatalogMagic, static_cast<uint64_t>(dim_)};
+  bool ok = std::fwrite(header, sizeof(header), 1, file) == 1;
+  ok = ok && WriteVector(file, deltas_);
+  ok = ok && WriteVector(file, thetas_);
+  ok = ok && WriteVector(file, outer_);
+  ok = ok && WriteVector(file, inner_);
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<AlphaCatalog> AlphaCatalog::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  uint64_t header[2];
+  if (std::fread(header, sizeof(header), 1, file) != 1 ||
+      header[0] != kAlphaCatalogMagic) {
+    std::fclose(file);
+    return Status::IoError("not an alpha catalog");
+  }
+  const size_t dim = static_cast<size_t>(header[1]);
+  constexpr size_t kMax = size_t{1} << 28;
+  std::vector<double> deltas, thetas, outer, inner;
+  const bool ok = ReadVector(file, &deltas, kMax) &&
+                  ReadVector(file, &thetas, kMax) &&
+                  ReadVector(file, &outer, kMax) &&
+                  ReadVector(file, &inner, kMax);
+  std::fclose(file);
+  if (!ok || dim < 1 || deltas.size() < 2 || thetas.size() < 2 ||
+      outer.size() != deltas.size() * thetas.size() ||
+      inner.size() != outer.size()) {
+    return Status::IoError("corrupt alpha catalog");
+  }
+  return AlphaCatalog(dim, std::move(deltas), std::move(thetas),
+                      std::move(outer), std::move(inner));
+}
+
+}  // namespace gprq::core
+

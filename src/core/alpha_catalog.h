@@ -1,0 +1,102 @@
+#ifndef GPRQ_CORE_ALPHA_CATALOG_H_
+#define GPRQ_CORE_ALPHA_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq::core {
+
+/// Outcome of a U-catalog α lookup for the BF strategy.
+struct AlphaLookup {
+  enum class Kind {
+    /// A usable α value was found.
+    kValue,
+    /// Even a ball centered on the mean cannot reach the requested mass —
+    /// for the outer (upper-bound) lookup this proves that *no* object can
+    /// qualify and the query result is empty.
+    kNothingQualifies,
+    /// The request falls outside the tabulated grid; the caller must fall
+    /// back to an exact computation (or skip this bound).
+    kUnavailable,
+  };
+
+  Kind kind = Kind::kUnavailable;
+  double alpha = 0.0;
+};
+
+struct AlphaCatalogGridSpec {
+  double delta_min = 1e-3;
+  double delta_max = 1e3;
+  size_t delta_steps = 96;
+  double theta_min = 1e-9;
+  double theta_max = 0.999;
+  size_t theta_steps = 128;
+  /// Resolution of the internal α sweep per δ row (the rounding
+  /// granularity of returned radii).
+  size_t alpha_steps = 512;
+};
+
+/// The paper's U-catalog of (δ, θ, α) triples for the BF strategy
+/// (Section IV-C): α is the center offset at which a δ-ball under the
+/// normalized Gaussian holds mass exactly θ. Query-time lookups use the
+/// paper's conservative rounding (Eqs. 32–33):
+///
+///   outer: β∗∥ = min{α : δ_grid >= δ, θ_grid <= θ}  (never under-prunes)
+///   inner: β∗⊥ = max{α : δ_grid <= δ, θ_grid >= θ}  (never over-accepts)
+///
+/// Built once per dimension: for each grid δ the ball mass is evaluated on
+/// an α sweep (one noncentral chi-squared CDF per point — the mass is
+/// strictly decreasing in α), and each grid θ is bracketed from above
+/// (outer table) and below (inner table), preserving conservativeness
+/// through the additional α-rounding.
+class AlphaCatalog {
+ public:
+  using GridSpec = AlphaCatalogGridSpec;
+
+  static AlphaCatalog Build(size_t dim, const GridSpec& spec = GridSpec());
+
+  size_t dim() const { return dim_; }
+
+  /// Conservative outer lookup (Eq. 32); see AlphaLookup for semantics.
+  AlphaLookup LookupOuter(double delta, double theta) const;
+
+  /// Conservative inner lookup (Eq. 33).
+  AlphaLookup LookupInner(double delta, double theta) const;
+
+  /// Exact α without a table (bisection on the noncentral chi-squared CDF);
+  /// kNothingQualifies when the mass is unreachable even at the center.
+  static AlphaLookup Exact(size_t dim, double delta, double theta);
+
+  /// Persists the table (ship precomputed U-catalogs instead of paying the
+  /// build once per process).
+  Status Save(const std::string& path) const;
+  static Result<AlphaCatalog> Load(const std::string& path);
+
+ private:
+  static constexpr double kUnreachable = -1.0;
+  static constexpr double kNoEntry = -2.0;
+
+  AlphaCatalog(size_t dim, std::vector<double> deltas,
+               std::vector<double> thetas, std::vector<double> outer,
+               std::vector<double> inner)
+      : dim_(dim),
+        deltas_(std::move(deltas)),
+        thetas_(std::move(thetas)),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)) {}
+
+  size_t dim_;
+  std::vector<double> deltas_;  // ascending
+  std::vector<double> thetas_;  // ascending
+  // Row-major [delta][theta]; kUnreachable = θ above the centered mass,
+  // kNoEntry = the α sweep did not reach this θ (lookup falls back).
+  std::vector<double> outer_;
+  std::vector<double> inner_;
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_ALPHA_CATALOG_H_

@@ -1,0 +1,319 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace gprq::core {
+
+std::string StrategyName(StrategyMask mask) {
+  if (mask == kStrategyAll) return "ALL";
+  std::string name;
+  const auto append = [&name](const char* part) {
+    if (!name.empty()) name += "+";
+    name += part;
+  };
+  if (mask & kStrategyRR) append("RR");
+  if (mask & kStrategyBF) append("BF");
+  if (mask & kStrategyOR) append("OR");
+  if (name.empty()) name = "NONE";
+  return name;
+}
+
+/// Product of Phases 1-2: objects already accepted via the BF inner radius,
+/// and the candidates whose qualification probability Phase 3 must settle.
+struct PrqEngine::FilterOutcome {
+  std::vector<std::pair<la::Vector, index::ObjectId>> accepted;
+  std::vector<std::pair<la::Vector, index::ObjectId>> survivors;
+  bool proved_empty = false;
+};
+
+PrqEngine::PrqEngine(const index::RStarTree* tree) : tree_(tree) {
+  assert(tree_ != nullptr);
+}
+
+const RadiusCatalog& PrqEngine::radius_catalog() const {
+  if (radius_catalog_ == nullptr) {
+    radius_catalog_ =
+        std::make_unique<RadiusCatalog>(RadiusCatalog::Build(tree_->dim()));
+  }
+  return *radius_catalog_;
+}
+
+const AlphaCatalog& PrqEngine::alpha_catalog() const {
+  if (alpha_catalog_ == nullptr) {
+    alpha_catalog_ =
+        std::make_unique<AlphaCatalog>(AlphaCatalog::Build(tree_->dim()));
+  }
+  return *alpha_catalog_;
+}
+
+double PrqEngine::EffectiveThetaRadius(double theta,
+                                       bool use_catalogs) const {
+  if (theta >= 0.5) return 0.0;
+  return use_catalogs ? radius_catalog().LookupRadius(theta)
+                      : RadiusCatalog::ExactRadius(tree_->dim(), theta);
+}
+
+Status PrqEngine::RunFilterPhases(const PrqQuery& query,
+                                  const PrqOptions& options,
+                                  FilterOutcome* outcome,
+                                  PrqStats* stats) const {
+  if (query.query_object.dim() != tree_->dim()) {
+    return Status::InvalidArgument("query dimension does not match index");
+  }
+  if (!(query.delta > 0.0)) {
+    return Status::InvalidArgument("delta must be > 0");
+  }
+  if (!(query.theta > 0.0 && query.theta < 1.0)) {
+    // θ = 0 would select every object (a Gaussian has infinite spread);
+    // θ = 1 can never be met (Section III-A).
+    return Status::InvalidArgument("theta must be in (0, 1)");
+  }
+  if ((options.strategies & kStrategyAll) == 0) {
+    return Status::InvalidArgument("at least one strategy must be enabled");
+  }
+
+  const GaussianDistribution& g = query.query_object;
+  const double delta = query.delta;
+  const double theta = query.theta;
+  const size_t d = tree_->dim();
+  const bool use_rr = options.strategies & kStrategyRR;
+  const bool use_or = options.strategies & kStrategyOR;
+  const bool use_bf = options.strategies & kStrategyBF;
+
+  Stopwatch phase_timer;
+
+  // ---- Preparation: per-query filter geometry. --------------------------
+  const AlphaCatalog* alpha_cat =
+      options.use_catalogs ? &alpha_catalog() : nullptr;
+  const double r_theta = EffectiveThetaRadius(theta, options.use_catalogs);
+
+  RrRegion rr;
+  OrRegion oreg;
+  BfBounds bf;
+  if (use_rr || use_or) {
+    rr = RrRegion::Compute(g, delta, r_theta);
+  }
+  if (use_or) {
+    oreg = OrRegion::Compute(g, delta, r_theta);
+  }
+  if (use_bf) {
+    bf = BfBounds::Compute(g, delta, theta, alpha_cat);
+    if (bf.nothing_qualifies) {
+      stats->proved_empty = true;
+      outcome->proved_empty = true;
+      stats->prep_seconds = phase_timer.ElapsedSeconds();
+      return Status::OK();
+    }
+  }
+  stats->prep_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  // ---- Phase 1: index-based search. --------------------------------------
+  // The search region follows the paper: Algorithm 1 (RR box, Fig. 4) when
+  // RR is enabled, otherwise Algorithm 2 (BF outer box); pure-OR mode uses
+  // the oblique region's bounding box. When both RR and BF are enabled we
+  // intersect the two boxes — both are supersets of the qualifying set.
+  geom::Rect search_box = geom::Rect::Empty(d);
+  if (use_rr) {
+    search_box = rr.search_box;
+    if (use_bf) {
+      const geom::Rect bf_box =
+          geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
+      la::Vector lo(d), hi(d);
+      for (size_t i = 0; i < d; ++i) {
+        lo[i] = std::max(search_box.lo()[i], bf_box.lo()[i]);
+        hi[i] = std::min(search_box.hi()[i], bf_box.hi()[i]);
+        if (lo[i] > hi[i]) {
+          // Disjoint boxes: nothing can qualify.
+          stats->proved_empty = true;
+          outcome->proved_empty = true;
+          return Status::OK();
+        }
+      }
+      search_box = geom::Rect(std::move(lo), std::move(hi));
+    }
+  } else if (use_bf) {
+    search_box = geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
+  } else {
+    search_box = oreg.BoundingBox(g);
+  }
+
+  const uint64_t node_reads_before = tree_->stats().node_reads;
+  std::vector<std::pair<la::Vector, index::ObjectId>> candidates;
+  tree_->RangeQuery(search_box,
+                    [&candidates](const la::Vector& point,
+                                  index::ObjectId id) {
+                      candidates.emplace_back(point, id);
+                    });
+  stats->node_reads = tree_->stats().node_reads - node_reads_before;
+  stats->index_candidates = candidates.size();
+  stats->phase1_seconds = phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
+
+  // ---- Phase 2: analytical filtering. ------------------------------------
+  outcome->survivors.reserve(candidates.size());
+  const bool apply_fringe =
+      use_rr && (options.fringe_filter_any_dim || d == 2);
+  const MarginalFilter marginal = MarginalFilter::Compute(delta, theta);
+
+  for (auto& [point, id] : candidates) {
+    if (apply_fringe && !rr.PassesFringe(point, delta)) continue;
+    if (use_bf) {
+      const double dist_sq = la::SquaredDistance(point, g.mean());
+      if (dist_sq > bf.alpha_outer * bf.alpha_outer) continue;
+      if (bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner) {
+        // Guaranteed qualifier (lower-bounding function): accept without
+        // numerical integration (Algorithm 2, line 9).
+        outcome->accepted.emplace_back(point, id);
+        ++stats->accepted_without_integration;
+        continue;
+      }
+    }
+    if (use_or && !oreg.Contains(g, point)) continue;
+    if (options.use_marginal_filter && !marginal.Passes(g, point)) continue;
+    outcome->survivors.emplace_back(std::move(point), id);
+  }
+  stats->integration_candidates = outcome->survivors.size();
+  stats->phase2_seconds = phase_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<index::ObjectId>> PrqEngine::Execute(
+    const PrqQuery& query, const PrqOptions& options,
+    mc::ProbabilityEvaluator* evaluator, PrqStats* stats) const {
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("evaluator must not be null");
+  }
+  PrqStats local_stats;
+  PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = PrqStats();
+
+  FilterOutcome outcome;
+  GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  if (outcome.proved_empty) return std::vector<index::ObjectId>{};
+
+  // ---- Phase 3: probability computation. ---------------------------------
+  Stopwatch phase_timer;
+  std::vector<index::ObjectId> result;
+  result.reserve(outcome.accepted.size());
+  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+  for (const auto& [point, id] : outcome.survivors) {
+    if (evaluator->QualificationDecision(query.query_object, point,
+                                         query.delta, query.theta)) {
+      result.push_back(id);
+    }
+  }
+  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
+  out_stats.result_size = result.size();
+  return result;
+}
+
+Result<std::vector<std::pair<index::ObjectId, double>>>
+PrqEngine::ExecuteScored(const PrqQuery& query, const PrqOptions& options,
+                         mc::ProbabilityEvaluator* evaluator,
+                         PrqStats* stats) const {
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("evaluator must not be null");
+  }
+  PrqStats local_stats;
+  PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = PrqStats();
+
+  FilterOutcome outcome;
+  GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  std::vector<std::pair<index::ObjectId, double>> scored;
+  if (outcome.proved_empty) return scored;
+
+  Stopwatch phase_timer;
+  const GaussianDistribution& g = query.query_object;
+  // Inner-accepted objects definitely qualify; they are evaluated anyway to
+  // report their probability (membership was already certain).
+  for (const auto& [point, id] : outcome.accepted) {
+    scored.emplace_back(
+        id, evaluator->QualificationProbability(g, point, query.delta));
+  }
+  for (const auto& [point, id] : outcome.survivors) {
+    const double probability =
+        evaluator->QualificationProbability(g, point, query.delta);
+    if (probability >= query.theta) scored.emplace_back(id, probability);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
+  out_stats.result_size = scored.size();
+  return scored;
+}
+
+Result<std::vector<index::ObjectId>> PrqEngine::ExecuteParallel(
+    const PrqQuery& query, const PrqOptions& options,
+    const EvaluatorFactory& factory, size_t num_threads,
+    PrqStats* stats) const {
+  if (!factory) {
+    return Status::InvalidArgument("evaluator factory must not be null");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  PrqStats local_stats;
+  PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = PrqStats();
+
+  FilterOutcome outcome;
+  GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  if (outcome.proved_empty) return std::vector<index::ObjectId>{};
+
+  // ---- Phase 3, fanned out over worker threads. ---------------------------
+  Stopwatch phase_timer;
+  const size_t n = outcome.survivors.size();
+  const size_t workers = std::min(num_threads, std::max<size_t>(n, 1));
+  std::vector<std::vector<index::ObjectId>> qualified(workers);
+  std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators;
+  evaluators.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    evaluators.push_back(factory(w));
+    if (evaluators.back() == nullptr) {
+      return Status::InvalidArgument("factory returned a null evaluator");
+    }
+  }
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        mc::ProbabilityEvaluator* evaluator = evaluators[w].get();
+        // Static block partition: integrations have similar cost, so this
+        // balances well without synchronization.
+        const size_t begin = n * w / workers;
+        const size_t end = n * (w + 1) / workers;
+        for (size_t i = begin; i < end; ++i) {
+          const auto& [point, id] = outcome.survivors[i];
+          if (evaluator->QualificationDecision(query.query_object, point,
+                                               query.delta, query.theta)) {
+            qualified[w].push_back(id);
+          }
+        }
+      });
+    }
+    for (auto& thread : pool) thread.join();
+  }
+
+  std::vector<index::ObjectId> result;
+  result.reserve(outcome.accepted.size());
+  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+  for (auto& part : qualified) {
+    result.insert(result.end(), part.begin(), part.end());
+  }
+  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
+  out_stats.result_size = result.size();
+  return result;
+}
+
+}  // namespace gprq::core

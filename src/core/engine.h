@@ -1,0 +1,114 @@
+#ifndef GPRQ_CORE_ENGINE_H_
+#define GPRQ_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/alpha_catalog.h"
+#include "core/filters.h"
+#include "core/prq.h"
+#include "core/radius_catalog.h"
+#include "index/rstar_tree.h"
+#include "mc/probability_evaluator.h"
+
+namespace gprq::core {
+
+/// Engine-level options selecting strategies and catalog behavior.
+struct PrqOptions {
+  /// Which filtering strategies to combine (Section V-A evaluates RR, BF,
+  /// RR+BF, RR+OR, BF+OR and ALL).
+  StrategyMask strategies = kStrategyAll;
+
+  /// true: θ-region radii and BF α radii come from precomputed U-catalog
+  /// tables with the paper's conservative rounding (the paper's setup);
+  /// false: they are solved exactly at query time.
+  bool use_catalogs = true;
+
+  /// The paper applies the RR fringe filter only for d = 2; the
+  /// distance-to-box formulation used here is valid in any dimension.
+  /// Set false to restrict it to d = 2 for paper-faithful candidate counts.
+  bool fringe_filter_any_dim = true;
+
+  /// Extension (off by default to keep the paper's six combinations
+  /// comparable): exact per-axis marginal pruning in the eigen frame
+  /// (see core::MarginalFilter). Sound in any dimension; most effective
+  /// where the paper reports the classic filters struggling (Section VI's
+  /// medium-dimensional anisotropic queries).
+  bool use_marginal_filter = false;
+};
+
+/// Three-phase processor for probabilistic range queries over an R*-tree of
+/// exact points (Section III-B): (1) index-based search on a rectilinear
+/// region, (2) analytical filtering, (3) numerical integration for the
+/// survivors. The engine owns the per-dimension U-catalogs and builds them
+/// lazily on first use.
+class PrqEngine {
+ public:
+  /// The engine references (not owns) the tree. Object ids reported in
+  /// results are the ids stored in the tree.
+  explicit PrqEngine(const index::RStarTree* tree);
+
+  /// Runs PRQ(q, δ, θ). `evaluator` supplies Phase-3 probabilities
+  /// (Monte-Carlo or exact). If `stats` is non-null it receives phase
+  /// timings and candidate counts. Returns the qualifying object ids
+  /// (unordered).
+  Result<std::vector<index::ObjectId>> Execute(
+      const PrqQuery& query, const PrqOptions& options,
+      mc::ProbabilityEvaluator* evaluator, PrqStats* stats = nullptr) const;
+
+  /// Builds one evaluator per Phase-3 worker thread. Each worker needs its
+  /// own instance because evaluators carry mutable state (RNG streams);
+  /// give Monte-Carlo workers distinct seeds derived from `worker`.
+  using EvaluatorFactory =
+      std::function<std::unique_ptr<mc::ProbabilityEvaluator>(size_t worker)>;
+
+  /// Like Execute, but Phase 3 fans the surviving candidates out over
+  /// `num_threads` workers. Phases 1-2 and all filtering semantics are
+  /// identical; the result set (as a set) matches Execute with an
+  /// equivalent evaluator. The numerical integrations are embarrassingly
+  /// parallel, and Phase 3 dominates query cost (paper Section V-B: at
+  /// least 97% of processing time), so speedup is near-linear.
+  Result<std::vector<index::ObjectId>> ExecuteParallel(
+      const PrqQuery& query, const PrqOptions& options,
+      const EvaluatorFactory& factory, size_t num_threads,
+      PrqStats* stats = nullptr) const;
+
+  /// Like Execute, but each qualifying object comes with its qualification
+  /// probability (sorted descending). Inner-accepted objects are evaluated
+  /// too (their probability is wanted, even though their membership was
+  /// already certain), so Phase 3 runs one evaluation per result instead
+  /// of one per surviving candidate only — use an exact evaluator unless
+  /// sampling noise in the reported scores is acceptable.
+  Result<std::vector<std::pair<index::ObjectId, double>>> ExecuteScored(
+      const PrqQuery& query, const PrqOptions& options,
+      mc::ProbabilityEvaluator* evaluator, PrqStats* stats = nullptr) const;
+
+  /// The effective θ-region radius the engine would use for this θ —
+  /// table-rounded when `use_catalogs`, exact otherwise, and 0 for
+  /// θ >= 1/2 (see RrRegion::Compute). Exposed for the region benches.
+  double EffectiveThetaRadius(double theta, bool use_catalogs) const;
+
+  /// The engine's catalogs (built on demand); exposed for benches/tests.
+  const RadiusCatalog& radius_catalog() const;
+  const AlphaCatalog& alpha_catalog() const;
+
+ private:
+  struct FilterOutcome;
+
+  /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
+  /// inner-accepted ids and the candidates needing integration.
+  Status RunFilterPhases(const PrqQuery& query, const PrqOptions& options,
+                         FilterOutcome* outcome, PrqStats* stats) const;
+
+  const index::RStarTree* tree_;
+  // Lazily built per-engine (the tree fixes the dimension); mutable because
+  // catalog construction does not affect logical query results.
+  mutable std::unique_ptr<RadiusCatalog> radius_catalog_;
+  mutable std::unique_ptr<AlphaCatalog> alpha_catalog_;
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_ENGINE_H_

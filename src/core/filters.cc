@@ -1,0 +1,155 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace gprq::core {
+
+RrRegion RrRegion::Compute(const GaussianDistribution& g, double delta,
+                           double r_theta) {
+  assert(delta > 0.0);
+  assert(r_theta >= 0.0);
+  const size_t d = g.dim();
+  la::Vector half(d);
+  for (size_t i = 0; i < d; ++i) half[i] = g.Sigma(i) * r_theta;
+  RrRegion region;
+  region.r_theta = r_theta;
+  region.core_box = geom::Rect::Centered(g.mean(), half);
+  region.search_box = region.core_box.Inflated(delta);
+  return region;
+}
+
+OrRegion OrRegion::Compute(const GaussianDistribution& g, double delta,
+                           double r_theta) {
+  assert(delta > 0.0);
+  assert(r_theta >= 0.0);
+  const size_t d = g.dim();
+  OrRegion region;
+  region.half_widths = la::Vector(d);
+  for (size_t i = 0; i < d; ++i) {
+    // s_i·r_θ + δ, with s_i = 1/sqrt(λ_i(Σ⁻¹)) (Fig. 7).
+    region.half_widths[i] = g.axis_scales()[i] * r_theta + delta;
+  }
+  return region;
+}
+
+bool OrRegion::Contains(const GaussianDistribution& g,
+                        const la::Vector& object) const {
+  const la::Vector y = g.ToEigenFrame(object);
+  for (size_t i = 0; i < y.dim(); ++i) {
+    if (std::abs(y[i]) > half_widths[i]) return false;
+  }
+  return true;
+}
+
+geom::Rect OrRegion::BoundingBox(const GaussianDistribution& g) const {
+  // The oblique box spans ±Σ_j |E_ij|·w_j along world axis i.
+  const size_t d = g.dim();
+  const la::Matrix& e = g.eigen_basis();
+  la::Vector half(d);
+  for (size_t i = 0; i < d; ++i) {
+    double extent = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      extent += std::abs(e(i, j)) * half_widths[j];
+    }
+    half[i] = extent;
+  }
+  return geom::Rect::Centered(g.mean(), half);
+}
+
+bool MarginalFilter::Passes(const GaussianDistribution& g,
+                            const la::Vector& object) const {
+  return UpperBound(g, object) >= theta;
+}
+
+double MarginalFilter::UpperBound(const GaussianDistribution& g,
+                                  const la::Vector& object) const {
+  const la::Vector c = g.ToEigenFrame(object);
+  double bound = 1.0;
+  for (size_t i = 0; i < c.dim(); ++i) {
+    const double s = g.axis_scales()[i];
+    const double marginal = stats::StandardNormalCdf((c[i] + delta) / s) -
+                            stats::StandardNormalCdf((c[i] - delta) / s);
+    bound = std::min(bound, marginal);
+  }
+  return bound;
+}
+
+namespace {
+
+/// (λ_ref)^{d/2}·|Σ|^{1/2} = Π_i (s_i / s_ref), computed in log space so
+/// narrow high-dimensional distributions (paper Section VI, Eqs. 36-37)
+/// cannot underflow.
+double ScaleFactor(const la::Vector& scales, double s_ref) {
+  double log_factor = 0.0;
+  for (size_t i = 0; i < scales.dim(); ++i) {
+    log_factor += std::log(scales[i] / s_ref);
+  }
+  return std::exp(log_factor);
+}
+
+}  // namespace
+
+BfBounds BfBounds::Compute(const GaussianDistribution& g, double delta,
+                           double theta, const AlphaCatalog* catalog) {
+  assert(delta > 0.0);
+  assert(theta > 0.0 && theta < 1.0);
+  const la::Vector& scales = g.axis_scales();
+  const double s_min = scales[0];
+  const double s_max = scales[scales.dim() - 1];
+
+  BfBounds bounds;
+
+  // ---- Outer radius α∥ (Eqs. 29/32, with λ∥ = 1/s_max²). -------------
+  {
+    const double scaled_delta = delta / s_max;              // √λ∥ · δ
+    const double scaled_theta = ScaleFactor(scales, s_max) * theta;
+    AlphaLookup lookup;
+    if (catalog != nullptr) {
+      lookup = catalog->LookupOuter(scaled_delta, scaled_theta);
+      if (lookup.kind == AlphaLookup::Kind::kUnavailable) {
+        lookup = AlphaCatalog::Exact(g.dim(), scaled_delta, scaled_theta);
+        bounds.outer_used_exact_fallback = true;
+      }
+    } else {
+      lookup = AlphaCatalog::Exact(g.dim(), scaled_delta, scaled_theta);
+    }
+    if (lookup.kind == AlphaLookup::Kind::kNothingQualifies) {
+      bounds.nothing_qualifies = true;
+      return bounds;
+    }
+    bounds.alpha_outer = lookup.alpha * s_max;               // β∥ / √λ∥
+  }
+
+  // ---- Inner radius α⊥ (Eqs. 30-31/33, with λ⊥ = 1/s_min²). ----------
+  {
+    const double scaled_theta = ScaleFactor(scales, s_min) * theta;
+    if (scaled_theta < 1.0) {
+      const double scaled_delta = delta / s_min;             // √λ⊥ · δ
+      AlphaLookup lookup;
+      if (catalog != nullptr) {
+        lookup = catalog->LookupInner(scaled_delta, scaled_theta);
+        // An out-of-grid inner lookup simply forfeits the optimization; no
+        // exact fallback is required for correctness, but it is cheap and
+        // strictly improves filtering, so take it.
+        if (lookup.kind == AlphaLookup::Kind::kUnavailable) {
+          lookup = AlphaCatalog::Exact(g.dim(), scaled_delta, scaled_theta);
+        }
+      } else {
+        lookup = AlphaCatalog::Exact(g.dim(), scaled_delta, scaled_theta);
+      }
+      if (lookup.kind == AlphaLookup::Kind::kValue) {
+        bounds.has_inner = true;
+        bounds.alpha_inner = lookup.alpha * s_min;           // β⊥ / √λ⊥
+      }
+    }
+    // scaled_theta >= 1: the lower-bounding function cannot reach θ
+    // anywhere — no "internal hole" (paper Eq. 37 discussion).
+  }
+  return bounds;
+}
+
+}  // namespace gprq::core

@@ -1,0 +1,112 @@
+#ifndef GPRQ_CORE_FILTERS_H_
+#define GPRQ_CORE_FILTERS_H_
+
+#include "core/alpha_catalog.h"
+#include "core/gaussian.h"
+#include "geom/rect.h"
+#include "la/vector.h"
+
+namespace gprq::core {
+
+/// Per-query geometry of the Rectilinear-Region-based strategy (Section
+/// IV-A). The θ-region's axis-aligned bounding box (half-widths σ_i·r_θ,
+/// Property 2) is Minkowski-expanded by δ for the index search (Fig. 4);
+/// the fringe test discards candidates in the corners of the expanded box.
+struct RrRegion {
+  geom::Rect core_box;    // bounding box of the θ-region (Fig. 2)
+  geom::Rect search_box;  // core box inflated by δ (Fig. 4)
+  double r_theta = 0.0;
+
+  /// Computes the regions. `r_theta` is the (possibly table-rounded)
+  /// Mahalanobis radius; pass 0 for θ >= 1/2, where the θ-region degenerates
+  /// to the mean (any object farther than δ from q then has qualification
+  /// probability < 1/2 <= θ by the half-space argument).
+  static RrRegion Compute(const GaussianDistribution& g, double delta,
+                          double r_theta);
+
+  /// The fringe filter: a point belongs to the Minkowski sum of the core
+  /// box and a δ-ball iff its distance to the core box is <= δ. The paper
+  /// applies this only for d = 2 (Algorithm 1, Phase 2) because it
+  /// constructs the fringe region explicitly; the distance form used here
+  /// is equivalent in d = 2 and valid in any dimension.
+  bool PassesFringe(const la::Vector& object, double delta) const {
+    return core_box.MinSquaredDistance(object) <= delta * delta;
+  }
+};
+
+/// Per-query geometry of the Oblique-Region-based strategy (Section IV-B):
+/// the box aligned with the θ-region's eigen axes, expanded by δ
+/// (Fig. 7: |y_i| <= s_i·r_θ + δ in the rotated frame y = Eᵀ(x − q)).
+struct OrRegion {
+  la::Vector half_widths;  // per eigen axis, ascending-scale order
+
+  static OrRegion Compute(const GaussianDistribution& g, double delta,
+                          double r_theta);
+
+  /// True if the object is inside the oblique box (Property 3 transform).
+  bool Contains(const GaussianDistribution& g,
+                const la::Vector& object) const;
+
+  /// Axis-aligned bounding box of the oblique region, usable for a Phase-1
+  /// index search when no rectilinear/BF region is available (pure-OR mode;
+  /// the paper notes this box "is generally large").
+  geom::Rect BoundingBox(const GaussianDistribution& g) const;
+};
+
+/// Per-query state of the *marginal filter* (this library's extension
+/// toward the paper's Section-VII call for better medium/high-dimensional
+/// filtering). In the eigen frame the event ‖x−o‖ <= δ implies the 1-D
+/// event |s_i z_i − c_i| <= δ on every axis, whose probability is an exact
+/// Φ difference. Hence
+///
+///   Pr(‖x−o‖ <= δ)  <=  min_i [ Φ((c_i+δ)/s_i) − Φ((c_i−δ)/s_i) ],
+///
+/// and an object whose smallest axis marginal is below θ can be pruned
+/// with no false dismissals. This dominates the OR box: the OR bounds are
+/// the |c_i| beyond which the same marginal falls below θ-ish mass, but
+/// the marginal filter uses the exact per-axis probability and also prunes
+/// objects whose coordinates are moderately large on *several* axes.
+/// Cost: one eigen-frame rotation (shared with OR) plus 2d Φ evaluations.
+struct MarginalFilter {
+  double delta = 0.0;
+  double theta = 0.0;
+
+  static MarginalFilter Compute(double delta, double theta) {
+    return MarginalFilter{delta, theta};
+  }
+
+  /// True if the object survives (no axis marginal falls below θ).
+  bool Passes(const GaussianDistribution& g, const la::Vector& object) const;
+
+  /// The bound itself: min over axes of the 1-D marginal probability.
+  double UpperBound(const GaussianDistribution& g,
+                    const la::Vector& object) const;
+};
+
+/// Per-query radii of the Bounding-Function-based strategy (Section IV-C):
+/// objects farther than `alpha_outer` from q cannot qualify (upper-bounding
+/// function p∥), objects within `alpha_inner` qualify for sure
+/// (lower-bounding function p⊥) and skip numerical integration.
+struct BfBounds {
+  /// The outer lookup proved that no object can reach θ: the result is
+  /// empty and no index search is needed.
+  bool nothing_qualifies = false;
+
+  double alpha_outer = 0.0;  // always valid unless nothing_qualifies
+
+  bool has_inner = false;    // the "internal hole" of Fig. 9 may not exist
+  double alpha_inner = 0.0;
+
+  /// True when a table lookup fell outside the grid and the exact solver
+  /// was used instead (reported in benches).
+  bool outer_used_exact_fallback = false;
+
+  /// Computes α∥ (and α⊥ if it exists) per Eqs. (28)–(33). Pass
+  /// `catalog == nullptr` to bypass the table and solve exactly.
+  static BfBounds Compute(const GaussianDistribution& g, double delta,
+                          double theta, const AlphaCatalog* catalog);
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_FILTERS_H_

@@ -1,0 +1,104 @@
+#include "core/gaussian.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/eigen_sym.h"
+
+namespace gprq::core {
+
+Result<GaussianDistribution> GaussianDistribution::Create(la::Vector mean,
+                                                          la::Matrix cov) {
+  if (mean.dim() == 0) {
+    return Status::InvalidArgument("mean must have dimension >= 1");
+  }
+  if (cov.rows() != mean.dim() || cov.cols() != mean.dim()) {
+    return Status::InvalidArgument("covariance must be d x d");
+  }
+  auto chol = la::Cholesky::Factor(cov);
+  if (!chol.ok()) return chol.status();
+  auto eigen = la::DecomposeSymmetric(cov);
+  if (!eigen.ok()) return eigen.status();
+
+  la::Vector scales(mean.dim());
+  for (size_t i = 0; i < mean.dim(); ++i) {
+    const double ev = eigen->eigenvalues[i];
+    if (ev <= 0.0) {
+      return Status::NumericalError("covariance has non-positive eigenvalue");
+    }
+    scales[i] = std::sqrt(ev);
+  }
+  return GaussianDistribution(std::move(mean), std::move(cov),
+                              std::move(*chol), std::move(scales),
+                              std::move(eigen->eigenvectors));
+}
+
+GaussianDistribution::GaussianDistribution(la::Vector mean, la::Matrix cov,
+                                           la::Cholesky chol,
+                                           la::Vector axis_scales,
+                                           la::Matrix eigen_basis)
+    : mean_(std::move(mean)),
+      cov_(std::move(cov)),
+      chol_(std::move(chol)),
+      axis_scales_(std::move(axis_scales)),
+      eigen_basis_(std::move(eigen_basis)) {
+  determinant_ = chol_.Determinant();
+  const double d = static_cast<double>(dim());
+  log_norm_constant_ =
+      -0.5 * d * std::log(2.0 * M_PI) - 0.5 * chol_.LogDeterminant();
+}
+
+double GaussianDistribution::MahalanobisSquared(const la::Vector& x) const {
+  assert(x.dim() == dim());
+  return chol_.InverseQuadraticForm(x - mean_);
+}
+
+double GaussianDistribution::LogPdf(const la::Vector& x) const {
+  return log_norm_constant_ - 0.5 * MahalanobisSquared(x);
+}
+
+double GaussianDistribution::Pdf(const la::Vector& x) const {
+  return std::exp(LogPdf(x));
+}
+
+double GaussianDistribution::Sigma(size_t i) const {
+  assert(i < dim());
+  return std::sqrt(cov_(i, i));
+}
+
+la::Vector GaussianDistribution::ToEigenFrame(const la::Vector& x) const {
+  assert(x.dim() == dim());
+  const la::Vector shifted = x - mean_;
+  la::Vector y(dim());
+  for (size_t j = 0; j < dim(); ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < dim(); ++i) sum += eigen_basis_(i, j) * shifted[i];
+    y[j] = sum;
+  }
+  return y;
+}
+
+void GaussianDistribution::TransformStandard(const la::Vector& z,
+                                             la::Vector& out) const {
+  const size_t d = dim();
+  assert(z.dim() == d);
+  if (out.dim() != d) out = la::Vector(d);
+  for (size_t i = 0; i < d; ++i) out[i] = mean_[i];
+  const la::Matrix& l = chol_.lower();
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = j; i < d; ++i) out[i] += l(i, j) * z[j];
+  }
+}
+
+void GaussianDistribution::Sample(rng::Random& random, la::Vector& out) const {
+  const size_t d = dim();
+  if (out.dim() != d) out = la::Vector(d);
+  for (size_t i = 0; i < d; ++i) out[i] = mean_[i];
+  const la::Matrix& l = chol_.lower();
+  for (size_t j = 0; j < d; ++j) {
+    const double z = random.NextGaussian();
+    for (size_t i = j; i < d; ++i) out[i] += l(i, j) * z;
+  }
+}
+
+}  // namespace gprq::core

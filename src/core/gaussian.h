@@ -1,0 +1,79 @@
+#ifndef GPRQ_CORE_GAUSSIAN_H_
+#define GPRQ_CORE_GAUSSIAN_H_
+
+#include "common/status.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "rng/random.h"
+
+namespace gprq::core {
+
+/// The imprecise location of a query object: a d-dimensional Gaussian
+/// N(q, Σ) (paper Definition 1). Construction factors Σ once (Cholesky +
+/// spectral decomposition), so the per-query quantities every strategy
+/// needs — marginal std-deviations σ_i, eigen axes E, axis scales
+/// s_i = √eig_i(Σ), |Σ| — are all O(1) afterwards.
+class GaussianDistribution {
+ public:
+  /// Builds the distribution; fails unless `cov` is symmetric
+  /// positive-definite and shaped d × d for d = mean.dim().
+  static Result<GaussianDistribution> Create(la::Vector mean,
+                                             la::Matrix cov);
+
+  size_t dim() const { return mean_.dim(); }
+  const la::Vector& mean() const { return mean_; }
+  const la::Matrix& covariance() const { return cov_; }
+
+  /// Density p_q(x) of Eq. (1).
+  double Pdf(const la::Vector& x) const;
+  double LogPdf(const la::Vector& x) const;
+
+  /// (x − q)ᵀ Σ⁻¹ (x − q).
+  double MahalanobisSquared(const la::Vector& x) const;
+
+  /// Marginal standard deviation σ_i = sqrt(Σ_ii) (Property 2).
+  double Sigma(size_t i) const;
+
+  /// det(Σ).
+  double Determinant() const { return determinant_; }
+
+  /// s_i = sqrt(eigenvalue_i(Σ)), ascending. The eigenvalues of Σ⁻¹ are
+  /// 1/s_i² with the same eigenvectors, so the paper's λ∥ = min eig(Σ⁻¹)
+  /// is 1/MaxAxisScale()² and λ⊥ = max eig(Σ⁻¹) is 1/MinAxisScale()².
+  const la::Vector& axis_scales() const { return axis_scales_; }
+  double MinAxisScale() const { return axis_scales_[0]; }
+  double MaxAxisScale() const { return axis_scales_[dim() - 1]; }
+
+  /// Eigenvector basis of Σ (columns, matching axis_scales()).
+  const la::Matrix& eigen_basis() const { return eigen_basis_; }
+
+  /// Rotates into the eigen frame: y = Eᵀ (x − q) (paper Property 3; the
+  /// transform behind the OR filter).
+  la::Vector ToEigenFrame(const la::Vector& x) const;
+
+  /// Draws a sample x = q + L·z (z iid standard normal) into `out`.
+  void Sample(rng::Random& random, la::Vector& out) const;
+
+  /// Applies the affine transform x = q + L·z for a caller-supplied
+  /// standard-normal vector z (L = the Cholesky factor of Σ). This is the
+  /// hook for quasi-Monte-Carlo sampling, where z comes from a quantile-
+  /// transformed low-discrepancy sequence instead of a PRNG.
+  void TransformStandard(const la::Vector& z, la::Vector& out) const;
+
+ private:
+  GaussianDistribution(la::Vector mean, la::Matrix cov, la::Cholesky chol,
+                       la::Vector axis_scales, la::Matrix eigen_basis);
+
+  la::Vector mean_;
+  la::Matrix cov_;
+  la::Cholesky chol_;
+  la::Vector axis_scales_;
+  la::Matrix eigen_basis_;
+  double determinant_;
+  double log_norm_constant_;  // −(d/2)·log(2π) − ½·log|Σ|
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_GAUSSIAN_H_

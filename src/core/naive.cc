@@ -1,0 +1,30 @@
+#include "core/naive.h"
+
+namespace gprq::core {
+
+Result<std::vector<index::ObjectId>> NaivePrq(
+    const std::vector<la::Vector>& points, const PrqQuery& query,
+    mc::ProbabilityEvaluator* evaluator) {
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("evaluator must not be null");
+  }
+  if (!(query.delta > 0.0)) {
+    return Status::InvalidArgument("delta must be > 0");
+  }
+  if (!(query.theta > 0.0 && query.theta < 1.0)) {
+    return Status::InvalidArgument("theta must be in (0, 1)");
+  }
+  std::vector<index::ObjectId> result;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].dim() != query.query_object.dim()) {
+      return Status::InvalidArgument("point dimension mismatch");
+    }
+    if (evaluator->QualificationDecision(query.query_object, points[i],
+                                         query.delta, query.theta)) {
+      result.push_back(static_cast<index::ObjectId>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace gprq::core

@@ -1,0 +1,25 @@
+#ifndef GPRQ_CORE_NAIVE_H_
+#define GPRQ_CORE_NAIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/prq.h"
+#include "index/rstar_tree.h"
+#include "la/vector.h"
+#include "mc/probability_evaluator.h"
+
+namespace gprq::core {
+
+/// Brute-force PRQ baseline: evaluates the qualification probability of
+/// every object in the dataset and keeps those reaching θ. No index, no
+/// filtering — this is the correctness oracle for the engine's strategies
+/// (none of which may dismiss an object the oracle keeps) and the "no
+/// filtering" baseline in the benchmarks.
+Result<std::vector<index::ObjectId>> NaivePrq(
+    const std::vector<la::Vector>& points, const PrqQuery& query,
+    mc::ProbabilityEvaluator* evaluator);
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_NAIVE_H_

@@ -1,0 +1,88 @@
+#include "core/one_dim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace gprq::core {
+
+OneDimensionalPrq::OneDimensionalPrq(std::vector<double> values) {
+  sorted_.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    sorted_.emplace_back(values[i], static_cast<index::ObjectId>(i));
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double OneDimensionalPrq::QualificationProbability(double q, double sigma,
+                                                   double value,
+                                                   double delta) {
+  assert(sigma > 0.0);
+  assert(delta >= 0.0);
+  const double m = value - q;
+  return stats::StandardNormalCdf((m + delta) / sigma) -
+         stats::StandardNormalCdf((m - delta) / sigma);
+}
+
+double OneDimensionalPrq::QualifyingHalfWidth(double sigma, double delta,
+                                              double theta) {
+  assert(sigma > 0.0 && delta > 0.0);
+  assert(theta > 0.0 && theta < 1.0);
+  const double peak = QualificationProbability(0.0, sigma, 0.0, delta);
+  if (peak < theta) return -1.0;
+  if (peak == theta) return 0.0;
+
+  // f(m) is strictly decreasing for m >= 0 and tends to 0; bracket then
+  // bisect. f(m) <= Φ((m−δ)/σ) complement tail, so m = δ + σ·z covers it.
+  double lo = 0.0;
+  double hi = delta + sigma;
+  while (QualificationProbability(0.0, sigma, hi, delta) > theta) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (QualificationProbability(0.0, sigma, mid, delta) >= theta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-13 * std::max(1.0, hi)) break;
+  }
+  // Return the outer edge so boundary values (f == θ exactly) qualify.
+  return hi;
+}
+
+Result<std::vector<index::ObjectId>> OneDimensionalPrq::Query(
+    double q, double sigma, double delta, double theta) const {
+  if (!(sigma > 0.0)) {
+    return Status::InvalidArgument("sigma must be > 0");
+  }
+  if (!(delta > 0.0)) {
+    return Status::InvalidArgument("delta must be > 0");
+  }
+  if (!(theta > 0.0 && theta < 1.0)) {
+    return Status::InvalidArgument("theta must be in (0, 1)");
+  }
+  std::vector<index::ObjectId> result;
+  const double half_width = QualifyingHalfWidth(sigma, delta, theta);
+  if (half_width < 0.0) return result;
+
+  const auto begin = std::lower_bound(
+      sorted_.begin(), sorted_.end(),
+      std::make_pair(q - half_width, index::ObjectId{0}));
+  for (auto it = begin; it != sorted_.end() && it->first <= q + half_width;
+       ++it) {
+    // The bisection edge can overshoot by one ulp-scale step; re-check the
+    // exact probability so the interval rounding never admits a
+    // non-qualifying value.
+    if (QualificationProbability(q, sigma, it->first, delta) >= theta) {
+      result.push_back(it->second);
+    }
+  }
+  return result;
+}
+
+}  // namespace gprq::core

@@ -1,0 +1,49 @@
+#ifndef GPRQ_CORE_ONE_DIM_H_
+#define GPRQ_CORE_ONE_DIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/rstar_tree.h"
+
+namespace gprq::core {
+
+/// The d = 1 case the paper sets aside as "trivial ... can be implemented
+/// using a simple algorithm" (Section I). This module makes that concrete:
+/// with x ~ N(q, σ²) the qualification probability of a point o is
+///
+///   f(o) = Φ((o − q + δ)/σ) − Φ((o − q − δ)/σ),
+///
+/// an even function of o − q, strictly decreasing in |o − q|. Hence the
+/// qualifying set is exactly the interval [q − m*, q + m*] where m* solves
+/// f(q + m*) = θ (empty when even f(q) = 2Φ(δ/σ) − 1 < θ). No numerical
+/// integration, no spatial index beyond a sorted array.
+class OneDimensionalPrq {
+ public:
+  /// Indexes the values; ids are the original positions.
+  explicit OneDimensionalPrq(std::vector<double> values);
+
+  size_t size() const { return sorted_.size(); }
+
+  /// Exact qualification probability of a single value.
+  static double QualificationProbability(double q, double sigma, double value,
+                                         double delta);
+
+  /// The query half-width m*: values within [q − m*, q + m*] qualify.
+  /// Returns a negative value when nothing can qualify (θ unreachable).
+  static double QualifyingHalfWidth(double sigma, double delta, double theta);
+
+  /// Runs PRQ(q, σ, δ, θ); returns the ids of qualifying values
+  /// (unordered). Fails on non-positive σ/δ or θ outside (0, 1).
+  Result<std::vector<index::ObjectId>> Query(double q, double sigma,
+                                             double delta,
+                                             double theta) const;
+
+ private:
+  std::vector<std::pair<double, index::ObjectId>> sorted_;
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_ONE_DIM_H_

@@ -1,0 +1,35 @@
+#ifndef GPRQ_CORE_PAGED_PRQ_H_
+#define GPRQ_CORE_PAGED_PRQ_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/alpha_catalog.h"
+#include "core/engine.h"
+#include "core/prq.h"
+#include "core/radius_catalog.h"
+#include "index/paged_tree.h"
+#include "mc/probability_evaluator.h"
+
+namespace gprq::core {
+
+/// Runs the paper's three-phase PRQ over a disk-resident tree snapshot
+/// instead of the in-memory R*-tree — the storage setting the paper's
+/// experiments model (1 KB node pages). Phase 1 issues a paged range query
+/// through the snapshot's buffer pool; Phases 2-3 are identical to
+/// PrqEngine's, so results match the in-memory engine exactly for the same
+/// evaluator.
+///
+/// Catalog arguments mirror PrqEngine's lazy members: pass prebuilt tables
+/// for `options.use_catalogs == true` (both must be non-null and match the
+/// tree's dimension), or null with `use_catalogs == false` for exact
+/// per-query radii.
+Result<std::vector<index::ObjectId>> ExecutePagedPrq(
+    const index::PagedRStarTree& tree, const PrqQuery& query,
+    const PrqOptions& options, mc::ProbabilityEvaluator* evaluator,
+    const RadiusCatalog* radius_catalog, const AlphaCatalog* alpha_catalog,
+    PrqStats* stats = nullptr);
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_PAGED_PRQ_H_

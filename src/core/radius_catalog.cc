@@ -1,0 +1,107 @@
+#include "core/radius_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "stats/chi_squared.h"
+
+namespace gprq::core {
+
+RadiusCatalog RadiusCatalog::Build(size_t dim, size_t entries,
+                                   double theta_floor) {
+  assert(dim >= 1);
+  assert(entries >= 2);
+  assert(theta_floor > 0.0 && theta_floor < 0.5);
+  const double r_max = stats::ThetaRegionRadius(dim, theta_floor);
+  std::vector<double> radii(entries);
+  std::vector<double> thetas(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    const double r = r_max * static_cast<double>(i) /
+                     static_cast<double>(entries - 1);
+    radii[i] = r;
+    thetas[i] = 0.5 * (1.0 - stats::GaussianBallMass(dim, r));
+  }
+  return RadiusCatalog(dim, std::move(radii), std::move(thetas));
+}
+
+double RadiusCatalog::LookupRadius(double theta) const {
+  assert(theta > 0.0 && theta < 0.5);
+  // thetas_ is descending; find the first entry with θ(r) <= theta
+  // (i.e. the smallest tabulated radius at least as large as exact r_θ).
+  auto it = std::lower_bound(thetas_.begin(), thetas_.end(), theta,
+                             [](double tab, double query) {
+                               return tab > query;
+                             });
+  if (it == thetas_.end()) {
+    // theta is below the table floor; fall back to the exact inverse.
+    return ExactRadius(dim_, theta);
+  }
+  return radii_[static_cast<size_t>(it - thetas_.begin())];
+}
+
+double RadiusCatalog::ExactRadius(size_t dim, double theta) {
+  return stats::ThetaRegionRadius(dim, theta);
+}
+
+namespace {
+
+constexpr uint64_t kRadiusCatalogMagic = 0x47505251524B4154ULL;  // "GPRQRCAT"
+
+}  // namespace
+
+Status RadiusCatalog::Save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create '" + path + "'");
+  }
+  const uint64_t header[3] = {kRadiusCatalogMagic,
+                              static_cast<uint64_t>(dim_),
+                              static_cast<uint64_t>(radii_.size())};
+  bool ok = std::fwrite(header, sizeof(header), 1, file) == 1;
+  ok = ok && std::fwrite(radii_.data(), sizeof(double), radii_.size(),
+                         file) == radii_.size();
+  ok = ok && std::fwrite(thetas_.data(), sizeof(double), thetas_.size(),
+                         file) == thetas_.size();
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<RadiusCatalog> RadiusCatalog::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  uint64_t header[3];
+  if (std::fread(header, sizeof(header), 1, file) != 1) {
+    std::fclose(file);
+    return Status::IoError("truncated catalog file");
+  }
+  if (header[0] != kRadiusCatalogMagic) {
+    std::fclose(file);
+    return Status::IoError("not a radius catalog (bad magic)");
+  }
+  const size_t dim = static_cast<size_t>(header[1]);
+  const size_t entries = static_cast<size_t>(header[2]);
+  if (dim < 1 || entries < 2 || entries > (size_t{1} << 30)) {
+    std::fclose(file);
+    return Status::IoError("corrupt catalog header");
+  }
+  std::vector<double> radii(entries), thetas(entries);
+  const bool ok =
+      std::fread(radii.data(), sizeof(double), entries, file) == entries &&
+      std::fread(thetas.data(), sizeof(double), entries, file) == entries;
+  std::fclose(file);
+  if (!ok) return Status::IoError("truncated catalog file");
+  for (size_t i = 1; i < entries; ++i) {
+    if (radii[i] <= radii[i - 1] || thetas[i] >= thetas[i - 1]) {
+      return Status::IoError("corrupt catalog: tables not monotone");
+    }
+  }
+  return RadiusCatalog(dim, std::move(radii), std::move(thetas));
+}
+
+}  // namespace gprq::core

@@ -1,0 +1,61 @@
+#ifndef GPRQ_CORE_RADIUS_CATALOG_H_
+#define GPRQ_CORE_RADIUS_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq::core {
+
+/// The paper's U-catalog for θ-regions: a precomputed table of
+/// (r, θ(r)) pairs with θ(r) = (1 − P(χ²_d <= r²)) / 2, so that at query
+/// time the Mahalanobis radius r_θ of Definition 3 (mass 1−2θ) is a table
+/// lookup instead of a root-finding problem. Lookups are conservative, as
+/// required for correctness: the returned radius is the smallest tabulated
+/// r with θ(r) <= θ, which is always >= the exact r_θ ("may increase the
+/// number of target objects for numerical integration, [but] the
+/// correctness of the result is retained", Section IV-A.3).
+class RadiusCatalog {
+ public:
+  /// Builds a table for dimension `dim` with `entries` radii, uniformly
+  /// spaced in r from 0 to the radius at θ = theta_floor (default 1e-9).
+  static RadiusCatalog Build(size_t dim, size_t entries = 1024,
+                             double theta_floor = 1e-9);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return radii_.size(); }
+
+  /// Conservative table lookup of r_θ; requires 0 < theta < 0.5. Falls back
+  /// to the exact inverse if theta lies below the table floor (returning the
+  /// exact value keeps the result correct; it cannot under-approximate
+  /// because the table covers everything above the floor).
+  double LookupRadius(double theta) const;
+
+  /// Exact r_θ = sqrt(InvChi2Cdf_d(1 − 2θ)) without a table.
+  static double ExactRadius(size_t dim, double theta);
+
+  /// The tabulated θ value at index i (decreasing in i); for tests.
+  double ThetaAt(size_t i) const { return thetas_[i]; }
+  double RadiusAt(size_t i) const { return radii_[i]; }
+
+  /// Persists the table (a production system ships precomputed U-catalogs
+  /// rather than rebuilding them per process; cf. the paper's Section
+  /// IV-A.3 preparation step).
+  Status Save(const std::string& path) const;
+  static Result<RadiusCatalog> Load(const std::string& path);
+
+ private:
+  RadiusCatalog(size_t dim, std::vector<double> radii,
+                std::vector<double> thetas)
+      : dim_(dim), radii_(std::move(radii)), thetas_(std::move(thetas)) {}
+
+  size_t dim_;
+  std::vector<double> radii_;   // ascending
+  std::vector<double> thetas_;  // descending, thetas_[i] = θ(radii_[i])
+};
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_RADIUS_CATALOG_H_

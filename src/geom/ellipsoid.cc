@@ -1,0 +1,75 @@
+#include "geom/ellipsoid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::geom {
+
+Result<Ellipsoid> Ellipsoid::Create(la::Vector center, const la::Matrix& shape,
+                                    double radius) {
+  if (radius < 0.0) {
+    return Status::InvalidArgument("ellipsoid radius must be >= 0");
+  }
+  if (shape.rows() != center.dim() || shape.cols() != center.dim()) {
+    return Status::InvalidArgument("shape matrix must be d x d");
+  }
+  auto chol = la::Cholesky::Factor(shape);
+  if (!chol.ok()) return chol.status();
+  auto eigen = la::DecomposeSymmetric(shape);
+  if (!eigen.ok()) return eigen.status();
+  const size_t d = center.dim();
+  la::Vector scales(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double ev = eigen->eigenvalues[i];
+    if (ev <= 0.0) {
+      return Status::NumericalError("shape matrix has non-positive eigenvalue");
+    }
+    scales[i] = std::sqrt(ev);
+  }
+  return Ellipsoid(std::move(center), radius, std::move(*chol),
+                   std::move(scales), std::move(eigen->eigenvectors));
+}
+
+double Ellipsoid::MahalanobisDistance(const la::Vector& point) const {
+  assert(point.dim() == dim());
+  return std::sqrt(chol_.InverseQuadraticForm(point - center_));
+}
+
+bool Ellipsoid::Contains(const la::Vector& point) const {
+  return MahalanobisDistance(point) <= radius_;
+}
+
+Rect Ellipsoid::BoundingBox() const {
+  la::Vector half(dim());
+  const la::Matrix& l = chol_.lower();
+  for (size_t i = 0; i < dim(); ++i) {
+    // Σ_ii = Σ_k L_ik², read off the Cholesky factor.
+    double var = 0.0;
+    for (size_t k = 0; k <= i; ++k) var += l(i, k) * l(i, k);
+    half[i] = std::sqrt(var) * radius_;
+  }
+  return Rect::Centered(center_, half);
+}
+
+la::Vector Ellipsoid::ToEigenFrame(const la::Vector& point) const {
+  assert(point.dim() == dim());
+  const la::Vector shifted = point - center_;
+  la::Vector y(dim());
+  for (size_t j = 0; j < dim(); ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < dim(); ++i) sum += eigen_basis_(i, j) * shifted[i];
+    y[j] = sum;
+  }
+  return y;
+}
+
+la::Vector Ellipsoid::EigenFrameHalfWidths(double margin) const {
+  assert(margin >= 0.0);
+  la::Vector half(dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    half[i] = axis_scales_[i] * radius_ + margin;
+  }
+  return half;
+}
+
+}  // namespace gprq::geom

@@ -1,0 +1,72 @@
+#ifndef GPRQ_GEOM_ELLIPSOID_H_
+#define GPRQ_GEOM_ELLIPSOID_H_
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "la/cholesky.h"
+#include "la/eigen_sym.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace gprq::geom {
+
+/// The ellipsoid (x − q)ᵀ Σ⁻¹ (x − q) <= r² for a symmetric
+/// positive-definite Σ. With r = r_θ this is exactly the paper's θ-region
+/// (Definition 3); the class also provides the two enclosing boxes the RR
+/// and OR strategies build from it.
+class Ellipsoid {
+ public:
+  /// Builds the ellipsoid; fails if `shape` (the Σ of the quadratic form)
+  /// is not symmetric positive-definite, or radius < 0.
+  static Result<Ellipsoid> Create(la::Vector center, const la::Matrix& shape,
+                                  double radius);
+
+  size_t dim() const { return center_.dim(); }
+  const la::Vector& center() const { return center_; }
+  double radius() const { return radius_; }
+
+  /// Mahalanobis distance sqrt((x−q)ᵀ Σ⁻¹ (x−q)).
+  double MahalanobisDistance(const la::Vector& point) const;
+
+  bool Contains(const la::Vector& point) const;
+
+  /// The tight axis-aligned bounding box: half-width w_i = σ_i · r with
+  /// σ_i = sqrt(Σ_ii) (Property 2, via the Ankerst et al. bound).
+  Rect BoundingBox() const;
+
+  /// Rotates a point into the ellipsoid's eigen frame: y = Eᵀ (x − q),
+  /// where the columns of E are the unit eigenvectors of Σ. In this frame
+  /// the ellipsoid is axis-aligned with semi-axes s_i · r (Property 3).
+  la::Vector ToEigenFrame(const la::Vector& point) const;
+
+  /// Semi-axis lengths s_i · r in the eigen frame, ascending in s_i; with an
+  /// additional `margin` this is the paper's oblique filter box (Fig. 7:
+  /// |y_i| <= r/√λ_i + δ, where λ_i are the eigenvalues of Σ⁻¹ so
+  /// 1/√λ_i = s_i).
+  la::Vector EigenFrameHalfWidths(double margin = 0.0) const;
+
+  /// sqrt of the eigenvalues of Σ, ascending (the semi-axes per unit r).
+  const la::Vector& axis_scales() const { return axis_scales_; }
+
+  /// The eigenvector basis E (columns, matching axis_scales order).
+  const la::Matrix& eigen_basis() const { return eigen_basis_; }
+
+ private:
+  Ellipsoid(la::Vector center, double radius, la::Cholesky chol,
+            la::Vector axis_scales, la::Matrix eigen_basis)
+      : center_(std::move(center)),
+        radius_(radius),
+        chol_(std::move(chol)),
+        axis_scales_(std::move(axis_scales)),
+        eigen_basis_(std::move(eigen_basis)) {}
+
+  la::Vector center_;
+  double radius_;
+  la::Cholesky chol_;        // factor of Σ, for Mahalanobis distances
+  la::Vector axis_scales_;   // s_i = sqrt(eigenvalue_i(Σ)), ascending
+  la::Matrix eigen_basis_;   // columns: eigenvectors of Σ
+};
+
+}  // namespace gprq::geom
+
+#endif  // GPRQ_GEOM_ELLIPSOID_H_

@@ -1,0 +1,42 @@
+#include "index/buffer_pool.h"
+
+#include <cassert>
+
+namespace gprq::index {
+
+BufferPool::BufferPool(const PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  assert(file_ != nullptr);
+  assert(capacity_ >= 1);
+}
+
+Result<const uint8_t*> BufferPool::GetPage(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    // Move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return static_cast<const uint8_t*>(it->second->data.data());
+  }
+
+  ++stats_.misses;
+  Frame frame;
+  frame.id = id;
+  GPRQ_RETURN_NOT_OK(file_->ReadPage(id, &frame.data));
+
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(std::move(frame));
+  index_[id] = lru_.begin();
+  return static_cast<const uint8_t*>(lru_.front().data.data());
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace gprq::index

@@ -1,0 +1,62 @@
+#ifndef GPRQ_INDEX_BUFFER_POOL_H_
+#define GPRQ_INDEX_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/page_file.h"
+
+namespace gprq::index {
+
+/// An LRU page cache in front of a PageFile. Read-only (the snapshot reader
+/// never mutates pages), which keeps the pool simple: no dirty pages, no
+/// write-back, eviction is just a drop.
+///
+/// Cache hits/misses are counted so benches can report logical vs physical
+/// I/O — the classic spatial-index cost model the paper's "node accesses"
+/// stand in for.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity` is the maximum number of cached pages (>= 1).
+  BufferPool(const PageFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pointer to the cached contents of `id` (valid until the
+  /// next GetPage call), faulting it in from the file if needed.
+  Result<const uint8_t*> GetPage(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return lru_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Drops every cached page (simulates a cold cache).
+  void Clear();
+
+ private:
+  struct Frame {
+    PageId id;
+    std::vector<uint8_t> data;
+  };
+
+  const PageFile* file_;
+  size_t capacity_;
+  std::list<Frame> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_BUFFER_POOL_H_

@@ -1,0 +1,64 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gprq::index {
+
+Status LinearScanIndex::Insert(const la::Vector& point, ObjectId id) {
+  if (point.dim() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  points_.emplace_back(point, id);
+  return Status::OK();
+}
+
+Status LinearScanIndex::Remove(const la::Vector& point, ObjectId id) {
+  if (point.dim() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  auto it = std::find_if(points_.begin(), points_.end(),
+                         [&](const auto& kv) {
+                           return kv.second == id && kv.first == point;
+                         });
+  if (it == points_.end()) {
+    return Status::NotFound("no entry with this point and id");
+  }
+  points_.erase(it);
+  return Status::OK();
+}
+
+void LinearScanIndex::RangeQuery(const geom::Rect& box,
+                                 std::vector<ObjectId>* out) const {
+  assert(box.dim() == dim_);
+  for (const auto& [point, id] : points_) {
+    if (box.Contains(point)) out->push_back(id);
+  }
+}
+
+void LinearScanIndex::BallQuery(const la::Vector& center, double radius,
+                                std::vector<ObjectId>* out) const {
+  assert(center.dim() == dim_);
+  const double radius_sq = radius * radius;
+  for (const auto& [point, id] : points_) {
+    if (la::SquaredDistance(point, center) <= radius_sq) out->push_back(id);
+  }
+}
+
+void LinearScanIndex::KnnQuery(
+    const la::Vector& center, size_t k,
+    std::vector<std::pair<double, ObjectId>>* out) const {
+  assert(center.dim() == dim_);
+  out->clear();
+  if (k == 0) return;
+  std::vector<std::pair<double, ObjectId>> all;
+  all.reserve(points_.size());
+  for (const auto& [point, id] : points_) {
+    all.emplace_back(la::SquaredDistance(point, center), id);
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  out->assign(all.begin(), all.begin() + take);
+}
+
+}  // namespace gprq::index

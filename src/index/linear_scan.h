@@ -1,0 +1,48 @@
+#ifndef GPRQ_INDEX_LINEAR_SCAN_H_
+#define GPRQ_INDEX_LINEAR_SCAN_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "index/rstar_tree.h"
+#include "la/vector.h"
+
+namespace gprq::index {
+
+/// A trivially correct O(n) point index with the same query surface as the
+/// R*-tree. Serves as the oracle in differential tests and as the
+/// no-index baseline in benchmarks.
+class LinearScanIndex {
+ public:
+  explicit LinearScanIndex(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return points_.size(); }
+
+  /// Inserts a point with the given id.
+  Status Insert(const la::Vector& point, ObjectId id);
+
+  /// Removes the entry with this exact point and id (NotFound if absent).
+  Status Remove(const la::Vector& point, ObjectId id);
+
+  /// Ids of all points inside `box` (closed).
+  void RangeQuery(const geom::Rect& box, std::vector<ObjectId>* out) const;
+
+  /// Ids of all points within `radius` of `center`.
+  void BallQuery(const la::Vector& center, double radius,
+                 std::vector<ObjectId>* out) const;
+
+  /// Up to k nearest neighbors as (squared distance, id), ascending.
+  void KnnQuery(const la::Vector& center, size_t k,
+                std::vector<std::pair<double, ObjectId>>* out) const;
+
+ private:
+  size_t dim_;
+  std::vector<std::pair<la::Vector, ObjectId>> points_;
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_LINEAR_SCAN_H_

@@ -1,0 +1,128 @@
+#include "index/page_file.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+namespace gprq::index {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<PageFile> PageFile::Create(const std::string& path, size_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be >= 64 bytes");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) return ErrnoStatus("cannot create", path);
+  return PageFile(file, page_size, 0);
+}
+
+Result<PageFile> PageFile::Open(const std::string& path, size_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be >= 64 bytes");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) return ErrnoStatus("cannot open", path);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return ErrnoStatus("cannot seek", path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return ErrnoStatus("cannot tell", path);
+  }
+  if (static_cast<size_t>(size) % page_size != 0) {
+    std::fclose(file);
+    return Status::IoError("file size of '" + path +
+                           "' is not a multiple of the page size");
+  }
+  return PageFile(file, page_size, static_cast<size_t>(size) / page_size);
+}
+
+PageFile::PageFile(PageFile&& other) noexcept
+    : file_(other.file_),
+      page_size_(other.page_size_),
+      page_count_(other.page_count_),
+      physical_reads_(other.physical_reads_),
+      physical_writes_(other.physical_writes_) {
+  other.file_ = nullptr;
+}
+
+PageFile& PageFile::operator=(PageFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = other.file_;
+  page_size_ = other.page_size_;
+  page_count_ = other.page_count_;
+  physical_reads_ = other.physical_reads_;
+  physical_writes_ = other.physical_writes_;
+  other.file_ = nullptr;
+  return *this;
+}
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> PageFile::Allocate() {
+  assert(file_ != nullptr);
+  const PageId id = static_cast<PageId>(page_count_);
+  std::vector<uint8_t> zeros(page_size_, 0);
+  GPRQ_RETURN_NOT_OK(WritePage(id, zeros));
+  // WritePage below the current count extends the file; bump the count.
+  page_count_ = id + 1;
+  return id;
+}
+
+Status PageFile::ReadPage(PageId id, std::vector<uint8_t>* buffer) const {
+  assert(file_ != nullptr);
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " beyond end of file");
+  }
+  buffer->resize(page_size_);
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(buffer->data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short read on page " + std::to_string(id));
+  }
+  ++physical_reads_;
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const std::vector<uint8_t>& buffer) {
+  assert(file_ != nullptr);
+  if (buffer.size() != page_size_) {
+    return Status::InvalidArgument("buffer size must equal the page size");
+  }
+  if (id > page_count_) {
+    return Status::OutOfRange("cannot write past the append frontier");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(buffer.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write on page " + std::to_string(id));
+  }
+  if (id == page_count_) page_count_ = id + 1;
+  ++physical_writes_;
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  assert(file_ != nullptr);
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace gprq::index

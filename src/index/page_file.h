@@ -1,0 +1,72 @@
+#ifndef GPRQ_INDEX_PAGE_FILE_H_
+#define GPRQ_INDEX_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq::index {
+
+/// Identifier of a fixed-size page within a PageFile.
+using PageId = uint32_t;
+
+/// A flat file of fixed-size pages — the storage substrate of the paged
+/// R*-tree snapshot. The paper's experiments model disk-resident trees
+/// ("the page size of an R*-tree node was set as 1KB"); this class provides
+/// that page abstraction with explicit read/write calls so page I/O can be
+/// counted and cached by a buffer pool.
+///
+/// Layout: page 0 is reserved for the caller's header; pages are allocated
+/// append-only (the snapshot use case never frees pages).
+class PageFile {
+ public:
+  /// Creates (truncates) a page file with the given page size.
+  static Result<PageFile> Create(const std::string& path, size_t page_size);
+
+  /// Opens an existing page file; `page_size` must match the writer's.
+  static Result<PageFile> Open(const std::string& path, size_t page_size);
+
+  PageFile(PageFile&& other) noexcept;
+  PageFile& operator=(PageFile&& other) noexcept;
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  ~PageFile();
+
+  size_t page_size() const { return page_size_; }
+
+  /// Number of pages currently in the file.
+  size_t page_count() const { return page_count_; }
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> Allocate();
+
+  /// Reads page `id` into `buffer` (resized to page_size).
+  Status ReadPage(PageId id, std::vector<uint8_t>* buffer) const;
+
+  /// Writes `buffer` (must be exactly page_size bytes) to page `id`.
+  Status WritePage(PageId id, const std::vector<uint8_t>& buffer);
+
+  /// Flushes the underlying file.
+  Status Sync();
+
+  /// Cumulative physical page reads/writes (I/O statistics).
+  uint64_t physical_reads() const { return physical_reads_; }
+  uint64_t physical_writes() const { return physical_writes_; }
+
+ private:
+  PageFile(std::FILE* file, size_t page_size, size_t page_count)
+      : file_(file), page_size_(page_size), page_count_(page_count) {}
+
+  std::FILE* file_ = nullptr;
+  size_t page_size_ = 0;
+  size_t page_count_ = 0;
+  mutable uint64_t physical_reads_ = 0;
+  uint64_t physical_writes_ = 0;
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_PAGE_FILE_H_

@@ -1,0 +1,426 @@
+#include "index/paged_tree.h"
+
+#include <cassert>
+#include <cstring>
+#include <queue>
+#include <unordered_map>
+
+#include "index/rstar_tree_internal.h"
+
+namespace gprq::index {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x47505251534E4150ULL;  // "GPRQSNAP"
+constexpr uint32_t kVersion = 1;
+
+// ---- Little serialization helpers (host byte order). ----------------------
+
+template <typename T>
+void Put(std::vector<uint8_t>& buffer, size_t* offset, T value) {
+  assert(*offset + sizeof(T) <= buffer.size());
+  std::memcpy(buffer.data() + *offset, &value, sizeof(T));
+  *offset += sizeof(T);
+}
+
+template <typename T>
+T Get(const uint8_t* buffer, size_t* offset) {
+  T value;
+  std::memcpy(&value, buffer + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+size_t EntryBytes(size_t dim) { return 16 * dim + sizeof(uint32_t); }
+constexpr size_t kNodeHeaderBytes = 8;  // level u32 + entry count u32
+
+struct Header {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t dim;
+  uint64_t page_size;
+  uint32_t root;
+  uint32_t height;
+  uint64_t object_count;
+  uint64_t node_count;
+  uint32_t max_entries;  // node capacity of the source tree
+};
+
+void WriteHeader(std::vector<uint8_t>& page, const Header& header) {
+  size_t offset = 0;
+  Put(page, &offset, header.magic);
+  Put(page, &offset, header.version);
+  Put(page, &offset, header.dim);
+  Put(page, &offset, header.page_size);
+  Put(page, &offset, header.root);
+  Put(page, &offset, header.height);
+  Put(page, &offset, header.object_count);
+  Put(page, &offset, header.node_count);
+  Put(page, &offset, header.max_entries);
+}
+
+Header ReadHeader(const uint8_t* page) {
+  Header header;
+  size_t offset = 0;
+  header.magic = Get<uint64_t>(page, &offset);
+  header.version = Get<uint32_t>(page, &offset);
+  header.dim = Get<uint32_t>(page, &offset);
+  header.page_size = Get<uint64_t>(page, &offset);
+  header.root = Get<uint32_t>(page, &offset);
+  header.height = Get<uint32_t>(page, &offset);
+  header.object_count = Get<uint64_t>(page, &offset);
+  header.node_count = Get<uint64_t>(page, &offset);
+  header.max_entries = Get<uint32_t>(page, &offset);
+  return header;
+}
+
+}  // namespace
+
+size_t TreeSnapshot::MaxEntriesPerPage(size_t page_size, size_t dim) {
+  if (page_size <= kNodeHeaderBytes) return 0;
+  return (page_size - kNodeHeaderBytes) / EntryBytes(dim);
+}
+
+Status TreeSnapshot::Write(const RStarTree& tree, const std::string& path,
+                           size_t page_size) {
+  const size_t dim = tree.dim();
+  const size_t max_entries = MaxEntriesPerPage(page_size, dim);
+
+  // Pass 1: assign a page to every node in DFS pre-order (root first).
+  std::unordered_map<const RStarTree::Node*, PageId> page_of;
+  std::vector<const RStarTree::Node*> order;
+  {
+    std::vector<const RStarTree::Node*> stack = {tree.root_};
+    while (!stack.empty()) {
+      const RStarTree::Node* node = stack.back();
+      stack.pop_back();
+      if (node->entries.size() > max_entries) {
+        return Status::InvalidArgument(
+            "node with " + std::to_string(node->entries.size()) +
+            " entries does not fit a " + std::to_string(page_size) +
+            "-byte page (max " + std::to_string(max_entries) + ")");
+      }
+      page_of[node] = static_cast<PageId>(order.size() + 1);  // 0 = header
+      order.push_back(node);
+      for (const auto& entry : node->entries) {
+        if (entry.child != nullptr) stack.push_back(entry.child);
+      }
+    }
+  }
+
+  auto file_result = PageFile::Create(path, page_size);
+  if (!file_result.ok()) return file_result.status();
+  PageFile file = std::move(*file_result);
+
+  // Header page.
+  {
+    auto page0 = file.Allocate();
+    if (!page0.ok()) return page0.status();
+    std::vector<uint8_t> page(page_size, 0);
+    WriteHeader(page, Header{kMagic, kVersion, static_cast<uint32_t>(dim),
+                             static_cast<uint64_t>(page_size),
+                             /*root=*/1,
+                             static_cast<uint32_t>(tree.height()),
+                             static_cast<uint64_t>(tree.size()),
+                             static_cast<uint64_t>(order.size()),
+                             static_cast<uint32_t>(
+                                 tree.options_.max_entries)});
+    GPRQ_RETURN_NOT_OK(file.WritePage(*page0, page));
+  }
+
+  // Node pages.
+  std::vector<uint8_t> page(page_size);
+  for (const RStarTree::Node* node : order) {
+    std::fill(page.begin(), page.end(), 0);
+    size_t offset = 0;
+    Put(page, &offset, static_cast<uint32_t>(node->level));
+    Put(page, &offset, static_cast<uint32_t>(node->entries.size()));
+    for (const auto& entry : node->entries) {
+      for (size_t i = 0; i < dim; ++i) Put(page, &offset, entry.mbr.lo()[i]);
+      for (size_t i = 0; i < dim; ++i) Put(page, &offset, entry.mbr.hi()[i]);
+      const uint32_t payload = (entry.child != nullptr)
+                                   ? page_of.at(entry.child)
+                                   : entry.id;
+      Put(page, &offset, payload);
+    }
+    auto id = file.Allocate();
+    if (!id.ok()) return id.status();
+    assert(*id == page_of.at(node));
+    GPRQ_RETURN_NOT_OK(file.WritePage(*id, page));
+  }
+  return file.Sync();
+}
+
+Result<RStarTree> TreeSnapshot::Load(const std::string& path,
+                                     size_t page_size) {
+  auto file_result = PageFile::Open(path, page_size);
+  if (!file_result.ok()) return file_result.status();
+  PageFile file = std::move(*file_result);
+  if (file.page_count() == 0) {
+    return Status::IoError("snapshot file is empty");
+  }
+  std::vector<uint8_t> page;
+  GPRQ_RETURN_NOT_OK(file.ReadPage(0, &page));
+  const Header header = ReadHeader(page.data());
+  if (header.magic != kMagic) {
+    return Status::IoError("not a gprq tree snapshot (bad magic)");
+  }
+  if (header.version != kVersion) {
+    return Status::IoError("unsupported snapshot version " +
+                           std::to_string(header.version));
+  }
+  if (header.node_count + 1 != file.page_count()) {
+    return Status::IoError("snapshot is truncated");
+  }
+
+  RStarTreeOptions options;
+  options.max_entries = header.max_entries;
+  RStarTree tree(header.dim, options);
+  const size_t dim = header.dim;
+
+  // Rebuild nodes by DFS from the root; pages reference children by page
+  // id, so an explicit stack of unresolved child slots suffices.
+  struct PendingChild {
+    RStarTree::Node* parent;
+    size_t entry_index;
+    PageId page;
+  };
+  delete tree.root_;
+  tree.root_ = nullptr;
+
+  std::vector<PendingChild> stack = {{nullptr, 0, header.root}};
+  size_t leaf_entries = 0;
+  while (!stack.empty()) {
+    const PendingChild pending = stack.back();
+    stack.pop_back();
+    GPRQ_RETURN_NOT_OK(file.ReadPage(pending.page, &page));
+    size_t offset = 0;
+    const uint32_t level = Get<uint32_t>(page.data(), &offset);
+    const uint32_t count = Get<uint32_t>(page.data(), &offset);
+    if (count > header.max_entries) {
+      return Status::IoError("corrupt snapshot: node overflows capacity");
+    }
+    auto* node = new RStarTree::Node();
+    node->level = level;
+    node->entries.reserve(count);
+    for (uint32_t e = 0; e < count; ++e) {
+      la::Vector lo(dim), hi(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        lo[i] = Get<double>(page.data(), &offset);
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        hi[i] = Get<double>(page.data(), &offset);
+      }
+      const uint32_t payload = Get<uint32_t>(page.data(), &offset);
+      RStarTree::Entry entry;
+      entry.mbr = geom::Rect(std::move(lo), std::move(hi));
+      if (level == 0) {
+        entry.id = payload;
+        ++leaf_entries;
+      } else {
+        // Child pointer filled in when its page is visited.
+        stack.push_back(PendingChild{node, node->entries.size(),
+                                     static_cast<PageId>(payload)});
+      }
+      node->entries.push_back(std::move(entry));
+    }
+    if (pending.parent == nullptr) {
+      tree.root_ = node;
+    } else {
+      pending.parent->entries[pending.entry_index].child = node;
+      node->parent = pending.parent;
+    }
+  }
+  if (leaf_entries != header.object_count) {
+    return Status::IoError("corrupt snapshot: object count mismatch");
+  }
+  tree.size_ = header.object_count;
+  return tree;
+}
+
+Result<PagedRStarTree> PagedRStarTree::Open(const std::string& path,
+                                            const OpenOptions& options) {
+  auto file_result = PageFile::Open(path, options.page_size);
+  if (!file_result.ok()) return file_result.status();
+  auto file = std::make_unique<PageFile>(std::move(*file_result));
+  if (file->page_count() == 0) {
+    return Status::IoError("snapshot file is empty");
+  }
+  std::vector<uint8_t> page0;
+  GPRQ_RETURN_NOT_OK(file->ReadPage(0, &page0));
+  const Header header = ReadHeader(page0.data());
+  if (header.magic != kMagic) {
+    return Status::IoError("not a gprq tree snapshot (bad magic)");
+  }
+  if (header.version != kVersion) {
+    return Status::IoError("unsupported snapshot version " +
+                           std::to_string(header.version));
+  }
+  if (header.page_size != options.page_size) {
+    return Status::InvalidArgument(
+        "snapshot was written with page size " +
+        std::to_string(header.page_size));
+  }
+  if (header.node_count + 1 != file->page_count()) {
+    return Status::IoError("snapshot is truncated");
+  }
+  auto pool = std::make_unique<BufferPool>(
+      file.get(), std::max<size_t>(1, options.buffer_pages));
+  return PagedRStarTree(std::move(file), std::move(pool), header.dim,
+                        header.object_count, header.node_count,
+                        header.height, header.root);
+}
+
+Status PagedRStarTree::RangeQueryPage(
+    PageId page_id, const geom::Rect& box,
+    const std::function<void(const la::Vector&, ObjectId)>& visit) const {
+  auto page = pool_->GetPage(page_id);
+  if (!page.ok()) return page.status();
+  const uint8_t* data = *page;
+  size_t offset = 0;
+  const uint32_t level = Get<uint32_t>(data, &offset);
+  const uint32_t count = Get<uint32_t>(data, &offset);
+  la::Vector lo(dim_), hi(dim_);
+  // Child page ids are collected before recursing: the recursion reuses the
+  // buffer pool and may evict this page.
+  std::vector<PageId> children;
+  for (uint32_t e = 0; e < count; ++e) {
+    for (size_t i = 0; i < dim_; ++i) lo[i] = Get<double>(data, &offset);
+    for (size_t i = 0; i < dim_; ++i) hi[i] = Get<double>(data, &offset);
+    const uint32_t payload = Get<uint32_t>(data, &offset);
+    bool overlaps = true;
+    for (size_t i = 0; i < dim_; ++i) {
+      if (hi[i] < box.lo()[i] || lo[i] > box.hi()[i]) {
+        overlaps = false;
+        break;
+      }
+    }
+    if (!overlaps) continue;
+    if (level == 0) {
+      visit(lo, payload);  // leaf entry: lo == hi == the point
+    } else {
+      children.push_back(payload);
+    }
+  }
+  for (PageId child : children) {
+    GPRQ_RETURN_NOT_OK(RangeQueryPage(child, box, visit));
+  }
+  return Status::OK();
+}
+
+Status PagedRStarTree::RangeQuery(const geom::Rect& box,
+                                  std::vector<ObjectId>* out) const {
+  return RangeQuery(box, [out](const la::Vector&, ObjectId id) {
+    out->push_back(id);
+  });
+}
+
+Status PagedRStarTree::RangeQuery(
+    const geom::Rect& box,
+    const std::function<void(const la::Vector&, ObjectId)>& visit) const {
+  if (box.dim() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (object_count_ == 0) return Status::OK();
+  return RangeQueryPage(root_, box, visit);
+}
+
+Status PagedRStarTree::BallQueryPage(PageId page_id, const la::Vector& center,
+                                     double radius_sq,
+                                     std::vector<ObjectId>* out) const {
+  auto page = pool_->GetPage(page_id);
+  if (!page.ok()) return page.status();
+  const uint8_t* data = *page;
+  size_t offset = 0;
+  const uint32_t level = Get<uint32_t>(data, &offset);
+  const uint32_t count = Get<uint32_t>(data, &offset);
+  la::Vector lo(dim_), hi(dim_);
+  std::vector<PageId> children;
+  for (uint32_t e = 0; e < count; ++e) {
+    for (size_t i = 0; i < dim_; ++i) lo[i] = Get<double>(data, &offset);
+    for (size_t i = 0; i < dim_; ++i) hi[i] = Get<double>(data, &offset);
+    const uint32_t payload = Get<uint32_t>(data, &offset);
+    double dist_sq = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      double diff = 0.0;
+      if (center[i] < lo[i]) diff = lo[i] - center[i];
+      else if (center[i] > hi[i]) diff = center[i] - hi[i];
+      dist_sq += diff * diff;
+    }
+    if (dist_sq > radius_sq) continue;
+    if (level == 0) {
+      out->push_back(payload);
+    } else {
+      children.push_back(payload);
+    }
+  }
+  for (PageId child : children) {
+    GPRQ_RETURN_NOT_OK(BallQueryPage(child, center, radius_sq, out));
+  }
+  return Status::OK();
+}
+
+Status PagedRStarTree::BallQuery(const la::Vector& center, double radius,
+                                 std::vector<ObjectId>* out) const {
+  if (center.dim() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (radius < 0.0) {
+    return Status::InvalidArgument("radius must be >= 0");
+  }
+  if (object_count_ == 0) return Status::OK();
+  return BallQueryPage(root_, center, radius * radius, out);
+}
+
+Status PagedRStarTree::KnnQuery(
+    const la::Vector& center, size_t k,
+    std::vector<std::pair<double, ObjectId>>* out) const {
+  if (center.dim() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  out->clear();
+  if (k == 0 || object_count_ == 0) return Status::OK();
+
+  struct Item {
+    double dist_sq;
+    bool is_node;
+    uint32_t payload;  // page id or object id
+    bool operator>(const Item& other) const {
+      return dist_sq > other.dist_sq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  queue.push({0.0, true, root_});
+
+  la::Vector lo(dim_), hi(dim_);
+  while (!queue.empty() && out->size() < k) {
+    const Item item = queue.top();
+    queue.pop();
+    if (!item.is_node) {
+      out->emplace_back(item.dist_sq, item.payload);
+      continue;
+    }
+    auto page = pool_->GetPage(item.payload);
+    if (!page.ok()) return page.status();
+    const uint8_t* data = *page;
+    size_t offset = 0;
+    const uint32_t level = Get<uint32_t>(data, &offset);
+    const uint32_t count = Get<uint32_t>(data, &offset);
+    for (uint32_t e = 0; e < count; ++e) {
+      for (size_t i = 0; i < dim_; ++i) lo[i] = Get<double>(data, &offset);
+      for (size_t i = 0; i < dim_; ++i) hi[i] = Get<double>(data, &offset);
+      const uint32_t payload = Get<uint32_t>(data, &offset);
+      double dist_sq = 0.0;
+      for (size_t i = 0; i < dim_; ++i) {
+        double diff = 0.0;
+        if (center[i] < lo[i]) diff = lo[i] - center[i];
+        else if (center[i] > hi[i]) diff = center[i] - hi[i];
+        dist_sq += diff * diff;
+      }
+      queue.push({dist_sq, level != 0, payload});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gprq::index

@@ -1,0 +1,173 @@
+#ifndef GPRQ_INDEX_RSTAR_TREE_H_
+#define GPRQ_INDEX_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "la/vector.h"
+
+namespace gprq::index {
+
+/// Identifier of an indexed object; an offset into the caller's point table.
+using ObjectId = uint32_t;
+
+/// Configuration of an RStarTree.
+struct RStarTreeOptions {
+  /// Maximum entries per node (page capacity). The paper used 1 KB pages;
+  /// with 2-D doubles plus a pointer that is roughly 32-48 entries.
+  size_t max_entries = 32;
+  /// Minimum fill as a fraction of max_entries (R* recommends 40%).
+  double min_fill_fraction = 0.4;
+  /// Fraction of entries force-reinserted on first overflow (R*: 30%).
+  double reinsert_fraction = 0.3;
+};
+
+/// In-memory R*-tree over d-dimensional points (Beckmann, Kriegel, Schneider,
+/// Seeger 1990) — the spatial index the paper's Phase 1 runs on ("we use the
+/// R-tree index family since it is the most widely used one"; their
+/// experiments use an R*-tree implementation).
+///
+/// Features: ChooseSubtree with overlap-minimization at the leaf level,
+/// margin-driven split-axis selection, forced reinsertion (30% by default),
+/// deletion with tree condensation, window (rectangle) queries, and
+/// best-first k-nearest-neighbor search (needed by the paper's 9-D
+/// pseudo-feedback experiment, Section VI).
+class RStarTree {
+ public:
+  // Node layout lives in rstar_tree_internal.h; the types are declared here
+  // (publicly, so internal free helpers can name them) but are not part of
+  // the supported API surface.
+  struct Node;
+  struct Entry;
+
+  using Options = RStarTreeOptions;
+
+  /// Per-query / lifetime access statistics (node touches model page I/O).
+  struct AccessStats {
+    uint64_t node_reads = 0;
+    uint64_t leaf_reads = 0;
+  };
+
+  explicit RStarTree(size_t dim, Options options = Options());
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+  RStarTree(RStarTree&& other) noexcept;
+  RStarTree& operator=(RStarTree&& other) noexcept;
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (1 for a tree that is a single leaf).
+  size_t height() const;
+
+  /// Number of allocated nodes.
+  size_t node_count() const;
+
+  /// Inserts a point with the given id. Duplicate points are allowed
+  /// (ids disambiguate). Fails if the point has the wrong dimension.
+  Status Insert(const la::Vector& point, ObjectId id);
+
+  /// Removes the entry with this exact point and id. Returns NotFound if no
+  /// such entry exists. Underfull nodes are condensed per the classic
+  /// R-tree deletion algorithm.
+  Status Remove(const la::Vector& point, ObjectId id);
+
+  /// Appends the ids of all points inside `box` (closed) to `out`.
+  void RangeQuery(const geom::Rect& box, std::vector<ObjectId>* out) const;
+
+  /// Visitor flavor; `visit` receives (point, id) for every hit.
+  void RangeQuery(const geom::Rect& box,
+                  const std::function<void(const la::Vector&, ObjectId)>&
+                      visit) const;
+
+  /// Appends ids of all points within Euclidean distance `radius` of
+  /// `center` (a ball query; uses MINDIST pruning on inner nodes).
+  void BallQuery(const la::Vector& center, double radius,
+                 std::vector<ObjectId>* out) const;
+
+  /// Best-first k-nearest neighbors of `center`; returns up to k pairs of
+  /// (squared distance, id) ordered ascending by distance.
+  void KnnQuery(const la::Vector& center, size_t k,
+                std::vector<std::pair<double, ObjectId>>* out) const;
+
+  /// The MBR of the whole tree (Empty rect when the tree has no points).
+  geom::Rect Bounds() const;
+
+  /// Verifies structural invariants (MBR tightness/containment, fill
+  /// bounds, level consistency, entry count). For tests.
+  Status CheckInvariants() const;
+
+  /// Cumulative access statistics; reset with ResetStats(). Queries are
+  /// logically const, so the counters are mutable.
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AccessStats(); }
+
+ private:
+  friend class StrBulkLoader;        // builds node levels directly
+  friend class NearestNeighborIterator;
+  friend class TreeSnapshot;         // serializes nodes to pages
+
+  Node* ChooseSubtree(const geom::Rect& mbr, size_t target_level) const;
+  void InsertEntry(Entry entry, size_t target_level,
+                   std::vector<bool>& reinserted_at_level);
+  void OverflowTreatment(Node* node, size_t level,
+                         std::vector<bool>& reinserted_at_level);
+  void Reinsert(Node* node, std::vector<bool>& reinserted_at_level);
+  void Split(Node* node);
+  void AdjustUpward(Node* node);
+  static size_t ChooseSplitAxis(const std::vector<Entry>& entries,
+                                size_t min_fill, size_t dim);
+  static size_t ChooseSplitIndex(std::vector<Entry>& entries, size_t axis,
+                                 size_t min_fill);
+
+  size_t dim_;
+  Options options_;
+  size_t min_fill_;  // floor(max_entries * min_fill_fraction), >= 1
+  Node* root_;
+  size_t size_;
+  mutable AccessStats stats_;
+};
+
+/// Incremental nearest-neighbor enumeration (Hjaltason & Samet): yields the
+/// indexed points in non-decreasing distance from a query center, on demand.
+/// Powers the probability-ranking extension, where the stopping distance is
+/// only known as results stream in.
+///
+/// The iterator references the tree; the tree must not be modified while an
+/// iterator is live.
+class NearestNeighborIterator {
+ public:
+  NearestNeighborIterator(const RStarTree& tree, la::Vector center);
+
+  /// Advances to the next-closest point. Returns false when exhausted.
+  /// On success fills distance (squared), id, and (optionally) the point.
+  bool Next(double* dist_sq, ObjectId* id, la::Vector* point = nullptr);
+
+ private:
+  struct Item {
+    double dist_sq;
+    const RStarTree::Node* node;  // nullptr for point results
+    ObjectId id;
+    const la::Vector* point;      // borrowed from the tree entry
+  };
+  struct ItemGreater {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.dist_sq > b.dist_sq;
+    }
+  };
+
+  const RStarTree& tree_;
+  la::Vector center_;
+  std::vector<Item> heap_;  // managed with std::push_heap/pop_heap
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_RSTAR_TREE_H_

@@ -1,0 +1,42 @@
+#ifndef GPRQ_INDEX_RSTAR_TREE_INTERNAL_H_
+#define GPRQ_INDEX_RSTAR_TREE_INTERNAL_H_
+
+// Implementation details shared between rstar_tree.cc and the STR bulk
+// loader. Not part of the public API.
+
+#include <vector>
+
+#include "geom/rect.h"
+#include "index/rstar_tree.h"
+
+namespace gprq::index {
+
+/// One slot of a node: either a child subtree (inner node, child != nullptr)
+/// or an indexed point (leaf, child == nullptr, mbr degenerate, the point is
+/// mbr.lo()).
+struct RStarTree::Entry {
+  geom::Rect mbr;
+  Node* child = nullptr;
+  ObjectId id = 0;
+
+  bool IsLeafEntry() const { return child == nullptr; }
+  const la::Vector& Point() const { return mbr.lo(); }
+};
+
+struct RStarTree::Node {
+  size_t level = 0;  // 0 = leaf
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  geom::Rect ComputeMbr(size_t dim) const {
+    geom::Rect mbr = geom::Rect::Empty(dim);
+    for (const Entry& e : entries) mbr.ExpandToInclude(e.mbr);
+    return mbr;
+  }
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_RSTAR_TREE_INTERNAL_H_

@@ -1,0 +1,129 @@
+#include "index/str_bulk_load.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "index/rstar_tree_internal.h"
+
+namespace gprq::index {
+
+namespace {
+
+using Entry = RStarTree::Entry;
+using Node = RStarTree::Node;
+
+/// Splits [begin, end) into chunks of at most `cap` entries. If the last
+/// chunk would fall below `min_fill`, entries are rebalanced from the
+/// previous chunk so every group respects the tree's fill invariant.
+void ChunkGroups(std::vector<Entry>::iterator begin,
+                 std::vector<Entry>::iterator end, size_t cap,
+                 size_t min_fill,
+                 std::vector<std::vector<Entry>>* groups) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n == 0) return;
+  size_t offset = 0;
+  while (offset < n) {
+    size_t take = std::min(cap, n - offset);
+    const size_t remaining_after = n - offset - take;
+    if (remaining_after > 0 && remaining_after < min_fill) {
+      // Shrink this chunk so the tail chunk reaches min_fill.
+      take -= (min_fill - remaining_after);
+    }
+    groups->emplace_back(std::make_move_iterator(begin + offset),
+                         std::make_move_iterator(begin + offset + take));
+    offset += take;
+  }
+}
+
+/// Recursive STR tiling: sorts by the center coordinate of `axis`, carves
+/// the range into vertical "slabs", and recurses on the next axis; the last
+/// axis chunks into node-sized groups.
+void Tile(std::vector<Entry>::iterator begin,
+          std::vector<Entry>::iterator end, size_t axis, size_t dim,
+          size_t cap, size_t min_fill,
+          std::vector<std::vector<Entry>>* groups) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n == 0) return;
+  if (axis + 1 >= dim || n <= cap) {
+    std::sort(begin, end, [axis](const Entry& a, const Entry& b) {
+      return a.mbr.Center()[axis] < b.mbr.Center()[axis];
+    });
+    ChunkGroups(begin, end, cap, min_fill, groups);
+    return;
+  }
+  std::sort(begin, end, [axis](const Entry& a, const Entry& b) {
+    return a.mbr.Center()[axis] < b.mbr.Center()[axis];
+  });
+  const size_t node_budget = (n + cap - 1) / cap;
+  const double slabs_d = std::ceil(
+      std::pow(static_cast<double>(node_budget),
+               1.0 / static_cast<double>(dim - axis)));
+  const size_t slabs = std::max<size_t>(1, static_cast<size_t>(slabs_d));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t offset = 0; offset < n; offset += slab_size) {
+    const size_t take = std::min(slab_size, n - offset);
+    Tile(begin + offset, begin + offset + take, axis + 1, dim, cap, min_fill,
+         groups);
+  }
+}
+
+}  // namespace
+
+Result<RStarTree> StrBulkLoader::Load(size_t dim,
+                                      const std::vector<la::Vector>& points,
+                                      RStarTree::Options options) {
+  RStarTree tree(dim, options);
+  if (points.empty()) return tree;
+  for (const auto& point : points) {
+    if (point.dim() != dim) {
+      return Status::InvalidArgument("point dimension mismatch in bulk load");
+    }
+  }
+
+  const size_t cap = options.max_entries;
+  const size_t min_fill = std::max<size_t>(
+      1, std::min(static_cast<size_t>(cap * options.min_fill_fraction),
+                  (cap + 1) / 2));
+
+  std::vector<Entry> current;
+  current.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    current.push_back(
+        Entry{geom::Rect(points[i]), nullptr, static_cast<ObjectId>(i)});
+  }
+
+  size_t level = 0;
+  while (current.size() > cap) {
+    std::vector<std::vector<Entry>> groups;
+    Tile(current.begin(), current.end(), 0, dim, cap, min_fill, &groups);
+    std::vector<Entry> parents;
+    parents.reserve(groups.size());
+    for (auto& group : groups) {
+      Node* node = new Node();
+      node->level = level;
+      node->entries = std::move(group);
+      for (auto& entry : node->entries) {
+        if (entry.child != nullptr) entry.child->parent = node;
+      }
+      parents.push_back(Entry{node->ComputeMbr(dim), node, 0});
+    }
+    current = std::move(parents);
+    ++level;
+  }
+
+  // Whatever remains fits in a single root node.
+  Node* root = new Node();
+  root->level = level;
+  root->entries = std::move(current);
+  for (auto& entry : root->entries) {
+    if (entry.child != nullptr) entry.child->parent = root;
+  }
+
+  delete tree.root_;
+  tree.root_ = root;
+  tree.size_ = points.size();
+  return tree;
+}
+
+}  // namespace gprq::index

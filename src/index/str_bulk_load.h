@@ -1,0 +1,28 @@
+#ifndef GPRQ_INDEX_STR_BULK_LOAD_H_
+#define GPRQ_INDEX_STR_BULK_LOAD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/rstar_tree.h"
+#include "la/vector.h"
+
+namespace gprq::index {
+
+/// Sort-Tile-Recursive bulk loading (Leutenegger, Edgington, Lopez 1997):
+/// packs a static point set into a fully built R*-tree bottom-up, orders of
+/// magnitude faster than repeated insertion and with near-100% node fill.
+/// Used to build the experiment datasets (50k-68k points) quickly; the
+/// resulting tree satisfies the same invariants as an insertion-built one.
+class StrBulkLoader {
+ public:
+  /// Builds a tree over `points`; object ids are the point positions.
+  /// Fails if any point has a dimension other than `dim`.
+  static Result<RStarTree> Load(size_t dim,
+                                const std::vector<la::Vector>& points,
+                                RStarTree::Options options = {});
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_STR_BULK_LOAD_H_

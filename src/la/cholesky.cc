@@ -1,0 +1,93 @@
+#include "la/cholesky.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::la {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("Cholesky requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "matrix is not positive-definite (pivot <= 0 at column " +
+          std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  assert(b.dim() == dim());
+  const size_t n = dim();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= lower_(i, k) * y[k];
+    y[i] = sum / lower_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::SolveUpper(const Vector& y) const {
+  assert(y.dim() == dim());
+  const size_t n = dim();
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lower_(k, ii) * x[k];
+    x[ii] = sum / lower_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  return SolveUpper(SolveLower(b));
+}
+
+double Cholesky::Determinant() const {
+  double det = 1.0;
+  for (size_t i = 0; i < dim(); ++i) det *= lower_(i, i) * lower_(i, i);
+  return det;
+}
+
+double Cholesky::LogDeterminant() const {
+  double logdet = 0.0;
+  for (size_t i = 0; i < dim(); ++i) logdet += 2.0 * std::log(lower_(i, i));
+  return logdet;
+}
+
+Matrix Cholesky::Inverse() const {
+  const size_t n = dim();
+  Matrix inv(n, n);
+  Vector e(n);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const Vector col = Solve(e);
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+double Cholesky::InverseQuadraticForm(const Vector& v) const {
+  return SquaredNorm(SolveLower(v));
+}
+
+}  // namespace gprq::la

@@ -1,0 +1,54 @@
+#ifndef GPRQ_LA_CHOLESKY_H_
+#define GPRQ_LA_CHOLESKY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace gprq::la {
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Used to sample from multivariate Gaussians, to invert covariance matrices
+/// and to compute determinants.
+class Cholesky {
+ public:
+  /// Factors `a`. Fails with NumericalError if `a` is not (numerically)
+  /// symmetric positive-definite.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// The lower-triangular factor L.
+  const Matrix& lower() const { return lower_; }
+
+  size_t dim() const { return lower_.rows(); }
+
+  /// Solves A·x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves L·y = b (forward substitution).
+  Vector SolveLower(const Vector& b) const;
+
+  /// Solves Lᵀ·x = y (backward substitution).
+  Vector SolveUpper(const Vector& y) const;
+
+  /// det(A) = Π L_ii².
+  double Determinant() const;
+
+  /// log det(A) = 2·Σ log L_ii; robust for small determinants in high d.
+  double LogDeterminant() const;
+
+  /// A⁻¹ computed column-by-column from the factorization.
+  Matrix Inverse() const;
+
+  /// The Mahalanobis-style quadratic form vᵀ·A⁻¹·v, evaluated stably as
+  /// ‖L⁻¹ v‖².
+  double InverseQuadraticForm(const Vector& v) const;
+
+ private:
+  explicit Cholesky(Matrix lower) : lower_(std::move(lower)) {}
+
+  Matrix lower_;
+};
+
+}  // namespace gprq::la
+
+#endif  // GPRQ_LA_CHOLESKY_H_

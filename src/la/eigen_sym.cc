@@ -1,0 +1,100 @@
+#include "la/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gprq::la {
+
+namespace {
+
+/// Sum of absolute off-diagonal entries; the Jacobi convergence measure.
+double OffDiagonalNorm(const Matrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = i + 1; j < a.cols(); ++j) sum += std::abs(a(i, j));
+  return sum;
+}
+
+}  // namespace
+
+Result<EigenSym> DecomposeSymmetric(const Matrix& input) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires square matrix");
+  }
+  if (!input.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument(
+        "eigendecomposition requires symmetric matrix");
+  }
+  const size_t n = input.rows();
+  Matrix a = input;
+  Matrix e = Matrix::Identity(n);
+
+  constexpr int kMaxSweeps = 100;
+  constexpr double kTol = 1e-14;
+  // Scale tolerance by the matrix magnitude so convergence is relative.
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) scale = std::max(scale, std::abs(a(i, j)));
+  if (scale == 0.0) scale = 1.0;
+
+  int sweep = 0;
+  while (OffDiagonalNorm(a) > kTol * scale * static_cast<double>(n * n)) {
+    if (++sweep > kMaxSweeps) {
+      return Status::NumericalError("Jacobi eigendecomposition did not converge");
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= kTol * scale) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Classic Jacobi rotation: choose t = tan(phi) with |t| <= 1 for
+        // numerical stability.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Apply the rotation A <- JᵀAJ on rows/columns p and q.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: E <- E·J.
+        for (size_t k = 0; k < n; ++k) {
+          const double ekp = e(k, p);
+          const double ekq = e(k, q);
+          e(k, p) = c * ekp - s * ekq;
+          e(k, q) = s * ekp + c * ekq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort ascending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&a](size_t i, size_t j) { return a(i, i) < a(j, j); });
+
+  EigenSym result{Vector(n), Matrix(n, n)};
+  for (size_t j = 0; j < n; ++j) {
+    const size_t src = order[j];
+    result.eigenvalues[j] = a(src, src);
+    for (size_t i = 0; i < n; ++i) result.eigenvectors(i, j) = e(i, src);
+  }
+  return result;
+}
+
+}  // namespace gprq::la

@@ -1,0 +1,31 @@
+#ifndef GPRQ_LA_EIGEN_SYM_H_
+#define GPRQ_LA_EIGEN_SYM_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace gprq::la {
+
+/// Spectral decomposition A = E·diag(λ)·Eᵀ of a symmetric matrix.
+/// Eigenvalues are sorted ascending; eigenvectors are the columns of
+/// `eigenvectors` (orthonormal). Used by the OR and BF strategies, which need
+/// the principal axes and extreme eigenvalues of Σ (and hence of Σ⁻¹: the
+/// eigenvectors coincide and eigenvalues are reciprocals).
+struct EigenSym {
+  Vector eigenvalues;    // ascending
+  Matrix eigenvectors;   // column j pairs with eigenvalues[j]
+};
+
+/// Computes the spectral decomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method. Deterministic and accurate to ~1e-12 for the
+/// small dimensions (d <= ~32) this library targets.
+///
+/// Fails with InvalidArgument if `a` is not square-symmetric, or
+/// NumericalError if the sweep limit is exceeded (does not happen for
+/// well-formed symmetric inputs).
+Result<EigenSym> DecomposeSymmetric(const Matrix& a);
+
+}  // namespace gprq::la
+
+#endif  // GPRQ_LA_EIGEN_SYM_H_

@@ -1,0 +1,138 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gprq::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t dim) {
+  Matrix m(dim, dim);
+  for (size_t i = 0; i < dim; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& entries) {
+  Matrix m(entries.dim(), entries.dim());
+  for (size_t i = 0; i < entries.dim(); ++i) m(i, i) = entries[i];
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Vector Matrix::Row(size_t i) const {
+  Vector v(cols_);
+  for (size_t j = 0; j < cols_; ++j) v[j] = (*this)(i, j);
+  return v;
+}
+
+Vector Matrix::Col(size_t j) const {
+  Vector v(rows_);
+  for (size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = i + 1; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix m, double scalar) {
+  m *= scalar;
+  return m;
+}
+
+Matrix operator*(double scalar, Matrix m) {
+  m *= scalar;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& v) {
+  assert(a.cols() == v.dim());
+  Vector out(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+double QuadraticForm(const Matrix& a, const Vector& v) {
+  assert(a.rows() == a.cols() && a.rows() == v.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) row += a(i, j) * v[j];
+    sum += v[i] * row;
+  }
+  return sum;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j)
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+  return worst;
+}
+
+}  // namespace gprq::la

@@ -1,0 +1,89 @@
+#ifndef GPRQ_LA_MATRIX_H_
+#define GPRQ_LA_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/status.h"
+#include "la/vector.h"
+
+namespace gprq::la {
+
+/// A dense row-major real matrix with runtime shape. Covariance matrices in
+/// this library are square symmetric positive-definite, but the type itself
+/// is a general dense matrix so it can also hold eigenvector bases and
+/// transforms.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A zero matrix of the given shape.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  /// Builds a matrix from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// The d × d identity.
+  static Matrix Identity(size_t dim);
+
+  /// diag(entries).
+  static Matrix Diagonal(const Vector& entries);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// The transpose Aᵀ.
+  Matrix Transposed() const;
+
+  /// Row i as a vector.
+  Vector Row(size_t i) const;
+
+  /// Column j as a vector.
+  Vector Col(size_t j) const;
+
+  /// True if the matrix is square and symmetric to within `tol` (absolute).
+  bool IsSymmetric(double tol = 1e-12) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double scalar);
+Matrix operator*(double scalar, Matrix m);
+
+/// Matrix product A·B. Inner dimensions must match.
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product A·v.
+Vector operator*(const Matrix& a, const Vector& v);
+
+/// vᵀ·A·v for a square A.
+double QuadraticForm(const Matrix& a, const Vector& v);
+
+/// Maximum absolute entry-wise difference between two same-shape matrices.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace gprq::la
+
+#endif  // GPRQ_LA_MATRIX_H_

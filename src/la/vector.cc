@@ -1,0 +1,70 @@
+#include "la/vector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::la {
+
+Vector& Vector::operator+=(const Vector& other) {
+  assert(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  assert(dim() == other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Vector operator*(Vector v, double scalar) {
+  v *= scalar;
+  return v;
+}
+
+Vector operator*(double scalar, Vector v) {
+  v *= scalar;
+  return v;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vector& v) { return std::sqrt(SquaredNorm(v)); }
+
+double SquaredNorm(const Vector& v) { return Dot(v, v); }
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  assert(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace gprq::la

@@ -1,0 +1,70 @@
+#ifndef GPRQ_LA_VECTOR_H_
+#define GPRQ_LA_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace gprq::la {
+
+/// A dense real vector with runtime dimension. The library works with
+/// arbitrary dimensionality d >= 1 (the paper evaluates d=2 and d=9), so the
+/// dimension is a runtime property rather than a template parameter.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// A zero vector of the given dimension.
+  explicit Vector(size_t dim) : data_(dim, 0.0) {}
+
+  /// A vector with all entries set to `fill`.
+  Vector(size_t dim, double fill) : data_(dim, fill) {}
+
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t dim() const { return data_.size(); }
+
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  const std::vector<double>& values() const { return data_; }
+
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double scalar);
+Vector operator*(double scalar, Vector v);
+
+/// Inner product <a, b>. Dimensions must match.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm ‖v‖.
+double Norm(const Vector& v);
+
+/// Squared Euclidean norm ‖v‖².
+double SquaredNorm(const Vector& v);
+
+/// Squared Euclidean distance ‖a − b‖².
+double SquaredDistance(const Vector& a, const Vector& b);
+
+/// Euclidean distance ‖a − b‖.
+double Distance(const Vector& a, const Vector& b);
+
+}  // namespace gprq::la
+
+#endif  // GPRQ_LA_VECTOR_H_

@@ -1,0 +1,69 @@
+#include "mc/adaptive_monte_carlo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gprq::mc {
+
+double AdaptiveMonteCarloEvaluator::QualificationProbability(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta) {
+  assert(object.dim() == query.dim());
+  const double delta_sq = delta * delta;
+  const uint64_t n = options_.max_samples;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    query.Sample(random_, scratch_);
+    if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
+  }
+  total_samples_ += n;
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+bool AdaptiveMonteCarloEvaluator::QualificationDecision(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta, double theta) {
+  assert(object.dim() == query.dim());
+  assert(theta > 0.0 && theta < 1.0);
+  const double delta_sq = delta * delta;
+  const double z = options_.confidence_z;
+
+  uint64_t n = 0;
+  uint64_t hits = 0;
+  while (n < options_.max_samples) {
+    const uint64_t target = (n == 0)
+                                ? options_.min_samples
+                                : std::min(n + options_.batch_samples,
+                                           options_.max_samples);
+    for (; n < target; ++n) {
+      query.Sample(random_, scratch_);
+      if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
+    }
+    // Wilson-score interval: robust when the running estimate sits at 0 or
+    // 1 (common — most candidates are far from the θ boundary).
+    const double nf = static_cast<double>(n);
+    const double p_hat = static_cast<double>(hits) / nf;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nf;
+    const double center = (p_hat + z2 / (2.0 * nf)) / denom;
+    const double half =
+        z / denom *
+        std::sqrt(p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf));
+    if (center - half > theta) {
+      total_samples_ += n;
+      return true;
+    }
+    if (center + half < theta) {
+      total_samples_ += n;
+      return false;
+    }
+  }
+  // Budget exhausted with θ inside the interval: fall back to the point
+  // estimate, as a fixed-budget sampler would.
+  total_samples_ += n;
+  ++undecided_fallbacks_;
+  return static_cast<double>(hits) >= theta * static_cast<double>(n);
+}
+
+}  // namespace gprq::mc

@@ -1,0 +1,43 @@
+#include "mc/exact_evaluator.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "stats/noncentral_chi_squared.h"
+
+namespace gprq::mc {
+
+double ImhofEvaluator::QualificationProbability(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta) {
+  assert(object.dim() == query.dim());
+  assert(delta >= 0.0);
+  if (delta == 0.0) return 0.0;
+
+  const size_t d = query.dim();
+  const la::Vector& scales = query.axis_scales();
+  const la::Vector c = query.ToEigenFrame(object);
+
+  // Isotropic covariance: Σ s²(z − c/s)² <= δ² reduces to a noncentral
+  // chi-squared probability P(χ'²_d(‖c‖²/s²) <= δ²/s²).
+  const double s_min = scales[0];
+  const double s_max = scales[d - 1];
+  if (s_max - s_min <= 1e-12 * s_max) {
+    const double s = s_max;
+    return stats::NoncentralChiSquaredCdf(d, la::SquaredNorm(c) / (s * s),
+                                          (delta * delta) / (s * s));
+  }
+
+  std::vector<stats::QuadraticFormTerm> terms(d);
+  for (size_t i = 0; i < d; ++i) {
+    terms[i].weight = scales[i] * scales[i];
+    terms[i].offset = c[i] / scales[i];  // sign is irrelevant under z ↦ −z
+  }
+  auto result = stats::ImhofCdf(terms, delta * delta, options_);
+  // Inputs were validated above; Imhof cannot fail for positive weights
+  // short of an exhausted panel budget, which we surface loudly.
+  return result.value();
+}
+
+}  // namespace gprq::mc

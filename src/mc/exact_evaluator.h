@@ -1,0 +1,36 @@
+#ifndef GPRQ_MC_EXACT_EVALUATOR_H_
+#define GPRQ_MC_EXACT_EVALUATOR_H_
+
+#include "mc/probability_evaluator.h"
+#include "stats/imhof.h"
+
+namespace gprq::mc {
+
+/// Exact qualification probabilities without sampling. With the spectral
+/// decomposition Σ = E·diag(s²)·Eᵀ and c = Eᵀ(o − q),
+///
+///   Pr(‖x−o‖² <= δ²) = Pr( Σ_i s_i² (z_i − c_i/s_i)² <= δ² ),
+///
+/// a noncentral quadratic form in iid standard normals, evaluated by
+/// Imhof's characteristic-function inversion (isotropic Σ falls back to the
+/// noncentral chi-squared series, which is cheaper). This evaluator is not
+/// in the paper — it serves as ground truth in tests and as a fast Phase-3
+/// alternative ablated in bench/evaluator_compare.
+class ImhofEvaluator final : public ProbabilityEvaluator {
+ public:
+  explicit ImhofEvaluator(stats::ImhofOptions options = {})
+      : options_(options) {}
+
+  double QualificationProbability(const core::GaussianDistribution& query,
+                                  const la::Vector& object,
+                                  double delta) override;
+
+  const char* name() const override { return "imhof"; }
+
+ private:
+  stats::ImhofOptions options_;
+};
+
+}  // namespace gprq::mc
+
+#endif  // GPRQ_MC_EXACT_EVALUATOR_H_

@@ -1,0 +1,34 @@
+#include "mc/monte_carlo.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::mc {
+
+MonteCarloEvaluator::Estimate MonteCarloEvaluator::EstimateWithError(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta) {
+  assert(object.dim() == query.dim());
+  assert(delta >= 0.0);
+  const double delta_sq = delta * delta;
+  const uint64_t n = options_.samples;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    query.Sample(random_, scratch_);
+    if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
+  }
+  Estimate est;
+  est.samples = n;
+  est.probability = static_cast<double>(hits) / static_cast<double>(n);
+  est.std_error = std::sqrt(est.probability * (1.0 - est.probability) /
+                            static_cast<double>(n));
+  return est;
+}
+
+double MonteCarloEvaluator::QualificationProbability(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta) {
+  return EstimateWithError(query, object, delta).probability;
+}
+
+}  // namespace gprq::mc

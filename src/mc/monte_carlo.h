@@ -1,0 +1,54 @@
+#ifndef GPRQ_MC_MONTE_CARLO_H_
+#define GPRQ_MC_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "mc/probability_evaluator.h"
+#include "rng/random.h"
+
+namespace gprq::mc {
+
+/// The paper's numerical integrator (Section V-A): draw random points from
+/// the query Gaussian itself and count the fraction landing inside the
+/// δ-ball around the target object. The paper calls this importance
+/// sampling; sampling from the integrand's own density makes the estimator
+/// converge much faster than uniform hit-or-miss Monte Carlo, especially in
+/// medium dimensions. The paper used 100,000 samples per object.
+struct MonteCarloOptions {
+  uint64_t samples = 100000;
+  uint64_t seed = 42;
+};
+
+class MonteCarloEvaluator final : public ProbabilityEvaluator {
+ public:
+  using Options = MonteCarloOptions;
+
+  explicit MonteCarloEvaluator(Options options = Options())
+      : options_(options), random_(options.seed) {}
+
+  double QualificationProbability(const core::GaussianDistribution& query,
+                                  const la::Vector& object,
+                                  double delta) override;
+
+  /// Estimate plus its standard error sqrt(p(1−p)/n).
+  struct Estimate {
+    double probability = 0.0;
+    double std_error = 0.0;
+    uint64_t samples = 0;
+  };
+  Estimate EstimateWithError(const core::GaussianDistribution& query,
+                             const la::Vector& object, double delta);
+
+  const char* name() const override { return "monte-carlo"; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  rng::Random random_;
+  la::Vector scratch_;
+};
+
+}  // namespace gprq::mc
+
+#endif  // GPRQ_MC_MONTE_CARLO_H_

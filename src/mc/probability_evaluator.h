@@ -1,0 +1,43 @@
+#ifndef GPRQ_MC_PROBABILITY_EVALUATOR_H_
+#define GPRQ_MC_PROBABILITY_EVALUATOR_H_
+
+#include "core/gaussian.h"
+#include "la/vector.h"
+
+namespace gprq::mc {
+
+/// Phase-3 backend: computes (or estimates) the qualification probability
+///
+///   Pr( ‖x − o‖² <= δ² ),   x ~ N(q, Σ)
+///
+/// of paper Eq. (2)/(3) — the Gaussian measure of the Euclidean δ-ball
+/// centered at target object o. Implementations: the paper's Monte-Carlo
+/// importance sampling (MonteCarloEvaluator) and an exact
+/// characteristic-function inversion (ImhofEvaluator).
+class ProbabilityEvaluator {
+ public:
+  virtual ~ProbabilityEvaluator() = default;
+
+  /// The qualification probability of object `object` for radius `delta`.
+  virtual double QualificationProbability(
+      const core::GaussianDistribution& query,
+      const la::Vector& object, double delta) = 0;
+
+  /// The Phase-3 decision the engine actually needs: is the qualification
+  /// probability at least `theta`? The default compares a full
+  /// QualificationProbability() estimate against θ; implementations that
+  /// can decide cheaper (e.g. sequential sampling with early stopping) may
+  /// override.
+  virtual bool QualificationDecision(const core::GaussianDistribution& query,
+                                     const la::Vector& object, double delta,
+                                     double theta) {
+    return QualificationProbability(query, object, delta) >= theta;
+  }
+
+  /// Implementation name for reports ("monte-carlo", "imhof", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace gprq::mc
+
+#endif  // GPRQ_MC_PROBABILITY_EVALUATOR_H_

@@ -1,0 +1,35 @@
+#include "mc/qmc_evaluator.h"
+
+#include <cassert>
+
+#include "rng/halton.h"
+#include "stats/special.h"
+
+namespace gprq::mc {
+
+double QuasiMonteCarloEvaluator::QualificationProbability(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta) {
+  assert(object.dim() == query.dim());
+  assert(query.dim() <= rng::HaltonSequence::kMaxDim);
+  assert(delta >= 0.0);
+  const double delta_sq = delta * delta;
+  const size_t d = query.dim();
+
+  rng::HaltonSequence halton(d, options_.seed);
+  la::Vector u(d), z(d), x(d);
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < options_.samples; ++i) {
+    halton.Next(u);
+    for (size_t j = 0; j < d; ++j) {
+      // Guard the open-interval requirement of the quantile.
+      const double clipped = std::min(std::max(u[j], 1e-15), 1.0 - 1e-15);
+      z[j] = stats::StandardNormalQuantile(clipped);
+    }
+    query.TransformStandard(z, x);
+    if (la::SquaredDistance(x, object) <= delta_sq) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(options_.samples);
+}
+
+}  // namespace gprq::mc

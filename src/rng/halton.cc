@@ -1,0 +1,50 @@
+#include "rng/halton.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::rng {
+
+namespace {
+
+constexpr uint32_t kPrimes[HaltonSequence::kMaxDim] = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53};
+
+}  // namespace
+
+HaltonSequence::HaltonSequence(size_t dim, uint64_t seed)
+    : index_(1), shift_(dim) {
+  assert(dim >= 1 && dim <= kMaxDim);
+  Random random(seed);
+  for (size_t j = 0; j < dim; ++j) {
+    shift_[j] = random.NextDouble();
+  }
+  // Skip ahead a little: the first Halton points are strongly correlated
+  // across bases.
+  index_ = 20 + (seed % 101);
+}
+
+double HaltonSequence::RadicalInverse(uint64_t index, uint32_t base) {
+  double result = 0.0;
+  double inv_base = 1.0 / static_cast<double>(base);
+  double factor = inv_base;
+  while (index > 0) {
+    result += static_cast<double>(index % base) * factor;
+    index /= base;
+    factor *= inv_base;
+  }
+  return result;
+}
+
+void HaltonSequence::Next(la::Vector& out) {
+  const size_t d = dim();
+  if (out.dim() != d) out = la::Vector(d);
+  for (size_t j = 0; j < d; ++j) {
+    double u = RadicalInverse(index_, kPrimes[j]) + shift_[j];
+    if (u >= 1.0) u -= 1.0;
+    out[j] = u;
+  }
+  ++index_;
+}
+
+}  // namespace gprq::rng

@@ -1,0 +1,44 @@
+#ifndef GPRQ_RNG_HALTON_H_
+#define GPRQ_RNG_HALTON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/vector.h"
+#include "rng/random.h"
+
+namespace gprq::rng {
+
+/// A randomized Halton low-discrepancy sequence in [0,1)^d. Successive
+/// points fill the unit cube far more evenly than iid uniforms, which is
+/// what gives quasi-Monte-Carlo integration its ~O(1/n) convergence (vs
+/// O(1/√n) for plain MC). The random shift (Cranley-Patterson rotation)
+/// makes the estimator unbiased and gives every seed an independent
+/// randomization.
+///
+/// Supports up to 16 dimensions (the first 16 primes as bases) — ample for
+/// this library's d <= 15 experiments.
+class HaltonSequence {
+ public:
+  /// Fails via assert if dim exceeds the supported base table.
+  HaltonSequence(size_t dim, uint64_t seed);
+
+  size_t dim() const { return static_cast<size_t>(shift_.dim()); }
+
+  /// Writes the next point of the sequence into `out` (resized if needed).
+  void Next(la::Vector& out);
+
+  /// Maximum supported dimension.
+  static constexpr size_t kMaxDim = 16;
+
+ private:
+  /// Radical inverse of `index` in base `base`.
+  static double RadicalInverse(uint64_t index, uint32_t base);
+
+  uint64_t index_;
+  la::Vector shift_;  // Cranley-Patterson rotation per dimension
+};
+
+}  // namespace gprq::rng
+
+#endif  // GPRQ_RNG_HALTON_H_

@@ -1,0 +1,34 @@
+#include "rng/mvn_sampler.h"
+
+#include <cassert>
+
+namespace gprq::rng {
+
+Result<MvnSampler> MvnSampler::Create(la::Vector mean, const la::Matrix& cov) {
+  if (cov.rows() != mean.dim() || cov.cols() != mean.dim()) {
+    return Status::InvalidArgument("covariance shape must match mean");
+  }
+  auto chol = la::Cholesky::Factor(cov);
+  if (!chol.ok()) return chol.status();
+  return MvnSampler(std::move(mean), chol->lower());
+}
+
+void MvnSampler::Sample(Random& random, la::Vector& out) const {
+  const size_t d = dim();
+  if (out.dim() != d) out = la::Vector(d);
+  // x = mean + L z, computed without a temporary z: L is lower-triangular so
+  // column j of L only feeds entries i >= j.
+  for (size_t i = 0; i < d; ++i) out[i] = mean_[i];
+  for (size_t j = 0; j < d; ++j) {
+    const double z = random.NextGaussian();
+    for (size_t i = j; i < d; ++i) out[i] += lower_(i, j) * z;
+  }
+}
+
+la::Vector MvnSampler::Sample(Random& random) const {
+  la::Vector out(dim());
+  Sample(random, out);
+  return out;
+}
+
+}  // namespace gprq::rng

@@ -1,0 +1,42 @@
+#ifndef GPRQ_RNG_MVN_SAMPLER_H_
+#define GPRQ_RNG_MVN_SAMPLER_H_
+
+#include "common/status.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "rng/random.h"
+
+namespace gprq::rng {
+
+/// Draws samples from a multivariate Gaussian N(mean, cov) via the Cholesky
+/// factor: x = mean + L·z with z iid standard normal. This is the sampling
+/// backend of the paper's importance-sampling Monte-Carlo integrator
+/// (Section V-A): samples are drawn from the query density itself and the
+/// fraction landing in the target sphere estimates the qualification
+/// probability.
+class MvnSampler {
+ public:
+  /// Builds a sampler; fails if `cov` is not symmetric positive-definite.
+  static Result<MvnSampler> Create(la::Vector mean, const la::Matrix& cov);
+
+  size_t dim() const { return mean_.dim(); }
+  const la::Vector& mean() const { return mean_; }
+
+  /// Draws one sample into `out` (resized if needed) using `random`.
+  void Sample(Random& random, la::Vector& out) const;
+
+  /// Convenience: draws one sample by value.
+  la::Vector Sample(Random& random) const;
+
+ private:
+  MvnSampler(la::Vector mean, la::Matrix lower)
+      : mean_(std::move(mean)), lower_(std::move(lower)) {}
+
+  la::Vector mean_;
+  la::Matrix lower_;  // Cholesky factor of the covariance
+};
+
+}  // namespace gprq::rng
+
+#endif  // GPRQ_RNG_MVN_SAMPLER_H_

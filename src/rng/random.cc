@@ -1,0 +1,78 @@
+#include "rng/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gprq::rng {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Random::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Random::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = 2.0 * NextDouble() - 1.0;
+    const double v = 2.0 * NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s >= 1.0 || s == 0.0) continue;
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+}
+
+double Random::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+}  // namespace gprq::rng

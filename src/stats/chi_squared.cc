@@ -1,0 +1,32 @@
+#include "stats/chi_squared.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace gprq::stats {
+
+double ChiSquaredCdf(size_t dof, double x) {
+  assert(dof >= 1);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+double ChiSquaredQuantile(size_t dof, double p) {
+  assert(dof >= 1);
+  assert(p >= 0.0 && p < 1.0);
+  return 2.0 * InverseRegularizedGammaP(static_cast<double>(dof) / 2.0, p);
+}
+
+double GaussianBallMass(size_t dim, double r) {
+  if (r <= 0.0) return 0.0;
+  return ChiSquaredCdf(dim, r * r);
+}
+
+double ThetaRegionRadius(size_t dim, double theta) {
+  assert(theta > 0.0 && theta < 0.5);
+  return std::sqrt(ChiSquaredQuantile(dim, 1.0 - 2.0 * theta));
+}
+
+}  // namespace gprq::stats

@@ -1,0 +1,29 @@
+#ifndef GPRQ_STATS_CHI_SQUARED_H_
+#define GPRQ_STATS_CHI_SQUARED_H_
+
+#include <cstddef>
+
+namespace gprq::stats {
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom:
+/// P(χ²_dof <= x). For a d-dimensional standard Gaussian, the probability
+/// mass inside the origin-centered ball of radius r is ChiSquaredCdf(d, r²)
+/// — the identity behind the paper's Fig. 17 and the θ-region radius r_θ
+/// (Property 1 + Eq. 7).
+double ChiSquaredCdf(size_t dof, double x);
+
+/// Inverse CDF: returns x with ChiSquaredCdf(dof, x) = p, p in [0, 1).
+double ChiSquaredQuantile(size_t dof, double p);
+
+/// Probability that a d-dimensional standard Gaussian point lies within
+/// distance `r` of the origin (the Fig. 17 "probability of existence" curve).
+double GaussianBallMass(size_t dim, double r);
+
+/// The θ-region Mahalanobis radius r_θ of Definition 3/5: the radius for
+/// which the origin-centered ball holds mass 1−2θ under the normalized
+/// Gaussian. Requires 0 < theta < 0.5.
+double ThetaRegionRadius(size_t dim, double theta);
+
+}  // namespace gprq::stats
+
+#endif  // GPRQ_STATS_CHI_SQUARED_H_

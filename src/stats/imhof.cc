@@ -1,0 +1,182 @@
+#include "stats/imhof.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gprq::stats {
+
+namespace {
+
+/// Integrand state for one CDF evaluation.
+class ImhofIntegrand {
+ public:
+  ImhofIntegrand(const std::vector<QuadraticFormTerm>& terms, double t)
+      : terms_(terms), t_(t) {}
+
+  /// sin θ(u) / (u ρ(u)); the u→0 limit is θ'(0) = ½(Σ λ(1+b²) − t).
+  double operator()(double u) const {
+    if (u <= 0.0) return ThetaPrime(0.0);
+    double theta, log_rho;
+    Decompose(u, &theta, &log_rho);
+    const double log_amp = -std::log(u) - log_rho;
+    if (log_amp < -745.0) return 0.0;
+    return std::sin(theta) * std::exp(log_amp);
+  }
+
+  /// Envelope g(u) = 1/(u ρ(u)) bounding |integrand|.
+  double Envelope(double u) const {
+    double theta, log_rho;
+    Decompose(u, &theta, &log_rho);
+    const double log_amp = -std::log(u) - log_rho;
+    return (log_amp < -745.0) ? 0.0 : std::exp(log_amp);
+  }
+
+  /// θ(u) — the oscillation phase.
+  double Theta(double u) const {
+    double theta, log_rho;
+    Decompose(u, &theta, &log_rho);
+    return theta;
+  }
+
+  /// θ'(u); tends to −t/2 as u → ∞.
+  double ThetaPrime(double u) const {
+    double slope = -0.5 * t_;
+    for (const auto& term : terms_) {
+      const double l = term.weight;
+      const double lu2 = (l * u) * (l * u);
+      const double denom = 1.0 + lu2;
+      slope += 0.5 * (l / denom +
+                      term.offset * term.offset * l * (1.0 - lu2) /
+                          (denom * denom));
+    }
+    return slope;
+  }
+
+  /// Initial oscillation rate near u = 0 (sets the panel width).
+  double PhaseRate() const {
+    double rate = std::abs(t_) * 0.5;
+    for (const auto& term : terms_) {
+      rate += 0.5 * term.weight * (1.0 + term.offset * term.offset);
+    }
+    return rate;
+  }
+
+  double t() const { return t_; }
+
+ private:
+  void Decompose(double u, double* theta, double* log_rho) const {
+    double th = -0.5 * t_ * u;
+    double lr = 0.0;
+    for (const auto& term : terms_) {
+      const double lu = term.weight * u;
+      const double lu2 = lu * lu;
+      th += 0.5 * (std::atan(lu) +
+                   term.offset * term.offset * lu / (1.0 + lu2));
+      lr += 0.25 * std::log1p(lu2) +
+            0.5 * (term.offset * lu) * (term.offset * lu) / (1.0 + lu2);
+    }
+    *theta = th;
+    *log_rho = lr;
+  }
+
+  const std::vector<QuadraticFormTerm>& terms_;
+  double t_;
+};
+
+/// Adaptive Simpson on [a, b] with absolute tolerance.
+double AdaptiveSimpson(const ImhofIntegrand& f, double a, double b, double fa,
+                       double fm, double fb, double whole, double tol,
+                       int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpson(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         AdaptiveSimpson(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+double IntegratePanel(const ImhofIntegrand& f, double a, double b, double tol,
+                      int depth) {
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return AdaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, depth);
+}
+
+}  // namespace
+
+Result<double> ImhofCdf(const std::vector<QuadraticFormTerm>& terms, double t,
+                        const ImhofOptions& options) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("Imhof: at least one term required");
+  }
+  for (const auto& term : terms) {
+    if (!(term.weight > 0.0) || !std::isfinite(term.weight) ||
+        !std::isfinite(term.offset)) {
+      return Status::InvalidArgument(
+          "Imhof: weights must be positive and finite");
+    }
+  }
+  if (t <= 0.0) return 0.0;  // Q = Σ λ(z+b)² >= 0 almost surely
+
+  const ImhofIntegrand f(terms, t);
+
+  // Panel width: a fixed fraction of the fastest oscillation period so each
+  // panel sees less than half a period of sin θ(u).
+  const double panel = M_PI / (2.0 * std::max(f.PhaseRate(), 1e-8));
+
+  // Truncation: beyond U, one integration by parts gives
+  //   ∫_U^∞ sin θ(u)·g(u) du = cos θ(U)·g(U)/θ'(U) + R,
+  //   |R| <~ g(U)/θ'(U)² · (1/U + |θ''|/|θ'|) = O(g/(U·θ'²)),
+  // so we stop once that residual bound is small, then add the boundary
+  // term. This reaches low truncation error orders of magnitude sooner
+  // than waiting for g(U) itself to vanish (important for d = 2, where g
+  // decays only as u^{-2}).
+  const double trunc_tol = options.tolerance * 0.1;
+
+  double integral = 0.0;
+  double u = 0.0;
+  int panels = 0;
+  bool truncated_ok = false;
+  while (panels < options.max_panels) {
+    const double next = u + panel;
+    integral += IntegratePanel(f, u, next, options.tolerance / 64.0,
+                               options.max_refinement_depth);
+    u = next;
+    ++panels;
+
+    const double slope = f.ThetaPrime(u);
+    if (slope < -0.25 * t) {  // past any stationary-phase region
+      const double g = f.Envelope(u);
+      if (g == 0.0) {
+        truncated_ok = true;  // integrand already underflowed to zero
+        break;
+      }
+      const double residual_bound =
+          4.0 * g / (slope * slope) * (1.0 / u);
+      if (residual_bound < trunc_tol) {
+        integral += std::cos(f.Theta(u)) * g / slope;
+        truncated_ok = true;
+        break;
+      }
+    }
+  }
+  if (!truncated_ok) {
+    return Status::NumericalError("Imhof: panel budget exhausted");
+  }
+
+  const double upper_tail = 0.5 + integral / M_PI;  // P(Q > t)
+  return std::clamp(1.0 - upper_tail, 0.0, 1.0);
+}
+
+}  // namespace gprq::stats

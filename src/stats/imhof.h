@@ -1,0 +1,44 @@
+#ifndef GPRQ_STATS_IMHOF_H_
+#define GPRQ_STATS_IMHOF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq::stats {
+
+/// One component of a noncentral quadratic form in independent standard
+/// normals: weight · (z + offset)², z ~ N(0,1).
+struct QuadraticFormTerm {
+  double weight = 1.0;   // λ_r > 0
+  double offset = 0.0;   // noncentrality b_r (the mean of the shifted normal)
+};
+
+/// Options controlling the numerical inversion.
+struct ImhofOptions {
+  double tolerance = 1e-8;        // target absolute error of the CDF
+  int max_panels = 200000;        // hard cap on oscillation panels
+  int max_refinement_depth = 30;  // adaptive Simpson recursion limit
+};
+
+/// Computes P( Σ_r weight_r · (z_r + offset_r)² <= t ) for independent
+/// standard normals z_r, by Imhof's (1961) numerical inversion of the
+/// characteristic function:
+///
+///   P(Q > t) = 1/2 + (1/π) ∫₀^∞ sin θ(u) / (u·ρ(u)) du,
+///   θ(u) = ½ Σ_r [arctan(λ_r u) + b_r² λ_r u / (1 + λ_r² u²)] − ½ t u,
+///   ρ(u) = Π_r (1 + λ_r² u²)^{1/4} · exp(½ Σ_r (b_r λ_r u)² / (1 + λ_r² u²)).
+///
+/// This gives the exact qualification probability of the paper's query
+/// (Section III, Eq. 3) without Monte-Carlo sampling: with Σ = E·diag(s²)·Eᵀ
+/// and c = Eᵀ(o − q), Pr(‖x−o‖² ≤ δ²) = P(Σ s_i²(z_i − c_i/s_i)² ≤ δ²).
+///
+/// Requires all weights > 0 and at least one term. Fails with
+/// InvalidArgument on bad input; never fails to converge for positive
+/// weights because the integrand decays polynomially-exponentially.
+Result<double> ImhofCdf(const std::vector<QuadraticFormTerm>& terms, double t,
+                        const ImhofOptions& options = {});
+
+}  // namespace gprq::stats
+
+#endif  // GPRQ_STATS_IMHOF_H_

@@ -1,0 +1,123 @@
+#include "stats/noncentral_chi_squared.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/chi_squared.h"
+#include "stats/special.h"
+
+namespace gprq::stats {
+
+namespace {
+
+constexpr double kSeriesEpsilon = 1e-14;
+constexpr int kMaxTerms = 100000;
+
+/// log of the Poisson(λ/2) weight at j.
+double LogPoissonWeight(double half_lambda, int j) {
+  if (half_lambda == 0.0) return (j == 0) ? 0.0 : -INFINITY;
+  return -half_lambda + j * std::log(half_lambda) - std::lgamma(j + 1.0);
+}
+
+/// log of g_j = y^{a+j} e^{-y} / Γ(a+j+1), the decrement between successive
+/// central chi-squared CDF terms: P(a+j+1, y) = P(a+j, y) − g_j.
+double LogGammaStep(double a, double y, int j) {
+  return (a + j) * std::log(y) - y - std::lgamma(a + j + 1.0);
+}
+
+}  // namespace
+
+double NoncentralChiSquaredCdf(size_t dof, double lambda, double x) {
+  assert(dof >= 1);
+  assert(lambda >= 0.0);
+  if (x <= 0.0) return 0.0;
+  if (lambda == 0.0) return ChiSquaredCdf(dof, x);
+
+  const double a = static_cast<double>(dof) / 2.0;
+  const double y = x / 2.0;
+  const double half_lambda = lambda / 2.0;
+
+  // Center the two-sided series at the mode of the Poisson weights so the
+  // largest weights are visited first and w_0 = e^{-λ/2} cannot underflow
+  // the whole sum for large λ.
+  const int j0 = static_cast<int>(std::floor(half_lambda));
+
+  const double w0 = std::exp(LogPoissonWeight(half_lambda, j0));
+  const double p0 = RegularizedGammaP(a + j0, y);
+  const double g0 = std::exp(LogGammaStep(a, y, j0));
+
+  double sum = w0 * p0;
+  double weight_used = w0;
+
+  // Upward pass: j = j0+1, j0+2, ...
+  {
+    double w = w0;
+    double p = p0;
+    double g = g0;
+    for (int j = j0; j < j0 + kMaxTerms; ++j) {
+      w *= half_lambda / (j + 1.0);
+      p -= g;                       // P(a+j+1, y) = P(a+j, y) − g_j
+      p = std::max(p, 0.0);         // clamp accumulated rounding
+      g *= y / (a + j + 1.0);       // g_{j+1} = g_j · y / (a+j+1)
+      sum += w * p;
+      weight_used += w;
+      // Remaining tail contributes at most (1 − weight_used) · p (terms
+      // decrease in p as j grows).
+      if ((1.0 - weight_used) * p < kSeriesEpsilon || w < 1e-300) break;
+    }
+  }
+
+  // Downward pass: j = j0−1, ..., 0.
+  {
+    double w = w0;
+    double p = p0;
+    double g = g0;
+    for (int j = j0; j > 0; --j) {
+      w *= j / half_lambda;
+      g *= (a + j) / y;             // g_{j-1} = g_j · (a+j) / y
+      p += g;                       // P(a+j−1, y) = P(a+j, y) + g_{j−1}
+      p = std::min(p, 1.0);
+      sum += w * p;
+      weight_used += w;
+      if ((1.0 - weight_used) < kSeriesEpsilon || w < 1e-300) break;
+    }
+  }
+
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+double OffsetGaussianBallMass(size_t dim, double alpha, double delta) {
+  assert(alpha >= 0.0);
+  if (delta <= 0.0) return 0.0;
+  return NoncentralChiSquaredCdf(dim, alpha * alpha, delta * delta);
+}
+
+double SolveBallCenterOffset(size_t dim, double delta, double theta) {
+  assert(theta > 0.0 && theta < 1.0);
+  if (delta <= 0.0) return -1.0;
+  const double centered_mass = GaussianBallMass(dim, delta);
+  if (theta > centered_mass) return -1.0;  // unreachable even at the center
+  if (theta == centered_mass) return 0.0;
+
+  // Bracket: mass(α) is strictly decreasing in α, mass(0) > θ.
+  double lo = 0.0;
+  double hi = delta + 2.0;
+  while (OffsetGaussianBallMass(dim, hi, delta) > theta) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e6) break;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (OffsetGaussianBallMass(dim, mid, delta) > theta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace gprq::stats

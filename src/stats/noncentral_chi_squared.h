@@ -1,0 +1,40 @@
+#ifndef GPRQ_STATS_NONCENTRAL_CHI_SQUARED_H_
+#define GPRQ_STATS_NONCENTRAL_CHI_SQUARED_H_
+
+#include <cstddef>
+
+namespace gprq::stats {
+
+/// CDF of the noncentral chi-squared distribution with `dof` degrees of
+/// freedom and noncentrality `lambda` >= 0:
+///
+///   P(χ'²_dof(λ) <= x) = Σ_j Pois(j; λ/2) · P(χ²_{dof+2j} <= x)
+///
+/// For a d-dimensional standard Gaussian and a ball of radius δ centered at
+/// distance α from the mean, the ball's probability mass is
+/// NoncentralChiSquaredCdf(d, α², δ²) — the identity behind the paper's
+/// U-catalog entries (δ, θ, α) for the BF strategy (Eq. 21 / Property 5).
+///
+/// Evaluated by a two-sided Poisson-mixture series centered at the mode of
+/// the Poisson weights, so it remains accurate for large λ.
+double NoncentralChiSquaredCdf(size_t dof, double lambda, double x);
+
+/// Probability mass of a ball of radius `delta`, centered at distance
+/// `alpha` from the mean, under the d-dimensional normalized Gaussian.
+double OffsetGaussianBallMass(size_t dim, double alpha, double delta);
+
+/// Solves for the center offset: returns the α >= 0 such that a ball of
+/// radius `delta` at distance α from the mean holds probability mass exactly
+/// `theta` under the normalized Gaussian; this is the paper's
+/// ucatalog_lookup(δ, θ). The mass is strictly decreasing in α, so the
+/// solution is found by bisection.
+///
+/// Returns a negative value if no solution exists because the centered ball
+/// already holds less mass than `theta` (i.e. θ > P(χ²_d <= δ²)); callers
+/// treat that as "no object can qualify" (outer bound) or "no free-accept
+/// ball" (inner bound).
+double SolveBallCenterOffset(size_t dim, double delta, double theta);
+
+}  // namespace gprq::stats
+
+#endif  // GPRQ_STATS_NONCENTRAL_CHI_SQUARED_H_

@@ -1,0 +1,99 @@
+#include "stats/ruben.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/chi_squared.h"
+
+namespace gprq::stats {
+
+Result<double> RubenCdf(const std::vector<QuadraticFormTerm>& terms, double t,
+                        const RubenOptions& options) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("Ruben: at least one term required");
+  }
+  for (const auto& term : terms) {
+    if (!(term.weight > 0.0) || !std::isfinite(term.weight) ||
+        !std::isfinite(term.offset)) {
+      return Status::InvalidArgument(
+          "Ruben: weights must be positive and finite");
+    }
+  }
+  if (t <= 0.0) return 0.0;
+
+  const size_t d = terms.size();
+  double beta = terms.front().weight;
+  for (const auto& term : terms) beta = std::min(beta, term.weight);
+
+  // γ_j = 1 − β/λ_j in [0, 1); precompute the noncentral helper terms.
+  std::vector<double> gamma(d), nc_over_lambda(d);
+  double sum_b_sq = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    gamma[j] = 1.0 - beta / terms[j].weight;
+    nc_over_lambda[j] = terms[j].offset * terms[j].offset / terms[j].weight;
+    sum_b_sq += terms[j].offset * terms[j].offset;
+  }
+
+  // c_0 = e^{−½Σb²} Π sqrt(β/λ_j); compute in log space.
+  double log_c0 = -0.5 * sum_b_sq;
+  for (size_t j = 0; j < d; ++j) {
+    log_c0 += 0.5 * std::log(beta / terms[j].weight);
+  }
+  const double c0 = std::exp(log_c0);
+  if (c0 <= 0.0) {
+    // Underflow: the series cannot start (extreme spread/offsets).
+    return Status::NumericalError("Ruben: leading coefficient underflowed");
+  }
+
+  // Chi-squared factors via the stable recurrence
+  // F_{d+2(k+1)}(x) = F_{d+2k}(x) − x^{d/2+k} e^{−x/2} / (2^{d/2+k} Γ(d/2+k+1)).
+  const double x = t / beta;
+  const double a = static_cast<double>(d) / 2.0;
+  double chi_cdf = ChiSquaredCdf(d, x);
+  // step_k = x^{a+k} e^{−x/2} / (2^{a+k} Γ(a+k+1)), starting at k = 0.
+  double log_step = a * std::log(x / 2.0) - x / 2.0 - std::lgamma(a + 1.0);
+  double step = std::exp(log_step);
+
+  // Running series with the Ruben recursion for c_k.
+  std::vector<double> g;     // g_r, r >= 1
+  std::vector<double> c = {c0};
+  std::vector<double> gamma_pow(d, 1.0);  // γ_j^{r−1} while computing g_r
+  double total = c0 * chi_cdf;
+  double weight_used = c0;
+
+  for (int k = 1; k < options.max_terms; ++k) {
+    // g_k = ½ Σ γ^k + (kβ/2) Σ (b²/λ) γ^{k−1}.
+    double g_k = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      g_k += 0.5 * gamma_pow[j] * gamma[j] +
+             (static_cast<double>(k) * beta / 2.0) * nc_over_lambda[j] *
+                 gamma_pow[j];
+      gamma_pow[j] *= gamma[j];
+    }
+    g.push_back(g_k);
+
+    double c_k = 0.0;
+    for (int r = 1; r <= k; ++r) {
+      c_k += g[r - 1] * c[k - r];
+    }
+    c_k /= static_cast<double>(k);
+    c.push_back(c_k);
+
+    // Advance the chi-squared factor to d + 2k degrees of freedom.
+    chi_cdf = std::max(0.0, chi_cdf - step);
+    step *= (x / 2.0) / (a + static_cast<double>(k));
+
+    total += c_k * chi_cdf;
+    weight_used += c_k;
+
+    // All weights are >= 0 for β = min λ and sum to 1; the unseen tail
+    // contributes at most (1 − weight_used) · max CDF <= 1 − weight_used.
+    if (1.0 - weight_used < options.tolerance) {
+      return std::clamp(total, 0.0, 1.0);
+    }
+  }
+  return Status::NumericalError(
+      "Ruben: series did not converge within max_terms");
+}
+
+}  // namespace gprq::stats

@@ -1,0 +1,41 @@
+#ifndef GPRQ_STATS_RUBEN_H_
+#define GPRQ_STATS_RUBEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/imhof.h"  // QuadraticFormTerm
+
+namespace gprq::stats {
+
+struct RubenOptions {
+  double tolerance = 1e-10;  // rigorous absolute truncation bound
+  int max_terms = 100000;
+};
+
+/// Ruben's (1962) series for the CDF of a positive noncentral quadratic
+/// form Q = Σ_j λ_j (z_j + b_j)² in iid standard normals:
+///
+///   P(Q <= t) = Σ_{k>=0} c_k · P(χ²_{d+2k} <= t/β),
+///
+/// with mixing weights computed by the Ruben/Kotz recursion
+///
+///   c_0 = exp(−½ Σ b_j²) · Π sqrt(β/λ_j),
+///   g_r = ½ Σ_j γ_j^r + (r β / 2) Σ_j (b_j²/λ_j) γ_j^{r−1},
+///   c_k = (1/k) Σ_{r=1}^{k} g_r · c_{k−r},          γ_j = 1 − β/λ_j.
+///
+/// With β = min_j λ_j all weights are non-negative and sum to 1, which
+/// yields a *rigorous* truncation bound: the tail after K terms is at most
+/// 1 − Σ_{k<=K} c_k. This gives a second exact evaluator, independent of
+/// Imhof's oscillatory integral, with deterministic error control — the
+/// two cross-validate each other in the tests. Convergence slows as the
+/// weight spread λ_max/λ_min grows (γ → 1); the evaluator falls back to
+/// Imhof beyond max_terms.
+///
+/// Requires all weights > 0 and at least one term.
+Result<double> RubenCdf(const std::vector<QuadraticFormTerm>& terms, double t,
+                        const RubenOptions& options = {});
+
+}  // namespace gprq::stats
+
+#endif  // GPRQ_STATS_RUBEN_H_

@@ -1,0 +1,158 @@
+#include "stats/special.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gprq::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Series representation of P(a, x); converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction representation of Q(a, x); converges fast for
+/// x >= a + 1. Modified Lentz's method.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double InverseRegularizedGammaP(double a, double p) {
+  assert(a > 0.0);
+  assert(p >= 0.0 && p < 1.0);
+  if (p == 0.0) return 0.0;
+
+  // Bracket the root: P(a, x) is increasing in x.
+  double lo = 0.0;
+  double hi = a + 1.0;
+  while (RegularizedGammaP(a, hi) < p) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e8) break;  // p extremely close to 1; bisection still works
+  }
+
+  // Newton with bisection fallback. The fallback midpoint is geometric when
+  // the bracket still touches 0, so tiny roots (p → 0 with a < 1 can put the
+  // root at 1e-16 and below) are approached in O(log) steps with full
+  // relative precision.
+  const auto midpoint = [&]() {
+    return (lo > 0.0) ? std::sqrt(lo * hi) : 0.5 * hi;
+  };
+  double x = midpoint();
+  for (int i = 0; i < 500; ++i) {
+    const double f = RegularizedGammaP(a, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Derivative of P(a, x) is the gamma density x^{a-1} e^{-x} / Γ(a).
+    const double logpdf = (a - 1.0) * std::log(x) - x - std::lgamma(a);
+    const double pdf = std::exp(logpdf);
+    double next;
+    if (pdf > 0.0 && std::isfinite(pdf)) {
+      next = x - f / pdf;
+    } else {
+      next = midpoint();
+    }
+    if (!(next > lo && next < hi)) next = midpoint();
+    if (std::abs(next - x) <= 1e-15 * next) {
+      return next;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double StandardNormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double StandardNormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+
+  double x;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step using the exact CDF.
+  const double e = StandardNormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace gprq::stats

@@ -1,0 +1,30 @@
+#ifndef GPRQ_STATS_SPECIAL_H_
+#define GPRQ_STATS_SPECIAL_H_
+
+#include "common/status.h"
+
+namespace gprq::stats {
+
+/// Regularized lower incomplete gamma function
+/// P(a, x) = γ(a, x) / Γ(a), for a > 0, x >= 0.
+/// Implemented with the series expansion for x < a+1 and the continued
+/// fraction for x >= a+1 (Numerical Recipes style), accurate to ~1e-14.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 − P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Inverts P(a, ·): returns x such that P(a, x) = p, for p in [0, 1).
+/// Uses a Newton iteration with bisection safeguarding.
+double InverseRegularizedGammaP(double a, double p);
+
+/// CDF of the standard normal distribution.
+double StandardNormalCdf(double x);
+
+/// Quantile (inverse CDF) of the standard normal, p in (0, 1).
+/// Acklam's rational approximation refined by one Halley step; ~1e-15.
+double StandardNormalQuantile(double p);
+
+}  // namespace gprq::stats
+
+#endif  // GPRQ_STATS_SPECIAL_H_

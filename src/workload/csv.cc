@@ -1,0 +1,68 @@
+#include "workload/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gprq::workload {
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (const auto& point : dataset.points) {
+    for (size_t j = 0; j < point.dim(); ++j) {
+      if (j > 0) out << ',';
+      out << point[j];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  Dataset dataset;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> values;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      errno = 0;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || errno == ERANGE) {
+        return Status::InvalidArgument(
+            "bad number at " + path + ":" + std::to_string(line_number) +
+            ": '" + cell + "'");
+      }
+      values.push_back(value);
+    }
+    if (values.empty()) continue;
+    if (dataset.dim == 0) {
+      dataset.dim = values.size();
+    } else if (values.size() != dataset.dim) {
+      return Status::InvalidArgument(
+          "inconsistent column count at " + path + ":" +
+          std::to_string(line_number));
+    }
+    dataset.points.emplace_back(std::move(values));
+  }
+  return dataset;
+}
+
+}  // namespace gprq::workload

@@ -1,0 +1,23 @@
+#ifndef GPRQ_WORKLOAD_CSV_H_
+#define GPRQ_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/generators.h"
+
+namespace gprq::workload {
+
+/// Writes a dataset as comma-separated rows (one point per line). Lets
+/// users export the synthetic datasets or import real TIGER/Corel extracts
+/// to rerun the experiments on the original data.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset from CSV. Every row must have the same number of
+/// columns (the dimension); blank lines and lines starting with '#' are
+/// skipped. Fails with IoError / InvalidArgument on malformed input.
+Result<Dataset> LoadCsv(const std::string& path);
+
+}  // namespace gprq::workload
+
+#endif  // GPRQ_WORKLOAD_CSV_H_

@@ -1,0 +1,100 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rng/random.h"
+
+namespace gprq::workload {
+
+Dataset GenerateUniform(size_t n, const geom::Rect& extent, uint64_t seed) {
+  const size_t d = extent.dim();
+  rng::Random random(seed);
+  Dataset dataset;
+  dataset.dim = d;
+  dataset.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    la::Vector p(d);
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = random.NextDouble(extent.lo()[j], extent.hi()[j]);
+    }
+    dataset.points.push_back(std::move(p));
+  }
+  return dataset;
+}
+
+Dataset GenerateClustered(size_t n, const geom::Rect& extent, size_t clusters,
+                          double cluster_stddev, uint64_t seed) {
+  assert(clusters >= 1);
+  const size_t d = extent.dim();
+  rng::Random random(seed);
+  std::vector<la::Vector> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    la::Vector center(d);
+    for (size_t j = 0; j < d; ++j) {
+      center[j] = random.NextDouble(extent.lo()[j], extent.hi()[j]);
+    }
+    centers.push_back(std::move(center));
+  }
+  Dataset dataset;
+  dataset.dim = d;
+  dataset.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const la::Vector& center = centers[random.NextUint64(clusters)];
+    la::Vector p(d);
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = std::clamp(center[j] + cluster_stddev * random.NextGaussian(),
+                        extent.lo()[j], extent.hi()[j]);
+    }
+    dataset.points.push_back(std::move(p));
+  }
+  return dataset;
+}
+
+la::Matrix PaperCovariance2D(double gamma) {
+  assert(gamma > 0.0);
+  const double two_sqrt3 = 2.0 * std::sqrt(3.0);
+  la::Matrix cov{{7.0, two_sqrt3}, {two_sqrt3, 3.0}};
+  cov *= gamma;
+  return cov;
+}
+
+la::Matrix RandomRotatedCovariance(const la::Vector& axis_stddevs,
+                                   uint64_t seed) {
+  const size_t d = axis_stddevs.dim();
+  assert(d >= 1);
+  rng::Random random(seed);
+
+  // Random orthogonal basis via Gram-Schmidt on Gaussian columns.
+  la::Matrix e(d, d);
+  for (size_t j = 0; j < d; ++j) {
+    la::Vector column(d);
+    for (size_t i = 0; i < d; ++i) column[i] = random.NextGaussian();
+    for (size_t prev = 0; prev < j; ++prev) {
+      double proj = 0.0;
+      for (size_t i = 0; i < d; ++i) proj += e(i, prev) * column[i];
+      for (size_t i = 0; i < d; ++i) column[i] -= proj * e(i, prev);
+    }
+    const double norm = la::Norm(column);
+    assert(norm > 1e-12);
+    for (size_t i = 0; i < d; ++i) e(i, j) = column[i] / norm;
+  }
+
+  // Σ = E diag(s²) Eᵀ.
+  la::Matrix cov(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        sum += e(i, k) * e(j, k) * axis_stddevs[k] * axis_stddevs[k];
+      }
+      cov(i, j) = sum;
+      cov(j, i) = sum;
+    }
+  }
+  return cov;
+}
+
+}  // namespace gprq::workload

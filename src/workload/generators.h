@@ -1,0 +1,43 @@
+#ifndef GPRQ_WORKLOAD_GENERATORS_H_
+#define GPRQ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace gprq::workload {
+
+/// A point dataset used by the experiments and examples.
+struct Dataset {
+  size_t dim = 0;
+  std::vector<la::Vector> points;
+
+  size_t size() const { return points.size(); }
+};
+
+/// n points uniform in `extent`.
+Dataset GenerateUniform(size_t n, const geom::Rect& extent, uint64_t seed);
+
+/// n points from a Gaussian mixture with `clusters` isotropic components
+/// whose centers are uniform in `extent` and whose standard deviation is
+/// `cluster_stddev`; points are clamped to the extent.
+Dataset GenerateClustered(size_t n, const geom::Rect& extent, size_t clusters,
+                          double cluster_stddev, uint64_t seed);
+
+/// The paper's default query covariance for the 2-D experiments
+/// (Section V-A, Eq. 34): Σ = γ·[[7, 2√3], [2√3, 3]] — an ellipse tilted
+/// 30° with a 3:1 axis ratio.
+la::Matrix PaperCovariance2D(double gamma);
+
+/// A d-dimensional covariance with the given axis standard deviations,
+/// rotated by a deterministic random orthogonal basis (for sweeps over the
+/// distribution shape).
+la::Matrix RandomRotatedCovariance(const la::Vector& axis_stddevs,
+                                   uint64_t seed);
+
+}  // namespace gprq::workload
+
+#endif  // GPRQ_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,121 @@
+#include "workload/tiger_synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace gprq::workload {
+
+namespace {
+
+struct City {
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.0;
+  double grid_spacing = 0.0;
+  double weight = 0.0;  // sampling weight (cumulative after normalization)
+};
+
+}  // namespace
+
+Dataset GenerateTigerSynthetic(const TigerSyntheticOptions& options) {
+  assert(options.num_points > 0);
+  assert(options.extent > 0.0);
+  assert(options.num_cities >= 1);
+  assert(options.urban_fraction >= 0.0 && options.arterial_fraction >= 0.0 &&
+         options.urban_fraction + options.arterial_fraction <= 1.0);
+
+  rng::Random random(options.seed);
+  const double extent = options.extent;
+
+  // --- Lay out urban cores. ------------------------------------------------
+  std::vector<City> cities(options.num_cities);
+  double total_weight = 0.0;
+  for (auto& city : cities) {
+    city.x = random.NextDouble(0.08 * extent, 0.92 * extent);
+    city.y = random.NextDouble(0.08 * extent, 0.92 * extent);
+    city.radius = random.NextDouble(0.04 * extent, 0.16 * extent);
+    city.grid_spacing = random.NextDouble(0.008 * extent, 0.02 * extent);
+    city.weight = city.radius * city.radius;  // area-proportional density
+    total_weight += city.weight;
+  }
+  double cumulative = 0.0;
+  for (auto& city : cities) {
+    cumulative += city.weight / total_weight;
+    city.weight = cumulative;
+  }
+
+  const auto pick_city = [&]() -> const City& {
+    const double u = random.NextDouble();
+    for (const auto& city : cities) {
+      if (u <= city.weight) return city;
+    }
+    return cities.back();
+  };
+
+  const size_t n = options.num_points;
+  const size_t n_urban = static_cast<size_t>(n * options.urban_fraction);
+  const size_t n_arterial =
+      static_cast<size_t>(n * options.arterial_fraction);
+  const size_t n_rural = n - n_urban - n_arterial;
+
+  Dataset dataset;
+  dataset.dim = 2;
+  dataset.points.reserve(n);
+
+  const auto clamp_point = [extent](double v) {
+    return std::clamp(v, 0.0, extent);
+  };
+
+  // --- Urban street-grid midpoints. ---------------------------------------
+  // A road-segment midpoint sits on a street line: one coordinate snaps to a
+  // jittered grid line, the other is continuous. Radial Gaussian falloff
+  // concentrates segments near the core, like real city road density.
+  for (size_t i = 0; i < n_urban; ++i) {
+    const City& city = pick_city();
+    // Uniform over the city disc with a mild core bias (exponent between
+    // 0.5 = uniform disc and 1 = center spike); keeps density skewed across
+    // cities without creating extreme hot spots the real road data lacks.
+    const double r =
+        std::pow(random.NextDouble(), 0.65) * city.radius;
+    const double angle = random.NextDouble(0.0, 2.0 * M_PI);
+    double px = city.x + r * std::cos(angle);
+    double py = city.y + r * std::sin(angle);
+    const bool horizontal_street = random.NextDouble() < 0.5;
+    const double spacing = city.grid_spacing;
+    const double jitter = spacing * 0.06 * random.NextGaussian();
+    if (horizontal_street) {
+      py = std::round(py / spacing) * spacing + jitter;
+    } else {
+      px = std::round(px / spacing) * spacing + jitter;
+    }
+    la::Vector p{clamp_point(px), clamp_point(py)};
+    dataset.points.push_back(std::move(p));
+  }
+
+  // --- Arterial roads between city pairs. ----------------------------------
+  for (size_t i = 0; i < n_arterial; ++i) {
+    const City& a = pick_city();
+    const City& b = pick_city();
+    const double t = random.NextDouble();
+    // Midpoints spread along the connecting line with lateral jitter.
+    const double px = a.x + t * (b.x - a.x) + 2.0 * random.NextGaussian();
+    const double py = a.y + t * (b.y - a.y) + 2.0 * random.NextGaussian();
+    la::Vector p{clamp_point(px), clamp_point(py)};
+    dataset.points.push_back(std::move(p));
+  }
+
+  // --- Rural background. ----------------------------------------------------
+  for (size_t i = 0; i < n_rural; ++i) {
+    la::Vector p{random.NextDouble(0.0, extent),
+                 random.NextDouble(0.0, extent)};
+    dataset.points.push_back(std::move(p));
+  }
+
+  return dataset;
+}
+
+}  // namespace gprq::workload

@@ -1,0 +1,37 @@
+#ifndef GPRQ_WORKLOAD_TIGER_SYNTHETIC_H_
+#define GPRQ_WORKLOAD_TIGER_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "workload/generators.h"
+
+namespace gprq::workload {
+
+/// Synthetic stand-in for the paper's 2-D dataset: midpoints of the TIGER/
+/// Line road segments of Long Beach, CA — 50,747 points normalized to
+/// [0, 1000]² (Section V-A). The real extract is not redistributable here,
+/// so this generator produces a road-network-like point set with the
+/// properties the experiments actually depend on: the exact count, the
+/// exact extent, and strongly skewed clustered density (the paper's answer
+/// sets are ~5x larger than a uniform distribution would give, so the skew
+/// matters for Tables I/II).
+///
+/// Construction: a handful of "urban cores" with Manhattan-style street
+/// grids (points lie along jittered horizontal/vertical street lines whose
+/// density decays away from the core), connected by sparse arterial lines,
+/// over a thin uniform rural background. Deterministic for a given seed.
+struct TigerSyntheticOptions {
+  size_t num_points = 50747;
+  double extent = 1000.0;       // points lie in [0, extent]²
+  size_t num_cities = 12;
+  double urban_fraction = 0.70; // share of points in city grids
+  double arterial_fraction = 0.15;  // share on inter-city arterials
+  uint64_t seed = 2009;
+};
+
+Dataset GenerateTigerSynthetic(
+    const TigerSyntheticOptions& options = TigerSyntheticOptions());
+
+}  // namespace gprq::workload
+
+#endif  // GPRQ_WORKLOAD_TIGER_SYNTHETIC_H_

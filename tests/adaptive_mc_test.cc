@@ -1,0 +1,114 @@
+// Tests for the adaptive (sequential-sampling) Monte-Carlo decider.
+
+#include "mc/adaptive_monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/naive.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace gprq::mc {
+namespace {
+
+core::GaussianDistribution MakeGaussian(la::Vector mean, la::Matrix cov) {
+  auto g = core::GaussianDistribution::Create(std::move(mean),
+                                              std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(AdaptiveMonteCarlo, DecisionsMatchExactAwayFromBoundary) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(10.0));
+  ImhofEvaluator exact;
+  AdaptiveMonteCarloEvaluator adaptive({.seed = 3});
+  const double delta = 25.0, theta = 0.01;
+  // Objects at many distances; skip those within 3 "noise sigmas" of θ.
+  for (double r = 0.0; r <= 120.0; r += 4.0) {
+    const la::Vector o{r, r * 0.4};
+    const double p = exact.QualificationProbability(g, o, delta);
+    if (std::abs(p - theta) < 0.003) continue;  // genuinely borderline
+    EXPECT_EQ(adaptive.QualificationDecision(g, o, delta, theta), p >= theta)
+        << "r=" << r << " p=" << p;
+  }
+}
+
+TEST(AdaptiveMonteCarlo, UsesFarFewerSamplesThanFixedBudget) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(10.0));
+  AdaptiveMonteCarloEvaluator adaptive({.max_samples = 100000, .seed = 5});
+  // 100 decisions on clearly-separated objects.
+  size_t decisions = 0;
+  for (double r = 0.0; r <= 99.0; r += 1.0) {
+    adaptive.QualificationDecision(g, la::Vector{r, 0.0}, 25.0, 0.01);
+    ++decisions;
+  }
+  const double avg_samples =
+      static_cast<double>(adaptive.total_samples()) / decisions;
+  // Fixed budget would use 100,000 each; adaptive should average way less.
+  EXPECT_LT(avg_samples, 20000.0);
+  EXPECT_GE(avg_samples, 256.0);  // at least min_samples
+}
+
+TEST(AdaptiveMonteCarlo, BorderlineObjectsFallBackAtBudget) {
+  const auto g =
+      MakeGaussian(la::Vector{0.0, 0.0}, la::Matrix::Identity(2) * 4.0);
+  ImhofEvaluator exact;
+  // Find an object whose probability is ~exactly some θ, then decide at
+  // that θ: the CI cannot separate and the budget is exhausted.
+  const la::Vector o{3.0, 0.0};
+  const double p = exact.QualificationProbability(g, o, 3.0);
+  AdaptiveMonteCarloEvaluator adaptive({.max_samples = 4096, .seed = 7});
+  adaptive.QualificationDecision(g, o, 3.0, p);
+  EXPECT_EQ(adaptive.undecided_fallbacks(), 1u);
+  EXPECT_GE(adaptive.total_samples(), 4096u);
+}
+
+TEST(AdaptiveMonteCarlo, FullEstimateUsesMaxSamples) {
+  const auto g =
+      MakeGaussian(la::Vector{0.0, 0.0}, la::Matrix::Identity(2));
+  AdaptiveMonteCarloEvaluator adaptive({.max_samples = 2048, .seed = 9});
+  const double p =
+      adaptive.QualificationProbability(g, la::Vector{1.0, 0.0}, 1.5);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  EXPECT_EQ(adaptive.total_samples(), 2048u);
+  adaptive.ResetCounters();
+  EXPECT_EQ(adaptive.total_samples(), 0u);
+}
+
+TEST(AdaptiveMonteCarlo, EngineResultsCloseToExact) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1000.0, 1000.0});
+  const auto dataset = workload::GenerateClustered(3000, extent, 12, 35.0, 3);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  auto g = core::GaussianDistribution::Create(
+      dataset.points[1500], workload::PaperCovariance2D(10.0));
+  ASSERT_TRUE(g.ok());
+  const core::PrqQuery query{std::move(*g), 25.0, 0.01};
+
+  const core::PrqEngine engine(&*tree);
+  ImhofEvaluator exact;
+  AdaptiveMonteCarloEvaluator adaptive({.seed = 11});
+  auto r_exact = engine.Execute(query, core::PrqOptions(), &exact);
+  auto r_adaptive = engine.Execute(query, core::PrqOptions(), &adaptive);
+  ASSERT_TRUE(r_exact.ok());
+  ASSERT_TRUE(r_adaptive.ok());
+
+  std::vector<index::ObjectId> a = *r_exact, b = *r_adaptive;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<index::ObjectId> diff;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(diff));
+  EXPECT_LE(diff.size(), a.size() / 20 + 3);  // borderline flips only
+}
+
+}  // namespace
+}  // namespace gprq::mc

@@ -1,0 +1,119 @@
+// Tests for STR bulk loading: the packed tree must satisfy every invariant
+// an insertion-built tree satisfies and answer queries identically.
+
+#include "index/str_bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/linear_scan.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::index {
+namespace {
+
+geom::Rect Extent(size_t d) {
+  return geom::Rect(la::Vector(d, 0.0), la::Vector(d, 100.0));
+}
+
+TEST(StrBulkLoad, EmptyInput) {
+  auto tree = StrBulkLoader::Load(2, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(StrBulkLoad, RejectsDimensionMismatch) {
+  std::vector<la::Vector> points = {la::Vector{1.0, 2.0}, la::Vector{1.0}};
+  EXPECT_FALSE(StrBulkLoader::Load(2, points).ok());
+}
+
+TEST(StrBulkLoad, SingleNodeTree) {
+  const auto dataset = workload::GenerateUniform(10, Extent(2), 1);
+  auto tree = StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 10u);
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+class StrBulkLoadParamTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(StrBulkLoadParamTest, InvariantsAndQueriesAcrossSizes) {
+  const auto [dim, n, max_entries] = GetParam();
+  const auto dataset = workload::GenerateClustered(
+      n, Extent(dim), 7, 8.0, dim * 7919 + n);
+  RStarTreeOptions options;
+  options.max_entries = max_entries;
+  auto tree = StrBulkLoader::Load(dim, dataset.points, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), n);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  LinearScanIndex oracle(dim);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(oracle.Insert(dataset.points[i], i).ok());
+  }
+  rng::Random random(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    la::Vector lo(dim), hi(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      const double a = random.NextDouble(0.0, 100.0);
+      const double b = random.NextDouble(0.0, 100.0);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    std::vector<ObjectId> got, expected;
+    tree->RangeQuery(geom::Rect(lo, hi), &got);
+    oracle.RangeQuery(geom::Rect(lo, hi), &expected);
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StrBulkLoadParamTest,
+    ::testing::Values(std::make_tuple(2, 33, 32),     // barely two leaves
+                      std::make_tuple(2, 1000, 8),
+                      std::make_tuple(2, 10000, 32),
+                      std::make_tuple(3, 5000, 16),
+                      std::make_tuple(5, 2000, 32),
+                      std::make_tuple(9, 4000, 16),
+                      std::make_tuple(2, 1025, 32),   // ragged tail
+                      std::make_tuple(2, 97, 4)));
+
+TEST(StrBulkLoad, PackedTreeIsCompact) {
+  // STR should produce near-full nodes: node count close to n / capacity.
+  const size_t n = 20000;
+  const auto dataset = workload::GenerateUniform(n, Extent(2), 3);
+  RStarTreeOptions options;
+  options.max_entries = 32;
+  auto packed = StrBulkLoader::Load(2, dataset.points, options);
+  ASSERT_TRUE(packed.ok());
+
+  RStarTree inserted(2, options);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(inserted.Insert(dataset.points[i], i).ok());
+  }
+  EXPECT_LT(packed->node_count(), inserted.node_count());
+  // Leaf fill >= ~95%: n/32 leaves at perfect packing.
+  const size_t min_leaves = (n + 31) / 32;
+  EXPECT_LT(packed->node_count(), min_leaves * 1.12);
+}
+
+TEST(StrBulkLoad, SupportsSubsequentUpdates) {
+  const auto dataset = workload::GenerateUniform(500, Extent(2), 9);
+  auto tree = StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(la::Vector{1.0, 2.0}, 9999).ok());
+  ASSERT_TRUE(tree->Remove(dataset.points[0], 0).ok());
+  EXPECT_EQ(tree->size(), 500u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace gprq::index

@@ -1,0 +1,100 @@
+// Tests for U-catalog persistence (save/load round trips and corruption
+// handling).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/alpha_catalog.h"
+#include "core/radius_catalog.h"
+
+namespace gprq::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(RadiusCatalogIo, RoundTripPreservesLookups) {
+  const RadiusCatalog original = RadiusCatalog::Build(2, 256);
+  const std::string path = TempPath("radius.cat");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  auto loaded = RadiusCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_EQ(loaded->size(), original.size());
+  for (double theta = 0.002; theta < 0.5; theta *= 1.7) {
+    EXPECT_EQ(loaded->LookupRadius(theta), original.LookupRadius(theta))
+        << "theta=" << theta;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RadiusCatalogIo, RejectsGarbage) {
+  const std::string path = TempPath("radius_garbage.cat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a catalog at all, not even close.............";
+  }
+  EXPECT_FALSE(RadiusCatalog::Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(RadiusCatalog::Load("/nonexistent.cat").ok());
+}
+
+TEST(RadiusCatalogIo, RejectsTruncation) {
+  const RadiusCatalog original = RadiusCatalog::Build(3, 64);
+  const std::string path = TempPath("radius_trunc.cat");
+  ASSERT_TRUE(original.Save(path).ok());
+  // Chop the file in half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<long>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(RadiusCatalog::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AlphaCatalogIo, RoundTripPreservesLookups) {
+  AlphaCatalog::GridSpec spec;
+  spec.delta_steps = 24;
+  spec.theta_steps = 24;
+  spec.alpha_steps = 64;
+  const AlphaCatalog original = AlphaCatalog::Build(2, spec);
+  const std::string path = TempPath("alpha.cat");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  auto loaded = AlphaCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dim(), 2u);
+  for (double delta : {0.1, 1.0, 10.0}) {
+    for (double theta : {1e-4, 0.05, 0.6}) {
+      const AlphaLookup a = original.LookupOuter(delta, theta);
+      const AlphaLookup b = loaded->LookupOuter(delta, theta);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.alpha, b.alpha);
+      const AlphaLookup c = original.LookupInner(delta, theta);
+      const AlphaLookup d = loaded->LookupInner(delta, theta);
+      EXPECT_EQ(c.kind, d.kind);
+      EXPECT_EQ(c.alpha, d.alpha);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AlphaCatalogIo, RejectsGarbage) {
+  const std::string path = TempPath("alpha_garbage.cat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage garbage garbage garbage garbage garbage";
+  }
+  EXPECT_FALSE(AlphaCatalog::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,147 @@
+// Tests for the U-catalogs: the θ-region radius table and the BF α table.
+// The load-bearing property is conservativeness — table rounding may only
+// enlarge candidate regions, never shrink them (Sections IV-A.3 / IV-C.c).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha_catalog.h"
+#include "core/radius_catalog.h"
+#include "stats/chi_squared.h"
+#include "stats/noncentral_chi_squared.h"
+
+namespace gprq::core {
+namespace {
+
+TEST(RadiusCatalog, ExactRadiusMatchesChiSquared) {
+  for (size_t d : {2u, 9u}) {
+    for (double theta : {0.01, 0.25, 0.4}) {
+      EXPECT_NEAR(RadiusCatalog::ExactRadius(d, theta),
+                  stats::ThetaRegionRadius(d, theta), 1e-12);
+    }
+  }
+}
+
+TEST(RadiusCatalog, LookupIsConservativeAndTight) {
+  const RadiusCatalog catalog = RadiusCatalog::Build(2, 512);
+  for (double theta = 0.001; theta < 0.5; theta *= 1.37) {
+    const double exact = RadiusCatalog::ExactRadius(2, theta);
+    const double table = catalog.LookupRadius(theta);
+    EXPECT_GE(table, exact - 1e-12) << "theta=" << theta;
+    // Grid resolution bounds the over-approximation.
+    const double grid_step = catalog.RadiusAt(1) - catalog.RadiusAt(0);
+    EXPECT_LE(table, exact + grid_step + 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(RadiusCatalog, TableEntriesAreSelfConsistent) {
+  const RadiusCatalog catalog = RadiusCatalog::Build(3, 128);
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const double r = catalog.RadiusAt(i);
+    const double theta = catalog.ThetaAt(i);
+    EXPECT_NEAR(stats::GaussianBallMass(3, r), 1.0 - 2.0 * theta, 1e-12);
+    if (i > 0) {
+      EXPECT_GT(catalog.RadiusAt(i), catalog.RadiusAt(i - 1));
+      EXPECT_LT(catalog.ThetaAt(i), catalog.ThetaAt(i - 1));
+    }
+  }
+}
+
+TEST(RadiusCatalog, BelowFloorFallsBackToExact) {
+  const RadiusCatalog catalog = RadiusCatalog::Build(2, 64, /*floor=*/1e-4);
+  const double theta = 1e-7;  // below the table floor
+  EXPECT_NEAR(catalog.LookupRadius(theta),
+              RadiusCatalog::ExactRadius(2, theta), 1e-10);
+}
+
+TEST(AlphaCatalog, ExactSolvesTheDefiningEquation) {
+  for (size_t d : {2u, 9u}) {
+    const AlphaLookup lookup = AlphaCatalog::Exact(d, 2.0, 0.05);
+    ASSERT_EQ(lookup.kind, AlphaLookup::Kind::kValue);
+    EXPECT_NEAR(stats::OffsetGaussianBallMass(d, lookup.alpha, 2.0), 0.05,
+                1e-8);
+  }
+}
+
+TEST(AlphaCatalog, ExactReportsUnreachableMass) {
+  // A radius-0.2 ball in 9-D holds far less than 50% anywhere.
+  EXPECT_EQ(AlphaCatalog::Exact(9, 0.2, 0.5).kind,
+            AlphaLookup::Kind::kNothingQualifies);
+}
+
+class AlphaCatalogConservativenessTest
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AlphaCatalogConservativenessTest, OuterAboveExactInnerBelow) {
+  const size_t d = GetParam();
+  const AlphaCatalog catalog = AlphaCatalog::Build(d);
+  for (double delta : {0.3, 1.0, 2.9, 8.0, 40.0}) {
+    for (double theta : {1e-6, 1e-3, 0.05, 0.3, 0.8}) {
+      const AlphaLookup exact = AlphaCatalog::Exact(d, delta, theta);
+      const AlphaLookup outer = catalog.LookupOuter(delta, theta);
+      const AlphaLookup inner = catalog.LookupInner(delta, theta);
+
+      if (exact.kind == AlphaLookup::Kind::kValue) {
+        if (outer.kind == AlphaLookup::Kind::kValue) {
+          EXPECT_GE(outer.alpha, exact.alpha - 1e-9)
+              << "outer must not under-prune: d=" << d << " delta=" << delta
+              << " theta=" << theta;
+        } else {
+          // The only acceptable non-value outcome is an out-of-grid miss;
+          // claiming "nothing qualifies" would be wrong.
+          EXPECT_EQ(outer.kind, AlphaLookup::Kind::kUnavailable);
+        }
+        if (inner.kind == AlphaLookup::Kind::kValue) {
+          EXPECT_LE(inner.alpha, exact.alpha + 1e-9)
+              << "inner must not over-accept: d=" << d << " delta=" << delta
+              << " theta=" << theta;
+        }
+      } else {
+        // Mass genuinely unreachable: the inner lookup must never return a
+        // radius (it would accept non-qualifying objects).
+        EXPECT_NE(inner.kind, AlphaLookup::Kind::kValue)
+            << "d=" << d << " delta=" << delta << " theta=" << theta;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, AlphaCatalogConservativenessTest,
+                         ::testing::Values(2, 3, 9));
+
+TEST(AlphaCatalog, NothingQualifiesPropagatesFromDominatingGridPoint) {
+  const AlphaCatalog catalog = AlphaCatalog::Build(9);
+  // δ = 0.2 in 9-D holds mass ~1e-9 at best; θ = 0.5 is hopeless, and the
+  // dominating grid point proves it.
+  const AlphaLookup outer = catalog.LookupOuter(0.2, 0.5);
+  EXPECT_EQ(outer.kind, AlphaLookup::Kind::kNothingQualifies);
+}
+
+TEST(AlphaCatalog, OutOfGridIsUnavailable) {
+  const AlphaCatalog catalog = AlphaCatalog::Build(2);
+  EXPECT_EQ(catalog.LookupOuter(5e3, 0.1).kind,
+            AlphaLookup::Kind::kUnavailable);  // δ above grid
+  EXPECT_EQ(catalog.LookupOuter(1.0, 1e-12).kind,
+            AlphaLookup::Kind::kUnavailable);  // θ below grid
+  EXPECT_EQ(catalog.LookupInner(1e-5, 0.1).kind,
+            AlphaLookup::Kind::kUnavailable);  // δ below grid
+}
+
+TEST(AlphaCatalog, InnerAcceptanceIsSound) {
+  // Every inner radius the catalog hands out must satisfy: a ball of the
+  // requested δ centered at that offset holds at least θ.
+  const AlphaCatalog catalog = AlphaCatalog::Build(2);
+  for (double delta : {0.5, 1.5, 4.0}) {
+    for (double theta : {0.01, 0.1, 0.5}) {
+      const AlphaLookup inner = catalog.LookupInner(delta, theta);
+      if (inner.kind != AlphaLookup::Kind::kValue) continue;
+      EXPECT_GE(stats::OffsetGaussianBallMass(2, inner.alpha, delta),
+                theta - 1e-9)
+          << "delta=" << delta << " theta=" << theta;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,40 @@
+// Tests for small common utilities: the stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace gprq {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 50.0);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(Stopwatch, MonotonicallyIncreases) {
+  Stopwatch watch;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace gprq

@@ -1,0 +1,162 @@
+// Tests for the Phase-3 probability evaluators: the paper's Monte-Carlo
+// importance sampler and the exact Imhof evaluator, cross-validated against
+// each other and against closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mc/exact_evaluator.h"
+#include "mc/monte_carlo.h"
+#include "stats/noncentral_chi_squared.h"
+#include "workload/generators.h"
+
+namespace gprq::mc {
+namespace {
+
+core::GaussianDistribution MakeGaussian(la::Vector mean, la::Matrix cov) {
+  auto g = core::GaussianDistribution::Create(std::move(mean),
+                                              std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(ImhofEvaluator, IsotropicMatchesNoncentralChiSquared) {
+  const double s = 2.0;
+  const auto g = MakeGaussian(la::Vector{1.0, 2.0, 3.0},
+                              la::Matrix::Identity(3) * (s * s));
+  ImhofEvaluator evaluator;
+  const la::Vector object{4.0, 2.0, -1.0};
+  const double delta = 5.0;
+  const double dist_sq = la::SquaredDistance(object, g.mean());
+  const double expected = stats::NoncentralChiSquaredCdf(
+      3, dist_sq / (s * s), (delta * delta) / (s * s));
+  EXPECT_NEAR(evaluator.QualificationProbability(g, object, delta), expected,
+              1e-9);
+}
+
+TEST(ImhofEvaluator, ZeroDeltaIsZero) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0}, la::Matrix::Identity(2));
+  ImhofEvaluator evaluator;
+  EXPECT_EQ(evaluator.QualificationProbability(g, la::Vector{0.0, 0.0}, 0.0),
+            0.0);
+}
+
+TEST(ImhofEvaluator, ProbabilityDecaysWithDistance) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(10.0));
+  ImhofEvaluator evaluator;
+  double prev = 1.1;
+  // Move the object out along the x axis.
+  for (double x : {0.0, 5.0, 15.0, 30.0, 60.0, 120.0}) {
+    const double p =
+        evaluator.QualificationProbability(g, la::Vector{x, 0.0}, 25.0);
+    EXPECT_LT(p, prev + 1e-12) << "x=" << x;
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+  EXPECT_LT(prev, 1e-6);  // far object is essentially impossible
+}
+
+TEST(ImhofEvaluator, InvariantUnderRotationOfTheProblem) {
+  // Rotating covariance and object together must not change the answer.
+  const la::Vector stddevs{1.0, 3.0};
+  const la::Matrix cov_axis =
+      la::Matrix::Diagonal(la::Vector{1.0, 9.0});
+  const auto g_axis = MakeGaussian(la::Vector{0.0, 0.0}, cov_axis);
+
+  // 30° rotation (the paper's default covariance shape).
+  const double c = std::cos(M_PI / 6.0), s = std::sin(M_PI / 6.0);
+  const la::Matrix rot{{c, -s}, {s, c}};
+  const la::Matrix cov_rot = rot * cov_axis * rot.Transposed();
+  const auto g_rot = MakeGaussian(la::Vector{0.0, 0.0}, cov_rot);
+
+  ImhofEvaluator evaluator;
+  for (double ox : {3.0, 7.0}) {
+    for (double oy : {0.0, 4.0}) {
+      const la::Vector o_axis{ox, oy};
+      const la::Vector o_rot{c * ox - s * oy, s * ox + c * oy};
+      EXPECT_NEAR(evaluator.QualificationProbability(g_axis, o_axis, 4.0),
+                  evaluator.QualificationProbability(g_rot, o_rot, 4.0),
+                  1e-7)
+          << "object (" << ox << "," << oy << ")";
+    }
+  }
+}
+
+TEST(MonteCarlo, MatchesExactWithinSamplingError) {
+  const auto g = MakeGaussian(la::Vector{500.0, 500.0},
+                              workload::PaperCovariance2D(10.0));
+  ImhofEvaluator exact;
+  MonteCarloEvaluator mc({.samples = 200000, .seed = 7});
+  for (double offset : {0.0, 10.0, 25.0, 45.0}) {
+    const la::Vector object{500.0 + offset, 500.0 - offset * 0.5};
+    const double p_exact = exact.QualificationProbability(g, object, 25.0);
+    const auto estimate = mc.EstimateWithError(g, object, 25.0);
+    EXPECT_NEAR(estimate.probability, p_exact,
+                5.0 * estimate.std_error + 1e-4)
+        << "offset " << offset;
+  }
+}
+
+TEST(MonteCarlo, NineDimensionalAgreement) {
+  const la::Matrix cov = workload::RandomRotatedCovariance(
+      la::Vector{0.5, 0.6, 0.8, 1.0, 1.0, 1.2, 1.5, 1.8, 2.2}, 3);
+  const auto g = MakeGaussian(la::Vector(9), cov);
+  ImhofEvaluator exact;
+  MonteCarloEvaluator mc({.samples = 200000, .seed = 11});
+  la::Vector object(9);
+  object[0] = 1.0;
+  object[4] = -2.0;
+  for (double delta : {1.0, 3.0, 6.0}) {
+    const double p_exact = exact.QualificationProbability(g, object, delta);
+    const auto estimate = mc.EstimateWithError(g, object, delta);
+    EXPECT_NEAR(estimate.probability, p_exact,
+                5.0 * estimate.std_error + 2e-4)
+        << "delta " << delta;
+  }
+}
+
+TEST(MonteCarlo, StdErrorShrinksWithSamples) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(1.0));
+  const la::Vector object{2.0, 1.0};
+  MonteCarloEvaluator coarse({.samples = 1000, .seed = 5});
+  MonteCarloEvaluator fine({.samples = 100000, .seed = 5});
+  const auto e_coarse = coarse.EstimateWithError(g, object, 3.0);
+  const auto e_fine = fine.EstimateWithError(g, object, 3.0);
+  EXPECT_GT(e_coarse.std_error, e_fine.std_error * 5.0);
+  EXPECT_NEAR(e_fine.std_error,
+              std::sqrt(e_fine.probability * (1.0 - e_fine.probability) /
+                        100000.0),
+              1e-12);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(1.0));
+  MonteCarloEvaluator a({.samples = 10000, .seed = 9});
+  MonteCarloEvaluator b({.samples = 10000, .seed = 9});
+  const la::Vector object{1.0, 1.0};
+  EXPECT_EQ(a.QualificationProbability(g, object, 2.0),
+            b.QualificationProbability(g, object, 2.0));
+}
+
+TEST(MonteCarlo, ExtremeProbabilities) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0}, la::Matrix::Identity(2));
+  MonteCarloEvaluator mc({.samples = 10000, .seed = 3});
+  // Object at the mean with a huge radius: certain hit.
+  EXPECT_EQ(mc.QualificationProbability(g, la::Vector{0.0, 0.0}, 50.0), 1.0);
+  // Object far away: certain miss.
+  EXPECT_EQ(mc.QualificationProbability(g, la::Vector{100.0, 0.0}, 1.0), 0.0);
+}
+
+TEST(Evaluators, ReportNames) {
+  MonteCarloEvaluator mc;
+  ImhofEvaluator imhof;
+  EXPECT_STREQ(mc.name(), "monte-carlo");
+  EXPECT_STREQ(imhof.name(), "imhof");
+}
+
+}  // namespace
+}  // namespace gprq::mc

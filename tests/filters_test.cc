@@ -1,0 +1,205 @@
+// Tests for the three filtering strategies' geometry. The load-bearing
+// property for each: no object with true qualification probability >= θ may
+// be excluded (no false dismissals), and the BF inner ball may only accept
+// objects that truly qualify.
+
+#include "core/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/radius_catalog.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+GaussianDistribution MakeGaussian(la::Vector mean, la::Matrix cov) {
+  auto g = GaussianDistribution::Create(std::move(mean), std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(RrRegion, BoxGeometryMatchesProperty2) {
+  const auto g = MakeGaussian(la::Vector{100.0, 200.0},
+                              workload::PaperCovariance2D(10.0));
+  const double r_theta = 2.0;
+  const double delta = 25.0;
+  const RrRegion region = RrRegion::Compute(g, delta, r_theta);
+  // Core box half-widths: σ_x·r = √70·2, σ_y·r = √30·2.
+  EXPECT_NEAR(region.core_box.hi()[0] - 100.0, std::sqrt(70.0) * 2.0, 1e-10);
+  EXPECT_NEAR(region.core_box.hi()[1] - 200.0, std::sqrt(30.0) * 2.0, 1e-10);
+  // Search box adds δ on every side (Fig. 4).
+  EXPECT_NEAR(region.search_box.hi()[0] - region.core_box.hi()[0], delta,
+              1e-12);
+  EXPECT_NEAR(region.core_box.lo()[1] - region.search_box.lo()[1], delta,
+              1e-12);
+}
+
+TEST(RrRegion, DegenerateThetaRegionForLargeTheta) {
+  const auto g = MakeGaussian(la::Vector{5.0, 5.0},
+                              workload::PaperCovariance2D(1.0));
+  const RrRegion region = RrRegion::Compute(g, 2.0, /*r_theta=*/0.0);
+  EXPECT_EQ(region.core_box.lo()[0], 5.0);
+  EXPECT_EQ(region.core_box.hi()[0], 5.0);
+  EXPECT_TRUE(region.PassesFringe(la::Vector{6.0, 6.0}, 2.0));
+  EXPECT_FALSE(region.PassesFringe(la::Vector{7.0, 7.0}, 2.0));
+}
+
+TEST(RrRegion, FringeEqualsMinkowskiMembership) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(5.0));
+  const RrRegion region = RrRegion::Compute(g, 10.0, 1.5);
+  rng::Random random(4);
+  for (int i = 0; i < 5000; ++i) {
+    la::Vector p{random.NextDouble(-80.0, 80.0),
+                 random.NextDouble(-80.0, 80.0)};
+    const bool in_minkowski =
+        std::sqrt(region.core_box.MinSquaredDistance(p)) <= 10.0;
+    EXPECT_EQ(region.PassesFringe(p, 10.0), in_minkowski);
+    // The fringe region is exactly search-box minus Minkowski sum: points
+    // passing the fringe must lie in the search box.
+    if (in_minkowski) {
+      EXPECT_TRUE(region.search_box.Contains(p));
+    }
+  }
+}
+
+TEST(OrRegion, ObliqueBoxInEigenFrame) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(1.0));
+  const OrRegion region = OrRegion::Compute(g, 2.0, 1.0);
+  // Axis scales are 1 and 3 → half-widths 1·1+2 = 3 and 3·1+2 = 5.
+  EXPECT_NEAR(region.half_widths[0], 3.0, 1e-9);
+  EXPECT_NEAR(region.half_widths[1], 5.0, 1e-9);
+
+  // The mean itself and nearby points are inside.
+  EXPECT_TRUE(region.Contains(g, la::Vector{0.0, 0.0}));
+  // A point far along the minor axis direction is out even though the same
+  // distance along the major axis is in. Major axis of the paper's Σ is at
+  // 30°: u = (cos30°, sin30°).
+  const double c = std::cos(M_PI / 6.0), s = std::sin(M_PI / 6.0);
+  EXPECT_TRUE(region.Contains(g, la::Vector{4.5 * c, 4.5 * s}));
+  EXPECT_FALSE(region.Contains(g, la::Vector{-4.5 * s, 4.5 * c}));
+}
+
+TEST(OrRegion, BoundingBoxContainsObliqueBox) {
+  const auto g = MakeGaussian(la::Vector{1.0, -2.0},
+                              workload::PaperCovariance2D(3.0));
+  const OrRegion region = OrRegion::Compute(g, 5.0, 2.0);
+  const geom::Rect bbox = region.BoundingBox(g);
+  rng::Random random(6);
+  for (int i = 0; i < 5000; ++i) {
+    la::Vector p{random.NextDouble(-40.0, 40.0),
+                 random.NextDouble(-40.0, 40.0)};
+    if (region.Contains(g, p)) {
+      EXPECT_TRUE(bbox.Contains(p));
+    }
+  }
+}
+
+TEST(BfBounds, SphericalCovarianceNeedsNoIntegration) {
+  // Paper: "if λ∥ = λ⊥ ... BF is the best method since it can directly
+  // select answer objects": for isotropic Σ the outer and inner radii
+  // coincide with the exact decision boundary.
+  const auto g =
+      MakeGaussian(la::Vector{0.0, 0.0}, la::Matrix::Identity(2) * 4.0);
+  const BfBounds bounds =
+      BfBounds::Compute(g, /*delta=*/3.0, /*theta=*/0.2, nullptr);
+  ASSERT_FALSE(bounds.nothing_qualifies);
+  ASSERT_TRUE(bounds.has_inner);
+  EXPECT_NEAR(bounds.alpha_outer, bounds.alpha_inner, 1e-6);
+
+  mc::ImhofEvaluator exact;
+  // Probability at exactly the boundary distance equals θ.
+  const la::Vector boundary{bounds.alpha_outer, 0.0};
+  EXPECT_NEAR(exact.QualificationProbability(g, boundary, 3.0), 0.2, 1e-5);
+}
+
+TEST(BfBounds, OuterNeverPrunesQualifiers) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(10.0));
+  const double delta = 25.0, theta = 0.01;
+  const BfBounds bounds = BfBounds::Compute(g, delta, theta, nullptr);
+  ASSERT_FALSE(bounds.nothing_qualifies);
+
+  mc::ImhofEvaluator exact;
+  rng::Random random(9);
+  for (int i = 0; i < 400; ++i) {
+    const double angle = random.NextDouble(0.0, 2.0 * M_PI);
+    const double r = random.NextDouble(0.0, bounds.alpha_outer * 1.8);
+    const la::Vector o{r * std::cos(angle), r * std::sin(angle)};
+    const double p = exact.QualificationProbability(g, o, delta);
+    if (r > bounds.alpha_outer) {
+      EXPECT_LT(p, theta) << "pruned object qualifies at r=" << r;
+    }
+    if (bounds.has_inner && r <= bounds.alpha_inner) {
+      EXPECT_GE(p, theta - 1e-9)
+          << "inner-accepted object does not qualify at r=" << r;
+    }
+  }
+}
+
+TEST(BfBounds, NothingQualifiesWhenThetaUnreachable) {
+  // Wide covariance, small δ, large θ: even the densest ball can't hold θ.
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              la::Matrix::Identity(2) * 100.0);
+  const BfBounds bounds = BfBounds::Compute(g, 0.5, 0.5, nullptr);
+  EXPECT_TRUE(bounds.nothing_qualifies);
+}
+
+TEST(BfBounds, NoInnerHoleForNarrowDistributions) {
+  // Paper Eq. (37): for an elongated Σ, (λ⊥)^{d/2}|Σ|^{1/2}θ can exceed 1
+  // and the "internal hole" of Fig. 9 disappears. Σ = diag(0.0004, 1):
+  // the inner scale factor is 1/0.02 = 50, so θ'⊥ = 15 >= 1, while the
+  // outer bound stays reachable (objects near the mean do qualify).
+  const auto g = MakeGaussian(
+      la::Vector(2), la::Matrix::Diagonal(la::Vector{0.0004, 1.0}));
+  const BfBounds bounds = BfBounds::Compute(g, 1.0, 0.3, nullptr);
+  EXPECT_FALSE(bounds.nothing_qualifies);
+  EXPECT_FALSE(bounds.has_inner);
+}
+
+TEST(BfBounds, TableConservativeVersusExact) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              workload::PaperCovariance2D(10.0));
+  const AlphaCatalog catalog = AlphaCatalog::Build(2);
+  for (double delta : {5.0, 25.0, 80.0}) {
+    for (double theta : {0.001, 0.01, 0.2}) {
+      const BfBounds exact = BfBounds::Compute(g, delta, theta, nullptr);
+      const BfBounds table = BfBounds::Compute(g, delta, theta, &catalog);
+      ASSERT_EQ(exact.nothing_qualifies, table.nothing_qualifies);
+      if (exact.nothing_qualifies) continue;
+      EXPECT_GE(table.alpha_outer, exact.alpha_outer - 1e-9)
+          << "delta=" << delta << " theta=" << theta;
+      if (table.has_inner) {
+        ASSERT_TRUE(exact.has_inner);
+        EXPECT_LE(table.alpha_inner, exact.alpha_inner + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BfBounds, InnerInsideOuter) {
+  rng::Random random(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    la::Vector stddevs(3);
+    for (size_t j = 0; j < 3; ++j) {
+      stddevs[j] = std::exp(random.NextDouble(-0.5, 1.0));
+    }
+    const auto g = MakeGaussian(
+        la::Vector(3), workload::RandomRotatedCovariance(stddevs, trial));
+    const double delta = random.NextDouble(0.5, 6.0);
+    const double theta = random.NextDouble(0.01, 0.45);
+    const BfBounds bounds = BfBounds::Compute(g, delta, theta, nullptr);
+    if (!bounds.nothing_qualifies && bounds.has_inner) {
+      EXPECT_LE(bounds.alpha_inner, bounds.alpha_outer + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,92 @@
+// Tests for the CLI flag parser.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace gprq {
+namespace {
+
+TEST(Flags, ParsesCommandAndKeyValuePairs) {
+  auto flags = FlagSet::Parse(
+      {"query", "--data", "points.csv", "--delta", "25", "--verbose"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->command(), "query");
+  EXPECT_EQ(flags->GetString("data"), "points.csv");
+  auto delta = flags->GetDouble("delta", 0.0);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*delta, 25.0);
+  EXPECT_TRUE(flags->Has("verbose"));
+  EXPECT_EQ(flags->GetString("verbose"), "true");
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto flags = FlagSet::Parse({"--theta=0.01", "--name=a=b"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->command(), "");
+  auto theta = flags->GetDouble("theta", 0.0);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_EQ(*theta, 0.01);
+  EXPECT_EQ(flags->GetString("name"), "a=b");
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  // "-3" does not start with "--", so it is a value, not a flag.
+  auto flags = FlagSet::Parse({"cmd", "--offset", "-3"});
+  ASSERT_TRUE(flags.ok());
+  auto offset = flags->GetInt("offset", 0);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, -3);
+}
+
+TEST(Flags, RejectsMalformedTokens) {
+  EXPECT_FALSE(FlagSet::Parse({"cmd", "-x", "1"}).ok());
+  EXPECT_FALSE(FlagSet::Parse({"cmd", "--data", "f.csv", "stray"}).ok());
+  EXPECT_FALSE(FlagSet::Parse({"cmd", "--"}).ok());
+}
+
+TEST(Flags, Fallbacks) {
+  auto flags = FlagSet::Parse({"cmd"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("missing", "dflt"), "dflt");
+  auto d = flags->GetDouble("missing", 1.5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 1.5);
+  auto i = flags->GetInt("missing", -7);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, -7);
+  EXPECT_FALSE(flags->Has("missing"));
+  EXPECT_EQ(flags->GetDoubleList("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Flags, NumericValidation) {
+  auto flags = FlagSet::Parse({"cmd", "--x", "abc", "--y", "1.5"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetDouble("x", 0.0).ok());
+  EXPECT_FALSE(flags->GetInt("y", 0).ok());  // 1.5 is not an integer
+}
+
+TEST(Flags, DoubleLists) {
+  auto flags = FlagSet::Parse({"cmd", "--q", "1.5,-2,3e2", "--bad", "1,,2"});
+  ASSERT_TRUE(flags.ok());
+  auto q = flags->GetDoubleList("q");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->size(), 3u);
+  EXPECT_EQ((*q)[0], 1.5);
+  EXPECT_EQ((*q)[1], -2.0);
+  EXPECT_EQ((*q)[2], 300.0);
+  EXPECT_FALSE(flags->GetDoubleList("bad").ok());
+}
+
+TEST(Flags, UnusedKeyTracking) {
+  auto flags = FlagSet::Parse({"cmd", "--used", "1", "--unused", "2"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_TRUE(flags->GetInt("used", 0).ok());
+  const auto unused = flags->UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+}  // namespace
+}  // namespace gprq

@@ -1,0 +1,116 @@
+// Tests for GaussianDistribution: densities, whitening/eigen frame,
+// sampling, and the derived per-query quantities the filters consume.
+
+#include "core/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+TEST(Gaussian, RejectsBadInput) {
+  EXPECT_FALSE(GaussianDistribution::Create(la::Vector{},
+                                            la::Matrix::Identity(0))
+                   .ok());
+  EXPECT_FALSE(GaussianDistribution::Create(la::Vector{0.0},
+                                            la::Matrix::Identity(2))
+                   .ok());
+  EXPECT_FALSE(GaussianDistribution::Create(
+                   la::Vector{0.0, 0.0}, la::Matrix{{1.0, 2.0}, {2.0, 1.0}})
+                   .ok());
+}
+
+TEST(Gaussian, StandardNormalPdf) {
+  auto g = GaussianDistribution::Create(la::Vector{0.0}, la::Matrix{{1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->Pdf(la::Vector{0.0}), 1.0 / std::sqrt(2.0 * M_PI), 1e-14);
+  EXPECT_NEAR(g->Pdf(la::Vector{1.0}),
+              std::exp(-0.5) / std::sqrt(2.0 * M_PI), 1e-14);
+}
+
+TEST(Gaussian, MultivariatePdfMatchesFormula) {
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+  const la::Vector mean{3.0, -1.0};
+  auto g = GaussianDistribution::Create(mean, cov);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->Determinant(), 100.0 * (7.0 * 3.0 - 12.0), 1e-8);
+
+  const la::Vector x{5.0, 2.0};
+  const double det = g->Determinant();
+  const double maha = g->MahalanobisSquared(x);
+  const double expected =
+      std::exp(-0.5 * maha) / (2.0 * M_PI * std::sqrt(det));
+  EXPECT_NEAR(g->Pdf(x), expected, 1e-15);
+  EXPECT_NEAR(g->LogPdf(x), std::log(expected), 1e-12);
+}
+
+TEST(Gaussian, SigmaReadsDiagonal) {
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+  auto g = GaussianDistribution::Create(la::Vector{0.0, 0.0}, cov);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->Sigma(0), std::sqrt(70.0), 1e-12);
+  EXPECT_NEAR(g->Sigma(1), std::sqrt(30.0), 1e-12);
+}
+
+TEST(Gaussian, AxisScalesAscendingAndMatchEigenvalues) {
+  const la::Matrix cov = workload::PaperCovariance2D(1.0);
+  auto g = GaussianDistribution::Create(la::Vector{0.0, 0.0}, cov);
+  ASSERT_TRUE(g.ok());
+  // Eigenvalues 1, 9 → scales 1, 3 (the paper's 3:1 axis ratio).
+  EXPECT_NEAR(g->MinAxisScale(), 1.0, 1e-10);
+  EXPECT_NEAR(g->MaxAxisScale(), 3.0, 1e-10);
+}
+
+TEST(Gaussian, EigenFrameWhitensTheQuadraticForm) {
+  const la::Matrix cov = workload::RandomRotatedCovariance(
+      la::Vector{0.7, 1.3, 2.5}, 13);
+  const la::Vector mean{1.0, 2.0, 3.0};
+  auto g = GaussianDistribution::Create(mean, cov);
+  ASSERT_TRUE(g.ok());
+  rng::Random random(2);
+  for (int i = 0; i < 500; ++i) {
+    la::Vector x(3);
+    for (size_t j = 0; j < 3; ++j) x[j] = random.NextDouble(-5.0, 8.0);
+    const la::Vector y = g->ToEigenFrame(x);
+    // Rotation preserves the distance to the mean...
+    EXPECT_NEAR(la::SquaredNorm(y), la::SquaredDistance(x, mean), 1e-9);
+    // ...and diagonalizes the Mahalanobis form: Σ (y_i/s_i)².
+    double maha = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      maha += (y[j] / g->axis_scales()[j]) * (y[j] / g->axis_scales()[j]);
+    }
+    EXPECT_NEAR(maha, g->MahalanobisSquared(x), 1e-8);
+  }
+}
+
+TEST(Gaussian, SampleMomentsMatch) {
+  const la::Matrix cov = workload::PaperCovariance2D(2.0);
+  const la::Vector mean{10.0, 20.0};
+  auto g = GaussianDistribution::Create(mean, cov);
+  ASSERT_TRUE(g.ok());
+  rng::Random random(8);
+  const int n = 200000;
+  la::Vector sum(2);
+  double sum_xx = 0.0, sum_xy = 0.0, sum_yy = 0.0;
+  la::Vector x;
+  for (int i = 0; i < n; ++i) {
+    g->Sample(random, x);
+    sum += x;
+    sum_xx += (x[0] - mean[0]) * (x[0] - mean[0]);
+    sum_xy += (x[0] - mean[0]) * (x[1] - mean[1]);
+    sum_yy += (x[1] - mean[1]) * (x[1] - mean[1]);
+  }
+  EXPECT_NEAR(sum[0] / n, 10.0, 0.05);
+  EXPECT_NEAR(sum[1] / n, 20.0, 0.05);
+  EXPECT_NEAR(sum_xx / n, cov(0, 0), 0.15);
+  EXPECT_NEAR(sum_xy / n, cov(0, 1), 0.15);
+  EXPECT_NEAR(sum_yy / n, cov(1, 1), 0.15);
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,175 @@
+// Tests for the rectangle algebra and the θ-region ellipsoid geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/ellipsoid.h"
+#include "geom/rect.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::geom {
+namespace {
+
+TEST(Rect, PointRectAndContainment) {
+  const Rect r(la::Vector{0.0, 0.0}, la::Vector{2.0, 1.0});
+  EXPECT_TRUE(r.Contains(la::Vector{1.0, 0.5}));
+  EXPECT_TRUE(r.Contains(la::Vector{0.0, 0.0}));  // closed boundary
+  EXPECT_TRUE(r.Contains(la::Vector{2.0, 1.0}));
+  EXPECT_FALSE(r.Contains(la::Vector{2.1, 0.5}));
+  EXPECT_FALSE(r.Contains(la::Vector{1.0, -0.1}));
+
+  const Rect inner(la::Vector{0.5, 0.25}, la::Vector{1.0, 0.5});
+  EXPECT_TRUE(r.Contains(inner));
+  EXPECT_FALSE(inner.Contains(r));
+}
+
+TEST(Rect, EmptyRect) {
+  const Rect empty = Rect::Empty(2);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains(la::Vector{0.0, 0.0}));
+  Rect grown = empty;
+  grown.ExpandToInclude(la::Vector{1.0, 2.0});
+  EXPECT_FALSE(grown.IsEmpty());
+  EXPECT_TRUE(grown.Contains(la::Vector{1.0, 2.0}));
+  EXPECT_EQ(grown.Volume(), 0.0);
+}
+
+TEST(Rect, IntersectionAndUnion) {
+  const Rect a(la::Vector{0.0, 0.0}, la::Vector{2.0, 2.0});
+  const Rect b(la::Vector{1.0, 1.0}, la::Vector{3.0, 3.0});
+  const Rect c(la::Vector{5.0, 5.0}, la::Vector{6.0, 6.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(c), 0.0);
+  const Rect u = Union(a, b);
+  EXPECT_EQ(u.lo()[0], 0.0);
+  EXPECT_EQ(u.hi()[1], 3.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 9.0 - 4.0);
+}
+
+TEST(Rect, TouchingEdgesIntersect) {
+  const Rect a(la::Vector{0.0, 0.0}, la::Vector{1.0, 1.0});
+  const Rect b(la::Vector{1.0, 0.0}, la::Vector{2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 0.0);
+}
+
+TEST(Rect, VolumeMarginCenter) {
+  const Rect r(la::Vector{0.0, 0.0, 0.0}, la::Vector{2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 9.0);
+  const la::Vector c = r.Center();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(Rect, CenteredAndInflated) {
+  const Rect r = Rect::Centered(la::Vector{5.0, 5.0}, la::Vector{1.0, 2.0});
+  EXPECT_EQ(r.lo()[0], 4.0);
+  EXPECT_EQ(r.hi()[1], 7.0);
+  const Rect inflated = r.Inflated(0.5);
+  EXPECT_EQ(inflated.lo()[0], 3.5);
+  EXPECT_EQ(inflated.hi()[1], 7.5);
+  const Rect u = Rect::CenteredUniform(la::Vector{0.0, 0.0}, 2.0);
+  EXPECT_EQ(u.lo()[1], -2.0);
+}
+
+TEST(Rect, MinSquaredDistance) {
+  const Rect r(la::Vector{0.0, 0.0}, la::Vector{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(la::Vector{1.0, 1.0}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(la::Vector{3.0, 1.0}), 1.0);  // face
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(la::Vector{3.0, 3.0}), 2.0);  // corner
+  EXPECT_DOUBLE_EQ(r.MinSquaredDistance(la::Vector{-1.0, -2.0}), 5.0);
+}
+
+TEST(Ellipsoid, RejectsBadInput) {
+  EXPECT_FALSE(Ellipsoid::Create(la::Vector{0.0, 0.0},
+                                 la::Matrix{{1.0, 2.0}, {2.0, 1.0}}, 1.0)
+                   .ok());
+  EXPECT_FALSE(
+      Ellipsoid::Create(la::Vector{0.0, 0.0}, la::Matrix::Identity(2), -1.0)
+          .ok());
+  EXPECT_FALSE(
+      Ellipsoid::Create(la::Vector{0.0}, la::Matrix::Identity(2), 1.0).ok());
+}
+
+TEST(Ellipsoid, SphereCase) {
+  auto e = Ellipsoid::Create(la::Vector{1.0, 1.0}, la::Matrix::Identity(2),
+                             2.0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->Contains(la::Vector{1.0, 2.9}));
+  EXPECT_FALSE(e->Contains(la::Vector{1.0, 3.1}));
+  EXPECT_NEAR(e->MahalanobisDistance(la::Vector{3.0, 1.0}), 2.0, 1e-12);
+  const Rect bbox = e->BoundingBox();
+  EXPECT_NEAR(bbox.lo()[0], -1.0, 1e-12);
+  EXPECT_NEAR(bbox.hi()[1], 3.0, 1e-12);
+}
+
+TEST(Ellipsoid, BoundingBoxIsTightForPaperCovariance) {
+  // Property 2: w_i = σ_i·r. For Σ = [[7, 2√3],[2√3, 3]], σ_x = √7,
+  // σ_y = √3. The box must contain the ellipsoid and touch it per axis.
+  const la::Matrix cov = workload::PaperCovariance2D(1.0);
+  auto e = Ellipsoid::Create(la::Vector{0.0, 0.0}, cov, 2.0);
+  ASSERT_TRUE(e.ok());
+  const Rect bbox = e->BoundingBox();
+  EXPECT_NEAR(bbox.hi()[0], std::sqrt(7.0) * 2.0, 1e-12);
+  EXPECT_NEAR(bbox.hi()[1], std::sqrt(3.0) * 2.0, 1e-12);
+
+  // Containment: points on the ellipsoid boundary stay inside the box, and
+  // the maximum |x_i| over the boundary reaches the box face (tightness).
+  rng::Random random(1);
+  double max_x = 0.0, max_y = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    // Random boundary point: unit vector u in eigen frame scaled by axes.
+    const double angle = random.NextDouble(0.0, 2.0 * M_PI);
+    la::Vector y{std::cos(angle) * e->axis_scales()[0] * 2.0,
+                 std::sin(angle) * e->axis_scales()[1] * 2.0};
+    // Map back to world frame: x = E y.
+    const la::Matrix& basis = e->eigen_basis();
+    la::Vector x{basis(0, 0) * y[0] + basis(0, 1) * y[1],
+                 basis(1, 0) * y[0] + basis(1, 1) * y[1]};
+    EXPECT_TRUE(bbox.Contains(x));
+    max_x = std::max(max_x, std::abs(x[0]));
+    max_y = std::max(max_y, std::abs(x[1]));
+  }
+  EXPECT_NEAR(max_x, bbox.hi()[0], 1e-2);
+  EXPECT_NEAR(max_y, bbox.hi()[1], 1e-2);
+}
+
+TEST(Ellipsoid, EigenFrameRoundTripAndHalfWidths) {
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+  auto e = Ellipsoid::Create(la::Vector{5.0, -3.0}, cov, 1.5);
+  ASSERT_TRUE(e.ok());
+  // In the eigen frame, the Mahalanobis distance is Σ (y_i/s_i)².
+  const la::Vector p{10.0, 0.0};
+  const la::Vector y = e->ToEigenFrame(p);
+  double mahalanobis_sq = 0.0;
+  for (size_t i = 0; i < 2; ++i) {
+    mahalanobis_sq += (y[i] / e->axis_scales()[i]) *
+                      (y[i] / e->axis_scales()[i]);
+  }
+  EXPECT_NEAR(std::sqrt(mahalanobis_sq), e->MahalanobisDistance(p), 1e-10);
+
+  const la::Vector widths = e->EigenFrameHalfWidths(2.0);
+  EXPECT_NEAR(widths[0], e->axis_scales()[0] * 1.5 + 2.0, 1e-12);
+  EXPECT_NEAR(widths[1], e->axis_scales()[1] * 1.5 + 2.0, 1e-12);
+}
+
+TEST(Ellipsoid, ContainsMatchesMahalanobisRadius) {
+  const la::Matrix cov = workload::RandomRotatedCovariance(
+      la::Vector{0.5, 1.0, 3.0}, 9);
+  auto e = Ellipsoid::Create(la::Vector(3), cov, 2.0);
+  ASSERT_TRUE(e.ok());
+  rng::Random random(4);
+  for (int i = 0; i < 2000; ++i) {
+    la::Vector p(3);
+    for (size_t j = 0; j < 3; ++j) p[j] = random.NextDouble(-6.0, 6.0);
+    EXPECT_EQ(e->Contains(p), e->MahalanobisDistance(p) <= 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace gprq::geom

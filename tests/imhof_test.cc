@@ -1,0 +1,142 @@
+// Tests for Imhof's characteristic-function inversion of noncentral
+// quadratic-form CDFs — the exact backend for qualification probabilities.
+
+#include "stats/imhof.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+#include "stats/chi_squared.h"
+#include "stats/noncentral_chi_squared.h"
+#include "stats/special.h"
+
+namespace gprq::stats {
+namespace {
+
+TEST(Imhof, RejectsBadInput) {
+  EXPECT_FALSE(ImhofCdf({}, 1.0).ok());
+  EXPECT_FALSE(ImhofCdf({{0.0, 0.0}}, 1.0).ok());
+  EXPECT_FALSE(ImhofCdf({{-1.0, 0.0}}, 1.0).ok());
+}
+
+TEST(Imhof, NonPositiveThresholdIsZero) {
+  auto result = ImhofCdf({{1.0, 0.0}, {1.0, 0.0}}, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0.0);
+  result = ImhofCdf({{1.0, 0.5}}, -3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0.0);
+}
+
+TEST(Imhof, MatchesCentralChiSquared) {
+  for (size_t d : {1u, 2u, 3u, 9u}) {
+    std::vector<QuadraticFormTerm> terms(d, {1.0, 0.0});
+    for (double t : {0.5, 2.0, 8.0, 20.0}) {
+      auto result = ImhofCdf(terms, t);
+      ASSERT_TRUE(result.ok());
+      EXPECT_NEAR(*result, ChiSquaredCdf(d, t), 1e-6)
+          << "d=" << d << " t=" << t;
+    }
+  }
+}
+
+TEST(Imhof, MatchesNoncentralChiSquared) {
+  for (size_t d : {2u, 5u}) {
+    for (double b : {0.5, 2.0}) {
+      std::vector<QuadraticFormTerm> terms(d, {1.0, b});
+      const double lambda = static_cast<double>(d) * b * b;
+      for (double t : {1.0, 5.0, 25.0}) {
+        auto result = ImhofCdf(terms, t);
+        ASSERT_TRUE(result.ok());
+        EXPECT_NEAR(*result, NoncentralChiSquaredCdf(d, lambda, t), 1e-6)
+            << "d=" << d << " b=" << b << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Imhof, ScaledSingleTermClosedForm) {
+  // P(λ(z+b)² <= t) = Φ(√(t/λ) − b) − Φ(−√(t/λ) − b).
+  const double lambda = 7.0;
+  const double b = 1.3;
+  const double t = 12.0;
+  const double s = std::sqrt(t / lambda);
+  const double expected =
+      StandardNormalCdf(s - b) - StandardNormalCdf(-s - b);
+  auto result = ImhofCdf({{lambda, b}}, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*result, expected, 1e-6);
+}
+
+TEST(Imhof, MatchesMonteCarloOnAnisotropicForms) {
+  // Random weights/offsets, checked against a brute-force sample estimate.
+  rng::Random random(99);
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t d = 2 + trial;
+    std::vector<QuadraticFormTerm> terms(d);
+    for (auto& term : terms) {
+      term.weight = std::exp(random.NextDouble(-1.5, 1.5));
+      term.offset = random.NextDouble(-2.0, 2.0);
+    }
+    // Threshold near the bulk of the distribution.
+    double mean = 0.0;
+    for (const auto& term : terms) {
+      mean += term.weight * (1.0 + term.offset * term.offset);
+    }
+    const double t = mean;
+
+    const int n = 400000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      double q = 0.0;
+      for (const auto& term : terms) {
+        const double z = random.NextGaussian() + term.offset;
+        q += term.weight * z * z;
+      }
+      if (q <= t) ++hits;
+    }
+    const double mc = static_cast<double>(hits) / n;
+
+    auto result = ImhofCdf(terms, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(*result, mc, 4.0 * std::sqrt(0.25 / n) + 1e-4)
+        << "trial " << trial;
+  }
+}
+
+TEST(Imhof, ExtremeTailsClampToUnitInterval) {
+  std::vector<QuadraticFormTerm> terms = {{1.0, 10.0}, {2.0, -8.0}};
+  auto low = ImhofCdf(terms, 1e-3);
+  ASSERT_TRUE(low.ok());
+  EXPECT_GE(*low, 0.0);
+  EXPECT_LT(*low, 1e-6);
+  auto high = ImhofCdf(terms, 1e4);
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(*high, 1.0 - 1e-6);
+  EXPECT_LE(*high, 1.0);
+}
+
+TEST(Imhof, CdfMonotoneInThreshold) {
+  std::vector<QuadraticFormTerm> terms = {{3.0, 1.0}, {0.5, -0.5}, {1.0, 0.0}};
+  double prev = -1.0;
+  for (double t = 0.5; t <= 30.0; t += 0.5) {
+    auto result = ImhofCdf(terms, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(*result, prev - 1e-7) << "t=" << t;
+    prev = *result;
+  }
+}
+
+TEST(Imhof, WidelySpreadWeights) {
+  // Condition-number 1e4 between weights (a very elongated covariance).
+  std::vector<QuadraticFormTerm> terms = {{1e-2, 0.3}, {1e2, 0.7}};
+  auto result = ImhofCdf(terms, 100.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(*result, 0.0);
+  EXPECT_LT(*result, 1.0);
+}
+
+}  // namespace
+}  // namespace gprq::stats

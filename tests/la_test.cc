@@ -1,0 +1,229 @@
+// Unit tests for the dense linear-algebra substrate: vectors, matrices,
+// Cholesky factorization, and the symmetric eigendecomposition the OR/BF
+// strategies depend on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.h"
+#include "la/eigen_sym.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::la {
+namespace {
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector zero(3);
+  EXPECT_EQ(zero.dim(), 3u);
+  EXPECT_EQ(zero[0], 0.0);
+  EXPECT_EQ(zero[2], 0.0);
+
+  Vector filled(2, 1.5);
+  EXPECT_EQ(filled[0], 1.5);
+  EXPECT_EQ(filled[1], 1.5);
+
+  Vector list{1.0, 2.0, 3.0};
+  EXPECT_EQ(list.dim(), 3u);
+  EXPECT_EQ(list[1], 2.0);
+}
+
+TEST(Vector, Arithmetic) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_EQ(diff[0], -2.0);
+  EXPECT_EQ(diff[1], 3.0);
+  const Vector scaled = 2.0 * a;
+  EXPECT_EQ(scaled[0], 2.0);
+  EXPECT_EQ(scaled[1], 4.0);
+}
+
+TEST(Vector, DotNormDistance) {
+  const Vector a{3.0, 4.0};
+  const Vector b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 4.0 + 16.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(20.0));
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  const Matrix diag = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_EQ(diag(0, 0), 2.0);
+  EXPECT_EQ(diag(1, 1), 5.0);
+  EXPECT_EQ(diag(0, 1), 0.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v{1.0, -1.0};
+  const Vector out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, TransposeRowsCols) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(a.Row(1)[2], 6.0);
+  EXPECT_EQ(a.Col(2)[0], 3.0);
+}
+
+TEST(Matrix, QuadraticFormMatchesManual) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector v{1.0, 2.0};
+  // vᵀAv = 2 + 2·(1·2) + 3·4 = 18.
+  EXPECT_DOUBLE_EQ(QuadraticForm(a, v), 18.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  EXPECT_TRUE((Matrix{{1.0, 2.0}, {2.0, 1.0}}).IsSymmetric());
+  EXPECT_FALSE((Matrix{{1.0, 2.0}, {2.1, 1.0}}).IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol->lower();
+  const Matrix reconstructed = l * l.Transposed();
+  EXPECT_LT(MaxAbsDiff(reconstructed, a), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix{{1.0, 2.0}, {2.0, 1.0}}).ok());
+  EXPECT_FALSE(Cholesky::Factor(Matrix{{-1.0, 0.0}, {0.0, 1.0}}).ok());
+  EXPECT_FALSE(Cholesky::Factor(Matrix{{1.0, 0.5}, {0.4, 1.0}}).ok());
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(Cholesky, SolveRoundTrip) {
+  const Matrix a{{4.0, 2.0, 0.5}, {2.0, 5.0, 1.0}, {0.5, 1.0, 3.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector b{1.0, -2.0, 0.5};
+  const Vector x = chol->Solve(b);
+  const Vector residual = a * x - b;
+  EXPECT_LT(Norm(residual), 1e-12);
+}
+
+TEST(Cholesky, DeterminantMatches2x2Formula) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->Determinant(), 4.0 * 3.0 - 2.0 * 2.0, 1e-12);
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, InverseIsActualInverse) {
+  const Matrix a{{4.0, 2.0, 0.5}, {2.0, 5.0, 1.0}, {0.5, 1.0, 3.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix identity = a * chol->Inverse();
+  EXPECT_LT(MaxAbsDiff(identity, Matrix::Identity(3)), 1e-12);
+}
+
+TEST(Cholesky, InverseQuadraticFormMatchesExplicit) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector v{1.0, 2.0};
+  const double direct = QuadraticForm(chol->Inverse(), v);
+  EXPECT_NEAR(chol->InverseQuadraticForm(v), direct, 1e-12);
+}
+
+TEST(Cholesky, OneDimensional) {
+  auto chol = Cholesky::Factor(Matrix{{9.0}});
+  ASSERT_TRUE(chol.ok());
+  EXPECT_DOUBLE_EQ(chol->lower()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(chol->Determinant(), 9.0);
+}
+
+TEST(EigenSym, DiagonalMatrixSortedAscending) {
+  auto eigen = DecomposeSymmetric(Matrix::Diagonal(Vector{5.0, 1.0, 3.0}));
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigen->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eigen->eigenvalues[2], 5.0, 1e-12);
+}
+
+TEST(EigenSym, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  auto eigen = DecomposeSymmetric(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigen->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenSym, PaperCovarianceEigenvalues) {
+  // Σ/γ = [[7, 2√3], [2√3, 3]] has trace 10, det 9 → eigenvalues 1 and 9
+  // (Section V-A: "major-to-minor axis ratio is 3:1" in std-dev terms).
+  auto eigen = DecomposeSymmetric(workload::PaperCovariance2D(1.0));
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->eigenvalues[1], 9.0, 1e-10);
+}
+
+TEST(EigenSym, RejectsBadInput) {
+  EXPECT_FALSE(DecomposeSymmetric(Matrix(2, 3)).ok());
+  EXPECT_FALSE(DecomposeSymmetric(Matrix{{1.0, 2.0}, {0.0, 1.0}}).ok());
+}
+
+class EigenReconstructionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenReconstructionTest, ReconstructsAndOrthonormal) {
+  const size_t d = GetParam();
+  rng::Random random(d * 1000 + 17);
+  Vector stddevs(d);
+  for (size_t i = 0; i < d; ++i) {
+    stddevs[i] = std::exp(random.NextDouble(-1.0, 2.0));
+  }
+  const Matrix cov = workload::RandomRotatedCovariance(stddevs, d + 5);
+  auto eigen = DecomposeSymmetric(cov);
+  ASSERT_TRUE(eigen.ok());
+
+  // Ascending eigenvalues.
+  for (size_t i = 1; i < d; ++i) {
+    EXPECT_LE(eigen->eigenvalues[i - 1], eigen->eigenvalues[i] + 1e-12);
+  }
+  // Orthonormal eigenvectors: EᵀE = I.
+  const Matrix gram =
+      eigen->eigenvectors.Transposed() * eigen->eigenvectors;
+  EXPECT_LT(MaxAbsDiff(gram, Matrix::Identity(d)), 1e-10);
+  // Reconstruction: E diag(λ) Eᵀ = A.
+  const Matrix reconstructed = eigen->eigenvectors *
+                               Matrix::Diagonal(eigen->eigenvalues) *
+                               eigen->eigenvectors.Transposed();
+  EXPECT_LT(MaxAbsDiff(reconstructed, cov), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EigenReconstructionTest,
+                         ::testing::Values(1, 2, 3, 5, 9, 15, 24));
+
+}  // namespace
+}  // namespace gprq::la

@@ -1,0 +1,139 @@
+// Tests for the marginal filter extension: soundness (the per-axis bound
+// dominates the true probability, so pruning causes no false dismissals)
+// and effectiveness (it only ever shrinks the integration set).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/filters.h"
+#include "core/naive.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+GaussianDistribution MakeGaussian(la::Vector mean, la::Matrix cov) {
+  auto g = GaussianDistribution::Create(std::move(mean), std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+TEST(MarginalFilter, BoundDominatesExactProbability) {
+  rng::Random random(7);
+  mc::ImhofEvaluator exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t d = 2 + trial % 4;
+    la::Vector stddevs(d);
+    for (size_t j = 0; j < d; ++j) {
+      stddevs[j] = std::exp(random.NextDouble(-1.0, 1.5));
+    }
+    const auto g = MakeGaussian(
+        la::Vector(d), workload::RandomRotatedCovariance(stddevs, trial));
+    const double delta = random.NextDouble(0.5, 6.0);
+    const MarginalFilter filter = MarginalFilter::Compute(delta, 0.1);
+    for (int i = 0; i < 50; ++i) {
+      la::Vector o(d);
+      for (size_t j = 0; j < d; ++j) o[j] = random.NextDouble(-8.0, 8.0);
+      const double bound = filter.UpperBound(g, o);
+      const double p = exact.QualificationProbability(g, o, delta);
+      EXPECT_GE(bound, p - 1e-7)
+          << "trial " << trial << " object " << i;
+    }
+  }
+}
+
+TEST(MarginalFilter, ExactOnAxisAlignedSingleAxisEvents) {
+  // One effective dimension: with a near-zero second axis that axis's
+  // marginal is ~1, so the bound equals the unit-variance axis marginal
+  // Φ(c+δ) − Φ(c−δ) exactly.
+  const auto g = MakeGaussian(
+      la::Vector(2), la::Matrix::Diagonal(la::Vector{1.0, 1e-6}));
+  const MarginalFilter filter = MarginalFilter::Compute(2.0, 0.1);
+  const la::Vector o{1.0, 0.0};
+  const double expected = 0.5 * (std::erf((1.0 + 2.0) / std::sqrt(2.0)) -
+                                 std::erf((1.0 - 2.0) / std::sqrt(2.0)));
+  EXPECT_NEAR(filter.UpperBound(g, o), expected, 1e-6);
+
+  // And with a huge second axis, the object is almost never within δ along
+  // it, so the min picks that axis and the bound collapses (that is the
+  // filter's power on elongated covariances).
+  const auto wide = MakeGaussian(
+      la::Vector(2), la::Matrix::Diagonal(la::Vector{1.0, 1e6}));
+  EXPECT_LT(filter.UpperBound(wide, o), 0.01);
+}
+
+TEST(MarginalFilter, EngineResultsUnchangedCandidatesReduced) {
+  // 9-D anisotropic setting, where the paper says better filters are
+  // needed: marginal filtering must not change the answer and should
+  // strictly help the integration count.
+  const geom::Rect extent(la::Vector(9, -3.0), la::Vector(9, 3.0));
+  const auto dataset = workload::GenerateClustered(6000, extent, 10, 0.8, 3);
+  auto tree = index::StrBulkLoader::Load(9, dataset.points);
+  ASSERT_TRUE(tree.ok());
+
+  rng::Random random(5);
+  la::Vector stddevs(9);
+  for (size_t j = 0; j < 9; ++j) {
+    stddevs[j] = 0.15 * std::exp(random.NextDouble(-1.2, 0.6));
+  }
+  auto g = GaussianDistribution::Create(
+      dataset.points[3000], workload::RandomRotatedCovariance(stddevs, 8));
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 0.7, 0.2};
+
+  const PrqEngine engine(&*tree);
+  mc::ImhofEvaluator exact;
+  PrqOptions base;
+  PrqOptions with_mf = base;
+  with_mf.use_marginal_filter = true;
+
+  PrqStats stats_base, stats_mf;
+  auto a = engine.Execute(query, base, &exact, &stats_base);
+  auto b = engine.Execute(query, with_mf, &exact, &stats_mf);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<index::ObjectId> va = *a, vb = *b;
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(va, vb);
+  EXPECT_LE(stats_mf.integration_candidates,
+            stats_base.integration_candidates);
+}
+
+TEST(MarginalFilter, MatchesOracleAcrossStrategies) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{500.0, 500.0});
+  const auto dataset = workload::GenerateClustered(1500, extent, 8, 20.0, 9);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  auto g = GaussianDistribution::Create(dataset.points[700],
+                                        workload::PaperCovariance2D(8.0));
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 20.0, 0.05};
+
+  mc::ImhofEvaluator exact;
+  auto oracle = NaivePrq(dataset.points, query, &exact);
+  ASSERT_TRUE(oracle.ok());
+  std::vector<index::ObjectId> expected = *oracle;
+  std::sort(expected.begin(), expected.end());
+
+  const PrqEngine engine(&*tree);
+  for (StrategyMask mask : {kStrategyRR, kStrategyBF, kStrategyAll}) {
+    PrqOptions options;
+    options.strategies = mask;
+    options.use_marginal_filter = true;
+    auto result = engine.Execute(query, options, &exact);
+    ASSERT_TRUE(result.ok());
+    std::vector<index::ObjectId> got = *result;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << StrategyName(mask);
+  }
+}
+
+}  // namespace
+}  // namespace gprq::core

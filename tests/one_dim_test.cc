@@ -1,0 +1,126 @@
+// Tests for the analytic 1-D PRQ (the paper's "trivial" case, made exact).
+
+#include "core/one_dim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "stats/special.h"
+
+namespace gprq::core {
+namespace {
+
+TEST(OneDim, ProbabilityClosedForm) {
+  // σ=1, q=0, δ=1, o=0: Φ(1) − Φ(−1) = 0.6827.
+  EXPECT_NEAR(OneDimensionalPrq::QualificationProbability(0.0, 1.0, 0.0, 1.0),
+              0.6826894921370859, 1e-12);
+  // Shift invariance.
+  EXPECT_NEAR(
+      OneDimensionalPrq::QualificationProbability(5.0, 2.0, 6.0, 1.5),
+      OneDimensionalPrq::QualificationProbability(0.0, 2.0, 1.0, 1.5),
+      1e-13);
+  // Symmetry in o − q.
+  EXPECT_NEAR(
+      OneDimensionalPrq::QualificationProbability(0.0, 1.5, 2.0, 1.0),
+      OneDimensionalPrq::QualificationProbability(0.0, 1.5, -2.0, 1.0),
+      1e-13);
+}
+
+TEST(OneDim, ProbabilityMatchesGeneralEvaluator) {
+  auto g = GaussianDistribution::Create(la::Vector{3.0},
+                                        la::Matrix{{4.0}});
+  ASSERT_TRUE(g.ok());
+  mc::ImhofEvaluator exact;
+  for (double o : {-2.0, 1.0, 3.0, 5.5, 10.0}) {
+    EXPECT_NEAR(
+        OneDimensionalPrq::QualificationProbability(3.0, 2.0, o, 1.7),
+        exact.QualificationProbability(*g, la::Vector{o}, 1.7), 1e-7)
+        << "o=" << o;
+  }
+}
+
+TEST(OneDim, HalfWidthSolvesBoundary) {
+  for (double sigma : {0.5, 1.0, 4.0}) {
+    for (double delta : {0.5, 2.0}) {
+      for (double theta : {0.01, 0.2, 0.6}) {
+        const double peak = OneDimensionalPrq::QualificationProbability(
+            0.0, sigma, 0.0, delta);
+        const double m =
+            OneDimensionalPrq::QualifyingHalfWidth(sigma, delta, theta);
+        if (theta > peak) {
+          EXPECT_LT(m, 0.0);
+          continue;
+        }
+        ASSERT_GE(m, 0.0);
+        EXPECT_NEAR(OneDimensionalPrq::QualificationProbability(0.0, sigma,
+                                                                m, delta),
+                    theta, 1e-9)
+            << "sigma=" << sigma << " delta=" << delta
+            << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(OneDim, QueryValidatesInput) {
+  OneDimensionalPrq index({1.0, 2.0});
+  EXPECT_FALSE(index.Query(0.0, 0.0, 1.0, 0.1).ok());
+  EXPECT_FALSE(index.Query(0.0, 1.0, 0.0, 0.1).ok());
+  EXPECT_FALSE(index.Query(0.0, 1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(index.Query(0.0, 1.0, 1.0, 1.0).ok());
+}
+
+TEST(OneDim, QueryMatchesBruteForce) {
+  rng::Random random(8);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(random.NextGaussian(0.0, 50.0));
+  }
+  const OneDimensionalPrq index(values);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double q = random.NextDouble(-100.0, 100.0);
+    const double sigma = random.NextDouble(0.5, 20.0);
+    const double delta = random.NextDouble(0.5, 30.0);
+    const double theta = random.NextDouble(0.01, 0.95);
+    auto result = index.Query(q, sigma, delta, theta);
+    ASSERT_TRUE(result.ok());
+    std::vector<index::ObjectId> got = *result;
+    std::sort(got.begin(), got.end());
+
+    std::vector<index::ObjectId> expected;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (OneDimensionalPrq::QualificationProbability(q, sigma, values[i],
+                                                      delta) >= theta) {
+        expected.push_back(static_cast<index::ObjectId>(i));
+      }
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(OneDim, EmptyAndUnreachable) {
+  const OneDimensionalPrq empty({});
+  auto result = empty.Query(0.0, 1.0, 1.0, 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+
+  // θ unreachable: wide σ, tiny δ.
+  const OneDimensionalPrq index({0.0, 1.0, 2.0});
+  result = index.Query(1.0, 100.0, 0.1, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(OneDim, DuplicatesAllReturned) {
+  const OneDimensionalPrq index({5.0, 5.0, 5.0, 9.0});
+  auto result = index.Query(5.0, 1.0, 2.0, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace gprq::core

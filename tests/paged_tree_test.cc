@@ -1,0 +1,348 @@
+// Tests for the disk substrate: page file, LRU buffer pool, and the paged
+// R*-tree snapshot (differential against the in-memory tree).
+
+#include "index/paged_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "index/buffer_pool.h"
+#include "index/page_file.h"
+#include "index/str_bulk_load.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::index {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageFile, CreateAllocateRoundTrip) {
+  const std::string path = TempPath("pf_roundtrip.pages");
+  auto file = PageFile::Create(path, 256);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->page_count(), 0u);
+
+  auto p0 = file->Allocate();
+  auto p1 = file->Allocate();
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+
+  std::vector<uint8_t> data(256, 0xAB);
+  ASSERT_TRUE(file->WritePage(*p1, data).ok());
+  std::vector<uint8_t> read_back;
+  ASSERT_TRUE(file->ReadPage(*p1, &read_back).ok());
+  EXPECT_EQ(read_back, data);
+  // Page 0 stays zeroed.
+  ASSERT_TRUE(file->ReadPage(*p0, &read_back).ok());
+  EXPECT_EQ(read_back, std::vector<uint8_t>(256, 0));
+  EXPECT_GE(file->physical_writes(), 3u);  // 2 allocs + 1 write
+
+  std::remove(path.c_str());
+}
+
+TEST(PageFile, Validation) {
+  const std::string path = TempPath("pf_validate.pages");
+  EXPECT_FALSE(PageFile::Create(path, 8).ok());  // too small
+  auto file = PageFile::Create(path, 128);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> bad(64);
+  EXPECT_FALSE(file->WritePage(0, bad).ok());  // wrong size
+  std::vector<uint8_t> buffer;
+  EXPECT_FALSE(file->ReadPage(0, &buffer).ok());  // beyond end
+  std::vector<uint8_t> good(128);
+  EXPECT_FALSE(file->WritePage(5, good).ok());  // past append frontier
+  std::remove(path.c_str());
+  EXPECT_FALSE(PageFile::Open("/nonexistent/file.pages", 128).ok());
+}
+
+TEST(PageFile, ReopenSeesPages) {
+  const std::string path = TempPath("pf_reopen.pages");
+  {
+    auto file = PageFile::Create(path, 128);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Allocate().ok());
+    ASSERT_TRUE(file->Allocate().ok());
+    std::vector<uint8_t> data(128, 7);
+    ASSERT_TRUE(file->WritePage(1, data).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto reopened = PageFile::Open(path, 128);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->page_count(), 2u);
+  std::vector<uint8_t> buffer;
+  ASSERT_TRUE(reopened->ReadPage(1, &buffer).ok());
+  EXPECT_EQ(buffer[0], 7);
+  // Mismatched page size is rejected via the size check.
+  EXPECT_FALSE(PageFile::Open(path, 100).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BufferPool, HitsMissesAndEviction) {
+  const std::string path = TempPath("bp_lru.pages");
+  auto file = PageFile::Create(path, 128);
+  ASSERT_TRUE(file.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto id = file->Allocate();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> data(128, static_cast<uint8_t>(i));
+    ASSERT_TRUE(file->WritePage(*id, data).ok());
+  }
+
+  BufferPool pool(&*file, /*capacity=*/2);
+  auto p0 = pool.GetPage(0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ((*p0)[0], 0);
+  auto p1 = pool.GetPage(1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(pool.stats().misses, 2u);
+
+  // Hit: page 0 again (also refreshes its LRU position).
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+
+  // Miss + eviction of the least-recent page (1).
+  ASSERT_TRUE(pool.GetPage(2).ok());
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.cached_pages(), 2u);
+
+  // Page 0 must still be cached; page 1 must fault.
+  const uint64_t misses = pool.stats().misses;
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  EXPECT_EQ(pool.stats().misses, misses);
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  EXPECT_EQ(pool.stats().misses, misses + 1);
+
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeSnapshot, MaxEntriesPerPage) {
+  // d=2: entry = 16*2+4 = 36 bytes, header 8 → (1024−8)/36 = 28.
+  EXPECT_EQ(TreeSnapshot::MaxEntriesPerPage(1024, 2), 28u);
+  EXPECT_EQ(TreeSnapshot::MaxEntriesPerPage(8, 2), 0u);
+}
+
+TEST(TreeSnapshot, RejectsOversizedNodes) {
+  RStarTreeOptions options;
+  options.max_entries = 64;
+  const auto dataset = workload::GenerateUniform(
+      500, geom::Rect(la::Vector{0.0, 0.0}, la::Vector{10.0, 10.0}), 1);
+  auto tree = StrBulkLoader::Load(2, dataset.points, options);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = TempPath("snap_oversized.pages");
+  // 64 entries cannot fit a 1KB page in 2-D.
+  EXPECT_FALSE(TreeSnapshot::Write(*tree, path, 1024).ok());
+  std::remove(path.c_str());
+}
+
+class PagedTreeDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(PagedTreeDifferentialTest, QueriesMatchInMemoryTree) {
+  const auto [dim, page_size] = GetParam();
+  const size_t n = 5000;
+  const geom::Rect extent(la::Vector(dim, 0.0), la::Vector(dim, 100.0));
+  const auto dataset = workload::GenerateClustered(n, extent, 10, 8.0, dim);
+
+  RStarTreeOptions options;
+  options.max_entries =
+      std::min<size_t>(32, TreeSnapshot::MaxEntriesPerPage(page_size, dim));
+  auto tree = StrBulkLoader::Load(dim, dataset.points, options);
+  ASSERT_TRUE(tree.ok());
+
+  const std::string path = TempPath("snap_diff.pages");
+  ASSERT_TRUE(TreeSnapshot::Write(*tree, path, page_size).ok());
+
+  PagedRStarTree::OpenOptions open_options;
+  open_options.page_size = page_size;
+  open_options.buffer_pages = 16;
+  auto paged = PagedRStarTree::Open(path, open_options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  EXPECT_EQ(paged->dim(), dim);
+  EXPECT_EQ(paged->size(), n);
+  EXPECT_EQ(paged->height(), tree->height());
+  EXPECT_EQ(paged->node_count(), tree->node_count());
+
+  rng::Random random(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    la::Vector lo(dim), hi(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      const double a = random.NextDouble(0.0, 100.0);
+      const double b = random.NextDouble(0.0, 100.0);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const geom::Rect window(lo, hi);
+    std::vector<ObjectId> expected, got;
+    tree->RangeQuery(window, &expected);
+    ASSERT_TRUE(paged->RangeQuery(window, &got).ok());
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "window trial " << trial;
+
+    la::Vector center(dim);
+    for (size_t j = 0; j < dim; ++j) center[j] = random.NextDouble(0.0, 100.0);
+    expected.clear();
+    got.clear();
+    tree->BallQuery(center, 15.0, &expected);
+    ASSERT_TRUE(paged->BallQuery(center, 15.0, &got).ok());
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "ball trial " << trial;
+
+    std::vector<std::pair<double, ObjectId>> knn_expected, knn_got;
+    tree->KnnQuery(center, 10, &knn_expected);
+    ASSERT_TRUE(paged->KnnQuery(center, 10, &knn_got).ok());
+    ASSERT_EQ(knn_got.size(), knn_expected.size());
+    for (size_t r = 0; r < knn_got.size(); ++r) {
+      EXPECT_NEAR(knn_got[r].first, knn_expected[r].first, 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PagedTreeDifferentialTest,
+                         ::testing::Values(std::make_tuple(2, 1024),
+                                           std::make_tuple(2, 4096),
+                                           std::make_tuple(3, 2048),
+                                           std::make_tuple(9, 4096)));
+
+TEST(PagedTree, BufferPoolStatsReflectLocality) {
+  const size_t n = 20000;
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1000.0, 1000.0});
+  const auto dataset = workload::GenerateClustered(n, extent, 12, 25.0, 5);
+  RStarTreeOptions options;
+  options.max_entries = 28;
+  auto tree = StrBulkLoader::Load(2, dataset.points, options);
+  ASSERT_TRUE(tree.ok());
+  const std::string path = TempPath("snap_stats.pages");
+  ASSERT_TRUE(TreeSnapshot::Write(*tree, path, 1024).ok());
+
+  PagedRStarTree::OpenOptions open_options;
+  open_options.page_size = 1024;
+  open_options.buffer_pages = 256;
+  auto paged = PagedRStarTree::Open(path, open_options);
+  ASSERT_TRUE(paged.ok());
+
+  // Same query twice: the second run must be all hits.
+  const geom::Rect window(la::Vector{100.0, 100.0},
+                          la::Vector{300.0, 300.0});
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(paged->RangeQuery(window, &out).ok());
+  const uint64_t cold_misses = paged->pool_stats().misses;
+  EXPECT_GT(cold_misses, 0u);
+  paged->ResetPoolStats();
+  out.clear();
+  ASSERT_TRUE(paged->RangeQuery(window, &out).ok());
+  EXPECT_EQ(paged->pool_stats().misses, 0u);
+  EXPECT_GT(paged->pool_stats().hits, 0u);
+
+  // After dropping the cache the same query faults again.
+  paged->DropCache();
+  paged->ResetPoolStats();
+  out.clear();
+  ASSERT_TRUE(paged->RangeQuery(window, &out).ok());
+  EXPECT_EQ(paged->pool_stats().misses, cold_misses);
+  std::remove(path.c_str());
+}
+
+TEST(TreeSnapshot, LoadRoundTripRestoresTheTree) {
+  const size_t n = 8000;
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{500.0, 500.0});
+  const auto dataset = workload::GenerateClustered(n, extent, 9, 12.0, 13);
+  RStarTreeOptions options;
+  options.max_entries = 28;
+  auto original = StrBulkLoader::Load(2, dataset.points, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("snap_load.pages");
+  ASSERT_TRUE(TreeSnapshot::Write(*original, path, 1024).ok());
+  auto loaded = TreeSnapshot::Load(path, 1024);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->size(), original->size());
+  EXPECT_EQ(loaded->height(), original->height());
+  EXPECT_EQ(loaded->node_count(), original->node_count());
+  ASSERT_TRUE(loaded->CheckInvariants().ok())
+      << loaded->CheckInvariants().ToString();
+
+  // Queries agree with the original.
+  rng::Random random(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    la::Vector center{random.NextDouble(0.0, 500.0),
+                      random.NextDouble(0.0, 500.0)};
+    std::vector<ObjectId> a, b;
+    original->BallQuery(center, 25.0, &a);
+    loaded->BallQuery(center, 25.0, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "trial " << trial;
+  }
+
+  // The loaded tree remains fully updatable.
+  ASSERT_TRUE(loaded->Insert(la::Vector{250.0, 250.0}, 999999).ok());
+  ASSERT_TRUE(loaded->Remove(dataset.points[0], 0).ok());
+  EXPECT_EQ(loaded->size(), n);
+  EXPECT_TRUE(loaded->CheckInvariants().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeSnapshot, LoadRejectsGarbage) {
+  const std::string path = TempPath("snap_load_garbage.pages");
+  {
+    auto file = PageFile::Create(path, 1024);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Allocate().ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  EXPECT_FALSE(TreeSnapshot::Load(path, 1024).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(TreeSnapshot::Load("/nonexistent.pages", 1024).ok());
+}
+
+TEST(PagedTree, OpenValidation) {
+  PagedRStarTree::OpenOptions options;
+  EXPECT_FALSE(PagedRStarTree::Open("/nonexistent.pages", options).ok());
+
+  // Garbage file: right size, wrong magic.
+  const std::string path = TempPath("snap_garbage.pages");
+  {
+    auto file = PageFile::Create(path, 4096);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Allocate().ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  EXPECT_FALSE(PagedRStarTree::Open(path, options).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PagedTree, EmptyTreeSnapshot) {
+  auto tree = StrBulkLoader::Load(2, {});
+  ASSERT_TRUE(tree.ok());
+  const std::string path = TempPath("snap_empty.pages");
+  ASSERT_TRUE(TreeSnapshot::Write(*tree, path, 1024).ok());
+  PagedRStarTree::OpenOptions options;
+  options.page_size = 1024;
+  auto paged = PagedRStarTree::Open(path, options);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->size(), 0u);
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(paged
+                  ->RangeQuery(geom::Rect(la::Vector{0.0, 0.0},
+                                          la::Vector{1.0, 1.0}),
+                               &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gprq::index

@@ -1,0 +1,151 @@
+// Tests for ExecuteParallel: identical results to sequential execution,
+// input validation, and correct stats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/engine.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+struct Fixture {
+  workload::Dataset dataset;
+  index::RStarTree tree;
+
+  static Fixture Make(size_t n, uint64_t seed) {
+    const geom::Rect extent(la::Vector{0.0, 0.0},
+                            la::Vector{1000.0, 1000.0});
+    auto dataset = workload::GenerateClustered(n, extent, 14, 35.0, seed);
+    auto tree = index::StrBulkLoader::Load(2, dataset.points);
+    EXPECT_TRUE(tree.ok());
+    return Fixture{std::move(dataset), std::move(*tree)};
+  }
+};
+
+PrqQuery MakeQuery(const Fixture& fixture, double gamma, double delta,
+                   double theta) {
+  auto g = GaussianDistribution::Create(
+      fixture.dataset.points[fixture.dataset.size() / 2],
+      workload::PaperCovariance2D(gamma));
+  EXPECT_TRUE(g.ok());
+  return PrqQuery{std::move(*g), delta, theta};
+}
+
+PrqEngine::EvaluatorFactory ExactFactory() {
+  return [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<mc::ImhofEvaluator>();
+  };
+}
+
+TEST(ExecuteParallel, ValidatesInput) {
+  auto fixture = Fixture::Make(200, 1);
+  const PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 10.0, 25.0, 0.01);
+  EXPECT_FALSE(
+      engine.ExecuteParallel(query, PrqOptions(), nullptr, 2).ok());
+  EXPECT_FALSE(
+      engine.ExecuteParallel(query, PrqOptions(), ExactFactory(), 0).ok());
+  const auto null_factory =
+      [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return nullptr;
+  };
+  EXPECT_FALSE(
+      engine.ExecuteParallel(query, PrqOptions(), null_factory, 2).ok());
+}
+
+TEST(ExecuteParallel, MatchesSequentialWithExactEvaluator) {
+  auto fixture = Fixture::Make(4000, 2);
+  const PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 10.0, 25.0, 0.01);
+
+  mc::ImhofEvaluator exact;
+  PrqStats seq_stats;
+  auto sequential =
+      engine.Execute(query, PrqOptions(), &exact, &seq_stats);
+  ASSERT_TRUE(sequential.ok());
+  std::vector<index::ObjectId> expected = *sequential;
+  std::sort(expected.begin(), expected.end());
+
+  for (size_t threads : {1u, 2u, 3u, 8u}) {
+    PrqStats par_stats;
+    auto parallel = engine.ExecuteParallel(query, PrqOptions(),
+                                           ExactFactory(), threads,
+                                           &par_stats);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    std::vector<index::ObjectId> got = *parallel;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+    EXPECT_EQ(par_stats.integration_candidates,
+              seq_stats.integration_candidates);
+    EXPECT_EQ(par_stats.result_size, expected.size());
+  }
+}
+
+TEST(ExecuteParallel, MoreThreadsThanSurvivors) {
+  auto fixture = Fixture::Make(50, 3);
+  const PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 1.0, 10.0, 0.2);
+  auto result =
+      engine.ExecuteParallel(query, PrqOptions(), ExactFactory(), 64);
+  ASSERT_TRUE(result.ok());
+  mc::ImhofEvaluator exact;
+  auto sequential = engine.Execute(query, PrqOptions(), &exact);
+  ASSERT_TRUE(sequential.ok());
+  std::vector<index::ObjectId> a = *result, b = *sequential;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExecuteParallel, ProvedEmptyShortCircuits) {
+  auto fixture = Fixture::Make(100, 4);
+  const PrqEngine engine(&fixture.tree);
+  auto g = GaussianDistribution::Create(la::Vector{500.0, 500.0},
+                                        la::Matrix::Identity(2) * 1e6);
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 1.0, 0.4};
+  PrqOptions options;
+  options.strategies = kStrategyBF;
+  PrqStats stats;
+  auto result =
+      engine.ExecuteParallel(query, options, ExactFactory(), 4, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_TRUE(stats.proved_empty);
+}
+
+TEST(ExecuteParallel, MonteCarloWorkersWithDistinctSeeds) {
+  auto fixture = Fixture::Make(3000, 5);
+  const PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 10.0, 25.0, 0.01);
+
+  const auto mc_factory =
+      [](size_t worker) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<mc::MonteCarloEvaluator>(
+        mc::MonteCarloOptions{.samples = 20000, .seed = 1000 + worker});
+  };
+  auto parallel =
+      engine.ExecuteParallel(query, PrqOptions(), mc_factory, 2);
+  ASSERT_TRUE(parallel.ok());
+
+  mc::ImhofEvaluator exact;
+  auto reference = engine.Execute(query, PrqOptions(), &exact);
+  ASSERT_TRUE(reference.ok());
+  std::vector<index::ObjectId> a = *parallel, b = *reference;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<index::ObjectId> diff;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(diff));
+  EXPECT_LE(diff.size(), b.size() / 10 + 3);
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,179 @@
+// The library's central correctness property, swept across dimensions,
+// covariance shapes, and query parameters: every strategy combination
+// returns EXACTLY the brute-force PRQ answer (the filters may only discard
+// objects that provably cannot qualify, and only auto-accept objects that
+// provably do). Uses the exact evaluator so there is no sampling noise in
+// the comparison.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/naive.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+struct SweepCase {
+  size_t dim;
+  double extent;
+  double delta;
+  double theta;
+  double min_stddev;
+  double max_stddev;
+  uint64_t seed;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "d=" << c.dim << " delta=" << c.delta << " theta=" << c.theta
+      << " s=[" << c.min_stddev << "," << c.max_stddev << "] seed=" << c.seed;
+}
+
+class NoFalseDismissalTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(NoFalseDismissalTest, EveryComboMatchesOracle) {
+  const SweepCase& c = GetParam();
+  const geom::Rect extent(la::Vector(c.dim, 0.0),
+                          la::Vector(c.dim, c.extent));
+  const size_t n = 800;
+  const auto dataset =
+      workload::GenerateClustered(n, extent, 8, c.extent / 15.0, c.seed);
+  auto tree = index::StrBulkLoader::Load(c.dim, dataset.points);
+  ASSERT_TRUE(tree.ok());
+
+  rng::Random random(c.seed * 31 + 7);
+  la::Vector stddevs(c.dim);
+  for (size_t j = 0; j < c.dim; ++j) {
+    stddevs[j] = std::exp(random.NextDouble(std::log(c.min_stddev),
+                                            std::log(c.max_stddev)));
+  }
+  const la::Matrix cov =
+      workload::RandomRotatedCovariance(stddevs, c.seed + 1);
+  // Query center near a data point so answers are non-trivial.
+  la::Vector center = dataset.points[random.NextUint64(n)];
+  auto g = GaussianDistribution::Create(center, cov);
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), c.delta, c.theta};
+
+  mc::ImhofEvaluator exact;
+  auto oracle = NaivePrq(dataset.points, query, &exact);
+  ASSERT_TRUE(oracle.ok());
+  std::vector<index::ObjectId> expected = *oracle;
+  std::sort(expected.begin(), expected.end());
+
+  const PrqEngine engine(&*tree);
+  const StrategyMask combos[] = {
+      kStrategyRR,
+      kStrategyBF,
+      kStrategyOR,
+      kStrategyRR | kStrategyBF,
+      kStrategyRR | kStrategyOR,
+      kStrategyBF | kStrategyOR,
+      kStrategyAll,
+  };
+  for (StrategyMask mask : combos) {
+    for (bool use_catalogs : {true, false}) {
+      PrqOptions options;
+      options.strategies = mask;
+      options.use_catalogs = use_catalogs;
+      auto result = engine.Execute(query, options, &exact);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::vector<index::ObjectId> got = *result;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected)
+          << StrategyName(mask) << (use_catalogs ? " tables" : " exact")
+          << " answered " << got.size() << " vs oracle " << expected.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoFalseDismissalTest,
+    ::testing::Values(
+        // 2-D, paper-like parameters at several scales of uncertainty.
+        SweepCase{2, 1000.0, 25.0, 0.01, 3.0, 10.0, 1},
+        SweepCase{2, 1000.0, 25.0, 0.01, 10.0, 30.0, 2},
+        SweepCase{2, 1000.0, 5.0, 0.1, 1.0, 20.0, 3},
+        SweepCase{2, 1000.0, 60.0, 0.3, 5.0, 15.0, 4},
+        // Near-spherical covariance (strategies converge, Section V-B.3).
+        SweepCase{2, 1000.0, 25.0, 0.05, 8.0, 8.5, 5},
+        // Extremely elongated covariance (strategies diverge).
+        SweepCase{2, 1000.0, 25.0, 0.02, 1.0, 50.0, 6},
+        // High probability thresholds including θ >= 1/2.
+        SweepCase{2, 1000.0, 40.0, 0.45, 4.0, 9.0, 7},
+        SweepCase{2, 1000.0, 40.0, 0.7, 3.0, 6.0, 8},
+        SweepCase{2, 1000.0, 50.0, 0.9, 2.0, 4.0, 9},
+        // 3-D and 5-D.
+        SweepCase{3, 500.0, 30.0, 0.05, 4.0, 12.0, 10},
+        SweepCase{3, 500.0, 15.0, 0.01, 2.0, 25.0, 11},
+        SweepCase{5, 200.0, 25.0, 0.02, 3.0, 10.0, 12},
+        // Tiny delta: most candidates fail.
+        SweepCase{2, 1000.0, 2.0, 0.01, 2.0, 6.0, 13},
+        // Tiny theta: region radii come from the far tail.
+        SweepCase{2, 1000.0, 25.0, 0.001, 5.0, 15.0, 14},
+        SweepCase{2, 1000.0, 25.0, 0.0001, 5.0, 15.0, 15}));
+
+TEST(NoFalseDismissalEdge, EmptyDataset) {
+  auto tree = index::StrBulkLoader::Load(2, {});
+  ASSERT_TRUE(tree.ok());
+  auto g = GaussianDistribution::Create(la::Vector{0.0, 0.0},
+                                        la::Matrix::Identity(2));
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 1.0, 0.1};
+  mc::ImhofEvaluator exact;
+  const PrqEngine engine(&*tree);
+  auto result = engine.Execute(query, PrqOptions(), &exact);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(NoFalseDismissalEdge, AllPointsCoincideWithMean) {
+  std::vector<la::Vector> points(50, la::Vector{10.0, 10.0});
+  auto tree = index::StrBulkLoader::Load(2, points);
+  ASSERT_TRUE(tree.ok());
+  auto g = GaussianDistribution::Create(la::Vector{10.0, 10.0},
+                                        la::Matrix::Identity(2));
+  ASSERT_TRUE(g.ok());
+  // Ball of radius 2 at the mean holds 86%; θ = 0.8 keeps all copies.
+  const PrqQuery query{std::move(*g), 2.0, 0.8};
+  mc::ImhofEvaluator exact;
+  const PrqEngine engine(&*tree);
+  for (StrategyMask mask : {kStrategyRR, kStrategyBF, kStrategyAll}) {
+    PrqOptions options;
+    options.strategies = mask;
+    auto result = engine.Execute(query, options, &exact);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), 50u) << StrategyName(mask);
+  }
+}
+
+TEST(NoFalseDismissalEdge, QueryFarOutsideDataExtent) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{100.0, 100.0});
+  const auto dataset = workload::GenerateUniform(300, extent, 21);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  auto g = GaussianDistribution::Create(la::Vector{5000.0, 5000.0},
+                                        workload::PaperCovariance2D(1.0));
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 10.0, 0.1};
+  mc::ImhofEvaluator exact;
+  const PrqEngine engine(&*tree);
+  for (StrategyMask mask : {kStrategyRR, kStrategyBF, kStrategyAll}) {
+    PrqOptions options;
+    options.strategies = mask;
+    PrqStats stats;
+    auto result = engine.Execute(query, options, &exact, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->empty());
+    EXPECT_EQ(stats.integration_candidates, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -1,0 +1,138 @@
+// Tests for the PRNG and the multivariate Gaussian sampler (the RANDLIB
+// replacement feeding the Monte-Carlo integrator).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.h"
+#include "rng/mvn_sampler.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::rng {
+namespace {
+
+TEST(Random, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random random(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = random.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformMoments) {
+  Random random(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = random.NextDouble();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sum_sq / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.005);
+}
+
+TEST(Random, BoundedIntegerInRange) {
+  Random random(5);
+  int histogram[10] = {0};
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = random.NextUint64(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 10000, 600);  // ~6 sigma
+  }
+}
+
+TEST(Random, GaussianMoments) {
+  Random random(13);
+  const int n = 400000;
+  double sum = 0.0, sum_sq = 0.0, sum_cube = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = random.NextGaussian();
+    sum += z;
+    sum_sq += z * z;
+    sum_cube += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+  EXPECT_NEAR(sum_cube / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Random, ScaledGaussian) {
+  Random random(17);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = random.NextGaussian(10.0, 3.0);
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 9.0, 0.2);
+}
+
+TEST(MvnSampler, RejectsBadCovariance) {
+  EXPECT_FALSE(MvnSampler::Create(la::Vector{0.0, 0.0},
+                                  la::Matrix{{1.0, 2.0}, {2.0, 1.0}})
+                   .ok());
+  EXPECT_FALSE(
+      MvnSampler::Create(la::Vector{0.0}, la::Matrix{{1.0, 0.0}, {0.0, 1.0}})
+          .ok());
+}
+
+TEST(MvnSampler, EmpiricalMeanAndCovarianceMatchTarget) {
+  const la::Vector mean{1.0, -2.0, 0.5};
+  const la::Matrix cov = workload::RandomRotatedCovariance(
+      la::Vector{1.0, 2.0, 0.5}, 42);
+  auto sampler = MvnSampler::Create(mean, cov);
+  ASSERT_TRUE(sampler.ok());
+
+  Random random(3);
+  const int n = 200000;
+  la::Vector sum(3);
+  la::Matrix sum_outer(3, 3);
+  la::Vector x;
+  for (int i = 0; i < n; ++i) {
+    sampler->Sample(random, x);
+    sum += x;
+    for (size_t a = 0; a < 3; ++a) {
+      for (size_t b = 0; b < 3; ++b) sum_outer(a, b) += x[a] * x[b];
+    }
+  }
+  la::Vector emp_mean = sum * (1.0 / n);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_NEAR(emp_mean[a], mean[a], 0.03) << "component " << a;
+    for (size_t b = 0; b < 3; ++b) {
+      const double emp_cov =
+          sum_outer(a, b) / n - emp_mean[a] * emp_mean[b];
+      EXPECT_NEAR(emp_cov, cov(a, b), 0.06) << "cov(" << a << "," << b << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gprq::rng

@@ -1,0 +1,103 @@
+// Randomized stress test for the R*-tree: long interleaved sequences of
+// inserts, removals, and queries, validated against the linear-scan oracle
+// and the structural invariant checker at every step boundary. Seeds are
+// test parameters so failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "rng/random.h"
+
+namespace gprq::index {
+namespace {
+
+class RTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeFuzzTest, RandomOperationSequence) {
+  const uint64_t seed = GetParam();
+  rng::Random random(seed);
+
+  RStarTreeOptions options;
+  // Small node capacity maximizes structural churn per operation.
+  options.max_entries = 4 + random.NextUint64(12);
+  const size_t dim = 2 + random.NextUint64(3);
+  RStarTree tree(dim, options);
+  LinearScanIndex oracle(dim);
+
+  // Live set of (point, id) currently in the tree.
+  std::vector<std::pair<la::Vector, ObjectId>> live;
+  ObjectId next_id = 0;
+  const int operations = 3000;
+
+  for (int op = 0; op < operations; ++op) {
+    const double dice = random.NextDouble();
+    if (dice < 0.55 || live.empty()) {
+      // Insert (sometimes a duplicate of an existing point).
+      la::Vector p(dim);
+      if (!live.empty() && random.NextDouble() < 0.1) {
+        p = live[random.NextUint64(live.size())].first;
+      } else {
+        for (size_t j = 0; j < dim; ++j) {
+          p[j] = random.NextDouble(0.0, 100.0);
+        }
+      }
+      const ObjectId id = next_id++;
+      ASSERT_TRUE(tree.Insert(p, id).ok());
+      ASSERT_TRUE(oracle.Insert(p, id).ok());
+      live.emplace_back(std::move(p), id);
+    } else if (dice < 0.85) {
+      // Remove a random live entry.
+      const size_t victim = random.NextUint64(live.size());
+      ASSERT_TRUE(tree.Remove(live[victim].first, live[victim].second).ok());
+      ASSERT_TRUE(
+          oracle.Remove(live[victim].first, live[victim].second).ok());
+      live[victim] = std::move(live.back());
+      live.pop_back();
+    } else if (dice < 0.9) {
+      // Remove of a non-existent entry must be NotFound and change nothing.
+      la::Vector p(dim, -1000.0);
+      EXPECT_EQ(tree.Remove(p, 4000000000u).code(), StatusCode::kNotFound);
+    } else {
+      // Query both structures and compare.
+      la::Vector lo(dim), hi(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        const double a = random.NextDouble(0.0, 100.0);
+        const double b = random.NextDouble(0.0, 100.0);
+        lo[j] = std::min(a, b);
+        hi[j] = std::max(a, b);
+      }
+      std::vector<ObjectId> got, expected;
+      tree.RangeQuery(geom::Rect(lo, hi), &got);
+      oracle.RangeQuery(geom::Rect(lo, hi), &expected);
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "op " << op << " seed " << seed;
+    }
+
+    if (op % 250 == 249) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << "op " << op << " seed " << seed << ": "
+          << tree.CheckInvariants().ToString();
+      ASSERT_EQ(tree.size(), live.size());
+    }
+  }
+
+  // Final exhaustive comparison.
+  std::vector<ObjectId> got, expected;
+  const geom::Rect everything(la::Vector(dim, -1e9), la::Vector(dim, 1e9));
+  tree.RangeQuery(everything, &got);
+  oracle.RangeQuery(everything, &expected);
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gprq::index

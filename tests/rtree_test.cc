@@ -1,0 +1,321 @@
+// Tests for the R*-tree: structural invariants and differential testing
+// against the linear-scan oracle for every query type, across dimensions,
+// node capacities, and data distributions.
+
+#include "index/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/linear_scan.h"
+#include "index/str_bulk_load.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq::index {
+namespace {
+
+geom::Rect UnitSquare(size_t d, double extent = 100.0) {
+  return geom::Rect(la::Vector(d, 0.0), la::Vector(d, extent));
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(RStarTree, EmptyTree) {
+  RStarTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1u);
+  std::vector<ObjectId> out;
+  tree.RangeQuery(UnitSquare(2), &out);
+  EXPECT_TRUE(out.empty());
+  tree.BallQuery(la::Vector{0.0, 0.0}, 10.0, &out);
+  EXPECT_TRUE(out.empty());
+  std::vector<std::pair<double, ObjectId>> knn;
+  tree.KnnQuery(la::Vector{0.0, 0.0}, 5, &knn);
+  EXPECT_TRUE(knn.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTree, RejectsDimensionMismatch) {
+  RStarTree tree(2);
+  EXPECT_FALSE(tree.Insert(la::Vector{1.0, 2.0, 3.0}, 0).ok());
+  EXPECT_FALSE(tree.Remove(la::Vector{1.0}, 0).ok());
+}
+
+TEST(RStarTree, SinglePoint) {
+  RStarTree tree(2);
+  ASSERT_TRUE(tree.Insert(la::Vector{5.0, 5.0}, 42).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<ObjectId> out;
+  tree.RangeQuery(UnitSquare(2), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  out.clear();
+  tree.RangeQuery(geom::Rect(la::Vector{6.0, 6.0}, la::Vector{7.0, 7.0}),
+                  &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTree, DuplicatePointsDistinguishedById) {
+  RStarTree tree(2);
+  const la::Vector p{1.0, 1.0};
+  for (ObjectId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(tree.Insert(p, id).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectId> out;
+  tree.RangeQuery(geom::Rect(p), &out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_TRUE(tree.Remove(p, 57).ok());
+  out.clear();
+  tree.RangeQuery(geom::Rect(p), &out);
+  EXPECT_EQ(out.size(), 99u);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 57u), 0);
+}
+
+TEST(RStarTree, GrowsAndKeepsInvariants) {
+  RStarTreeOptions options;
+  options.max_entries = 8;
+  RStarTree tree(2, options);
+  rng::Random random(3);
+  for (ObjectId id = 0; id < 2000; ++id) {
+    la::Vector p{random.NextDouble(0.0, 100.0),
+                 random.NextDouble(0.0, 100.0)};
+    ASSERT_TRUE(tree.Insert(p, id).ok());
+    if (id % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after " << id + 1;
+    }
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_GT(tree.height(), 2u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+class RStarTreeDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, bool>> {};
+
+TEST_P(RStarTreeDifferentialTest, MatchesLinearScan) {
+  const auto [dim, max_entries, clustered] = GetParam();
+  const size_t n = 3000;
+  const auto dataset =
+      clustered
+          ? workload::GenerateClustered(n, UnitSquare(dim), 12, 5.0,
+                                        dim * 100 + max_entries)
+          : workload::GenerateUniform(n, UnitSquare(dim),
+                                      dim * 100 + max_entries);
+
+  RStarTreeOptions options;
+  options.max_entries = max_entries;
+  RStarTree tree(dim, options);
+  LinearScanIndex oracle(dim);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(dataset.points[i], i).ok());
+    ASSERT_TRUE(oracle.Insert(dataset.points[i], i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  rng::Random random(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Window query.
+    la::Vector lo(dim), hi(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      const double a = random.NextDouble(0.0, 100.0);
+      const double b = random.NextDouble(0.0, 100.0);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const geom::Rect window(lo, hi);
+    std::vector<ObjectId> got, expected;
+    tree.RangeQuery(window, &got);
+    oracle.RangeQuery(window, &expected);
+    EXPECT_EQ(Sorted(got), Sorted(expected)) << "window trial " << trial;
+
+    // Ball query.
+    la::Vector center(dim);
+    for (size_t j = 0; j < dim; ++j) center[j] = random.NextDouble(0.0, 100.0);
+    const double radius = random.NextDouble(1.0, 30.0);
+    got.clear();
+    expected.clear();
+    tree.BallQuery(center, radius, &got);
+    oracle.BallQuery(center, radius, &expected);
+    EXPECT_EQ(Sorted(got), Sorted(expected)) << "ball trial " << trial;
+
+    // kNN query: distances must match the oracle's (ids may differ on
+    // exact ties, which have measure zero here but stay safe).
+    std::vector<std::pair<double, ObjectId>> knn_got, knn_expected;
+    tree.KnnQuery(center, 10, &knn_got);
+    oracle.KnnQuery(center, 10, &knn_expected);
+    ASSERT_EQ(knn_got.size(), knn_expected.size());
+    for (size_t k = 0; k < knn_got.size(); ++k) {
+      EXPECT_NEAR(knn_got[k].first, knn_expected[k].first, 1e-9)
+          << "knn trial " << trial << " rank " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RStarTreeDifferentialTest,
+    ::testing::Values(std::make_tuple(2, 8, false),
+                      std::make_tuple(2, 32, true),
+                      std::make_tuple(3, 16, true),
+                      std::make_tuple(5, 8, false),
+                      std::make_tuple(9, 16, true)));
+
+TEST(RStarTree, RemoveMaintainsInvariantsAndResults) {
+  const size_t n = 1500;
+  const auto dataset = workload::GenerateClustered(n, UnitSquare(2), 8, 4.0,
+                                                   11);
+  RStarTreeOptions options;
+  options.max_entries = 8;
+  RStarTree tree(2, options);
+  LinearScanIndex oracle(2);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(dataset.points[i], i).ok());
+    ASSERT_TRUE(oracle.Insert(dataset.points[i], i).ok());
+  }
+
+  // Remove two thirds in random order, checking along the way.
+  rng::Random random(5);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = n; i-- > 1;) {
+    std::swap(order[i], order[random.NextUint64(i + 1)]);
+  }
+  for (size_t k = 0; k < n * 2 / 3; ++k) {
+    const size_t victim = order[k];
+    ASSERT_TRUE(tree.Remove(dataset.points[victim], victim).ok());
+    ASSERT_TRUE(oracle.Remove(dataset.points[victim], victim).ok());
+    if (k % 200 == 199) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after removal " << k;
+      std::vector<ObjectId> got, expected;
+      const geom::Rect window(la::Vector{20.0, 20.0},
+                              la::Vector{70.0, 70.0});
+      tree.RangeQuery(window, &got);
+      oracle.RangeQuery(window, &expected);
+      EXPECT_EQ(Sorted(got), Sorted(expected));
+    }
+  }
+  EXPECT_EQ(tree.size(), n - n * 2 / 3);
+
+  // Removing a non-existent entry reports NotFound.
+  EXPECT_EQ(tree.Remove(la::Vector{1234.0, 1234.0}, 0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.Remove(dataset.points[order[0]], order[0]).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RStarTree, RemoveDownToEmpty) {
+  RStarTreeOptions options;
+  options.max_entries = 4;
+  RStarTree tree(2, options);
+  const auto dataset = workload::GenerateUniform(64, UnitSquare(2), 21);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(dataset.points[i], i).ok());
+  }
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    ASSERT_TRUE(tree.Remove(dataset.points[i], i).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after removing " << i;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(RStarTree, MoveSemantics) {
+  RStarTree tree(2);
+  ASSERT_TRUE(tree.Insert(la::Vector{1.0, 1.0}, 7).ok());
+  RStarTree moved(std::move(tree));
+  EXPECT_EQ(moved.size(), 1u);
+  std::vector<ObjectId> out;
+  moved.RangeQuery(UnitSquare(2), &out);
+  ASSERT_EQ(out.size(), 1u);
+
+  RStarTree target(2);
+  target = std::move(moved);
+  EXPECT_EQ(target.size(), 1u);
+  out.clear();
+  target.RangeQuery(UnitSquare(2), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(RStarTree, StatsCountNodeReads) {
+  const auto dataset = workload::GenerateUniform(5000, UnitSquare(2), 31);
+  auto tree = StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  tree->ResetStats();
+  EXPECT_EQ(tree->stats().node_reads, 0u);
+  std::vector<ObjectId> out;
+  tree->RangeQuery(geom::Rect(la::Vector{10.0, 10.0}, la::Vector{20.0, 20.0}),
+                   &out);
+  const uint64_t small_query_reads = tree->stats().node_reads;
+  EXPECT_GT(small_query_reads, 0u);
+  // A full-extent query must read more nodes than a small window.
+  tree->ResetStats();
+  out.clear();
+  tree->RangeQuery(UnitSquare(2), &out);
+  EXPECT_EQ(out.size(), 5000u);
+  EXPECT_GT(tree->stats().node_reads, small_query_reads);
+  // And it reads every node exactly once.
+  EXPECT_EQ(tree->stats().node_reads, tree->node_count());
+}
+
+TEST(RStarTree, BoundsCoverAllPoints) {
+  const auto dataset = workload::GenerateUniform(500, UnitSquare(3), 41);
+  RStarTree tree(3);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(dataset.points[i], i).ok());
+  }
+  const geom::Rect bounds = tree.Bounds();
+  for (const auto& p : dataset.points) {
+    EXPECT_TRUE(bounds.Contains(p));
+  }
+}
+
+TEST(NearestNeighborIterator, YieldsAllPointsInDistanceOrder) {
+  const size_t n = 2000;
+  const auto dataset = workload::GenerateClustered(n, UnitSquare(2), 10, 6.0,
+                                                   51);
+  auto tree = StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  const la::Vector center{50.0, 50.0};
+  NearestNeighborIterator it(*tree, center);
+
+  std::set<ObjectId> seen;
+  double prev = -1.0;
+  double dist_sq;
+  ObjectId id;
+  la::Vector point;
+  while (it.Next(&dist_sq, &id, &point)) {
+    EXPECT_GE(dist_sq, prev) << "distance order violated";
+    EXPECT_NEAR(dist_sq, la::SquaredDistance(point, center), 1e-9);
+    prev = dist_sq;
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(NearestNeighborIterator, PrefixMatchesKnn) {
+  const auto dataset = workload::GenerateUniform(800, UnitSquare(3), 61);
+  auto tree = StrBulkLoader::Load(3, dataset.points);
+  ASSERT_TRUE(tree.ok());
+  const la::Vector center{50.0, 50.0, 50.0};
+
+  std::vector<std::pair<double, ObjectId>> knn;
+  tree->KnnQuery(center, 25, &knn);
+
+  NearestNeighborIterator it(*tree, center);
+  for (size_t k = 0; k < 25; ++k) {
+    double dist_sq;
+    ObjectId id;
+    ASSERT_TRUE(it.Next(&dist_sq, &id));
+    EXPECT_NEAR(dist_sq, knn[k].first, 1e-9) << "rank " << k;
+  }
+}
+
+}  // namespace
+}  // namespace gprq::index

@@ -1,0 +1,112 @@
+// Tests for Ruben's series — the fourth independent route to the
+// quadratic-form CDF (after Monte Carlo, Imhof, and the 2-D slice), all of
+// which must agree.
+
+#include "stats/ruben.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.h"
+#include "stats/chi_squared.h"
+#include "stats/imhof.h"
+#include "stats/noncentral_chi_squared.h"
+
+namespace gprq::stats {
+namespace {
+
+TEST(Ruben, ValidatesInput) {
+  EXPECT_FALSE(RubenCdf({}, 1.0).ok());
+  EXPECT_FALSE(RubenCdf({{0.0, 0.0}}, 1.0).ok());
+  EXPECT_FALSE(RubenCdf({{-1.0, 0.5}}, 1.0).ok());
+}
+
+TEST(Ruben, NonPositiveThresholdIsZero) {
+  auto result = RubenCdf({{1.0, 0.0}}, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0.0);
+}
+
+TEST(Ruben, EqualWeightsCentralChiSquared) {
+  for (size_t d : {1u, 2u, 5u, 9u}) {
+    std::vector<QuadraticFormTerm> terms(d, {2.5, 0.0});
+    for (double t : {0.5, 3.0, 12.0, 40.0}) {
+      auto result = RubenCdf(terms, t);
+      ASSERT_TRUE(result.ok());
+      EXPECT_NEAR(*result, ChiSquaredCdf(d, t / 2.5), 1e-9)
+          << "d=" << d << " t=" << t;
+    }
+  }
+}
+
+TEST(Ruben, EqualWeightsNoncentral) {
+  std::vector<QuadraticFormTerm> terms(3, {1.0, 1.2});
+  const double lambda = 3.0 * 1.2 * 1.2;
+  for (double t : {1.0, 5.0, 15.0}) {
+    auto result = RubenCdf(terms, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(*result, NoncentralChiSquaredCdf(3, lambda, t), 1e-9);
+  }
+}
+
+TEST(Ruben, MatchesImhofOnRandomForms) {
+  rng::Random random(33);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t d = 2 + random.NextUint64(8);
+    std::vector<QuadraticFormTerm> terms(d);
+    double mean = 0.0;
+    for (auto& term : terms) {
+      // Moderate spread (heavy spread slows the series; see the dedicated
+      // test below).
+      term.weight = std::exp(random.NextDouble(-1.0, 1.0));
+      term.offset = random.NextDouble(-2.0, 2.0);
+      mean += term.weight * (1.0 + term.offset * term.offset);
+    }
+    for (double factor : {0.3, 1.0, 2.0}) {
+      const double t = mean * factor;
+      auto ruben = RubenCdf(terms, t);
+      auto imhof = ImhofCdf(terms, t);
+      ASSERT_TRUE(ruben.ok()) << ruben.status().ToString();
+      ASSERT_TRUE(imhof.ok());
+      EXPECT_NEAR(*ruben, *imhof, 2e-7)
+          << "trial " << trial << " factor " << factor;
+    }
+  }
+}
+
+TEST(Ruben, WideWeightSpreadStillConverges) {
+  // λ ratio 100: γ_max = 0.99, series needs ~thousands of terms.
+  std::vector<QuadraticFormTerm> terms = {{0.1, 0.5}, {10.0, -1.0}};
+  auto ruben = RubenCdf(terms, 12.0);
+  auto imhof = ImhofCdf(terms, 12.0);
+  ASSERT_TRUE(ruben.ok());
+  ASSERT_TRUE(imhof.ok());
+  EXPECT_NEAR(*ruben, *imhof, 1e-7);
+}
+
+TEST(Ruben, ReportsNonConvergenceInsteadOfWrongAnswers) {
+  std::vector<QuadraticFormTerm> terms = {{1e-6, 0.0}, {1.0, 0.0}};
+  RubenOptions options;
+  options.max_terms = 50;  // far too few for γ = 1 − 1e-6
+  auto result = RubenCdf(terms, 0.5, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(Ruben, MonotoneAndBounded) {
+  std::vector<QuadraticFormTerm> terms = {{0.5, 1.0}, {2.0, -0.3},
+                                          {1.0, 0.0}};
+  double prev = -1.0;
+  for (double t = 0.25; t <= 30.0; t *= 1.6) {
+    auto result = RubenCdf(terms, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(*result, prev - 1e-12);
+    EXPECT_GE(*result, 0.0);
+    EXPECT_LE(*result, 1.0);
+    prev = *result;
+  }
+}
+
+}  // namespace
+}  // namespace gprq::stats

@@ -1,0 +1,58 @@
+// End-to-end smoke test: build a small 2-D dataset, run a PRQ with every
+// strategy combination, and check that all agree with the brute-force
+// oracle when probabilities are computed exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/naive.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "workload/generators.h"
+
+namespace gprq {
+namespace {
+
+TEST(Smoke, AllStrategiesMatchOracle) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1000.0, 1000.0});
+  const auto dataset = workload::GenerateClustered(2000, extent, 16, 40.0, 7);
+  auto tree = index::StrBulkLoader::Load(2, dataset.points);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  auto gaussian = core::GaussianDistribution::Create(
+      la::Vector{500.0, 500.0}, workload::PaperCovariance2D(10.0));
+  ASSERT_TRUE(gaussian.ok()) << gaussian.status().ToString();
+  const core::PrqQuery query{std::move(*gaussian), 25.0, 0.01};
+
+  mc::ImhofEvaluator exact;
+  auto oracle = core::NaivePrq(dataset.points, query, &exact);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  std::vector<index::ObjectId> expected = *oracle;
+  std::sort(expected.begin(), expected.end());
+
+  const core::PrqEngine engine(&*tree);
+  const core::StrategyMask kCombos[] = {
+      core::kStrategyRR,
+      core::kStrategyBF,
+      core::kStrategyRR | core::kStrategyBF,
+      core::kStrategyRR | core::kStrategyOR,
+      core::kStrategyBF | core::kStrategyOR,
+      core::kStrategyAll,
+  };
+  for (core::StrategyMask mask : kCombos) {
+    core::PrqOptions options;
+    options.strategies = mask;
+    core::PrqStats stats;
+    auto result = engine.Execute(query, options, &exact, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<index::ObjectId> got = *result;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "strategy " << core::StrategyName(mask);
+    EXPECT_EQ(stats.result_size, expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace gprq

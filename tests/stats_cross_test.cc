@@ -1,0 +1,113 @@
+// Cross-validation sweeps between the independent numerical routes:
+// central/noncentral chi-squared series, Imhof inversion, and textbook
+// anchor values. These are the foundations every filter radius and every
+// exact probability rests on, so they get belt-and-braces checking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/chi_squared.h"
+#include "stats/imhof.h"
+#include "stats/noncentral_chi_squared.h"
+#include "stats/special.h"
+
+namespace gprq::stats {
+namespace {
+
+TEST(Anchors, ChiSquaredQuantileTable) {
+  // Classic table values (df, p) -> quantile.
+  EXPECT_NEAR(ChiSquaredQuantile(1, 0.95), 3.841458820694124, 1e-9);
+  EXPECT_NEAR(ChiSquaredQuantile(2, 0.95), 5.991464547107979, 1e-9);
+  EXPECT_NEAR(ChiSquaredQuantile(5, 0.95), 11.070497693516351, 1e-9);
+  EXPECT_NEAR(ChiSquaredQuantile(10, 0.99), 23.209251158954356, 1e-9);
+  EXPECT_NEAR(ChiSquaredQuantile(2, 0.5), 1.3862943611198906, 1e-12);
+  EXPECT_NEAR(ChiSquaredQuantile(9, 0.975), 19.0227678, 1e-6);
+}
+
+TEST(Anchors, NormalQuantileTable) {
+  EXPECT_NEAR(StandardNormalQuantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(StandardNormalQuantile(0.995), 2.5758293035489004, 1e-12);
+  EXPECT_NEAR(StandardNormalQuantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(StandardNormalQuantile(0.1586552539314570),
+              -0.9999999999999, 1e-9);
+}
+
+class NoncentralVsImhofSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(NoncentralVsImhofSweep, AgreeAcrossThresholds) {
+  const auto [dof, lambda] = GetParam();
+  const double b = std::sqrt(lambda / static_cast<double>(dof));
+  std::vector<QuadraticFormTerm> terms(dof, {1.0, b});
+  const double mean = static_cast<double>(dof) + lambda;
+  for (double factor : {0.25, 0.5, 1.0, 1.5, 2.5}) {
+    const double t = mean * factor;
+    auto imhof = ImhofCdf(terms, t);
+    ASSERT_TRUE(imhof.ok()) << imhof.status().ToString();
+    const double series = NoncentralChiSquaredCdf(dof, lambda, t);
+    EXPECT_NEAR(*imhof, series, 2e-7)
+        << "dof=" << dof << " lambda=" << lambda << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NoncentralVsImhofSweep,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 5, 9, 15),
+                       ::testing::Values(0.0, 0.5, 4.0, 25.0, 100.0)));
+
+TEST(NoncentralChiSquared, MonotoneInThreshold) {
+  for (size_t dof : {2u, 9u}) {
+    for (double lambda : {0.0, 3.0, 50.0}) {
+      double prev = -1.0;
+      for (double t = 0.0; t <= 4.0 * (dof + lambda); t += (dof + lambda) / 8.0) {
+        const double cdf = NoncentralChiSquaredCdf(dof, lambda, t);
+        EXPECT_GE(cdf, prev - 1e-13);
+        EXPECT_GE(cdf, 0.0);
+        EXPECT_LE(cdf, 1.0);
+        prev = cdf;
+      }
+    }
+  }
+}
+
+TEST(NoncentralChiSquared, MeanAnchorViaChebyshev) {
+  // CDF at the mean is between ~0.4 and ~0.6 for moderate parameters
+  // (the distribution is mildly right-skewed).
+  for (size_t dof : {2u, 5u, 9u}) {
+    for (double lambda : {1.0, 10.0, 50.0}) {
+      const double at_mean =
+          NoncentralChiSquaredCdf(dof, lambda, dof + lambda);
+      EXPECT_GT(at_mean, 0.4);
+      EXPECT_LT(at_mean, 0.65);
+    }
+  }
+}
+
+TEST(Imhof, HeterogeneousWeightsMatchMomentsSanity) {
+  // E[Q] = Σ λ(1+b²); the CDF at the mean lies in a sane band, and the
+  // CDF at 4x the mean is near 1.
+  std::vector<QuadraticFormTerm> terms = {
+      {0.3, 1.0}, {1.7, -0.5}, {4.0, 0.0}, {0.9, 2.0}};
+  double mean = 0.0;
+  for (const auto& term : terms) {
+    mean += term.weight * (1.0 + term.offset * term.offset);
+  }
+  auto at_mean = ImhofCdf(terms, mean);
+  ASSERT_TRUE(at_mean.ok());
+  EXPECT_GT(*at_mean, 0.3);
+  EXPECT_LT(*at_mean, 0.75);
+  auto far = ImhofCdf(terms, 4.0 * mean);
+  ASSERT_TRUE(far.ok());
+  EXPECT_GT(*far, 0.97);
+}
+
+TEST(GaussianBallMass, AgreesWithErfInOneDimension) {
+  // d=1: mass = 2Φ(r) − 1 = erf(r/√2).
+  for (double r : {0.1, 1.0, 2.5, 4.0}) {
+    EXPECT_NEAR(GaussianBallMass(1, r), std::erf(r / std::sqrt(2.0)), 1e-13);
+  }
+}
+
+}  // namespace
+}  // namespace gprq::stats

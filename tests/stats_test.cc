@@ -1,0 +1,193 @@
+// Tests for the special functions and the chi-squared family. Several
+// expectations are anchored to numbers the paper itself states (Fig. 17 and
+// the r_θ values quoted in Sections V/VI), so these tests double as a check
+// that our math reproduces the paper's.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/chi_squared.h"
+#include "stats/noncentral_chi_squared.h"
+#include "stats/special.h"
+
+namespace gprq::stats {
+namespace {
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 − e^{-x}.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 5.0), 1.0 - std::exp(-5.0), 1e-14);
+  // P(1/2, x) = erf(√x).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 2.0), std::erf(std::sqrt(2.0)), 1e-13);
+  EXPECT_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+}
+
+TEST(Special, GammaQIsComplement) {
+  for (double a : {0.5, 1.0, 2.5, 7.0}) {
+    for (double x : {0.1, 1.0, 3.0, 10.0, 40.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-13);
+    }
+  }
+}
+
+TEST(Special, InverseGammaPRoundTrip) {
+  for (double a : {0.5, 1.0, 4.5, 10.0}) {
+    for (double p : {1e-8, 0.01, 0.3, 0.5, 0.9, 0.999}) {
+      const double x = InverseRegularizedGammaP(a, p);
+      EXPECT_NEAR(RegularizedGammaP(a, x), p, 1e-10)
+          << "a=" << a << " p=" << p;
+    }
+  }
+  EXPECT_EQ(InverseRegularizedGammaP(2.0, 0.0), 0.0);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(StandardNormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(-1.0), 0.15865525393145707, 1e-12);
+}
+
+TEST(Special, NormalQuantileRoundTrip) {
+  for (double p : {1e-10, 1e-4, 0.025, 0.5, 0.84, 0.999, 1.0 - 1e-10}) {
+    EXPECT_NEAR(StandardNormalCdf(StandardNormalQuantile(p)), p,
+                1e-12 + p * 1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(ChiSquared, TwoDofHasClosedForm) {
+  // χ²_2 CDF = 1 − e^{-x/2}.
+  for (double x : {0.5, 1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(2, x), 1.0 - std::exp(-x / 2.0), 1e-13);
+  }
+}
+
+TEST(ChiSquared, QuantileRoundTrip) {
+  for (size_t dof : {1u, 2u, 5u, 9u, 15u}) {
+    for (double p : {0.001, 0.2, 0.5, 0.98, 0.9999}) {
+      const double x = ChiSquaredQuantile(dof, p);
+      EXPECT_NEAR(ChiSquaredCdf(dof, x), p, 1e-10);
+    }
+  }
+}
+
+TEST(ChiSquared, Fig17AnchorPoints) {
+  // Paper Fig. 17 narrative: "if a query object obeys 2D pnorm ..., the
+  // probability that the object is located within distance one from the
+  // origin is 39%" and "for the 9D case, the probability ... within
+  // distance two from the query center is only 9%".
+  EXPECT_NEAR(GaussianBallMass(2, 1.0), 0.39, 0.005);
+  EXPECT_NEAR(GaussianBallMass(9, 2.0), 0.09, 0.005);
+  // Exact closed form for d=2: 1 − e^{-1/2} = 0.3935.
+  EXPECT_NEAR(GaussianBallMass(2, 1.0), 1.0 - std::exp(-0.5), 1e-13);
+}
+
+TEST(ChiSquared, ThetaRegionRadiusPaperValues) {
+  // Section VI: "In contrast to the corresponding value rθ = 2.79 for the
+  // 2D case, we need to use rθ = 4.44 for the 9D case" (θ = 0.01), and
+  // "the appropriate rθ was derived as rθ = 2.32" (9D, θ = 0.4).
+  EXPECT_NEAR(ThetaRegionRadius(2, 0.01), 2.79, 0.01);
+  EXPECT_NEAR(ThetaRegionRadius(9, 0.01), 4.44, 0.01);
+  EXPECT_NEAR(ThetaRegionRadius(9, 0.4), 2.32, 0.01);
+}
+
+TEST(ChiSquared, ThetaRegionHoldsStatedMass) {
+  for (size_t d : {1u, 2u, 3u, 9u}) {
+    for (double theta : {0.01, 0.1, 0.4, 0.49}) {
+      const double r = ThetaRegionRadius(d, theta);
+      EXPECT_NEAR(GaussianBallMass(d, r), 1.0 - 2.0 * theta, 1e-10);
+    }
+  }
+}
+
+TEST(ChiSquared, BallMassMonotoneInRadiusAndDimension) {
+  double prev = 0.0;
+  for (double r = 0.25; r <= 5.0; r += 0.25) {
+    const double mass = GaussianBallMass(3, r);
+    EXPECT_GT(mass, prev);
+    prev = mass;
+  }
+  // Curse of dimensionality (Fig. 17): for fixed r, mass shrinks with d.
+  for (double r : {1.0, 2.0, 3.0}) {
+    EXPECT_GT(GaussianBallMass(2, r), GaussianBallMass(3, r));
+    EXPECT_GT(GaussianBallMass(3, r), GaussianBallMass(5, r));
+    EXPECT_GT(GaussianBallMass(5, r), GaussianBallMass(9, r));
+    EXPECT_GT(GaussianBallMass(9, r), GaussianBallMass(15, r));
+  }
+}
+
+TEST(NoncentralChiSquared, ZeroNoncentralityIsCentral) {
+  for (size_t d : {1u, 2u, 9u}) {
+    for (double x : {0.5, 2.0, 10.0}) {
+      EXPECT_NEAR(NoncentralChiSquaredCdf(d, 0.0, x), ChiSquaredCdf(d, x),
+                  1e-13);
+    }
+  }
+}
+
+TEST(NoncentralChiSquared, OneDofClosedForm) {
+  // P((z+b)² <= x) = Φ(√x − b) − Φ(−√x − b).
+  for (double b : {0.0, 0.5, 2.0, 6.0}) {
+    for (double x : {0.3, 1.0, 9.0, 30.0}) {
+      const double expected = StandardNormalCdf(std::sqrt(x) - b) -
+                              StandardNormalCdf(-std::sqrt(x) - b);
+      EXPECT_NEAR(NoncentralChiSquaredCdf(1, b * b, x), expected, 1e-11)
+          << "b=" << b << " x=" << x;
+    }
+  }
+}
+
+TEST(NoncentralChiSquared, MonotoneDecreasingInNoncentrality) {
+  double prev = 1.0;
+  for (double lambda : {0.0, 0.5, 2.0, 8.0, 32.0, 128.0}) {
+    const double cdf = NoncentralChiSquaredCdf(3, lambda, 5.0);
+    EXPECT_LT(cdf, prev + 1e-14);
+    prev = cdf;
+  }
+}
+
+TEST(NoncentralChiSquared, LargeNoncentralityStable) {
+  // λ = 2000: the naive series starting at j = 0 would underflow.
+  const double cdf = NoncentralChiSquaredCdf(2, 2000.0, 2100.0);
+  EXPECT_GT(cdf, 0.5);  // mean of χ'²_2(2000) is 2002 < 2100
+  EXPECT_LT(cdf, 1.0);
+  // Normal approximation sanity: mean k+λ = 2002, var 2(k+2λ) = 8004.
+  const double z = (2100.0 - 2002.0) / std::sqrt(8004.0);
+  EXPECT_NEAR(cdf, StandardNormalCdf(z), 0.02);
+}
+
+TEST(NoncentralChiSquared, OffsetBallMassEdgeCases) {
+  EXPECT_EQ(OffsetGaussianBallMass(3, 1.0, 0.0), 0.0);
+  EXPECT_NEAR(OffsetGaussianBallMass(2, 0.0, 1.0), GaussianBallMass(2, 1.0),
+              1e-13);
+}
+
+TEST(NoncentralChiSquared, SolveBallCenterOffsetRoundTrip) {
+  for (size_t d : {2u, 9u}) {
+    for (double delta : {0.5, 1.0, 3.0}) {
+      for (double theta : {1e-6, 0.01, 0.2}) {
+        const double centered = GaussianBallMass(d, delta);
+        if (theta > centered) continue;
+        const double alpha = SolveBallCenterOffset(d, delta, theta);
+        ASSERT_GE(alpha, 0.0);
+        EXPECT_NEAR(OffsetGaussianBallMass(d, alpha, delta), theta,
+                    1e-9 + theta * 1e-6)
+            << "d=" << d << " delta=" << delta << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(NoncentralChiSquared, SolveBallCenterOffsetUnreachable) {
+  // A ball of radius 0.1 in 9-D holds mass ~1e-12 even when centered;
+  // θ = 0.5 is unreachable.
+  EXPECT_LT(SolveBallCenterOffset(9, 0.1, 0.5), 0.0);
+  // Exactly-at-center boundary.
+  const double centered = GaussianBallMass(2, 1.0);
+  EXPECT_NEAR(SolveBallCenterOffset(2, 1.0, centered), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gprq::stats

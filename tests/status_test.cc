@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gprq {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad delta");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad delta");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad delta");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError), "NumericalError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result = std::string(1000, 'x');
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+Status FailingStep() { return Status::IoError("disk gone"); }
+Status PassingStep() { return Status::OK(); }
+
+Status Pipeline(bool fail) {
+  GPRQ_RETURN_NOT_OK(PassingStep());
+  if (fail) {
+    GPRQ_RETURN_NOT_OK(FailingStep());
+  }
+  return Status::OK();
+}
+
+TEST(Result, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Pipeline(false).ok());
+  const Status status = Pipeline(true);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(ResultDeathTest, AccessingErroredValueAborts) {
+  Result<int> result = Status::Internal("boom");
+  EXPECT_DEATH(result.value(), "boom");
+}
+
+}  // namespace
+}  // namespace gprq

@@ -1,0 +1,184 @@
+// Tests for the dataset generators (the TIGER / Corel stand-ins) and CSV
+// round-tripping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "workload/corel_synthetic.h"
+#include "workload/csv.h"
+#include "workload/generators.h"
+#include "rng/random.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq::workload {
+namespace {
+
+TEST(Generators, UniformRespectsExtentAndCount) {
+  const geom::Rect extent(la::Vector{-5.0, 10.0}, la::Vector{5.0, 20.0});
+  const Dataset d = GenerateUniform(1000, extent, 1);
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_EQ(d.dim, 2u);
+  for (const auto& p : d.points) {
+    EXPECT_TRUE(extent.Contains(p));
+  }
+}
+
+TEST(Generators, DeterministicForSeed) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1.0, 1.0});
+  const Dataset a = GenerateUniform(100, extent, 9);
+  const Dataset b = GenerateUniform(100, extent, 9);
+  const Dataset c = GenerateUniform(100, extent, 10);
+  EXPECT_EQ(a.points[50].values(), b.points[50].values());
+  EXPECT_NE(a.points[50].values(), c.points[50].values());
+}
+
+TEST(Generators, ClusteredIsMoreSkewedThanUniform) {
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{100.0, 100.0});
+  const Dataset uniform = GenerateUniform(20000, extent, 2);
+  const Dataset clustered = GenerateClustered(20000, extent, 5, 3.0, 2);
+  // Count points in a 10x10 grid; clustered data must have a much larger
+  // maximum cell count.
+  const auto max_cell = [](const Dataset& d) {
+    int cells[100] = {0};
+    for (const auto& p : d.points) {
+      const int cx = std::min(9, static_cast<int>(p[0] / 10.0));
+      const int cy = std::min(9, static_cast<int>(p[1] / 10.0));
+      ++cells[cy * 10 + cx];
+    }
+    return *std::max_element(std::begin(cells), std::end(cells));
+  };
+  EXPECT_GT(max_cell(clustered), 3 * max_cell(uniform));
+}
+
+TEST(Generators, PaperCovarianceShape) {
+  const la::Matrix cov = PaperCovariance2D(10.0);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 70.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 30.0);
+  EXPECT_NEAR(cov(0, 1), 20.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_EQ(cov(0, 1), cov(1, 0));
+}
+
+TEST(Generators, RandomRotatedCovarianceHasRequestedSpectrum) {
+  const la::Vector stddevs{0.5, 1.5, 4.0};
+  const la::Matrix cov = RandomRotatedCovariance(stddevs, 77);
+  EXPECT_TRUE(cov.IsSymmetric(1e-10));
+  // Trace = Σ s² regardless of rotation.
+  EXPECT_NEAR(cov(0, 0) + cov(1, 1) + cov(2, 2),
+              0.25 + 2.25 + 16.0, 1e-9);
+}
+
+TEST(TigerSynthetic, MatchesPaperDatasetEnvelope) {
+  const Dataset d = GenerateTigerSynthetic();
+  EXPECT_EQ(d.size(), 50747u);  // the paper's exact point count
+  EXPECT_EQ(d.dim, 2u);
+  const geom::Rect extent(la::Vector{0.0, 0.0},
+                          la::Vector{1000.0, 1000.0});
+  for (const auto& p : d.points) {
+    ASSERT_TRUE(extent.Contains(p));
+  }
+}
+
+TEST(TigerSynthetic, IsStronglyClustered) {
+  // The paper's δ=25 query at a random object returned 546 results — about
+  // 5x the uniform expectation (≈100). Require clearly super-uniform
+  // density around data points.
+  const Dataset d = GenerateTigerSynthetic();
+  rng::Random random(4);
+  const double delta_sq = 25.0 * 25.0;
+  double total = 0.0;
+  const int queries = 30;
+  for (int q = 0; q < queries; ++q) {
+    const la::Vector& center = d.points[random.NextUint64(d.size())];
+    size_t count = 0;
+    for (const auto& p : d.points) {
+      if (la::SquaredDistance(p, center) <= delta_sq) ++count;
+    }
+    total += static_cast<double>(count);
+  }
+  const double avg = total / queries;
+  const double uniform_expectation =
+      d.size() * M_PI * 625.0 / (1000.0 * 1000.0);
+  EXPECT_GT(avg, 2.0 * uniform_expectation);
+}
+
+TEST(CorelSynthetic, CalibratedDensityMatchesPaper) {
+  CorelSyntheticOptions options;
+  options.num_points = 20000;  // smaller for test speed; same calibration
+  const Dataset d = GenerateCorelSynthetic(options);
+  EXPECT_EQ(d.size(), 20000u);
+  EXPECT_EQ(d.dim, 9u);
+
+  // Measure avg # neighbors within δ=0.7 around random data points; the
+  // calibration targets 15.3 (paper Section VI).
+  rng::Random random(8);
+  double total = 0.0;
+  const int queries = 40;
+  for (int q = 0; q < queries; ++q) {
+    const la::Vector& center = d.points[random.NextUint64(d.size())];
+    size_t count = 0;
+    for (const auto& p : d.points) {
+      if (la::SquaredDistance(p, center) <= 0.49) ++count;
+    }
+    total += static_cast<double>(count);
+  }
+  const double avg = total / queries;
+  EXPECT_GT(avg, 15.3 * 0.3);
+  EXPECT_LT(avg, 15.3 * 3.0);
+}
+
+TEST(Csv, RoundTrip) {
+  Dataset d;
+  d.dim = 3;
+  d.points = {la::Vector{1.0, 2.5, -3.25}, la::Vector{0.0, 1e-9, 1e9}};
+  const std::string path = ::testing::TempDir() + "/gprq_roundtrip.csv";
+  ASSERT_TRUE(SaveCsv(d, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim, 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(loaded->points[i][j], d.points[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "/gprq_comments.csv";
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n1.5,2.5\n\n# mid comment\n3.5,4.5\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  const std::string path = ::testing::TempDir() + "/gprq_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n3.0,abc\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n3.0\n";  // inconsistent column count
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCsv("/nonexistent/dir/file.csv").ok());
+  Dataset d;
+  d.points = {la::Vector{1.0}};
+  EXPECT_FALSE(SaveCsv(d, "/nonexistent/dir/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace gprq::workload

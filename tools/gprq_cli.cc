@@ -1,0 +1,374 @@
+// gprq command-line tool: generate datasets, build/query tree snapshots,
+// run probabilistic range queries and PNN from the shell.
+//
+// Examples:
+//   gprq_cli generate --dataset tiger --out points.csv
+//   gprq_cli generate --dataset uniform --n 10000 --dim 3 --out u.csv
+//   gprq_cli snapshot --data points.csv --out tree.pages --page-size 1024
+//   gprq_cli query --data points.csv --q 500,500 --gamma 10
+//       --delta 25 --theta 0.01 --strategy ALL --evaluator imhof
+//   gprq_cli query --data points.csv --q 500,500 --stddev 8 --delta 25
+//       --theta 0.01 --evaluator adaptive --samples 50000
+//   gprq_cli pnn --data points.csv --q 500,500 --gamma 10 --samples 20000
+//   gprq_cli estimate --data points.csv --q 500,500 --gamma 10
+//       --delta 25 --theta 0.01
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/engine.h"
+#include "core/histogram.h"
+#include "core/pnn.h"
+#include "index/paged_tree.h"
+#include "index/str_bulk_load.h"
+#include "mc/adaptive_monte_carlo.h"
+#include "mc/exact_evaluator.h"
+#include "mc/monte_carlo.h"
+#include "workload/corel_synthetic.h"
+#include "workload/csv.h"
+#include "workload/generators.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gprq_cli <command> [--flags]\n"
+      "commands:\n"
+      "  generate  --dataset tiger|corel|uniform|clustered --out FILE\n"
+      "            [--n N] [--dim D] [--seed S] [--extent E] [--clusters C]\n"
+      "  snapshot  --data FILE.csv --out FILE.pages [--page-size 4096]\n"
+      "  query     --data FILE.csv --q x,y,... --delta D --theta T\n"
+      "            [--gamma G | --stddev S | --cov a,b,...] "
+      "[--strategy RR|OR|BF|RR+BF|...|ALL]\n"
+      "            [--evaluator imhof|mc|adaptive] [--samples N] "
+      "[--threads K]\n"
+      "  pnn       --data FILE.csv --q x,y,... [--gamma G | --stddev S]\n"
+      "            [--samples N]\n"
+      "  estimate  --data FILE.csv --q x,y,... --delta D --theta T\n"
+      "            [--gamma G | --stddev S] [--cells N]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<la::Matrix> CovarianceFromFlags(const FlagSet& flags, size_t dim) {
+  if (flags.Has("cov")) {
+    auto entries = flags.GetDoubleList("cov");
+    if (!entries.ok()) return entries.status();
+    if (entries->size() != dim * dim) {
+      return Status::InvalidArgument("--cov needs dim*dim entries");
+    }
+    la::Matrix cov(dim, dim);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < dim; ++j) cov(i, j) = (*entries)[i * dim + j];
+    }
+    return cov;
+  }
+  if (flags.Has("gamma")) {
+    if (dim != 2) {
+      return Status::InvalidArgument("--gamma is the paper's 2-D shape");
+    }
+    auto gamma = flags.GetDouble("gamma", 10.0);
+    if (!gamma.ok()) return gamma.status();
+    return workload::PaperCovariance2D(*gamma);
+  }
+  auto stddev = flags.GetDouble("stddev", 1.0);
+  if (!stddev.ok()) return stddev.status();
+  return la::Matrix::Identity(dim) * (*stddev * *stddev);
+}
+
+Result<core::StrategyMask> StrategyFromFlags(const FlagSet& flags) {
+  const std::string name = flags.GetString("strategy", "ALL");
+  if (name == "ALL") return core::kStrategyAll;
+  core::StrategyMask mask = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t plus = name.find('+', start);
+    const std::string part = name.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    if (part == "RR") mask |= core::kStrategyRR;
+    else if (part == "OR") mask |= core::kStrategyOR;
+    else if (part == "BF") mask |= core::kStrategyBF;
+    else return Status::InvalidArgument("unknown strategy '" + part + "'");
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return mask;
+}
+
+int RunGenerate(const FlagSet& flags) {
+  const std::string kind = flags.GetString("dataset", "tiger");
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto seed = flags.GetInt("seed", 2009);
+  auto n = flags.GetInt("n", 0);
+  if (!seed.ok()) return Fail(seed.status());
+  if (!n.ok()) return Fail(n.status());
+
+  workload::Dataset dataset;
+  if (kind == "tiger") {
+    workload::TigerSyntheticOptions options;
+    if (*n > 0) options.num_points = static_cast<size_t>(*n);
+    options.seed = static_cast<uint64_t>(*seed);
+    dataset = workload::GenerateTigerSynthetic(options);
+  } else if (kind == "corel") {
+    workload::CorelSyntheticOptions options;
+    if (*n > 0) options.num_points = static_cast<size_t>(*n);
+    options.seed = static_cast<uint64_t>(*seed);
+    dataset = workload::GenerateCorelSynthetic(options);
+  } else if (kind == "uniform" || kind == "clustered") {
+    auto dim = flags.GetInt("dim", 2);
+    auto extent = flags.GetDouble("extent", 1000.0);
+    auto clusters = flags.GetInt("clusters", 16);
+    if (!dim.ok()) return Fail(dim.status());
+    if (!extent.ok()) return Fail(extent.status());
+    if (!clusters.ok()) return Fail(clusters.status());
+    const size_t count = (*n > 0) ? static_cast<size_t>(*n) : 10000;
+    const geom::Rect box(la::Vector(static_cast<size_t>(*dim), 0.0),
+                         la::Vector(static_cast<size_t>(*dim), *extent));
+    dataset = (kind == "uniform")
+                  ? workload::GenerateUniform(count, box,
+                                              static_cast<uint64_t>(*seed))
+                  : workload::GenerateClustered(
+                        count, box, static_cast<size_t>(*clusters),
+                        *extent / 25.0, static_cast<uint64_t>(*seed));
+  } else {
+    return Fail(Status::InvalidArgument("unknown dataset '" + kind + "'"));
+  }
+
+  const Status status = workload::SaveCsv(dataset, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu %zu-D points to %s\n", dataset.size(), dataset.dim,
+              out.c_str());
+  return 0;
+}
+
+int RunSnapshot(const FlagSet& flags) {
+  const std::string data = flags.GetString("data");
+  const std::string out = flags.GetString("out");
+  if (data.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--data and --out are required"));
+  }
+  auto page_size = flags.GetInt("page-size", 4096);
+  if (!page_size.ok()) return Fail(page_size.status());
+
+  auto dataset = workload::LoadCsv(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  index::RStarTreeOptions options;
+  options.max_entries = std::min<size_t>(
+      32, index::TreeSnapshot::MaxEntriesPerPage(
+              static_cast<size_t>(*page_size), dataset->dim));
+  if (options.max_entries < 4) {
+    return Fail(Status::InvalidArgument(
+        "--page-size too small for this dimensionality"));
+  }
+  auto tree =
+      index::StrBulkLoader::Load(dataset->dim, dataset->points, options);
+  if (!tree.ok()) return Fail(tree.status());
+  const Status status = index::TreeSnapshot::Write(
+      *tree, out, static_cast<size_t>(*page_size));
+  if (!status.ok()) return Fail(status);
+  std::printf("snapshot: %zu points, %zu nodes, %lld-byte pages -> %s\n",
+              tree->size(), tree->node_count(),
+              static_cast<long long>(*page_size), out.c_str());
+  return 0;
+}
+
+struct QuerySetup {
+  workload::Dataset dataset;
+  core::PrqQuery query;
+};
+
+Result<QuerySetup> LoadQuerySetup(const FlagSet& flags) {
+  const std::string data = flags.GetString("data");
+  if (data.empty()) return Status::InvalidArgument("--data is required");
+  auto dataset = workload::LoadCsv(data);
+  if (!dataset.ok()) return dataset.status();
+  auto q = flags.GetDoubleList("q");
+  if (!q.ok()) return q.status();
+  if (q->size() != dataset->dim) {
+    return Status::InvalidArgument("--q must have the dataset's dimension");
+  }
+  auto cov = CovarianceFromFlags(flags, dataset->dim);
+  if (!cov.ok()) return cov.status();
+  auto g = core::GaussianDistribution::Create(la::Vector(*q), *cov);
+  if (!g.ok()) return g.status();
+  auto delta = flags.GetDouble("delta", 1.0);
+  auto theta = flags.GetDouble("theta", 0.1);
+  if (!delta.ok()) return delta.status();
+  if (!theta.ok()) return theta.status();
+  return QuerySetup{std::move(*dataset),
+                    core::PrqQuery{std::move(*g), *delta, *theta}};
+}
+
+int RunQuery(const FlagSet& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status());
+  auto strategy = StrategyFromFlags(flags);
+  if (!strategy.ok()) return Fail(strategy.status());
+  auto samples = flags.GetInt("samples", 100000);
+  auto threads = flags.GetInt("threads", 1);
+  if (!samples.ok()) return Fail(samples.status());
+  if (!threads.ok()) return Fail(threads.status());
+
+  auto tree = index::StrBulkLoader::Load(setup->dataset.dim,
+                                         setup->dataset.points);
+  if (!tree.ok()) return Fail(tree.status());
+  const core::PrqEngine engine(&*tree);
+  core::PrqOptions options;
+  options.strategies = *strategy;
+
+  const std::string evaluator_kind = flags.GetString("evaluator", "imhof");
+  core::PrqStats stats;
+  Result<std::vector<index::ObjectId>> result =
+      Status::Internal("unreachable");
+  if (*threads > 1) {
+    const auto factory = [&](size_t worker)
+        -> std::unique_ptr<mc::ProbabilityEvaluator> {
+      if (evaluator_kind == "mc") {
+        return std::make_unique<mc::MonteCarloEvaluator>(
+            mc::MonteCarloOptions{
+                .samples = static_cast<uint64_t>(*samples),
+                .seed = 7 + worker});
+      }
+      if (evaluator_kind == "adaptive") {
+        return std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
+            mc::AdaptiveMonteCarloOptions{
+                .max_samples = static_cast<uint64_t>(*samples),
+                .seed = 7 + worker});
+      }
+      return std::make_unique<mc::ImhofEvaluator>();
+    };
+    result = engine.ExecuteParallel(setup->query, options, factory,
+                                    static_cast<size_t>(*threads), &stats);
+  } else {
+    std::unique_ptr<mc::ProbabilityEvaluator> evaluator;
+    if (evaluator_kind == "mc") {
+      evaluator = std::make_unique<mc::MonteCarloEvaluator>(
+          mc::MonteCarloOptions{.samples = static_cast<uint64_t>(*samples),
+                                .seed = 7});
+    } else if (evaluator_kind == "adaptive") {
+      evaluator = std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
+          mc::AdaptiveMonteCarloOptions{
+              .max_samples = static_cast<uint64_t>(*samples), .seed = 7});
+    } else if (evaluator_kind == "imhof") {
+      evaluator = std::make_unique<mc::ImhofEvaluator>();
+    } else {
+      return Fail(Status::InvalidArgument("unknown evaluator '" +
+                                          evaluator_kind + "'"));
+    }
+    result = engine.Execute(setup->query, options, evaluator.get(), &stats);
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("PRQ(delta=%.6g, theta=%.6g) strategy=%s evaluator=%s\n",
+              setup->query.delta, setup->query.theta,
+              core::StrategyName(*strategy).c_str(),
+              evaluator_kind.c_str());
+  std::printf("  index candidates: %zu, integrations: %zu, "
+              "accepted free: %zu\n",
+              stats.index_candidates, stats.integration_candidates,
+              stats.accepted_without_integration);
+  std::printf("  time: %.2f ms (prep %.2f, p1 %.2f, p2 %.2f, p3 %.2f)\n",
+              stats.total_seconds() * 1e3, stats.prep_seconds * 1e3,
+              stats.phase1_seconds * 1e3, stats.phase2_seconds * 1e3,
+              stats.phase3_seconds * 1e3);
+  std::printf("  %zu results:", result->size());
+  const size_t show = std::min<size_t>(result->size(), 20);
+  for (size_t i = 0; i < show; ++i) std::printf(" %u", (*result)[i]);
+  if (result->size() > show) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}
+
+int RunPnn(const FlagSet& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status());
+  auto samples = flags.GetInt("samples", 20000);
+  if (!samples.ok()) return Fail(samples.status());
+  auto tree = index::StrBulkLoader::Load(setup->dataset.dim,
+                                         setup->dataset.points);
+  if (!tree.ok()) return Fail(tree.status());
+  core::PnnStats stats;
+  auto result = core::ProbabilisticNearestNeighbor(
+      *tree, setup->query.query_object,
+      static_cast<uint64_t>(*samples), 7, &stats);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("PNN with %lld samples (%.1f ms): %zu candidates\n",
+              static_cast<long long>(*samples), stats.seconds * 1e3,
+              result->size());
+  const size_t show = std::min<size_t>(result->size(), 10);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  #%zu  object %u  p=%.4f (+-%.4f)\n", i + 1,
+                (*result)[i].id, (*result)[i].probability,
+                (*result)[i].std_error);
+  }
+  return 0;
+}
+
+int RunEstimate(const FlagSet& flags) {
+  auto setup = LoadQuerySetup(flags);
+  if (!setup.ok()) return Fail(setup.status());
+  auto cells = flags.GetInt("cells", 128);
+  if (!cells.ok()) return Fail(cells.status());
+  auto histogram = core::GridHistogram::Build(
+      setup->dataset.points, static_cast<size_t>(*cells));
+  if (!histogram.ok()) return Fail(histogram.status());
+  std::printf("%-10s%18s%22s%16s\n", "strategy", "index candidates",
+              "integration candidates", "accepted free");
+  for (core::StrategyMask mask :
+       {core::kStrategyRR, core::kStrategyBF,
+        core::kStrategyRR | core::kStrategyBF, core::kStrategyAll}) {
+    auto estimate = core::EstimatePrqCandidates(
+        *histogram, setup->query.query_object, setup->query.delta,
+        setup->query.theta, mask);
+    if (!estimate.ok()) return Fail(estimate.status());
+    if (estimate->proved_empty) {
+      std::printf("%-10s%18s\n", core::StrategyName(mask).c_str(),
+                  "(provably empty)");
+    } else {
+      std::printf("%-10s%18.0f%22.0f%16.0f\n",
+                  core::StrategyName(mask).c_str(),
+                  estimate->index_candidates,
+                  estimate->integration_candidates,
+                  estimate->accepted_free);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto flags = FlagSet::Parse(args);
+  if (!flags.ok()) {
+    Fail(flags.status());
+    return Usage();
+  }
+  int code;
+  const std::string& command = flags->command();
+  if (command == "generate") code = RunGenerate(*flags);
+  else if (command == "snapshot") code = RunSnapshot(*flags);
+  else if (command == "query") code = RunQuery(*flags);
+  else if (command == "pnn") code = RunPnn(*flags);
+  else if (command == "estimate") code = RunEstimate(*flags);
+  else return Usage();
+
+  for (const std::string& key : flags->UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return code;
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main(int argc, char** argv) { return gprq::Main(argc, argv); }
