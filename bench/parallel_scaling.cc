@@ -2,18 +2,35 @@
 // per candidate, and Phase 3 dominates query time with Monte-Carlo
 // integration (paper: >= 97%), so parallel Phase 3 should scale close to
 // linearly in the worker count.
+//
+// Two execution paths are compared:
+//  - per-query ExecuteParallel, which builds a worker pool and fresh
+//    evaluators for every query (the one-shot convenience path);
+//  - a persistent exec::BatchExecutor, which keeps threads and evaluators
+//    alive across the whole stream and interleaves the Phase-3 chunks of a
+//    batch — the serving configuration for sustained query traffic.
 
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/batch_executor.h"
 #include "mc/monte_carlo.h"
 #include "rng/random.h"
 #include "workload/tiger_synthetic.h"
 
 namespace gprq {
 namespace {
+
+core::PrqEngine::EvaluatorFactory McFactory(uint64_t samples) {
+  return [samples](size_t worker) {
+    return std::make_unique<mc::MonteCarloEvaluator>(
+        mc::MonteCarloOptions{.samples = samples, .seed = 100 + worker});
+  };
+}
 
 void Run() {
   const uint64_t samples = bench::EnvOr("GPRQ_MC_SAMPLES", 20000);
@@ -52,14 +69,9 @@ void Run() {
       auto g = core::GaussianDistribution::Create(center, cov);
       const core::PrqQuery query{std::move(*g), delta, theta};
       core::PrqStats stats;
-      auto result = engine.ExecuteParallel(
-          query, core::PrqOptions(),
-          [samples](size_t worker) {
-            return std::make_unique<mc::MonteCarloEvaluator>(
-                mc::MonteCarloOptions{.samples = samples,
-                                      .seed = 100 + worker});
-          },
-          threads, &stats);
+      auto result = engine.ExecuteParallel(query, core::PrqOptions(),
+                                           McFactory(samples), threads,
+                                           &stats);
       if (!result.ok()) std::abort();
       phase3 += stats.phase3_seconds * 1e3;
       total += stats.total_seconds() * 1e3;
@@ -69,7 +81,51 @@ void Run() {
                 total / trials, baseline / std::max(phase3, 1e-9));
   }
   std::printf("\nexpected shape: near-linear speedup up to the physical "
-              "core count.\n");
+              "core count.\n\n");
+
+  // ---- Batch executor vs per-query ExecuteParallel throughput. -----------
+  // The same query stream (each center repeated) through both paths.
+  std::vector<core::PrqQuery> stream;
+  constexpr size_t kRounds = 4;
+  for (size_t r = 0; r < kRounds; ++r) {
+    for (const auto& center : centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      stream.push_back(core::PrqQuery{std::move(*g), delta, theta});
+    }
+  }
+
+  std::printf("Throughput: persistent BatchExecutor vs per-query "
+              "ExecuteParallel (%zu-query stream)\n", stream.size());
+  std::printf("%-10s%18s%16s%12s%18s\n", "threads", "per-query (q/s)",
+              "batch (q/s)", "batch/pq", "integr./s (batch)");
+  bench::Rule(74);
+  for (size_t threads : {1u, 2u, 4u}) {
+    Stopwatch per_query_timer;
+    for (const auto& query : stream) {
+      auto result = engine.ExecuteParallel(query, core::PrqOptions(),
+                                           McFactory(samples), threads);
+      if (!result.ok()) std::abort();
+    }
+    const double per_query_qps =
+        stream.size() / std::max(per_query_timer.ElapsedSeconds(), 1e-9);
+
+    auto executor =
+        exec::BatchExecutor::Create(&engine, McFactory(samples), threads);
+    if (!executor.ok()) std::abort();
+    Stopwatch batch_timer;
+    auto batch = (*executor)->SubmitBatch(stream, core::PrqOptions());
+    if (!batch.ok()) std::abort();
+    const double batch_qps =
+        stream.size() / std::max(batch_timer.ElapsedSeconds(), 1e-9);
+    const exec::ExecStats stats = (*executor)->Snapshot();
+
+    std::printf("%-10zu%18.2f%16.2f%11.2fx%18.0f\n", threads, per_query_qps,
+                batch_qps, batch_qps / std::max(per_query_qps, 1e-9),
+                stats.integrations_per_second());
+  }
+  std::printf("\nexpected shape: batch >= per-query at every thread count "
+              "(no per-query thread/evaluator setup, no pool idle between "
+              "queries), widening with threads.\n");
 }
 
 }  // namespace

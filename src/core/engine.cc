@@ -2,9 +2,9 @@
 
 #include <cassert>
 #include <cmath>
-#include <thread>
 
 #include "common/stopwatch.h"
+#include "exec/batch_executor.h"
 
 namespace gprq::core {
 
@@ -21,14 +21,6 @@ std::string StrategyName(StrategyMask mask) {
   if (name.empty()) name = "NONE";
   return name;
 }
-
-/// Product of Phases 1-2: objects already accepted via the BF inner radius,
-/// and the candidates whose qualification probability Phase 3 must settle.
-struct PrqEngine::FilterOutcome {
-  std::vector<std::pair<la::Vector, index::ObjectId>> accepted;
-  std::vector<std::pair<la::Vector, index::ObjectId>> survivors;
-  bool proved_empty = false;
-};
 
 PrqEngine::PrqEngine(const index::RStarTree* tree) : tree_(tree) {
   assert(tree_ != nullptr);
@@ -269,51 +261,22 @@ Result<std::vector<index::ObjectId>> PrqEngine::ExecuteParallel(
   GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
   if (outcome.proved_empty) return std::vector<index::ObjectId>{};
 
-  // ---- Phase 3, fanned out over worker threads. ---------------------------
-  Stopwatch phase_timer;
-  const size_t n = outcome.survivors.size();
-  const size_t workers = std::min(num_threads, std::max<size_t>(n, 1));
-  std::vector<std::vector<index::ObjectId>> qualified(workers);
-  std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators;
-  evaluators.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    evaluators.push_back(factory(w));
-    if (evaluators.back() == nullptr) {
-      return Status::InvalidArgument("factory returned a null evaluator");
-    }
+  // Nothing survived to Phase 3: return the inner-accepted objects without
+  // constructing evaluators or waking a single worker thread.
+  if (outcome.survivors.empty()) {
+    std::vector<index::ObjectId> result;
+    result.reserve(outcome.accepted.size());
+    for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+    out_stats.result_size = result.size();
+    return result;
   }
 
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w]() {
-        mc::ProbabilityEvaluator* evaluator = evaluators[w].get();
-        // Static block partition: integrations have similar cost, so this
-        // balances well without synchronization.
-        const size_t begin = n * w / workers;
-        const size_t end = n * (w + 1) / workers;
-        for (size_t i = begin; i < end; ++i) {
-          const auto& [point, id] = outcome.survivors[i];
-          if (evaluator->QualificationDecision(query.query_object, point,
-                                               query.delta, query.theta)) {
-            qualified[w].push_back(id);
-          }
-        }
-      });
-    }
-    for (auto& thread : pool) thread.join();
-  }
-
-  std::vector<index::ObjectId> result;
-  result.reserve(outcome.accepted.size());
-  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
-  for (auto& part : qualified) {
-    result.insert(result.end(), part.begin(), part.end());
-  }
-  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
-  out_stats.result_size = result.size();
-  return result;
+  // ---- Phase 3, delegated to a one-shot worker pool. ----------------------
+  // More workers than survivors would only idle; cap at one per survivor.
+  const size_t workers = std::min(num_threads, outcome.survivors.size());
+  auto executor = exec::BatchExecutor::Create(this, factory, workers);
+  if (!executor.ok()) return executor.status();
+  return (*executor)->IntegrateOutcome(query, std::move(outcome), &out_stats);
 }
 
 }  // namespace gprq::core

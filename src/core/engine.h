@@ -50,6 +50,24 @@ class PrqEngine {
   /// results are the ids stored in the tree.
   explicit PrqEngine(const index::RStarTree* tree);
 
+  /// Product of Phases 1-2: objects already accepted via the BF inner radius,
+  /// and the candidates whose qualification probability Phase 3 must settle.
+  /// Exposed so Phase-3 drivers (Execute variants here, exec::BatchExecutor)
+  /// can share one filter implementation.
+  struct FilterOutcome {
+    std::vector<std::pair<la::Vector, index::ObjectId>> accepted;
+    std::vector<std::pair<la::Vector, index::ObjectId>> survivors;
+    bool proved_empty = false;
+  };
+
+  /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
+  /// inner-accepted ids and the candidates needing integration, and `stats`
+  /// with the prep/phase1/phase2 timings and candidate counts. Phase 3 —
+  /// deciding the survivors — is the caller's job (exec::BatchExecutor fans
+  /// it over a worker pool; Execute runs it inline).
+  Status RunFilterPhases(const PrqQuery& query, const PrqOptions& options,
+                         FilterOutcome* outcome, PrqStats* stats) const;
+
   /// Runs PRQ(q, δ, θ). `evaluator` supplies Phase-3 probabilities
   /// (Monte-Carlo or exact). If `stats` is non-null it receives phase
   /// timings and candidate counts. Returns the qualifying object ids
@@ -70,6 +88,12 @@ class PrqEngine {
   /// equivalent evaluator. The numerical integrations are embarrassingly
   /// parallel, and Phase 3 dominates query cost (paper Section V-B: at
   /// least 97% of processing time), so speedup is near-linear.
+  ///
+  /// This is the one-shot convenience form: it builds a worker pool and the
+  /// per-worker evaluators per call, and tears them down afterwards. A
+  /// worker exception surfaces as Status::Internal. Query streams should
+  /// hold an exec::BatchExecutor instead, which keeps threads and
+  /// evaluators alive across queries.
   Result<std::vector<index::ObjectId>> ExecuteParallel(
       const PrqQuery& query, const PrqOptions& options,
       const EvaluatorFactory& factory, size_t num_threads,
@@ -95,13 +119,6 @@ class PrqEngine {
   const AlphaCatalog& alpha_catalog() const;
 
  private:
-  struct FilterOutcome;
-
-  /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
-  /// inner-accepted ids and the candidates needing integration.
-  Status RunFilterPhases(const PrqQuery& query, const PrqOptions& options,
-                         FilterOutcome* outcome, PrqStats* stats) const;
-
   const index::RStarTree* tree_;
   // Lazily built per-engine (the tree fixes the dimension); mutable because
   // catalog construction does not affect logical query results.

@@ -1,0 +1,225 @@
+#include "exec/batch_executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace gprq::exec {
+
+void BatchExecutor::ErrorCollector::Record(std::string msg) {
+  std::lock_guard<std::mutex> lock(mutex);
+  if (failed) return;
+  failed = true;
+  message = std::move(msg);
+}
+
+Status BatchExecutor::ErrorCollector::ToStatus() const {
+  // No lock: read after the fan-out's latch, when workers are done writing.
+  if (!failed) return Status::OK();
+  return Status::Internal("worker evaluator failed: " + message);
+}
+
+BatchExecutor::BatchExecutor(
+    const core::PrqEngine* engine,
+    std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators)
+    : engine_(engine),
+      pool_(evaluators.size()),
+      evaluators_(std::move(evaluators)) {}
+
+Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
+    const core::PrqEngine* engine,
+    const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("evaluator factory must not be null");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  // Seed the per-worker evaluators exactly once, before any thread starts;
+  // after this, worker w owns evaluators[w] for the executor's lifetime.
+  std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators;
+  evaluators.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    try {
+      evaluators.push_back(factory(w));
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("evaluator factory threw: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("evaluator factory threw");
+    }
+    if (evaluators.back() == nullptr) {
+      return Status::InvalidArgument("factory returned a null evaluator");
+    }
+  }
+  return std::unique_ptr<BatchExecutor>(
+      new BatchExecutor(engine, std::move(evaluators)));
+}
+
+size_t BatchExecutor::Phase3ChunkCount(size_t survivors) const {
+  return std::min(pool_.num_workers(), survivors);
+}
+
+void BatchExecutor::EnqueuePhase3(
+    const core::PrqQuery& query,
+    const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
+    std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
+    CountdownLatch* latch, ErrorCollector* errors) {
+  const size_t n = survivors.size();
+  const size_t chunks = Phase3ChunkCount(n);
+  for (size_t c = 0; c < chunks; ++c) {
+    // Static block partition: integrations have similar cost, so this
+    // balances well without synchronization.
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    pool_.Submit([this, &query, &survivors, begin, end, merged, merge_mutex,
+                  latch, errors](size_t worker) {
+      try {
+        mc::ProbabilityEvaluator* evaluator = evaluators_[worker].get();
+        // Collect locally and merge once after the chunk: the workers never
+        // write interleaved into adjacent heap blocks, so there is no
+        // false sharing on the result cache lines (and only one lock
+        // acquisition per chunk).
+        std::vector<index::ObjectId> local;
+        for (size_t i = begin; i < end; ++i) {
+          const auto& [point, id] = survivors[i];
+          if (evaluator->QualificationDecision(query.query_object, point,
+                                               query.delta, query.theta)) {
+            local.push_back(id);
+          }
+        }
+        integrations_.fetch_add(end - begin, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(*merge_mutex);
+        merged->insert(merged->end(), local.begin(), local.end());
+      } catch (const std::exception& e) {
+        errors->Record(e.what());
+      } catch (...) {
+        errors->Record("unknown exception");
+      }
+      latch->CountDown();
+    });
+  }
+}
+
+Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
+    const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
+    core::PrqStats* stats) {
+  Stopwatch phase_timer;
+  std::vector<index::ObjectId> result;
+  result.reserve(outcome.accepted.size() + outcome.survivors.size());
+  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+
+  if (!outcome.survivors.empty()) {
+    std::mutex merge_mutex;
+    ErrorCollector errors;
+    CountdownLatch latch(Phase3ChunkCount(outcome.survivors.size()));
+    EnqueuePhase3(query, outcome.survivors, &result, &merge_mutex, &latch,
+                  &errors);
+    latch.Wait();
+    GPRQ_RETURN_NOT_OK(errors.ToStatus());
+  }
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  accepted_without_integration_.fetch_add(outcome.accepted.size(),
+                                          std::memory_order_relaxed);
+  results_.fetch_add(result.size(), std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->phase3_seconds = phase_timer.ElapsedSeconds();
+    stats->result_size = result.size();
+  }
+  return result;
+}
+
+Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::PrqStats* stats) {
+  core::PrqStats local_stats;
+  core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = core::PrqStats();
+
+  core::PrqEngine::FilterOutcome outcome;
+  GPRQ_RETURN_NOT_OK(
+      engine_->RunFilterPhases(query, options, &outcome, &out_stats));
+  if (outcome.proved_empty) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<index::ObjectId>{};
+  }
+  return IntegrateOutcome(query, std::move(outcome), &out_stats);
+}
+
+Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
+    const std::vector<core::PrqQuery>& queries,
+    const core::PrqOptions& options, std::vector<core::PrqStats>* stats) {
+  const size_t nq = queries.size();
+  if (stats != nullptr) {
+    stats->assign(nq, core::PrqStats());
+  }
+
+  // Phases 1-2 for every query up front, on this thread.
+  std::vector<core::PrqEngine::FilterOutcome> outcomes(nq);
+  size_t total_chunks = 0;
+  for (size_t q = 0; q < nq; ++q) {
+    core::PrqStats local_stats;
+    core::PrqStats& out_stats =
+        (stats != nullptr) ? (*stats)[q] : local_stats;
+    GPRQ_RETURN_NOT_OK(
+        engine_->RunFilterPhases(queries[q], options, &outcomes[q],
+                                 &out_stats));
+    if (!outcomes[q].proved_empty) {
+      total_chunks += Phase3ChunkCount(outcomes[q].survivors.size());
+    }
+  }
+
+  // One fan-out for the whole batch: every query's chunks are in flight
+  // together, so workers drain query i+1 while stragglers finish query i.
+  std::vector<std::vector<index::ObjectId>> results(nq);
+  std::vector<std::unique_ptr<std::mutex>> merge_mutexes;
+  merge_mutexes.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    merge_mutexes.push_back(std::make_unique<std::mutex>());
+  }
+  ErrorCollector errors;
+  CountdownLatch latch(total_chunks);
+  Stopwatch phase_timer;
+  for (size_t q = 0; q < nq; ++q) {
+    if (outcomes[q].proved_empty) continue;
+    for (const auto& [point, id] : outcomes[q].accepted) {
+      results[q].push_back(id);
+    }
+    accepted_without_integration_.fetch_add(outcomes[q].accepted.size(),
+                                            std::memory_order_relaxed);
+    EnqueuePhase3(queries[q], outcomes[q].survivors, &results[q],
+                  merge_mutexes[q].get(), &latch, &errors);
+  }
+  latch.Wait();
+  GPRQ_RETURN_NOT_OK(errors.ToStatus());
+
+  const double phase3_seconds = phase_timer.ElapsedSeconds();
+  queries_.fetch_add(nq, std::memory_order_relaxed);
+  for (size_t q = 0; q < nq; ++q) {
+    results_.fetch_add(results[q].size(), std::memory_order_relaxed);
+    if (stats != nullptr) {
+      (*stats)[q].phase3_seconds = phase3_seconds;
+      (*stats)[q].result_size = results[q].size();
+    }
+  }
+  return results;
+}
+
+ExecStats BatchExecutor::Snapshot() const {
+  ExecStats snapshot;
+  snapshot.queries = queries_.load(std::memory_order_relaxed);
+  snapshot.integrations = integrations_.load(std::memory_order_relaxed);
+  snapshot.accepted_without_integration =
+      accepted_without_integration_.load(std::memory_order_relaxed);
+  snapshot.results = results_.load(std::memory_order_relaxed);
+  snapshot.uptime_seconds = uptime_.ElapsedSeconds();
+  snapshot.queue_depth = pool_.QueueDepth();
+  snapshot.num_workers = pool_.num_workers();
+  return snapshot;
+}
+
+}  // namespace gprq::exec

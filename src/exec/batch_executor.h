@@ -1,0 +1,154 @@
+#ifndef GPRQ_EXEC_BATCH_EXECUTOR_H_
+#define GPRQ_EXEC_BATCH_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "exec/worker_pool.h"
+#include "mc/probability_evaluator.h"
+
+namespace gprq::exec {
+
+/// Executor-level throughput counters, aggregated over every query an
+/// executor has served. PrqStats describes one query; ExecStats describes
+/// the serving process — the figure of merit for a sustained query stream
+/// (Bernecker et al. / von Looz & Meyerhenke measure their probabilistic
+/// query engines the same way).
+struct ExecStats {
+  /// Queries completed (Submit counts 1, SubmitBatch counts its size).
+  uint64_t queries = 0;
+  /// Phase-3 numerical integrations performed across all queries.
+  uint64_t integrations = 0;
+  /// Objects accepted via the BF inner radius, i.e. integrations avoided.
+  uint64_t accepted_without_integration = 0;
+  /// Total result cardinality across all queries.
+  uint64_t results = 0;
+  /// Seconds since the executor was constructed.
+  double uptime_seconds = 0.0;
+  /// Phase-3 tasks waiting in the pool queue when the snapshot was taken.
+  size_t queue_depth = 0;
+  /// Worker threads (and evaluators) owned by the executor.
+  size_t num_workers = 0;
+
+  double queries_per_second() const {
+    return uptime_seconds > 0.0 ? static_cast<double>(queries) / uptime_seconds
+                                : 0.0;
+  }
+  double integrations_per_second() const {
+    return uptime_seconds > 0.0
+               ? static_cast<double>(integrations) / uptime_seconds
+               : 0.0;
+  }
+};
+
+/// Persistent Phase-3 executor for query streams.
+///
+/// Construction starts a WorkerPool and builds exactly one evaluator per
+/// worker through the factory (seeded once, e.g. with the worker index);
+/// both live until the executor is destroyed. The evaluator-lifetime
+/// contract: evaluator `w` is only ever touched by pool worker `w`, one
+/// task at a time, so evaluators keep their mutable state (RNG streams,
+/// adaptive-sampling statistics) across queries without synchronization —
+/// and a Monte-Carlo worker's stream advances across the whole query
+/// stream instead of being re-seeded per query.
+///
+/// Submit runs Phases 1-2 on the calling thread (they are cheap — the paper
+/// attributes >= 97% of query time to Phase 3) and fans the surviving
+/// integrations across the pool. SubmitBatch does the same for a whole
+/// batch, interleaving every query's Phase-3 chunks in one fan-out so the
+/// pool never idles between queries.
+///
+/// An exception thrown by an evaluator inside a worker is captured and
+/// surfaced as Status::Internal from the submitting call; it never reaches
+/// std::terminate.
+///
+/// Thread-compatible: one thread submits at a time (the workers are the
+/// parallelism). Snapshot() may be called concurrently with submissions.
+class BatchExecutor {
+ public:
+  /// Builds the pool and one evaluator per worker. Fails with
+  /// InvalidArgument if the factory is null, returns a null evaluator, or
+  /// `num_threads` is 0, and with Internal if the factory throws.
+  static Result<std::unique_ptr<BatchExecutor>> Create(
+      const core::PrqEngine* engine,
+      const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads);
+
+  /// Runs one query; result-set semantics identical to PrqEngine::Execute
+  /// with an equivalent evaluator (order may differ; compare as sets).
+  Result<std::vector<index::ObjectId>> Submit(
+      const core::PrqQuery& query, const core::PrqOptions& options,
+      core::PrqStats* stats = nullptr);
+
+  /// Runs a batch; `results[i]` answers `queries[i]`. All queries' Phase-3
+  /// chunks share one fan-out. If `stats` is non-null it is resized to the
+  /// batch and `(*stats)[i]` receives query i's filter-phase timings and
+  /// counts; phase3_seconds reports the shared fan-out's wall time (the
+  /// per-query attribution does not exist when chunks interleave). Fails
+  /// fast on the first query whose validation fails.
+  Result<std::vector<std::vector<index::ObjectId>>> SubmitBatch(
+      const std::vector<core::PrqQuery>& queries,
+      const core::PrqOptions& options,
+      std::vector<core::PrqStats>* stats = nullptr);
+
+  /// Fans Phase 3 of an already-filtered query across the pool and returns
+  /// accepted + qualifying ids. `stats` (if non-null) receives
+  /// phase3_seconds and result_size on top of whatever the filter pass
+  /// already wrote. Used by PrqEngine::ExecuteParallel, which runs its own
+  /// filter pass; stream callers normally use Submit.
+  Result<std::vector<index::ObjectId>> IntegrateOutcome(
+      const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
+      core::PrqStats* stats = nullptr);
+
+  /// Point-in-time throughput counters.
+  ExecStats Snapshot() const;
+
+  size_t num_workers() const { return pool_.num_workers(); }
+
+ private:
+  BatchExecutor(const core::PrqEngine* engine,
+                std::vector<std::unique_ptr<mc::ProbabilityEvaluator>>
+                    evaluators);
+
+  /// Captures the first worker error of a fan-out.
+  struct ErrorCollector {
+    std::mutex mutex;
+    bool failed = false;
+    std::string message;
+
+    void Record(std::string msg);
+    Status ToStatus() const;
+  };
+
+  /// Enqueues the Phase-3 chunk tasks for one query's survivors. Appends
+  /// qualifying ids to `merged` under `merge_mutex`; counts `latch` down
+  /// once per chunk (Phase3ChunkCount(survivors.size()) chunks total).
+  void EnqueuePhase3(
+      const core::PrqQuery& query,
+      const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
+      std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
+      CountdownLatch* latch, ErrorCollector* errors);
+
+  size_t Phase3ChunkCount(size_t survivors) const;
+
+  const core::PrqEngine* engine_;
+  WorkerPool pool_;
+  // One per worker; evaluators_[w] is touched only by pool worker w.
+  std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators_;
+
+  Stopwatch uptime_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> integrations_{0};
+  std::atomic<uint64_t> accepted_without_integration_{0};
+  std::atomic<uint64_t> results_{0};
+};
+
+}  // namespace gprq::exec
+
+#endif  // GPRQ_EXEC_BATCH_EXECUTOR_H_

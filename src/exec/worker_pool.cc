@@ -1,0 +1,72 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gprq::exec {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(num_threads, 1);
+  threads_.reserve(n);
+  for (size_t w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t WorkerPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t WorkerPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_executed_;
+}
+
+uint64_t WorkerPool::dropped_exceptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_exceptions_;
+}
+
+void WorkerPool::WorkerLoop(size_t worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so a fan-out submitted just
+      // before destruction still completes (its latch must reach zero).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      // Counted at dequeue so the tally is already visible to whatever the
+      // task itself signals on completion (latches, counters).
+      ++tasks_executed_;
+    }
+    try {
+      task(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++dropped_exceptions_;
+    }
+  }
+}
+
+}  // namespace gprq::exec

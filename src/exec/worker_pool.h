@@ -1,0 +1,101 @@
+#ifndef GPRQ_EXEC_WORKER_POOL_H_
+#define GPRQ_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gprq::exec {
+
+/// Counts a group of pool tasks down to zero so the submitting thread can
+/// block until every task of a fan-out has finished. A fresh latch is used
+/// per fan-out; it is not reusable after Wait() returns.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+/// A fixed-size pool of long-lived worker threads fed by a condition-variable
+/// task queue. Threads are created once at construction and joined at
+/// destruction; submitting work never constructs a thread, which is the point:
+/// the per-query Phase-3 fan-out must not pay thread setup cost on every
+/// query (paper Section V-B puts >= 97% of query time in Phase 3, so the
+/// engine's steady state is a continuous stream of integration tasks).
+///
+/// Each task receives the index of the worker executing it (0 <=
+/// worker < num_workers()). A worker runs one task at a time, so any state
+/// indexed by that worker slot — notably the BatchExecutor's per-worker
+/// evaluators — is accessed by at most one thread at once without locking.
+///
+/// Tasks must not throw: the pool catches and counts stray exceptions (see
+/// dropped_exceptions()) to keep a throwing task from calling
+/// std::terminate, but it cannot report them meaningfully — callers that
+/// care (the BatchExecutor does) wrap their task bodies and surface errors
+/// as Status.
+class WorkerPool {
+ public:
+  using Task = std::function<void(size_t worker)>;
+
+  /// Starts `num_threads` workers (at least 1).
+  explicit WorkerPool(size_t num_threads);
+
+  /// Drains the queue, then stops and joins every worker. Already-queued
+  /// tasks run to completion; nothing is discarded.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task; one idle worker wakes to run it.
+  void Submit(Task task);
+
+  /// Number of worker threads (fixed for the pool's lifetime).
+  size_t num_workers() const { return threads_.size(); }
+
+  /// Tasks enqueued but not yet picked up by a worker — the backlog a load
+  /// shedder or autoscaler would watch.
+  size_t QueueDepth() const;
+
+  /// Tasks dequeued for execution since construction.
+  uint64_t tasks_executed() const;
+
+  /// Exceptions that escaped task bodies and were swallowed by the pool.
+  /// Nonzero means a caller failed to wrap its task body; the BatchExecutor
+  /// path always reports errors through Status instead.
+  uint64_t dropped_exceptions() const;
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  uint64_t tasks_executed_ = 0;
+  uint64_t dropped_exceptions_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gprq::exec
+
+#endif  // GPRQ_EXEC_WORKER_POOL_H_

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "core/engine.h"
 #include "index/str_bulk_load.h"
@@ -119,6 +120,88 @@ TEST(ExecuteParallel, ProvedEmptyShortCircuits) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
   EXPECT_TRUE(stats.proved_empty);
+}
+
+TEST(ExecuteParallel, ZeroSurvivorsNeverCallsTheFactory) {
+  auto fixture = Fixture::Make(200, 7);
+  const PrqEngine engine(&fixture.tree);
+  // Query far outside the dataset extent with RR only: Phase 1 finds no
+  // candidates, so Phase 3 has nothing to do. No evaluator may be built and
+  // no worker thread may be spawned for such a query.
+  auto g = GaussianDistribution::Create(la::Vector{50000.0, 50000.0},
+                                        la::Matrix::Identity(2) * 4.0);
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 5.0, 0.1};
+  PrqOptions options;
+  options.strategies = kStrategyRR;
+
+  size_t factory_calls = 0;
+  const auto counting_factory =
+      [&factory_calls](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    ++factory_calls;
+    return std::make_unique<mc::ImhofEvaluator>();
+  };
+  PrqStats stats;
+  auto result =
+      engine.ExecuteParallel(query, options, counting_factory, 4, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(stats.integration_candidates, 0u);
+  EXPECT_EQ(factory_calls, 0u);
+}
+
+TEST(ExecuteParallel, SingleSurvivorWithManyThreads) {
+  // Three far-apart points; a tight query box around one of them with BF
+  // disabled (no inner acceptance) leaves exactly one Phase-3 survivor.
+  std::vector<la::Vector> points = {la::Vector{100.0, 100.0},
+                                    la::Vector{500.0, 500.0},
+                                    la::Vector{900.0, 900.0}};
+  auto tree = index::StrBulkLoader::Load(2, points);
+  ASSERT_TRUE(tree.ok());
+  const PrqEngine engine(&*tree);
+  auto g = GaussianDistribution::Create(la::Vector{500.0, 500.0},
+                                        la::Matrix::Identity(2) * 4.0);
+  ASSERT_TRUE(g.ok());
+  const PrqQuery query{std::move(*g), 20.0, 0.3};
+  PrqOptions options;
+  options.strategies = kStrategyRR;
+
+  PrqStats stats;
+  auto result = engine.ExecuteParallel(query, options, ExactFactory(), 16,
+                                       &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(stats.integration_candidates, 1u);
+  EXPECT_EQ(*result, std::vector<index::ObjectId>{1});
+}
+
+TEST(ExecuteParallel, ThrowingEvaluatorReturnsInternalStatus) {
+  auto fixture = Fixture::Make(4000, 8);
+  const PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 10.0, 25.0, 0.01);
+
+  mc::ImhofEvaluator exact;
+  PrqStats pre_stats;
+  ASSERT_TRUE(engine.Execute(query, PrqOptions(), &exact, &pre_stats).ok());
+  ASSERT_GT(pre_stats.integration_candidates, 0u);
+
+  class ThrowingEvaluator : public mc::ProbabilityEvaluator {
+   public:
+    double QualificationProbability(const GaussianDistribution&,
+                                    const la::Vector&, double) override {
+      throw std::runtime_error("evaluator boom");
+    }
+    const char* name() const override { return "throwing"; }
+  };
+  const auto throwing_factory =
+      [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<ThrowingEvaluator>();
+  };
+  auto result =
+      engine.ExecuteParallel(query, PrqOptions(), throwing_factory, 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("evaluator boom"),
+            std::string::npos);
 }
 
 TEST(ExecuteParallel, MonteCarloWorkersWithDistinctSeeds) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer pass (GPRQ_SANITIZE=thread) over the threaded suites —
+# the engine's parallel path and the exec/ worker-pool/batch-executor
+# layer — in a separate build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. Standard tier-1: full build + ctest.
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# 2. TSan pass over the threaded suites.
+THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test'
+cmake -B build-tsan -S . -DGPRQ_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+  --target parallel_test worker_pool_test batch_executor_test
+(cd build-tsan && ctest --output-on-failure -R "${THREADED_TESTS}")
+
+echo "tier-1 OK (full suite + TSan on ${THREADED_TESTS//|/, })"
