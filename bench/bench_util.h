@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -20,6 +21,51 @@
 #include "workload/generators.h"
 
 namespace gprq::bench {
+
+/// Machine-readable bench output: a flat list of named records, each a set
+/// of string→double metrics, serialized as a JSON array. This is the
+/// cross-PR perf-trajectory format — benches append records and write one
+/// `BENCH_<name>.json` next to their table output so runs can be diffed by
+/// tooling instead of eyeballs.
+class JsonReport {
+ public:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  void Add(std::string name, Metrics metrics) {
+    records_.emplace_back(std::move(name), std::move(metrics));
+  }
+
+  std::string ToJson() const {
+    std::string out = "[\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out += "  {\"name\": \"" + records_[r].first + "\"";
+      for (const auto& [key, value] : records_[r].second) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        out += ", \"" + key + "\": " + buffer;
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on I/O error.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Metrics>> records_;
+};
 
 /// The six combinations evaluated in the paper (Section V-A).
 inline const std::vector<core::StrategyMask>& PaperCombos() {

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "exec/batch_executor.h"
+#include "mc/sample_pool.h"
 
 namespace gprq::core {
 
@@ -189,14 +190,27 @@ Result<std::vector<index::ObjectId>> PrqEngine::Execute(
   if (outcome.proved_empty) return std::vector<index::ObjectId>{};
 
   // ---- Phase 3: probability computation. ---------------------------------
+  // Batched: sampling evaluators build one shared per-query pool (the
+  // O(samples · d²) draw happens once, not once per candidate) and decide
+  // every survivor against it; evaluators without a pool fall back to the
+  // per-candidate loop inside the default DecideBatch.
   Stopwatch phase_timer;
   std::vector<index::ObjectId> result;
   result.reserve(outcome.accepted.size());
   for (const auto& [point, id] : outcome.accepted) result.push_back(id);
-  for (const auto& [point, id] : outcome.survivors) {
-    if (evaluator->QualificationDecision(query.query_object, point,
-                                         query.delta, query.theta)) {
-      result.push_back(id);
+  if (!outcome.survivors.empty()) {
+    const auto pool = evaluator->MakeSamplePool(query.query_object);
+    const size_t n = outcome.survivors.size();
+    std::vector<const la::Vector*> objects;
+    objects.reserve(n);
+    for (const auto& [point, id] : outcome.survivors) {
+      objects.push_back(&point);
+    }
+    std::vector<char> decisions(n, 0);
+    evaluator->DecideBatch(query.query_object, objects.data(), n, query.delta,
+                           query.theta, pool.get(), decisions.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (decisions[i]) result.push_back(outcome.survivors[i].second);
     }
   }
   out_stats.phase3_seconds = phase_timer.ElapsedSeconds();

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "mc/sample_pool.h"
+
 namespace gprq::exec {
 
 void BatchExecutor::ErrorCollector::Record(std::string msg) {
@@ -63,9 +65,15 @@ size_t BatchExecutor::Phase3ChunkCount(size_t survivors) const {
   return std::min(pool_.num_workers(), survivors);
 }
 
+std::shared_ptr<const mc::SamplePool> BatchExecutor::MakeQueryPool(
+    const core::PrqQuery& query) {
+  return evaluators_[0]->MakeSamplePool(query.query_object);
+}
+
 void BatchExecutor::EnqueuePhase3(
     const core::PrqQuery& query,
     const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
+    std::shared_ptr<const mc::SamplePool> pool,
     std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
     CountdownLatch* latch, ErrorCollector* errors) {
   const size_t n = survivors.size();
@@ -75,23 +83,30 @@ void BatchExecutor::EnqueuePhase3(
     // balances well without synchronization.
     const size_t begin = n * c / chunks;
     const size_t end = n * (c + 1) / chunks;
-    pool_.Submit([this, &query, &survivors, begin, end, merged, merge_mutex,
-                  latch, errors](size_t worker) {
+    pool_.Submit([this, &query, &survivors, pool, begin, end, merged,
+                  merge_mutex, latch, errors](size_t worker) {
       try {
         mc::ProbabilityEvaluator* evaluator = evaluators_[worker].get();
+        // One batched call per chunk against the query's shared read-only
+        // pool (null pool ⇒ the evaluator's per-candidate fallback).
+        const size_t count = end - begin;
+        std::vector<const la::Vector*> objects(count);
+        for (size_t i = 0; i < count; ++i) {
+          objects[i] = &survivors[begin + i].first;
+        }
+        std::vector<char> decisions(count, 0);
+        evaluator->DecideBatch(query.query_object, objects.data(), count,
+                               query.delta, query.theta, pool.get(),
+                               decisions.data());
         // Collect locally and merge once after the chunk: the workers never
         // write interleaved into adjacent heap blocks, so there is no
         // false sharing on the result cache lines (and only one lock
         // acquisition per chunk).
         std::vector<index::ObjectId> local;
-        for (size_t i = begin; i < end; ++i) {
-          const auto& [point, id] = survivors[i];
-          if (evaluator->QualificationDecision(query.query_object, point,
-                                               query.delta, query.theta)) {
-            local.push_back(id);
-          }
+        for (size_t i = 0; i < count; ++i) {
+          if (decisions[i]) local.push_back(survivors[begin + i].second);
         }
-        integrations_.fetch_add(end - begin, std::memory_order_relaxed);
+        integrations_.fetch_add(count, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(*merge_mutex);
         merged->insert(merged->end(), local.begin(), local.end());
       } catch (const std::exception& e) {
@@ -116,8 +131,8 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
     std::mutex merge_mutex;
     ErrorCollector errors;
     CountdownLatch latch(Phase3ChunkCount(outcome.survivors.size()));
-    EnqueuePhase3(query, outcome.survivors, &result, &merge_mutex, &latch,
-                  &errors);
+    EnqueuePhase3(query, outcome.survivors, MakeQueryPool(query), &result,
+                  &merge_mutex, &latch, &errors);
     latch.Wait();
     GPRQ_RETURN_NOT_OK(errors.ToStatus());
   }
@@ -158,8 +173,12 @@ Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
     stats->assign(nq, core::PrqStats());
   }
 
-  // Phases 1-2 for every query up front, on this thread.
+  // Phases 1-2 for every query up front, on this thread. The per-query
+  // sample pools are built here too: evaluator 0's pool stream may only be
+  // touched while no fan-out is in flight, and after the first enqueue
+  // below, worker 0 may already be running.
   std::vector<core::PrqEngine::FilterOutcome> outcomes(nq);
+  std::vector<std::shared_ptr<const mc::SamplePool>> pools(nq);
   size_t total_chunks = 0;
   for (size_t q = 0; q < nq; ++q) {
     core::PrqStats local_stats;
@@ -170,6 +189,9 @@ Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
                                  &out_stats));
     if (!outcomes[q].proved_empty) {
       total_chunks += Phase3ChunkCount(outcomes[q].survivors.size());
+      if (!outcomes[q].survivors.empty()) {
+        pools[q] = MakeQueryPool(queries[q]);
+      }
     }
   }
 
@@ -191,8 +213,8 @@ Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
     }
     accepted_without_integration_.fetch_add(outcomes[q].accepted.size(),
                                             std::memory_order_relaxed);
-    EnqueuePhase3(queries[q], outcomes[q].survivors, &results[q],
-                  merge_mutexes[q].get(), &latch, &errors);
+    EnqueuePhase3(queries[q], outcomes[q].survivors, std::move(pools[q]),
+                  &results[q], merge_mutexes[q].get(), &latch, &errors);
   }
   latch.Wait();
   GPRQ_RETURN_NOT_OK(errors.ToStatus());

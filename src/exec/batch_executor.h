@@ -65,6 +65,15 @@ struct ExecStats {
 /// batch, interleaving every query's Phase-3 chunks in one fan-out so the
 /// pool never idles between queries.
 ///
+/// Phase 3 is pooled: before the fan-out, evaluator 0 builds one read-only
+/// mc::SamplePool per query on the submitting thread (sampling evaluators
+/// only; exact evaluators return none), and every candidate chunk is decided
+/// with one batched DecideBatch call against that shared pool. The
+/// O(samples · d²) Gaussian draw is paid once per query instead of once per
+/// candidate, and — since the samples no longer come from whichever worker's
+/// RNG happens to evaluate a candidate — Phase-3 results are bit-identical
+/// regardless of the worker count (see tests/determinism_test.cc).
+///
 /// An exception thrown by an evaluator inside a worker is captured and
 /// surfaced as Status::Internal from the submitting call; it never reaches
 /// std::terminate.
@@ -126,14 +135,27 @@ class BatchExecutor {
     Status ToStatus() const;
   };
 
-  /// Enqueues the Phase-3 chunk tasks for one query's survivors. Appends
-  /// qualifying ids to `merged` under `merge_mutex`; counts `latch` down
-  /// once per chunk (Phase3ChunkCount(survivors.size()) chunks total).
+  /// Enqueues the Phase-3 chunk tasks for one query's survivors. `pool` is
+  /// the query's shared sample pool from MakeQueryPool (may be null); each
+  /// chunk task holds a reference until it finishes. Appends qualifying ids
+  /// to `merged` under `merge_mutex`; counts `latch` down once per chunk
+  /// (Phase3ChunkCount(survivors.size()) chunks total).
   void EnqueuePhase3(
       const core::PrqQuery& query,
       const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
+      std::shared_ptr<const mc::SamplePool> pool,
       std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
       CountdownLatch* latch, ErrorCollector* errors);
+
+  /// Builds the query's shared read-only sample pool through evaluator 0
+  /// (null for evaluators that don't sample). Must run on the submitting
+  /// thread while no fan-out is in flight: it advances evaluator 0's
+  /// dedicated pool stream, and the task-queue handoff orders that write
+  /// before any worker touches the pool. Because the pool — not a worker's
+  /// RNG — supplies every sample of the query, Phase-3 results are
+  /// bit-identical for any GPRQ_THREADS.
+  std::shared_ptr<const mc::SamplePool> MakeQueryPool(
+      const core::PrqQuery& query);
 
   size_t Phase3ChunkCount(size_t survivors) const;
 

@@ -4,7 +4,19 @@
 #include <cassert>
 #include <cmath>
 
+#include "mc/sample_pool.h"
+
 namespace gprq::mc {
+namespace {
+
+constexpr uint64_t kPoolStreamSalt = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+AdaptiveMonteCarloEvaluator::AdaptiveMonteCarloEvaluator(Options options)
+    : options_(options),
+      random_(options.seed),
+      pool_random_(options.seed ^ kPoolStreamSalt) {}
 
 double AdaptiveMonteCarloEvaluator::QualificationProbability(
     const core::GaussianDistribution& query, const la::Vector& object,
@@ -27,7 +39,6 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
   assert(object.dim() == query.dim());
   assert(theta > 0.0 && theta < 1.0);
   const double delta_sq = delta * delta;
-  const double z = options_.confidence_z;
 
   uint64_t n = 0;
   uint64_t hits = 0;
@@ -40,23 +51,10 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
       query.Sample(random_, scratch_);
       if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
     }
-    // Wilson-score interval: robust when the running estimate sits at 0 or
-    // 1 (common — most candidates are far from the θ boundary).
-    const double nf = static_cast<double>(n);
-    const double p_hat = static_cast<double>(hits) / nf;
-    const double z2 = z * z;
-    const double denom = 1.0 + z2 / nf;
-    const double center = (p_hat + z2 / (2.0 * nf)) / denom;
-    const double half =
-        z / denom *
-        std::sqrt(p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf));
-    if (center - half > theta) {
+    const int cmp = WilsonCompare(hits, n, theta, options_.confidence_z);
+    if (cmp != 0) {
       total_samples_ += n;
-      return true;
-    }
-    if (center + half < theta) {
-      total_samples_ += n;
-      return false;
+      return cmp > 0;
     }
   }
   // Budget exhausted with θ inside the interval: fall back to the point
@@ -64,6 +62,37 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
   total_samples_ += n;
   ++undecided_fallbacks_;
   return static_cast<double>(hits) >= theta * static_cast<double>(n);
+}
+
+std::shared_ptr<const SamplePool> AdaptiveMonteCarloEvaluator::MakeSamplePool(
+    const core::GaussianDistribution& query) {
+  return std::make_shared<const SamplePool>(query, options_.max_samples,
+                                            pool_random_);
+}
+
+void AdaptiveMonteCarloEvaluator::DecideBatch(
+    const core::GaussianDistribution& query, const la::Vector* const* objects,
+    size_t count, double delta, double theta, const SamplePool* pool,
+    char* decisions) {
+  if (pool == nullptr) {
+    ProbabilityEvaluator::DecideBatch(query, objects, count, delta, theta,
+                                      pool, decisions);
+    return;
+  }
+  SamplePool::DecideOptions decide;
+  decide.confidence_z = options_.confidence_z;
+  // Keep the pool's large vectorization blocks even if the per-candidate
+  // path checks more often; never check before min_samples' worth.
+  decide.block_samples =
+      std::max({decide.block_samples, options_.min_samples,
+                options_.batch_samples});
+  for (size_t i = 0; i < count; ++i) {
+    const SamplePool::Decision d =
+        pool->Decide(*objects[i], delta, theta, decide);
+    total_samples_ += d.samples_used;
+    if (d.undecided) ++undecided_fallbacks_;
+    decisions[i] = d.qualifies ? 1 : 0;
+  }
 }
 
 }  // namespace gprq::mc

@@ -2,6 +2,7 @@
 #define GPRQ_MC_ADAPTIVE_MONTE_CARLO_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "mc/probability_evaluator.h"
 #include "rng/random.h"
@@ -32,8 +33,7 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
  public:
   using Options = AdaptiveMonteCarloOptions;
 
-  explicit AdaptiveMonteCarloEvaluator(Options options = Options())
-      : options_(options), random_(options.seed) {}
+  explicit AdaptiveMonteCarloEvaluator(Options options = Options());
 
   /// Full-budget estimate (used when a caller wants the probability, e.g.
   /// the ranking extension); runs max_samples draws.
@@ -45,6 +45,22 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
   bool QualificationDecision(const core::GaussianDistribution& query,
                              const la::Vector& object, double delta,
                              double theta) override;
+
+  /// Batched decisions over a shared per-query pool: block-wise counts with
+  /// the same Wilson early termination, amortizing the sampling across all
+  /// candidates of the query. Counter semantics are unchanged
+  /// (total_samples counts pool samples consumed per decision;
+  /// undecided_fallbacks counts pool-exhausted decisions). Without a pool,
+  /// falls back to the per-candidate sequential path.
+  void DecideBatch(const core::GaussianDistribution& query,
+                   const la::Vector* const* objects, size_t count,
+                   double delta, double theta, const SamplePool* pool,
+                   char* decisions) override;
+
+  /// A pool of options().max_samples draws from a dedicated RNG stream
+  /// (seeded from options().seed, separate from the per-candidate stream).
+  std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query) override;
 
   const char* name() const override { return "adaptive-monte-carlo"; }
 
@@ -60,6 +76,7 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
  private:
   Options options_;
   rng::Random random_;
+  rng::Random pool_random_;
   la::Vector scratch_;
   uint64_t total_samples_ = 0;
   uint64_t undecided_fallbacks_ = 0;

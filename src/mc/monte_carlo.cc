@@ -3,20 +3,41 @@
 #include <cassert>
 #include <cmath>
 
+#include "mc/sample_pool.h"
+
 namespace gprq::mc {
+namespace {
+
+// Salt for the pool stream so it is decorrelated from the per-candidate
+// stream even though both derive from options.seed.
+constexpr uint64_t kPoolStreamSalt = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+MonteCarloEvaluator::MonteCarloEvaluator(Options options)
+    : options_(options),
+      random_(options.seed),
+      pool_random_(options.seed ^ kPoolStreamSalt),
+      scratch_(options.dim) {}
+
+uint64_t MonteCarloEvaluator::CountHits(
+    const core::GaussianDistribution& query, const la::Vector& object,
+    double delta_sq, uint64_t n) {
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    query.Sample(random_, scratch_);
+    if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
+  }
+  return hits;
+}
 
 MonteCarloEvaluator::Estimate MonteCarloEvaluator::EstimateWithError(
     const core::GaussianDistribution& query, const la::Vector& object,
     double delta) {
   assert(object.dim() == query.dim());
   assert(delta >= 0.0);
-  const double delta_sq = delta * delta;
   const uint64_t n = options_.samples;
-  uint64_t hits = 0;
-  for (uint64_t i = 0; i < n; ++i) {
-    query.Sample(random_, scratch_);
-    if (la::SquaredDistance(scratch_, object) <= delta_sq) ++hits;
-  }
+  const uint64_t hits = CountHits(query, object, delta * delta, n);
   Estimate est;
   est.samples = n;
   est.probability = static_cast<double>(hits) / static_cast<double>(n);
@@ -28,7 +49,40 @@ MonteCarloEvaluator::Estimate MonteCarloEvaluator::EstimateWithError(
 double MonteCarloEvaluator::QualificationProbability(
     const core::GaussianDistribution& query, const la::Vector& object,
     double delta) {
-  return EstimateWithError(query, object, delta).probability;
+  assert(object.dim() == query.dim());
+  assert(delta >= 0.0);
+  // No std-error here: callers of this entry point discard it, so the
+  // sqrt per call would be wasted.
+  const uint64_t n = options_.samples;
+  return static_cast<double>(CountHits(query, object, delta * delta, n)) /
+         static_cast<double>(n);
+}
+
+std::shared_ptr<const SamplePool> MonteCarloEvaluator::MakeSamplePool(
+    const core::GaussianDistribution& query) {
+  return std::make_shared<const SamplePool>(query, options_.samples,
+                                            pool_random_);
+}
+
+void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
+                                      const la::Vector* const* objects,
+                                      size_t count, double delta, double theta,
+                                      const SamplePool* pool,
+                                      char* decisions) {
+  if (pool == nullptr) {
+    ProbabilityEvaluator::DecideBatch(query, objects, count, delta, theta,
+                                      pool, decisions);
+    return;
+  }
+  // Fixed-budget semantics over the shared pool: full-pool count per
+  // candidate, decision by point estimate (hits/n >= θ).
+  const double delta_sq = delta * delta;
+  const uint64_t n = pool->size();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t hits = pool->CountWithin(*objects[i], delta_sq, 0, n);
+    decisions[i] =
+        static_cast<double>(hits) >= theta * static_cast<double>(n) ? 1 : 0;
+  }
 }
 
 }  // namespace gprq::mc

@@ -2,6 +2,7 @@
 #define GPRQ_MC_MONTE_CARLO_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "mc/probability_evaluator.h"
 #include "rng/random.h"
@@ -17,18 +18,35 @@ namespace gprq::mc {
 struct MonteCarloOptions {
   uint64_t samples = 100000;
   uint64_t seed = 42;
+  /// Query dimensionality hint; when nonzero the sampling scratch buffer
+  /// is allocated at construction instead of on the first sample draw.
+  size_t dim = 0;
 };
 
 class MonteCarloEvaluator final : public ProbabilityEvaluator {
  public:
   using Options = MonteCarloOptions;
 
-  explicit MonteCarloEvaluator(Options options = Options())
-      : options_(options), random_(options.seed) {}
+  explicit MonteCarloEvaluator(Options options = Options());
 
   double QualificationProbability(const core::GaussianDistribution& query,
                                   const la::Vector& object,
                                   double delta) override;
+
+  /// Batched Phase-3 over a shared per-query pool: the O(d²) sampling cost
+  /// is paid once per query (in MakeSamplePool) and each candidate costs
+  /// only a full-pool squared-distance count. Without a pool, falls back to
+  /// the per-candidate path.
+  void DecideBatch(const core::GaussianDistribution& query,
+                   const la::Vector* const* objects, size_t count,
+                   double delta, double theta, const SamplePool* pool,
+                   char* decisions) override;
+
+  /// A pool of options().samples draws from a dedicated RNG stream (seeded
+  /// from options().seed, separate from the per-candidate stream, so pool
+  /// construction and per-candidate evaluation never perturb each other).
+  std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query) override;
 
   /// Estimate plus its standard error sqrt(p(1−p)/n).
   struct Estimate {
@@ -44,8 +62,12 @@ class MonteCarloEvaluator final : public ProbabilityEvaluator {
   const Options& options() const { return options_; }
 
  private:
+  uint64_t CountHits(const core::GaussianDistribution& query,
+                     const la::Vector& object, double delta_sq, uint64_t n);
+
   Options options_;
   rng::Random random_;
+  rng::Random pool_random_;
   la::Vector scratch_;
 };
 

@@ -1,10 +1,15 @@
 #ifndef GPRQ_MC_PROBABILITY_EVALUATOR_H_
 #define GPRQ_MC_PROBABILITY_EVALUATOR_H_
 
+#include <cstddef>
+#include <memory>
+
 #include "core/gaussian.h"
 #include "la/vector.h"
 
 namespace gprq::mc {
+
+class SamplePool;
 
 /// Phase-3 backend: computes (or estimates) the qualification probability
 ///
@@ -32,6 +37,44 @@ class ProbabilityEvaluator {
                                      const la::Vector& object, double delta,
                                      double theta) {
     return QualificationProbability(query, object, delta) >= theta;
+  }
+
+  /// Builds a per-query pool of shared samples for batched decisions, or
+  /// null when the implementation does not integrate by sampling from the
+  /// query Gaussian (exact evaluators; the default). Phase-3 drivers call
+  /// this once per query — on the submitting thread, before any DecideBatch
+  /// fan-out — and pass the pool to every DecideBatch chunk of that query,
+  /// so the O(samples · d²) draw happens once per query instead of once per
+  /// candidate. Sampling evaluators should draw the pool from a dedicated
+  /// RNG stream so pool construction never perturbs their per-candidate
+  /// stream.
+  virtual std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query) {
+    (void)query;
+    return nullptr;
+  }
+
+  /// Batched Phase-3 decisions: sets decisions[i] to nonzero iff the
+  /// qualification probability of *objects[i] is at least `theta`, for
+  /// i in [0, count). `objects` is an array of `count` pointers (candidate
+  /// points live inside caller containers and are not contiguous).
+  ///
+  /// `pool` is the pool MakeSamplePool returned for this query — null for
+  /// evaluators that returned null there. Implementations deciding from the
+  /// pool must treat it as read-only: one pool instance fans out across
+  /// worker threads (mutating their *own* per-evaluator state is fine, the
+  /// worker owns it). The default ignores `pool` and loops the
+  /// per-candidate QualificationDecision, so exact evaluators are batched
+  /// transparently.
+  virtual void DecideBatch(const core::GaussianDistribution& query,
+                           const la::Vector* const* objects, size_t count,
+                           double delta, double theta, const SamplePool* pool,
+                           char* decisions) {
+    (void)pool;
+    for (size_t i = 0; i < count; ++i) {
+      decisions[i] =
+          QualificationDecision(query, *objects[i], delta, theta) ? 1 : 0;
+    }
   }
 
   /// Implementation name for reports ("monte-carlo", "imhof", ...).

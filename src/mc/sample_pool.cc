@@ -1,0 +1,114 @@
+#include "mc/sample_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gprq::mc {
+namespace {
+
+// Samples per kernel block: the scratch accumulator (16 KB) plus one axis
+// stream (16 KB) stay resident in L1/L2 while the block is swept once per
+// dimension.
+constexpr uint64_t kKernelBlock = 2048;
+
+}  // namespace
+
+int WilsonCompare(uint64_t hits, uint64_t n, double theta, double z) {
+  assert(n > 0);
+  const double nf = static_cast<double>(n);
+  const double p_hat = static_cast<double>(hits) / nf;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nf;
+  const double center = (p_hat + z2 / (2.0 * nf)) / denom;
+  const double half =
+      z / denom *
+      std::sqrt(p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf));
+  if (center - half > theta) return 1;
+  if (center + half < theta) return -1;
+  return 0;
+}
+
+SamplePool::SamplePool(const core::GaussianDistribution& query,
+                       uint64_t samples, rng::Random& random)
+    : dim_(query.dim()),
+      samples_(std::max<uint64_t>(samples, 1)),
+      data_(dim_ * samples_) {
+  // The draw order matches a per-candidate evaluator's: sample by sample.
+  // Only the storage is transposed, one scatter per coordinate.
+  la::Vector x(dim_);
+  for (uint64_t i = 0; i < samples_; ++i) {
+    query.Sample(random, x);
+    for (size_t a = 0; a < dim_; ++a) data_[a * samples_ + i] = x[a];
+  }
+}
+
+uint64_t SamplePool::CountWithin(const la::Vector& object, double delta_sq,
+                                 uint64_t begin, uint64_t end) const {
+  assert(object.dim() == dim_);
+  assert(begin <= end && end <= samples_);
+  const double* o = object.data();
+  uint64_t hits = 0;
+  double acc[kKernelBlock];
+  for (uint64_t b = begin; b < end; b += kKernelBlock) {
+    const size_t len = static_cast<size_t>(std::min(kKernelBlock, end - b));
+    {
+      const double* x = data_.data() + b;  // axis 0 initializes acc
+      const double o0 = o[0];
+      for (size_t i = 0; i < len; ++i) {
+        const double t = x[i] - o0;
+        acc[i] = t * t;
+      }
+    }
+    for (size_t a = 1; a < dim_; ++a) {
+      const double* x = data_.data() + a * samples_ + b;
+      const double oa = o[a];
+      for (size_t i = 0; i < len; ++i) {
+        const double t = x[i] - oa;
+        acc[i] += t * t;
+      }
+    }
+    for (size_t i = 0; i < len; ++i) hits += acc[i] <= delta_sq;
+  }
+  return hits;
+}
+
+SamplePool::Estimate SamplePool::EstimateProbability(const la::Vector& object,
+                                                     double delta) const {
+  const uint64_t hits = CountWithin(object, delta * delta, 0, samples_);
+  Estimate est;
+  est.samples = samples_;
+  est.probability =
+      static_cast<double>(hits) / static_cast<double>(samples_);
+  est.std_error = std::sqrt(est.probability * (1.0 - est.probability) /
+                            static_cast<double>(samples_));
+  return est;
+}
+
+SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
+                                        double theta,
+                                        DecideOptions options) const {
+  assert(options.block_samples > 0);
+  const double delta_sq = delta * delta;
+  uint64_t n = 0;
+  uint64_t hits = 0;
+  while (n < samples_) {
+    const uint64_t end = std::min(n + options.block_samples, samples_);
+    hits += CountWithin(object, delta_sq, n, end);
+    n = end;
+    const int cmp = WilsonCompare(hits, n, theta, options.confidence_z);
+    if (cmp > 0) return {true, n, false};
+    if (cmp < 0) return {false, n, false};
+  }
+  // Pool exhausted with θ inside the interval: fall back to the point
+  // estimate, as a fixed-budget sampler would.
+  return {static_cast<double>(hits) >= theta * static_cast<double>(n), n,
+          true};
+}
+
+SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
+                                        double theta) const {
+  return Decide(object, delta, theta, DecideOptions());
+}
+
+}  // namespace gprq::mc

@@ -1,0 +1,105 @@
+#ifndef GPRQ_MC_SAMPLE_POOL_H_
+#define GPRQ_MC_SAMPLE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/gaussian.h"
+#include "la/vector.h"
+#include "rng/random.h"
+
+namespace gprq::mc {
+
+/// Sign of the Wilson-score confidence interval of hits/n relative to θ at
+/// z standard errors: +1 when the whole interval lies above θ, −1 when it
+/// lies below, 0 when θ is inside (undecided). The Wilson interval is robust
+/// when the running estimate sits at 0 or 1 — common, since most candidates
+/// are far from the θ boundary. Shared by AdaptiveMonteCarloEvaluator and
+/// SamplePool::Decide so both make identical sequential decisions.
+int WilsonCompare(uint64_t hits, uint64_t n, double theta, double z);
+
+/// A per-query pool of samples from the query Gaussian N(q, Σ), shared by
+/// every Phase-3 candidate of that query.
+///
+/// Every candidate of one query integrates against the same distribution,
+/// so the expensive part of the paper's Monte-Carlo Phase 3 — drawing n
+/// samples, an O(d²) `q + L·z` transform each — needs to happen once per
+/// *query*, not once per *candidate*. The pool amortizes it: construction
+/// draws the samples once; per candidate only the O(d) squared-distance
+/// count remains.
+///
+/// Layout is dimension-major structure-of-arrays: coordinate a of all n
+/// samples is contiguous at data()[a·n .. a·n + n). The count kernel walks
+/// one axis stream at a time over a cache-sized block of samples,
+/// accumulating squared distances in a small scratch array — plain loops a
+/// compiler auto-vectorizes, no intrinsics.
+///
+/// A pool is immutable after construction, so one pool can be read by any
+/// number of worker threads concurrently (the fan-out unit in
+/// exec::BatchExecutor is a chunk of candidates, all evaluated against the
+/// same shared pool). Because the samples are fixed per query, Phase-3
+/// decisions no longer depend on which worker's RNG evaluates which
+/// candidate — results are bit-identical for any thread count.
+class SamplePool {
+ public:
+  /// Draws `samples` (at least 1 is enforced) points from `query` using
+  /// `random`; O(samples · d²) once, the cost this class amortizes.
+  SamplePool(const core::GaussianDistribution& query, uint64_t samples,
+             rng::Random& random);
+
+  size_t dim() const { return dim_; }
+  uint64_t size() const { return samples_; }
+
+  /// Coordinate `axis` of all samples, contiguous (length size()).
+  const double* axis(size_t axis) const { return data_.data() + axis * samples_; }
+
+  /// Number of samples in [begin, end) within squared Euclidean distance
+  /// `delta_sq` of `object`. Thread-safe (read-only; scratch is stack-local).
+  uint64_t CountWithin(const la::Vector& object, double delta_sq,
+                       uint64_t begin, uint64_t end) const;
+
+  /// Full-pool estimate of Pr(‖x − o‖² ≤ δ²) with its standard error
+  /// sqrt(p(1−p)/n).
+  struct Estimate {
+    double probability = 0.0;
+    double std_error = 0.0;
+    uint64_t samples = 0;
+  };
+  Estimate EstimateProbability(const la::Vector& object, double delta) const;
+
+  struct DecideOptions {
+    /// Samples counted between confidence checks. Blocks are large so the
+    /// SoA kernel stays vectorized between checks (the adaptive evaluator's
+    /// 256-sample rounds would spend more time checking than counting).
+    uint64_t block_samples = 4096;
+    /// Confidence half-width in standard errors (see AdaptiveMonteCarlo).
+    double confidence_z = 4.0;
+  };
+  struct Decision {
+    /// The Phase-3 answer: qualification probability ≥ θ.
+    bool qualifies = false;
+    /// Samples consumed before the interval separated (or the pool size).
+    uint64_t samples_used = 0;
+    /// True when the pool was exhausted with θ still inside the interval;
+    /// `qualifies` then falls back to the full-pool point estimate.
+    bool undecided = false;
+  };
+  /// Block-wise early-terminating decision: counts block_samples at a time
+  /// and stops as soon as the Wilson interval of the running hit rate
+  /// separates from θ — the AdaptiveMonteCarloEvaluator statistics, over
+  /// the shared pool. Thread-safe.
+  Decision Decide(const la::Vector& object, double delta, double theta,
+                  DecideOptions options) const;
+  Decision Decide(const la::Vector& object, double delta,
+                  double theta) const;
+
+ private:
+  size_t dim_;
+  uint64_t samples_;
+  std::vector<double> data_;  // dimension-major: axis a at [a·n, a·n + n)
+};
+
+}  // namespace gprq::mc
+
+#endif  // GPRQ_MC_SAMPLE_POOL_H_

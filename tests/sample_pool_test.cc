@@ -1,0 +1,280 @@
+// Tests for the shared per-query sample pool: agreement of the SoA count
+// kernel with exact (Imhof) probabilities across dimensions and covariance
+// shapes, the Wilson block early-termination statistics, the batched
+// evaluator entry points, and edge cases.
+
+#include "mc/sample_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iterator>
+#include <vector>
+
+#include "mc/adaptive_monte_carlo.h"
+#include "mc/exact_evaluator.h"
+#include "mc/monte_carlo.h"
+#include "rng/random.h"
+
+namespace gprq::mc {
+namespace {
+
+core::GaussianDistribution MakeGaussian(la::Vector mean, la::Matrix cov) {
+  auto g = core::GaussianDistribution::Create(std::move(mean),
+                                              std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+/// A d × d SPD matrix with substantial off-diagonal correlation:
+/// A = B·Bᵀ + d·I for a fixed pseudo-random B.
+la::Matrix CorrelatedCovariance(size_t d, uint64_t seed) {
+  rng::Random random(seed);
+  la::Matrix b(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) b(i, j) = random.NextDouble(-1.0, 1.0);
+  }
+  la::Matrix cov = b * b.Transposed();
+  for (size_t i = 0; i < d; ++i) cov(i, i) += static_cast<double>(d);
+  return cov;
+}
+
+la::Matrix DiagonalCovariance(size_t d) {
+  la::Vector diag(d);
+  for (size_t i = 0; i < d; ++i) {
+    diag[i] = 1.0 + 0.5 * static_cast<double>(i);
+  }
+  return la::Matrix::Diagonal(diag);
+}
+
+/// Pool estimates must sit within 3 standard errors of the exact
+/// probability (plus a small floor for p near 0/1 where std_error → 0).
+void ExpectAgreesWithExact(const core::GaussianDistribution& g,
+                           const SamplePool& pool, const la::Vector& object,
+                           double delta) {
+  ImhofEvaluator exact;
+  const double p_exact = exact.QualificationProbability(g, object, delta);
+  const SamplePool::Estimate est = pool.EstimateProbability(object, delta);
+  const double tolerance = 3.0 * est.std_error + 2e-3;
+  EXPECT_NEAR(est.probability, p_exact, tolerance)
+      << "d=" << g.dim() << " delta=" << delta;
+}
+
+TEST(SamplePool, AgreesWithImhofAcrossDimensionsAndCovariances) {
+  for (const size_t d : {size_t{2}, size_t{3}, size_t{9}}) {
+    for (const bool correlated : {false, true}) {
+      la::Matrix cov =
+          correlated ? CorrelatedCovariance(d, 17 + d) : DiagonalCovariance(d);
+      la::Vector mean(d);
+      for (size_t i = 0; i < d; ++i) mean[i] = static_cast<double>(i);
+      const auto g = MakeGaussian(std::move(mean), std::move(cov));
+
+      rng::Random random(99 + d);
+      const SamplePool pool(g, 50000, random);
+      ASSERT_EQ(pool.dim(), d);
+      ASSERT_EQ(pool.size(), 50000u);
+
+      // Objects from deep inside the distribution to far outside, at
+      // several radii, so the sweep covers p ≈ 1 down to p ≈ 0.
+      for (const double shift : {0.0, 1.0, 2.5, 6.0}) {
+        la::Vector object = g.mean();
+        for (size_t i = 0; i < d; ++i) {
+          object[i] += shift * g.Sigma(i) * (i % 2 == 0 ? 1.0 : -0.7);
+        }
+        for (const double delta_sigmas : {0.5, 1.5, 3.0}) {
+          const double delta = delta_sigmas * g.Sigma(0);
+          ExpectAgreesWithExact(g, pool, object, delta);
+        }
+      }
+    }
+  }
+}
+
+TEST(SamplePool, CountWithinRangesPartitionTheFullCount) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0}, CorrelatedCovariance(2, 5));
+  rng::Random random(7);
+  const SamplePool pool(g, 10000, random);
+  const la::Vector object{0.5, -0.25};
+  const double delta_sq = 2.25;
+  const uint64_t full = pool.CountWithin(object, delta_sq, 0, pool.size());
+  // Sum over uneven subranges (crossing kernel-block boundaries) matches.
+  uint64_t pieces = 0;
+  const uint64_t cuts[] = {0, 1, 1777, 2048, 4096, 9999, 10000};
+  for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    pieces += pool.CountWithin(object, delta_sq, cuts[i], cuts[i + 1]);
+  }
+  EXPECT_EQ(pieces, full);
+  // Empty range.
+  EXPECT_EQ(pool.CountWithin(object, delta_sq, 4096, 4096), 0u);
+}
+
+TEST(SamplePool, DecideMatchesFullCountAwayFromBoundary) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              DiagonalCovariance(2));
+  rng::Random random(11);
+  const SamplePool pool(g, 100000, random);
+  for (const double r : {0.0, 1.0, 3.0, 8.0, 20.0}) {
+    const la::Vector object{r, 0.3 * r};
+    const double delta = 2.0;
+    const double theta = 0.05;
+    const double p = pool.EstimateProbability(object, delta).probability;
+    if (std::abs(p - theta) < 0.01) continue;  // genuinely borderline
+    const SamplePool::Decision decision = pool.Decide(object, delta, theta);
+    EXPECT_EQ(decision.qualifies, p >= theta) << "r=" << r;
+    EXPECT_LE(decision.samples_used, pool.size());
+    if (!decision.undecided) {
+      // Clearly separated objects stop early.
+      EXPECT_LT(decision.samples_used, pool.size());
+    }
+  }
+}
+
+TEST(SamplePool, DecideUndecidedFallsBackToPointEstimate) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              la::Matrix::Identity(2) * 4.0);
+  rng::Random random(13);
+  const SamplePool pool(g, 4096, random);
+  const la::Vector object{3.0, 0.0};
+  const double delta = 3.0;
+  // θ set to the pool's own estimate: the interval cannot separate.
+  const double p = pool.EstimateProbability(object, delta).probability;
+  const SamplePool::Decision decision = pool.Decide(object, delta, p);
+  EXPECT_TRUE(decision.undecided);
+  EXPECT_EQ(decision.samples_used, pool.size());
+  EXPECT_EQ(decision.qualifies, p >= p);  // point-estimate fallback: true
+}
+
+TEST(SamplePool, DeterministicForAGivenStream) {
+  const auto g = MakeGaussian(la::Vector{1.0, -2.0}, CorrelatedCovariance(2, 3));
+  rng::Random random_a(21), random_b(21);
+  const SamplePool a(g, 5000, random_a);
+  const SamplePool b(g, 5000, random_b);
+  const la::Vector object{1.5, -1.0};
+  EXPECT_EQ(a.CountWithin(object, 4.0, 0, a.size()),
+            b.CountWithin(object, 4.0, 0, b.size()));
+  EXPECT_EQ(a.EstimateProbability(object, 2.0).probability,
+            b.EstimateProbability(object, 2.0).probability);
+}
+
+TEST(SamplePool, EdgeCases) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              la::Matrix::Identity(2));
+  rng::Random random(31);
+  const SamplePool pool(g, 10000, random);
+
+  // δ = 0: the δ-ball has measure zero; no sample hits it.
+  const la::Vector at_mean{0.0, 0.0};
+  EXPECT_EQ(pool.CountWithin(at_mean, 0.0, 0, pool.size()), 0u);
+  EXPECT_EQ(pool.EstimateProbability(at_mean, 0.0).probability, 0.0);
+
+  // Candidate exactly at q: probability is the central χ²_d ball mass.
+  ExpectAgreesWithExact(g, pool, at_mean, 1.0);
+
+  // A zero-sample request is clamped to one sample, never an empty pool.
+  rng::Random random2(32);
+  const SamplePool tiny(g, 0, random2);
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_NO_FATAL_FAILURE(tiny.Decide(at_mean, 1.0, 0.5));
+}
+
+TEST(SamplePool, WilsonCompareSeparatesAndStaysUndecided) {
+  EXPECT_EQ(WilsonCompare(1000, 1000, 0.5, 4.0), 1);   // all hits, θ = 0.5
+  EXPECT_EQ(WilsonCompare(0, 1000, 0.5, 4.0), -1);     // no hits
+  EXPECT_EQ(WilsonCompare(500, 1000, 0.5, 4.0), 0);    // dead on θ
+  EXPECT_EQ(WilsonCompare(10, 20, 0.45, 4.0), 0);      // tiny n: wide CI
+}
+
+TEST(DecideBatch, MonteCarloPooledMatchesPoolCounts) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              DiagonalCovariance(2));
+  MonteCarloEvaluator evaluator({.samples = 20000, .seed = 3, .dim = 2});
+  const auto pool = evaluator.MakeSamplePool(g);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 20000u);
+
+  const double delta = 2.0, theta = 0.05;
+  std::vector<la::Vector> objects = {
+      la::Vector{0.0, 0.0}, la::Vector{1.0, 1.0}, la::Vector{10.0, 0.0}};
+  std::vector<const la::Vector*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  std::vector<char> decisions(objects.size(), 2);
+  evaluator.DecideBatch(g, ptrs.data(), ptrs.size(), delta, theta, pool.get(),
+                        decisions.data());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const double p = pool->EstimateProbability(objects[i], delta).probability;
+    EXPECT_EQ(decisions[i] != 0, p >= theta) << "object " << i;
+  }
+}
+
+TEST(DecideBatch, ZeroAndOneCandidates) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              la::Matrix::Identity(2));
+  MonteCarloEvaluator mc({.samples = 5000, .seed = 5});
+  AdaptiveMonteCarloEvaluator adaptive({.max_samples = 5000, .seed = 5});
+  const auto mc_pool = mc.MakeSamplePool(g);
+  const auto adaptive_pool = adaptive.MakeSamplePool(g);
+
+  // 0 candidates: valid call, nothing written.
+  EXPECT_NO_FATAL_FAILURE(
+      mc.DecideBatch(g, nullptr, 0, 1.0, 0.5, mc_pool.get(), nullptr));
+  EXPECT_NO_FATAL_FAILURE(adaptive.DecideBatch(g, nullptr, 0, 1.0, 0.5,
+                                               adaptive_pool.get(), nullptr));
+
+  // 1 candidate at the mean with a generous δ: certain qualifier.
+  const la::Vector at_mean{0.0, 0.0};
+  const la::Vector* one[] = {&at_mean};
+  char decision = 0;
+  mc.DecideBatch(g, one, 1, 5.0, 0.5, mc_pool.get(), &decision);
+  EXPECT_NE(decision, 0);
+  decision = 0;
+  adaptive.DecideBatch(g, one, 1, 5.0, 0.5, adaptive_pool.get(), &decision);
+  EXPECT_NE(decision, 0);
+}
+
+TEST(DecideBatch, AdaptivePooledTracksSampleCounters) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              DiagonalCovariance(2));
+  AdaptiveMonteCarloEvaluator adaptive({.max_samples = 100000, .seed = 9});
+  const auto pool = adaptive.MakeSamplePool(g);
+  ASSERT_NE(pool, nullptr);
+
+  // Far-away objects separate after the first block: way below max_samples.
+  std::vector<la::Vector> objects;
+  for (double r = 20.0; r < 30.0; r += 1.0) objects.push_back({r, 0.0});
+  std::vector<const la::Vector*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  std::vector<char> decisions(objects.size(), 1);
+  adaptive.DecideBatch(g, ptrs.data(), ptrs.size(), 2.0, 0.05, pool.get(),
+                       decisions.data());
+  for (const char d : decisions) EXPECT_EQ(d, 0);
+  const double avg = static_cast<double>(adaptive.total_samples()) /
+                     static_cast<double>(objects.size());
+  EXPECT_LT(avg, 20000.0);
+  EXPECT_GE(avg, 4096.0);  // at least one kernel block per decision
+  EXPECT_EQ(adaptive.undecided_fallbacks(), 0u);
+}
+
+TEST(DecideBatch, DefaultFallbackWithoutPoolMatchesPerCandidate) {
+  const auto g = MakeGaussian(la::Vector{0.0, 0.0},
+                              DiagonalCovariance(2));
+  // Two identically-seeded evaluators: one decides through the batched
+  // entry point without a pool, the other per candidate; the underlying
+  // RNG consumption must be identical.
+  MonteCarloEvaluator batched({.samples = 2000, .seed = 77});
+  MonteCarloEvaluator single({.samples = 2000, .seed = 77});
+  std::vector<la::Vector> objects = {
+      la::Vector{0.0, 0.0}, la::Vector{2.0, -1.0}, la::Vector{6.0, 6.0}};
+  std::vector<const la::Vector*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  std::vector<char> decisions(objects.size(), 2);
+  batched.DecideBatch(g, ptrs.data(), ptrs.size(), 2.0, 0.05,
+                      /*pool=*/nullptr, decisions.data());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(decisions[i] != 0,
+              single.QualificationDecision(g, objects[i], 2.0, 0.05))
+        << "object " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gprq::mc

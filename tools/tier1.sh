@@ -1,21 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer pass (GPRQ_SANITIZE=thread) over the threaded suites —
-# the engine's parallel path and the exec/ worker-pool/batch-executor
-# layer — in a separate build tree.
+# the engine's parallel path, the exec/ worker-pool/batch-executor layer,
+# and the cross-thread-count determinism regression — in a separate build
+# tree.
+#
+# Usage: tier1.sh [all|build|tsan]
+#   all    (default) standard build + ctest, then the TSan pass
+#   build  standard build + ctest only
+#   tsan   TSan pass only (what the CI sanitizer job runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="${1:-all}"
+case "${MODE}" in
+  all|build|tsan) ;;
+  *) echo "usage: $0 [all|build|tsan]" >&2; exit 2 ;;
+esac
+
 # 1. Standard tier-1: full build + ctest.
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+if [[ "${MODE}" != "tsan" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
 
 # 2. TSan pass over the threaded suites.
-THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test'
-cmake -B build-tsan -S . -DGPRQ_SANITIZE=thread
-cmake --build build-tsan -j "$(nproc)" \
-  --target parallel_test worker_pool_test batch_executor_test
-(cd build-tsan && ctest --output-on-failure -R "${THREADED_TESTS}")
+if [[ "${MODE}" != "build" ]]; then
+  THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test'
+  cmake -B build-tsan -S . -DGPRQ_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)" \
+    --target parallel_test worker_pool_test batch_executor_test \
+             determinism_test
+  (cd build-tsan && ctest --output-on-failure -R "${THREADED_TESTS}")
+fi
 
-echo "tier-1 OK (full suite + TSan on ${THREADED_TESTS//|/, })"
+echo "tier-1 ${MODE} OK"
