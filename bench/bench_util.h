@@ -17,34 +17,147 @@
 
 #include "core/engine.h"
 #include "core/prq.h"
+#include "exec/batch_executor.h"
 #include "index/str_bulk_load.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 
 namespace gprq::bench {
 
-/// Machine-readable bench output: a flat list of named records, each a set
-/// of string→double metrics, serialized as a JSON array. This is the
-/// cross-PR perf-trajectory format — benches append records and write one
-/// `BENCH_<name>.json` next to their table output so runs can be diffed by
-/// tooling instead of eyeballs.
+/// A JSON value for bench reports: number, string, raw pre-serialized JSON,
+/// object, or array. Objects and arrays preserve insertion order so reports
+/// diff cleanly across runs. Rendering is compact (single line) — records
+/// in a JsonReport stay one per line regardless of nesting depth.
+class JsonValue {
+ public:
+  JsonValue() : kind_(kNumber) {}
+  JsonValue(double number) : kind_(kNumber), number_(number) {}
+  JsonValue(std::string string) : kind_(kString), text_(std::move(string)) {}
+  JsonValue(const char* string) : kind_(kString), text_(string) {}
+
+  /// Wraps already-serialized JSON (e.g. obs::TextExporter::Json output);
+  /// the text is embedded verbatim, whitespace and all.
+  static JsonValue Raw(std::string json) {
+    JsonValue v;
+    v.kind_ = kRaw;
+    v.text_ = std::move(json);
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = kArray;
+    return v;
+  }
+
+  /// Appends a member to an object; chainable.
+  JsonValue& Set(std::string key, JsonValue value) {
+    keys_.push_back(std::move(key));
+    children_.push_back(std::move(value));
+    return *this;
+  }
+  /// Prepends a member to an object (JsonReport puts "name" first so the
+  /// records grep well); chainable.
+  JsonValue& SetFront(std::string key, JsonValue value) {
+    keys_.insert(keys_.begin(), std::move(key));
+    children_.insert(children_.begin(), std::move(value));
+    return *this;
+  }
+  /// Appends an element to an array; chainable.
+  JsonValue& Append(JsonValue value) {
+    children_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out;
+    Render(&out);
+    return out;
+  }
+
+  void Render(std::string* out) const {
+    switch (kind_) {
+      case kNumber: {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number_);
+        *out += buffer;
+        break;
+      }
+      case kString:
+        *out += '"';
+        *out += text_;
+        *out += '"';
+        break;
+      case kRaw:
+        *out += text_;
+        break;
+      case kObject:
+        *out += '{';
+        for (size_t i = 0; i < children_.size(); ++i) {
+          if (i > 0) *out += ", ";
+          *out += '"' + keys_[i] + "\": ";
+          children_[i].Render(out);
+        }
+        *out += '}';
+        break;
+      case kArray:
+        *out += '[';
+        for (size_t i = 0; i < children_.size(); ++i) {
+          if (i > 0) *out += ", ";
+          children_[i].Render(out);
+        }
+        *out += ']';
+        break;
+    }
+  }
+
+ private:
+  enum Kind { kNumber, kString, kRaw, kObject, kArray };
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::string text_;
+  std::vector<std::string> keys_;     // object member names, in order
+  std::vector<JsonValue> children_;   // object values or array elements
+};
+
+/// Machine-readable bench output: a flat list of named records serialized as
+/// a JSON array, one record per line. This is the cross-PR perf-trajectory
+/// format — benches append records and write one `BENCH_<name>.json` next
+/// to their table output so runs can be diffed by tooling instead of
+/// eyeballs. Records are flat string→double metric sets, optionally carrying
+/// nested JsonValue members (e.g. a metric-registry snapshot).
 class JsonReport {
  public:
   using Metrics = std::vector<std::pair<std::string, double>>;
 
   void Add(std::string name, Metrics metrics) {
-    records_.emplace_back(std::move(name), std::move(metrics));
+    JsonValue record = JsonValue::Object();
+    record.Set("name", JsonValue(std::move(name)));
+    for (auto& [key, value] : metrics) {
+      record.Set(std::move(key), JsonValue(value));
+    }
+    records_.push_back(std::move(record));
+  }
+
+  /// Adds a record with arbitrary nested structure. `record` should be a
+  /// JsonValue::Object; a leading "name" member is prepended.
+  void Add(std::string name, JsonValue record) {
+    record.SetFront("name", JsonValue(std::move(name)));
+    records_.push_back(std::move(record));
   }
 
   std::string ToJson() const {
     std::string out = "[\n";
     for (size_t r = 0; r < records_.size(); ++r) {
-      out += "  {\"name\": \"" + records_[r].first + "\"";
-      for (const auto& [key, value] : records_[r].second) {
-        char buffer[64];
-        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-        out += ", \"" + key + "\": " + buffer;
-      }
-      out += r + 1 < records_.size() ? "},\n" : "}\n";
+      out += "  ";
+      records_[r].Render(&out);
+      out += r + 1 < records_.size() ? ",\n" : "\n";
     }
     out += "]\n";
     return out;
@@ -64,8 +177,32 @@ class JsonReport {
   }
 
  private:
-  std::vector<std::pair<std::string, Metrics>> records_;
+  std::vector<JsonValue> records_;
 };
+
+/// The serving-telemetry record the serving benches emit into
+/// `BENCH_serving.json`: the executor's own ExecStats view plus the full
+/// metric-registry snapshot (obs::TextExporter::Json) under "registry", so
+/// the artifact carries phase histograms, prune breakdowns, queue-wait
+/// quantiles, and per-worker integration counts alongside the headline
+/// throughput numbers.
+inline JsonValue ServingRecord(const exec::ExecStats& stats) {
+  JsonValue record = JsonValue::Object();
+  record.Set("queries", JsonValue(static_cast<double>(stats.queries)))
+      .Set("integrations", JsonValue(static_cast<double>(stats.integrations)))
+      .Set("accepted_without_integration",
+           JsonValue(static_cast<double>(stats.accepted_without_integration)))
+      .Set("results", JsonValue(static_cast<double>(stats.results)))
+      .Set("uptime_seconds", JsonValue(stats.uptime_seconds))
+      .Set("queries_per_second", JsonValue(stats.queries_per_second()))
+      .Set("integrations_per_second",
+           JsonValue(stats.integrations_per_second()))
+      .Set("num_workers", JsonValue(static_cast<double>(stats.num_workers)))
+      .Set("registry",
+           JsonValue::Raw(obs::TextExporter::Json(
+               obs::MetricRegistry::Global().Snapshot())));
+  return record;
+}
 
 /// The six combinations evaluated in the paper (Section V-A).
 inline const std::vector<core::StrategyMask>& PaperCombos() {

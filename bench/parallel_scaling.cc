@@ -99,6 +99,7 @@ void Run() {
   std::printf("%-10s%18s%16s%12s%18s\n", "threads", "per-query (q/s)",
               "batch (q/s)", "batch/pq", "integr./s (batch)");
   bench::Rule(74);
+  bench::JsonReport report;
   for (size_t threads : {1u, 2u, 4u}) {
     Stopwatch per_query_timer;
     for (const auto& query : stream) {
@@ -122,10 +123,27 @@ void Run() {
     std::printf("%-10zu%18.2f%16.2f%11.2fx%18.0f\n", threads, per_query_qps,
                 batch_qps, batch_qps / std::max(per_query_qps, 1e-9),
                 stats.integrations_per_second());
+
+    bench::JsonValue record = bench::ServingRecord(stats);
+    record.SetFront("batch_qps", bench::JsonValue(batch_qps));
+    record.SetFront("per_query_qps", bench::JsonValue(per_query_qps));
+    record.SetFront("threads",
+                    bench::JsonValue(static_cast<double>(threads)));
+    report.Add("parallel_scaling_serving", std::move(record));
   }
   std::printf("\nexpected shape: batch >= per-query at every thread count "
               "(no per-query thread/evaluator setup, no pool idle between "
               "queries), widening with threads.\n");
+
+  // Serving telemetry per thread count, each record carrying the registry
+  // snapshot as of that run (GPRQ_BENCH_JSON overrides the path).
+  const char* json_env = std::getenv("GPRQ_BENCH_JSON");
+  const std::string json_path = (json_env != nullptr && *json_env != '\0')
+                                    ? json_env
+                                    : "BENCH_serving.json";
+  if (report.WriteFile(json_path)) {
+    std::printf("\nserving telemetry written to %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace

@@ -141,6 +141,18 @@ void Run() {
               static_cast<unsigned long long>(
                   served.accepted_without_integration),
               served.queries_per_second(), served.integrations_per_second());
+
+  // Serving telemetry for the perf trajectory: ExecStats plus the full
+  // metric-registry snapshot (GPRQ_BENCH_JSON overrides the path).
+  const char* json_env = std::getenv("GPRQ_BENCH_JSON");
+  const std::string json_path = (json_env != nullptr && *json_env != '\0')
+                                    ? json_env
+                                    : "BENCH_serving.json";
+  bench::JsonReport report;
+  report.Add("table1_serving", bench::ServingRecord(served));
+  if (report.WriteFile(json_path)) {
+    std::printf("\nserving telemetry written to %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include "core/engine.h"
 #include "index/str_bulk_load.h"
 #include "mc/monte_carlo.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "workload/generators.h"
 #include "workload/tiger_synthetic.h"
 
@@ -66,5 +68,13 @@ int main() {
               stats.total_seconds() * 1e3,
               100.0 * stats.phase3_seconds /
                   (stats.total_seconds() > 0 ? stats.total_seconds() : 1.0));
+
+  // 4. Every query also feeds the process-wide metric registry — dump it.
+  //    The same snapshot renders as Prometheus text via
+  //    obs::TextExporter::Prometheus for a /metrics endpoint.
+  std::printf("\nmetric registry after one query:\n%s",
+              obs::TextExporter::Json(
+                  obs::MetricRegistry::Global().Snapshot())
+                  .c_str());
   return 0;
 }

@@ -2,6 +2,9 @@
 #define GPRQ_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace gprq {
 
@@ -22,9 +25,53 @@ class Stopwatch {
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Nanoseconds elapsed since construction or the last Reset() — the
+  /// resolution the obs latency histograms record at.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer that reports a scope's duration into an obs::Histogram (in
+/// nanoseconds) and optionally into a seconds field of a stats struct —
+/// one construction replaces the Stopwatch + ElapsedSeconds/ElapsedMillis
+/// pairs the engine and exec layers used to sprinkle by hand.
+class ScopedTimer {
+ public:
+  /// Either sink may be null; a null histogram with a null seconds_out makes
+  /// the timer a no-op.
+  explicit ScopedTimer(obs::Histogram* histogram,
+                       double* seconds_out = nullptr)
+      : histogram_(histogram), seconds_out_(seconds_out) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Records now instead of at scope exit and disarms the destructor;
+  /// returns the elapsed nanoseconds (0 on a second call).
+  uint64_t Stop() {
+    if (stopped_) return 0;
+    stopped_ = true;
+    const uint64_t nanos = watch_.ElapsedNanos();
+    if (histogram_ != nullptr) histogram_->Record(nanos);
+    if (seconds_out_ != nullptr) *seconds_out_ += nanos * 1e-9;
+    return nanos;
+  }
+
+ private:
+  Stopwatch watch_;
+  obs::Histogram* histogram_;
+  double* seconds_out_;
+  bool stopped_ = false;
 };
 
 }  // namespace gprq

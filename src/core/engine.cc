@@ -52,8 +52,8 @@ double PrqEngine::EffectiveThetaRadius(double theta,
 
 Status PrqEngine::RunFilterPhases(const PrqQuery& query,
                                   const PrqOptions& options,
-                                  FilterOutcome* outcome,
-                                  PrqStats* stats) const {
+                                  FilterOutcome* outcome, PrqStats* stats,
+                                  obs::QueryTrace* trace) const {
   if (query.query_object.dim() != tree_->dim()) {
     return Status::InvalidArgument("query dimension does not match index");
   }
@@ -77,101 +77,148 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
   const bool use_or = options.strategies & kStrategyOR;
   const bool use_bf = options.strategies & kStrategyBF;
 
-  Stopwatch phase_timer;
+  // The trace is the single per-query record; `stats` is derived from it
+  // at the end, so the two can never disagree. The registry aggregates are
+  // sums of published traces — the reconciliation tests rely on this.
+  obs::QueryTrace local_trace;
+  obs::QueryTrace& tr = (trace != nullptr) ? *trace : local_trace;
+  tr = obs::QueryTrace();
+
+  const auto finish = [&] {
+    stats->proved_empty = tr.proved_empty;
+    stats->node_reads = tr.index_visits;
+    stats->index_candidates = tr.index_candidates;
+    stats->pruned_rr_fringe = tr.pruned_rr_fringe;
+    stats->pruned_bf_outer = tr.pruned_bf_outer;
+    stats->pruned_or = tr.pruned_or;
+    stats->pruned_marginal = tr.pruned_marginal;
+    stats->accepted_without_integration = tr.accepted_bf_inner;
+    stats->integration_candidates = tr.phase3_candidates;
+    stats->prep_seconds = tr.phase_seconds(obs::QueryTrace::kPrep);
+    stats->phase1_seconds = tr.phase_seconds(obs::QueryTrace::kPhase1);
+    stats->phase2_seconds = tr.phase_seconds(obs::QueryTrace::kPhase2);
+    obs::PublishFilterPhases(tr);
+  };
 
   // ---- Preparation: per-query filter geometry. --------------------------
-  const AlphaCatalog* alpha_cat =
-      options.use_catalogs ? &alpha_catalog() : nullptr;
-  const double r_theta = EffectiveThetaRadius(theta, options.use_catalogs);
-
   RrRegion rr;
   OrRegion oreg;
   BfBounds bf;
-  if (use_rr || use_or) {
-    rr = RrRegion::Compute(g, delta, r_theta);
-  }
-  if (use_or) {
-    oreg = OrRegion::Compute(g, delta, r_theta);
-  }
-  if (use_bf) {
-    bf = BfBounds::Compute(g, delta, theta, alpha_cat);
-    if (bf.nothing_qualifies) {
-      stats->proved_empty = true;
-      outcome->proved_empty = true;
-      stats->prep_seconds = phase_timer.ElapsedSeconds();
-      return Status::OK();
+  {
+    obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPrep);
+    const AlphaCatalog* alpha_cat =
+        options.use_catalogs ? &alpha_catalog() : nullptr;
+    const double r_theta = EffectiveThetaRadius(theta, options.use_catalogs);
+    if (use_rr || use_or) {
+      rr = RrRegion::Compute(g, delta, r_theta);
+    }
+    if (use_or) {
+      oreg = OrRegion::Compute(g, delta, r_theta);
+    }
+    if (use_bf) {
+      bf = BfBounds::Compute(g, delta, theta, alpha_cat);
+      if (bf.nothing_qualifies) tr.proved_empty = true;
     }
   }
-  stats->prep_seconds = phase_timer.ElapsedSeconds();
-  phase_timer.Reset();
+  if (tr.proved_empty) {
+    outcome->proved_empty = true;
+    finish();
+    return Status::OK();
+  }
 
   // ---- Phase 1: index-based search. --------------------------------------
   // The search region follows the paper: Algorithm 1 (RR box, Fig. 4) when
   // RR is enabled, otherwise Algorithm 2 (BF outer box); pure-OR mode uses
   // the oblique region's bounding box. When both RR and BF are enabled we
   // intersect the two boxes — both are supersets of the qualifying set.
-  geom::Rect search_box = geom::Rect::Empty(d);
-  if (use_rr) {
-    search_box = rr.search_box;
-    if (use_bf) {
-      const geom::Rect bf_box =
-          geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
-      la::Vector lo(d), hi(d);
-      for (size_t i = 0; i < d; ++i) {
-        lo[i] = std::max(search_box.lo()[i], bf_box.lo()[i]);
-        hi[i] = std::min(search_box.hi()[i], bf_box.hi()[i]);
-        if (lo[i] > hi[i]) {
-          // Disjoint boxes: nothing can qualify.
-          stats->proved_empty = true;
-          outcome->proved_empty = true;
-          return Status::OK();
+  std::vector<std::pair<la::Vector, index::ObjectId>> candidates;
+  {
+    obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPhase1);
+    geom::Rect search_box = geom::Rect::Empty(d);
+    if (use_rr) {
+      search_box = rr.search_box;
+      if (use_bf) {
+        const geom::Rect bf_box =
+            geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
+        la::Vector lo(d), hi(d);
+        for (size_t i = 0; i < d; ++i) {
+          lo[i] = std::max(search_box.lo()[i], bf_box.lo()[i]);
+          hi[i] = std::min(search_box.hi()[i], bf_box.hi()[i]);
+          if (lo[i] > hi[i]) {
+            // Disjoint boxes: nothing can qualify.
+            tr.proved_empty = true;
+            break;
+          }
+        }
+        if (!tr.proved_empty) {
+          search_box = geom::Rect(std::move(lo), std::move(hi));
         }
       }
-      search_box = geom::Rect(std::move(lo), std::move(hi));
+    } else if (use_bf) {
+      search_box = geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
+    } else {
+      search_box = oreg.BoundingBox(g);
     }
-  } else if (use_bf) {
-    search_box = geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
-  } else {
-    search_box = oreg.BoundingBox(g);
-  }
 
-  const uint64_t node_reads_before = tree_->stats().node_reads;
-  std::vector<std::pair<la::Vector, index::ObjectId>> candidates;
-  tree_->RangeQuery(search_box,
-                    [&candidates](const la::Vector& point,
-                                  index::ObjectId id) {
-                      candidates.emplace_back(point, id);
-                    });
-  stats->node_reads = tree_->stats().node_reads - node_reads_before;
-  stats->index_candidates = candidates.size();
-  stats->phase1_seconds = phase_timer.ElapsedSeconds();
-  phase_timer.Reset();
+    if (!tr.proved_empty) {
+      const uint64_t node_reads_before = tree_->stats().node_reads;
+      tree_->RangeQuery(search_box,
+                        [&candidates](const la::Vector& point,
+                                      index::ObjectId id) {
+                          candidates.emplace_back(point, id);
+                        });
+      tr.index_visits = tree_->stats().node_reads - node_reads_before;
+      tr.index_candidates = candidates.size();
+    }
+  }
+  if (tr.proved_empty) {
+    outcome->proved_empty = true;
+    finish();
+    return Status::OK();
+  }
 
   // ---- Phase 2: analytical filtering. ------------------------------------
-  outcome->survivors.reserve(candidates.size());
-  const bool apply_fringe =
-      use_rr && (options.fringe_filter_any_dim || d == 2);
-  const MarginalFilter marginal = MarginalFilter::Compute(delta, theta);
+  // Each rejected candidate is attributed to the first filter that drops
+  // it, so the trace's prune breakdown partitions the index candidates.
+  {
+    obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPhase2);
+    outcome->survivors.reserve(candidates.size());
+    const bool apply_fringe =
+        use_rr && (options.fringe_filter_any_dim || d == 2);
+    const MarginalFilter marginal = MarginalFilter::Compute(delta, theta);
 
-  for (auto& [point, id] : candidates) {
-    if (apply_fringe && !rr.PassesFringe(point, delta)) continue;
-    if (use_bf) {
-      const double dist_sq = la::SquaredDistance(point, g.mean());
-      if (dist_sq > bf.alpha_outer * bf.alpha_outer) continue;
-      if (bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner) {
-        // Guaranteed qualifier (lower-bounding function): accept without
-        // numerical integration (Algorithm 2, line 9).
-        outcome->accepted.emplace_back(point, id);
-        ++stats->accepted_without_integration;
+    for (auto& [point, id] : candidates) {
+      if (apply_fringe && !rr.PassesFringe(point, delta)) {
+        ++tr.pruned_rr_fringe;
         continue;
       }
+      if (use_bf) {
+        const double dist_sq = la::SquaredDistance(point, g.mean());
+        if (dist_sq > bf.alpha_outer * bf.alpha_outer) {
+          ++tr.pruned_bf_outer;
+          continue;
+        }
+        if (bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner) {
+          // Guaranteed qualifier (lower-bounding function): accept without
+          // numerical integration (Algorithm 2, line 9).
+          outcome->accepted.emplace_back(point, id);
+          ++tr.accepted_bf_inner;
+          continue;
+        }
+      }
+      if (use_or && !oreg.Contains(g, point)) {
+        ++tr.pruned_or;
+        continue;
+      }
+      if (options.use_marginal_filter && !marginal.Passes(g, point)) {
+        ++tr.pruned_marginal;
+        continue;
+      }
+      outcome->survivors.emplace_back(std::move(point), id);
     }
-    if (use_or && !oreg.Contains(g, point)) continue;
-    if (options.use_marginal_filter && !marginal.Passes(g, point)) continue;
-    outcome->survivors.emplace_back(std::move(point), id);
+    tr.phase3_candidates = outcome->survivors.size();
   }
-  stats->integration_candidates = outcome->survivors.size();
-  stats->phase2_seconds = phase_timer.ElapsedSeconds();
+  finish();
   return Status::OK();
 }
 
@@ -186,7 +233,9 @@ Result<std::vector<index::ObjectId>> PrqEngine::Execute(
   out_stats = PrqStats();
 
   FilterOutcome outcome;
-  GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  obs::QueryTrace trace;
+  GPRQ_RETURN_NOT_OK(
+      RunFilterPhases(query, options, &outcome, &out_stats, &trace));
   if (outcome.proved_empty) return std::vector<index::ObjectId>{};
 
   // ---- Phase 3: probability computation. ---------------------------------
@@ -194,26 +243,32 @@ Result<std::vector<index::ObjectId>> PrqEngine::Execute(
   // O(samples · d²) draw happens once, not once per candidate) and decide
   // every survivor against it; evaluators without a pool fall back to the
   // per-candidate loop inside the default DecideBatch.
-  Stopwatch phase_timer;
   std::vector<index::ObjectId> result;
-  result.reserve(outcome.accepted.size());
-  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
-  if (!outcome.survivors.empty()) {
-    const auto pool = evaluator->MakeSamplePool(query.query_object);
-    const size_t n = outcome.survivors.size();
-    std::vector<const la::Vector*> objects;
-    objects.reserve(n);
-    for (const auto& [point, id] : outcome.survivors) {
-      objects.push_back(&point);
-    }
-    std::vector<char> decisions(n, 0);
-    evaluator->DecideBatch(query.query_object, objects.data(), n, query.delta,
-                           query.theta, pool.get(), decisions.data());
-    for (size_t i = 0; i < n; ++i) {
-      if (decisions[i]) result.push_back(outcome.survivors[i].second);
+  {
+    obs::QueryTrace::Span span(&trace, obs::QueryTrace::kPhase3);
+    result.reserve(outcome.accepted.size());
+    for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+    if (!outcome.survivors.empty()) {
+      const auto pool = evaluator->MakeSamplePool(query.query_object);
+      const size_t n = outcome.survivors.size();
+      std::vector<const la::Vector*> objects;
+      objects.reserve(n);
+      for (const auto& [point, id] : outcome.survivors) {
+        objects.push_back(&point);
+      }
+      std::vector<char> decisions(n, 0);
+      evaluator->DecideBatch(query.query_object, objects.data(), n,
+                             query.delta, query.theta, pool.get(),
+                             decisions.data());
+      for (size_t i = 0; i < n; ++i) {
+        if (decisions[i]) result.push_back(outcome.survivors[i].second);
+      }
+      trace.integrations = n;
     }
   }
-  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
+  trace.result_size = result.size();
+  obs::PublishPhase3(trace);
+  out_stats.phase3_seconds = trace.phase_seconds(obs::QueryTrace::kPhase3);
   out_stats.result_size = result.size();
   return result;
 }
@@ -230,29 +285,36 @@ PrqEngine::ExecuteScored(const PrqQuery& query, const PrqOptions& options,
   out_stats = PrqStats();
 
   FilterOutcome outcome;
-  GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  obs::QueryTrace trace;
+  GPRQ_RETURN_NOT_OK(
+      RunFilterPhases(query, options, &outcome, &out_stats, &trace));
   std::vector<std::pair<index::ObjectId, double>> scored;
   if (outcome.proved_empty) return scored;
 
-  Stopwatch phase_timer;
-  const GaussianDistribution& g = query.query_object;
-  // Inner-accepted objects definitely qualify; they are evaluated anyway to
-  // report their probability (membership was already certain).
-  for (const auto& [point, id] : outcome.accepted) {
-    scored.emplace_back(
-        id, evaluator->QualificationProbability(g, point, query.delta));
+  {
+    obs::QueryTrace::Span span(&trace, obs::QueryTrace::kPhase3);
+    const GaussianDistribution& g = query.query_object;
+    // Inner-accepted objects definitely qualify; they are evaluated anyway
+    // to report their probability (membership was already certain).
+    for (const auto& [point, id] : outcome.accepted) {
+      scored.emplace_back(
+          id, evaluator->QualificationProbability(g, point, query.delta));
+    }
+    for (const auto& [point, id] : outcome.survivors) {
+      const double probability =
+          evaluator->QualificationProbability(g, point, query.delta);
+      if (probability >= query.theta) scored.emplace_back(id, probability);
+    }
+    trace.integrations = outcome.accepted.size() + outcome.survivors.size();
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
   }
-  for (const auto& [point, id] : outcome.survivors) {
-    const double probability =
-        evaluator->QualificationProbability(g, point, query.delta);
-    if (probability >= query.theta) scored.emplace_back(id, probability);
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
-  out_stats.phase3_seconds = phase_timer.ElapsedSeconds();
+  trace.result_size = scored.size();
+  obs::PublishPhase3(trace);
+  out_stats.phase3_seconds = trace.phase_seconds(obs::QueryTrace::kPhase3);
   out_stats.result_size = scored.size();
   return scored;
 }

@@ -12,6 +12,7 @@
 #include "core/radius_catalog.h"
 #include "index/rstar_tree.h"
 #include "mc/probability_evaluator.h"
+#include "obs/trace.h"
 
 namespace gprq::core {
 
@@ -62,11 +63,18 @@ class PrqEngine {
 
   /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
   /// inner-accepted ids and the candidates needing integration, and `stats`
-  /// with the prep/phase1/phase2 timings and candidate counts. Phase 3 —
-  /// deciding the survivors — is the caller's job (exec::BatchExecutor fans
-  /// it over a worker pool; Execute runs it inline).
+  /// with the prep/phase1/phase2 timings, candidate counts and the
+  /// per-filter prune breakdown. Phase 3 — deciding the survivors — is the
+  /// caller's job (exec::BatchExecutor fans it over a worker pool; Execute
+  /// runs it inline).
+  ///
+  /// Every call publishes its filter-phase counters and timings to the
+  /// global obs::MetricRegistry (`gprq.engine.*`). If `trace` is non-null
+  /// it is reset and receives the same per-query record, with the Phase-3
+  /// fields left for the driver to fill.
   Status RunFilterPhases(const PrqQuery& query, const PrqOptions& options,
-                         FilterOutcome* outcome, PrqStats* stats) const;
+                         FilterOutcome* outcome, PrqStats* stats,
+                         obs::QueryTrace* trace = nullptr) const;
 
   /// Runs PRQ(q, δ, θ). `evaluator` supplies Phase-3 probabilities
   /// (Monte-Carlo or exact). If `stats` is non-null it receives phase

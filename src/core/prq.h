@@ -46,6 +46,16 @@ struct PrqStats {
   size_t integration_candidates = 0;
   /// Objects accepted without integration via the BF inner radius α⊥.
   size_t accepted_without_integration = 0;
+
+  /// Phase-2 prune breakdown: which filter dropped each index candidate.
+  /// A candidate counts against the *first* filter that rejects it (the
+  /// engine applies RR-fringe, then BF, then OR, then the marginal
+  /// extension), so the four counts plus accepted_without_integration plus
+  /// integration_candidates always sum to index_candidates.
+  size_t pruned_rr_fringe = 0;
+  size_t pruned_bf_outer = 0;
+  size_t pruned_or = 0;
+  size_t pruned_marginal = 0;
   /// Final result cardinality (the paper's ANS column).
   size_t result_size = 0;
   /// R*-tree node reads during Phase 1.

@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "mc/sample_pool.h"
 
 namespace gprq::exec {
+namespace {
+
+// Sampling counters recorded at the source by mc::SamplePool; read here as
+// deltas to attribute per-query sample usage to a trace.
+struct SampleCounters {
+  obs::Counter* samples_used;
+  obs::Counter* early_stops;
+  obs::Counter* undecided;
+
+  static const SampleCounters& Get() {
+    static const SampleCounters counters = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return SampleCounters{r.GetCounter("gprq.mc.samples_used"),
+                            r.GetCounter("gprq.mc.early_stops"),
+                            r.GetCounter("gprq.mc.undecided")};
+    }();
+    return counters;
+  }
+};
+
+uint64_t CounterDelta(uint64_t now, uint64_t before) {
+  return now >= before ? now - before : 0;
+}
+
+}  // namespace
 
 void BatchExecutor::ErrorCollector::Record(std::string msg) {
   std::lock_guard<std::mutex> lock(mutex);
@@ -26,7 +52,30 @@ BatchExecutor::BatchExecutor(
     std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators)
     : engine_(engine),
       pool_(evaluators.size()),
-      evaluators_(std::move(evaluators)) {}
+      evaluators_(std::move(evaluators)) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  metrics_.queries = registry.GetCounter("gprq.exec.queries");
+  metrics_.integrations = registry.GetCounter("gprq.exec.integrations");
+  metrics_.accepted_without_integration =
+      registry.GetCounter("gprq.exec.accepted_without_integration");
+  metrics_.results = registry.GetCounter("gprq.exec.results");
+  metrics_.queue_depth = registry.GetGauge("gprq.exec.queue_depth");
+  metrics_.num_workers = registry.GetGauge("gprq.exec.num_workers");
+  metrics_.phase3_nanos = registry.GetHistogram("gprq.exec.phase3_nanos");
+  metrics_.worker_integrations.reserve(pool_.num_workers());
+  for (size_t w = 0; w < pool_.num_workers(); ++w) {
+    metrics_.worker_integrations.push_back(registry.GetCounter(
+        "gprq.exec.worker." + std::to_string(w) + ".integrations"));
+  }
+  // The counters are process-wide and monotonic; remember where they stood
+  // so Snapshot() can report this executor's own traffic.
+  metrics_.baseline_queries = metrics_.queries->Value();
+  metrics_.baseline_integrations = metrics_.integrations->Value();
+  metrics_.baseline_accepted =
+      metrics_.accepted_without_integration->Value();
+  metrics_.baseline_results = metrics_.results->Value();
+  metrics_.num_workers->Set(static_cast<double>(pool_.num_workers()));
+}
 
 Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
     const core::PrqEngine* engine,
@@ -106,7 +155,8 @@ void BatchExecutor::EnqueuePhase3(
         for (size_t i = 0; i < count; ++i) {
           if (decisions[i]) local.push_back(survivors[begin + i].second);
         }
-        integrations_.fetch_add(count, std::memory_order_relaxed);
+        metrics_.integrations->Add(count);
+        metrics_.worker_integrations[worker]->Add(count);
         std::lock_guard<std::mutex> lock(*merge_mutex);
         merged->insert(merged->end(), local.begin(), local.end());
       } catch (const std::exception& e) {
@@ -121,8 +171,18 @@ void BatchExecutor::EnqueuePhase3(
 
 Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
     const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
-    core::PrqStats* stats) {
-  Stopwatch phase_timer;
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  // Sampling counters are recorded at the source (mc::SamplePool); the
+  // deltas around the fan-out attribute them to this query's trace.
+  const SampleCounters& samples = SampleCounters::Get();
+  const uint64_t samples_before =
+      (trace != nullptr) ? samples.samples_used->Value() : 0;
+  const uint64_t early_before =
+      (trace != nullptr) ? samples.early_stops->Value() : 0;
+  const uint64_t undecided_before =
+      (trace != nullptr) ? samples.undecided->Value() : 0;
+
+  ScopedTimer phase_timer(metrics_.phase3_nanos);
   std::vector<index::ObjectId> result;
   result.reserve(outcome.accepted.size() + outcome.survivors.size());
   for (const auto& [point, id] : outcome.accepted) result.push_back(id);
@@ -136,33 +196,44 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
     latch.Wait();
     GPRQ_RETURN_NOT_OK(errors.ToStatus());
   }
+  const uint64_t phase3_nanos = phase_timer.Stop();
 
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  accepted_without_integration_.fetch_add(outcome.accepted.size(),
-                                          std::memory_order_relaxed);
-  results_.fetch_add(result.size(), std::memory_order_relaxed);
+  metrics_.queries->Add(1);
+  metrics_.accepted_without_integration->Add(outcome.accepted.size());
+  metrics_.results->Add(result.size());
   if (stats != nullptr) {
-    stats->phase3_seconds = phase_timer.ElapsedSeconds();
+    stats->phase3_seconds = phase3_nanos * 1e-9;
     stats->result_size = result.size();
+  }
+  if (trace != nullptr) {
+    trace->phase_nanos[obs::QueryTrace::kPhase3] += phase3_nanos;
+    trace->integrations += outcome.survivors.size();
+    trace->result_size = result.size();
+    trace->samples_used +=
+        CounterDelta(samples.samples_used->Value(), samples_before);
+    trace->early_stops +=
+        CounterDelta(samples.early_stops->Value(), early_before);
+    trace->undecided +=
+        CounterDelta(samples.undecided->Value(), undecided_before);
   }
   return result;
 }
 
 Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
     const core::PrqQuery& query, const core::PrqOptions& options,
-    core::PrqStats* stats) {
+    core::PrqStats* stats, obs::QueryTrace* trace) {
   core::PrqStats local_stats;
   core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
   out_stats = core::PrqStats();
 
   core::PrqEngine::FilterOutcome outcome;
   GPRQ_RETURN_NOT_OK(
-      engine_->RunFilterPhases(query, options, &outcome, &out_stats));
+      engine_->RunFilterPhases(query, options, &outcome, &out_stats, trace));
   if (outcome.proved_empty) {
-    queries_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.queries->Add(1);
     return std::vector<index::ObjectId>{};
   }
-  return IntegrateOutcome(query, std::move(outcome), &out_stats);
+  return IntegrateOutcome(query, std::move(outcome), &out_stats, trace);
 }
 
 Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
@@ -211,18 +282,19 @@ Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
     for (const auto& [point, id] : outcomes[q].accepted) {
       results[q].push_back(id);
     }
-    accepted_without_integration_.fetch_add(outcomes[q].accepted.size(),
-                                            std::memory_order_relaxed);
+    metrics_.accepted_without_integration->Add(outcomes[q].accepted.size());
     EnqueuePhase3(queries[q], outcomes[q].survivors, std::move(pools[q]),
                   &results[q], merge_mutexes[q].get(), &latch, &errors);
   }
   latch.Wait();
   GPRQ_RETURN_NOT_OK(errors.ToStatus());
 
-  const double phase3_seconds = phase_timer.ElapsedSeconds();
-  queries_.fetch_add(nq, std::memory_order_relaxed);
+  const uint64_t phase3_nanos = phase_timer.ElapsedNanos();
+  metrics_.phase3_nanos->Record(phase3_nanos);
+  const double phase3_seconds = phase3_nanos * 1e-9;
+  metrics_.queries->Add(nq);
   for (size_t q = 0; q < nq; ++q) {
-    results_.fetch_add(results[q].size(), std::memory_order_relaxed);
+    metrics_.results->Add(results[q].size());
     if (stats != nullptr) {
       (*stats)[q].phase3_seconds = phase3_seconds;
       (*stats)[q].result_size = results[q].size();
@@ -232,15 +304,22 @@ Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
 }
 
 ExecStats BatchExecutor::Snapshot() const {
+  // Counters are process-wide; subtracting the construction-time baselines
+  // recovers this executor's own traffic.
   ExecStats snapshot;
-  snapshot.queries = queries_.load(std::memory_order_relaxed);
-  snapshot.integrations = integrations_.load(std::memory_order_relaxed);
+  snapshot.queries =
+      CounterDelta(metrics_.queries->Value(), metrics_.baseline_queries);
+  snapshot.integrations = CounterDelta(metrics_.integrations->Value(),
+                                       metrics_.baseline_integrations);
   snapshot.accepted_without_integration =
-      accepted_without_integration_.load(std::memory_order_relaxed);
-  snapshot.results = results_.load(std::memory_order_relaxed);
+      CounterDelta(metrics_.accepted_without_integration->Value(),
+                   metrics_.baseline_accepted);
+  snapshot.results =
+      CounterDelta(metrics_.results->Value(), metrics_.baseline_results);
   snapshot.uptime_seconds = uptime_.ElapsedSeconds();
   snapshot.queue_depth = pool_.QueueDepth();
   snapshot.num_workers = pool_.num_workers();
+  metrics_.queue_depth->Set(static_cast<double>(snapshot.queue_depth));
   return snapshot;
 }
 

@@ -1,7 +1,6 @@
 #ifndef GPRQ_EXEC_BATCH_EXECUTOR_H_
 #define GPRQ_EXEC_BATCH_EXECUTOR_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -13,6 +12,8 @@
 #include "core/engine.h"
 #include "exec/worker_pool.h"
 #include "mc/probability_evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gprq::exec {
 
@@ -21,6 +22,12 @@ namespace gprq::exec {
 /// the serving process — the figure of merit for a sustained query stream
 /// (Bernecker et al. / von Looz & Meyerhenke measure their probabilistic
 /// query engines the same way).
+///
+/// Since the obs subsystem landed, this struct is a *view* over the global
+/// obs::MetricRegistry (`gprq.exec.*` counters): Snapshot() reads the
+/// registry and subtracts the values captured at executor construction, so
+/// the numbers stay per-executor while the registry remains the single
+/// source of truth for exporters and benches.
 struct ExecStats {
   /// Queries completed (Submit counts 1, SubmitBatch counts its size).
   uint64_t queries = 0;
@@ -91,9 +98,17 @@ class BatchExecutor {
 
   /// Runs one query; result-set semantics identical to PrqEngine::Execute
   /// with an equivalent evaluator (order may differ; compare as sets).
+  ///
+  /// If `trace` is non-null it receives the full per-query record: filter
+  /// phase spans and prune breakdown from the engine, plus the Phase-3
+  /// integration count, result size, and sampling counters. The sampling
+  /// fields (samples_used / early_stops / undecided) are measured as
+  /// registry deltas around the fan-out, so they are exact when this
+  /// executor is the only sampler in flight (the serving configuration:
+  /// one submitter per executor, one executor per process).
   Result<std::vector<index::ObjectId>> Submit(
       const core::PrqQuery& query, const core::PrqOptions& options,
-      core::PrqStats* stats = nullptr);
+      core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
 
   /// Runs a batch; `results[i]` answers `queries[i]`. All queries' Phase-3
   /// chunks share one fan-out. If `stats` is non-null it is resized to the
@@ -109,11 +124,12 @@ class BatchExecutor {
   /// Fans Phase 3 of an already-filtered query across the pool and returns
   /// accepted + qualifying ids. `stats` (if non-null) receives
   /// phase3_seconds and result_size on top of whatever the filter pass
-  /// already wrote. Used by PrqEngine::ExecuteParallel, which runs its own
+  /// already wrote; `trace` (if non-null) receives the Phase-3 fields the
+  /// same way. Used by PrqEngine::ExecuteParallel, which runs its own
   /// filter pass; stream callers normally use Submit.
   Result<std::vector<index::ObjectId>> IntegrateOutcome(
       const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
-      core::PrqStats* stats = nullptr);
+      core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
 
   /// Point-in-time throughput counters.
   ExecStats Snapshot() const;
@@ -159,16 +175,34 @@ class BatchExecutor {
 
   size_t Phase3ChunkCount(size_t survivors) const;
 
+  /// Registry-backed executor metrics (`gprq.exec.*`), resolved once at
+  /// construction. `baseline_*` hold the counter values at construction so
+  /// Snapshot() can report this executor's own traffic even though the
+  /// counters are process-wide.
+  struct Metrics {
+    obs::Counter* queries;
+    obs::Counter* integrations;
+    obs::Counter* accepted_without_integration;
+    obs::Counter* results;
+    obs::Gauge* queue_depth;
+    obs::Gauge* num_workers;
+    obs::Histogram* phase3_nanos;
+    // Per-worker integration counters (`gprq.exec.worker.<w>.integrations`
+    // — the load-balance view the static chunk partition is judged by).
+    std::vector<obs::Counter*> worker_integrations;
+    uint64_t baseline_queries = 0;
+    uint64_t baseline_integrations = 0;
+    uint64_t baseline_accepted = 0;
+    uint64_t baseline_results = 0;
+  };
+
   const core::PrqEngine* engine_;
   WorkerPool pool_;
   // One per worker; evaluators_[w] is touched only by pool worker w.
   std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators_;
 
   Stopwatch uptime_;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> integrations_{0};
-  std::atomic<uint64_t> accepted_without_integration_{0};
-  std::atomic<uint64_t> results_{0};
+  Metrics metrics_;
 };
 
 }  // namespace gprq::exec

@@ -4,6 +4,27 @@
 #include <utility>
 
 namespace gprq::exec {
+namespace {
+
+// Pool metric pointers, resolved once (registry lookup locks; the
+// per-task path must not).
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Histogram* queue_wait_nanos;
+  obs::Histogram* task_nanos;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return PoolMetrics{r.GetCounter("gprq.exec.tasks"),
+                         r.GetHistogram("gprq.exec.queue_wait_nanos"),
+                         r.GetHistogram("gprq.exec.task_nanos")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 WorkerPool::WorkerPool(size_t num_threads) {
   const size_t n = std::max<size_t>(num_threads, 1);
@@ -25,7 +46,7 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::Submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Entry{std::move(task), Stopwatch()});
   }
   cv_.notify_one();
 }
@@ -47,24 +68,37 @@ uint64_t WorkerPool::dropped_exceptions() const {
 
 void WorkerPool::WorkerLoop(size_t worker) {
   for (;;) {
-    Task task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       // Drain the queue even when stopping so a fan-out submitted just
       // before destruction still completes (its latch must reach zero).
       if (queue_.empty()) return;
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
       // Counted at dequeue so the tally is already visible to whatever the
       // task itself signals on completion (latches, counters).
       ++tasks_executed_;
     }
-    try {
-      task(worker);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++dropped_exceptions_;
+    if constexpr (obs::kEnabled) {
+      const PoolMetrics& metrics = PoolMetrics::Get();
+      metrics.tasks->Add(1);
+      metrics.queue_wait_nanos->Record(entry.queued.ElapsedNanos());
+      ScopedTimer service_timer(metrics.task_nanos);
+      try {
+        entry.task(worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++dropped_exceptions_;
+      }
+    } else {
+      try {
+        entry.task(worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++dropped_exceptions_;
+      }
     }
   }
 }

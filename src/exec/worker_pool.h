@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace gprq::exec {
 
 /// Counts a group of pool tasks down to zero so the submitting thread can
@@ -52,6 +55,12 @@ class CountdownLatch {
 /// std::terminate, but it cannot report them meaningfully — callers that
 /// care (the BatchExecutor does) wrap their task bodies and surface errors
 /// as Status.
+///
+/// Every task is measured into the global metric registry: the time it sat
+/// in the queue (`gprq.exec.queue_wait_nanos` — the backpressure signal a
+/// load shedder watches) and the time a worker spent running it
+/// (`gprq.exec.task_nanos`), plus a `gprq.exec.tasks` counter. With
+/// GPRQ_OBS_DISABLED the timing code compiles out entirely.
 class WorkerPool {
  public:
   using Task = std::function<void(size_t worker)>;
@@ -85,11 +94,18 @@ class WorkerPool {
   uint64_t dropped_exceptions() const;
 
  private:
+  /// A queued task plus the stopwatch started at enqueue, so the dequeuing
+  /// worker can attribute the wait to the queue histogram.
+  struct Entry {
+    Task task;
+    Stopwatch queued;
+  };
+
   void WorkerLoop(size_t worker);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Task> queue_;
+  std::deque<Entry> queue_;
   bool stopping_ = false;
   uint64_t tasks_executed_ = 0;
   uint64_t dropped_exceptions_ = 0;

@@ -2,7 +2,31 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace gprq::index {
+namespace {
+
+// Process-wide pool counters (`gprq.index.buffer_pool.*`), resolved once.
+// Every BufferPool instance feeds the same counters; the per-instance
+// Stats struct remains the per-pool view.
+struct PoolCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+
+  static const PoolCounters& Get() {
+    static const PoolCounters counters = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return PoolCounters{r.GetCounter("gprq.index.buffer_pool.hits"),
+                          r.GetCounter("gprq.index.buffer_pool.misses"),
+                          r.GetCounter("gprq.index.buffer_pool.evictions")};
+    }();
+    return counters;
+  }
+};
+
+}  // namespace
 
 BufferPool::BufferPool(const PageFile* file, size_t capacity)
     : file_(file), capacity_(capacity) {
@@ -14,12 +38,14 @@ Result<const uint8_t*> BufferPool::GetPage(PageId id) {
   auto it = index_.find(id);
   if (it != index_.end()) {
     ++stats_.hits;
+    PoolCounters::Get().hits->Add(1);
     // Move to the front of the LRU list.
     lru_.splice(lru_.begin(), lru_, it->second);
     return static_cast<const uint8_t*>(it->second->data.data());
   }
 
   ++stats_.misses;
+  PoolCounters::Get().misses->Add(1);
   Frame frame;
   frame.id = id;
   GPRQ_RETURN_NOT_OK(file_->ReadPage(id, &frame.data));
@@ -28,6 +54,7 @@ Result<const uint8_t*> BufferPool::GetPage(PageId id) {
     index_.erase(lru_.back().id);
     lru_.pop_back();
     ++stats_.evictions;
+    PoolCounters::Get().evictions->Add(1);
   }
   lru_.push_front(std::move(frame));
   index_[id] = lru_.begin();

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "index/rstar_tree_internal.h"
+#include "obs/metrics.h"
 
 namespace gprq::index {
 
@@ -13,6 +14,15 @@ namespace {
 
 constexpr uint64_t kMagic = 0x47505251534E4150ULL;  // "GPRQSNAP"
 constexpr uint32_t kVersion = 1;
+
+// Logical page accesses made by paged-tree traversals — the "node accesses"
+// figure of the paper's cost model. The buffer-pool hit/miss split of the
+// same accesses lives under `gprq.index.buffer_pool.*`.
+obs::Counter* PagesReadCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("gprq.index.paged.pages_read");
+  return counter;
+}
 
 // ---- Little serialization helpers (host byte order). ----------------------
 
@@ -276,6 +286,7 @@ Status PagedRStarTree::RangeQueryPage(
     const std::function<void(const la::Vector&, ObjectId)>& visit) const {
   auto page = pool_->GetPage(page_id);
   if (!page.ok()) return page.status();
+  PagesReadCounter()->Add(1);
   const uint8_t* data = *page;
   size_t offset = 0;
   const uint32_t level = Get<uint32_t>(data, &offset);
@@ -330,6 +341,7 @@ Status PagedRStarTree::BallQueryPage(PageId page_id, const la::Vector& center,
                                      std::vector<ObjectId>* out) const {
   auto page = pool_->GetPage(page_id);
   if (!page.ok()) return page.status();
+  PagesReadCounter()->Add(1);
   const uint8_t* data = *page;
   size_t offset = 0;
   const uint32_t level = Get<uint32_t>(data, &offset);
@@ -402,6 +414,7 @@ Status PagedRStarTree::KnnQuery(
     }
     auto page = pool_->GetPage(item.payload);
     if (!page.ok()) return page.status();
+    PagesReadCounter()->Add(1);
     const uint8_t* data = *page;
     size_t offset = 0;
     const uint32_t level = Get<uint32_t>(data, &offset);

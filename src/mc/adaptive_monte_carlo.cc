@@ -5,11 +5,33 @@
 #include <cmath>
 
 #include "mc/sample_pool.h"
+#include "obs/metrics.h"
 
 namespace gprq::mc {
 namespace {
 
 constexpr uint64_t kPoolStreamSalt = 0x9E3779B97F4A7C15ULL;
+
+// Same `gprq.mc.*` counters SamplePool records into — the registry hands
+// back the same instances — so per-candidate fallback decisions and pooled
+// decisions aggregate identically.
+struct DecisionMetrics {
+  obs::Counter* decisions;
+  obs::Counter* samples_used;
+  obs::Counter* early_stops;
+  obs::Counter* undecided;
+
+  static const DecisionMetrics& Get() {
+    static const DecisionMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return DecisionMetrics{r.GetCounter("gprq.mc.decisions"),
+                             r.GetCounter("gprq.mc.samples_used"),
+                             r.GetCounter("gprq.mc.early_stops"),
+                             r.GetCounter("gprq.mc.undecided")};
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -38,6 +60,8 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
     double delta, double theta) {
   assert(object.dim() == query.dim());
   assert(theta > 0.0 && theta < 1.0);
+  const DecisionMetrics& metrics = DecisionMetrics::Get();
+  metrics.decisions->Add(1);
   const double delta_sq = delta * delta;
 
   uint64_t n = 0;
@@ -54,6 +78,8 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
     const int cmp = WilsonCompare(hits, n, theta, options_.confidence_z);
     if (cmp != 0) {
       total_samples_ += n;
+      metrics.samples_used->Add(n);
+      if (n < options_.max_samples) metrics.early_stops->Add(1);
       return cmp > 0;
     }
   }
@@ -61,6 +87,8 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
   // estimate, as a fixed-budget sampler would.
   total_samples_ += n;
   ++undecided_fallbacks_;
+  metrics.samples_used->Add(n);
+  metrics.undecided->Add(1);
   return static_cast<double>(hits) >= theta * static_cast<double>(n);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mc/sample_pool.h"
+#include "obs/metrics.h"
 
 namespace gprq::mc {
 namespace {
@@ -11,6 +12,24 @@ namespace {
 // Salt for the pool stream so it is decorrelated from the per-candidate
 // stream even though both derive from options.seed.
 constexpr uint64_t kPoolStreamSalt = 0x9E3779B97F4A7C15ULL;
+
+// Same `gprq.mc.*` counters the adaptive paths record into. Fixed-budget
+// decisions always consume the full pool, so samples_used grows by n per
+// decision and early_stops stays flat — the budget-utilization contrast
+// the adaptive evaluator is measured against.
+struct FixedBudgetMetrics {
+  obs::Counter* decisions;
+  obs::Counter* samples_used;
+
+  static const FixedBudgetMetrics& Get() {
+    static const FixedBudgetMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return FixedBudgetMetrics{r.GetCounter("gprq.mc.decisions"),
+                                r.GetCounter("gprq.mc.samples_used")};
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -76,6 +95,7 @@ void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
   }
   // Fixed-budget semantics over the shared pool: full-pool count per
   // candidate, decision by point estimate (hits/n >= θ).
+  const FixedBudgetMetrics& metrics = FixedBudgetMetrics::Get();
   const double delta_sq = delta * delta;
   const uint64_t n = pool->size();
   for (size_t i = 0; i < count; ++i) {
@@ -83,6 +103,8 @@ void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
     decisions[i] =
         static_cast<double>(hits) >= theta * static_cast<double>(n) ? 1 : 0;
   }
+  metrics.decisions->Add(count);
+  metrics.samples_used->Add(n * count);
 }
 
 }  // namespace gprq::mc

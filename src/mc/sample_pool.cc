@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace gprq::mc {
 namespace {
 
@@ -11,6 +14,34 @@ namespace {
 // stream (16 KB) stay resident in L1/L2 while the block is swept once per
 // dimension.
 constexpr uint64_t kKernelBlock = 2048;
+
+// Sampling metrics, resolved once. Recording at the source keeps every
+// consumer (per-candidate evaluators and the pooled Phase-3 path alike)
+// on the same counters, so `samples_used / (decisions · pool size)` is the
+// budget-utilization ratio regardless of which code path ran.
+struct McMetrics {
+  obs::Counter* pool_builds;
+  obs::Counter* pool_samples_drawn;
+  obs::Histogram* pool_build_nanos;
+  obs::Counter* decisions;
+  obs::Counter* samples_used;
+  obs::Counter* early_stops;
+  obs::Counter* undecided;
+
+  static const McMetrics& Get() {
+    static const McMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return McMetrics{r.GetCounter("gprq.mc.pool_builds"),
+                       r.GetCounter("gprq.mc.pool_samples_drawn"),
+                       r.GetHistogram("gprq.mc.pool_build_nanos"),
+                       r.GetCounter("gprq.mc.decisions"),
+                       r.GetCounter("gprq.mc.samples_used"),
+                       r.GetCounter("gprq.mc.early_stops"),
+                       r.GetCounter("gprq.mc.undecided")};
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -34,6 +65,7 @@ SamplePool::SamplePool(const core::GaussianDistribution& query,
     : dim_(query.dim()),
       samples_(std::max<uint64_t>(samples, 1)),
       data_(dim_ * samples_) {
+  ScopedTimer build_timer(McMetrics::Get().pool_build_nanos);
   // The draw order matches a per-candidate evaluator's: sample by sample.
   // Only the storage is transposed, one scatter per coordinate.
   la::Vector x(dim_);
@@ -41,6 +73,8 @@ SamplePool::SamplePool(const core::GaussianDistribution& query,
     query.Sample(random, x);
     for (size_t a = 0; a < dim_; ++a) data_[a * samples_ + i] = x[a];
   }
+  McMetrics::Get().pool_builds->Add(1);
+  McMetrics::Get().pool_samples_drawn->Add(samples_);
 }
 
 uint64_t SamplePool::CountWithin(const la::Vector& object, double delta_sq,
@@ -89,6 +123,8 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
                                         double theta,
                                         DecideOptions options) const {
   assert(options.block_samples > 0);
+  const McMetrics& metrics = McMetrics::Get();
+  metrics.decisions->Add(1);
   const double delta_sq = delta * delta;
   uint64_t n = 0;
   uint64_t hits = 0;
@@ -97,11 +133,16 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
     hits += CountWithin(object, delta_sq, n, end);
     n = end;
     const int cmp = WilsonCompare(hits, n, theta, options.confidence_z);
-    if (cmp > 0) return {true, n, false};
-    if (cmp < 0) return {false, n, false};
+    if (cmp != 0) {
+      metrics.samples_used->Add(n);
+      if (n < samples_) metrics.early_stops->Add(1);
+      return {cmp > 0, n, false};
+    }
   }
   // Pool exhausted with θ inside the interval: fall back to the point
   // estimate, as a fixed-budget sampler would.
+  metrics.samples_used->Add(n);
+  metrics.undecided->Add(1);
   return {static_cast<double>(hits) >= theta * static_cast<double>(n), n,
           true};
 }

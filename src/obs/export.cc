@@ -1,0 +1,104 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gprq::obs {
+namespace {
+
+void AppendNumber(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out += buffer;
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  *out += buffer;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextExporter::Json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + snapshot.counters[i].first + "\": ";
+    AppendUint(&out, snapshot.counters[i].second);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + snapshot.gauges[i].first + "\": ";
+    AppendNumber(&out, snapshot.gauges[i].second);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": ";
+    AppendUint(&out, h.count);
+    out += ", \"sum\": ";
+    AppendUint(&out, h.sum);
+    out += ", \"mean\": ";
+    AppendNumber(&out, h.mean());
+    out += ", \"p50\": ";
+    AppendNumber(&out, h.p50);
+    out += ", \"p95\": ";
+    AppendNumber(&out, h.p95);
+    out += ", \"p99\": ";
+    AppendNumber(&out, h.p99);
+    out += "}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string TextExporter::Prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string id = PrometheusName(name);
+    out += "# TYPE " + id + " counter\n" + id + " ";
+    AppendUint(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string id = PrometheusName(name);
+    out += "# TYPE " + id + " gauge\n" + id + " ";
+    AppendNumber(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string id = PrometheusName(name);
+    out += "# TYPE " + id + " summary\n";
+    out += id + "{quantile=\"0.5\"} ";
+    AppendNumber(&out, h.p50);
+    out += "\n" + id + "{quantile=\"0.95\"} ";
+    AppendNumber(&out, h.p95);
+    out += "\n" + id + "{quantile=\"0.99\"} ";
+    AppendNumber(&out, h.p99);
+    out += "\n" + id + "_sum ";
+    AppendUint(&out, h.sum);
+    out += "\n" + id + "_count ";
+    AppendUint(&out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gprq::obs

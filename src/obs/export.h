@@ -1,0 +1,29 @@
+#ifndef GPRQ_OBS_EXPORT_H_
+#define GPRQ_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gprq::obs {
+
+/// Renders a RegistrySnapshot as text for dashboards and scrape endpoints.
+/// Two formats:
+///  * Json — one nested object: {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count", "sum", "mean", "p50", "p95",
+///    "p99"}}}. The same shape bench/bench_util.h embeds into
+///    BENCH_serving.json records.
+///  * Prometheus — text exposition format: counters and gauges as single
+///    samples, histograms as summaries (quantile-labelled samples plus
+///    _sum/_count). Metric names are mapped to [a-zA-Z0-9_] by replacing
+///    every other character with '_' (`gprq.engine.pruned.rr_fringe` →
+///    `gprq_engine_pruned_rr_fringe`).
+class TextExporter {
+ public:
+  static std::string Json(const RegistrySnapshot& snapshot);
+  static std::string Prometheus(const RegistrySnapshot& snapshot);
+};
+
+}  // namespace gprq::obs
+
+#endif  // GPRQ_OBS_EXPORT_H_

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gprq::obs {
+
+namespace detail {
+
+size_t NextThreadIndex() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+#ifndef GPRQ_OBS_DISABLED
+
+namespace {
+
+/// Quantile q from log2 bucket counts: find the bucket holding the target
+/// rank and interpolate linearly inside its [2^(b-1), 2^b) value range.
+double BucketQuantile(const uint64_t (&buckets)[Histogram::kBuckets],
+                      uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      // Bucket 0 holds only the value 0; bucket b >= 1 spans
+      // [2^(b-1), 2^b).
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = 2.0 * lo;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return std::ldexp(1.0, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+HistogramSnapshot Histogram::Snapshot() const noexcept {
+  uint64_t buckets[kBuckets];
+  uint64_t count = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    count += buckets[b];
+  }
+  HistogramSnapshot snapshot;
+  snapshot.count = count;
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.p50 = BucketQuantile(buckets, count, 0.50);
+  snapshot.p95 = BucketQuantile(buckets, count, 0.95);
+  snapshot.p99 = BucketQuantile(buckets, count, 0.99);
+  return snapshot;
+}
+
+void Histogram::Reset() noexcept {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+#endif  // GPRQ_OBS_DISABLED
+
+uint64_t RegistrySnapshot::counter(std::string_view name) const {
+  for (const auto& [n, value] : counters) {
+    if (n == name) return value;
+  }
+  return 0;
+}
+
+double RegistrySnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, value] : gauges) {
+    if (n == name) return value;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, value] : histograms) {
+    if (n == name) return &value;
+  }
+  return nullptr;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace gprq::obs

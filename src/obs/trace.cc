@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+namespace gprq::obs {
+namespace {
+
+// Engine-side metric pointers, resolved once (registry lookup takes a
+// mutex; the publish path must not).
+struct EngineMetrics {
+  Counter* queries;
+  Counter* proved_empty;
+  Counter* node_reads;
+  Counter* index_candidates;
+  Counter* pruned_rr_fringe;
+  Counter* pruned_bf_outer;
+  Counter* pruned_or;
+  Counter* pruned_marginal;
+  Counter* accepted_bf_inner;
+  Counter* phase3_candidates;
+  Counter* results;
+  Histogram* prep_nanos;
+  Histogram* phase1_nanos;
+  Histogram* phase2_nanos;
+  Histogram* phase3_nanos;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Global();
+      EngineMetrics m;
+      m.queries = r.GetCounter("gprq.engine.queries");
+      m.proved_empty = r.GetCounter("gprq.engine.proved_empty");
+      m.node_reads = r.GetCounter("gprq.engine.node_reads");
+      m.index_candidates = r.GetCounter("gprq.engine.index_candidates");
+      m.pruned_rr_fringe = r.GetCounter("gprq.engine.pruned.rr_fringe");
+      m.pruned_bf_outer = r.GetCounter("gprq.engine.pruned.bf_outer");
+      m.pruned_or = r.GetCounter("gprq.engine.pruned.or");
+      m.pruned_marginal = r.GetCounter("gprq.engine.pruned.marginal");
+      m.accepted_bf_inner = r.GetCounter("gprq.engine.accepted.bf_inner");
+      m.phase3_candidates = r.GetCounter("gprq.engine.phase3_candidates");
+      m.results = r.GetCounter("gprq.engine.results");
+      m.prep_nanos = r.GetHistogram("gprq.engine.phase.prep_nanos");
+      m.phase1_nanos = r.GetHistogram("gprq.engine.phase.phase1_nanos");
+      m.phase2_nanos = r.GetHistogram("gprq.engine.phase.phase2_nanos");
+      m.phase3_nanos = r.GetHistogram("gprq.engine.phase.phase3_nanos");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void PublishFilterPhases(const QueryTrace& trace) {
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.queries->Add(1);
+  if (trace.proved_empty) m.proved_empty->Add(1);
+  m.node_reads->Add(trace.index_visits);
+  m.index_candidates->Add(trace.index_candidates);
+  m.pruned_rr_fringe->Add(trace.pruned_rr_fringe);
+  m.pruned_bf_outer->Add(trace.pruned_bf_outer);
+  m.pruned_or->Add(trace.pruned_or);
+  m.pruned_marginal->Add(trace.pruned_marginal);
+  m.accepted_bf_inner->Add(trace.accepted_bf_inner);
+  m.phase3_candidates->Add(trace.phase3_candidates);
+  m.prep_nanos->Record(trace.phase_nanos[QueryTrace::kPrep]);
+  if (!trace.proved_empty) {
+    m.phase1_nanos->Record(trace.phase_nanos[QueryTrace::kPhase1]);
+    m.phase2_nanos->Record(trace.phase_nanos[QueryTrace::kPhase2]);
+  }
+}
+
+void PublishPhase3(const QueryTrace& trace) {
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.phase3_nanos->Record(trace.phase_nanos[QueryTrace::kPhase3]);
+  m.results->Add(trace.result_size);
+}
+
+}  // namespace gprq::obs

@@ -1,0 +1,97 @@
+#ifndef GPRQ_OBS_TRACE_H_
+#define GPRQ_OBS_TRACE_H_
+
+// Per-query tracing: one QueryTrace records where a single PRQ spent its
+// time and what each filter stage did to the candidate set — the paper's
+// per-stage cost story (Tables I-III) as a live, per-query record instead
+// of a bench aggregate. The engine fills the filter-phase fields (RAII
+// Span timings, Phase-2 prunes broken out per filter); the Phase-3 driver
+// (exec::BatchExecutor or PrqEngine::Execute) fills the integration and
+// sampling fields. PublishFilterPhases/PublishPhase3 fold a trace into the
+// global MetricRegistry so per-query truth and serving aggregates can never
+// drift apart — the registry totals are sums of published traces.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace gprq::obs {
+
+struct QueryTrace {
+  enum Phase : size_t {
+    kPrep = 0,   // filter geometry (θ-region radius, BF radii, catalogs)
+    kPhase1,     // index search
+    kPhase2,     // analytical filtering
+    kPhase3,     // numerical integration
+    kPhaseCount,
+  };
+
+  /// RAII phase span: adds the scope's duration to trace->phase_nanos.
+  /// A null trace makes the span a no-op.
+  class Span {
+   public:
+    Span(QueryTrace* trace, Phase phase) : trace_(trace), phase_(phase) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() {
+      if (trace_ != nullptr) {
+        trace_->phase_nanos[phase_] += watch_.ElapsedNanos();
+      }
+    }
+
+   private:
+    QueryTrace* trace_;
+    Phase phase_;
+    Stopwatch watch_;
+  };
+
+  uint64_t phase_nanos[kPhaseCount] = {};
+
+  // ---- Phase 1: index search. ----
+  uint64_t index_visits = 0;      // R*-tree node reads
+  uint64_t index_candidates = 0;  // points returned by the range search
+
+  // ---- Phase 2: analytical filtering, prunes per filter. A candidate is
+  // attributed to the *first* filter that dropped it (the engine applies
+  // RR-fringe, then BF, then OR, then the marginal extension). ----
+  uint64_t pruned_rr_fringe = 0;  // failed the RR Minkowski-fringe test
+  uint64_t pruned_bf_outer = 0;   // outside the BF outer radius (BF-reject)
+  uint64_t pruned_or = 0;         // outside the oblique region
+  uint64_t pruned_marginal = 0;   // failed the marginal-filter extension
+  uint64_t accepted_bf_inner = 0; // BF-accept: qualified without integration
+
+  // ---- Phase 3: numerical integration. ----
+  uint64_t phase3_candidates = 0;  // survivors handed to the integrator
+  uint64_t integrations = 0;       // decisions actually computed
+  uint64_t samples_used = 0;       // MC samples consumed by the decisions
+  uint64_t early_stops = 0;        // decisions settled before pool end
+  uint64_t undecided = 0;          // pool exhausted with θ still inside CI
+
+  uint64_t result_size = 0;
+  bool proved_empty = false;  // BF outer lookup proved the result empty
+
+  double phase_seconds(Phase phase) const {
+    return static_cast<double>(phase_nanos[phase]) * 1e-9;
+  }
+  uint64_t pruned_total() const {
+    return pruned_rr_fringe + pruned_bf_outer + pruned_or + pruned_marginal;
+  }
+};
+
+/// Folds a trace's filter-phase fields (prep/phase1/phase2 spans, index
+/// visits, per-filter prunes) into the global registry under the
+/// `gprq.engine.*` names. Called once per query by PrqEngine after
+/// Phases 1-2; the Phase-3 fields are published separately by the driver.
+void PublishFilterPhases(const QueryTrace& trace);
+
+/// Folds a trace's Phase-3 fields (span, integrations, result size) into
+/// the global registry (`gprq.engine.phase.phase3_nanos`,
+/// `gprq.engine.results`). The sampling counters (`gprq.mc.*`) are recorded
+/// at the source by mc::SamplePool and the evaluators, not here.
+void PublishPhase3(const QueryTrace& trace);
+
+}  // namespace gprq::obs
+
+#endif  // GPRQ_OBS_TRACE_H_

@@ -1,0 +1,230 @@
+// Tests for the obs metrics subsystem: counter sharding under concurrency
+// (this file is in the TSan tier-1 set), histogram quantiles, registry
+// snapshots, the text exporters, and the registry accounting done by the
+// index buffer pool.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/buffer_pool.h"
+#include "index/page_file.h"
+#include "obs/export.h"
+
+namespace gprq::obs {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(Histogram, CountSumAndQuantileBrackets) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1000u);
+  EXPECT_EQ(snapshot.sum, 500500u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 500.5);
+  // Log2 buckets: a quantile is exact to within a factor of 2 of the true
+  // rank value (true p50 = 500, p95 = 950, p99 = 990).
+  EXPECT_GE(snapshot.p50, 250.0);
+  EXPECT_LE(snapshot.p50, 1000.0);
+  EXPECT_GE(snapshot.p95, 475.0);
+  EXPECT_LE(snapshot.p95, 1900.0);
+  EXPECT_GE(snapshot.p99, 495.0);
+  EXPECT_LE(snapshot.p99, 1980.0);
+  // Quantiles are monotone.
+  EXPECT_LE(snapshot.p50, snapshot.p95);
+  EXPECT_LE(snapshot.p95, snapshot.p99);
+}
+
+TEST(Histogram, ZeroAndHugeValuesLand) {
+  Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(UINT64_MAX);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 2u);
+  EXPECT_EQ(snapshot.sum, UINT64_MAX);  // 0 + UINT64_MAX
+}
+
+TEST(MetricRegistry, GetReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other"), a);
+  // Distinct kinds share a namespace-free map each; same name is fine.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test.counter")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricRegistry, SnapshotSortedAndLookups) {
+  MetricRegistry registry;
+  registry.GetCounter("b.counter")->Add(2);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("g.gauge")->Set(7.0);
+  registry.GetHistogram("h.hist")->Record(100);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.counter");
+  EXPECT_EQ(snapshot.counters[1].first, "b.counter");
+  EXPECT_EQ(snapshot.counter("b.counter"), 2u);
+  EXPECT_EQ(snapshot.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("g.gauge"), 7.0);
+  ASSERT_NE(snapshot.histogram("h.hist"), nullptr);
+  EXPECT_EQ(snapshot.histogram("h.hist")->count, 1u);
+  EXPECT_EQ(snapshot.histogram("missing"), nullptr);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistration) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("r.counter");
+  counter->Add(5);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("r.counter"), counter);
+  EXPECT_EQ(registry.Snapshot().counters.size(), 1u);
+}
+
+// The tier-1 TSan configuration runs this: many threads resolving the same
+// and different names while incrementing — the exact shape of the engine's
+// hot path (first call resolves, every later call increments).
+TEST(MetricRegistry, ConcurrentGetAndIncrement) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* shared = registry.GetCounter("concurrent.shared");
+      Counter* own =
+          registry.GetCounter("concurrent.thread." + std::to_string(t));
+      Histogram* histogram = registry.GetHistogram("concurrent.hist");
+      Gauge* gauge = registry.GetGauge("concurrent.gauge");
+      for (int i = 0; i < kIncrements; ++i) {
+        shared->Add(1);
+        own->Add(1);
+        histogram->Record(static_cast<uint64_t>(i));
+        gauge->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("concurrent.shared"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snapshot.counter("concurrent.thread." + std::to_string(t)),
+              static_cast<uint64_t>(kIncrements));
+  }
+  ASSERT_NE(snapshot.histogram("concurrent.hist"), nullptr);
+  EXPECT_EQ(snapshot.histogram("concurrent.hist")->count,
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(TextExporter, JsonShape) {
+  MetricRegistry registry;
+  registry.GetCounter("gprq.test.counter")->Add(3);
+  registry.GetGauge("gprq.test.gauge")->Set(1.5);
+  registry.GetHistogram("gprq.test.hist")->Record(8);
+
+  const std::string json = TextExporter::Json(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gprq.test.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gprq.test.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"gprq.test.hist\": {\"count\": 1"),
+            std::string::npos);
+}
+
+TEST(TextExporter, JsonEmptyRegistryIsValid) {
+  MetricRegistry registry;
+  const std::string json = TextExporter::Json(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(TextExporter, PrometheusShape) {
+  MetricRegistry registry;
+  registry.GetCounter("gprq.test.counter")->Add(3);
+  registry.GetHistogram("gprq.test.hist")->Record(8);
+
+  const std::string text = TextExporter::Prometheus(registry.Snapshot());
+  // Dots become underscores; every metric gets a TYPE line.
+  EXPECT_NE(text.find("# TYPE gprq_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gprq_test_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gprq_test_hist summary"), std::string::npos);
+  EXPECT_NE(text.find("gprq_test_hist_count 1"), std::string::npos);
+  EXPECT_NE(text.find("gprq_test_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  // Metric identifiers themselves carry no dots.
+  EXPECT_EQ(text.find("gprq.test"), std::string::npos);
+}
+
+// The buffer pool mirrors its per-instance Stats into the process-wide
+// `gprq.index.buffer_pool.*` counters: registry deltas across a traversal
+// must equal the Stats deltas exactly.
+TEST(BufferPoolAccounting, RegistryMatchesStats) {
+  const std::string path = ::testing::TempDir() + "/obs_bp.pages";
+  auto file = index::PageFile::Create(path, 128);
+  ASSERT_TRUE(file.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto id = file->Allocate();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> data(128, static_cast<uint8_t>(i));
+    ASSERT_TRUE(file->WritePage(*id, data).ok());
+  }
+
+  MetricRegistry& global = MetricRegistry::Global();
+  const RegistrySnapshot before = global.Snapshot();
+
+  index::BufferPool pool(&*file, /*capacity=*/2);
+  // 2 misses, 1 hit, then a miss that evicts page 1.
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(2).ok());
+
+  const index::BufferPool::Stats& stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  const RegistrySnapshot after = global.Snapshot();
+  EXPECT_EQ(after.counter("gprq.index.buffer_pool.hits") -
+                before.counter("gprq.index.buffer_pool.hits"),
+            stats.hits);
+  EXPECT_EQ(after.counter("gprq.index.buffer_pool.misses") -
+                before.counter("gprq.index.buffer_pool.misses"),
+            stats.misses);
+  EXPECT_EQ(after.counter("gprq.index.buffer_pool.evictions") -
+                before.counter("gprq.index.buffer_pool.evictions"),
+            stats.evictions);
+}
+
+}  // namespace
+}  // namespace gprq::obs

@@ -2,8 +2,8 @@
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer pass (GPRQ_SANITIZE=thread) over the threaded suites —
 # the engine's parallel path, the exec/ worker-pool/batch-executor layer,
-# and the cross-thread-count determinism regression — in a separate build
-# tree.
+# the obs metric-registry concurrency suites, and the cross-thread-count
+# determinism regression — in a separate build tree.
 #
 # Usage: tier1.sh [all|build|tsan]
 #   all    (default) standard build + ctest, then the TSan pass
@@ -27,11 +27,11 @@ fi
 
 # 2. TSan pass over the threaded suites.
 if [[ "${MODE}" != "build" ]]; then
-  THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test'
+  THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test|metrics_test|trace_test'
   cmake -B build-tsan -S . -DGPRQ_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
     --target parallel_test worker_pool_test batch_executor_test \
-             determinism_test
+             determinism_test metrics_test trace_test
   (cd build-tsan && ctest --output-on-failure -R "${THREADED_TESTS}")
 fi
 
