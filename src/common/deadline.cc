@@ -1,0 +1,15 @@
+#include "common/deadline.h"
+
+namespace gprq::common {
+
+Status QueryControl::StopStatus() const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace gprq::common

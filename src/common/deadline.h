@@ -1,0 +1,135 @@
+#ifndef GPRQ_COMMON_DEADLINE_H_
+#define GPRQ_COMMON_DEADLINE_H_
+
+// Per-query execution control: wall-clock deadlines and cooperative
+// cancellation, carried by core::PrqOptions through every phase of the
+// query path. The paper's own cost model makes graceful degradation
+// possible: Phase-3 Monte-Carlo integration dominates query time (>= 97%,
+// Section V-B) and is interruptible per candidate — a query cut short can
+// still return a *sound* partial answer (exactly-decided candidates plus
+// explicitly-undecided ones) instead of stalling a batch or being dropped.
+//
+// Cost contract: a default-constructed QueryControl is "unbounded" and its
+// checks compile down to one branch on a flag — no clock reads, no atomic
+// loads — so queries that never set a deadline pay nothing on the hot path.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "common/status.h"
+
+namespace gprq::common {
+
+/// A point in time after which a query should stop and degrade. Infinite by
+/// default. Cheap to copy (one time_point + one flag).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now (<= 0 yields an already-expired deadline).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Already expired — the short-circuit case tests exercise.
+  static Deadline Expired() { return After(0.0); }
+
+  bool is_infinite() const { return infinite_; }
+
+  bool expired() const {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// Seconds until expiry: +inf for an infinite deadline, <= 0 once
+  /// expired.
+  double remaining_seconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+/// Read side of a cancellation flag. Default-constructed tokens are inert
+/// (never cancelled) and cost one null check. Copies share the flag.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool can_be_cancelled() const { return flag_ != nullptr; }
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: hand token() to the query, keep the source, Cancel() from
+/// any thread. Cancellation is sticky — there is no un-cancel.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Deadline + cancellation, the pair every phase boundary checks. Cheap to
+/// copy into Phase-3 worker tasks.
+struct QueryControl {
+  Deadline deadline;
+  CancellationToken cancel;
+
+  static QueryControl Unlimited() { return QueryControl(); }
+
+  static QueryControl WithDeadline(Deadline d) {
+    QueryControl control;
+    control.deadline = d;
+    return control;
+  }
+
+  /// True when neither a deadline nor a cancel flag is set — the fast path
+  /// that lets ShouldStop be skipped without reading the clock.
+  bool Unbounded() const {
+    return deadline.is_infinite() && !cancel.can_be_cancelled();
+  }
+
+  /// True when the query must stop now and degrade: cancelled, or past the
+  /// deadline. The cancel check comes first (no clock read).
+  bool ShouldStop() const {
+    return cancel.cancelled() || deadline.expired();
+  }
+
+  /// The annotation a stopped query carries: Cancelled wins over
+  /// DeadlineExceeded when both fired.
+  Status StopStatus() const;
+};
+
+}  // namespace gprq::common
+
+#endif  // GPRQ_COMMON_DEADLINE_H_

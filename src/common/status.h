@@ -18,6 +18,8 @@ enum class StatusCode {
   kNumericalError,   // e.g. non-positive-definite covariance, non-convergence
   kIoError,
   kInternal,
+  kDeadlineExceeded,  // query deadline fired; partial results may exist
+  kCancelled,         // query cancelled via a CancellationToken
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

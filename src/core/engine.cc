@@ -8,6 +8,25 @@
 #include "mc/sample_pool.h"
 
 namespace gprq::core {
+namespace {
+
+// Deadline counters not derivable from published traces: short-circuited
+// queries never reach Phase 3, so they are counted at the check site.
+// (gprq.deadline.expired_queries / .undecided_candidates come from
+// PublishPhase3.)
+struct DeadlineMetrics {
+  obs::Counter* short_circuits;
+
+  static const DeadlineMetrics& Get() {
+    static const DeadlineMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return DeadlineMetrics{r.GetCounter("gprq.deadline.short_circuits")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string StrategyName(StrategyMask mask) {
   if (mask == kStrategyAll) return "ALL";
@@ -100,6 +119,21 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
     obs::PublishFilterPhases(tr);
   };
 
+  // Phase-boundary deadline/cancellation checks. `bounded` is false for
+  // default options, so unbounded queries pay one flag check per boundary
+  // and never read the clock.
+  const common::QueryControl& control = options.control;
+  const bool bounded = !control.Unbounded();
+
+  // Already stopped on entry: short-circuit before the filter geometry is
+  // even prepared (and before any driver builds evaluators or pools).
+  if (bounded && control.ShouldStop()) {
+    DeadlineMetrics::Get().short_circuits->Add(1);
+    outcome->expired = true;
+    finish();
+    return Status::OK();
+  }
+
   // ---- Preparation: per-query filter geometry. --------------------------
   RrRegion rr;
   OrRegion oreg;
@@ -122,6 +156,11 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
   }
   if (tr.proved_empty) {
     outcome->proved_empty = true;
+    finish();
+    return Status::OK();
+  }
+  if (bounded && control.ShouldStop()) {
+    outcome->expired = true;
     finish();
     return Status::OK();
   }
@@ -176,6 +215,17 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
     finish();
     return Status::OK();
   }
+  if (bounded && control.ShouldStop()) {
+    // Degrade before Phase 2: every Phase-1 candidate becomes an
+    // unresolved survivor. Skipping the filters is sound — they only
+    // remove certain non-qualifiers — and the driver surfaces the
+    // survivors as undecided instead of integrating them.
+    outcome->expired = true;
+    outcome->survivors = std::move(candidates);
+    tr.phase3_candidates = outcome->survivors.size();
+    finish();
+    return Status::OK();
+  }
 
   // ---- Phase 2: analytical filtering. ------------------------------------
   // Each rejected candidate is attributed to the first filter that drops
@@ -222,11 +272,112 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
   return Status::OK();
 }
 
+Result<PrqResult> PrqEngine::ExecuteBounded(const PrqQuery& query,
+                                            const PrqOptions& options,
+                                            mc::ProbabilityEvaluator* evaluator,
+                                            PrqStats* stats) const {
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("evaluator must not be null");
+  }
+  PrqStats local_stats;
+  PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = PrqStats();
+  const common::QueryControl& control = options.control;
+
+  FilterOutcome outcome;
+  obs::QueryTrace trace;
+  GPRQ_RETURN_NOT_OK(
+      RunFilterPhases(query, options, &outcome, &out_stats, &trace));
+
+  PrqResult result;
+  if (outcome.proved_empty) return result;  // complete, empty
+
+  result.ids.reserve(outcome.accepted.size());
+  for (const auto& [point, id] : outcome.accepted) result.ids.push_back(id);
+
+  if (outcome.expired) {
+    // The control fired during the filter phases; every survivor (possibly
+    // the whole unfiltered candidate set) is unresolved. Inner-accepted
+    // objects stay in the answer — their membership was proven before the
+    // stop.
+    result.undecided.reserve(outcome.survivors.size());
+    for (const auto& [point, id] : outcome.survivors) {
+      result.undecided.push_back(id);
+    }
+    result.status = control.StopStatus();
+    if (result.status.ok()) {
+      result.status = Status::Internal("filter phases degraded without a "
+                                       "stop condition");
+    }
+  } else if (!outcome.survivors.empty()) {
+    obs::QueryTrace::Span span(&trace, obs::QueryTrace::kPhase3);
+    if (control.ShouldStop()) {
+      // Fired between Phase 2 and pool construction: degrade without
+      // drawing a single sample.
+      result.undecided.reserve(outcome.survivors.size());
+      for (const auto& [point, id] : outcome.survivors) {
+        result.undecided.push_back(id);
+      }
+      result.status = control.StopStatus();
+    } else {
+      const auto pool = evaluator->MakeSamplePool(query.query_object);
+      const size_t n = outcome.survivors.size();
+      std::vector<const la::Vector*> objects;
+      objects.reserve(n);
+      for (const auto& [point, id] : outcome.survivors) {
+        objects.push_back(&point);
+      }
+      std::vector<char> states(n, mc::kDecideUndecided);
+      evaluator->DecideBatchBounded(query.query_object, objects.data(), n,
+                                    query.delta, query.theta, pool.get(),
+                                    control, states.data());
+      size_t decided = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (states[i] == mc::kDecideIncluded) {
+          result.ids.push_back(outcome.survivors[i].second);
+          ++decided;
+        } else if (states[i] == mc::kDecideExcluded) {
+          ++decided;
+        } else {
+          result.undecided.push_back(outcome.survivors[i].second);
+        }
+      }
+      trace.integrations = decided;
+      if (!result.undecided.empty()) {
+        result.status = control.StopStatus();
+        if (result.status.ok()) {
+          result.status = Status::Internal(
+              "bounded decide left candidates undecided without a stop "
+              "condition");
+        }
+      }
+    }
+  }
+
+  trace.deadline_expired = !result.status.ok();
+  trace.deadline_undecided = result.undecided.size();
+  trace.result_size = result.ids.size();
+  obs::PublishPhase3(trace);
+  out_stats.phase3_seconds = trace.phase_seconds(obs::QueryTrace::kPhase3);
+  out_stats.result_size = result.ids.size();
+  return result;
+}
+
 Result<std::vector<index::ObjectId>> PrqEngine::Execute(
     const PrqQuery& query, const PrqOptions& options,
     mc::ProbabilityEvaluator* evaluator, PrqStats* stats) const {
   if (evaluator == nullptr) {
     return Status::InvalidArgument("evaluator must not be null");
+  }
+  if (!options.control.Unbounded()) {
+    // The complete-answer API cannot express a partial result. Decided
+    // candidates are bit-identical either way; a degraded run surfaces as
+    // its stop status instead of silently dropping the undecided remainder.
+    Result<PrqResult> bounded =
+        ExecuteBounded(query, options, evaluator, stats);
+    if (!bounded.ok()) return bounded.status();
+    if (!bounded->status.ok()) return bounded->status;
+    return std::move(bounded->ids);
   }
   PrqStats local_stats;
   PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
@@ -288,6 +439,11 @@ PrqEngine::ExecuteScored(const PrqQuery& query, const PrqOptions& options,
   obs::QueryTrace trace;
   GPRQ_RETURN_NOT_OK(
       RunFilterPhases(query, options, &outcome, &out_stats, &trace));
+  if (outcome.expired) {
+    // Scored results carry no undecided channel; a degraded run is an
+    // error, not a silently truncated ranking.
+    return options.control.StopStatus();
+  }
   std::vector<std::pair<index::ObjectId, double>> scored;
   if (outcome.proved_empty) return scored;
 
@@ -335,6 +491,11 @@ Result<std::vector<index::ObjectId>> PrqEngine::ExecuteParallel(
 
   FilterOutcome outcome;
   GPRQ_RETURN_NOT_OK(RunFilterPhases(query, options, &outcome, &out_stats));
+  if (outcome.expired) {
+    // Like Execute: this API promises a complete answer, so a control that
+    // fired during the filter phases surfaces as its stop status.
+    return options.control.StopStatus();
+  }
   if (outcome.proved_empty) return std::vector<index::ObjectId>{};
 
   // Nothing survived to Phase 3: return the inner-accepted objects without
@@ -352,6 +513,16 @@ Result<std::vector<index::ObjectId>> PrqEngine::ExecuteParallel(
   const size_t workers = std::min(num_threads, outcome.survivors.size());
   auto executor = exec::BatchExecutor::Create(this, factory, workers);
   if (!executor.ok()) return executor.status();
+  if (!options.control.Unbounded()) {
+    // Honor the control between Phase-3 decisions too; a degraded run
+    // surfaces as its stop status (this API cannot mark the unresolved
+    // remainder — ExecuteBounded or SubmitBounded can).
+    auto bounded = (*executor)->IntegrateOutcomeBounded(
+        query, std::move(outcome), options.control, &out_stats);
+    if (!bounded.ok()) return bounded.status();
+    if (!bounded->status.ok()) return bounded->status;
+    return std::move(bounded->ids);
+  }
   return (*executor)->IntegrateOutcome(query, std::move(outcome), &out_stats);
 }
 

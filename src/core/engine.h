@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/alpha_catalog.h"
 #include "core/filters.h"
@@ -38,6 +39,14 @@ struct PrqOptions {
   /// where the paper reports the classic filters struggling (Section VI's
   /// medium-dimensional anisotropic queries).
   bool use_marginal_filter = false;
+
+  /// Deadline/cancellation for this query. Unbounded by default (one flag
+  /// check of overhead). Checked at phase boundaries and between Phase-3
+  /// Wilson blocks; when it fires, ExecuteBounded degrades to a sound
+  /// partial PrqResult while the complete-answer APIs (Execute,
+  /// ExecuteParallel) fail with the control's StopStatus — they have no way
+  /// to mark the unresolved remainder and must not guess.
+  common::QueryControl control;
 };
 
 /// Three-phase processor for probabilistic range queries over an R*-tree of
@@ -59,6 +68,12 @@ class PrqEngine {
     std::vector<std::pair<la::Vector, index::ObjectId>> accepted;
     std::vector<std::pair<la::Vector, index::ObjectId>> survivors;
     bool proved_empty = false;
+    /// The query's control fired during the filter phases. Phase 2 was then
+    /// skipped and every Phase-1 candidate moved to `survivors` (a
+    /// conservative superset — filtering only removes *certain*
+    /// non-qualifiers, so skipping it is sound); drivers must surface the
+    /// survivors as undecided instead of integrating them.
+    bool expired = false;
   };
 
   /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
@@ -83,6 +98,20 @@ class PrqEngine {
   Result<std::vector<index::ObjectId>> Execute(
       const PrqQuery& query, const PrqOptions& options,
       mc::ProbabilityEvaluator* evaluator, PrqStats* stats = nullptr) const;
+
+  /// Deadline/cancellation-aware Execute: runs PRQ(q, δ, θ) under
+  /// options.control and degrades gracefully when it fires. The returned
+  /// PrqResult's `ids` are exact (bit-identical to what an unbounded run
+  /// decides for those candidates — the control truncates work, never
+  /// alters it); candidates the stopped query could not resolve are listed
+  /// in `undecided` and `status` carries DeadlineExceeded/Cancelled. A
+  /// control that is already stopped on entry short-circuits before
+  /// evaluator or pool construction. An error Result is returned only for
+  /// invalid arguments, never for an expired deadline.
+  Result<PrqResult> ExecuteBounded(const PrqQuery& query,
+                                   const PrqOptions& options,
+                                   mc::ProbabilityEvaluator* evaluator,
+                                   PrqStats* stats = nullptr) const;
 
   /// Builds one evaluator per Phase-3 worker thread. Each worker needs its
   /// own instance because evaluators carry mutable state (RNG streams);

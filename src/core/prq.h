@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "core/gaussian.h"
+#include "index/rstar_tree.h"
 
 namespace gprq::core {
 
@@ -35,6 +38,25 @@ inline constexpr StrategyMask kStrategyAll =
 
 /// "RR", "BF", "RR+BF", "RR+OR", "BF+OR", "ALL", ...
 std::string StrategyName(StrategyMask mask);
+
+/// Answer of a deadline/cancellation-aware PRQ — possibly partial, always
+/// *sound*: `ids` holds only objects whose qualification was actually
+/// proven (never guesses), and when the query's QueryControl stopped it
+/// early, the candidates it never resolved are surfaced in `undecided`
+/// instead of being silently dropped or misclassified.
+///
+/// `status` annotates how the query ended: OK for a complete answer,
+/// DeadlineExceeded / Cancelled for a degraded one, Internal when a worker
+/// failed mid-batch (its chunk's candidates are in `undecided`). A control
+/// that fires before the index search yields an empty degraded result —
+/// nothing was identified, so there are no candidates to report undecided.
+struct PrqResult {
+  std::vector<index::ObjectId> ids;        // proven qualifiers (unordered)
+  std::vector<index::ObjectId> undecided;  // unresolved when stopped
+  Status status;                           // OK iff the answer is complete
+
+  bool complete() const { return status.ok() && undecided.empty(); }
+};
 
 /// Per-query execution statistics, the quantities reported in the paper's
 /// Tables I-III.

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "mc/sample_pool.h"
 
 namespace gprq::exec {
@@ -28,8 +29,42 @@ struct SampleCounters {
   }
 };
 
+// Degradation counters, shared by name with the engine's bounded path (the
+// engine publishes them through obs::PublishPhase3; the executor increments
+// directly because its Phase-3 metrics live under `gprq.exec.*`).
+struct DeadlineMetrics {
+  obs::Counter* expired_queries;
+  obs::Counter* undecided_candidates;
+
+  static const DeadlineMetrics& Get() {
+    static const DeadlineMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return DeadlineMetrics{
+          r.GetCounter("gprq.deadline.expired_queries"),
+          r.GetCounter("gprq.deadline.undecided_candidates")};
+    }();
+    return metrics;
+  }
+};
+
 uint64_t CounterDelta(uint64_t now, uint64_t before) {
   return now >= before ? now - before : 0;
+}
+
+bool IsStopStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+// The annotation for a degraded result; Internal when the control claims it
+// never fired (defensive — undecided candidates must never go unexplained).
+Status DegradedStatus(const common::QueryControl& control) {
+  Status status = control.StopStatus();
+  if (status.ok()) {
+    return Status::Internal(
+        "candidates left undecided without a stop condition");
+  }
+  return status;
 }
 
 }  // namespace
@@ -123,8 +158,8 @@ void BatchExecutor::EnqueuePhase3(
     const core::PrqQuery& query,
     const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
     std::shared_ptr<const mc::SamplePool> pool,
-    std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
-    CountdownLatch* latch, ErrorCollector* errors) {
+    const common::QueryControl& control, QuerySlot* slot,
+    CountdownLatch* latch) {
   const size_t n = survivors.size();
   const size_t chunks = Phase3ChunkCount(n);
   for (size_t c = 0; c < chunks; ++c) {
@@ -132,46 +167,79 @@ void BatchExecutor::EnqueuePhase3(
     // balances well without synchronization.
     const size_t begin = n * c / chunks;
     const size_t end = n * (c + 1) / chunks;
-    pool_.Submit([this, &query, &survivors, pool, begin, end, merged,
-                  merge_mutex, latch, errors](size_t worker) {
+    pool_.Submit([this, &query, &survivors, pool, control, begin, end, slot,
+                  latch](size_t worker) {
+      const size_t count = end - begin;
+      // Degrade, never guess: a chunk that fails (injected fault or
+      // evaluator exception) surfaces all its candidates as undecided in
+      // this query's slot — the other queries of the fan-out, and this
+      // query's other chunks, are untouched.
+      const auto fail_chunk = [&](std::string message) {
+        std::lock_guard<std::mutex> lock(slot->merge_mutex);
+        slot->errors.Record(std::move(message));
+        for (size_t i = 0; i < count; ++i) {
+          slot->undecided.push_back(survivors[begin + i].second);
+        }
+      };
       try {
-        mc::ProbabilityEvaluator* evaluator = evaluators_[worker].get();
-        // One batched call per chunk against the query's shared read-only
-        // pool (null pool ⇒ the evaluator's per-candidate fallback).
-        const size_t count = end - begin;
-        std::vector<const la::Vector*> objects(count);
-        for (size_t i = 0; i < count; ++i) {
-          objects[i] = &survivors[begin + i].first;
+        const Status injected = GPRQ_FAILPOINT("exec.batch_executor.chunk");
+        if (!injected.ok()) {
+          fail_chunk(injected.ToString());
+        } else {
+          mc::ProbabilityEvaluator* evaluator = evaluators_[worker].get();
+          // One batched call per chunk against the query's shared read-only
+          // pool (null pool ⇒ the evaluator's per-candidate fallback).
+          std::vector<const la::Vector*> objects(count);
+          for (size_t i = 0; i < count; ++i) {
+            objects[i] = &survivors[begin + i].first;
+          }
+          std::vector<char> states(count, 0);
+          if (control.Unbounded()) {
+            // The exact pre-deadline path; 0/1 match the DecideState pair.
+            evaluator->DecideBatch(query.query_object, objects.data(), count,
+                                   query.delta, query.theta, pool.get(),
+                                   states.data());
+          } else {
+            evaluator->DecideBatchBounded(query.query_object, objects.data(),
+                                          count, query.delta, query.theta,
+                                          pool.get(), control, states.data());
+          }
+          // Collect locally and merge once after the chunk: the workers
+          // never write interleaved into adjacent heap blocks, so there is
+          // no false sharing on the result cache lines (and only one lock
+          // acquisition per chunk).
+          std::vector<index::ObjectId> local;
+          std::vector<index::ObjectId> local_undecided;
+          for (size_t i = 0; i < count; ++i) {
+            if (states[i] == mc::kDecideIncluded) {
+              local.push_back(survivors[begin + i].second);
+            } else if (states[i] == mc::kDecideUndecided) {
+              local_undecided.push_back(survivors[begin + i].second);
+            }
+          }
+          const size_t decided = count - local_undecided.size();
+          metrics_.integrations->Add(decided);
+          metrics_.worker_integrations[worker]->Add(decided);
+          std::lock_guard<std::mutex> lock(slot->merge_mutex);
+          slot->merged.insert(slot->merged.end(), local.begin(), local.end());
+          slot->undecided.insert(slot->undecided.end(),
+                                 local_undecided.begin(),
+                                 local_undecided.end());
         }
-        std::vector<char> decisions(count, 0);
-        evaluator->DecideBatch(query.query_object, objects.data(), count,
-                               query.delta, query.theta, pool.get(),
-                               decisions.data());
-        // Collect locally and merge once after the chunk: the workers never
-        // write interleaved into adjacent heap blocks, so there is no
-        // false sharing on the result cache lines (and only one lock
-        // acquisition per chunk).
-        std::vector<index::ObjectId> local;
-        for (size_t i = 0; i < count; ++i) {
-          if (decisions[i]) local.push_back(survivors[begin + i].second);
-        }
-        metrics_.integrations->Add(count);
-        metrics_.worker_integrations[worker]->Add(count);
-        std::lock_guard<std::mutex> lock(*merge_mutex);
-        merged->insert(merged->end(), local.begin(), local.end());
       } catch (const std::exception& e) {
-        errors->Record(e.what());
+        fail_chunk(e.what());
       } catch (...) {
-        errors->Record("unknown exception");
+        fail_chunk("unknown exception");
       }
       latch->CountDown();
     });
   }
 }
 
-Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
+Result<core::PrqResult> BatchExecutor::IntegrateOutcomeBounded(
     const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
-    core::PrqStats* stats, obs::QueryTrace* trace) {
+    const common::QueryControl& control, core::PrqStats* stats,
+    obs::QueryTrace* trace) {
   // Sampling counters are recorded at the source (mc::SamplePool); the
   // deltas around the fan-out attribute them to this query's trace.
   const SampleCounters& samples = SampleCounters::Get();
@@ -183,32 +251,56 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
       (trace != nullptr) ? samples.undecided->Value() : 0;
 
   ScopedTimer phase_timer(metrics_.phase3_nanos);
-  std::vector<index::ObjectId> result;
-  result.reserve(outcome.accepted.size() + outcome.survivors.size());
-  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+  core::PrqResult result;
+  result.ids.reserve(outcome.accepted.size() + outcome.survivors.size());
+  for (const auto& [point, id] : outcome.accepted) result.ids.push_back(id);
 
-  if (!outcome.survivors.empty()) {
-    std::mutex merge_mutex;
-    ErrorCollector errors;
+  if (outcome.expired || (!control.Unbounded() && control.ShouldStop())) {
+    // Fired during the filter phases or before the fan-out: every survivor
+    // is unresolved, without building a pool or waking a worker. The
+    // inner-accepted ids stay — they were proven before the stop.
+    result.undecided.reserve(outcome.survivors.size());
+    for (const auto& [point, id] : outcome.survivors) {
+      result.undecided.push_back(id);
+    }
+    result.status = DegradedStatus(control);
+  } else if (!outcome.survivors.empty()) {
+    QuerySlot slot;
     CountdownLatch latch(Phase3ChunkCount(outcome.survivors.size()));
-    EnqueuePhase3(query, outcome.survivors, MakeQueryPool(query), &result,
-                  &merge_mutex, &latch, &errors);
+    EnqueuePhase3(query, outcome.survivors, MakeQueryPool(query), control,
+                  &slot, &latch);
     latch.Wait();
-    GPRQ_RETURN_NOT_OK(errors.ToStatus());
+    // After the latch no worker writes to the slot; reads need no lock.
+    result.ids.insert(result.ids.end(), slot.merged.begin(),
+                      slot.merged.end());
+    result.undecided = std::move(slot.undecided);
+    if (slot.errors.failed) {
+      result.status = slot.errors.ToStatus();
+    } else if (!result.undecided.empty()) {
+      result.status = DegradedStatus(control);
+    }
   }
   const uint64_t phase3_nanos = phase_timer.Stop();
 
   metrics_.queries->Add(1);
   metrics_.accepted_without_integration->Add(outcome.accepted.size());
-  metrics_.results->Add(result.size());
+  metrics_.results->Add(result.ids.size());
+  if (IsStopStatus(result.status)) {
+    DeadlineMetrics::Get().expired_queries->Add(1);
+    DeadlineMetrics::Get().undecided_candidates->Add(
+        result.undecided.size());
+  }
   if (stats != nullptr) {
     stats->phase3_seconds = phase3_nanos * 1e-9;
-    stats->result_size = result.size();
+    stats->result_size = result.ids.size();
   }
   if (trace != nullptr) {
     trace->phase_nanos[obs::QueryTrace::kPhase3] += phase3_nanos;
-    trace->integrations += outcome.survivors.size();
-    trace->result_size = result.size();
+    trace->integrations +=
+        outcome.survivors.size() - result.undecided.size();
+    trace->result_size = result.ids.size();
+    trace->deadline_expired = IsStopStatus(result.status);
+    trace->deadline_undecided = result.undecided.size();
     trace->samples_used +=
         CounterDelta(samples.samples_used->Value(), samples_before);
     trace->early_stops +=
@@ -219,9 +311,50 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
   return result;
 }
 
+Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
+    const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  Result<core::PrqResult> bounded =
+      IntegrateOutcomeBounded(query, std::move(outcome),
+                              common::QueryControl::Unlimited(), stats, trace);
+  if (!bounded.ok()) return bounded.status();
+  // Unbounded runs only degrade on worker failure; the complete-answer API
+  // surfaces that as the error it always did.
+  if (!bounded->status.ok()) return bounded->status;
+  return std::move(bounded->ids);
+}
+
+Result<core::PrqResult> BatchExecutor::SubmitBounded(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  core::PrqStats local_stats;
+  core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = core::PrqStats();
+
+  core::PrqEngine::FilterOutcome outcome;
+  GPRQ_RETURN_NOT_OK(
+      engine_->RunFilterPhases(query, options, &outcome, &out_stats, trace));
+  if (outcome.proved_empty) {
+    metrics_.queries->Add(1);
+    return core::PrqResult{};
+  }
+  return IntegrateOutcomeBounded(query, std::move(outcome), options.control,
+                                 &out_stats, trace);
+}
+
 Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
     const core::PrqQuery& query, const core::PrqOptions& options,
     core::PrqStats* stats, obs::QueryTrace* trace) {
+  if (!options.control.Unbounded()) {
+    // The complete-answer API cannot express a partial result; a degraded
+    // run surfaces as its stop status instead of dropping the undecided
+    // remainder. Callers that want the partial answer use SubmitBounded.
+    Result<core::PrqResult> bounded =
+        SubmitBounded(query, options, stats, trace);
+    if (!bounded.ok()) return bounded.status();
+    if (!bounded->status.ok()) return bounded->status;
+    return std::move(bounded->ids);
+  }
   core::PrqStats local_stats;
   core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
   out_stats = core::PrqStats();
@@ -236,69 +369,123 @@ Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
   return IntegrateOutcome(query, std::move(outcome), &out_stats, trace);
 }
 
-Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
+Result<std::vector<core::PrqResult>> BatchExecutor::SubmitBatchBounded(
     const std::vector<core::PrqQuery>& queries,
-    const core::PrqOptions& options, std::vector<core::PrqStats>* stats) {
+    const core::PrqOptions& options,
+    const std::vector<common::QueryControl>* controls,
+    std::vector<core::PrqStats>* stats) {
   const size_t nq = queries.size();
+  if (controls != nullptr && controls->size() != nq) {
+    return Status::InvalidArgument(
+        "controls must be empty or match queries in size");
+  }
   if (stats != nullptr) {
     stats->assign(nq, core::PrqStats());
   }
 
-  // Phases 1-2 for every query up front, on this thread. The per-query
-  // sample pools are built here too: evaluator 0's pool stream may only be
-  // touched while no fan-out is in flight, and after the first enqueue
-  // below, worker 0 may already be running.
+  // Phases 1-2 for every query up front, on this thread; a query that fails
+  // validation or whose control already fired degrades *its own* result and
+  // nothing else. The per-query sample pools are built here too: evaluator
+  // state may only be touched while no fan-out is in flight, and after the
+  // first enqueue below, worker 0 may already be running.
+  std::vector<core::PrqResult> results(nq);
   std::vector<core::PrqEngine::FilterOutcome> outcomes(nq);
   std::vector<std::shared_ptr<const mc::SamplePool>> pools(nq);
+  std::vector<std::unique_ptr<QuerySlot>> slots(nq);
+  std::vector<common::QueryControl> query_controls(nq);
   size_t total_chunks = 0;
   for (size_t q = 0; q < nq; ++q) {
+    core::PrqOptions q_options = options;
+    if (controls != nullptr) q_options.control = (*controls)[q];
+    query_controls[q] = q_options.control;
+
     core::PrqStats local_stats;
     core::PrqStats& out_stats =
         (stats != nullptr) ? (*stats)[q] : local_stats;
-    GPRQ_RETURN_NOT_OK(
-        engine_->RunFilterPhases(queries[q], options, &outcomes[q],
-                                 &out_stats));
-    if (!outcomes[q].proved_empty) {
-      total_chunks += Phase3ChunkCount(outcomes[q].survivors.size());
-      if (!outcomes[q].survivors.empty()) {
-        pools[q] = MakeQueryPool(queries[q]);
-      }
+    Status filtered = engine_->RunFilterPhases(queries[q], q_options,
+                                               &outcomes[q], &out_stats);
+    if (!filtered.ok()) {
+      results[q].status = std::move(filtered);
+      continue;
     }
+    if (outcomes[q].proved_empty) continue;
+
+    results[q].ids.reserve(outcomes[q].accepted.size());
+    for (const auto& [point, id] : outcomes[q].accepted) {
+      results[q].ids.push_back(id);
+    }
+    metrics_.accepted_without_integration->Add(outcomes[q].accepted.size());
+
+    const common::QueryControl& control = query_controls[q];
+    if (outcomes[q].expired ||
+        (!control.Unbounded() && control.ShouldStop())) {
+      results[q].undecided.reserve(outcomes[q].survivors.size());
+      for (const auto& [point, id] : outcomes[q].survivors) {
+        results[q].undecided.push_back(id);
+      }
+      results[q].status = DegradedStatus(control);
+      continue;
+    }
+    if (outcomes[q].survivors.empty()) continue;
+    pools[q] = MakeQueryPool(queries[q]);
+    slots[q] = std::make_unique<QuerySlot>();
+    total_chunks += Phase3ChunkCount(outcomes[q].survivors.size());
   }
 
   // One fan-out for the whole batch: every query's chunks are in flight
   // together, so workers drain query i+1 while stragglers finish query i.
-  std::vector<std::vector<index::ObjectId>> results(nq);
-  std::vector<std::unique_ptr<std::mutex>> merge_mutexes;
-  merge_mutexes.reserve(nq);
-  for (size_t q = 0; q < nq; ++q) {
-    merge_mutexes.push_back(std::make_unique<std::mutex>());
-  }
-  ErrorCollector errors;
   CountdownLatch latch(total_chunks);
   Stopwatch phase_timer;
   for (size_t q = 0; q < nq; ++q) {
-    if (outcomes[q].proved_empty) continue;
-    for (const auto& [point, id] : outcomes[q].accepted) {
-      results[q].push_back(id);
-    }
-    metrics_.accepted_without_integration->Add(outcomes[q].accepted.size());
+    if (slots[q] == nullptr) continue;
     EnqueuePhase3(queries[q], outcomes[q].survivors, std::move(pools[q]),
-                  &results[q], merge_mutexes[q].get(), &latch, &errors);
+                  query_controls[q], slots[q].get(), &latch);
   }
   latch.Wait();
-  GPRQ_RETURN_NOT_OK(errors.ToStatus());
 
   const uint64_t phase3_nanos = phase_timer.ElapsedNanos();
   metrics_.phase3_nanos->Record(phase3_nanos);
   const double phase3_seconds = phase3_nanos * 1e-9;
   metrics_.queries->Add(nq);
   for (size_t q = 0; q < nq; ++q) {
-    metrics_.results->Add(results[q].size());
+    if (slots[q] != nullptr) {
+      results[q].ids.insert(results[q].ids.end(), slots[q]->merged.begin(),
+                            slots[q]->merged.end());
+      results[q].undecided = std::move(slots[q]->undecided);
+      if (slots[q]->errors.failed) {
+        results[q].status = slots[q]->errors.ToStatus();
+      } else if (!results[q].undecided.empty()) {
+        results[q].status = DegradedStatus(query_controls[q]);
+      }
+    }
+    if (IsStopStatus(results[q].status)) {
+      DeadlineMetrics::Get().expired_queries->Add(1);
+      DeadlineMetrics::Get().undecided_candidates->Add(
+          results[q].undecided.size());
+    }
+    metrics_.results->Add(results[q].ids.size());
     if (stats != nullptr) {
       (*stats)[q].phase3_seconds = phase3_seconds;
-      (*stats)[q].result_size = results[q].size();
+      (*stats)[q].result_size = results[q].ids.size();
     }
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<index::ObjectId>>> BatchExecutor::SubmitBatch(
+    const std::vector<core::PrqQuery>& queries,
+    const core::PrqOptions& options, std::vector<core::PrqStats>* stats) {
+  Result<std::vector<core::PrqResult>> bounded =
+      SubmitBatchBounded(queries, options, nullptr, stats);
+  if (!bounded.ok()) return bounded.status();
+  std::vector<std::vector<index::ObjectId>> results;
+  results.reserve(bounded->size());
+  // Compat: this API cannot express per-query failure, so the first
+  // degraded query fails the whole batch (the bounded API keeps the other
+  // queries' answers).
+  for (core::PrqResult& r : *bounded) {
+    if (!r.status.ok()) return r.status;
+    results.push_back(std::move(r.ids));
   }
   return results;
 }

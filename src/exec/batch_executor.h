@@ -110,6 +110,18 @@ class BatchExecutor {
       const core::PrqQuery& query, const core::PrqOptions& options,
       core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
 
+  /// Deadline/cancellation-aware Submit: honors options.control and
+  /// degrades to a sound partial core::PrqResult when it fires (decided
+  /// candidates are exact, the unresolved remainder is listed in
+  /// `undecided`, `status` carries DeadlineExceeded/Cancelled). A worker
+  /// exception degrades the same way: the failing chunk's candidates
+  /// surface as undecided with status Internal. An error Result is returned
+  /// only for invalid queries.
+  Result<core::PrqResult> SubmitBounded(const core::PrqQuery& query,
+                                        const core::PrqOptions& options,
+                                        core::PrqStats* stats = nullptr,
+                                        obs::QueryTrace* trace = nullptr);
+
   /// Runs a batch; `results[i]` answers `queries[i]`. All queries' Phase-3
   /// chunks share one fan-out. If `stats` is non-null it is resized to the
   /// batch and `(*stats)[i]` receives query i's filter-phase timings and
@@ -121,6 +133,22 @@ class BatchExecutor {
       const core::PrqOptions& options,
       std::vector<core::PrqStats>* stats = nullptr);
 
+  /// Deadline/cancellation-aware batch with per-query fault isolation:
+  /// `results[i]` answers `queries[i]`, and one query failing — invalid
+  /// arguments, an evaluator exception in one of its chunks, its deadline
+  /// firing — degrades only that query's PrqResult (status non-OK,
+  /// unresolved candidates in `undecided`) while every other query
+  /// completes exactly as if submitted alone. `controls` (optional) gives
+  /// each query its own deadline/cancellation, overriding options.control;
+  /// it must match `queries` in size. All queries still share one Phase-3
+  /// fan-out. An error Result is returned only for a malformed call
+  /// (mismatched `controls` size), never for a per-query failure.
+  Result<std::vector<core::PrqResult>> SubmitBatchBounded(
+      const std::vector<core::PrqQuery>& queries,
+      const core::PrqOptions& options,
+      const std::vector<common::QueryControl>* controls = nullptr,
+      std::vector<core::PrqStats>* stats = nullptr);
+
   /// Fans Phase 3 of an already-filtered query across the pool and returns
   /// accepted + qualifying ids. `stats` (if non-null) receives
   /// phase3_seconds and result_size on top of whatever the filter pass
@@ -130,6 +158,15 @@ class BatchExecutor {
   Result<std::vector<index::ObjectId>> IntegrateOutcome(
       const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
       core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
+
+  /// Control-aware IntegrateOutcome: fans Phase 3 out under `control` and
+  /// returns a (possibly partial) core::PrqResult instead of failing the
+  /// whole query on a deadline or worker error. Used by SubmitBounded and
+  /// PrqEngine::ExecuteParallel.
+  Result<core::PrqResult> IntegrateOutcomeBounded(
+      const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
+      const common::QueryControl& control, core::PrqStats* stats = nullptr,
+      obs::QueryTrace* trace = nullptr);
 
   /// Point-in-time throughput counters.
   ExecStats Snapshot() const;
@@ -151,17 +188,32 @@ class BatchExecutor {
     Status ToStatus() const;
   };
 
+  /// Per-query Phase-3 state of one fan-out. Each query gets its own slot —
+  /// its own merge lock, undecided list, and error collector — so one
+  /// query's worker exception or deadline can never poison the answers of
+  /// the other queries sharing the fan-out.
+  struct QuerySlot {
+    std::vector<index::ObjectId> merged;
+    std::vector<index::ObjectId> undecided;
+    std::mutex merge_mutex;
+    ErrorCollector errors;
+  };
+
   /// Enqueues the Phase-3 chunk tasks for one query's survivors. `pool` is
   /// the query's shared sample pool from MakeQueryPool (may be null); each
-  /// chunk task holds a reference until it finishes. Appends qualifying ids
-  /// to `merged` under `merge_mutex`; counts `latch` down once per chunk
-  /// (Phase3ChunkCount(survivors.size()) chunks total).
+  /// chunk task holds a reference until it finishes. Qualifying ids are
+  /// appended to slot->merged and unresolved candidates (control fired,
+  /// chunk failpoint, evaluator exception — the whole chunk in the latter
+  /// two cases) to slot->undecided, both under slot->merge_mutex; counts
+  /// `latch` down once per chunk (Phase3ChunkCount(survivors.size())
+  /// chunks total). An unbounded `control` runs the exact pre-deadline
+  /// decide path.
   void EnqueuePhase3(
       const core::PrqQuery& query,
       const std::vector<std::pair<la::Vector, index::ObjectId>>& survivors,
       std::shared_ptr<const mc::SamplePool> pool,
-      std::vector<index::ObjectId>* merged, std::mutex* merge_mutex,
-      CountdownLatch* latch, ErrorCollector* errors);
+      const common::QueryControl& control, QuerySlot* slot,
+      CountdownLatch* latch);
 
   /// Builds the query's shared read-only sample pool through evaluator 0
   /// (null for evaluators that don't sample). Must run on the submitting

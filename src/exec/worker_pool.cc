@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/failpoint.h"
+
 namespace gprq::exec {
 namespace {
 
@@ -81,6 +83,11 @@ void WorkerPool::WorkerLoop(size_t worker) {
       // task itself signals on completion (latches, counters).
       ++tasks_executed_;
     }
+    // Latency-only site: injected delay models a slow/preempted worker
+    // (the way deadlines fire mid-fan-out in tests). The task always runs —
+    // a dispatch loop has no channel to surface an injected *error*, so arm
+    // this site with delay(...) only.
+    (void)GPRQ_FAILPOINT("exec.worker_pool.task");
     if constexpr (obs::kEnabled) {
       const PoolMetrics& metrics = PoolMetrics::Get();
       metrics.tasks->Add(1);

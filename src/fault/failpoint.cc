@@ -1,0 +1,245 @@
+#include "fault/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace gprq::fault {
+namespace {
+
+struct FaultMetrics {
+  obs::Counter* injected_errors;
+  obs::Counter* injected_delays;
+
+  static const FaultMetrics& Get() {
+    static const FaultMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return FaultMetrics{r.GetCounter("gprq.fault.injected_errors"),
+                          r.GetCounter("gprq.fault.injected_delays")};
+    }();
+    return metrics;
+  }
+};
+
+// splitmix64: enough for reproducible probability draws without pulling the
+// sampling RNG (and its stream semantics) into the fault layer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ParseCode(const std::string& name, StatusCode* code) {
+  if (name == "io") {
+    *code = StatusCode::kIoError;
+  } else if (name == "internal") {
+    *code = StatusCode::kInternal;
+  } else if (name == "notfound") {
+    *code = StatusCode::kNotFound;
+  } else if (name == "invalid") {
+    *code = StatusCode::kInvalidArgument;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct FailpointRegistry::Failpoint {
+  explicit Failpoint(FailpointConfig c)
+      : config(std::move(c)), rng_state(config.seed) {}
+
+  const FailpointConfig config;
+
+  std::mutex mutex;  // guards the mutable trigger state below
+  uint64_t rng_state;
+  uint64_t evaluations = 0;
+  uint64_t triggers = 0;
+
+  // Decides whether this evaluation triggers and advances the counters.
+  bool Trigger() {
+    std::lock_guard<std::mutex> lock(mutex);
+    const uint64_t index = evaluations++;
+    if (index < config.skip) return false;
+    if (config.max_triggers >= 0 &&
+        triggers >= static_cast<uint64_t>(config.max_triggers)) {
+      return false;
+    }
+    if (config.probability < 1.0) {
+      rng_state = Mix64(rng_state);
+      const double draw =
+          static_cast<double>(rng_state >> 11) * 0x1.0p-53;  // [0, 1)
+      if (draw >= config.probability) return false;
+    }
+    ++triggers;
+    return true;
+  }
+};
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site] = std::make_shared<Failpoint>(std::move(config));
+  armed_count_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+  armed_count_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::Evaluate(const char* site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::shared_ptr<Failpoint> fp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    fp = it->second;
+  }
+  if (!fp->Trigger()) return Status::OK();
+  if (fp->config.latency_micros > 0) {
+    FaultMetrics::Get().injected_delays->Add(1);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(fp->config.latency_micros));
+  }
+  if (!fp->config.fail) return Status::OK();
+  FaultMetrics::Get().injected_errors->Add(1);
+  std::string message = "failpoint '" + std::string(site) + "' injected";
+  if (!fp->config.message.empty()) message += ": " + fp->config.message;
+  return Status(fp->config.code, std::move(message));
+}
+
+FailpointStats FailpointRegistry::Stats(const std::string& site) const {
+  std::shared_ptr<Failpoint> fp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return {};
+    fp = it->second;
+  }
+  std::lock_guard<std::mutex> lock(fp->mutex);
+  return {fp->evaluations, fp->triggers};
+}
+
+std::vector<std::string> FailpointRegistry::Armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, fp] : sites_) names.push_back(name);
+  return names;
+}
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  // Parse everything first; arm only if the whole spec is well-formed.
+  std::vector<std::pair<std::string, FailpointConfig>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    const std::string entry = Trim(spec.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint spec entry missing '=': " +
+                                     entry);
+    }
+    const std::string site = Trim(entry.substr(0, eq));
+    const std::string action = Trim(entry.substr(eq + 1));
+    const size_t open = action.find('(');
+    if (site.empty() || open == std::string::npos || action.back() != ')') {
+      return Status::InvalidArgument("malformed failpoint spec entry: " +
+                                     entry);
+    }
+    const std::string kind = Trim(action.substr(0, open));
+    const std::string body =
+        action.substr(open + 1, action.size() - open - 2);
+
+    FailpointConfig config;
+    bool first_arg = true;
+    size_t apos = 0;
+    while (apos <= body.size()) {
+      size_t comma = body.find(',', apos);
+      if (comma == std::string::npos) comma = body.size();
+      const std::string arg = Trim(body.substr(apos, comma - apos));
+      apos = comma + 1;
+      if (arg.empty()) continue;
+      if (first_arg && arg.find('=') == std::string::npos) {
+        first_arg = false;
+        if (kind == "error") {
+          if (!ParseCode(arg, &config.code)) {
+            return Status::InvalidArgument("unknown failpoint error code: " +
+                                           arg);
+          }
+        } else if (kind == "delay") {
+          config.latency_micros = std::strtoull(arg.c_str(), nullptr, 10);
+        } else {
+          return Status::InvalidArgument("unknown failpoint action: " + kind);
+        }
+        continue;
+      }
+      first_arg = false;
+      const size_t aeq = arg.find('=');
+      if (aeq == std::string::npos) {
+        return Status::InvalidArgument("malformed failpoint arg: " + arg);
+      }
+      const std::string key = Trim(arg.substr(0, aeq));
+      const std::string value = Trim(arg.substr(aeq + 1));
+      if (key == "p") {
+        config.probability = std::strtod(value.c_str(), nullptr);
+      } else if (key == "skip") {
+        config.skip = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "max") {
+        config.max_triggers = std::strtoll(value.c_str(), nullptr, 10);
+      } else if (key == "seed") {
+        config.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else {
+        return Status::InvalidArgument("unknown failpoint arg: " + key);
+      }
+    }
+    if (kind == "delay") {
+      config.fail = false;
+      if (config.latency_micros == 0) {
+        return Status::InvalidArgument("delay() needs a duration: " + entry);
+      }
+    } else if (kind != "error") {
+      return Status::InvalidArgument("unknown failpoint action: " + kind);
+    }
+    parsed.emplace_back(site, std::move(config));
+  }
+
+  for (auto& [site, config] : parsed) Arm(site, std::move(config));
+  return Status::OK();
+}
+
+Status FailpointRegistry::ArmFromEnv(const char* variable) {
+  const char* value = std::getenv(variable);
+  if (value == nullptr || value[0] == '\0') return Status::OK();
+  return ArmFromSpec(value);
+}
+
+}  // namespace gprq::fault

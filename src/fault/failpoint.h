@@ -1,0 +1,144 @@
+#ifndef GPRQ_FAULT_FAILPOINT_H_
+#define GPRQ_FAULT_FAILPOINT_H_
+
+// Deterministic fault injection for the serving path. A *failpoint* is a
+// named site in production code (page reads, buffer-pool faults, worker
+// dispatch) that normally does nothing; tests and chaos runs *arm* it with
+// an error and/or a latency to exercise failure paths that real hardware
+// only produces rarely and never reproducibly. This is the only way to
+// deterministically cover the retry, degradation and error-propagation
+// code the fault/deadline test battery asserts on.
+//
+// Site naming scheme: `<layer>.<component>.<operation>`, lowercase and
+// dot-separated, mirroring the obs metric names — e.g.
+// `index.page_file.read`, `index.buffer_pool.get`,
+// `exec.worker_pool.task`, `exec.batch_executor.chunk`.
+//
+// Cost contract: the disarmed path is one relaxed atomic load (the global
+// armed count) — no locks, no map lookups. Compiling with
+// GPRQ_FAULT_DISABLED (CMake -DGPRQ_FAULT=OFF) turns the GPRQ_FAILPOINT
+// macro into a constant OK status, so an injection site costs literally
+// nothing; the registry API keeps working but nothing evaluates it.
+//
+// Armed sites report `gprq.fault.injected_errors` / `.injected_delays`
+// to the obs registry so chaos experiments are observable.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gprq::fault {
+
+#ifdef GPRQ_FAULT_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// What an armed failpoint does when an evaluation triggers it.
+struct FailpointConfig {
+  /// Error injected when `fail` is true.
+  StatusCode code = StatusCode::kIoError;
+  /// Optional message detail; the injected status always names the site.
+  std::string message;
+  /// Chance each evaluation triggers, in [0, 1]. 1.0 (the default) makes
+  /// tests deterministic; fractional values are drawn from a dedicated
+  /// seeded PRNG so a chaos run is still reproducible.
+  double probability = 1.0;
+  /// First `skip` evaluations never trigger (count-triggered injection:
+  /// "fail the 3rd read").
+  uint64_t skip = 0;
+  /// Stop triggering after this many triggers; -1 = unlimited. `1` models
+  /// a transient fault (fail once, then recover) — the retry tests' case.
+  int64_t max_triggers = -1;
+  /// Sleep this long on trigger, before any error is returned. Latency
+  /// injection is how the deadline tests make Phase 3 slow on demand.
+  uint64_t latency_micros = 0;
+  /// When false the trigger only sleeps (latency-only injection).
+  bool fail = true;
+  /// Seed for fractional-probability draws.
+  uint64_t seed = 0x5DEECE66DULL;
+};
+
+/// Cumulative per-site counters (monotonic since Arm).
+struct FailpointStats {
+  uint64_t evaluations = 0;
+  uint64_t triggers = 0;
+};
+
+/// Process-wide registry of armed failpoints. Thread-safe: Evaluate may be
+/// called from any worker; Arm/Disarm are test-thread operations that
+/// take effect on the next evaluation.
+class FailpointRegistry {
+ public:
+  /// The registry every GPRQ_FAILPOINT site evaluates against.
+  /// Intentionally leaked, like obs::MetricRegistry::Global — injection
+  /// sites may run during static destruction.
+  static FailpointRegistry& Global();
+
+  /// Arms (or re-arms, resetting counters) the named site.
+  void Arm(const std::string& site, FailpointConfig config);
+
+  /// Disarms one site; evaluations of it return OK again.
+  void Disarm(const std::string& site);
+
+  /// Disarms everything — test teardown.
+  void DisarmAll();
+
+  /// Called by injection sites (via GPRQ_FAILPOINT). Returns OK unless the
+  /// site is armed and this evaluation triggers, in which case the
+  /// configured latency is applied and (when `fail`) the configured error
+  /// is returned.
+  Status Evaluate(const char* site);
+
+  /// Counters for a site; zeros when it was never armed.
+  FailpointStats Stats(const std::string& site) const;
+
+  /// Names of currently armed sites, sorted.
+  std::vector<std::string> Armed() const;
+
+  /// Arms failpoints from a spec string:
+  ///   site=error(io)            inject kIoError, always
+  ///   site=error(internal,p=0.5,skip=2,max=1)
+  ///   site=delay(500)           sleep 500 us, no error
+  ///   site=delay(500,max=3)
+  /// Multiple entries separated by ';'. Codes: io, internal, notfound,
+  /// unavailable is not a code here — see status.h. Fails without arming
+  /// anything on a malformed spec.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Arms from the environment (default GPRQ_FAILPOINTS); a missing or
+  /// empty variable is OK. This is how a chaos run configures a stock
+  /// binary.
+  Status ArmFromEnv(const char* variable = "GPRQ_FAILPOINTS");
+
+ private:
+  struct Failpoint;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Failpoint>> sites_;
+  // Fast disarmed-path check: number of armed sites. Relaxed is fine —
+  // arming is ordered by the mutex, and a stale zero only delays the first
+  // injection by one evaluation.
+  std::atomic<uint64_t> armed_count_{0};
+};
+
+}  // namespace gprq::fault
+
+/// Evaluates a failpoint site; expands to a constant OK status when the
+/// fault subsystem is compiled out. Use as:
+///   GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("index.page_file.read"));
+#ifdef GPRQ_FAULT_DISABLED
+#define GPRQ_FAILPOINT(site) ::gprq::Status::OK()
+#else
+#define GPRQ_FAILPOINT(site) \
+  ::gprq::fault::FailpointRegistry::Global().Evaluate(site)
+#endif
+
+#endif  // GPRQ_FAULT_FAILPOINT_H_

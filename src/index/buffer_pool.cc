@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace gprq::index {
@@ -35,6 +36,10 @@ BufferPool::BufferPool(const PageFile* file, size_t capacity)
 }
 
 Result<const uint8_t*> BufferPool::GetPage(PageId id) {
+  // Before the hit lookup: an armed fault here hits cached pages too,
+  // modeling a failing pool (frame corruption, allocation failure) rather
+  // than failing media — that one is `index.page_file.read`.
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("index.buffer_pool.get"));
   auto it = index_.find(id);
   if (it != index_.end()) {
     ++stats_.hits;

@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fault/failpoint.h"
+
 namespace gprq::index {
 
 namespace {
@@ -87,6 +89,9 @@ Status PageFile::ReadPage(PageId id, std::vector<uint8_t>* buffer) const {
     return Status::OutOfRange("page " + std::to_string(id) +
                               " beyond end of file");
   }
+  // Placed after validation, before the physical I/O: an armed failpoint
+  // models the media failing, not the caller misusing the API.
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("index.page_file.read"));
   buffer->resize(page_size_);
   if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
     return Status::IoError("seek failed");
@@ -106,6 +111,7 @@ Status PageFile::WritePage(PageId id, const std::vector<uint8_t>& buffer) {
   if (id > page_count_) {
     return Status::OutOfRange("cannot write past the append frontier");
   }
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("index.page_file.write"));
   if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
     return Status::IoError("seek failed");
   }

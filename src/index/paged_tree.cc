@@ -1,8 +1,10 @@
 #include "index/paged_tree.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 
 #include "index/rstar_tree_internal.h"
@@ -22,6 +24,35 @@ obs::Counter* PagesReadCounter() {
   static obs::Counter* counter =
       obs::MetricRegistry::Global().GetCounter("gprq.index.paged.pages_read");
   return counter;
+}
+
+// Retry accounting for transient page-read failures (`gprq.fault.*` because
+// in practice only an armed failpoint — or genuinely flaky media — ever
+// drives these).
+struct RetryMetrics {
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+
+  static const RetryMetrics& Get() {
+    static const RetryMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return RetryMetrics{
+          r.GetCounter("gprq.fault.page_read_retries"),
+          r.GetCounter("gprq.fault.page_read_retry_exhausted")};
+    }();
+    return metrics;
+  }
+};
+
+// Transient-failure policy for query-path page reads: a short read or an
+// injected I/O fault is retried with exponential backoff; everything else
+// (OutOfRange, corrupt snapshot, ...) is deterministic and fails at once.
+constexpr int kPageReadAttempts = 3;
+constexpr uint64_t kPageReadBackoffMicros = 50;   // first retry
+constexpr uint64_t kPageReadBackoffFactor = 4;    // 50µs, 200µs
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError;
 }
 
 // ---- Little serialization helpers (host byte order). ----------------------
@@ -281,10 +312,27 @@ Result<PagedRStarTree> PagedRStarTree::Open(const std::string& path,
                         header.height, header.root);
 }
 
+Result<const uint8_t*> PagedRStarTree::GetPageWithRetry(PageId page_id) const {
+  uint64_t backoff_micros = kPageReadBackoffMicros;
+  for (int attempt = 1;; ++attempt) {
+    Result<const uint8_t*> page = pool_->GetPage(page_id);
+    if (page.ok()) return page;
+    if (!IsTransient(page.status()) || attempt >= kPageReadAttempts) {
+      if (IsTransient(page.status())) {
+        RetryMetrics::Get().exhausted->Add(1);
+      }
+      return page;
+    }
+    RetryMetrics::Get().retries->Add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+    backoff_micros *= kPageReadBackoffFactor;
+  }
+}
+
 Status PagedRStarTree::RangeQueryPage(
     PageId page_id, const geom::Rect& box,
     const std::function<void(const la::Vector&, ObjectId)>& visit) const {
-  auto page = pool_->GetPage(page_id);
+  auto page = GetPageWithRetry(page_id);
   if (!page.ok()) return page.status();
   PagesReadCounter()->Add(1);
   const uint8_t* data = *page;
@@ -339,7 +387,7 @@ Status PagedRStarTree::RangeQuery(
 Status PagedRStarTree::BallQueryPage(PageId page_id, const la::Vector& center,
                                      double radius_sq,
                                      std::vector<ObjectId>* out) const {
-  auto page = pool_->GetPage(page_id);
+  auto page = GetPageWithRetry(page_id);
   if (!page.ok()) return page.status();
   PagesReadCounter()->Add(1);
   const uint8_t* data = *page;
@@ -412,7 +460,7 @@ Status PagedRStarTree::KnnQuery(
       out->emplace_back(item.dist_sq, item.payload);
       continue;
     }
-    auto page = pool_->GetPage(item.payload);
+    auto page = GetPageWithRetry(item.payload);
     if (!page.ok()) return page.status();
     PagesReadCounter()->Add(1);
     const uint8_t* data = *page;

@@ -106,6 +106,13 @@ class PagedRStarTree {
         height_(height),
         root_(root) {}
 
+  /// Buffer-pool read with bounded retry: transient failures (IoError —
+  /// flaky media, armed failpoints) are retried up to 2 more times with
+  /// exponential backoff before the error propagates; deterministic errors
+  /// fail immediately. All query-path page reads go through here, so a
+  /// blip mid-traversal costs microseconds instead of the whole query.
+  Result<const uint8_t*> GetPageWithRetry(PageId page) const;
+
   Status RangeQueryPage(PageId page, const geom::Rect& box,
                         const std::function<void(const la::Vector&,
                                                  ObjectId)>& visit) const;

@@ -36,9 +36,7 @@ struct DecisionMetrics {
 }  // namespace
 
 AdaptiveMonteCarloEvaluator::AdaptiveMonteCarloEvaluator(Options options)
-    : options_(options),
-      random_(options.seed),
-      pool_random_(options.seed ^ kPoolStreamSalt) {}
+    : options_(options), random_(options.seed) {}
 
 double AdaptiveMonteCarloEvaluator::QualificationProbability(
     const core::GaussianDistribution& query, const la::Vector& object,
@@ -94,8 +92,23 @@ bool AdaptiveMonteCarloEvaluator::QualificationDecision(
 
 std::shared_ptr<const SamplePool> AdaptiveMonteCarloEvaluator::MakeSamplePool(
     const core::GaussianDistribution& query) {
+  // A fresh stream per pool, keyed by the query itself: the pool is a pure
+  // function of (seed, query), never of pool-construction order.
+  rng::Random pool_random(options_.seed ^ kPoolStreamSalt ^
+                          QueryFingerprint(query));
   return std::make_shared<const SamplePool>(query, options_.max_samples,
-                                            pool_random_);
+                                            pool_random);
+}
+
+SamplePool::DecideOptions AdaptiveMonteCarloEvaluator::PoolDecideOptions()
+    const {
+  SamplePool::DecideOptions decide;
+  decide.confidence_z = options_.confidence_z;
+  // Keep the pool's large vectorization blocks even if the per-candidate
+  // path checks more often; never check before min_samples' worth.
+  decide.block_samples = std::max(
+      {decide.block_samples, options_.min_samples, options_.batch_samples});
+  return decide;
 }
 
 void AdaptiveMonteCarloEvaluator::DecideBatch(
@@ -107,19 +120,39 @@ void AdaptiveMonteCarloEvaluator::DecideBatch(
                                       pool, decisions);
     return;
   }
-  SamplePool::DecideOptions decide;
-  decide.confidence_z = options_.confidence_z;
-  // Keep the pool's large vectorization blocks even if the per-candidate
-  // path checks more often; never check before min_samples' worth.
-  decide.block_samples =
-      std::max({decide.block_samples, options_.min_samples,
-                options_.batch_samples});
+  const SamplePool::DecideOptions decide = PoolDecideOptions();
   for (size_t i = 0; i < count; ++i) {
     const SamplePool::Decision d =
         pool->Decide(*objects[i], delta, theta, decide);
     total_samples_ += d.samples_used;
     if (d.undecided) ++undecided_fallbacks_;
     decisions[i] = d.qualifies ? 1 : 0;
+  }
+}
+
+void AdaptiveMonteCarloEvaluator::DecideBatchBounded(
+    const core::GaussianDistribution& query, const la::Vector* const* objects,
+    size_t count, double delta, double theta, const SamplePool* pool,
+    const common::QueryControl& control, char* states) {
+  if (pool == nullptr) {
+    ProbabilityEvaluator::DecideBatchBounded(query, objects, count, delta,
+                                             theta, pool, control, states);
+    return;
+  }
+  SamplePool::DecideOptions decide = PoolDecideOptions();
+  decide.control = &control;
+  for (size_t i = 0; i < count; ++i) {
+    const SamplePool::Decision d =
+        pool->Decide(*objects[i], delta, theta, decide);
+    total_samples_ += d.samples_used;
+    if (d.interrupted) {
+      // The interrupted candidate resolved nothing; it and everything after
+      // it surface as undecided.
+      for (size_t j = i; j < count; ++j) states[j] = kDecideUndecided;
+      return;
+    }
+    if (d.undecided) ++undecided_fallbacks_;
+    states[i] = d.qualifies ? kDecideIncluded : kDecideExcluded;
   }
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "mc/probability_evaluator.h"
+#include "mc/sample_pool.h"
 #include "rng/random.h"
 
 namespace gprq::mc {
@@ -57,8 +58,20 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
                    double delta, double theta, const SamplePool* pool,
                    char* decisions) override;
 
-  /// A pool of options().max_samples draws from a dedicated RNG stream
-  /// (seeded from options().seed, separate from the per-candidate stream).
+  /// Bounded batch: pool->Decide with the control threaded into the Wilson
+  /// block loop, so a deadline firing mid-candidate overshoots by at most
+  /// one block of samples. The interrupted candidate and all remaining ones
+  /// become kDecideUndecided; decided entries match DecideBatch
+  /// bit-for-bit.
+  void DecideBatchBounded(const core::GaussianDistribution& query,
+                          const la::Vector* const* objects, size_t count,
+                          double delta, double theta, const SamplePool* pool,
+                          const common::QueryControl& control,
+                          char* states) override;
+
+  /// A pool of options().max_samples draws from a stream seeded by
+  /// (options().seed, pool salt, QueryFingerprint(query)) — see
+  /// MonteCarloEvaluator::MakeSamplePool for the determinism rationale.
   std::shared_ptr<const SamplePool> MakeSamplePool(
       const core::GaussianDistribution& query) override;
 
@@ -74,9 +87,12 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
   }
 
  private:
+  /// The pool->Decide options DecideBatch/DecideBatchBounded share, so the
+  /// bounded and unbounded paths make identical sequential decisions.
+  SamplePool::DecideOptions PoolDecideOptions() const;
+
   Options options_;
   rng::Random random_;
-  rng::Random pool_random_;
   la::Vector scratch_;
   uint64_t total_samples_ = 0;
   uint64_t undecided_fallbacks_ = 0;

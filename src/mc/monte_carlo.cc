@@ -34,10 +34,7 @@ struct FixedBudgetMetrics {
 }  // namespace
 
 MonteCarloEvaluator::MonteCarloEvaluator(Options options)
-    : options_(options),
-      random_(options.seed),
-      pool_random_(options.seed ^ kPoolStreamSalt),
-      scratch_(options.dim) {}
+    : options_(options), random_(options.seed), scratch_(options.dim) {}
 
 uint64_t MonteCarloEvaluator::CountHits(
     const core::GaussianDistribution& query, const la::Vector& object,
@@ -79,8 +76,12 @@ double MonteCarloEvaluator::QualificationProbability(
 
 std::shared_ptr<const SamplePool> MonteCarloEvaluator::MakeSamplePool(
     const core::GaussianDistribution& query) {
+  // A fresh stream per pool, keyed by the query itself: the pool is a pure
+  // function of (seed, query), never of pool-construction order.
+  rng::Random pool_random(options_.seed ^ kPoolStreamSalt ^
+                          QueryFingerprint(query));
   return std::make_shared<const SamplePool>(query, options_.samples,
-                                            pool_random_);
+                                            pool_random);
 }
 
 void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
@@ -105,6 +106,39 @@ void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
   }
   metrics.decisions->Add(count);
   metrics.samples_used->Add(n * count);
+}
+
+void MonteCarloEvaluator::DecideBatchBounded(
+    const core::GaussianDistribution& query, const la::Vector* const* objects,
+    size_t count, double delta, double theta, const SamplePool* pool,
+    const common::QueryControl& control, char* states) {
+  if (pool == nullptr) {
+    ProbabilityEvaluator::DecideBatchBounded(query, objects, count, delta,
+                                             theta, pool, control, states);
+    return;
+  }
+  if (control.Unbounded()) {
+    // Bit-identical to the unbounded path (0/1 match the DecideState pair).
+    DecideBatch(query, objects, count, delta, theta, pool, states);
+    return;
+  }
+  const FixedBudgetMetrics& metrics = FixedBudgetMetrics::Get();
+  const double delta_sq = delta * delta;
+  const uint64_t n = pool->size();
+  size_t decided = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (control.ShouldStop()) {
+      for (size_t j = i; j < count; ++j) states[j] = kDecideUndecided;
+      break;
+    }
+    const uint64_t hits = pool->CountWithin(*objects[i], delta_sq, 0, n);
+    states[i] = static_cast<double>(hits) >= theta * static_cast<double>(n)
+                    ? kDecideIncluded
+                    : kDecideExcluded;
+    ++decided;
+  }
+  metrics.decisions->Add(decided);
+  metrics.samples_used->Add(n * decided);
 }
 
 }  // namespace gprq::mc

@@ -42,9 +42,21 @@ class MonteCarloEvaluator final : public ProbabilityEvaluator {
                    double delta, double theta, const SamplePool* pool,
                    char* decisions) override;
 
-  /// A pool of options().samples draws from a dedicated RNG stream (seeded
-  /// from options().seed, separate from the per-candidate stream, so pool
-  /// construction and per-candidate evaluation never perturb each other).
+  /// Bounded batch over the shared pool: full-pool counts per candidate
+  /// with a control check between candidates; remaining candidates are
+  /// marked kDecideUndecided once the control fires. Decided entries match
+  /// DecideBatch bit-for-bit.
+  void DecideBatchBounded(const core::GaussianDistribution& query,
+                          const la::Vector* const* objects, size_t count,
+                          double delta, double theta, const SamplePool* pool,
+                          const common::QueryControl& control,
+                          char* states) override;
+
+  /// A pool of options().samples draws from a stream seeded by
+  /// (options().seed, pool salt, QueryFingerprint(query)) — a pure function
+  /// of evaluator seed and query, independent of how many pools were built
+  /// before, so per-query Phase-3 results are reproducible on a long-lived
+  /// evaluator and unaffected by neighboring queries being skipped.
   std::shared_ptr<const SamplePool> MakeSamplePool(
       const core::GaussianDistribution& query) override;
 
@@ -67,7 +79,6 @@ class MonteCarloEvaluator final : public ProbabilityEvaluator {
 
   Options options_;
   rng::Random random_;
-  rng::Random pool_random_;
   la::Vector scratch_;
 };
 

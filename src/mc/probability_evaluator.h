@@ -2,14 +2,28 @@
 #define GPRQ_MC_PROBABILITY_EVALUATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
+#include "common/deadline.h"
 #include "core/gaussian.h"
 #include "la/vector.h"
 
 namespace gprq::mc {
 
 class SamplePool;
+
+/// Per-candidate outcome of a bounded (deadline/cancellation-aware) batch.
+/// Excluded and included are *exact* Phase-3 answers; undecided means the
+/// control stopped the batch before this candidate resolved — the engine
+/// must surface it as unknown, never guess. Values are chosen so the
+/// kExcluded/kIncluded pair is layout-compatible with the unbounded
+/// DecideBatch 0/1 convention.
+enum DecideState : char {
+  kDecideExcluded = 0,
+  kDecideIncluded = 1,
+  kDecideUndecided = 2,
+};
 
 /// Phase-3 backend: computes (or estimates) the qualification probability
 ///
@@ -75,6 +89,33 @@ class ProbabilityEvaluator {
       decisions[i] =
           QualificationDecision(query, *objects[i], delta, theta) ? 1 : 0;
     }
+  }
+
+  /// Deadline/cancellation-aware DecideBatch: decides candidates in order
+  /// until `control` fires, then marks every remaining candidate
+  /// kDecideUndecided and returns. Decided entries are bit-identical to
+  /// what the unbounded DecideBatch would have produced (the control only
+  /// truncates work, it never alters it). The default checks the control
+  /// between per-candidate decisions; sampling implementations override to
+  /// also check inside a candidate (between Wilson blocks), bounding the
+  /// overshoot past a deadline by one block instead of one candidate.
+  virtual void DecideBatchBounded(const core::GaussianDistribution& query,
+                                  const la::Vector* const* objects,
+                                  size_t count, double delta, double theta,
+                                  const SamplePool* pool,
+                                  const common::QueryControl& control,
+                                  char* states) {
+    const bool bounded = !control.Unbounded();
+    for (size_t i = 0; i < count; ++i) {
+      if (bounded && control.ShouldStop()) {
+        for (size_t j = i; j < count; ++j) states[j] = kDecideUndecided;
+        return;
+      }
+      states[i] = QualificationDecision(query, *objects[i], delta, theta)
+                      ? kDecideIncluded
+                      : kDecideExcluded;
+    }
+    (void)pool;
   }
 
   /// Implementation name for reports ("monte-carlo", "imhof", ...).

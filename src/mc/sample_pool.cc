@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -27,6 +28,7 @@ struct McMetrics {
   obs::Counter* samples_used;
   obs::Counter* early_stops;
   obs::Counter* undecided;
+  obs::Counter* interrupted;
 
   static const McMetrics& Get() {
     static const McMetrics metrics = [] {
@@ -37,13 +39,46 @@ struct McMetrics {
                        r.GetCounter("gprq.mc.decisions"),
                        r.GetCounter("gprq.mc.samples_used"),
                        r.GetCounter("gprq.mc.early_stops"),
-                       r.GetCounter("gprq.mc.undecided")};
+                       r.GetCounter("gprq.mc.undecided"),
+                       r.GetCounter("gprq.deadline.interrupted_decisions")};
     }();
     return metrics;
   }
 };
 
+// splitmix64 finalizer, the mixing step behind QueryFingerprint.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
+
+uint64_t QueryFingerprint(const core::GaussianDistribution& query) {
+  // Mean then the full covariance, row-major. Exact bit patterns: two
+  // queries hash equal iff they are numerically identical, which is the
+  // determinism contract (same query + same seed → same pool).
+  uint64_t h = Mix64(query.dim());
+  for (size_t i = 0; i < query.dim(); ++i) {
+    h = Mix64(h ^ DoubleBits(query.mean()[i]));
+  }
+  const la::Matrix& cov = query.covariance();
+  for (size_t i = 0; i < cov.rows(); ++i) {
+    for (size_t j = 0; j < cov.cols(); ++j) {
+      h = Mix64(h ^ DoubleBits(cov(i, j)));
+    }
+  }
+  return h;
+}
 
 int WilsonCompare(uint64_t hits, uint64_t n, double theta, double z) {
   assert(n > 0);
@@ -126,9 +161,22 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
   const McMetrics& metrics = McMetrics::Get();
   metrics.decisions->Add(1);
   const double delta_sq = delta * delta;
+  // Resolve the control once: unbounded controls never read the clock.
+  const common::QueryControl* control =
+      (options.control != nullptr && !options.control->Unbounded())
+          ? options.control
+          : nullptr;
   uint64_t n = 0;
   uint64_t hits = 0;
   while (n < samples_) {
+    if (control != nullptr && control->ShouldStop()) {
+      // Stopped mid-decision: report the work done but neither an early
+      // stop nor an undecided fallback — the candidate stays *undecided*
+      // in the degraded result, it did not "fall back" to an estimate.
+      metrics.samples_used->Add(n);
+      metrics.interrupted->Add(1);
+      return {false, n, false, true};
+    }
     const uint64_t end = std::min(n + options.block_samples, samples_);
     hits += CountWithin(object, delta_sq, n, end);
     n = end;

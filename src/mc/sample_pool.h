@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/gaussian.h"
 #include "la/vector.h"
 #include "rng/random.h"
@@ -18,6 +19,16 @@ namespace gprq::mc {
 /// are far from the θ boundary. Shared by AdaptiveMonteCarloEvaluator and
 /// SamplePool::Decide so both make identical sequential decisions.
 int WilsonCompare(uint64_t hits, uint64_t n, double theta, double z);
+
+/// A deterministic 64-bit digest of the query distribution (mean and
+/// covariance bit patterns, splitmix-mixed). Sampling evaluators fold it
+/// into their pool-stream seed so a query's shared sample pool depends only
+/// on (evaluator seed, query) — not on how many pools the evaluator built
+/// before. That makes Phase-3 results reproducible per query: resubmitting
+/// a query to a long-lived executor, or skipping a neighboring query (it
+/// expired, it was cancelled), leaves every other query's samples — and
+/// therefore its decisions — bit-identical.
+uint64_t QueryFingerprint(const core::GaussianDistribution& query);
 
 /// A per-query pool of samples from the query Gaussian N(q, Σ), shared by
 /// every Phase-3 candidate of that query.
@@ -75,6 +86,9 @@ class SamplePool {
     uint64_t block_samples = 4096;
     /// Confidence half-width in standard errors (see AdaptiveMonteCarlo).
     double confidence_z = 4.0;
+    /// Optional deadline/cancellation checked between blocks (never inside
+    /// the vectorized count). Null means unbounded — no clock reads.
+    const common::QueryControl* control = nullptr;
   };
   struct Decision {
     /// The Phase-3 answer: qualification probability ≥ θ.
@@ -84,6 +98,10 @@ class SamplePool {
     /// True when the pool was exhausted with θ still inside the interval;
     /// `qualifies` then falls back to the full-pool point estimate.
     bool undecided = false;
+    /// True when DecideOptions::control stopped the decision before it
+    /// resolved. `qualifies` is then meaningless and the candidate must be
+    /// surfaced as undecided, never guessed — the degradation contract.
+    bool interrupted = false;
   };
   /// Block-wise early-terminating decision: counts block_samples at a time
   /// and stops as soon as the Wilson interval of the running hit rate

@@ -17,6 +17,8 @@ struct EngineMetrics {
   Counter* accepted_bf_inner;
   Counter* phase3_candidates;
   Counter* results;
+  Counter* deadline_expired;
+  Counter* deadline_undecided;
   Histogram* prep_nanos;
   Histogram* phase1_nanos;
   Histogram* phase2_nanos;
@@ -37,6 +39,9 @@ struct EngineMetrics {
       m.accepted_bf_inner = r.GetCounter("gprq.engine.accepted.bf_inner");
       m.phase3_candidates = r.GetCounter("gprq.engine.phase3_candidates");
       m.results = r.GetCounter("gprq.engine.results");
+      m.deadline_expired = r.GetCounter("gprq.deadline.expired_queries");
+      m.deadline_undecided =
+          r.GetCounter("gprq.deadline.undecided_candidates");
       m.prep_nanos = r.GetHistogram("gprq.engine.phase.prep_nanos");
       m.phase1_nanos = r.GetHistogram("gprq.engine.phase.phase1_nanos");
       m.phase2_nanos = r.GetHistogram("gprq.engine.phase.phase2_nanos");
@@ -72,6 +77,10 @@ void PublishPhase3(const QueryTrace& trace) {
   const EngineMetrics& m = EngineMetrics::Get();
   m.phase3_nanos->Record(trace.phase_nanos[QueryTrace::kPhase3]);
   m.results->Add(trace.result_size);
+  if (trace.deadline_expired) {
+    m.deadline_expired->Add(1);
+    m.deadline_undecided->Add(trace.deadline_undecided);
+  }
 }
 
 }  // namespace gprq::obs

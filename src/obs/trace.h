@@ -72,6 +72,14 @@ struct QueryTrace {
   uint64_t result_size = 0;
   bool proved_empty = false;  // BF outer lookup proved the result empty
 
+  // ---- Graceful degradation: deadline/cancellation. ----
+  // The query's QueryControl fired mid-flight; the result is a sound
+  // partial answer (result_size proven qualifiers, deadline_undecided
+  // candidates left unresolved). Filled by the Phase-3 driver, published
+  // with PublishPhase3 under `gprq.deadline.*`.
+  bool deadline_expired = false;
+  uint64_t deadline_undecided = 0;
+
   double phase_seconds(Phase phase) const {
     return static_cast<double>(phase_nanos[phase]) * 1e-9;
   }

@@ -202,6 +202,72 @@ TEST(BatchExecutor, WorkerExceptionSurfacesAsInternalStatus) {
   EXPECT_EQ(again.status().code(), StatusCode::kInternal);
 }
 
+/// Throws only for queries carrying a magic delta — the tool for proving
+/// one poisoned query cannot leak into its batch-mates' answers.
+class SelectiveThrowingEvaluator : public mc::ProbabilityEvaluator {
+ public:
+  static constexpr double kPoisonDelta = 13.0;
+
+  double QualificationProbability(const core::GaussianDistribution& query,
+                                  const la::Vector& object,
+                                  double delta) override {
+    if (delta == kPoisonDelta) throw std::runtime_error("poisoned query");
+    return inner_.QualificationProbability(query, object, delta);
+  }
+  const char* name() const override { return "selective-throwing"; }
+
+ private:
+  mc::ImhofEvaluator inner_;
+};
+
+TEST(BatchExecutor, WorkerExceptionIsIsolatedToItsQueryInABatch) {
+  // Regression: one query's evaluator exception used to fail the whole
+  // batch; with per-query slots it degrades only its own PrqResult.
+  auto fixture = Fixture::Make(3000, 8);
+  const core::PrqEngine engine(&fixture.tree);
+  const auto factory =
+      [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<SelectiveThrowingEvaluator>();
+  };
+  auto executor = BatchExecutor::Create(&engine, factory, 3);
+  ASSERT_TRUE(executor.ok());
+
+  std::vector<core::PrqQuery> queries;
+  for (size_t q = 0; q < 5; ++q) {
+    queries.push_back(MakeQuery(fixture, q * 509, 10.0, 25.0, 0.01));
+  }
+  // The middle query triggers the throw on every Phase-3 evaluation.
+  queries[2].delta = SelectiveThrowingEvaluator::kPoisonDelta;
+
+  auto batch = (*executor)->SubmitBatchBounded(queries, core::PrqOptions());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  EXPECT_EQ((*batch)[2].status.code(), StatusCode::kInternal);
+  EXPECT_NE((*batch)[2].status.message().find("poisoned query"),
+            std::string::npos);
+
+  mc::ImhofEvaluator exact;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (q == 2) continue;
+    ASSERT_TRUE((*batch)[q].complete()) << "query " << q << " was poisoned";
+    auto sequential = engine.Execute(queries[q], core::PrqOptions(), &exact);
+    ASSERT_TRUE(sequential.ok());
+    std::vector<index::ObjectId> expected = *sequential,
+                                 got = (*batch)[q].ids;
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+  // The poisoned query's candidates are surfaced, not silently dropped.
+  core::PrqStats stats;
+  core::PrqEngine::FilterOutcome outcome;
+  ASSERT_TRUE(engine
+                  .RunFilterPhases(queries[2], core::PrqOptions(), &outcome,
+                                   &stats)
+                  .ok());
+  EXPECT_EQ((*batch)[2].undecided.size(), outcome.survivors.size());
+}
+
 TEST(BatchExecutor, SnapshotAggregatesThroughputCounters) {
   auto fixture = Fixture::Make(3000, 7);
   const core::PrqEngine engine(&fixture.tree);

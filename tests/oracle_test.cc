@@ -1,0 +1,211 @@
+// Differential-oracle battery: the three-phase engine against the
+// brute-force NaivePrq scan, with both sides deciding through the same
+// exact (Imhof) evaluator — any disagreement is a filter unsoundness or an
+// index bug, not numerics. Randomized workloads sweep dimension
+// (d ∈ {2, 3, 9}), anisotropic rotated covariances, and thresholds both
+// near the tails and around θ = 1/2 (where the RR θ-region degenerates).
+// Also: filter combinations may only change candidate counts, never the
+// result set, and Monte-Carlo disagreements with the oracle may occur only
+// where the true probability is within sampling tolerance of θ.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/naive.h"
+#include "index/str_bulk_load.h"
+#include "mc/adaptive_monte_carlo.h"
+#include "mc/exact_evaluator.h"
+#include "workload/generators.h"
+
+namespace gprq::core {
+namespace {
+
+constexpr double kThetas[] = {0.05, 0.45, 0.5, 0.55, 0.95};
+
+struct Workload {
+  workload::Dataset dataset;
+  index::RStarTree tree;
+  GaussianDistribution query_object;
+  double delta;
+};
+
+/// A d-dimensional clustered dataset with a query centered on one of its
+/// points, under an anisotropic covariance rotated by a random basis.
+Workload MakeWorkload(size_t dim, size_t n, const la::Vector& axis_stddevs,
+                      double delta, size_t center_index, uint64_t seed) {
+  la::Vector lo(dim), hi(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    lo[i] = 0.0;
+    hi[i] = 1000.0;
+  }
+  auto dataset = workload::GenerateClustered(n, geom::Rect(lo, hi), 10, 35.0,
+                                             seed);
+  auto tree = index::StrBulkLoader::Load(dim, dataset.points);
+  EXPECT_TRUE(tree.ok());
+  auto g = GaussianDistribution::Create(
+      dataset.points[center_index % dataset.size()],
+      workload::RandomRotatedCovariance(axis_stddevs, seed * 7919 + dim));
+  EXPECT_TRUE(g.ok());
+  return Workload{std::move(dataset), std::move(*tree), std::move(*g), delta};
+}
+
+std::vector<index::ObjectId> Sorted(std::vector<index::ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ExpectEngineMatchesOracle(const Workload& workload) {
+  const PrqEngine engine(&workload.tree);
+  mc::ImhofEvaluator exact;
+  // One exact probability per object, shared by the whole θ sweep — the
+  // oracle answer for any θ is a threshold over these. (Calling NaivePrq
+  // per θ would redo the full exact scan five times.)
+  std::vector<double> probability(workload.dataset.size());
+  for (size_t i = 0; i < workload.dataset.size(); ++i) {
+    probability[i] = exact.QualificationProbability(
+        workload.query_object, workload.dataset.points[i], workload.delta);
+  }
+  const auto oracle_for = [&](double theta) {
+    std::vector<index::ObjectId> ids;
+    for (size_t i = 0; i < probability.size(); ++i) {
+      if (probability[i] >= theta) {
+        ids.push_back(static_cast<index::ObjectId>(i));
+      }
+    }
+    return ids;
+  };
+  // NaivePrq is itself cross-checked against the thresholding once, so the
+  // sweep below really compares the engine to the brute-force scan.
+  const PrqQuery parity{workload.query_object, workload.delta, 0.45};
+  auto naive = NaivePrq(workload.dataset.points, parity, &exact);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(Sorted(*naive), oracle_for(0.45));
+
+  size_t nonempty = 0;
+  for (const double theta : kThetas) {
+    const PrqQuery query{workload.query_object, workload.delta, theta};
+    const auto oracle = oracle_for(theta);
+    auto engine_result = engine.Execute(query, PrqOptions(), &exact);
+    ASSERT_TRUE(engine_result.ok());
+    EXPECT_EQ(Sorted(*engine_result), oracle)
+        << "d=" << workload.dataset.dim << " theta=" << theta;
+    if (!oracle.empty()) ++nonempty;
+  }
+  // At least the permissive thresholds must answer something, or the sweep
+  // proves nothing.
+  EXPECT_GT(nonempty, 0u) << "degenerate workload, d="
+                          << workload.dataset.dim;
+}
+
+TEST(Oracle, EngineMatchesNaiveScan2D) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ExpectEngineMatchesOracle(MakeWorkload(
+        2, 2500, la::Vector{24.0, 8.0}, 30.0, seed * 997, seed));
+  }
+}
+
+TEST(Oracle, EngineMatchesNaiveScan3D) {
+  for (uint64_t seed = 4; seed <= 5; ++seed) {
+    ExpectEngineMatchesOracle(MakeWorkload(
+        3, 1000, la::Vector{30.0, 10.0, 5.0}, 90.0, seed * 997, seed));
+  }
+}
+
+TEST(Oracle, EngineMatchesNaiveScan9D) {
+  // The paper's hard regime: medium dimensionality with a strongly
+  // anisotropic Σ, where the rectilinear filters are at their weakest.
+  const la::Vector stddevs{40.0, 25.0, 20.0, 15.0, 12.0,
+                           10.0, 8.0,  6.0,  4.0};
+  for (uint64_t seed = 7; seed <= 8; ++seed) {
+    ExpectEngineMatchesOracle(
+        MakeWorkload(9, 400, stddevs, 250.0, seed * 997, seed));
+  }
+}
+
+TEST(Oracle, FilterCombinationsChangeCandidateCountsNotResults) {
+  const auto workload =
+      MakeWorkload(2, 3000, la::Vector{24.0, 8.0}, 30.0, 421, 9);
+  const PrqEngine engine(&workload.tree);
+  mc::ImhofEvaluator exact;
+  const StrategyMask masks[] = {kStrategyRR,
+                                kStrategyOR,
+                                kStrategyBF,
+                                kStrategyRR | kStrategyBF,
+                                kStrategyRR | kStrategyOR,
+                                kStrategyBF | kStrategyOR,
+                                kStrategyAll};
+  for (const double theta : {0.05, 0.45}) {
+    const PrqQuery query{workload.query_object, workload.delta, theta};
+    std::vector<index::ObjectId> reference;
+    size_t all_candidates = 0;
+    size_t rr_bf_candidates = 0;
+    for (const StrategyMask mask : masks) {
+      PrqOptions options;
+      options.strategies = mask;
+      PrqStats stats;
+      auto result = engine.Execute(query, options, &exact, &stats);
+      ASSERT_TRUE(result.ok()) << StrategyName(mask);
+      auto sorted = Sorted(*result);
+      if (mask == masks[0]) {
+        reference = sorted;
+      } else {
+        EXPECT_EQ(sorted, reference)
+            << StrategyName(mask) << " changed the result set, theta="
+            << theta;
+      }
+      if (mask == kStrategyAll) all_candidates = stats.integration_candidates;
+      if (mask == (kStrategyRR | kStrategyBF)) {
+        rr_bf_candidates = stats.integration_candidates;
+      }
+    }
+    // More filters may only shrink Phase 3 (both masks accept through the
+    // same BF inner radius, so the counts are directly comparable).
+    EXPECT_LE(all_candidates, rr_bf_candidates) << "theta=" << theta;
+  }
+}
+
+TEST(Oracle, MonteCarloMismatchesStayWithinSamplingToleranceOfTheta) {
+  const auto workload =
+      MakeWorkload(2, 3000, la::Vector{24.0, 8.0}, 30.0, 1103, 10);
+  const PrqEngine engine(&workload.tree);
+  mc::ImhofEvaluator exact;
+  mc::AdaptiveMonteCarloEvaluator sampler(
+      mc::AdaptiveMonteCarloOptions{.max_samples = 100000, .seed = 99});
+
+  for (const double theta : {0.3, 0.5}) {
+    const PrqQuery query{workload.query_object, workload.delta, theta};
+    auto oracle = NaivePrq(workload.dataset.points, query, &exact);
+    ASSERT_TRUE(oracle.ok());
+    auto sampled = engine.Execute(query, PrqOptions(), &sampler);
+    ASSERT_TRUE(sampled.ok());
+
+    const std::set<index::ObjectId> exact_set(oracle->begin(), oracle->end());
+    const std::set<index::ObjectId> mc_set(sampled->begin(), sampled->end());
+    // z = 4 over <= 100k samples puts the decision boundary's gray zone at
+    // ~4·sqrt(0.25/1e5) ≈ 0.006; anything further from θ than 0.02 is a
+    // genuine bug, not sampling noise.
+    constexpr double kTolerance = 0.02;
+    for (const auto id : exact_set) {
+      if (mc_set.count(id)) continue;
+      const double p = exact.QualificationProbability(
+          query.query_object, workload.dataset.points[id], query.delta);
+      EXPECT_NEAR(p, theta, kTolerance)
+          << "MC dropped id " << id << " whose probability is far from θ";
+    }
+    for (const auto id : mc_set) {
+      if (exact_set.count(id)) continue;
+      const double p = exact.QualificationProbability(
+          query.query_object, workload.dataset.points[id], query.delta);
+      EXPECT_NEAR(p, theta, kTolerance)
+          << "MC kept id " << id << " whose probability is far from θ";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gprq::core

@@ -29,6 +29,9 @@ TEST(Status, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError), "NumericalError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(Status, EqualityComparesCodeAndMessage) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -109,6 +110,12 @@ TEST(WorkerPool, ContainsTaskExceptions) {
   });
   after.Wait();
   EXPECT_TRUE(ran.load());
+  // The throwing task counts the latch down *before* it throws, so the
+  // worker may still be inside its catch block here — wait for the
+  // counter rather than racing it.
+  for (int i = 0; i < 10000 && pool.dropped_exceptions() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(pool.dropped_exceptions(), 1u);
 }
 

@@ -22,6 +22,7 @@
 #include "core/engine.h"
 #include "core/histogram.h"
 #include "core/pnn.h"
+#include "fault/failpoint.h"
 #include "index/paged_tree.h"
 #include "index/str_bulk_load.h"
 #include "mc/adaptive_monte_carlo.h"
@@ -347,6 +348,13 @@ int RunEstimate(const FlagSet& flags) {
 }
 
 int Main(int argc, char** argv) {
+  // Operators can inject faults without code changes:
+  //   GPRQ_FAILPOINTS='index.page_file.read=error(io,p=0.01)' gprq_cli ...
+  if (const Status armed = fault::FailpointRegistry::Global().ArmFromEnv();
+      !armed.ok()) {
+    Fail(armed);
+    return 2;
+  }
   std::vector<std::string> args(argv + 1, argv + argc);
   auto flags = FlagSet::Parse(args);
   if (!flags.ok()) {
