@@ -1,0 +1,356 @@
+// Overload bench: an open-loop Poisson load generator against the governed
+// BatchExecutor. A closed-loop warmup measures the executor's capacity
+// (queries/second at saturation, no queuing), then each load multiplier
+// (default 0.5x / 1x / 2x capacity) drives open-loop arrivals — the
+// arrival clock does not wait for responses, which is what makes overload
+// real: at 2x capacity an unprotected server's queue and latency grow
+// without bound, while admission control converts the excess into fast
+// ResourceExhausted rejections and brownout keeps the admitted queries'
+// tail latency bounded.
+//
+// The query mix is deliberately heterogeneous (the paper's cost model:
+// Phase-3 work swings 20-87x with the query Σ): half the queries use a
+// tight gamma=10 covariance, half a vague gamma=100 one.
+//
+// Per multiplier the bench reports offered load, goodput (complete
+// answers), brownout rate (admitted but degraded), shed rate (rejected at
+// admission), and p50/p99 latency of admitted queries. Records land in
+// BENCH_overload.json (GPRQ_BENCH_JSON overrides the path).
+//
+// Environment knobs:
+//   GPRQ_OVERLOAD_SECONDS  seconds of open-loop load per multiplier (3)
+//   GPRQ_OVERLOAD_MULTS    comma-separated load multipliers ("0.5,1,2")
+//   GPRQ_OVERLOAD_CLIENTS  open-loop client threads (4)
+//   GPRQ_OVERLOAD_ASSERT   when set: exit 1 unless the >=2x run shed a
+//                          nonzero fraction and no query errored — the CI
+//                          smoke contract
+//   GPRQ_MC_SAMPLES        Monte-Carlo samples per integration (20000)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/batch_executor.h"
+#include "exec/overload.h"
+#include "mc/adaptive_monte_carlo.h"
+#include "rng/random.h"
+#include "workload/generators.h"
+
+namespace gprq {
+namespace {
+
+struct LoadResult {
+  double offered_qps = 0.0;
+  double seconds = 0.0;
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;  // complete answers (goodput)
+  uint64_t browned = 0;    // admitted, degraded (ResourceExhausted/deadline
+                           // with partial content)
+  uint64_t shed = 0;       // rejected at admission, no work done
+  uint64_t errors = 0;     // anything outside the overload contract
+  double p50_ms = 0.0;     // latency of admitted queries
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
+
+std::vector<double> ParseMults(const char* env) {
+  std::vector<double> mults;
+  if (env != nullptr && *env != '\0') {
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string part = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (!part.empty()) mults.push_back(std::strtod(part.c_str(), nullptr));
+    }
+  }
+  if (mults.empty()) mults = {0.5, 1.0, 2.0};
+  return mults;
+}
+
+class QueryMix {
+ public:
+  QueryMix(const workload::Dataset& dataset, uint64_t seed)
+      : dataset_(dataset),
+        tight_(workload::PaperCovariance2D(10.0)),
+        vague_(workload::PaperCovariance2D(100.0)),
+        random_(seed) {}
+
+  /// Alternates cheap/expensive Σ over random centers; every other call is
+  /// an order of magnitude more Phase-3 work than its neighbor.
+  core::PrqQuery Next() {
+    const la::Vector& center =
+        dataset_.points[random_.NextUint64(dataset_.size())];
+    const bool expensive = (++draws_ % 2) == 0;
+    auto g = core::GaussianDistribution::Create(
+        center, expensive ? vague_ : tight_);
+    if (!g.ok()) std::abort();
+    return core::PrqQuery{std::move(*g), 25.0, 0.01};
+  }
+
+  /// Exponential inter-arrival gap for a Poisson process of `rate` qps.
+  double NextGapSeconds(double rate) {
+    const double u = random_.NextDouble();
+    return -std::log(1.0 - u) / rate;
+  }
+
+  int NextPriority() {
+    const uint64_t draw = random_.NextUint64(10);
+    if (draw == 0) return core::kPriorityBackground;
+    if (draw == 1) return core::kPriorityCritical;
+    return core::kPriorityNormal;
+  }
+
+ private:
+  const workload::Dataset& dataset_;
+  la::Matrix tight_;
+  la::Matrix vague_;
+  rng::Random random_;
+  uint64_t draws_ = 0;
+};
+
+core::PrqEngine::EvaluatorFactory AdaptiveFactory(uint64_t samples) {
+  return [samples](size_t worker) {
+    return std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
+        mc::AdaptiveMonteCarloOptions{.max_samples = samples,
+                                      .seed = 100 + worker});
+  };
+}
+
+/// Closed-loop capacity: one client, back-to-back queries, no admission
+/// pressure. Offered load for the open-loop phases is a multiple of this.
+double MeasureCapacityQps(exec::BatchExecutor* executor, QueryMix* mix) {
+  // Warm the catalogs and evaluator streams first.
+  for (int i = 0; i < 4; ++i) {
+    auto r = executor->SubmitBounded(mix->Next(), core::PrqOptions());
+    if (!r.ok()) std::abort();
+  }
+  Stopwatch watch;
+  uint64_t completed = 0;
+  while (watch.ElapsedSeconds() < 1.0) {
+    auto r = executor->SubmitBounded(mix->Next(), core::PrqOptions());
+    if (!r.ok()) std::abort();
+    // Only finished answers are capacity; rejections return in ~1us and
+    // would inflate the closed-loop rate by orders of magnitude.
+    if (r->status.code() == StatusCode::kOk) ++completed;
+  }
+  return static_cast<double>(completed) / watch.ElapsedSeconds();
+}
+
+LoadResult RunOpenLoop(exec::BatchExecutor* executor,
+                       const workload::Dataset& dataset, double offered_qps,
+                       double seconds, size_t clients) {
+  LoadResult result;
+  result.offered_qps = offered_qps;
+
+  std::atomic<uint64_t> arrivals{0}, completed{0}, browned{0}, shed{0},
+      errors{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      QueryMix mix(dataset, 1000 + 17 * c);
+      const double rate = offered_qps / static_cast<double>(clients);
+      Stopwatch clock;
+      double next_arrival = mix.NextGapSeconds(rate);
+      while (clock.ElapsedSeconds() < seconds) {
+        const double now = clock.ElapsedSeconds();
+        if (now < next_arrival) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(next_arrival - now, seconds - now)));
+          continue;
+        }
+        next_arrival += mix.NextGapSeconds(rate);
+        ++arrivals;
+        core::PrqOptions options;
+        options.priority = mix.NextPriority();
+        obs::QueryTrace trace;
+        Stopwatch latency;
+        auto answer = executor->SubmitBounded(mix.Next(), options, nullptr,
+                                              &trace);
+        const double ms = latency.ElapsedSeconds() * 1e3;
+        if (!answer.ok()) {
+          ++errors;
+          continue;
+        }
+        switch (answer->status.code()) {
+          case StatusCode::kOk:
+            ++completed;
+            latencies[c].push_back(ms);
+            break;
+          case StatusCode::kResourceExhausted:
+            if (trace.shed) {
+              ++shed;
+            } else {
+              ++browned;
+              latencies[c].push_back(ms);
+            }
+            break;
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kCancelled:
+            ++browned;
+            latencies[c].push_back(ms);
+            break;
+          default:
+            ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  result.seconds = wall.ElapsedSeconds();
+  result.arrivals = arrivals;
+  result.completed = completed;
+  result.browned = browned;
+  result.shed = shed;
+  result.errors = errors;
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.p50_ms = Percentile(&all, 0.50);
+  result.p99_ms = Percentile(&all, 0.99);
+  return result;
+}
+
+int Run() {
+  const uint64_t samples = bench::EnvOr("GPRQ_MC_SAMPLES", 20000);
+  const uint64_t seconds = bench::EnvOr("GPRQ_OVERLOAD_SECONDS", 3);
+  const uint64_t clients = bench::EnvOr("GPRQ_OVERLOAD_CLIENTS", 4);
+  const std::vector<double> mults =
+      ParseMults(std::getenv("GPRQ_OVERLOAD_MULTS"));
+  const bool assert_mode = std::getenv("GPRQ_OVERLOAD_ASSERT") != nullptr;
+
+  const geom::Rect extent(la::Vector{0.0, 0.0}, la::Vector{1000.0, 1000.0});
+  const auto dataset = workload::GenerateClustered(20000, extent, 24, 30.0,
+                                                   2009);
+  const auto tree = bench::BuildTree(dataset);
+  const core::PrqEngine engine(&tree);
+  engine.radius_catalog();
+  engine.alpha_catalog();
+
+  exec::OverloadPolicy policy;
+  policy.max_inflight_cost = 400.0;
+  policy.max_queue_depth = 2 * clients;
+  policy.max_queue_wait_seconds = 0.25;
+  policy.brownout_watermark_seconds = 0.005;
+  policy.shed_watermark_seconds = 0.050;
+  policy.brownout_deadline_seconds = 0.050;
+  policy.brownout_sample_budget = 4096;
+  auto executor = exec::BatchExecutor::Create(
+      &engine, AdaptiveFactory(samples), 2, policy);
+  if (!executor.ok()) {
+    std::fprintf(stderr, "executor: %s\n",
+                 executor.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryMix warmup_mix(dataset, 7);
+  const double capacity = MeasureCapacityQps(executor->get(), &warmup_mix);
+  std::printf("Overload bench: governed BatchExecutor, %llu-point dataset, "
+              "%llu clients, %llu s per load level\n"
+              "closed-loop capacity: %.1f qps\n\n",
+              static_cast<unsigned long long>(dataset.size()),
+              static_cast<unsigned long long>(clients),
+              static_cast<unsigned long long>(seconds), capacity);
+
+  std::printf("%-8s%12s%12s%12s%10s%10s%12s%12s\n", "load", "offered",
+              "goodput", "arrivals", "shed%", "brown%", "p50 (ms)",
+              "p99 (ms)");
+  bench::Rule(88);
+
+  bench::JsonReport report;
+  bool assert_failed = false;
+  bool saw_overload_shed = false;
+  uint64_t total_errors = 0;
+  for (const double mult : mults) {
+    const LoadResult r =
+        RunOpenLoop(executor->get(), dataset, mult * capacity,
+                    static_cast<double>(seconds), clients);
+    const double denom =
+        std::max<double>(1.0, static_cast<double>(r.arrivals));
+    const double goodput =
+        static_cast<double>(r.completed) / std::max(r.seconds, 1e-9);
+    const double shed_rate = static_cast<double>(r.shed) / denom;
+    const double brown_rate = static_cast<double>(r.browned) / denom;
+    std::printf("%-8.2g%12.1f%12.1f%12llu%9.1f%%%9.1f%%%12.2f%12.2f\n",
+                mult, r.offered_qps, goodput,
+                static_cast<unsigned long long>(r.arrivals),
+                100.0 * shed_rate, 100.0 * brown_rate, r.p50_ms, r.p99_ms);
+    total_errors += r.errors;
+    if (mult >= 2.0 && r.shed > 0) saw_overload_shed = true;
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "overload_%gx", mult);
+    report.Add(name,
+               bench::JsonReport::Metrics{
+                   {"multiplier", mult},
+                   {"capacity_qps", capacity},
+                   {"offered_qps", r.offered_qps},
+                   {"goodput_qps", goodput},
+                   {"arrivals", static_cast<double>(r.arrivals)},
+                   {"completed", static_cast<double>(r.completed)},
+                   {"browned_out", static_cast<double>(r.browned)},
+                   {"shed", static_cast<double>(r.shed)},
+                   {"errors", static_cast<double>(r.errors)},
+                   {"shed_rate", shed_rate},
+                   {"brownout_rate", brown_rate},
+                   {"p50_ms", r.p50_ms},
+                   {"p99_ms", r.p99_ms},
+               });
+  }
+  std::printf("\nshed responses carry ResourceExhausted with a "
+              "retry_after_ms hint; browned-out answers keep ids exact and "
+              "list the remainder as undecided.\n");
+
+  const char* json_env = std::getenv("GPRQ_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_overload.json";
+  if (report.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (assert_mode) {
+    bool overloaded_level_ran = false;
+    for (const double mult : mults) overloaded_level_ran |= mult >= 2.0;
+    if (total_errors > 0) {
+      std::fprintf(stderr, "ASSERT: %llu queries returned an unexpected "
+                   "error\n",
+                   static_cast<unsigned long long>(total_errors));
+      assert_failed = true;
+    }
+    if (overloaded_level_ran && !saw_overload_shed) {
+      std::fprintf(stderr, "ASSERT: the >=2x load level shed nothing — "
+                   "admission control did not engage\n");
+      assert_failed = true;
+    }
+    if (!assert_failed) std::printf("overload assertions passed\n");
+  }
+  return assert_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() { return gprq::Run(); }

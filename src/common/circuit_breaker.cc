@@ -1,0 +1,172 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace gprq::common {
+namespace {
+
+// Breaker telemetry, resolved once. Every breaker in the process shares
+// these counters; the state gauge reflects the most recent transition,
+// which is exact in the expected single-breaker deployment (one per paged
+// tree) and still a usable "something is open" signal with several.
+struct BreakerMetrics {
+  obs::Counter* trips;
+  obs::Counter* fast_fails;
+  obs::Counter* probes;
+  obs::Counter* recoveries;
+  obs::Gauge* state;
+
+  static const BreakerMetrics& Get() {
+    static const BreakerMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return BreakerMetrics{r.GetCounter("gprq.overload.breaker.trips"),
+                            r.GetCounter("gprq.overload.breaker.fast_fails"),
+                            r.GetCounter("gprq.overload.breaker.probes"),
+                            r.GetCounter("gprq.overload.breaker.recoveries"),
+                            r.GetGauge("gprq.overload.breaker.state")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status CircuitBreakerOptions::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument("failure_threshold must be >= 1");
+  }
+  if (!(open_seconds > 0.0)) {
+    return Status::InvalidArgument("open_seconds must be > 0");
+  }
+  if (half_open_probes < 1) {
+    return Status::InvalidArgument("half_open_probes must be >= 1");
+  }
+  return Status::OK();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               std::string name)
+    : options_{std::max(options.failure_threshold, 1),
+               std::max(options.open_seconds, 1e-6),
+               std::max(options.half_open_probes, 1)},
+      name_(std::move(name)) {}
+
+Status CircuitBreaker::RejectedStatus(double retry_after_seconds) const {
+  char msg[160];
+  std::snprintf(msg, sizeof(msg),
+                "circuit breaker open for %s; retry_after_ms=%d",
+                name_.c_str(),
+                std::max(1, static_cast<int>(retry_after_seconds * 1e3)));
+  return Status::ResourceExhausted(msg);
+}
+
+Status CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen: {
+      const Clock::time_point now = Clock::now();
+      if (now < reopen_at_) {
+        BreakerMetrics::Get().fast_fails->Add(1);
+        return RejectedStatus(
+            std::chrono::duration<double>(reopen_at_ - now).count());
+      }
+      // Open timer elapsed: move to half-open and admit this call as the
+      // first probe.
+      state_ = State::kHalfOpen;
+      probes_inflight_ = 1;
+      probe_successes_ = 0;
+      BreakerMetrics::Get().probes->Add(1);
+      BreakerMetrics::Get().state->Set(static_cast<int64_t>(state_));
+      return Status::OK();
+    }
+    case State::kHalfOpen: {
+      if (probes_inflight_ + probe_successes_ < options_.half_open_probes) {
+        ++probes_inflight_;
+        BreakerMetrics::Get().probes->Add(1);
+        return Status::OK();
+      }
+      // Probe quota taken: keep other callers out until the probes report.
+      BreakerMetrics::Get().fast_fails->Add(1);
+      return RejectedStatus(options_.open_seconds);
+    }
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probes_inflight_ = std::max(probes_inflight_ - 1, 0);
+    if (++probe_successes_ >= options_.half_open_probes) {
+      state_ = State::kClosed;
+      probes_inflight_ = 0;
+      probe_successes_ = 0;
+      BreakerMetrics::Get().recoveries->Add(1);
+      BreakerMetrics::Get().state->Set(static_cast<int64_t>(state_));
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately: the dependency is still down.
+    state_ = State::kOpen;
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+    ++trips_;
+    consecutive_failures_ = options_.failure_threshold;
+    reopen_at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        options_.open_seconds));
+    BreakerMetrics::Get().trips->Add(1);
+    BreakerMetrics::Get().state->Set(static_cast<int64_t>(state_));
+    return;
+  }
+  if (state_ == State::kOpen) return;  // not an admitted call; ignore
+  if (++consecutive_failures_ >=
+      static_cast<uint64_t>(options_.failure_threshold)) {
+    state_ = State::kOpen;
+    ++trips_;
+    reopen_at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        options_.open_seconds));
+    BreakerMetrics::Get().trips->Add(1);
+    BreakerMetrics::Get().state->Set(static_cast<int64_t>(state_));
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace gprq::common

@@ -1,0 +1,88 @@
+#ifndef GPRQ_COMMON_CIRCUIT_BREAKER_H_
+#define GPRQ_COMMON_CIRCUIT_BREAKER_H_
+
+// A generic circuit breaker for fallible dependencies (the paged tree's
+// page reads, concretely). The existing per-query retry loop
+// (PagedRStarTree::GetPageWithRetry) handles *transient* faults well, but
+// when storage is persistently failing every query burns its full retry
+// budget — attempts × backoff — before degrading. The breaker converts
+// that into a fast ResourceExhausted after `failure_threshold` consecutive
+// failures, then periodically lets a probe through (half-open) to detect
+// recovery, so storage faults cost microseconds instead of retry storms.
+//
+// Closed ──(N consecutive failures)──▶ Open ──(open_seconds)──▶ HalfOpen
+//   ▲                                                │        │
+//   └────────(half_open_probes successes)────────────┘        │
+//                 Open ◀──────(any probe failure)─────────────┘
+//
+// Usage contract: call Allow() before the protected operation; when it
+// returns OK, report the outcome with exactly one RecordSuccess() or
+// RecordFailure(). When Allow() rejects, skip the operation and propagate
+// the returned ResourceExhausted (it carries a retry_after_ms hint).
+// Thread-safe; all transitions happen under one mutex (the protected
+// operations are I/O, orders of magnitude slower than the lock).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace gprq::common {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before letting a probe through.
+  double open_seconds = 0.1;
+  /// Probe successes required in half-open before closing again.
+  int half_open_probes = 1;
+
+  Status Validate() const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// `name` labels rejection messages (e.g. "paged-tree reads"); caller
+  /// validates options (invalid fields are clamped to their minimums).
+  explicit CircuitBreaker(CircuitBreakerOptions options = {},
+                          std::string name = "dependency");
+
+  /// OK when the protected call may proceed (closed, or an admitted
+  /// half-open probe); ResourceExhausted with a retry_after_ms hint while
+  /// open or while the probe quota is taken.
+  Status Allow();
+
+  /// Outcome reports for a call Allow() admitted.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  uint64_t consecutive_failures() const;
+  uint64_t trips() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Status RejectedStatus(double retry_after_seconds) const;
+
+  const CircuitBreakerOptions options_;
+  const std::string name_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t trips_ = 0;
+  int probes_inflight_ = 0;
+  int probe_successes_ = 0;
+  Clock::time_point reopen_at_{};
+};
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace gprq::common
+
+#endif  // GPRQ_COMMON_CIRCUIT_BREAKER_H_

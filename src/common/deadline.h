@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <limits>
 #include <memory>
 
@@ -105,6 +106,13 @@ struct QueryControl {
   Deadline deadline;
   CancellationToken cancel;
 
+  /// Per-candidate cap on Phase-3 Monte-Carlo samples; 0 means unlimited.
+  /// Set by the brownout controller under overload: the sample pool is a
+  /// pure function of (seed, query), so a capped decision either matches
+  /// the unloaded run bit-for-bit or comes back explicitly undecided —
+  /// returned ids stay exact under degradation.
+  uint64_t sample_budget = 0;
+
   static QueryControl Unlimited() { return QueryControl(); }
 
   static QueryControl WithDeadline(Deadline d) {
@@ -113,10 +121,11 @@ struct QueryControl {
     return control;
   }
 
-  /// True when neither a deadline nor a cancel flag is set — the fast path
-  /// that lets ShouldStop be skipped without reading the clock.
+  /// True when no deadline, cancel flag, or sample budget is set — the
+  /// fast path that lets ShouldStop be skipped without reading the clock.
   bool Unbounded() const {
-    return deadline.is_infinite() && !cancel.can_be_cancelled();
+    return deadline.is_infinite() && !cancel.can_be_cancelled() &&
+           sample_budget == 0;
   }
 
   /// True when the query must stop now and degrade: cancelled, or past the

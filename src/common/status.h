@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,  // query deadline fired; partial results may exist
   kCancelled,         // query cancelled via a CancellationToken
+  kResourceExhausted,  // overloaded: shed at admission, sample budget spent,
+                       // or a tripped circuit breaker; retryable
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -58,6 +60,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

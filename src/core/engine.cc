@@ -345,6 +345,14 @@ Result<PrqResult> PrqEngine::ExecuteBounded(const PrqQuery& query,
       trace.integrations = decided;
       if (!result.undecided.empty()) {
         result.status = control.StopStatus();
+        if (result.status.ok() && control.sample_budget > 0) {
+          // Brownout degradation: the per-candidate sample budget ran out
+          // before the confidence interval separated. The decided ids are
+          // still exact; the remainder is explicitly undecided.
+          result.status = Status::ResourceExhausted(
+              "Phase-3 sample budget exhausted; undecided candidates "
+              "remain");
+        }
         if (result.status.ok()) {
           result.status = Status::Internal(
               "bounded decide left candidates undecided without a stop "

@@ -17,6 +17,13 @@
 
 namespace gprq::core {
 
+/// Query criticality levels for overload admission (exec::OverloadPolicy):
+/// under pressure the serving layer sheds lower priorities first. Plain
+/// ints so callers can define intermediate levels; only the order matters.
+inline constexpr int kPriorityBackground = 0;
+inline constexpr int kPriorityNormal = 1;
+inline constexpr int kPriorityCritical = 2;
+
 /// Engine-level options selecting strategies and catalog behavior.
 struct PrqOptions {
   /// Which filtering strategies to combine (Section V-A evaluates RR, BF,
@@ -47,6 +54,12 @@ struct PrqOptions {
   /// ExecuteParallel) fail with the control's StopStatus — they have no way
   /// to mark the unresolved remainder and must not guess.
   common::QueryControl control;
+
+  /// Criticality under overload (kPriorityBackground/Normal/Critical).
+  /// Ignored unless the query goes through a BatchExecutor with an
+  /// OverloadPolicy installed; then the load shedder rejects
+  /// lower-priority queries first when watermarks are crossed.
+  int priority = kPriorityNormal;
 };
 
 /// Three-phase processor for probabilistic range queries over an R*-tree of
@@ -154,6 +167,10 @@ class PrqEngine {
   /// The engine's catalogs (built on demand); exposed for benches/tests.
   const RadiusCatalog& radius_catalog() const;
   const AlphaCatalog& alpha_catalog() const;
+
+  /// The indexed dataset; exposed so admission control can derive a
+  /// dataset-density cost proxy (exec::EstimateQueryCost).
+  const index::RStarTree& tree() const { return *tree_; }
 
  private:
   const index::RStarTree* tree_;

@@ -60,11 +60,16 @@ bool IsStopStatus(const Status& status) {
 // never fired (defensive — undecided candidates must never go unexplained).
 Status DegradedStatus(const common::QueryControl& control) {
   Status status = control.StopStatus();
-  if (status.ok()) {
-    return Status::Internal(
-        "candidates left undecided without a stop condition");
+  if (!status.ok()) return status;
+  if (control.sample_budget > 0) {
+    // Brownout: the per-candidate sample budget ran out before the
+    // confidence interval separated. Decided ids are exact; the remainder
+    // is explicit.
+    return Status::ResourceExhausted(
+        "Phase-3 sample budget exhausted; undecided candidates remain");
   }
-  return status;
+  return Status::Internal(
+      "candidates left undecided without a stop condition");
 }
 
 }  // namespace
@@ -94,7 +99,6 @@ BatchExecutor::BatchExecutor(
   metrics_.accepted_without_integration =
       registry.GetCounter("gprq.exec.accepted_without_integration");
   metrics_.results = registry.GetCounter("gprq.exec.results");
-  metrics_.queue_depth = registry.GetGauge("gprq.exec.queue_depth");
   metrics_.num_workers = registry.GetGauge("gprq.exec.num_workers");
   metrics_.phase3_nanos = registry.GetHistogram("gprq.exec.phase3_nanos");
   metrics_.worker_integrations.reserve(pool_.num_workers());
@@ -143,6 +147,26 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
   }
   return std::unique_ptr<BatchExecutor>(
       new BatchExecutor(engine, std::move(evaluators)));
+}
+
+Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
+    const core::PrqEngine* engine,
+    const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads,
+    const OverloadPolicy& policy) {
+  Result<std::unique_ptr<BatchExecutor>> executor =
+      Create(engine, factory, num_threads);
+  if (!executor.ok()) return executor;
+  GPRQ_RETURN_NOT_OK((*executor)->SetOverloadPolicy(policy));
+  return executor;
+}
+
+Status BatchExecutor::SetOverloadPolicy(const OverloadPolicy& policy) {
+  GPRQ_RETURN_NOT_OK(policy.Validate());
+  // Density is a property of the dataset; computing it here keeps the
+  // per-query cost estimate to a handful of multiplications.
+  dataset_density_ = DatasetDensity(engine_->tree());
+  overload_ = std::make_unique<OverloadController>(policy);
+  return Status::OK();
 }
 
 size_t BatchExecutor::Phase3ChunkCount(size_t survivors) const {
@@ -324,9 +348,9 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
   return std::move(bounded->ids);
 }
 
-Result<core::PrqResult> BatchExecutor::SubmitBounded(
+Result<core::PrqResult> BatchExecutor::SubmitBoundedImpl(
     const core::PrqQuery& query, const core::PrqOptions& options,
-    core::PrqStats* stats, obs::QueryTrace* trace) {
+    AdmissionTicket* ticket, core::PrqStats* stats, obs::QueryTrace* trace) {
   core::PrqStats local_stats;
   core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
   out_stats = core::PrqStats();
@@ -334,6 +358,11 @@ Result<core::PrqResult> BatchExecutor::SubmitBounded(
   core::PrqEngine::FilterOutcome outcome;
   GPRQ_RETURN_NOT_OK(
       engine_->RunFilterPhases(query, options, &outcome, &out_stats, trace));
+  if (ticket != nullptr) {
+    // Phase 2 knows the true cost; replace the admission-time estimate so
+    // over-estimated budget frees for queued submitters right away.
+    overload_->Refine(ticket, static_cast<double>(outcome.survivors.size()));
+  }
   if (outcome.proved_empty) {
     metrics_.queries->Add(1);
     return core::PrqResult{};
@@ -342,13 +371,59 @@ Result<core::PrqResult> BatchExecutor::SubmitBounded(
                                  &out_stats, trace);
 }
 
+Result<core::PrqResult> BatchExecutor::SubmitBounded(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  if (overload_ == nullptr) {
+    return SubmitBoundedImpl(query, options, nullptr, stats, trace);
+  }
+
+  // Governed path: admission first (cheap, and shed queries never touch
+  // the submit mutex), then the single-submitter execution section.
+  AdmissionTicket ticket = overload_->Admit(
+      EstimateQueryCost(*engine_, query, options, dataset_density_),
+      options.priority, options.control);
+  if (!ticket.admitted) {
+    if (trace != nullptr) {
+      *trace = obs::QueryTrace();
+      trace->shed = true;
+      trace->admission_wait_nanos =
+          static_cast<uint64_t>(ticket.queue_wait_seconds * 1e9);
+      trace->cost_estimate = ticket.cost;
+    }
+    if (stats != nullptr) *stats = core::PrqStats();
+    core::PrqResult rejected;
+    rejected.status = std::move(ticket.rejection);
+    return rejected;
+  }
+
+  core::PrqOptions effective = options;
+  if (ticket.brownout) overload_->ApplyBrownout(&effective);
+
+  Result<core::PrqResult> result = core::PrqResult{};
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    result = SubmitBoundedImpl(query, effective, &ticket, stats, trace);
+  }
+  overload_->Release(ticket);
+  if (trace != nullptr) {
+    trace->browned_out = ticket.brownout;
+    trace->admission_wait_nanos =
+        static_cast<uint64_t>(ticket.queue_wait_seconds * 1e9);
+    trace->cost_estimate = ticket.cost;
+  }
+  return result;
+}
+
 Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
     const core::PrqQuery& query, const core::PrqOptions& options,
     core::PrqStats* stats, obs::QueryTrace* trace) {
-  if (!options.control.Unbounded()) {
+  if (overload_ != nullptr || !options.control.Unbounded()) {
     // The complete-answer API cannot express a partial result; a degraded
     // run surfaces as its stop status instead of dropping the undecided
-    // remainder. Callers that want the partial answer use SubmitBounded.
+    // remainder (under overload governance: a shed or browned-out query
+    // surfaces as ResourceExhausted). Callers that want the partial answer
+    // use SubmitBounded.
     Result<core::PrqResult> bounded =
         SubmitBounded(query, options, stats, trace);
     if (!bounded.ok()) return bounded.status();
@@ -504,9 +579,10 @@ ExecStats BatchExecutor::Snapshot() const {
   snapshot.results =
       CounterDelta(metrics_.results->Value(), metrics_.baseline_results);
   snapshot.uptime_seconds = uptime_.ElapsedSeconds();
+  // The gprq.exec.queue_depth gauge is maintained live by the WorkerPool
+  // at enqueue/dequeue; snapshotting is a pure read with no side effects.
   snapshot.queue_depth = pool_.QueueDepth();
   snapshot.num_workers = pool_.num_workers();
-  metrics_.queue_depth->Set(static_cast<double>(snapshot.queue_depth));
   return snapshot;
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
+#include "exec/overload.h"
 #include "exec/worker_pool.h"
 #include "mc/probability_evaluator.h"
 #include "obs/metrics.h"
@@ -87,6 +88,10 @@ struct ExecStats {
 ///
 /// Thread-compatible: one thread submits at a time (the workers are the
 /// parallelism). Snapshot() may be called concurrently with submissions.
+/// Exception: with an OverloadPolicy installed, Submit/SubmitBounded are
+/// fully thread-safe — admission control serializes execution internally
+/// (clients blocked at admission are exactly the bounded submission
+/// queue), so any number of client threads may call them concurrently.
 class BatchExecutor {
  public:
   /// Builds the pool and one evaluator per worker. Fails with
@@ -95,6 +100,14 @@ class BatchExecutor {
   static Result<std::unique_ptr<BatchExecutor>> Create(
       const core::PrqEngine* engine,
       const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads);
+
+  /// Like Create, but with overload protection installed from the start:
+  /// Submit/SubmitBounded go through admission control (see overload.h).
+  /// Fails with InvalidArgument if the policy does not validate.
+  static Result<std::unique_ptr<BatchExecutor>> Create(
+      const core::PrqEngine* engine,
+      const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads,
+      const OverloadPolicy& policy);
 
   /// Runs one query; result-set semantics identical to PrqEngine::Execute
   /// with an equivalent evaluator (order may differ; compare as sets).
@@ -117,6 +130,14 @@ class BatchExecutor {
   /// exception degrades the same way: the failing chunk's candidates
   /// surface as undecided with status Internal. An error Result is returned
   /// only for invalid queries.
+  ///
+  /// With an OverloadPolicy installed this is the governed, thread-safe
+  /// entry point: the query passes admission control first and may come
+  /// back immediately with `status` ResourceExhausted (shed or rejected —
+  /// the message carries a retry_after_ms hint, see
+  /// exec::RetryAfterSeconds), or run with brownout-degraded budgets, in
+  /// which case unresolved candidates are listed in `undecided` and
+  /// `status` is ResourceExhausted while `ids` stay exact.
   Result<core::PrqResult> SubmitBounded(const core::PrqQuery& query,
                                         const core::PrqOptions& options,
                                         core::PrqStats* stats = nullptr,
@@ -143,6 +164,11 @@ class BatchExecutor {
   /// it must match `queries` in size. All queries still share one Phase-3
   /// fan-out. An error Result is returned only for a malformed call
   /// (mismatched `controls` size), never for a per-query failure.
+  ///
+  /// Batch submission bypasses admission control: a batch comes from one
+  /// trusted caller that already chose its size, and per-query admission
+  /// inside a shared fan-out would tear the batch apart. Open-loop query
+  /// streams that need overload protection submit per query.
   Result<std::vector<core::PrqResult>> SubmitBatchBounded(
       const std::vector<core::PrqQuery>& queries,
       const core::PrqOptions& options,
@@ -172,6 +198,16 @@ class BatchExecutor {
   ExecStats Snapshot() const;
 
   size_t num_workers() const { return pool_.num_workers(); }
+
+  /// Installs (or replaces) the overload policy after construction. Not
+  /// safe to call while submissions are in flight; meant for startup
+  /// configuration (tools, tests). Fails if the policy does not validate.
+  Status SetOverloadPolicy(const OverloadPolicy& policy);
+
+  /// The admission controller, or null when no policy is installed.
+  /// Exposed for observability (state, in-flight cost) — benches and the
+  /// CLI read it; clients should not Admit/Release through it directly.
+  OverloadController* overload() const { return overload_.get(); }
 
  private:
   BatchExecutor(const core::PrqEngine* engine,
@@ -227,6 +263,14 @@ class BatchExecutor {
 
   size_t Phase3ChunkCount(size_t survivors) const;
 
+  /// The ungoverned SubmitBounded body. When `ticket` is non-null its cost
+  /// estimate is refined with the true survivor count after Phase 2.
+  Result<core::PrqResult> SubmitBoundedImpl(const core::PrqQuery& query,
+                                            const core::PrqOptions& options,
+                                            AdmissionTicket* ticket,
+                                            core::PrqStats* stats,
+                                            obs::QueryTrace* trace);
+
   /// Registry-backed executor metrics (`gprq.exec.*`), resolved once at
   /// construction. `baseline_*` hold the counter values at construction so
   /// Snapshot() can report this executor's own traffic even though the
@@ -236,7 +280,6 @@ class BatchExecutor {
     obs::Counter* integrations;
     obs::Counter* accepted_without_integration;
     obs::Counter* results;
-    obs::Gauge* queue_depth;
     obs::Gauge* num_workers;
     obs::Histogram* phase3_nanos;
     // Per-worker integration counters (`gprq.exec.worker.<w>.integrations`
@@ -252,6 +295,14 @@ class BatchExecutor {
   WorkerPool pool_;
   // One per worker; evaluators_[w] is touched only by pool worker w.
   std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators_;
+
+  // Overload protection (null until a policy is installed). submit_mutex_
+  // serializes governed submissions so concurrent clients respect the
+  // single-submitter evaluator contract; the wait happens *after*
+  // admission, so shed queries never contend for it.
+  std::unique_ptr<OverloadController> overload_;
+  std::mutex submit_mutex_;
+  double dataset_density_ = 0.0;
 
   Stopwatch uptime_;
   Metrics metrics_;

@@ -1,0 +1,396 @@
+#include "exec/overload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "geom/rect.h"
+
+namespace gprq::exec {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\n\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\n\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+const char* OverloadStateName(OverloadState state) {
+  switch (state) {
+    case OverloadState::kAccept:
+      return "accept";
+    case OverloadState::kBrownout:
+      return "brownout";
+    case OverloadState::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Status OverloadPolicy::Validate() const {
+  if (!(max_inflight_cost > 0.0)) {
+    return Status::InvalidArgument("max_inflight_cost must be > 0");
+  }
+  if (!(max_queue_wait_seconds > 0.0)) {
+    return Status::InvalidArgument("max_queue_wait_seconds must be > 0");
+  }
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    return Status::InvalidArgument("ewma_alpha must be in (0, 1]");
+  }
+  if (!(brownout_watermark_seconds > 0.0)) {
+    return Status::InvalidArgument("brownout_watermark_seconds must be > 0");
+  }
+  if (shed_watermark_seconds < brownout_watermark_seconds) {
+    return Status::InvalidArgument(
+        "shed_watermark_seconds must be >= brownout_watermark_seconds");
+  }
+  if (!(hysteresis_ratio > 0.0) || hysteresis_ratio > 1.0) {
+    return Status::InvalidArgument("hysteresis_ratio must be in (0, 1]");
+  }
+  if (!(brownout_deadline_seconds > 0.0)) {
+    return Status::InvalidArgument("brownout_deadline_seconds must be > 0");
+  }
+  if (retry_after_seconds < 0.0) {
+    return Status::InvalidArgument("retry_after_seconds must be >= 0");
+  }
+  if (min_shed_priority < min_brownout_priority) {
+    return Status::InvalidArgument(
+        "min_shed_priority must be >= min_brownout_priority");
+  }
+  return Status::OK();
+}
+
+Result<OverloadPolicy> OverloadPolicy::FromSpec(const std::string& spec) {
+  OverloadPolicy policy;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    const std::string entry = Trim(spec.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("overload spec entry missing '=': " +
+                                     entry);
+    }
+    const std::string key = Trim(entry.substr(0, eq));
+    const std::string value = Trim(entry.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("malformed overload spec entry: " +
+                                     entry);
+    }
+    const double number = std::strtod(value.c_str(), nullptr);
+    if (key == "max_inflight_cost") {
+      policy.max_inflight_cost = number;
+    } else if (key == "max_queue_depth") {
+      policy.max_queue_depth = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "max_queue_wait_ms") {
+      policy.max_queue_wait_seconds = number * 1e-3;
+    } else if (key == "ewma_alpha") {
+      policy.ewma_alpha = number;
+    } else if (key == "brownout_watermark_ms") {
+      policy.brownout_watermark_seconds = number * 1e-3;
+    } else if (key == "shed_watermark_ms") {
+      policy.shed_watermark_seconds = number * 1e-3;
+    } else if (key == "hysteresis") {
+      policy.hysteresis_ratio = number;
+    } else if (key == "brownout_deadline_ms") {
+      policy.brownout_deadline_seconds = number * 1e-3;
+    } else if (key == "brownout_samples") {
+      policy.brownout_sample_budget =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "retry_after_ms") {
+      policy.retry_after_seconds = number * 1e-3;
+    } else if (key == "min_brownout_priority") {
+      policy.min_brownout_priority = static_cast<int>(number);
+    } else if (key == "min_shed_priority") {
+      policy.min_shed_priority = static_cast<int>(number);
+    } else {
+      return Status::InvalidArgument("unknown overload spec key: " + key);
+    }
+  }
+  GPRQ_RETURN_NOT_OK(policy.Validate());
+  return policy;
+}
+
+// ---- LoadShedder -----------------------------------------------------------
+
+LoadShedder::LoadShedder(const OverloadPolicy& policy)
+    : alpha_(policy.ewma_alpha),
+      brownout_watermark_(policy.brownout_watermark_seconds),
+      shed_watermark_(policy.shed_watermark_seconds),
+      hysteresis_(policy.hysteresis_ratio) {}
+
+OverloadState LoadShedder::Observe(double wait_seconds) {
+  ewma_ = alpha_ * wait_seconds + (1.0 - alpha_) * ewma_;
+  OverloadState next = state_;
+  switch (state_) {
+    case OverloadState::kAccept:
+      if (ewma_ >= shed_watermark_) {
+        next = OverloadState::kShed;
+      } else if (ewma_ >= brownout_watermark_) {
+        next = OverloadState::kBrownout;
+      }
+      break;
+    case OverloadState::kBrownout:
+      if (ewma_ >= shed_watermark_) {
+        next = OverloadState::kShed;
+      } else if (ewma_ < hysteresis_ * brownout_watermark_) {
+        next = OverloadState::kAccept;
+      }
+      break;
+    case OverloadState::kShed:
+      // Leaving Shed needs the signal to fall well below the watermark
+      // that tripped it; it lands in Brownout unless it has also cleared
+      // Brownout's own exit threshold.
+      if (ewma_ < hysteresis_ * shed_watermark_) {
+        next = ewma_ < hysteresis_ * brownout_watermark_
+                   ? OverloadState::kAccept
+                   : OverloadState::kBrownout;
+      }
+      break;
+  }
+  if (next != state_) {
+    state_ = next;
+    ++transitions_;
+  }
+  return state_;
+}
+
+// ---- OverloadController ----------------------------------------------------
+
+OverloadController::OverloadController(const OverloadPolicy& policy)
+    : policy_(policy), shedder_(policy) {
+  obs::MetricRegistry& r = obs::MetricRegistry::Global();
+  metrics_.admitted = r.GetCounter("gprq.overload.admitted");
+  metrics_.brownouts = r.GetCounter("gprq.overload.brownouts");
+  metrics_.shed = r.GetCounter("gprq.overload.shed");
+  metrics_.rejected_queue_full =
+      r.GetCounter("gprq.overload.rejected_queue_full");
+  metrics_.rejected_timeout = r.GetCounter("gprq.overload.rejected_timeout");
+  metrics_.transitions = r.GetCounter("gprq.overload.transitions");
+  metrics_.state = r.GetGauge("gprq.overload.state");
+  metrics_.inflight_cost = r.GetGauge("gprq.overload.inflight_cost");
+  metrics_.admission_wait_nanos =
+      r.GetHistogram("gprq.overload.admission_wait_nanos");
+  metrics_.state->Set(static_cast<double>(shedder_.state()));
+}
+
+Status OverloadController::RejectionStatus(const char* reason,
+                                           OverloadState state) const {
+  char msg[160];
+  std::snprintf(
+      msg, sizeof(msg), "overload: %s (state=%s); retry_after_ms=%d", reason,
+      OverloadStateName(state),
+      std::max(1, static_cast<int>(policy_.retry_after_seconds * 1e3)));
+  return Status::ResourceExhausted(msg);
+}
+
+void OverloadController::PublishStateLocked(OverloadState before,
+                                            OverloadState after) {
+  if (before == after) return;
+  metrics_.transitions->Add(1);
+  metrics_.state->Set(static_cast<double>(after));
+}
+
+AdmissionTicket OverloadController::Admit(
+    double estimated_cost, int priority,
+    const common::QueryControl& control) {
+  AdmissionTicket ticket;
+  // Every query costs at least one unit so even proved-empty floods are
+  // bounded by max_inflight_cost admissions.
+  ticket.cost = std::max(estimated_cost, 1.0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  OverloadState state = shedder_.state();
+  if (state != OverloadState::kAccept && inflight_queries_ == 0 &&
+      queued_ == 0) {
+    // Nothing in flight and nobody waiting: the backpressure signal is
+    // provably zero. Feed that to the shedder so a spike that has fully
+    // drained cannot pin the gate shut against low-priority traffic
+    // forever; under genuine load something is always in flight or queued
+    // and the gate stays on its fast path.
+    const OverloadState before = state;
+    state = shedder_.Observe(0.0);
+    PublishStateLocked(before, state);
+  }
+  if ((state == OverloadState::kBrownout &&
+       priority < policy_.min_brownout_priority) ||
+      (state == OverloadState::kShed && priority < policy_.min_shed_priority)) {
+    metrics_.shed->Add(1);
+    ticket.rejection = RejectionStatus("load shed", state);
+    return ticket;
+  }
+
+  // An idle controller admits anything: a single query whose estimate
+  // exceeds the whole budget must run alone, not starve forever. Idleness
+  // is the integer query count, not the float cost — Refine's estimate
+  // swap can leave a harmless rounding residue in inflight_cost_.
+  if (inflight_queries_ > 0 &&
+      inflight_cost_ + ticket.cost > policy_.max_inflight_cost) {
+    if (queued_ >= policy_.max_queue_depth) {
+      metrics_.rejected_queue_full->Add(1);
+      ticket.rejection = RejectionStatus("admission queue full", state);
+      return ticket;
+    }
+    // Wait (bounded in depth above and in time below) for budget capacity.
+    // The wait itself is the load signal: it feeds the shedder's EWMA on
+    // the way out, whether admission succeeds or not.
+    ++queued_;
+    Stopwatch waited;
+    bool give_up = false;
+    while (inflight_queries_ > 0 &&
+           inflight_cost_ + ticket.cost > policy_.max_inflight_cost) {
+      if (!control.Unbounded() && control.ShouldStop()) {
+        give_up = true;
+        break;
+      }
+      if (waited.ElapsedSeconds() >= policy_.max_queue_wait_seconds) {
+        give_up = true;
+        break;
+      }
+      capacity_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    --queued_;
+    ticket.queue_wait_seconds = waited.ElapsedSeconds();
+    if (give_up) {
+      const OverloadState before = shedder_.state();
+      const OverloadState after =
+          shedder_.Observe(ticket.queue_wait_seconds);
+      PublishStateLocked(before, after);
+      metrics_.rejected_timeout->Add(1);
+      const Status stop = control.StopStatus();
+      ticket.rejection =
+          stop.ok() ? RejectionStatus("admission queue wait timed out",
+                                      after)
+                    : stop;
+      return ticket;
+    }
+  }
+
+  const OverloadState before = shedder_.state();
+  state = shedder_.Observe(ticket.queue_wait_seconds);
+  PublishStateLocked(before, state);
+  metrics_.admission_wait_nanos->Record(
+      static_cast<uint64_t>(ticket.queue_wait_seconds * 1e9));
+  inflight_cost_ += ticket.cost;
+  ++inflight_queries_;
+  metrics_.inflight_cost->Set(inflight_cost_);
+  ticket.admitted = true;
+  ticket.brownout = state != OverloadState::kAccept;
+  metrics_.admitted->Add(1);
+  if (ticket.brownout) metrics_.brownouts->Add(1);
+  return ticket;
+}
+
+void OverloadController::Refine(AdmissionTicket* ticket, double actual_cost) {
+  if (ticket == nullptr || !ticket->admitted) return;
+  const double actual = std::max(actual_cost, 1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_cost_ = std::max(0.0, inflight_cost_ + actual - ticket->cost);
+  const bool freed = actual < ticket->cost;
+  ticket->cost = actual;
+  metrics_.inflight_cost->Set(inflight_cost_);
+  if (freed) capacity_cv_.notify_all();
+}
+
+void OverloadController::Release(const AdmissionTicket& ticket) {
+  if (!ticket.admitted) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_cost_ = std::max(0.0, inflight_cost_ - ticket.cost);
+  if (inflight_queries_ > 0) --inflight_queries_;
+  // Snap rounding residue from Refine's estimate/actual swaps to an exact
+  // zero whenever the controller empties out.
+  if (inflight_queries_ == 0) inflight_cost_ = 0.0;
+  metrics_.inflight_cost->Set(inflight_cost_);
+  capacity_cv_.notify_all();
+}
+
+void OverloadController::ApplyBrownout(core::PrqOptions* options) const {
+  common::QueryControl& control = options->control;
+  // The tighter deadline wins; a query already promising less keeps its
+  // own.
+  if (control.deadline.is_infinite() ||
+      control.deadline.remaining_seconds() >
+          policy_.brownout_deadline_seconds) {
+    control.deadline =
+        common::Deadline::After(policy_.brownout_deadline_seconds);
+  }
+  if (policy_.brownout_sample_budget > 0) {
+    control.sample_budget =
+        control.sample_budget == 0
+            ? policy_.brownout_sample_budget
+            : std::min(control.sample_budget,
+                       policy_.brownout_sample_budget);
+  }
+}
+
+OverloadState OverloadController::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shedder_.state();
+}
+
+double OverloadController::inflight_cost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_cost_;
+}
+
+double OverloadController::smoothed_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shedder_.smoothed_wait_seconds();
+}
+
+// ---- Cost proxy ------------------------------------------------------------
+
+double EstimateQueryCost(const core::PrqEngine& engine,
+                         const core::PrqQuery& query,
+                         const core::PrqOptions& options,
+                         double objects_per_unit_volume) {
+  const core::GaussianDistribution& g = query.query_object;
+  const double r_theta =
+      engine.EffectiveThetaRadius(query.theta, options.use_catalogs);
+  double volume = 1.0;
+  for (size_t i = 0; i < g.dim(); ++i) {
+    const double variance = std::max(g.covariance()(i, i), 0.0);
+    volume *= 2.0 * (query.delta + r_theta * std::sqrt(variance));
+  }
+  const double cap =
+      std::max(static_cast<double>(engine.tree().size()), 1.0);
+  double cost = volume * objects_per_unit_volume;
+  if (!std::isfinite(cost)) cost = cap;
+  return std::clamp(cost, 1.0, cap);
+}
+
+double DatasetDensity(const index::RStarTree& tree) {
+  if (tree.size() == 0) return 0.0;
+  const geom::Rect bounds = tree.Bounds();
+  double volume = 1.0;
+  for (size_t i = 0; i < tree.dim(); ++i) {
+    volume *= std::max(bounds.hi()[i] - bounds.lo()[i], 1e-12);
+  }
+  return static_cast<double>(tree.size()) / volume;
+}
+
+double RetryAfterSeconds(const Status& status, double fallback) {
+  static constexpr char kTag[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t at = message.find(kTag);
+  if (at == std::string::npos) return fallback;
+  const long ms = std::strtol(message.c_str() + at + sizeof(kTag) - 1,
+                              nullptr, 10);
+  return ms > 0 ? static_cast<double>(ms) * 1e-3 : fallback;
+}
+
+}  // namespace gprq::exec

@@ -1,0 +1,233 @@
+#ifndef GPRQ_EXEC_OVERLOAD_H_
+#define GPRQ_EXEC_OVERLOAD_H_
+
+// Overload-resilient serving: admission control, load shedding, and
+// brownout degradation for the BatchExecutor.
+//
+// The paper's cost model makes per-query work wildly variable — the
+// candidate set surviving RR/OR/BF filtering and the Monte-Carlo samples
+// Phase 3 burns swing by orders of magnitude with Σ, δ, θ (BENCH_phase3
+// records a 20–87× spread) — so a burst of expensive queries can collapse
+// the serving layer even though every individual query has a deadline.
+// Admission-time protection closes that gap:
+//
+//   Accept ──(EWMA admission wait ≥ brownout watermark)──▶ Brownout
+//   Brownout ──(EWMA ≥ shed watermark)──▶ Shed
+//   (downward transitions need the EWMA to fall below
+//    hysteresis_ratio × the watermark — no flapping at the boundary)
+//
+//   Accept:   every priority admitted at full budgets (the cost budget
+//             still bounds concurrency).
+//   Brownout: background priority shed; everything else admitted with a
+//             tightened deadline and a Phase-3 sample budget. Degraded
+//             answers flow through the undecided contract: returned ids
+//             stay exact, the unresolved remainder is explicit, status is
+//             ResourceExhausted.
+//   Shed:     only critical priority admitted (still degraded); the rest
+//             rejected immediately with ResourceExhausted + retry-after.
+//
+// Admission also enforces a token/cost budget: each query carries a cost
+// estimate — expected Phase-3 candidates, from the θ-region search-box
+// volume × dataset density — refined after Phase 2 with the true survivor
+// count. When the in-flight cost budget is full, submitters wait in a
+// bounded queue; a full queue rejects at the door. The time spent waiting
+// is exactly the backpressure signal the shedder smooths (see
+// worker_pool.h on queue_wait_nanos).
+//
+// Everything is observable under gprq.overload.* and every knob lives in
+// OverloadPolicy, threaded through BatchExecutor::Create.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "index/rstar_tree.h"
+#include "obs/metrics.h"
+
+namespace gprq::exec {
+
+/// Every overload-protection knob in one place. Cost is measured in
+/// expected Phase-3 integrations (one unit ≈ one surviving candidate).
+struct OverloadPolicy {
+  /// Token budget: total estimated cost admitted concurrently. With the
+  /// single-submitter executor this bounds the cost a burst of governed
+  /// submitter threads can have in flight at once. An idle controller
+  /// always admits: a query whose estimate alone exceeds the budget runs
+  /// by itself instead of starving forever.
+  double max_inflight_cost = 1.0e4;
+  /// Submitters allowed to wait for cost-budget capacity before the door
+  /// rejects outright (the bounded submission queue).
+  size_t max_queue_depth = 16;
+  /// Longest a submitter may wait in the queue before being rejected —
+  /// the queue is bounded in time as well as depth, so a stalled budget
+  /// can never strand a deadline-less query.
+  double max_queue_wait_seconds = 0.5;
+
+  /// EWMA smoothing factor for the admission-wait signal, in (0, 1];
+  /// higher reacts faster.
+  double ewma_alpha = 0.3;
+  /// Smoothed admission wait at which brownout begins.
+  double brownout_watermark_seconds = 0.010;
+  /// Smoothed admission wait at which shedding begins.
+  double shed_watermark_seconds = 0.050;
+  /// Downward transitions require the EWMA to drop below
+  /// hysteresis_ratio × the watermark that was crossed, preventing
+  /// flapping when the signal hovers at a boundary. In (0, 1].
+  double hysteresis_ratio = 0.5;
+
+  /// Effective deadline given to a browned-out query (the tighter of this
+  /// and the query's own deadline wins).
+  double brownout_deadline_seconds = 0.100;
+  /// Per-candidate Phase-3 sample cap for browned-out queries
+  /// (QueryControl::sample_budget); 0 disables the cap.
+  uint64_t brownout_sample_budget = 8192;
+
+  /// Hint embedded in rejection statuses as "retry_after_ms=<n>".
+  double retry_after_seconds = 0.050;
+  /// Lowest priority admitted in Brownout (PrqOptions::priority).
+  int min_brownout_priority = core::kPriorityNormal;
+  /// Lowest priority admitted in Shed.
+  int min_shed_priority = core::kPriorityCritical;
+
+  Status Validate() const;
+
+  /// Parses "key=value;key=value" (whitespace-tolerant), mirroring the
+  /// GPRQ_FAILPOINTS grammar style. Keys: max_inflight_cost,
+  /// max_queue_depth, max_queue_wait_ms, ewma_alpha, brownout_watermark_ms,
+  /// shed_watermark_ms, hysteresis, brownout_deadline_ms, brownout_samples,
+  /// retry_after_ms, min_brownout_priority, min_shed_priority. Unknown keys
+  /// fail; values start from the defaults. The result is validated.
+  static Result<OverloadPolicy> FromSpec(const std::string& spec);
+};
+
+enum class OverloadState { kAccept = 0, kBrownout = 1, kShed = 2 };
+const char* OverloadStateName(OverloadState state);
+
+/// The EWMA + two-watermark hysteresis state machine. Pure and
+/// single-threaded by design (OverloadController drives it under its
+/// lock); exposed so tests can square-wave it deterministically.
+class LoadShedder {
+ public:
+  explicit LoadShedder(const OverloadPolicy& policy);
+
+  /// Feeds one admission-wait observation and returns the state after the
+  /// transition rules run.
+  OverloadState Observe(double wait_seconds);
+
+  OverloadState state() const { return state_; }
+  double smoothed_wait_seconds() const { return ewma_; }
+  uint64_t transitions() const { return transitions_; }
+
+ private:
+  const double alpha_;
+  const double brownout_watermark_;
+  const double shed_watermark_;
+  const double hysteresis_;
+  double ewma_ = 0.0;
+  OverloadState state_ = OverloadState::kAccept;
+  uint64_t transitions_ = 0;
+};
+
+/// The admission verdict for one query. Admitted tickets must be passed
+/// to Release() exactly once (Refine() in between is optional); rejected
+/// tickets carry the ResourceExhausted rejection with its retry-after
+/// hint and must not be released.
+struct AdmissionTicket {
+  bool admitted = false;
+  /// Admitted under degradation: the caller must apply the policy's
+  /// brownout budgets (BatchExecutor does via ApplyBrownout).
+  bool brownout = false;
+  /// Cost units currently charged against the in-flight budget.
+  double cost = 0.0;
+  /// Time spent waiting in the bounded admission queue.
+  double queue_wait_seconds = 0.0;
+  Status rejection;
+};
+
+/// Thread-safe admission control + load shedding + brownout state, one
+/// instance per governed BatchExecutor. All transitions publish to
+/// gprq.overload.* (state gauge, transition/shed/brownout/rejection
+/// counters, admission-wait histogram).
+class OverloadController {
+ public:
+  /// `policy` must already be Validate()-clean.
+  explicit OverloadController(const OverloadPolicy& policy);
+
+  /// Decides admission for a query of `estimated_cost` and `priority`.
+  /// May block in the bounded queue waiting for cost-budget capacity;
+  /// `control` is polled while waiting so a query whose own deadline fires
+  /// in the queue is rejected rather than stranded.
+  AdmissionTicket Admit(double estimated_cost, int priority,
+                        const common::QueryControl& control);
+
+  /// Replaces the ticket's cost estimate with the true survivor count
+  /// once Phase 2 knows it; frees over-estimated budget immediately.
+  void Refine(AdmissionTicket* ticket, double actual_cost);
+
+  /// Returns the ticket's cost to the budget and wakes queued submitters.
+  void Release(const AdmissionTicket& ticket);
+
+  /// Degrades a browned-out query's options in place: tightens the
+  /// effective deadline to at most brownout_deadline_seconds and installs
+  /// the Phase-3 sample budget.
+  void ApplyBrownout(core::PrqOptions* options) const;
+
+  OverloadState state() const;
+  double inflight_cost() const;
+  double smoothed_wait_seconds() const;
+  const OverloadPolicy& policy() const { return policy_; }
+
+ private:
+  struct Metrics {
+    obs::Counter* admitted;
+    obs::Counter* brownouts;
+    obs::Counter* shed;
+    obs::Counter* rejected_queue_full;
+    obs::Counter* rejected_timeout;
+    obs::Counter* transitions;
+    obs::Gauge* state;
+    obs::Gauge* inflight_cost;
+    obs::Histogram* admission_wait_nanos;
+  };
+
+  Status RejectionStatus(const char* reason, OverloadState state) const;
+  void PublishStateLocked(OverloadState before, OverloadState after);
+
+  const OverloadPolicy policy_;
+  Metrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable capacity_cv_;
+  LoadShedder shedder_;
+  double inflight_cost_ = 0.0;
+  /// Count of admitted-but-unreleased queries; the authoritative idleness
+  /// test (inflight_cost_ can carry float residue after Refine).
+  size_t inflight_queries_ = 0;
+  size_t queued_ = 0;
+};
+
+/// Cheap pre-filter cost proxy: the expected number of Phase-1 candidates,
+/// i.e. dataset density × the volume of the θ-region search box
+/// Π_i 2·(δ + r_θ·√Σ_ii) (the RR search rectangle of filters.h, with the
+/// engine's effective table-rounded r_θ). Clamped to [1, dataset size].
+double EstimateQueryCost(const core::PrqEngine& engine,
+                         const core::PrqQuery& query,
+                         const core::PrqOptions& options,
+                         double objects_per_unit_volume);
+
+/// Objects per unit volume of the tree's bounding box (0 for an empty
+/// tree); the density factor EstimateQueryCost expects. Computed once per
+/// executor, not per query.
+double DatasetDensity(const index::RStarTree& tree);
+
+/// Parses the "retry_after_ms=<n>" hint out of a rejection status message;
+/// returns `fallback` when absent. The README's backoff snippet uses this.
+double RetryAfterSeconds(const Status& status, double fallback = 0.05);
+
+}  // namespace gprq::exec
+
+#endif  // GPRQ_EXEC_OVERLOAD_H_

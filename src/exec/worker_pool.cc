@@ -14,13 +14,15 @@ struct PoolMetrics {
   obs::Counter* tasks;
   obs::Histogram* queue_wait_nanos;
   obs::Histogram* task_nanos;
+  obs::Gauge* queue_depth;
 
   static const PoolMetrics& Get() {
     static const PoolMetrics metrics = [] {
       obs::MetricRegistry& r = obs::MetricRegistry::Global();
       return PoolMetrics{r.GetCounter("gprq.exec.tasks"),
                          r.GetHistogram("gprq.exec.queue_wait_nanos"),
-                         r.GetHistogram("gprq.exec.task_nanos")};
+                         r.GetHistogram("gprq.exec.task_nanos"),
+                         r.GetGauge("gprq.exec.queue_depth")};
     }();
     return metrics;
   }
@@ -46,9 +48,16 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Submit(Task task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(Entry{std::move(task), Stopwatch()});
+    depth = queue_.size();
+  }
+  // Maintained live at enqueue/dequeue so shedders and exporters see the
+  // real-time depth without anyone polling Snapshot().
+  if constexpr (obs::kEnabled) {
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
   }
   cv_.notify_one();
 }
@@ -71,6 +80,7 @@ uint64_t WorkerPool::dropped_exceptions() const {
 void WorkerPool::WorkerLoop(size_t worker) {
   for (;;) {
     Entry entry;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -79,9 +89,13 @@ void WorkerPool::WorkerLoop(size_t worker) {
       if (queue_.empty()) return;
       entry = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
       // Counted at dequeue so the tally is already visible to whatever the
       // task itself signals on completion (latches, counters).
       ++tasks_executed_;
+    }
+    if constexpr (obs::kEnabled) {
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
     }
     // Latency-only site: injected delay models a slow/preempted worker
     // (the way deadlines fire mid-fan-out in tests). The task always runs —

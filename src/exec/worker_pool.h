@@ -58,9 +58,11 @@ class CountdownLatch {
 ///
 /// Every task is measured into the global metric registry: the time it sat
 /// in the queue (`gprq.exec.queue_wait_nanos` — the backpressure signal a
-/// load shedder watches) and the time a worker spent running it
-/// (`gprq.exec.task_nanos`), plus a `gprq.exec.tasks` counter. With
-/// GPRQ_OBS_DISABLED the timing code compiles out entirely.
+/// load shedder watches; exec::LoadShedder is that shedder) and the time a
+/// worker spent running it (`gprq.exec.task_nanos`), plus a
+/// `gprq.exec.tasks` counter and a live `gprq.exec.queue_depth` gauge
+/// updated at enqueue/dequeue. With GPRQ_OBS_DISABLED the timing code
+/// compiles out entirely.
 class WorkerPool {
  public:
   using Task = std::function<void(size_t worker)>;

@@ -242,4 +242,15 @@ Status FailpointRegistry::ArmFromEnv(const char* variable) {
   return ArmFromSpec(value);
 }
 
+std::vector<std::string> KnownSites() {
+  // Keep sorted; update when adding a GPRQ_FAILPOINT call site.
+  return {
+      "exec.batch_executor.chunk",
+      "exec.worker_pool.task",
+      "index.buffer_pool.get",
+      "index.page_file.read",
+      "index.page_file.write",
+  };
+}
+
 }  // namespace gprq::fault

@@ -129,6 +129,14 @@ class FailpointRegistry {
   std::atomic<uint64_t> armed_count_{0};
 };
 
+/// The injection sites compiled into this binary, sorted — the list a
+/// `gprq_cli list-failpoints` dump shows operators so they can arm sites
+/// (GPRQ_FAILPOINTS / ArmFromSpec) without reading the sources. Maintained
+/// by hand next to the GPRQ_FAILPOINT call sites; a new site belongs both
+/// places. Returned even when the subsystem is compiled out (the sites
+/// exist in the sources; arming them just does nothing).
+std::vector<std::string> KnownSites();
+
 }  // namespace gprq::fault
 
 /// Evaluates a failpoint site; expands to a constant OK status when the

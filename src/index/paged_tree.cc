@@ -313,13 +313,31 @@ Result<PagedRStarTree> PagedRStarTree::Open(const std::string& path,
 }
 
 Result<const uint8_t*> PagedRStarTree::GetPageWithRetry(PageId page_id) const {
+  // Circuit-breaker gate first: while open, fail in microseconds with
+  // ResourceExhausted (non-transient, so callers do not retry it) instead
+  // of burning the full attempts × backoff budget per read against a
+  // dependency that is known to be down.
+  if (breaker_ != nullptr) {
+    GPRQ_RETURN_NOT_OK(breaker_->Allow());
+  }
   uint64_t backoff_micros = kPageReadBackoffMicros;
   for (int attempt = 1;; ++attempt) {
     Result<const uint8_t*> page = pool_->GetPage(page_id);
-    if (page.ok()) return page;
+    if (page.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordSuccess();
+      return page;
+    }
     if (!IsTransient(page.status()) || attempt >= kPageReadAttempts) {
       if (IsTransient(page.status())) {
         RetryMetrics::Get().exhausted->Add(1);
+      }
+      // Only transient faults (real media trouble, injected I/O errors)
+      // count against the breaker; a deterministic error like a corrupt
+      // snapshot is not a recoverable-dependency signal.
+      if (breaker_ != nullptr && IsTransient(page.status())) {
+        breaker_->RecordFailure();
+      } else if (breaker_ != nullptr) {
+        breaker_->RecordSuccess();
       }
       return page;
     }

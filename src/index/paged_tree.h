@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/status.h"
 #include "geom/rect.h"
 #include "index/buffer_pool.h"
@@ -93,6 +94,16 @@ class PagedRStarTree {
   /// Physical page reads performed by the underlying file.
   uint64_t physical_reads() const { return file_->physical_reads(); }
 
+  /// Installs a circuit breaker over query-path page reads (non-owning;
+  /// must outlive the tree, or be cleared with nullptr). While the breaker
+  /// is open, reads fast-fail with ResourceExhausted instead of burning
+  /// the per-read retry budget — persistent storage faults then cost
+  /// microseconds per query, and the half-open probe detects recovery.
+  void set_circuit_breaker(common::CircuitBreaker* breaker) {
+    breaker_ = breaker;
+  }
+  common::CircuitBreaker* circuit_breaker() const { return breaker_; }
+
  private:
   PagedRStarTree(std::unique_ptr<PageFile> file,
                  std::unique_ptr<BufferPool> pool, size_t dim,
@@ -121,6 +132,7 @@ class PagedRStarTree {
 
   std::unique_ptr<PageFile> file_;
   mutable std::unique_ptr<BufferPool> pool_;
+  common::CircuitBreaker* breaker_ = nullptr;  // optional, non-owning
   size_t dim_;
   size_t object_count_;
   size_t node_count_;

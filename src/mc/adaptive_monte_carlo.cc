@@ -141,6 +141,7 @@ void AdaptiveMonteCarloEvaluator::DecideBatchBounded(
   }
   SamplePool::DecideOptions decide = PoolDecideOptions();
   decide.control = &control;
+  decide.max_samples = control.sample_budget;
   for (size_t i = 0; i < count; ++i) {
     const SamplePool::Decision d =
         pool->Decide(*objects[i], delta, theta, decide);
@@ -150,6 +151,13 @@ void AdaptiveMonteCarloEvaluator::DecideBatchBounded(
       // it surface as undecided.
       for (size_t j = i; j < count; ++j) states[j] = kDecideUndecided;
       return;
+    }
+    if (d.budget_exhausted) {
+      // The brownout sample budget is per candidate, not per query: this
+      // candidate stays undecided but the next one still gets its own
+      // capped attempt (many separate well under the cap).
+      states[i] = kDecideUndecided;
+      continue;
     }
     if (d.undecided) ++undecided_fallbacks_;
     states[i] = d.qualifies ? kDecideIncluded : kDecideExcluded;

@@ -122,6 +122,28 @@ void MonteCarloEvaluator::DecideBatchBounded(
     DecideBatch(query, objects, count, delta, theta, pool, states);
     return;
   }
+  if (control.sample_budget > 0 && control.sample_budget < pool->size()) {
+    // A fixed-budget point estimate cannot be truncated soundly (the
+    // unloaded answer needs the whole pool), so under a brownout sample
+    // budget this evaluator switches to the sequential Wilson test: a
+    // capped candidate either separates confidently or surfaces as
+    // undecided — never a cheaper point-estimate guess.
+    SamplePool::DecideOptions decide;
+    decide.control = &control;
+    decide.max_samples = control.sample_budget;
+    for (size_t i = 0; i < count; ++i) {
+      const SamplePool::Decision d =
+          pool->Decide(*objects[i], delta, theta, decide);
+      if (d.interrupted) {
+        for (size_t j = i; j < count; ++j) states[j] = kDecideUndecided;
+        return;
+      }
+      states[i] = (d.budget_exhausted || d.undecided)
+                      ? kDecideUndecided
+                      : (d.qualifies ? kDecideIncluded : kDecideExcluded);
+    }
+    return;
+  }
   const FixedBudgetMetrics& metrics = FixedBudgetMetrics::Get();
   const double delta_sq = delta * delta;
   const uint64_t n = pool->size();

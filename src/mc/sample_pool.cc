@@ -29,6 +29,7 @@ struct McMetrics {
   obs::Counter* early_stops;
   obs::Counter* undecided;
   obs::Counter* interrupted;
+  obs::Counter* budget_exhausted;
 
   static const McMetrics& Get() {
     static const McMetrics metrics = [] {
@@ -40,7 +41,8 @@ struct McMetrics {
                        r.GetCounter("gprq.mc.samples_used"),
                        r.GetCounter("gprq.mc.early_stops"),
                        r.GetCounter("gprq.mc.undecided"),
-                       r.GetCounter("gprq.deadline.interrupted_decisions")};
+                       r.GetCounter("gprq.deadline.interrupted_decisions"),
+                       r.GetCounter("gprq.overload.sample_budget_exhausted")};
     }();
     return metrics;
   }
@@ -166,9 +168,19 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
       (options.control != nullptr && !options.control->Unbounded())
           ? options.control
           : nullptr;
+  // A sample budget truncates the decision to a whole number of blocks so
+  // every Wilson check lands at the same n as in an uncapped run — that
+  // alignment is what makes capped decisions bit-identical to unloaded
+  // ones (see DecideOptions::max_samples).
+  uint64_t limit = samples_;
+  if (options.max_samples > 0 && options.max_samples < samples_) {
+    const uint64_t blocks =
+        std::max<uint64_t>(options.max_samples / options.block_samples, 1);
+    limit = std::min(samples_, blocks * options.block_samples);
+  }
   uint64_t n = 0;
   uint64_t hits = 0;
-  while (n < samples_) {
+  while (n < limit) {
     if (control != nullptr && control->ShouldStop()) {
       // Stopped mid-decision: report the work done but neither an early
       // stop nor an undecided fallback — the candidate stays *undecided*
@@ -177,7 +189,7 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
       metrics.interrupted->Add(1);
       return {false, n, false, true};
     }
-    const uint64_t end = std::min(n + options.block_samples, samples_);
+    const uint64_t end = std::min(n + options.block_samples, limit);
     hits += CountWithin(object, delta_sq, n, end);
     n = end;
     const int cmp = WilsonCompare(hits, n, theta, options.confidence_z);
@@ -187,9 +199,16 @@ SamplePool::Decision SamplePool::Decide(const la::Vector& object, double delta,
       return {cmp > 0, n, false};
     }
   }
+  metrics.samples_used->Add(n);
+  if (limit < samples_) {
+    // Budget spent with θ inside the interval: the unloaded run would have
+    // kept sampling, so guessing here could disagree with it. Surface as
+    // undecided instead — ids stay exact under brownout.
+    metrics.budget_exhausted->Add(1);
+    return {false, n, true, false, true};
+  }
   // Pool exhausted with θ inside the interval: fall back to the point
   // estimate, as a fixed-budget sampler would.
-  metrics.samples_used->Add(n);
   metrics.undecided->Add(1);
   return {static_cast<double>(hits) >= theta * static_cast<double>(n), n,
           true};

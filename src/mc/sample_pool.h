@@ -89,6 +89,13 @@ class SamplePool {
     /// Optional deadline/cancellation checked between blocks (never inside
     /// the vectorized count). Null means unbounded — no clock reads.
     const common::QueryControl* control = nullptr;
+    /// Per-decision sample cap (0 = the whole pool), the brownout knob.
+    /// The cap is rounded down to a whole number of blocks (at least one)
+    /// so every confidence check of a capped run happens at the same n as
+    /// in an uncapped run over the same pool: a capped decision that
+    /// separates is bit-identical to the unloaded answer, and one that
+    /// does not comes back budget_exhausted — never a cheaper guess.
+    uint64_t max_samples = 0;
   };
   struct Decision {
     /// The Phase-3 answer: qualification probability ≥ θ.
@@ -102,6 +109,11 @@ class SamplePool {
     /// resolved. `qualifies` is then meaningless and the candidate must be
     /// surfaced as undecided, never guessed — the degradation contract.
     bool interrupted = false;
+    /// True when DecideOptions::max_samples ran out with θ still inside
+    /// the interval. Like `interrupted`, `qualifies` is meaningless and
+    /// the candidate must surface as undecided: a brownout answer may
+    /// shrink, but it never lies.
+    bool budget_exhausted = false;
   };
   /// Block-wise early-terminating decision: counts block_samples at a time
   /// and stops as soon as the Wilson interval of the running hit rate

@@ -80,6 +80,12 @@ struct QueryTrace {
   bool deadline_expired = false;
   uint64_t deadline_undecided = 0;
 
+  // ---- Overload protection (set by the governed exec path). ----
+  bool shed = false;         // rejected at admission; no work was done
+  bool browned_out = false;  // admitted with degraded budgets
+  uint64_t admission_wait_nanos = 0;  // time in the bounded admission queue
+  double cost_estimate = 0.0;         // final admission cost (post-refine)
+
   double phase_seconds(Phase phase) const {
     return static_cast<double>(phase_nanos[phase]) * 1e-9;
   }

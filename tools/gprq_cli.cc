@@ -22,6 +22,7 @@
 #include "core/engine.h"
 #include "core/histogram.h"
 #include "core/pnn.h"
+#include "exec/batch_executor.h"
 #include "fault/failpoint.h"
 #include "index/paged_tree.h"
 #include "index/str_bulk_load.h"
@@ -49,10 +50,18 @@ int Usage() {
       "[--strategy RR|OR|BF|RR+BF|...|ALL]\n"
       "            [--evaluator imhof|mc|adaptive] [--samples N] "
       "[--threads K]\n"
+      "            [--overload-policy SPEC] [--priority 0|1|2]\n"
+      "            (SPEC is 'key=value;...', see exec/overload.h; an empty\n"
+      "             SPEC uses the defaults. The query is then submitted\n"
+      "             through admission control and may be shed with a\n"
+      "             retry-after hint or answered under brownout.)\n"
       "  pnn       --data FILE.csv --q x,y,... [--gamma G | --stddev S]\n"
       "            [--samples N]\n"
       "  estimate  --data FILE.csv --q x,y,... --delta D --theta T\n"
-      "            [--gamma G | --stddev S] [--cells N]\n");
+      "            [--gamma G | --stddev S] [--cells N]\n"
+      "  list-failpoints\n"
+      "            print the failpoint sites compiled into this binary and\n"
+      "            any currently armed configurations (GPRQ_FAILPOINTS)\n");
   return 2;
 }
 
@@ -227,28 +236,77 @@ int RunQuery(const FlagSet& flags) {
   const core::PrqEngine engine(&*tree);
   core::PrqOptions options;
   options.strategies = *strategy;
+  auto priority = flags.GetInt("priority", core::kPriorityNormal);
+  if (!priority.ok()) return Fail(priority.status());
+  options.priority = static_cast<int>(*priority);
 
   const std::string evaluator_kind = flags.GetString("evaluator", "imhof");
   core::PrqStats stats;
+  const auto factory = [&](size_t worker)
+      -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    if (evaluator_kind == "mc") {
+      return std::make_unique<mc::MonteCarloEvaluator>(
+          mc::MonteCarloOptions{
+              .samples = static_cast<uint64_t>(*samples),
+              .seed = 7 + worker});
+    }
+    if (evaluator_kind == "adaptive") {
+      return std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
+          mc::AdaptiveMonteCarloOptions{
+              .max_samples = static_cast<uint64_t>(*samples),
+              .seed = 7 + worker});
+    }
+    return std::make_unique<mc::ImhofEvaluator>();
+  };
+
+  if (flags.Has("overload-policy")) {
+    // Governed path: the query goes through admission control exactly as a
+    // serving client's would. An empty spec means the policy defaults.
+    if (evaluator_kind != "imhof" && evaluator_kind != "mc" &&
+        evaluator_kind != "adaptive") {
+      return Fail(Status::InvalidArgument("unknown evaluator '" +
+                                          evaluator_kind + "'"));
+    }
+    auto policy =
+        exec::OverloadPolicy::FromSpec(flags.GetString("overload-policy"));
+    if (!policy.ok()) return Fail(policy.status());
+    auto executor = exec::BatchExecutor::Create(
+        &engine, factory, static_cast<size_t>(*threads > 0 ? *threads : 1),
+        *policy);
+    if (!executor.ok()) return Fail(executor.status());
+    obs::QueryTrace trace;
+    auto bounded =
+        (*executor)->SubmitBounded(setup->query, options, &stats, &trace);
+    if (!bounded.ok()) return Fail(bounded.status());
+    if (trace.shed) {
+      std::printf("shed at admission (state=%s): %s\n",
+                  exec::OverloadStateName((*executor)->overload()->state()),
+                  bounded->status.ToString().c_str());
+      std::printf("  retry after %.0f ms\n",
+                  exec::RetryAfterSeconds(bounded->status) * 1e3);
+      return 1;
+    }
+    std::printf("PRQ(delta=%.6g, theta=%.6g) governed evaluator=%s%s\n",
+                setup->query.delta, setup->query.theta,
+                evaluator_kind.c_str(),
+                trace.browned_out ? " [brownout]" : "");
+    std::printf("  admission: cost estimate %.1f, waited %.3f ms\n",
+                trace.cost_estimate,
+                static_cast<double>(trace.admission_wait_nanos) * 1e-6);
+    std::printf("  %zu results, %zu undecided, status: %s\n",
+                bounded->ids.size(), bounded->undecided.size(),
+                bounded->status.ToString().c_str());
+    const size_t show = std::min<size_t>(bounded->ids.size(), 20);
+    for (size_t i = 0; i < show; ++i) {
+      std::printf(" %u", bounded->ids[i]);
+    }
+    if (show > 0) std::printf("\n");
+    return 0;
+  }
+
   Result<std::vector<index::ObjectId>> result =
       Status::Internal("unreachable");
   if (*threads > 1) {
-    const auto factory = [&](size_t worker)
-        -> std::unique_ptr<mc::ProbabilityEvaluator> {
-      if (evaluator_kind == "mc") {
-        return std::make_unique<mc::MonteCarloEvaluator>(
-            mc::MonteCarloOptions{
-                .samples = static_cast<uint64_t>(*samples),
-                .seed = 7 + worker});
-      }
-      if (evaluator_kind == "adaptive") {
-        return std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
-            mc::AdaptiveMonteCarloOptions{
-                .max_samples = static_cast<uint64_t>(*samples),
-                .seed = 7 + worker});
-      }
-      return std::make_unique<mc::ImhofEvaluator>();
-    };
     result = engine.ExecuteParallel(setup->query, options, factory,
                                     static_cast<size_t>(*threads), &stats);
   } else {
@@ -347,6 +405,33 @@ int RunEstimate(const FlagSet& flags) {
   return 0;
 }
 
+int RunListFailpoints(const FlagSet& flags) {
+  (void)flags;
+  std::printf("failpoint sites compiled into this binary (%s):\n",
+              fault::kEnabled ? "enabled" : "compiled out");
+  fault::FailpointRegistry& registry = fault::FailpointRegistry::Global();
+  for (const std::string& site : fault::KnownSites()) {
+    const fault::FailpointStats stats = registry.Stats(site);
+    bool armed = false;
+    for (const std::string& name : registry.Armed()) {
+      if (name == site) armed = true;
+    }
+    if (armed) {
+      std::printf("  %-28s armed (%llu evaluations, %llu triggers)\n",
+                  site.c_str(),
+                  static_cast<unsigned long long>(stats.evaluations),
+                  static_cast<unsigned long long>(stats.triggers));
+    } else {
+      std::printf("  %-28s\n", site.c_str());
+    }
+  }
+  std::printf(
+      "\narm with GPRQ_FAILPOINTS='site=error(io[,p=P,skip=N,max=M]);"
+      "site=delay(MICROS)'\n"
+      "codes: io, internal, notfound, invalid\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   // Operators can inject faults without code changes:
   //   GPRQ_FAILPOINTS='index.page_file.read=error(io,p=0.01)' gprq_cli ...
@@ -368,6 +453,7 @@ int Main(int argc, char** argv) {
   else if (command == "query") code = RunQuery(*flags);
   else if (command == "pnn") code = RunPnn(*flags);
   else if (command == "estimate") code = RunEstimate(*flags);
+  else if (command == "list-failpoints") code = RunListFailpoints(*flags);
   else return Usage();
 
   for (const std::string& key : flags->UnusedKeys()) {
