@@ -1,8 +1,10 @@
 // Phase-3 throughput: per-candidate Monte Carlo (the paper's approach —
 // every candidate redraws the full sample budget) vs the shared per-query
 // SamplePool (draw once, count per candidate) vs the pool with block-wise
-// Wilson early termination. Emits BENCH_phase3.json so the perf trajectory
-// is machine-trackable across PRs.
+// Wilson early termination — plus the kernel-level roofline (scalar
+// reference vs the dispatched SIMD kernel, plain and fused
+// transform-and-count). Emits BENCH_phase3.json so the perf trajectory is
+// machine-trackable across PRs.
 //
 // Env overrides: GPRQ_MC_SAMPLES (default 100000), GPRQ_BENCH_CANDIDATES
 // (default 100), GPRQ_TRIALS (default 3), GPRQ_BENCH_JSON (output path,
@@ -18,11 +20,104 @@
 #include "common/stopwatch.h"
 #include "mc/monte_carlo.h"
 #include "mc/sample_pool.h"
+#include "mc/simd/kernels.h"
 #include "rng/random.h"
 #include "workload/generators.h"
 
 namespace gprq {
 namespace {
+
+// Kernel-level roofline: raw count throughput of the scalar reference vs
+// the dispatched SIMD kernel (and the fused transform-and-count variant)
+// over resident block-sized slices — the Phase-3 inner loop with everything
+// but the arithmetic stripped away. Emitted into the same JSON so the
+// scalar-vs-dispatched speedup is machine-trackable per host.
+void RunKernelBench(bench::JsonReport& report, uint64_t trials) {
+  using mc::simd::KernelKind;
+  const uint64_t n = 1u << 18;  // samples per measured sweep
+  std::printf("\nkernel-level count throughput (n=%llu per sweep)\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-26s%10s%18s%12s\n", "kernel", "dim", "samples/sec",
+              "speedup");
+  bench::Rule(66);
+
+  for (const size_t dim : {size_t{2}, size_t{9}}) {
+    rng::Random random(41 + dim);
+    std::vector<double> data(dim * n);
+    for (double& v : data) v = random.NextDouble(-3.0, 3.0);
+    std::vector<double> object(dim, 0.25);
+    std::vector<double> chol(dim * dim, 0.0);
+    for (size_t a = 0; a < dim; ++a) {
+      for (size_t j = 0; j <= a; ++j) chol[a * dim + j] = (a == j) ? 1.0 : 0.1;
+    }
+    std::vector<double> mean(dim, 0.0);
+    const double delta_sq = 2.0 * static_cast<double>(dim);
+
+    // Sweep the full data set blockwise, like SamplePool::CountWithin does;
+    // trial 0 is an untimed warm-up. The kernels are called through opaque
+    // function pointers, so the compiler cannot elide the sweeps; `sink`
+    // keeps the accumulation honest.
+    uint64_t sink = 0;
+    const auto time_count = [&](mc::simd::CountFn fn) {
+      double seconds = 0.0;
+      for (uint64_t t = 0; t <= trials; ++t) {
+        Stopwatch timer;
+        for (uint64_t b = 0; b < n; b += mc::simd::kKernelBlock) {
+          const size_t len = static_cast<size_t>(
+              std::min<uint64_t>(mc::simd::kKernelBlock, n - b));
+          sink += fn(data.data() + b, n, dim, object.data(), delta_sq, len);
+        }
+        if (t > 0) seconds += timer.ElapsedSeconds();
+      }
+      return static_cast<double>(n * trials) / seconds;
+    };
+    const auto time_fused = [&](mc::simd::FusedCountFn fn) {
+      double seconds = 0.0;
+      for (uint64_t t = 0; t <= trials; ++t) {
+        Stopwatch timer;
+        for (uint64_t b = 0; b < n; b += mc::simd::kKernelBlock) {
+          const size_t len = static_cast<size_t>(
+              std::min<uint64_t>(mc::simd::kKernelBlock, n - b));
+          sink += fn(data.data() + b, n, dim, chol.data(), mean.data(),
+                     object.data(), delta_sq, len);
+        }
+        if (t > 0) seconds += timer.ElapsedSeconds();
+      }
+      return static_cast<double>(n * trials) / seconds;
+    };
+
+    double scalar_rate = 0.0, fused_scalar_rate = 0.0;
+    for (const KernelKind kind : {KernelKind::kScalar, mc::simd::DispatchedKind()}) {
+      const double count_rate = time_count(mc::simd::CountKernel(kind));
+      const double fused_rate = time_fused(mc::simd::FusedKernel(kind));
+      if (kind == KernelKind::kScalar) {
+        scalar_rate = count_rate;
+        fused_scalar_rate = fused_rate;
+      }
+      (void)sink;
+      const std::string label =
+          std::string("kernel-d") + std::to_string(dim) + "-" +
+          mc::simd::KernelName(kind);
+      std::printf("%-26s%10zu%18.3g%11.1fx\n", label.c_str(), dim, count_rate,
+                  count_rate / scalar_rate);
+      report.Add(label, {{"dim", static_cast<double>(dim)},
+                         {"samples_per_sec", count_rate},
+                         {"speedup_vs_scalar", count_rate / scalar_rate}});
+      const std::string fused_label =
+          std::string("kernel-d") + std::to_string(dim) + "-fused-" +
+          mc::simd::KernelName(kind);
+      std::printf("%-26s%10zu%18.3g%11.1fx\n", fused_label.c_str(), dim,
+                  fused_rate, fused_rate / fused_scalar_rate);
+      report.Add(fused_label,
+                 {{"dim", static_cast<double>(dim)},
+                  {"samples_per_sec", fused_rate},
+                  {"speedup_vs_scalar", fused_rate / fused_scalar_rate}});
+      if (kind == mc::simd::DispatchedKind() && kind == KernelKind::kScalar) {
+        break;  // scalar is the dispatched kernel; nothing else to measure
+      }
+    }
+  }
+}
 
 struct Mode {
   const char* name;
@@ -153,6 +248,7 @@ void Run() {
               per_candidate.qualifying, pooled.qualifying,
               pooled_early.qualifying,
               static_cast<unsigned long long>(candidates));
+  RunKernelBench(report, trials);
   if (report.WriteFile(json_path)) {
     std::printf("wrote %s\n", json_path.c_str());
   }

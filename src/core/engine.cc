@@ -73,6 +73,48 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
                                   const PrqOptions& options,
                                   FilterOutcome* outcome, PrqStats* stats,
                                   obs::QueryTrace* trace) const {
+  return RunFilterPhasesImpl(
+      query, options,
+      [this](const geom::Rect& search_box,
+             std::vector<std::pair<la::Vector, index::ObjectId>>* candidates,
+             obs::QueryTrace* tr) {
+        const uint64_t node_reads_before = tree_->stats().node_reads;
+        tree_->RangeQuery(search_box,
+                          [candidates](const la::Vector& point,
+                                       index::ObjectId id) {
+                            candidates->emplace_back(point, id);
+                          });
+        tr->index_visits = tree_->stats().node_reads - node_reads_before;
+      },
+      outcome, stats, trace);
+}
+
+Status PrqEngine::FilterCandidateSet(
+    const PrqQuery& query, const PrqOptions& options,
+    const std::vector<std::pair<la::Vector, index::ObjectId>>& candidates,
+    FilterOutcome* outcome, PrqStats* stats, obs::QueryTrace* trace) const {
+  return RunFilterPhasesImpl(
+      query, options,
+      [&candidates](
+          const geom::Rect& search_box,
+          std::vector<std::pair<la::Vector, index::ObjectId>>* kept,
+          obs::QueryTrace*) {
+        // No index visit: Phase 1 is a containment scan over the supplied
+        // superset. Rect::Contains is inclusive, exactly like RangeQuery's
+        // region test, so the kept set equals the index answer whenever
+        // `candidates` covers the box.
+        for (const auto& [point, id] : candidates) {
+          if (search_box.Contains(point)) kept->emplace_back(point, id);
+        }
+      },
+      outcome, stats, trace);
+}
+
+Status PrqEngine::RunFilterPhasesImpl(const PrqQuery& query,
+                                      const PrqOptions& options,
+                                      const CandidateGatherer& gather,
+                                      FilterOutcome* outcome, PrqStats* stats,
+                                      obs::QueryTrace* trace) const {
   if (query.query_object.dim() != tree_->dim()) {
     return Status::InvalidArgument("query dimension does not match index");
   }
@@ -200,13 +242,8 @@ Status PrqEngine::RunFilterPhases(const PrqQuery& query,
     }
 
     if (!tr.proved_empty) {
-      const uint64_t node_reads_before = tree_->stats().node_reads;
-      tree_->RangeQuery(search_box,
-                        [&candidates](const la::Vector& point,
-                                      index::ObjectId id) {
-                          candidates.emplace_back(point, id);
-                        });
-      tr.index_visits = tree_->stats().node_reads - node_reads_before;
+      outcome->search_box = search_box;
+      gather(search_box, &candidates, &tr);
       tr.index_candidates = candidates.size();
     }
   }

@@ -11,6 +11,7 @@
 #include "core/filters.h"
 #include "core/prq.h"
 #include "core/radius_catalog.h"
+#include "geom/rect.h"
 #include "index/rstar_tree.h"
 #include "mc/probability_evaluator.h"
 #include "obs/trace.h"
@@ -87,6 +88,13 @@ class PrqEngine {
     /// non-qualifiers, so skipping it is sound); drivers must surface the
     /// survivors as undecided instead of integrating them.
     bool expired = false;
+    /// The rectilinear Phase-1 search region (RR box ∩ BF box, BF box, or
+    /// the OR bounding box — see RunFilterPhases). Every object that can
+    /// qualify lies inside it, which is what makes it a sound containment
+    /// key for the semantic result cache: a cached answer whose box contains
+    /// a narrower query's box covers every point the narrower query could
+    /// return. Meaningful only when !proved_empty and !expired-before-prep.
+    geom::Rect search_box = geom::Rect::Empty(0);
   };
 
   /// Runs validation, preparation and Phases 1-2; fills `outcome` with the
@@ -103,6 +111,19 @@ class PrqEngine {
   Status RunFilterPhases(const PrqQuery& query, const PrqOptions& options,
                          FilterOutcome* outcome, PrqStats* stats,
                          obs::QueryTrace* trace = nullptr) const;
+
+  /// RunFilterPhases with Phase 1 replaced by a scan of `candidates`:
+  /// validation, preparation and Phase 2 are identical, but instead of
+  /// querying the index the phase keeps the given points that fall inside
+  /// the query's search box. Sound whenever `candidates` is a superset of
+  /// the search box's index answer — the semantic result cache uses it to
+  /// serve a narrower repeat query from a cached wider answer without
+  /// touching the tree.
+  Status FilterCandidateSet(
+      const PrqQuery& query, const PrqOptions& options,
+      const std::vector<std::pair<la::Vector, index::ObjectId>>& candidates,
+      FilterOutcome* outcome, PrqStats* stats,
+      obs::QueryTrace* trace = nullptr) const;
 
   /// Runs PRQ(q, δ, θ). `evaluator` supplies Phase-3 probabilities
   /// (Monte-Carlo or exact). If `stats` is non-null it receives phase
@@ -173,6 +194,18 @@ class PrqEngine {
   const index::RStarTree& tree() const { return *tree_; }
 
  private:
+  /// Shared body of RunFilterPhases / FilterCandidateSet: `gather` produces
+  /// the Phase-1 candidate set for the computed search box (index range
+  /// query or cached-candidate scan); everything else is identical.
+  using CandidateGatherer = std::function<void(
+      const geom::Rect& search_box,
+      std::vector<std::pair<la::Vector, index::ObjectId>>* candidates,
+      obs::QueryTrace* trace)>;
+  Status RunFilterPhasesImpl(const PrqQuery& query, const PrqOptions& options,
+                             const CandidateGatherer& gather,
+                             FilterOutcome* outcome, PrqStats* stats,
+                             obs::QueryTrace* trace) const;
+
   const index::RStarTree* tree_;
   // Lazily built per-engine (the tree fixes the dimension); mutable because
   // catalog construction does not affect logical query results.

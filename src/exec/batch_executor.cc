@@ -160,6 +160,18 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
   return executor;
 }
 
+Status BatchExecutor::EnableResultCache(
+    const cache::ResultCacheOptions& options) {
+  if (options.max_entries == 0) {
+    return Status::InvalidArgument("cache max_entries must be >= 1");
+  }
+  if (options.max_bytes == 0) {
+    return Status::InvalidArgument("cache max_bytes must be >= 1");
+  }
+  cache_ = std::make_unique<cache::ResultCache>(options);
+  return Status::OK();
+}
+
 Status BatchExecutor::SetOverloadPolicy(const OverloadPolicy& policy) {
   GPRQ_RETURN_NOT_OK(policy.Validate());
   // Density is a property of the dataset; computing it here keeps the
@@ -348,12 +360,88 @@ Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
   return std::move(bounded->ids);
 }
 
+Result<core::PrqResult> BatchExecutor::IntegrateAndPublish(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    uint64_t config_bits, core::PrqEngine::FilterOutcome outcome,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  // Snapshot what an eventual cache entry needs before the outcome is
+  // consumed: the candidate superset for future containment serves is
+  // accepted ∪ survivors (see cache::CachedEntry for why that set is sound
+  // for every θ' ≥ θ). The copy is only paid when the cache is on.
+  const bool cacheable = cache_ != nullptr && !outcome.expired;
+  std::vector<std::pair<la::Vector, index::ObjectId>> candidates;
+  geom::Rect search_box;
+  if (cacheable) {
+    candidates.reserve(outcome.accepted.size() + outcome.survivors.size());
+    candidates.insert(candidates.end(), outcome.accepted.begin(),
+                      outcome.accepted.end());
+    candidates.insert(candidates.end(), outcome.survivors.begin(),
+                      outcome.survivors.end());
+    search_box = outcome.search_box;
+  }
+  Result<core::PrqResult> result = IntegrateOutcomeBounded(
+      query, std::move(outcome), options.control, stats, trace);
+  if (cacheable && result.ok() && result->status.ok() &&
+      result->undecided.empty()) {
+    // Only complete answers are published: a degraded result (deadline,
+    // brownout, worker failure) is truncated work, not the query's answer.
+    cache_->Insert(query, config_bits, search_box, std::move(candidates),
+                   result->ids);
+  }
+  return result;
+}
+
 Result<core::PrqResult> BatchExecutor::SubmitBoundedImpl(
     const core::PrqQuery& query, const core::PrqOptions& options,
     AdmissionTicket* ticket, core::PrqStats* stats, obs::QueryTrace* trace) {
   core::PrqStats local_stats;
   core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
   out_stats = core::PrqStats();
+
+  const uint64_t config_bits =
+      (cache_ != nullptr) ? cache::FilterConfigBits(options) : 0;
+  if (cache_ != nullptr) {
+    const cache::ResultCache::Lookup hit = cache_->Find(query, config_bits);
+    if (hit.kind == cache::ResultCache::HitKind::kExact) {
+      // The stored answer is complete and deterministic — serve it
+      // verbatim. No filter phases, no pool, no fan-out; strictly better
+      // than any degraded execution, so deadlines and brownout budgets
+      // need not apply.
+      if (ticket != nullptr) overload_->Refine(ticket, 0.0);
+      metrics_.queries->Add(1);
+      metrics_.results->Add(hit.entry->ids.size());
+      core::PrqResult result;
+      result.ids = hit.entry->ids;
+      out_stats.result_size = result.ids.size();
+      if (trace != nullptr) {
+        *trace = obs::QueryTrace();
+        trace->cache_hit_exact = true;
+        trace->result_size = result.ids.size();
+      }
+      return result;
+    }
+    if (hit.kind == cache::ResultCache::HitKind::kSemantic) {
+      // Containment serve: Phases 1-2 re-run over the cached candidate
+      // superset (no index visit), Phase 3 runs normally — the per-query
+      // pool is a pure function of (seed, query), so the decided ids are
+      // identical to a fresh execution's.
+      core::PrqEngine::FilterOutcome outcome;
+      GPRQ_RETURN_NOT_OK(engine_->FilterCandidateSet(
+          query, options, hit.entry->candidates, &outcome, &out_stats,
+          trace));
+      if (trace != nullptr) trace->cache_hit_semantic = true;
+      if (ticket != nullptr) {
+        overload_->Refine(ticket,
+                          static_cast<double>(outcome.survivors.size()));
+      }
+      if (outcome.proved_empty) {
+        metrics_.queries->Add(1);
+        return core::PrqResult{};
+      }
+      return IntegrateAndPublish(query, options, config_bits,
+                                 std::move(outcome), &out_stats, trace);
+    }
+  }
 
   core::PrqEngine::FilterOutcome outcome;
   GPRQ_RETURN_NOT_OK(
@@ -367,8 +455,8 @@ Result<core::PrqResult> BatchExecutor::SubmitBoundedImpl(
     metrics_.queries->Add(1);
     return core::PrqResult{};
   }
-  return IntegrateOutcomeBounded(query, std::move(outcome), options.control,
-                                 &out_stats, trace);
+  return IntegrateAndPublish(query, options, config_bits, std::move(outcome),
+                             &out_stats, trace);
 }
 
 Result<core::PrqResult> BatchExecutor::SubmitBounded(
@@ -418,12 +506,14 @@ Result<core::PrqResult> BatchExecutor::SubmitBounded(
 Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
     const core::PrqQuery& query, const core::PrqOptions& options,
     core::PrqStats* stats, obs::QueryTrace* trace) {
-  if (overload_ != nullptr || !options.control.Unbounded()) {
+  if (overload_ != nullptr || cache_ != nullptr ||
+      !options.control.Unbounded()) {
     // The complete-answer API cannot express a partial result; a degraded
     // run surfaces as its stop status instead of dropping the undecided
     // remainder (under overload governance: a shed or browned-out query
     // surfaces as ResourceExhausted). Callers that want the partial answer
-    // use SubmitBounded.
+    // use SubmitBounded. With the cache enabled the bounded path is also
+    // the cache-aware path.
     Result<core::PrqResult> bounded =
         SubmitBounded(query, options, stats, trace);
     if (!bounded.ok()) return bounded.status();

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
@@ -204,6 +205,23 @@ class BatchExecutor {
   /// configuration (tools, tests). Fails if the policy does not validate.
   Status SetOverloadPolicy(const OverloadPolicy& policy);
 
+  /// Installs the semantic result cache (see cache::ResultCache). Like
+  /// SetOverloadPolicy, a startup knob — not safe while submissions are in
+  /// flight. Once enabled, Submit/SubmitBounded consult the cache before
+  /// the filter phases and publish every complete answer into it; cached
+  /// answers (exact or containment-served) are set-identical to fresh
+  /// execution because Phase-3 sample pools are a pure function of
+  /// (evaluator seed, query). Batch submissions bypass the cache — a batch
+  /// shares one fan-out and its queries are typically all distinct.
+  /// The executor owns the cache; it is valid for this executor's dataset
+  /// and evaluator configuration only.
+  Status EnableResultCache(const cache::ResultCacheOptions& options);
+
+  /// The result cache, or null when not enabled. Exposed for observability
+  /// and invalidation (the future online-update path calls
+  /// result_cache()->Invalidate(region) after a dataset mutation).
+  cache::ResultCache* result_cache() const { return cache_.get(); }
+
   /// The admission controller, or null when no policy is installed.
   /// Exposed for observability (state, in-flight cost) — benches and the
   /// CLI read it; clients should not Admit/Release through it directly.
@@ -271,6 +289,17 @@ class BatchExecutor {
                                             core::PrqStats* stats,
                                             obs::QueryTrace* trace);
 
+  /// Phase 3 + cache publication for one query whose filter phases (fresh
+  /// or cache-served) produced `outcome`: integrates the survivors under
+  /// options.control and, when the cache is enabled and the answer came
+  /// back complete, inserts it keyed at the query's (fingerprint, δ, θ,
+  /// config). Shared by the miss path and the semantic-hit path of
+  /// SubmitBoundedImpl.
+  Result<core::PrqResult> IntegrateAndPublish(
+      const core::PrqQuery& query, const core::PrqOptions& options,
+      uint64_t config_bits, core::PrqEngine::FilterOutcome outcome,
+      core::PrqStats* stats, obs::QueryTrace* trace);
+
   /// Registry-backed executor metrics (`gprq.exec.*`), resolved once at
   /// construction. `baseline_*` hold the counter values at construction so
   /// Snapshot() can report this executor's own traffic even though the
@@ -303,6 +332,9 @@ class BatchExecutor {
   std::unique_ptr<OverloadController> overload_;
   std::mutex submit_mutex_;
   double dataset_density_ = 0.0;
+
+  // Semantic result cache (null until enabled).
+  std::unique_ptr<cache::ResultCache> cache_;
 
   Stopwatch uptime_;
   Metrics metrics_;

@@ -385,12 +385,27 @@ double DatasetDensity(const index::RStarTree& tree) {
 
 double RetryAfterSeconds(const Status& status, double fallback) {
   static constexpr char kTag[] = "retry_after_ms=";
+  // The hint is advisory and the message is attacker-ish input (it may have
+  // been relayed through logs or another process), so the parse is a strict
+  // manual digit scan, not strtol: no sign, no leading whitespace, no silent
+  // LONG_MAX saturation. Anything malformed — no digits after the tag, a
+  // zero hint, or a value past the 1-hour sanity cap (where strtol overflow
+  // garbage would land) — yields the caller's fallback, never 0 and never
+  // a wild sleep.
+  static constexpr uint64_t kMaxRetryMs = 3'600'000;  // 1 hour
   const std::string& message = status.message();
   const size_t at = message.find(kTag);
   if (at == std::string::npos) return fallback;
-  const long ms = std::strtol(message.c_str() + at + sizeof(kTag) - 1,
-                              nullptr, 10);
-  return ms > 0 ? static_cast<double>(ms) * 1e-3 : fallback;
+  size_t pos = at + sizeof(kTag) - 1;
+  uint64_t ms = 0;
+  size_t digits = 0;
+  while (pos < message.size() && message[pos] >= '0' && message[pos] <= '9') {
+    ms = ms * 10 + static_cast<uint64_t>(message[pos] - '0');
+    ++pos;
+    if (++digits > 7) return fallback;  // > 9,999,999 ms is already bogus
+  }
+  if (digits == 0 || ms == 0 || ms > kMaxRetryMs) return fallback;
+  return static_cast<double>(ms) * 1e-3;
 }
 
 }  // namespace gprq::exec

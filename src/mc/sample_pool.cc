@@ -4,17 +4,19 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/stopwatch.h"
+#include "mc/simd/kernels.h"
 #include "obs/metrics.h"
 
 namespace gprq::mc {
 namespace {
 
-// Samples per kernel block: the scratch accumulator (16 KB) plus one axis
-// stream (16 KB) stay resident in L1/L2 while the block is swept once per
-// dimension.
-constexpr uint64_t kKernelBlock = 2048;
+// Samples per kernel block (see mc/simd/kernels.h): the scratch accumulator
+// (16 KB) plus one axis stream (16 KB) stay resident in L1/L2 while the
+// block is swept once per dimension.
+constexpr uint64_t kKernelBlock = simd::kKernelBlock;
 
 // Sampling metrics, resolved once. Recording at the source keeps every
 // consumer (per-candidate evaluators and the pooled Phase-3 path alike)
@@ -56,27 +58,37 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-uint64_t DoubleBits(double v) {
+}  // namespace
+
+uint64_t CanonicalDoubleBits(double v) {
+  // -0.0 compares equal to +0.0 and samples identically, so both must
+  // digest identically; v == 0.0 is true for both signs and the literal
+  // 0.0 re-encodes as the +0.0 bit pattern. NaN never passes SPD
+  // validation into a GaussianDistribution, but a digest must not depend
+  // on which of the 2^52 NaN payloads an upstream bug produced — collapse
+  // them all to the canonical quiet NaN.
+  if (v == 0.0) v = 0.0;
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(v));
   std::memcpy(&bits, &v, sizeof(bits));
   return bits;
 }
 
-}  // namespace
-
 uint64_t QueryFingerprint(const core::GaussianDistribution& query) {
-  // Mean then the full covariance, row-major. Exact bit patterns: two
-  // queries hash equal iff they are numerically identical, which is the
-  // determinism contract (same query + same seed → same pool).
+  // Mean then the full covariance, row-major. Canonicalized bit patterns:
+  // two queries hash equal iff they are numerically identical — including
+  // across bit-distinct encodings of the same value (-0.0 vs +0.0) — which
+  // is the determinism contract (same query + same seed → same pool) and
+  // the soundness precondition of the fingerprint-keyed result cache.
   uint64_t h = Mix64(query.dim());
   for (size_t i = 0; i < query.dim(); ++i) {
-    h = Mix64(h ^ DoubleBits(query.mean()[i]));
+    h = Mix64(h ^ CanonicalDoubleBits(query.mean()[i]));
   }
   const la::Matrix& cov = query.covariance();
   for (size_t i = 0; i < cov.rows(); ++i) {
     for (size_t j = 0; j < cov.cols(); ++j) {
-      h = Mix64(h ^ DoubleBits(cov(i, j)));
+      h = Mix64(h ^ CanonicalDoubleBits(cov(i, j)));
     }
   }
   return h;
@@ -118,28 +130,16 @@ uint64_t SamplePool::CountWithin(const la::Vector& object, double delta_sq,
                                  uint64_t begin, uint64_t end) const {
   assert(object.dim() == dim_);
   assert(begin <= end && end <= samples_);
+  // The block loop hands each ≤2048-sample slice to the dispatched kernel
+  // (mc/simd): the widest vector ISA the CPU supports, every one
+  // bit-compatible with the scalar reference, so the hit count — and every
+  // Phase-3 decision built on it — is independent of the dispatch.
+  const simd::CountFn kernel = simd::DispatchedCountKernel();
   const double* o = object.data();
   uint64_t hits = 0;
-  double acc[kKernelBlock];
   for (uint64_t b = begin; b < end; b += kKernelBlock) {
     const size_t len = static_cast<size_t>(std::min(kKernelBlock, end - b));
-    {
-      const double* x = data_.data() + b;  // axis 0 initializes acc
-      const double o0 = o[0];
-      for (size_t i = 0; i < len; ++i) {
-        const double t = x[i] - o0;
-        acc[i] = t * t;
-      }
-    }
-    for (size_t a = 1; a < dim_; ++a) {
-      const double* x = data_.data() + a * samples_ + b;
-      const double oa = o[a];
-      for (size_t i = 0; i < len; ++i) {
-        const double t = x[i] - oa;
-        acc[i] += t * t;
-      }
-    }
-    for (size_t i = 0; i < len; ++i) hits += acc[i] <= delta_sq;
+    hits += kernel(data_.data() + b, samples_, dim_, o, delta_sq, len);
   }
   return hits;
 }

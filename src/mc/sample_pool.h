@@ -30,6 +30,13 @@ int WilsonCompare(uint64_t hits, uint64_t n, double theta, double z);
 /// therefore its decisions — bit-identical.
 uint64_t QueryFingerprint(const core::GaussianDistribution& query);
 
+/// The bit pattern QueryFingerprint mixes for one double: the raw IEEE-754
+/// encoding after canonicalization — -0.0 normalizes to +0.0 (they are the
+/// same real number and sample identically) and every NaN payload collapses
+/// to the canonical quiet NaN. Exposed so cache keys and tests canonicalize
+/// exactly the way the fingerprint does.
+uint64_t CanonicalDoubleBits(double v);
+
 /// A per-query pool of samples from the query Gaussian N(q, Σ), shared by
 /// every Phase-3 candidate of that query.
 ///

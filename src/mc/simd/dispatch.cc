@@ -1,0 +1,144 @@
+// Runtime kernel dispatch: detect the widest vector ISA the CPU supports
+// (among those compiled in), honor a GPRQ_SIMD_KERNEL override, and cache
+// the choice process-wide. Detection runs once — the hot path costs one
+// static pointer load.
+
+#include "mc/simd/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "mc/simd/kernels_internal.h"
+
+namespace gprq::mc::simd {
+
+namespace {
+
+bool CpuSupports(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+#if defined(GPRQ_SIMD_HAVE_AVX)
+    case KernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case KernelKind::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#endif
+#if defined(GPRQ_SIMD_HAVE_NEON)
+    case KernelKind::kNeon:
+      return true;  // NEON is baseline on aarch64
+#endif
+    default:
+      return false;
+  }
+}
+
+KernelKind DetectKind() {
+  // Widest first; CpuSupports already folds in what the build compiled.
+  if (CpuSupports(KernelKind::kAvx512)) return KernelKind::kAvx512;
+  if (CpuSupports(KernelKind::kAvx2)) return KernelKind::kAvx2;
+  if (CpuSupports(KernelKind::kNeon)) return KernelKind::kNeon;
+  return KernelKind::kScalar;
+}
+
+KernelKind ResolveKind() {
+  return detail::ResolveRequest(std::getenv("GPRQ_SIMD_KERNEL"));
+}
+
+}  // namespace
+
+namespace detail {
+
+KernelKind ResolveRequest(const char* request) {
+  const KernelKind detected = DetectKind();
+  if (request == nullptr || request[0] == '\0') return detected;
+  KernelKind requested = detected;
+  if (std::strcmp(request, "scalar") == 0) {
+    requested = KernelKind::kScalar;
+  } else if (std::strcmp(request, "avx2") == 0) {
+    requested = KernelKind::kAvx2;
+  } else if (std::strcmp(request, "avx512") == 0) {
+    requested = KernelKind::kAvx512;
+  } else if (std::strcmp(request, "neon") == 0) {
+    requested = KernelKind::kNeon;
+  }
+  // An unsupported or unrecognized request degrades to the detected best —
+  // an env typo must never crash the server or silently run illegal
+  // instructions.
+  return KernelSupported(requested) ? requested : detected;
+}
+
+}  // namespace detail
+
+bool KernelSupported(KernelKind kind) { return CpuSupports(kind); }
+
+CountFn CountKernel(KernelKind kind) {
+  if (!KernelSupported(kind)) return nullptr;
+  switch (kind) {
+    case KernelKind::kScalar:
+      return &detail::CountScalar;
+#if defined(GPRQ_SIMD_HAVE_AVX)
+    case KernelKind::kAvx2:
+      return &detail::CountAvx2;
+    case KernelKind::kAvx512:
+      return &detail::CountAvx512;
+#endif
+#if defined(GPRQ_SIMD_HAVE_NEON)
+    case KernelKind::kNeon:
+      return &detail::CountNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+FusedCountFn FusedKernel(KernelKind kind) {
+  if (!KernelSupported(kind)) return nullptr;
+  switch (kind) {
+    case KernelKind::kScalar:
+      return &detail::FusedCountScalar;
+#if defined(GPRQ_SIMD_HAVE_AVX)
+    case KernelKind::kAvx2:
+      return &detail::FusedCountAvx2;
+    case KernelKind::kAvx512:
+      return &detail::FusedCountAvx512;
+#endif
+#if defined(GPRQ_SIMD_HAVE_NEON)
+    case KernelKind::kNeon:
+      return &detail::FusedCountNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+const char* KernelName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kAvx2:
+      return "avx2";
+    case KernelKind::kAvx512:
+      return "avx512";
+    case KernelKind::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+KernelKind DispatchedKind() {
+  static const KernelKind kind = ResolveKind();
+  return kind;
+}
+
+CountFn DispatchedCountKernel() {
+  static const CountFn fn = CountKernel(DispatchedKind());
+  return fn;
+}
+
+FusedCountFn DispatchedFusedKernel() {
+  static const FusedCountFn fn = FusedKernel(DispatchedKind());
+  return fn;
+}
+
+}  // namespace gprq::mc::simd

@@ -1,0 +1,83 @@
+#ifndef GPRQ_MC_SIMD_KERNELS_H_
+#define GPRQ_MC_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gprq::mc::simd {
+
+/// Samples per kernel block: the scratch accumulator (16 KB) plus one axis
+/// stream (16 KB) stay resident in L1/L2 while the block is swept once per
+/// dimension. SamplePool::CountWithin feeds the kernels block-sized slices;
+/// a kernel call never sees more than kKernelBlock samples.
+inline constexpr uint64_t kKernelBlock = 2048;
+
+/// The explicit kernel implementations. kScalar is the reference: plain
+/// loops compiled with -ffp-contract=off (no FMA contraction), so its
+/// operation order — subtract, multiply, add, in sample order — is pinned
+/// down exactly. Every vector kernel performs the same operations in the
+/// same per-sample order, only lane-parallel, and also without FMA; IEEE-754
+/// makes each lane's result bit-identical to the scalar kernel's. That
+/// bit-compatibility is a tested contract, not an aspiration: Phase-3
+/// decisions must not depend on which kernel the CPU dispatched (batch
+/// determinism across GPRQ_THREADS and across hosts is a standing contract).
+enum class KernelKind {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Squared-distance-plus-count over one block of a dimension-major SoA
+/// sample pool. `data` points at coordinate 0 of the first sample of the
+/// block; coordinate a of sample i is data[a * stride + i]. Returns the
+/// number of samples i in [0, len) with Σ_a (data[a·stride+i] − object[a])²
+/// ≤ delta_sq. len ≤ kKernelBlock.
+using CountFn = uint64_t (*)(const double* data, size_t stride, size_t dim,
+                             const double* object, double delta_sq,
+                             size_t len);
+
+/// Fused Cholesky transform-and-count over one block of *standard-normal*
+/// draws: z is dimension-major SoA like CountFn's data, chol_lower is the
+/// row-major d×d lower Cholesky factor of the query covariance (upper
+/// triangle ignored), mean is the query mean. Each sample is transformed
+/// x = mean + L·z in the exact accumulation order of
+/// core::GaussianDistribution::Sample (for each coordinate a, add
+/// L(a,j)·z_j for j = 0..a in increasing j), then counted against
+/// (object, delta_sq) like CountFn. This trades the pool's O(n·d) transformed
+/// storage for O(n·d) standard-normal storage reusable across queries of the
+/// same dimension; it is benchmarked and tested standalone, not yet wired
+/// into SamplePool.
+using FusedCountFn = uint64_t (*)(const double* z, size_t stride, size_t dim,
+                                  const double* chol_lower, const double* mean,
+                                  const double* object, double delta_sq,
+                                  size_t len);
+
+/// True when `kind` was compiled in AND the running CPU can execute it.
+/// kScalar is always supported.
+bool KernelSupported(KernelKind kind);
+
+/// Kernel for `kind`, or nullptr when unsupported (tests iterate kinds and
+/// skip nulls).
+CountFn CountKernel(KernelKind kind);
+FusedCountFn FusedKernel(KernelKind kind);
+
+/// Stable lowercase name ("scalar", "avx2", "avx512", "neon") for logs,
+/// bench JSON and the CLI.
+const char* KernelName(KernelKind kind);
+
+/// The kind the process dispatches to, resolved once on first use: the
+/// widest supported vector kernel, overridable with GPRQ_SIMD_KERNEL=
+/// scalar|avx2|avx512|neon (an unsupported request falls back to the
+/// detected best — never a crash). A GPRQ_SIMD=OFF build compiles only the
+/// scalar kernel and always dispatches it.
+KernelKind DispatchedKind();
+
+/// CountKernel(DispatchedKind()) / FusedKernel(DispatchedKind()), cached.
+/// Never null.
+CountFn DispatchedCountKernel();
+FusedCountFn DispatchedFusedKernel();
+
+}  // namespace gprq::mc::simd
+
+#endif  // GPRQ_MC_SIMD_KERNELS_H_

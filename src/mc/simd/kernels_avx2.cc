@@ -1,0 +1,117 @@
+// AVX2 kernels (4 doubles per lane group). Compiled with -mavx2
+// -ffp-contract=off; only dispatch.cc calls in here, after
+// __builtin_cpu_supports("avx2") confirmed the ISA.
+//
+// Bit-compatibility with the scalar kernel is by construction: each lane
+// performs the identical subtract, multiply, add sequence on the identical
+// operands (vsubpd/vmulpd/vaddpd round exactly like their scalar
+// counterparts), and the scalar tail below runs the same three-op sequence.
+// No FMA anywhere — vfmadd rounds once where mul+add rounds twice, which
+// would break the contract.
+
+#include "mc/simd/kernels_internal.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "mc/simd/kernels.h"
+
+namespace gprq::mc::simd::detail {
+
+uint64_t CountAvx2(const double* data, size_t stride, size_t dim,
+                   const double* object, double delta_sq, size_t len) {
+  alignas(32) double acc[kKernelBlock];
+  {
+    const double* x = data;
+    const __m256d o0 = _mm256_set1_pd(object[0]);
+    size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      const __m256d t = _mm256_sub_pd(_mm256_loadu_pd(x + i), o0);
+      _mm256_store_pd(acc + i, _mm256_mul_pd(t, t));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[0];
+      acc[i] = t * t;
+    }
+  }
+  for (size_t a = 1; a < dim; ++a) {
+    const double* x = data + a * stride;
+    const __m256d oa = _mm256_set1_pd(object[a]);
+    size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      const __m256d t = _mm256_sub_pd(_mm256_loadu_pd(x + i), oa);
+      const __m256d sq = _mm256_mul_pd(t, t);
+      _mm256_store_pd(acc + i, _mm256_add_pd(_mm256_load_pd(acc + i), sq));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[a];
+      acc[i] += t * t;
+    }
+  }
+  uint64_t hits = 0;
+  const __m256d threshold = _mm256_set1_pd(delta_sq);
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256d le =
+        _mm256_cmp_pd(_mm256_load_pd(acc + i), threshold, _CMP_LE_OQ);
+    hits += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(le))));
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+uint64_t FusedCountAvx2(const double* z, size_t stride, size_t dim,
+                        const double* chol_lower, const double* mean,
+                        const double* object, double delta_sq, size_t len) {
+  alignas(32) double acc[kKernelBlock];
+  for (size_t a = 0; a < dim; ++a) {
+    const double* row = chol_lower + a * dim;
+    const __m256d ma = _mm256_set1_pd(mean[a]);
+    const __m256d oa = _mm256_set1_pd(object[a]);
+    size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      __m256d y = ma;
+      for (size_t j = 0; j <= a; ++j) {
+        const __m256d lj = _mm256_set1_pd(row[j]);
+        const __m256d zj = _mm256_loadu_pd(z + j * stride + i);
+        y = _mm256_add_pd(y, _mm256_mul_pd(lj, zj));
+      }
+      const __m256d t = _mm256_sub_pd(y, oa);
+      const __m256d sq = _mm256_mul_pd(t, t);
+      if (a == 0) {
+        _mm256_store_pd(acc + i, sq);
+      } else {
+        _mm256_store_pd(acc + i, _mm256_add_pd(_mm256_load_pd(acc + i), sq));
+      }
+    }
+    for (; i < len; ++i) {
+      double y = mean[a];
+      for (size_t j = 0; j <= a; ++j) {
+        y += row[j] * z[j * stride + i];
+      }
+      const double t = y - object[a];
+      if (a == 0) {
+        acc[i] = t * t;
+      } else {
+        acc[i] += t * t;
+      }
+    }
+  }
+  uint64_t hits = 0;
+  const __m256d threshold = _mm256_set1_pd(delta_sq);
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256d le =
+        _mm256_cmp_pd(_mm256_load_pd(acc + i), threshold, _CMP_LE_OQ);
+    hits += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(le))));
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+}  // namespace gprq::mc::simd::detail
+
+#endif  // __AVX2__

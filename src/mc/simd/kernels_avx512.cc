@@ -1,0 +1,110 @@
+// AVX-512F kernels (8 doubles per lane group). Compiled with -mavx512f
+// -ffp-contract=off; only dispatch.cc calls in here, after
+// __builtin_cpu_supports("avx512f"). Same bit-compatibility construction as
+// the AVX2 kernel: identical per-lane subtract/multiply/add, no FMA, and the
+// comparison count comes from the mask register's popcount.
+
+#include "mc/simd/kernels_internal.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "mc/simd/kernels.h"
+
+namespace gprq::mc::simd::detail {
+
+uint64_t CountAvx512(const double* data, size_t stride, size_t dim,
+                     const double* object, double delta_sq, size_t len) {
+  alignas(64) double acc[kKernelBlock];
+  {
+    const double* x = data;
+    const __m512d o0 = _mm512_set1_pd(object[0]);
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      const __m512d t = _mm512_sub_pd(_mm512_loadu_pd(x + i), o0);
+      _mm512_store_pd(acc + i, _mm512_mul_pd(t, t));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[0];
+      acc[i] = t * t;
+    }
+  }
+  for (size_t a = 1; a < dim; ++a) {
+    const double* x = data + a * stride;
+    const __m512d oa = _mm512_set1_pd(object[a]);
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      const __m512d t = _mm512_sub_pd(_mm512_loadu_pd(x + i), oa);
+      const __m512d sq = _mm512_mul_pd(t, t);
+      _mm512_store_pd(acc + i, _mm512_add_pd(_mm512_load_pd(acc + i), sq));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[a];
+      acc[i] += t * t;
+    }
+  }
+  uint64_t hits = 0;
+  const __m512d threshold = _mm512_set1_pd(delta_sq);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __mmask8 le =
+        _mm512_cmp_pd_mask(_mm512_load_pd(acc + i), threshold, _CMP_LE_OQ);
+    hits += static_cast<uint64_t>(__builtin_popcount(le));
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+uint64_t FusedCountAvx512(const double* z, size_t stride, size_t dim,
+                          const double* chol_lower, const double* mean,
+                          const double* object, double delta_sq, size_t len) {
+  alignas(64) double acc[kKernelBlock];
+  for (size_t a = 0; a < dim; ++a) {
+    const double* row = chol_lower + a * dim;
+    const __m512d ma = _mm512_set1_pd(mean[a]);
+    const __m512d oa = _mm512_set1_pd(object[a]);
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      __m512d y = ma;
+      for (size_t j = 0; j <= a; ++j) {
+        const __m512d lj = _mm512_set1_pd(row[j]);
+        const __m512d zj = _mm512_loadu_pd(z + j * stride + i);
+        y = _mm512_add_pd(y, _mm512_mul_pd(lj, zj));
+      }
+      const __m512d t = _mm512_sub_pd(y, oa);
+      const __m512d sq = _mm512_mul_pd(t, t);
+      if (a == 0) {
+        _mm512_store_pd(acc + i, sq);
+      } else {
+        _mm512_store_pd(acc + i, _mm512_add_pd(_mm512_load_pd(acc + i), sq));
+      }
+    }
+    for (; i < len; ++i) {
+      double y = mean[a];
+      for (size_t j = 0; j <= a; ++j) {
+        y += row[j] * z[j * stride + i];
+      }
+      const double t = y - object[a];
+      if (a == 0) {
+        acc[i] = t * t;
+      } else {
+        acc[i] += t * t;
+      }
+    }
+  }
+  uint64_t hits = 0;
+  const __m512d threshold = _mm512_set1_pd(delta_sq);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __mmask8 le =
+        _mm512_cmp_pd_mask(_mm512_load_pd(acc + i), threshold, _CMP_LE_OQ);
+    hits += static_cast<uint64_t>(__builtin_popcount(le));
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+}  // namespace gprq::mc::simd::detail
+
+#endif  // __AVX512F__

@@ -1,0 +1,54 @@
+#ifndef GPRQ_MC_SIMD_KERNELS_INTERNAL_H_
+#define GPRQ_MC_SIMD_KERNELS_INTERNAL_H_
+
+// Linkage between dispatch.cc and the per-ISA kernel translation units.
+// Which of these symbols exist is decided by the build: src/CMakeLists.txt
+// adds kernels_avx2.cc / kernels_avx512.cc only on x86-64 with GPRQ_SIMD=ON
+// (kernels_neon.cc only on aarch64) and tells dispatch.cc so with
+// GPRQ_SIMD_HAVE_AVX / GPRQ_SIMD_HAVE_NEON, so no reference to an
+// uncompiled symbol can leak regardless of what the compiler's own target
+// macros say.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mc/simd/kernels.h"
+
+namespace gprq::mc::simd::detail {
+
+/// The GPRQ_SIMD_KERNEL override resolution (a null/empty/unknown/
+/// unsupported request falls back to the detected best), separated from the
+/// getenv so tests can exercise every branch without mutating process
+/// environment behind the cached dispatch.
+KernelKind ResolveRequest(const char* request);
+
+uint64_t CountScalar(const double* data, size_t stride, size_t dim,
+                     const double* object, double delta_sq, size_t len);
+uint64_t FusedCountScalar(const double* z, size_t stride, size_t dim,
+                          const double* chol_lower, const double* mean,
+                          const double* object, double delta_sq, size_t len);
+
+#if defined(GPRQ_SIMD_HAVE_AVX) || defined(__AVX2__) || defined(__AVX512F__)
+uint64_t CountAvx2(const double* data, size_t stride, size_t dim,
+                   const double* object, double delta_sq, size_t len);
+uint64_t FusedCountAvx2(const double* z, size_t stride, size_t dim,
+                        const double* chol_lower, const double* mean,
+                        const double* object, double delta_sq, size_t len);
+uint64_t CountAvx512(const double* data, size_t stride, size_t dim,
+                     const double* object, double delta_sq, size_t len);
+uint64_t FusedCountAvx512(const double* z, size_t stride, size_t dim,
+                          const double* chol_lower, const double* mean,
+                          const double* object, double delta_sq, size_t len);
+#endif
+
+#if defined(GPRQ_SIMD_HAVE_NEON) || defined(__ARM_NEON)
+uint64_t CountNeon(const double* data, size_t stride, size_t dim,
+                   const double* object, double delta_sq, size_t len);
+uint64_t FusedCountNeon(const double* z, size_t stride, size_t dim,
+                        const double* chol_lower, const double* mean,
+                        const double* object, double delta_sq, size_t len);
+#endif
+
+}  // namespace gprq::mc::simd::detail
+
+#endif  // GPRQ_MC_SIMD_KERNELS_INTERNAL_H_

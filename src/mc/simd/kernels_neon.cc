@@ -1,0 +1,116 @@
+// NEON kernels (2 doubles per lane group), the aarch64 fallback. NEON is
+// baseline on aarch64 so no extra -m flags, but the TU is still compiled
+// with -ffp-contract=off: vsubq/vmulq/vaddq round like scalar ops, and the
+// compiler must not re-fuse the explicit mul+add into vfmaq.
+
+#include "mc/simd/kernels_internal.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "mc/simd/kernels.h"
+
+namespace gprq::mc::simd::detail {
+
+namespace {
+
+inline uint64_t CountLanesLe(float64x2_t acc, float64x2_t threshold) {
+  // vcleq_f64 yields all-ones per qualifying lane; shifting down to bit 0
+  // turns each lane into 0/1 for a horizontal add.
+  const uint64x2_t le = vcleq_f64(acc, threshold);
+  return vaddvq_u64(vshrq_n_u64(le, 63));
+}
+
+}  // namespace
+
+uint64_t CountNeon(const double* data, size_t stride, size_t dim,
+                   const double* object, double delta_sq, size_t len) {
+  alignas(16) double acc[kKernelBlock];
+  {
+    const double* x = data;
+    const float64x2_t o0 = vdupq_n_f64(object[0]);
+    size_t i = 0;
+    for (; i + 2 <= len; i += 2) {
+      const float64x2_t t = vsubq_f64(vld1q_f64(x + i), o0);
+      vst1q_f64(acc + i, vmulq_f64(t, t));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[0];
+      acc[i] = t * t;
+    }
+  }
+  for (size_t a = 1; a < dim; ++a) {
+    const double* x = data + a * stride;
+    const float64x2_t oa = vdupq_n_f64(object[a]);
+    size_t i = 0;
+    for (; i + 2 <= len; i += 2) {
+      const float64x2_t t = vsubq_f64(vld1q_f64(x + i), oa);
+      const float64x2_t sq = vmulq_f64(t, t);
+      vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), sq));
+    }
+    for (; i < len; ++i) {
+      const double t = x[i] - object[a];
+      acc[i] += t * t;
+    }
+  }
+  uint64_t hits = 0;
+  const float64x2_t threshold = vdupq_n_f64(delta_sq);
+  size_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    hits += CountLanesLe(vld1q_f64(acc + i), threshold);
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+uint64_t FusedCountNeon(const double* z, size_t stride, size_t dim,
+                        const double* chol_lower, const double* mean,
+                        const double* object, double delta_sq, size_t len) {
+  alignas(16) double acc[kKernelBlock];
+  for (size_t a = 0; a < dim; ++a) {
+    const double* row = chol_lower + a * dim;
+    const float64x2_t ma = vdupq_n_f64(mean[a]);
+    const float64x2_t oa = vdupq_n_f64(object[a]);
+    size_t i = 0;
+    for (; i + 2 <= len; i += 2) {
+      float64x2_t y = ma;
+      for (size_t j = 0; j <= a; ++j) {
+        const float64x2_t lj = vdupq_n_f64(row[j]);
+        const float64x2_t zj = vld1q_f64(z + j * stride + i);
+        y = vaddq_f64(y, vmulq_f64(lj, zj));
+      }
+      const float64x2_t t = vsubq_f64(y, oa);
+      const float64x2_t sq = vmulq_f64(t, t);
+      if (a == 0) {
+        vst1q_f64(acc + i, sq);
+      } else {
+        vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), sq));
+      }
+    }
+    for (; i < len; ++i) {
+      double y = mean[a];
+      for (size_t j = 0; j <= a; ++j) {
+        y += row[j] * z[j * stride + i];
+      }
+      const double t = y - object[a];
+      if (a == 0) {
+        acc[i] = t * t;
+      } else {
+        acc[i] += t * t;
+      }
+    }
+  }
+  uint64_t hits = 0;
+  const float64x2_t threshold = vdupq_n_f64(delta_sq);
+  size_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    hits += CountLanesLe(vld1q_f64(acc + i), threshold);
+  }
+  for (; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+}  // namespace gprq::mc::simd::detail
+
+#endif  // __aarch64__ && __ARM_NEON

@@ -1,0 +1,68 @@
+// Reference kernels. This translation unit is compiled with
+// -ffp-contract=off (see src/CMakeLists.txt): the subtract / multiply / add
+// sequence below must stay three rounded IEEE-754 operations, never a fused
+// multiply-add, because the vector kernels replicate exactly that sequence
+// per lane and the bit-compatibility contract is asserted by test.
+
+#include "mc/simd/kernels_internal.h"
+
+#include "mc/simd/kernels.h"
+
+namespace gprq::mc::simd::detail {
+
+uint64_t CountScalar(const double* data, size_t stride, size_t dim,
+                     const double* object, double delta_sq, size_t len) {
+  double acc[kKernelBlock];
+  {
+    const double* x = data;  // axis 0 initializes acc
+    const double o0 = object[0];
+    for (size_t i = 0; i < len; ++i) {
+      const double t = x[i] - o0;
+      acc[i] = t * t;
+    }
+  }
+  for (size_t a = 1; a < dim; ++a) {
+    const double* x = data + a * stride;
+    const double oa = object[a];
+    for (size_t i = 0; i < len; ++i) {
+      const double t = x[i] - oa;
+      acc[i] += t * t;
+    }
+  }
+  uint64_t hits = 0;
+  for (size_t i = 0; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+uint64_t FusedCountScalar(const double* z, size_t stride, size_t dim,
+                          const double* chol_lower, const double* mean,
+                          const double* object, double delta_sq, size_t len) {
+  double acc[kKernelBlock];
+  // Coordinate a of sample i is mean[a] + Σ_{j<=a} L(a,j)·z_j[i], accumulated
+  // in increasing j — the exact order of GaussianDistribution::Sample, so a
+  // fused count agrees bit-for-bit with counting a pre-transformed pool
+  // built from the same standard-normal draws (when neither path contracts
+  // to FMA).
+  for (size_t a = 0; a < dim; ++a) {
+    const double* row = chol_lower + a * dim;
+    const double ma = mean[a];
+    const double oa = object[a];
+    for (size_t i = 0; i < len; ++i) {
+      double y = ma;
+      for (size_t j = 0; j <= a; ++j) {
+        y += row[j] * z[j * stride + i];
+      }
+      const double t = y - oa;
+      if (a == 0) {
+        acc[i] = t * t;
+      } else {
+        acc[i] += t * t;
+      }
+    }
+  }
+  uint64_t hits = 0;
+  for (size_t i = 0; i < len; ++i) hits += acc[i] <= delta_sq;
+  return hits;
+}
+
+}  // namespace gprq::mc::simd::detail

@@ -19,7 +19,12 @@ size_t NextThreadIndex() {
 namespace {
 
 /// Quantile q from log2 bucket counts: find the bucket holding the target
-/// rank and interpolate linearly inside its [2^(b-1), 2^b) value range.
+/// rank and interpolate linearly inside its value range. Buckets 0 and 1
+/// are singletons ({0} and {1} — bit_width maps no other values there), so
+/// quantiles landing in them are exact; interpolating bucket 1 over a
+/// [2^0, 2^1) span would invent fractional values like 1.5 that were never
+/// recorded (and all-zero series would still honestly report 0, but
+/// tiny-value series would not).
 double BucketQuantile(const uint64_t (&buckets)[Histogram::kBuckets],
                       uint64_t count, double q) {
   if (count == 0) return 0.0;
@@ -29,9 +34,8 @@ double BucketQuantile(const uint64_t (&buckets)[Histogram::kBuckets],
     if (buckets[b] == 0) continue;
     const uint64_t next = cumulative + buckets[b];
     if (static_cast<double>(next) >= target) {
-      // Bucket 0 holds only the value 0; bucket b >= 1 spans
-      // [2^(b-1), 2^b).
       if (b == 0) return 0.0;
+      if (b == 1) return 1.0;
       const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
       const double hi = 2.0 * lo;
       const double fraction =

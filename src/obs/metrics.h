@@ -135,9 +135,11 @@ class Gauge {
 };
 
 /// Point-in-time view of one histogram: total count/sum plus quantiles
-/// interpolated from the log2 buckets (each bucket spans [2^(b-1), 2^b), so
-/// a quantile is exact to within a factor of 2 and linearly interpolated
-/// inside its bucket — plenty for latency reporting).
+/// interpolated from the log2 buckets. Bucket 0 holds exactly the value 0
+/// and bucket 1 exactly the value 1 (bit_width), so quantiles landing there
+/// are exact — 0.0 and 1.0, never a fraction; bucket b ≥ 2 spans
+/// [2^(b-1), 2^b), so a quantile there is exact to within a factor of 2 and
+/// linearly interpolated inside its bucket — plenty for latency reporting.
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;  // sum of recorded values (nanoseconds for timers)

@@ -86,6 +86,14 @@ struct QueryTrace {
   uint64_t admission_wait_nanos = 0;  // time in the bounded admission queue
   double cost_estimate = 0.0;         // final admission cost (post-refine)
 
+  // ---- Semantic result cache (set by the cache-aware exec path). ----
+  // Exact hit: the stored complete answer was served verbatim — no filter
+  // phases, no Phase 3, so the phase spans above stay zero. Semantic hit:
+  // Phases 1-2 ran as a containment re-filter over the cached candidate
+  // set (no index visits) and Phase 3 ran normally over the survivors.
+  bool cache_hit_exact = false;
+  bool cache_hit_semantic = false;
+
   double phase_seconds(Phase phase) const {
     return static_cast<double>(phase_nanos[phase]) * 1e-9;
   }

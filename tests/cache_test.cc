@@ -1,0 +1,397 @@
+// Differential tests for the fingerprint-keyed semantic result cache: a
+// cache hit — exact or by θ-containment — must return ids set-identical to
+// an uncached execution of the same query, across dimensions, and the
+// bounded cache must keep that guarantee under eviction pressure. The
+// cached executor runs Phase 3 through the dispatched SIMD kernel; the
+// uncached references run the identical pool path, and the GPRQ_SIMD=OFF CI
+// leg re-runs this whole suite with only the scalar kernel compiled, so
+// both cache soundness and kernel-independence are checked differentially.
+
+#include "cache/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/batch_executor.h"
+#include "index/str_bulk_load.h"
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace gprq::cache {
+namespace {
+
+struct Fixture {
+  workload::Dataset dataset;
+  index::RStarTree tree;
+
+  static Fixture Make(size_t dim, size_t n, uint64_t seed) {
+    const geom::Rect extent(la::Vector(dim, 0.0), la::Vector(dim, 100.0));
+    auto dataset = workload::GenerateUniform(n, extent, seed);
+    auto tree = index::StrBulkLoader::Load(dim, dataset.points);
+    EXPECT_TRUE(tree.ok());
+    return Fixture{std::move(dataset), std::move(*tree)};
+  }
+};
+
+core::PrqQuery MakeQuery(const Fixture& fixture, size_t center_index,
+                         double sigma, double delta, double theta) {
+  const size_t dim = fixture.dataset.dim;
+  la::Vector diag(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    diag[i] = sigma * sigma * (1.0 + 0.25 * static_cast<double>(i));
+  }
+  auto g = core::GaussianDistribution::Create(
+      fixture.dataset.points[center_index % fixture.dataset.size()],
+      la::Matrix::Diagonal(diag));
+  EXPECT_TRUE(g.ok());
+  return core::PrqQuery{std::move(*g), delta, theta};
+}
+
+core::PrqEngine::EvaluatorFactory McFactory(uint64_t samples) {
+  return [samples](size_t worker) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<mc::MonteCarloEvaluator>(
+        mc::MonteCarloOptions{.samples = samples, .seed = 7 + worker});
+  };
+}
+
+std::vector<index::ObjectId> Sorted(std::vector<index::ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(FilterConfigBits, SeparatesAnswerChangingOptionsOnly) {
+  core::PrqOptions base;
+  const uint64_t base_bits = FilterConfigBits(base);
+
+  core::PrqOptions other = base;
+  other.strategies = core::kStrategyRR;
+  EXPECT_NE(FilterConfigBits(other), base_bits);
+  other = base;
+  other.use_catalogs = !base.use_catalogs;
+  EXPECT_NE(FilterConfigBits(other), base_bits);
+  other = base;
+  other.fringe_filter_any_dim = !base.fringe_filter_any_dim;
+  EXPECT_NE(FilterConfigBits(other), base_bits);
+  other = base;
+  other.use_marginal_filter = !base.use_marginal_filter;
+  EXPECT_NE(FilterConfigBits(other), base_bits);
+
+  // Priority (and budgets generally) truncates work but never alters
+  // decided ids — it must not fragment the cache key space.
+  other = base;
+  other.priority = core::kPriorityCritical;
+  EXPECT_EQ(FilterConfigBits(other), base_bits);
+}
+
+// The tentpole contract: an exact cache hit returns the bit-identical id
+// set an uncached execution of the same query produces — at d = 2, 3 and 9.
+TEST(ResultCacheDifferential, ExactHitMatchesUncachedAcrossDimensions) {
+  for (const size_t dim : {size_t{2}, size_t{3}, size_t{9}}) {
+    auto fixture = Fixture::Make(dim, 2000, 40 + dim);
+    const core::PrqEngine engine(&fixture.tree);
+    const core::PrqOptions options;
+    // δ grows with √d so the query keeps a non-trivial result set as the
+    // volume concentrates away from the mean.
+    const double delta = 8.0 * std::sqrt(static_cast<double>(dim));
+    const auto query = MakeQuery(fixture, 123, 2.0, delta, 0.05);
+
+    auto uncached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+    ASSERT_TRUE(uncached.ok());
+    auto fresh = (*uncached)->SubmitBounded(query, options);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(fresh->complete());
+    ASSERT_FALSE(fresh->ids.empty()) << "d=" << dim;
+
+    auto cached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE((*cached)->EnableResultCache(ResultCacheOptions{}).ok());
+
+    obs::QueryTrace miss_trace;
+    auto first = (*cached)->SubmitBounded(query, options, nullptr,
+                                          &miss_trace);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(miss_trace.cache_hit_exact);
+    EXPECT_EQ(Sorted(first->ids), Sorted(fresh->ids)) << "d=" << dim;
+
+    obs::QueryTrace hit_trace;
+    auto second = (*cached)->SubmitBounded(query, options, nullptr,
+                                           &hit_trace);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(hit_trace.cache_hit_exact) << "d=" << dim;
+    EXPECT_FALSE(hit_trace.cache_hit_semantic);
+    EXPECT_EQ(Sorted(second->ids), Sorted(fresh->ids)) << "d=" << dim;
+    EXPECT_EQ((*cached)->result_cache()->entries(), 1u);
+  }
+}
+
+// The containment rule: a query at θ' ≥ θ_cached is served from the cached
+// candidate set, and its ids must equal a from-scratch execution at θ'.
+TEST(ResultCacheDifferential, SemanticHitMatchesUncachedAcrossDimensions) {
+  for (const size_t dim : {size_t{2}, size_t{3}, size_t{9}}) {
+    auto fixture = Fixture::Make(dim, 2000, 60 + dim);
+    const core::PrqEngine engine(&fixture.tree);
+    const core::PrqOptions options;
+    const double delta = 8.0 * std::sqrt(static_cast<double>(dim));
+    const auto wide = MakeQuery(fixture, 77, 2.0, delta, 0.02);
+    core::PrqQuery narrow = wide;
+    narrow.theta = 0.3;
+
+    auto uncached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+    ASSERT_TRUE(uncached.ok());
+    auto fresh_narrow = (*uncached)->SubmitBounded(narrow, options);
+    ASSERT_TRUE(fresh_narrow.ok());
+    ASSERT_TRUE(fresh_narrow->complete());
+
+    auto cached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE((*cached)->EnableResultCache(ResultCacheOptions{}).ok());
+    auto seeded = (*cached)->SubmitBounded(wide, options);
+    ASSERT_TRUE(seeded.ok());
+    ASSERT_TRUE(seeded->complete());
+
+    obs::QueryTrace trace;
+    auto served = (*cached)->SubmitBounded(narrow, options, nullptr, &trace);
+    ASSERT_TRUE(served.ok());
+    EXPECT_TRUE(trace.cache_hit_semantic) << "d=" << dim;
+    EXPECT_FALSE(trace.cache_hit_exact);
+    // Served by containment: the index was never touched.
+    EXPECT_EQ(trace.index_visits, 0u);
+    EXPECT_EQ(Sorted(served->ids), Sorted(fresh_narrow->ids)) << "d=" << dim;
+    // The narrower result is a subset of the wider one (θ monotonicity).
+    for (const index::ObjectId id : served->ids) {
+      EXPECT_NE(std::find(seeded->ids.begin(), seeded->ids.end(), id),
+                seeded->ids.end());
+    }
+  }
+}
+
+TEST(ResultCacheDifferential, SemanticOffFallsBackToFullExecution) {
+  auto fixture = Fixture::Make(2, 1500, 5);
+  const core::PrqEngine engine(&fixture.tree);
+  const core::PrqOptions options;
+  const auto wide = MakeQuery(fixture, 9, 2.0, 12.0, 0.02);
+  core::PrqQuery narrow = wide;
+  narrow.theta = 0.25;
+
+  auto executor = exec::BatchExecutor::Create(&engine, McFactory(20000), 2);
+  ASSERT_TRUE(executor.ok());
+  ResultCacheOptions cache_options;
+  cache_options.semantic = false;
+  ASSERT_TRUE((*executor)->EnableResultCache(cache_options).ok());
+
+  ASSERT_TRUE((*executor)->SubmitBounded(wide, options).ok());
+  obs::QueryTrace trace;
+  auto served = (*executor)->SubmitBounded(narrow, options, nullptr, &trace);
+  ASSERT_TRUE(served.ok());
+  EXPECT_FALSE(trace.cache_hit_semantic);
+  EXPECT_FALSE(trace.cache_hit_exact);
+  EXPECT_GT(trace.index_visits, 0u);  // full Phase 1 ran
+}
+
+TEST(ResultCacheDifferential, ChangedFilterConfigMisses) {
+  auto fixture = Fixture::Make(2, 1500, 6);
+  const core::PrqEngine engine(&fixture.tree);
+  const auto query = MakeQuery(fixture, 31, 2.0, 12.0, 0.05);
+
+  auto executor = exec::BatchExecutor::Create(&engine, McFactory(20000), 2);
+  ASSERT_TRUE(executor.ok());
+  ASSERT_TRUE((*executor)->EnableResultCache(ResultCacheOptions{}).ok());
+
+  core::PrqOptions all;
+  ASSERT_TRUE((*executor)->SubmitBounded(query, all).ok());
+  core::PrqOptions rr_only;
+  rr_only.strategies = core::kStrategyRR;
+  obs::QueryTrace trace;
+  auto result = (*executor)->SubmitBounded(query, rr_only, nullptr, &trace);
+  ASSERT_TRUE(result.ok());
+  // Different filter config — a different answer pipeline — must not hit.
+  EXPECT_FALSE(trace.cache_hit_exact);
+  EXPECT_FALSE(trace.cache_hit_semantic);
+  EXPECT_EQ((*executor)->result_cache()->entries(), 2u);
+}
+
+// Satellite regression: -0.0 and +0.0 mean coordinates are the same query
+// and must share one cache entry (CanonicalDoubleBits normalizes the sign).
+TEST(ResultCacheDifferential, NegativeZeroMeanIsAnExactHit) {
+  auto fixture = Fixture::Make(2, 1000, 7);
+  const core::PrqEngine engine(&fixture.tree);
+  const core::PrqOptions options;
+
+  auto make = [&](double x0) {
+    auto g = core::GaussianDistribution::Create(
+        la::Vector{x0, 50.0}, la::Matrix::Identity(2) * 4.0);
+    EXPECT_TRUE(g.ok());
+    return core::PrqQuery{std::move(*g), 60.0, 0.05};
+  };
+
+  auto executor = exec::BatchExecutor::Create(&engine, McFactory(10000), 2);
+  ASSERT_TRUE(executor.ok());
+  ASSERT_TRUE((*executor)->EnableResultCache(ResultCacheOptions{}).ok());
+
+  auto first = (*executor)->SubmitBounded(make(+0.0), options);
+  ASSERT_TRUE(first.ok());
+  obs::QueryTrace trace;
+  auto second =
+      (*executor)->SubmitBounded(make(-0.0), options, nullptr, &trace);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(trace.cache_hit_exact);
+  EXPECT_EQ(Sorted(second->ids), Sorted(first->ids));
+  EXPECT_EQ((*executor)->result_cache()->entries(), 1u);
+}
+
+// Eviction under pressure: a 3-entry cache fed 8 distinct queries must stay
+// bounded, keep serving hits for resident entries, and — the differential
+// part — every answer (hit, miss, or re-computed after eviction) must equal
+// the uncached reference.
+TEST(ResultCacheDifferential, EvictionUnderPressureStaysSound) {
+  auto fixture = Fixture::Make(2, 2500, 8);
+  const core::PrqEngine engine(&fixture.tree);
+  const core::PrqOptions options;
+
+  auto uncached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+  ASSERT_TRUE(uncached.ok());
+  auto cached = exec::BatchExecutor::Create(&engine, McFactory(20000), 3);
+  ASSERT_TRUE(cached.ok());
+  ResultCacheOptions cache_options;
+  cache_options.max_entries = 3;
+  ASSERT_TRUE((*cached)->EnableResultCache(cache_options).ok());
+
+  std::vector<core::PrqQuery> queries;
+  for (size_t q = 0; q < 8; ++q) {
+    queries.push_back(MakeQuery(fixture, 311 * q + 17, 2.0, 14.0, 0.05));
+  }
+  std::vector<std::vector<index::ObjectId>> reference;
+  for (const auto& query : queries) {
+    auto fresh = (*uncached)->SubmitBounded(query, options);
+    ASSERT_TRUE(fresh.ok());
+    reference.push_back(Sorted(fresh->ids));
+  }
+
+  // Two passes over the stream: the second revisits evicted entries (miss,
+  // recompute, re-insert) and resident ones (hit) in unpredictable mixture.
+  for (size_t pass = 0; pass < 2; ++pass) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = (*cached)->SubmitBounded(queries[q], options);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(Sorted(result->ids), reference[q])
+          << "pass=" << pass << " q=" << q;
+      EXPECT_LE((*cached)->result_cache()->entries(), 3u);
+    }
+  }
+  // The most recent query must be resident now.
+  obs::QueryTrace trace;
+  ASSERT_TRUE(
+      (*cached)->SubmitBounded(queries.back(), options, nullptr, &trace).ok());
+  EXPECT_TRUE(trace.cache_hit_exact);
+}
+
+TEST(ResultCacheDifferential, ByteBoundEvicts) {
+  auto fixture = Fixture::Make(2, 2500, 9);
+  const core::PrqEngine engine(&fixture.tree);
+  const core::PrqOptions options;
+  auto executor = exec::BatchExecutor::Create(&engine, McFactory(10000), 2);
+  ASSERT_TRUE(executor.ok());
+  ResultCacheOptions cache_options;
+  cache_options.max_bytes = 4096;  // a handful of small entries at most
+  ASSERT_TRUE((*executor)->EnableResultCache(cache_options).ok());
+
+  for (size_t q = 0; q < 10; ++q) {
+    const auto query = MakeQuery(fixture, 97 * q + 3, 2.0, 14.0, 0.05);
+    ASSERT_TRUE((*executor)->SubmitBounded(query, options).ok());
+    EXPECT_LE((*executor)->result_cache()->bytes(), 4096u);
+  }
+}
+
+// Unit-level cache behaviors that need no executor.
+
+core::PrqQuery SyntheticQuery(double x, double delta, double theta) {
+  auto g = core::GaussianDistribution::Create(la::Vector{x, 0.0},
+                                              la::Matrix::Identity(2));
+  EXPECT_TRUE(g.ok());
+  return core::PrqQuery{std::move(*g), delta, theta};
+}
+
+geom::Rect BoxAround(double x, double r) {
+  return geom::Rect(la::Vector{x - r, -r}, la::Vector{x + r, r});
+}
+
+TEST(ResultCache, RegionInvalidationDropsIntersectingEntriesOnly) {
+  ResultCache cache(ResultCacheOptions{});
+  for (const double x : {0.0, 100.0, 200.0}) {
+    cache.Insert(SyntheticQuery(x, 1.0, 0.1), 0, BoxAround(x, 5.0), {},
+                 {index::ObjectId{1}});
+  }
+  ASSERT_EQ(cache.entries(), 3u);
+  // A region overlapping only the x=100 box.
+  EXPECT_EQ(cache.Invalidate(BoxAround(98.0, 3.0)), 1u);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.Find(SyntheticQuery(100.0, 1.0, 0.1), 0).kind,
+            ResultCache::HitKind::kMiss);
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0).kind,
+            ResultCache::HitKind::kExact);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCache, SemanticPrefersTightestEligibleTheta) {
+  ResultCache cache(ResultCacheOptions{});
+  for (const double theta : {0.05, 0.2, 0.4}) {
+    cache.Insert(SyntheticQuery(0.0, 1.0, theta), 0, BoxAround(0.0, 5.0), {},
+                 {});
+  }
+  const auto hit = cache.Find(SyntheticQuery(0.0, 1.0, 0.3), 0);
+  ASSERT_EQ(hit.kind, ResultCache::HitKind::kSemantic);
+  // θ=0.2 is the largest cached θ ≤ 0.3 — the tightest superset.
+  EXPECT_EQ(hit.entry->theta, 0.2);
+  // No eligible entry below: every cached θ exceeds the query's.
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.01), 0).kind,
+            ResultCache::HitKind::kMiss);
+}
+
+TEST(ResultCache, DeltaAndConfigPartitionFamilies) {
+  ResultCache cache(ResultCacheOptions{});
+  cache.Insert(SyntheticQuery(0.0, 1.0, 0.05), 0, BoxAround(0.0, 5.0), {}, {});
+  // Same distribution, different δ: not even a semantic hit.
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 2.0, 0.1), 0).kind,
+            ResultCache::HitKind::kMiss);
+  // Same everything, different config bits: miss.
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.05), 1).kind,
+            ResultCache::HitKind::kMiss);
+}
+
+TEST(ResultCache, OversizeEntryIsDroppedNotInserted) {
+  ResultCacheOptions options;
+  options.max_bytes = 256;  // smaller than any real entry
+  ResultCache cache(options);
+  std::vector<std::pair<la::Vector, index::ObjectId>> candidates(
+      64, {la::Vector{0.0, 0.0}, index::ObjectId{0}});
+  cache.Insert(SyntheticQuery(0.0, 1.0, 0.1), 0, BoxAround(0.0, 5.0),
+               std::move(candidates), {});
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCache, LruOrderGovernsEviction) {
+  ResultCacheOptions options;
+  options.max_entries = 2;
+  ResultCache cache(options);
+  cache.Insert(SyntheticQuery(0.0, 1.0, 0.1), 0, BoxAround(0.0, 1.0), {}, {});
+  cache.Insert(SyntheticQuery(1.0, 1.0, 0.1), 0, BoxAround(1.0, 1.0), {}, {});
+  // Touch the older entry, then overflow: the untouched one must go.
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0).kind,
+            ResultCache::HitKind::kExact);
+  cache.Insert(SyntheticQuery(2.0, 1.0, 0.1), 0, BoxAround(2.0, 1.0), {}, {});
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0).kind,
+            ResultCache::HitKind::kExact);
+  EXPECT_EQ(cache.Find(SyntheticQuery(1.0, 1.0, 0.1), 0).kind,
+            ResultCache::HitKind::kMiss);
+}
+
+}  // namespace
+}  // namespace gprq::cache

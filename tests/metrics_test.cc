@@ -59,6 +59,43 @@ TEST(Histogram, CountSumAndQuantileBrackets) {
   EXPECT_LE(snapshot.p95, snapshot.p99);
 }
 
+TEST(Histogram, SingletonBucketQuantilesAreExact) {
+  // Buckets 0 and 1 are singletons ({0} and {1}): quantiles landing there
+  // must report the exact recorded value, never an interpolated fraction.
+  Histogram zeros;
+  for (int i = 0; i < 100; ++i) zeros.Record(0);
+  const HistogramSnapshot z = zeros.Snapshot();
+  EXPECT_DOUBLE_EQ(z.p50, 0.0);
+  EXPECT_DOUBLE_EQ(z.p95, 0.0);
+  EXPECT_DOUBLE_EQ(z.p99, 0.0);
+
+  Histogram ones;
+  for (int i = 0; i < 100; ++i) ones.Record(1);
+  const HistogramSnapshot o = ones.Snapshot();
+  EXPECT_DOUBLE_EQ(o.p50, 1.0);
+  EXPECT_DOUBLE_EQ(o.p95, 1.0);
+  EXPECT_DOUBLE_EQ(o.p99, 1.0);
+
+  // From bucket 2 on ([2, 4)) the factor-2 interpolation contract applies.
+  Histogram twos;
+  for (int i = 0; i < 100; ++i) twos.Record(2);
+  const HistogramSnapshot t = twos.Snapshot();
+  EXPECT_GE(t.p50, 2.0);
+  EXPECT_LE(t.p50, 4.0);
+  EXPECT_GE(t.p99, 2.0);
+  EXPECT_LE(t.p99, 4.0);
+
+  // Mixed 0/1 series: each quantile resolves to whichever singleton bucket
+  // its rank falls in — exactly 0 or exactly 1, nothing in between.
+  Histogram mixed;
+  for (int i = 0; i < 10; ++i) mixed.Record(0);
+  for (int i = 0; i < 10; ++i) mixed.Record(1);
+  const HistogramSnapshot m = mixed.Snapshot();
+  EXPECT_DOUBLE_EQ(m.p50, 0.0);
+  EXPECT_DOUBLE_EQ(m.p95, 1.0);
+  EXPECT_DOUBLE_EQ(m.p99, 1.0);
+}
+
 TEST(Histogram, ZeroAndHugeValuesLand) {
   Histogram histogram;
   histogram.Record(0);

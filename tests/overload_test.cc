@@ -102,6 +102,35 @@ TEST(OverloadPolicyTest, RetryAfterSecondsParsesTheHint) {
                    0.2);
 }
 
+TEST(OverloadPolicyTest, RetryAfterSecondsRejectsMalformedHints) {
+  const double fallback = 0.25;
+  const auto parse = [&](const char* message) {
+    return RetryAfterSeconds(Status::ResourceExhausted(message), fallback);
+  };
+  // Grammar edges: the tag with no digits, non-digit garbage, a sign, or
+  // whitespace after '=' must all yield the fallback — never 0, never a
+  // partial parse of what follows.
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms="), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=abc"), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=-50"), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms= 50"), fallback);
+  // A zero hint would spin-retry; refuse it.
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=0"), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=000"), fallback);
+  // Values past the 1-hour sanity cap (including would-be overflows that
+  // strtol would saturate) are bogus.
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=3600001"), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=99999999"), fallback);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=18446744073709551617"),
+                   fallback);
+  // Valid hints still parse — at the boundaries and mid-message.
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=1"), 0.001);
+  EXPECT_DOUBLE_EQ(parse("shed; retry_after_ms=3600000"), 3600.0);
+  EXPECT_DOUBLE_EQ(parse("retry_after_ms=250; queue full"), 0.25);
+  // Digits terminate at the first non-digit; the prefix alone counts.
+  EXPECT_DOUBLE_EQ(parse("retry_after_ms=75ms"), 0.075);
+}
+
 // ---- LoadShedder hysteresis. ----------------------------------------------
 
 OverloadPolicy ShedderPolicy() {

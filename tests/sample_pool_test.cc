@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <iterator>
+#include <limits>
 #include <vector>
 
 #include "mc/adaptive_monte_carlo.h"
@@ -175,6 +176,40 @@ TEST(SamplePool, EdgeCases) {
   const SamplePool tiny(g, 0, random2);
   EXPECT_EQ(tiny.size(), 1u);
   EXPECT_NO_FATAL_FAILURE(tiny.Decide(at_mean, 1.0, 0.5));
+}
+
+TEST(QueryFingerprint, CanonicalizesNegativeZeroAndNaN) {
+  // -0.0 and +0.0 are the same real number and sample identically, so they
+  // must digest identically (regression: the raw-bit fingerprint split them,
+  // which would fork sample pools — and cache entries — for one query).
+  EXPECT_EQ(CanonicalDoubleBits(-0.0), CanonicalDoubleBits(0.0));
+  EXPECT_NE(CanonicalDoubleBits(-0.0), CanonicalDoubleBits(1.0));
+  // Every NaN payload collapses to one canonical encoding.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(CanonicalDoubleBits(qnan), CanonicalDoubleBits(-qnan));
+  EXPECT_EQ(CanonicalDoubleBits(qnan),
+            CanonicalDoubleBits(std::nan("0x5eed")));
+  // Ordinary values keep their exact bit patterns (no normalization beyond
+  // the two special cases — distinct values must stay distinct).
+  EXPECT_NE(CanonicalDoubleBits(1.0), CanonicalDoubleBits(std::nextafter(
+                                          1.0, 2.0)));
+
+  const auto plus = MakeGaussian(la::Vector{0.0, 2.0},
+                                 la::Matrix::Identity(2));
+  const auto minus = MakeGaussian(la::Vector{-0.0, 2.0},
+                                  la::Matrix::Identity(2));
+  EXPECT_EQ(QueryFingerprint(plus), QueryFingerprint(minus));
+  const auto other = MakeGaussian(la::Vector{0.5, 2.0},
+                                  la::Matrix::Identity(2));
+  EXPECT_NE(QueryFingerprint(plus), QueryFingerprint(other));
+
+  // The determinism contract downstream of the fingerprint: evaluators
+  // seeded with it build identical pools for both encodings.
+  rng::Random ra(QueryFingerprint(plus)), rb(QueryFingerprint(minus));
+  const SamplePool pa(plus, 1000, ra), pb(minus, 1000, rb);
+  const la::Vector object{0.3, 1.7};
+  EXPECT_EQ(pa.CountWithin(object, 2.0, 0, pa.size()),
+            pb.CountWithin(object, 2.0, 0, pb.size()));
 }
 
 TEST(SamplePool, WilsonCompareSeparatesAndStaysUndecided) {

@@ -55,6 +55,11 @@ int Usage() {
       "             SPEC uses the defaults. The query is then submitted\n"
       "             through admission control and may be shed with a\n"
       "             retry-after hint or answered under brownout.)\n"
+      "            [--result-cache [--theta2 T2]]\n"
+      "            (runs the query twice through a cache-enabled executor\n"
+      "             — the repeat is an exact cache hit — and, with --theta2\n"
+      "             >= theta, a third time at the narrower threshold, served\n"
+      "             from the cached answer by containment.)\n"
       "  pnn       --data FILE.csv --q x,y,... [--gamma G | --stddev S]\n"
       "            [--samples N]\n"
       "  estimate  --data FILE.csv --q x,y,... --delta D --theta T\n"
@@ -258,6 +263,62 @@ int RunQuery(const FlagSet& flags) {
     }
     return std::make_unique<mc::ImhofEvaluator>();
   };
+
+  if (flags.Has("result-cache")) {
+    // Cache demonstration path: one executor with the semantic result
+    // cache enabled, the same query twice (the repeat is an exact hit),
+    // and optionally a narrower θ' served by containment.
+    if (evaluator_kind != "imhof" && evaluator_kind != "mc" &&
+        evaluator_kind != "adaptive") {
+      return Fail(Status::InvalidArgument("unknown evaluator '" +
+                                          evaluator_kind + "'"));
+    }
+    auto theta2 = flags.GetDouble("theta2", 0.0);
+    if (!theta2.ok()) return Fail(theta2.status());
+    auto executor = exec::BatchExecutor::Create(
+        &engine, factory, static_cast<size_t>(*threads > 0 ? *threads : 1));
+    if (!executor.ok()) return Fail(executor.status());
+    const Status enabled =
+        (*executor)->EnableResultCache(cache::ResultCacheOptions{});
+    if (!enabled.ok()) return Fail(enabled);
+
+    const auto run = [&](const core::PrqQuery& q, const char* label)
+        -> Result<core::PrqResult> {
+      core::PrqStats run_stats;
+      obs::QueryTrace trace;
+      auto result = (*executor)->SubmitBounded(q, options, &run_stats, &trace);
+      if (result.ok()) {
+        const char* served = trace.cache_hit_exact      ? "exact cache hit"
+                             : trace.cache_hit_semantic ? "semantic cache hit"
+                                                        : "uncached";
+        std::printf("  %s theta=%.6g: %zu results (%s, %.2f ms)\n", label,
+                    q.theta, result->ids.size(), served,
+                    run_stats.total_seconds() * 1e3);
+      }
+      return result;
+    };
+
+    std::printf("PRQ(delta=%.6g, theta=%.6g) cached evaluator=%s\n",
+                setup->query.delta, setup->query.theta,
+                evaluator_kind.c_str());
+    auto first = run(setup->query, "run 1");
+    if (!first.ok()) return Fail(first.status());
+    auto second = run(setup->query, "run 2");
+    if (!second.ok()) return Fail(second.status());
+    if (*theta2 > 0.0) {
+      core::PrqQuery narrower = setup->query;
+      narrower.theta = *theta2;
+      auto third = run(narrower, "run 3");
+      if (!third.ok()) return Fail(third.status());
+    }
+    const cache::ResultCache* cache = (*executor)->result_cache();
+    std::printf("  cache: %zu entries, %zu bytes\n", cache->entries(),
+                cache->bytes());
+    const size_t show = std::min<size_t>(second->ids.size(), 20);
+    for (size_t i = 0; i < show; ++i) std::printf(" %u", second->ids[i]);
+    if (show > 0) std::printf("\n");
+    return 0;
+  }
 
   if (flags.Has("overload-policy")) {
     // Governed path: the query goes through admission control exactly as a
