@@ -1,0 +1,245 @@
+// Scatter-gather shard scaling: builds a sharded deployment of a large
+// clustered dataset at K ∈ {1, 2, 4, 8}, streams local queries through the
+// ShardedPrqEngine, and reports per-K latency, speedup over K=1 and the
+// MBR-routing selectivity (routed shards / total shards). Writes
+// BENCH_shard.json (GPRQ_BENCH_JSON overrides).
+//
+// The dataset is generated straight to the binary .gprq format and sharded
+// out-of-core, so the bench exercises the same path a 10M-point deployment
+// would; scale with:
+//
+//   GPRQ_SHARD_BENCH_N    points to generate           (default 1000000)
+//   GPRQ_MC_SAMPLES       MC samples per integration   (default 20000)
+//   GPRQ_TRIALS           queries per shard count      (default 8)
+//   GPRQ_SHARD_KS         comma-separated shard counts (default 1,2,4,8;
+//                         the first entry is the speedup baseline)
+//   GPRQ_SHARD_BENCH_DIR  scratch directory            (default mkdtemp)
+//   GPRQ_SHARD_ASSERT_ROUTING=1  fail unless routing skipped shards at the
+//                                largest K (the CI smoke contract)
+//
+// Expected shape: scatter time shrinks as K grows (smaller trees, parallel
+// scan) while Phase 3 stays flat (same merged survivors), and the routed
+// fraction drops well below 1 once K > 1 — locality is what sharding buys.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/batch_executor.h"
+#include "index/dataset_file.h"
+#include "mc/monte_carlo.h"
+#include "obs/trace.h"
+#include "rng/random.h"
+#include "shard/shard_builder.h"
+#include "shard/sharded_engine.h"
+
+namespace gprq {
+namespace {
+
+core::PrqEngine::EvaluatorFactory McFactory(uint64_t samples) {
+  return [samples](size_t worker) {
+    return std::make_unique<mc::MonteCarloEvaluator>(
+        mc::MonteCarloOptions{.samples = samples, .seed = 100 + worker});
+  };
+}
+
+std::vector<size_t> ShardCounts() {
+  const char* env = std::getenv("GPRQ_SHARD_KS");
+  if (env == nullptr || *env == '\0') return {1, 2, 4, 8};
+  std::vector<size_t> counts;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (k > 0) counts.push_back(static_cast<size_t>(k));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+std::string ScratchDir() {
+  const char* env = std::getenv("GPRQ_SHARD_BENCH_DIR");
+  if (env != nullptr && *env != '\0') {
+    ::mkdir(env, 0755);
+    return env;
+  }
+  char tmpl[] = "/tmp/gprq_shard_bench.XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) std::abort();
+  return dir;
+}
+
+/// Streams a clustered 2-D dataset straight to `path` (O(dim) memory, the
+/// gprq_convert "generate --kind clustered" construction).
+void GenerateDataset(const std::string& path, uint64_t n, double extent) {
+  auto writer = index::DatasetFileWriter::Create(path, 2);
+  if (!writer.ok()) std::abort();
+  rng::Random random(2009);
+  constexpr size_t kClusters = 64;
+  std::vector<double> centers(kClusters * 2);
+  for (double& c : centers) c = random.NextDouble(0.0, extent);
+  const double stddev = extent / 25.0;
+  double row[2];
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t c = random.NextUint64(kClusters);
+    for (size_t a = 0; a < 2; ++a) {
+      const double v = random.NextGaussian(centers[c * 2 + a], stddev);
+      row[a] = std::min(std::max(v, 0.0), extent);
+    }
+    if (!writer->Append(row).ok()) std::abort();
+  }
+  if (!writer->Finish().ok()) std::abort();
+}
+
+void Run() {
+  const uint64_t n = bench::EnvOr("GPRQ_SHARD_BENCH_N", 1000000);
+  const uint64_t samples = bench::EnvOr("GPRQ_MC_SAMPLES", 20000);
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 8);
+  const bool assert_routing =
+      bench::EnvOr("GPRQ_SHARD_ASSERT_ROUTING", 0) != 0;
+  const double extent = 10000.0;
+  const double delta = 150.0;
+  const double theta = 0.05;
+
+  const std::string dir = ScratchDir();
+  const std::string dataset_path = dir + "/points.gprq";
+
+  std::printf("Shard scaling: %llu clustered points, %llu queries per K, "
+              "%llu MC samples (%u hardware threads)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(samples),
+              std::thread::hardware_concurrency());
+
+  Stopwatch generate_timer;
+  GenerateDataset(dataset_path, n, extent);
+  auto dataset = index::MmapDataset::Open(dataset_path);
+  if (!dataset.ok()) std::abort();
+  std::printf("generated %s in %.1f s\n\n", dataset_path.c_str(),
+              generate_timer.ElapsedSeconds());
+
+  // Fixed query workload: centers on dataset rows (local queries — the
+  // case MBR routing exists for), identical across every shard count.
+  rng::Random random(77);
+  std::vector<la::Vector> query_centers;
+  for (uint64_t t = 0; t < trials; ++t) {
+    query_centers.push_back(
+        dataset->PointVector(random.NextUint64(dataset->count())));
+  }
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+
+  const size_t threads =
+      std::min<size_t>(8, std::max(1u, std::thread::hardware_concurrency()));
+
+  std::printf("%-6s%14s%14s%14s%10s%16s\n", "K", "build (s)", "query (ms)",
+              "scatter (ms)", "speedup", "routed/total");
+  bench::Rule(74);
+
+  bench::JsonReport report;
+  double baseline_ms = 0.0;
+  double last_routed_fraction = 1.0;
+  for (const size_t shards : ShardCounts()) {
+    const std::string shard_dir = dir + "/k" + std::to_string(shards);
+    ::mkdir(shard_dir.c_str(), 0755);
+
+    Stopwatch build_timer;
+    shard::ShardBuildOptions build;
+    build.num_shards = shards;
+    auto manifest = shard::BuildShards(*dataset, dataset_path, shard_dir,
+                                       build);
+    if (!manifest.ok()) std::abort();
+    const double build_seconds = build_timer.ElapsedSeconds();
+
+    auto executor = exec::BatchExecutor::CreateDetached(McFactory(samples),
+                                                        threads);
+    if (!executor.ok()) std::abort();
+    auto engine = shard::ShardedPrqEngine::Open(
+        shard_dir + "/shards.manifest", executor->get());
+    if (!engine.ok()) std::abort();
+
+    double query_ms = 0.0, scatter_ms = 0.0;
+    uint64_t routed = 0, considered = 0, results = 0;
+    for (const la::Vector& center : query_centers) {
+      auto g = core::GaussianDistribution::Create(center, cov);
+      if (!g.ok()) std::abort();
+      const core::PrqQuery query{std::move(*g), delta, theta};
+      core::PrqStats stats;
+      obs::QueryTrace trace;
+      Stopwatch query_timer;
+      auto result =
+          (*engine)->ExecuteBounded(query, core::PrqOptions(), &stats,
+                                    &trace);
+      if (!result.ok() || !result->status.ok()) std::abort();
+      query_ms += query_timer.ElapsedSeconds() * 1e3;
+      scatter_ms += stats.phase1_seconds * 1e3;
+      routed += trace.shards_routed;
+      considered += trace.shards_total;
+      results += result->ids.size();
+    }
+    query_ms /= trials;
+    scatter_ms /= trials;
+    const double routed_fraction =
+        static_cast<double>(routed) / static_cast<double>(considered);
+    if (baseline_ms == 0.0) baseline_ms = query_ms;  // first K = baseline
+    const double speedup = baseline_ms / std::max(query_ms, 1e-9);
+    last_routed_fraction = routed_fraction;
+
+    std::printf("%-6zu%14.1f%14.2f%14.2f%9.2fx%11llu/%llu\n", shards,
+                build_seconds, query_ms, scatter_ms, speedup,
+                static_cast<unsigned long long>(routed),
+                static_cast<unsigned long long>(considered));
+
+    bench::JsonValue record = bench::JsonValue::Object();
+    record.Set("k", bench::JsonValue(static_cast<double>(shards)));
+    record.Set("points", bench::JsonValue(static_cast<double>(n)));
+    record.Set("threads", bench::JsonValue(static_cast<double>(threads)));
+    record.Set("build_seconds", bench::JsonValue(build_seconds));
+    record.Set("query_ms", bench::JsonValue(query_ms));
+    record.Set("scatter_ms", bench::JsonValue(scatter_ms));
+    record.Set("speedup_vs_k1", bench::JsonValue(speedup));
+    record.Set("routed_shards", bench::JsonValue(static_cast<double>(routed)));
+    record.Set("considered_shards",
+               bench::JsonValue(static_cast<double>(considered)));
+    record.Set("routed_fraction", bench::JsonValue(routed_fraction));
+    record.Set("avg_results",
+               bench::JsonValue(static_cast<double>(results) /
+                                static_cast<double>(trials)));
+    report.Add("shard_scaling", std::move(record));
+  }
+
+  std::printf("\nexpected shape: routed/total < 1 for K > 1 (MBR routing "
+              "skips shards) and scatter time dropping with K.\n");
+
+  const char* json_env = std::getenv("GPRQ_BENCH_JSON");
+  const std::string json_path = (json_env != nullptr && *json_env != '\0')
+                                    ? json_env
+                                    : "BENCH_shard.json";
+  if (report.WriteFile(json_path)) {
+    std::printf("shard scaling report written to %s\n", json_path.c_str());
+  }
+
+  if (assert_routing && last_routed_fraction >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: routed fraction %.3f at the largest K — MBR routing "
+                 "did not skip any shard\n",
+                 last_routed_fraction);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -66,6 +66,10 @@ uint64_t FilterConfigBits(const core::PrqOptions& options) {
   if (options.use_catalogs) bits |= 1ull << 8;
   if (options.fringe_filter_any_dim) bits |= 1ull << 9;
   if (options.use_marginal_filter) bits |= 1ull << 10;
+  // The pool variant changes which samples decide the θ boundary, so a
+  // cached pseudo-random answer must never serve a Halton query (or vice
+  // versa) — the variants are distinct cache partitions.
+  bits |= static_cast<uint64_t>(options.pool_variant) << 11;
   return bits;
 }
 

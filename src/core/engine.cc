@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "core/filter_pipeline.h"
 #include "exec/batch_executor.h"
 #include "mc/sample_pool.h"
 
@@ -115,28 +116,8 @@ Status PrqEngine::RunFilterPhasesImpl(const PrqQuery& query,
                                       const CandidateGatherer& gather,
                                       FilterOutcome* outcome, PrqStats* stats,
                                       obs::QueryTrace* trace) const {
-  if (query.query_object.dim() != tree_->dim()) {
-    return Status::InvalidArgument("query dimension does not match index");
-  }
-  if (!(query.delta > 0.0)) {
-    return Status::InvalidArgument("delta must be > 0");
-  }
-  if (!(query.theta > 0.0 && query.theta < 1.0)) {
-    // θ = 0 would select every object (a Gaussian has infinite spread);
-    // θ = 1 can never be met (Section III-A).
-    return Status::InvalidArgument("theta must be in (0, 1)");
-  }
-  if ((options.strategies & kStrategyAll) == 0) {
-    return Status::InvalidArgument("at least one strategy must be enabled");
-  }
-
-  const GaussianDistribution& g = query.query_object;
-  const double delta = query.delta;
-  const double theta = query.theta;
+  GPRQ_RETURN_NOT_OK(ValidatePrq(query, options, tree_->dim()));
   const size_t d = tree_->dim();
-  const bool use_rr = options.strategies & kStrategyRR;
-  const bool use_or = options.strategies & kStrategyOR;
-  const bool use_bf = options.strategies & kStrategyBF;
 
   // The trace is the single per-query record; `stats` is derived from it
   // at the end, so the two can never disagree. The registry aggregates are
@@ -177,24 +158,13 @@ Status PrqEngine::RunFilterPhasesImpl(const PrqQuery& query,
   }
 
   // ---- Preparation: per-query filter geometry. --------------------------
-  RrRegion rr;
-  OrRegion oreg;
-  BfBounds bf;
+  QueryGeometry geometry;
   {
     obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPrep);
-    const AlphaCatalog* alpha_cat =
-        options.use_catalogs ? &alpha_catalog() : nullptr;
-    const double r_theta = EffectiveThetaRadius(theta, options.use_catalogs);
-    if (use_rr || use_or) {
-      rr = RrRegion::Compute(g, delta, r_theta);
-    }
-    if (use_or) {
-      oreg = OrRegion::Compute(g, delta, r_theta);
-    }
-    if (use_bf) {
-      bf = BfBounds::Compute(g, delta, theta, alpha_cat);
-      if (bf.nothing_qualifies) tr.proved_empty = true;
-    }
+    geometry = PrepareQueryGeometry(
+        query, options, d, options.use_catalogs ? &radius_catalog() : nullptr,
+        options.use_catalogs ? &alpha_catalog() : nullptr);
+    if (geometry.proved_empty) tr.proved_empty = true;
   }
   if (tr.proved_empty) {
     outcome->proved_empty = true;
@@ -216,32 +186,9 @@ Status PrqEngine::RunFilterPhasesImpl(const PrqQuery& query,
   {
     obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPhase1);
     geom::Rect search_box = geom::Rect::Empty(d);
-    if (use_rr) {
-      search_box = rr.search_box;
-      if (use_bf) {
-        const geom::Rect bf_box =
-            geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
-        la::Vector lo(d), hi(d);
-        for (size_t i = 0; i < d; ++i) {
-          lo[i] = std::max(search_box.lo()[i], bf_box.lo()[i]);
-          hi[i] = std::min(search_box.hi()[i], bf_box.hi()[i]);
-          if (lo[i] > hi[i]) {
-            // Disjoint boxes: nothing can qualify.
-            tr.proved_empty = true;
-            break;
-          }
-        }
-        if (!tr.proved_empty) {
-          search_box = geom::Rect(std::move(lo), std::move(hi));
-        }
-      }
-    } else if (use_bf) {
-      search_box = geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
+    if (!ComputeSearchBox(geometry, query, d, &search_box)) {
+      tr.proved_empty = true;
     } else {
-      search_box = oreg.BoundingBox(g);
-    }
-
-    if (!tr.proved_empty) {
       outcome->search_box = search_box;
       gather(search_box, &candidates, &tr);
       tr.index_candidates = candidates.size();
@@ -269,40 +216,14 @@ Status PrqEngine::RunFilterPhasesImpl(const PrqQuery& query,
   // it, so the trace's prune breakdown partitions the index candidates.
   {
     obs::QueryTrace::Span span(&tr, obs::QueryTrace::kPhase2);
-    outcome->survivors.reserve(candidates.size());
-    const bool apply_fringe =
-        use_rr && (options.fringe_filter_any_dim || d == 2);
-    const MarginalFilter marginal = MarginalFilter::Compute(delta, theta);
-
-    for (auto& [point, id] : candidates) {
-      if (apply_fringe && !rr.PassesFringe(point, delta)) {
-        ++tr.pruned_rr_fringe;
-        continue;
-      }
-      if (use_bf) {
-        const double dist_sq = la::SquaredDistance(point, g.mean());
-        if (dist_sq > bf.alpha_outer * bf.alpha_outer) {
-          ++tr.pruned_bf_outer;
-          continue;
-        }
-        if (bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner) {
-          // Guaranteed qualifier (lower-bounding function): accept without
-          // numerical integration (Algorithm 2, line 9).
-          outcome->accepted.emplace_back(point, id);
-          ++tr.accepted_bf_inner;
-          continue;
-        }
-      }
-      if (use_or && !oreg.Contains(g, point)) {
-        ++tr.pruned_or;
-        continue;
-      }
-      if (options.use_marginal_filter && !marginal.Passes(g, point)) {
-        ++tr.pruned_marginal;
-        continue;
-      }
-      outcome->survivors.emplace_back(std::move(point), id);
-    }
+    Phase2Counts counts;
+    RunPhase2(query, options, geometry, std::move(candidates), outcome,
+              &counts);
+    tr.pruned_rr_fringe = counts.pruned_rr_fringe;
+    tr.pruned_bf_outer = counts.pruned_bf_outer;
+    tr.pruned_or = counts.pruned_or;
+    tr.pruned_marginal = counts.pruned_marginal;
+    tr.accepted_bf_inner = counts.accepted_bf_inner;
     tr.phase3_candidates = outcome->survivors.size();
   }
   finish();
@@ -357,7 +278,8 @@ Result<PrqResult> PrqEngine::ExecuteBounded(const PrqQuery& query,
       }
       result.status = control.StopStatus();
     } else {
-      const auto pool = evaluator->MakeSamplePool(query.query_object);
+      const auto pool =
+          evaluator->MakeSamplePool(query.query_object, options.pool_variant);
       const size_t n = outcome.survivors.size();
       std::vector<const la::Vector*> objects;
       objects.reserve(n);
@@ -445,7 +367,8 @@ Result<std::vector<index::ObjectId>> PrqEngine::Execute(
     result.reserve(outcome.accepted.size());
     for (const auto& [point, id] : outcome.accepted) result.push_back(id);
     if (!outcome.survivors.empty()) {
-      const auto pool = evaluator->MakeSamplePool(query.query_object);
+      const auto pool =
+          evaluator->MakeSamplePool(query.query_object, options.pool_variant);
       const size_t n = outcome.survivors.size();
       std::vector<const la::Vector*> objects;
       objects.reserve(n);
@@ -563,12 +486,14 @@ Result<std::vector<index::ObjectId>> PrqEngine::ExecuteParallel(
     // surfaces as its stop status (this API cannot mark the unresolved
     // remainder — ExecuteBounded or SubmitBounded can).
     auto bounded = (*executor)->IntegrateOutcomeBounded(
-        query, std::move(outcome), options.control, &out_stats);
+        query, std::move(outcome), options.control, &out_stats, nullptr,
+        options.pool_variant);
     if (!bounded.ok()) return bounded.status();
     if (!bounded->status.ok()) return bounded->status;
     return std::move(bounded->ids);
   }
-  return (*executor)->IntegrateOutcome(query, std::move(outcome), &out_stats);
+  return (*executor)->IntegrateOutcome(query, std::move(outcome), &out_stats,
+                                       nullptr, options.pool_variant);
 }
 
 }  // namespace gprq::core

@@ -13,6 +13,7 @@
 #include "core/radius_catalog.h"
 #include "geom/rect.h"
 #include "index/rstar_tree.h"
+#include "mc/pool_variant.h"
 #include "mc/probability_evaluator.h"
 #include "obs/trace.h"
 
@@ -61,6 +62,12 @@ struct PrqOptions {
   /// OverloadPolicy installed; then the load shedder rejects
   /// lower-priority queries first when watermarks are crossed.
   int priority = kPriorityNormal;
+
+  /// How sampling evaluators draw the per-query Phase-3 sample pool:
+  /// the paper's pseudo-random importance sampling (default) or the
+  /// randomized-Halton QMC variant (see mc::PoolVariant). Ignored by exact
+  /// evaluators. Result-changing — part of cache::FilterConfigBits.
+  mc::PoolVariant pool_variant = mc::PoolVariant::kPseudoRandom;
 };
 
 /// Three-phase processor for probabilistic range queries over an R*-tree of

@@ -1,0 +1,131 @@
+#include "core/filter_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gprq::core {
+
+Status ValidatePrq(const PrqQuery& query, const PrqOptions& options,
+                   size_t dim) {
+  if (query.query_object.dim() != dim) {
+    return Status::InvalidArgument("query dimension does not match index");
+  }
+  if (!(query.delta > 0.0)) {
+    return Status::InvalidArgument("delta must be > 0");
+  }
+  if (!(query.theta > 0.0 && query.theta < 1.0)) {
+    // θ = 0 would select every object (a Gaussian has infinite spread);
+    // θ = 1 can never be met (Section III-A).
+    return Status::InvalidArgument("theta must be in (0, 1)");
+  }
+  if ((options.strategies & kStrategyAll) == 0) {
+    return Status::InvalidArgument("at least one strategy must be enabled");
+  }
+  return Status::OK();
+}
+
+QueryGeometry PrepareQueryGeometry(const PrqQuery& query,
+                                   const PrqOptions& options, size_t dim,
+                                   const RadiusCatalog* radius_catalog,
+                                   const AlphaCatalog* alpha_catalog) {
+  const GaussianDistribution& g = query.query_object;
+  QueryGeometry geometry;
+  geometry.use_rr = options.strategies & kStrategyRR;
+  geometry.use_or = options.strategies & kStrategyOR;
+  geometry.use_bf = options.strategies & kStrategyBF;
+
+  double r_theta = 0.0;
+  if (query.theta < 0.5) {
+    r_theta = (options.use_catalogs && radius_catalog != nullptr)
+                  ? radius_catalog->LookupRadius(query.theta)
+                  : RadiusCatalog::ExactRadius(dim, query.theta);
+  }
+  if (geometry.use_rr || geometry.use_or) {
+    geometry.rr = RrRegion::Compute(g, query.delta, r_theta);
+  }
+  if (geometry.use_or) {
+    geometry.oreg = OrRegion::Compute(g, query.delta, r_theta);
+  }
+  if (geometry.use_bf) {
+    geometry.bf =
+        BfBounds::Compute(g, query.delta, query.theta,
+                          options.use_catalogs ? alpha_catalog : nullptr);
+    if (geometry.bf.nothing_qualifies) geometry.proved_empty = true;
+  }
+  return geometry;
+}
+
+bool ComputeSearchBox(const QueryGeometry& geometry, const PrqQuery& query,
+                      size_t dim, geom::Rect* search_box) {
+  const GaussianDistribution& g = query.query_object;
+  if (geometry.use_rr) {
+    *search_box = geometry.rr.search_box;
+    if (geometry.use_bf) {
+      const geom::Rect bf_box =
+          geom::Rect::CenteredUniform(g.mean(), geometry.bf.alpha_outer);
+      la::Vector lo(dim), hi(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        lo[i] = std::max(search_box->lo()[i], bf_box.lo()[i]);
+        hi[i] = std::min(search_box->hi()[i], bf_box.hi()[i]);
+        if (lo[i] > hi[i]) {
+          // Disjoint boxes: nothing can qualify.
+          return false;
+        }
+      }
+      *search_box = geom::Rect(std::move(lo), std::move(hi));
+    }
+  } else if (geometry.use_bf) {
+    *search_box =
+        geom::Rect::CenteredUniform(g.mean(), geometry.bf.alpha_outer);
+  } else {
+    *search_box = geometry.oreg.BoundingBox(g);
+  }
+  return true;
+}
+
+void RunPhase2(const PrqQuery& query, const PrqOptions& options,
+               const QueryGeometry& geometry,
+               std::vector<std::pair<la::Vector, index::ObjectId>>&& candidates,
+               PrqEngine::FilterOutcome* outcome, Phase2Counts* counts) {
+  const GaussianDistribution& g = query.query_object;
+  const double delta = query.delta;
+  const size_t d = g.dim();
+  outcome->survivors.reserve(outcome->survivors.size() + candidates.size());
+  const bool apply_fringe =
+      geometry.use_rr && (options.fringe_filter_any_dim || d == 2);
+  const MarginalFilter marginal =
+      MarginalFilter::Compute(delta, query.theta);
+
+  for (auto& [point, id] : candidates) {
+    if (apply_fringe && !geometry.rr.PassesFringe(point, delta)) {
+      ++counts->pruned_rr_fringe;
+      continue;
+    }
+    if (geometry.use_bf) {
+      const double dist_sq = la::SquaredDistance(point, g.mean());
+      if (dist_sq > geometry.bf.alpha_outer * geometry.bf.alpha_outer) {
+        ++counts->pruned_bf_outer;
+        continue;
+      }
+      if (geometry.bf.has_inner &&
+          dist_sq <= geometry.bf.alpha_inner * geometry.bf.alpha_inner) {
+        // Guaranteed qualifier (lower-bounding function): accept without
+        // numerical integration (Algorithm 2, line 9).
+        outcome->accepted.emplace_back(point, id);
+        ++counts->accepted_bf_inner;
+        continue;
+      }
+    }
+    if (geometry.use_or && !geometry.oreg.Contains(g, point)) {
+      ++counts->pruned_or;
+      continue;
+    }
+    if (options.use_marginal_filter && !marginal.Passes(g, point)) {
+      ++counts->pruned_marginal;
+      continue;
+    }
+    outcome->survivors.emplace_back(std::move(point), id);
+  }
+}
+
+}  // namespace gprq::core

@@ -1,0 +1,91 @@
+#ifndef GPRQ_CORE_FILTER_PIPELINE_H_
+#define GPRQ_CORE_FILTER_PIPELINE_H_
+
+// The query-side filter pipeline shared by every execution surface: the
+// in-memory PrqEngine, the paged single-tree path (core/paged_prq) and the
+// sharded scatter-gather engine (shard/sharded_engine). One implementation
+// of validation, per-query filter geometry, the Phase-1 search box and the
+// Phase-2 filter loop means the three paths cannot drift apart — the
+// differential suites compare them id-for-id, and the sharded engine routes
+// queries with the *same* search box the single-tree engine searches with.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/alpha_catalog.h"
+#include "core/engine.h"
+#include "core/filters.h"
+#include "core/prq.h"
+#include "core/radius_catalog.h"
+#include "geom/rect.h"
+#include "index/rstar_tree.h"
+#include "la/vector.h"
+
+namespace gprq::core {
+
+/// The argument checks every execution path performs before touching an
+/// index: dimension match, δ > 0, θ ∈ (0, 1), at least one strategy.
+Status ValidatePrq(const PrqQuery& query, const PrqOptions& options,
+                   size_t dim);
+
+/// Per-query filter geometry: which strategies are active and their
+/// precomputed regions. Built once per query by PrepareQueryGeometry; read
+/// concurrently by any number of shard tasks (immutable after build).
+struct QueryGeometry {
+  bool use_rr = false;
+  bool use_or = false;
+  bool use_bf = false;
+  RrRegion rr;
+  OrRegion oreg;
+  BfBounds bf;
+  /// The BF lower bound proved nothing can qualify — before any index
+  /// access (Algorithm 2's early exit).
+  bool proved_empty = false;
+};
+
+/// Computes the per-query regions for the enabled strategies. Catalogs are
+/// consulted only when options.use_catalogs (pass null otherwise); a null
+/// catalog with use_catalogs falls back to the exact solve, matching
+/// PrqEngine::EffectiveThetaRadius's contract of never dereferencing a
+/// catalog it was not given.
+QueryGeometry PrepareQueryGeometry(const PrqQuery& query,
+                                   const PrqOptions& options, size_t dim,
+                                   const RadiusCatalog* radius_catalog,
+                                   const AlphaCatalog* alpha_catalog);
+
+/// The Phase-1 search region (paper Algorithms 1-2): the RR box when RR is
+/// enabled — intersected with the BF outer box when both are on, since both
+/// are supersets of the qualifying set — the BF outer box for BF-only, and
+/// the oblique region's bounding box for pure OR. Returns false when the RR
+/// and BF boxes are disjoint (nothing can qualify; `search_box` is then
+/// meaningless). This box is also the shard-routing primitive: a shard
+/// whose MBR misses it cannot contribute a candidate.
+bool ComputeSearchBox(const QueryGeometry& geometry, const PrqQuery& query,
+                      size_t dim, geom::Rect* search_box);
+
+/// Per-filter prune attribution of one Phase-2 pass; a candidate counts
+/// toward the *first* filter that dropped it (RR-fringe, BF-outer, OR,
+/// marginal — the engine's order).
+struct Phase2Counts {
+  uint64_t pruned_rr_fringe = 0;
+  uint64_t pruned_bf_outer = 0;
+  uint64_t pruned_or = 0;
+  uint64_t pruned_marginal = 0;
+  uint64_t accepted_bf_inner = 0;
+};
+
+/// The Phase-2 analytical filter loop: moves each candidate into
+/// outcome->accepted (BF inner radius — certain qualifier, no integration
+/// needed) or outcome->survivors (needs Phase 3), or drops it. Appends to
+/// the outcome so shard-parallel callers can merge per-shard passes into
+/// one union outcome.
+void RunPhase2(const PrqQuery& query, const PrqOptions& options,
+               const QueryGeometry& geometry,
+               std::vector<std::pair<la::Vector, index::ObjectId>>&& candidates,
+               PrqEngine::FilterOutcome* outcome, Phase2Counts* counts);
+
+}  // namespace gprq::core
+
+#endif  // GPRQ_CORE_FILTER_PIPELINE_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "core/filter_pipeline.h"
 #include "core/filters.h"
 
 namespace gprq::core {
@@ -15,18 +16,7 @@ Result<std::vector<index::ObjectId>> ExecutePagedPrq(
   if (evaluator == nullptr) {
     return Status::InvalidArgument("evaluator must not be null");
   }
-  if (query.query_object.dim() != tree.dim()) {
-    return Status::InvalidArgument("query dimension does not match index");
-  }
-  if (!(query.delta > 0.0)) {
-    return Status::InvalidArgument("delta must be > 0");
-  }
-  if (!(query.theta > 0.0 && query.theta < 1.0)) {
-    return Status::InvalidArgument("theta must be in (0, 1)");
-  }
-  if ((options.strategies & kStrategyAll) == 0) {
-    return Status::InvalidArgument("at least one strategy must be enabled");
-  }
+  GPRQ_RETURN_NOT_OK(ValidatePrq(query, options, tree.dim()));
   if (options.use_catalogs &&
       (radius_catalog == nullptr || alpha_catalog == nullptr)) {
     return Status::InvalidArgument(
@@ -37,60 +27,27 @@ Result<std::vector<index::ObjectId>> ExecutePagedPrq(
   const double delta = query.delta;
   const double theta = query.theta;
   const size_t d = tree.dim();
-  const bool use_rr = options.strategies & kStrategyRR;
-  const bool use_or = options.strategies & kStrategyOR;
-  const bool use_bf = options.strategies & kStrategyBF;
 
   PrqStats local_stats;
   PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
   out_stats = PrqStats();
   Stopwatch phase_timer;
 
-  // ---- Preparation (same radii as the in-memory engine). -----------------
-  double r_theta = 0.0;
-  if (theta < 0.5) {
-    r_theta = options.use_catalogs
-                  ? radius_catalog->LookupRadius(theta)
-                  : RadiusCatalog::ExactRadius(d, theta);
-  }
-  RrRegion rr;
-  OrRegion oreg;
-  BfBounds bf;
-  if (use_rr || use_or) rr = RrRegion::Compute(g, delta, r_theta);
-  if (use_or) oreg = OrRegion::Compute(g, delta, r_theta);
-  if (use_bf) {
-    bf = BfBounds::Compute(g, delta, theta,
-                           options.use_catalogs ? alpha_catalog : nullptr);
-    if (bf.nothing_qualifies) {
-      out_stats.proved_empty = true;
-      return std::vector<index::ObjectId>{};
-    }
+  // ---- Preparation (the shared pipeline — same radii as PrqEngine). ------
+  const QueryGeometry geometry =
+      PrepareQueryGeometry(query, options, d, radius_catalog, alpha_catalog);
+  if (geometry.proved_empty) {
+    out_stats.proved_empty = true;
+    return std::vector<index::ObjectId>{};
   }
   out_stats.prep_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
 
   // ---- Phase 1: paged index search. ---------------------------------------
   geom::Rect search_box = geom::Rect::Empty(d);
-  if (use_rr) {
-    search_box = rr.search_box;
-    if (use_bf) {
-      const geom::Rect bf_box =
-          geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
-      la::Vector lo(d), hi(d);
-      for (size_t i = 0; i < d; ++i) {
-        lo[i] = std::max(search_box.lo()[i], bf_box.lo()[i]);
-        hi[i] = std::min(search_box.hi()[i], bf_box.hi()[i]);
-        if (lo[i] > hi[i]) {
-          out_stats.proved_empty = true;
-          return std::vector<index::ObjectId>{};
-        }
-      }
-      search_box = geom::Rect(std::move(lo), std::move(hi));
-    }
-  } else if (use_bf) {
-    search_box = geom::Rect::CenteredUniform(g.mean(), bf.alpha_outer);
-  } else {
-    search_box = oreg.BoundingBox(g);
+  if (!ComputeSearchBox(geometry, query, d, &search_box)) {
+    out_stats.proved_empty = true;
+    return std::vector<index::ObjectId>{};
   }
 
   const uint64_t misses_before = tree.pool_stats().misses;
@@ -109,31 +66,24 @@ Result<std::vector<index::ObjectId>> ExecutePagedPrq(
   phase_timer.Reset();
 
   // ---- Phase 2: analytical filtering (identical to PrqEngine). -----------
+  PrqEngine::FilterOutcome outcome;
+  Phase2Counts counts;
+  RunPhase2(query, options, geometry, std::move(candidates), &outcome,
+            &counts);
   std::vector<index::ObjectId> result;
-  std::vector<std::pair<la::Vector, index::ObjectId>> survivors;
-  survivors.reserve(candidates.size());
-  const bool apply_fringe =
-      use_rr && (options.fringe_filter_any_dim || d == 2);
-  for (auto& [point, id] : candidates) {
-    if (apply_fringe && !rr.PassesFringe(point, delta)) continue;
-    if (use_bf) {
-      const double dist_sq = la::SquaredDistance(point, g.mean());
-      if (dist_sq > bf.alpha_outer * bf.alpha_outer) continue;
-      if (bf.has_inner && dist_sq <= bf.alpha_inner * bf.alpha_inner) {
-        result.push_back(id);
-        ++out_stats.accepted_without_integration;
-        continue;
-      }
-    }
-    if (use_or && !oreg.Contains(g, point)) continue;
-    survivors.emplace_back(std::move(point), id);
-  }
-  out_stats.integration_candidates = survivors.size();
+  result.reserve(outcome.accepted.size());
+  for (const auto& [point, id] : outcome.accepted) result.push_back(id);
+  out_stats.accepted_without_integration = counts.accepted_bf_inner;
+  out_stats.pruned_rr_fringe = counts.pruned_rr_fringe;
+  out_stats.pruned_bf_outer = counts.pruned_bf_outer;
+  out_stats.pruned_or = counts.pruned_or;
+  out_stats.pruned_marginal = counts.pruned_marginal;
+  out_stats.integration_candidates = outcome.survivors.size();
   out_stats.phase2_seconds = phase_timer.ElapsedSeconds();
   phase_timer.Reset();
 
   // ---- Phase 3: probability computation. ----------------------------------
-  for (const auto& [point, id] : survivors) {
+  for (const auto& [point, id] : outcome.survivors) {
     if (evaluator->QualificationDecision(g, point, delta, theta)) {
       result.push_back(id);
     }

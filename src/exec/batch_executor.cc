@@ -160,6 +160,33 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
   return executor;
 }
 
+Result<std::unique_ptr<BatchExecutor>> BatchExecutor::CreateDetached(
+    const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads) {
+  if (!factory) {
+    return Status::InvalidArgument("evaluator factory must not be null");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  std::vector<std::unique_ptr<mc::ProbabilityEvaluator>> evaluators;
+  evaluators.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    try {
+      evaluators.push_back(factory(w));
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("evaluator factory threw: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("evaluator factory threw");
+    }
+    if (evaluators.back() == nullptr) {
+      return Status::InvalidArgument("factory returned a null evaluator");
+    }
+  }
+  return std::unique_ptr<BatchExecutor>(
+      new BatchExecutor(nullptr, std::move(evaluators)));
+}
+
 Status BatchExecutor::EnableResultCache(
     const cache::ResultCacheOptions& options) {
   if (options.max_entries == 0) {
@@ -173,6 +200,11 @@ Status BatchExecutor::EnableResultCache(
 }
 
 Status BatchExecutor::SetOverloadPolicy(const OverloadPolicy& policy) {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "detached executor has no engine; overload governance lives in the "
+        "sharded engine's submit path");
+  }
   GPRQ_RETURN_NOT_OK(policy.Validate());
   // Density is a property of the dataset; computing it here keeps the
   // per-query cost estimate to a handful of multiplications.
@@ -186,8 +218,29 @@ size_t BatchExecutor::Phase3ChunkCount(size_t survivors) const {
 }
 
 std::shared_ptr<const mc::SamplePool> BatchExecutor::MakeQueryPool(
-    const core::PrqQuery& query) {
-  return evaluators_[0]->MakeSamplePool(query.query_object);
+    const core::PrqQuery& query, mc::PoolVariant pool_variant) {
+  return evaluators_[0]->MakeSamplePool(query.query_object, pool_variant);
+}
+
+Status BatchExecutor::RunTasks(std::vector<WorkerPool::Task> tasks) {
+  if (tasks.empty()) return Status::OK();
+  ErrorCollector errors;
+  CountdownLatch latch(tasks.size());
+  for (WorkerPool::Task& task : tasks) {
+    pool_.Submit([task = std::move(task), &errors, &latch](size_t worker) {
+      try {
+        task(worker);
+      } catch (const std::exception& e) {
+        errors.Record(e.what());
+      } catch (...) {
+        errors.Record("unknown exception");
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  if (!errors.failed) return Status::OK();
+  return Status::Internal("task failed: " + errors.message);
 }
 
 void BatchExecutor::EnqueuePhase3(
@@ -275,7 +328,7 @@ void BatchExecutor::EnqueuePhase3(
 Result<core::PrqResult> BatchExecutor::IntegrateOutcomeBounded(
     const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
     const common::QueryControl& control, core::PrqStats* stats,
-    obs::QueryTrace* trace) {
+    obs::QueryTrace* trace, mc::PoolVariant pool_variant) {
   // Sampling counters are recorded at the source (mc::SamplePool); the
   // deltas around the fan-out attribute them to this query's trace.
   const SampleCounters& samples = SampleCounters::Get();
@@ -303,8 +356,8 @@ Result<core::PrqResult> BatchExecutor::IntegrateOutcomeBounded(
   } else if (!outcome.survivors.empty()) {
     QuerySlot slot;
     CountdownLatch latch(Phase3ChunkCount(outcome.survivors.size()));
-    EnqueuePhase3(query, outcome.survivors, MakeQueryPool(query), control,
-                  &slot, &latch);
+    EnqueuePhase3(query, outcome.survivors,
+                  MakeQueryPool(query, pool_variant), control, &slot, &latch);
     latch.Wait();
     // After the latch no worker writes to the slot; reads need no lock.
     result.ids.insert(result.ids.end(), slot.merged.begin(),
@@ -349,10 +402,11 @@ Result<core::PrqResult> BatchExecutor::IntegrateOutcomeBounded(
 
 Result<std::vector<index::ObjectId>> BatchExecutor::IntegrateOutcome(
     const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
-    core::PrqStats* stats, obs::QueryTrace* trace) {
-  Result<core::PrqResult> bounded =
-      IntegrateOutcomeBounded(query, std::move(outcome),
-                              common::QueryControl::Unlimited(), stats, trace);
+    core::PrqStats* stats, obs::QueryTrace* trace,
+    mc::PoolVariant pool_variant) {
+  Result<core::PrqResult> bounded = IntegrateOutcomeBounded(
+      query, std::move(outcome), common::QueryControl::Unlimited(), stats,
+      trace, pool_variant);
   if (!bounded.ok()) return bounded.status();
   // Unbounded runs only degrade on worker failure; the complete-answer API
   // surfaces that as the error it always did.
@@ -379,8 +433,9 @@ Result<core::PrqResult> BatchExecutor::IntegrateAndPublish(
                       outcome.survivors.end());
     search_box = outcome.search_box;
   }
-  Result<core::PrqResult> result = IntegrateOutcomeBounded(
-      query, std::move(outcome), options.control, stats, trace);
+  Result<core::PrqResult> result =
+      IntegrateOutcomeBounded(query, std::move(outcome), options.control,
+                              stats, trace, options.pool_variant);
   if (cacheable && result.ok() && result->status.ok() &&
       result->undecided.empty()) {
     // Only complete answers are published: a degraded result (deadline,
@@ -462,6 +517,11 @@ Result<core::PrqResult> BatchExecutor::SubmitBoundedImpl(
 Result<core::PrqResult> BatchExecutor::SubmitBounded(
     const core::PrqQuery& query, const core::PrqOptions& options,
     core::PrqStats* stats, obs::QueryTrace* trace) {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "detached executor cannot run filter phases; submit through the "
+        "sharded engine");
+  }
   if (overload_ == nullptr) {
     return SubmitBoundedImpl(query, options, nullptr, stats, trace);
   }
@@ -506,6 +566,11 @@ Result<core::PrqResult> BatchExecutor::SubmitBounded(
 Result<std::vector<index::ObjectId>> BatchExecutor::Submit(
     const core::PrqQuery& query, const core::PrqOptions& options,
     core::PrqStats* stats, obs::QueryTrace* trace) {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "detached executor cannot run filter phases; submit through the "
+        "sharded engine");
+  }
   if (overload_ != nullptr || cache_ != nullptr ||
       !options.control.Unbounded()) {
     // The complete-answer API cannot express a partial result; a degraded
@@ -539,6 +604,11 @@ Result<std::vector<core::PrqResult>> BatchExecutor::SubmitBatchBounded(
     const core::PrqOptions& options,
     const std::vector<common::QueryControl>* controls,
     std::vector<core::PrqStats>* stats) {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "detached executor cannot run filter phases; submit through the "
+        "sharded engine");
+  }
   const size_t nq = queries.size();
   if (controls != nullptr && controls->size() != nq) {
     return Status::InvalidArgument(
@@ -592,7 +662,7 @@ Result<std::vector<core::PrqResult>> BatchExecutor::SubmitBatchBounded(
       continue;
     }
     if (outcomes[q].survivors.empty()) continue;
-    pools[q] = MakeQueryPool(queries[q]);
+    pools[q] = MakeQueryPool(queries[q], options.pool_variant);
     slots[q] = std::make_unique<QuerySlot>();
     total_chunks += Phase3ChunkCount(outcomes[q].survivors.size());
   }

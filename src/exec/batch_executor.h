@@ -110,6 +110,15 @@ class BatchExecutor {
       const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads,
       const OverloadPolicy& policy);
 
+  /// An executor with no engine of its own: the pool, evaluators and the
+  /// Phase-3 entry points (IntegrateOutcome/IntegrateOutcomeBounded,
+  /// RunTasks) work as usual, but the engine-routed entry points
+  /// (Submit*/SetOverloadPolicy) fail with InvalidArgument. The sharded
+  /// engine uses this form — it owns one engine per shard and the executor
+  /// only supplies shared workers and per-worker evaluators.
+  static Result<std::unique_ptr<BatchExecutor>> CreateDetached(
+      const core::PrqEngine::EvaluatorFactory& factory, size_t num_threads);
+
   /// Runs one query; result-set semantics identical to PrqEngine::Execute
   /// with an equivalent evaluator (order may differ; compare as sets).
   ///
@@ -184,7 +193,8 @@ class BatchExecutor {
   /// filter pass; stream callers normally use Submit.
   Result<std::vector<index::ObjectId>> IntegrateOutcome(
       const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
-      core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
+      core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr,
+      mc::PoolVariant pool_variant = mc::PoolVariant::kPseudoRandom);
 
   /// Control-aware IntegrateOutcome: fans Phase 3 out under `control` and
   /// returns a (possibly partial) core::PrqResult instead of failing the
@@ -193,7 +203,17 @@ class BatchExecutor {
   Result<core::PrqResult> IntegrateOutcomeBounded(
       const core::PrqQuery& query, core::PrqEngine::FilterOutcome outcome,
       const common::QueryControl& control, core::PrqStats* stats = nullptr,
-      obs::QueryTrace* trace = nullptr);
+      obs::QueryTrace* trace = nullptr,
+      mc::PoolVariant pool_variant = mc::PoolVariant::kPseudoRandom);
+
+  /// Runs arbitrary tasks on the worker pool and blocks until all have
+  /// finished. Each task receives its worker index; a task that throws is
+  /// captured (first error wins, the rest still run) and surfaced as
+  /// Status::Internal. The caller must not have a Phase-3 fan-out in
+  /// flight, and the tasks must not touch the per-worker evaluators —
+  /// this is the scatter primitive the sharded engine uses to run
+  /// per-shard filter phases on the same threads that later run Phase 3.
+  Status RunTasks(std::vector<WorkerPool::Task> tasks);
 
   /// Point-in-time throughput counters.
   ExecStats Snapshot() const;
@@ -277,7 +297,7 @@ class BatchExecutor {
   /// RNG — supplies every sample of the query, Phase-3 results are
   /// bit-identical for any GPRQ_THREADS.
   std::shared_ptr<const mc::SamplePool> MakeQueryPool(
-      const core::PrqQuery& query);
+      const core::PrqQuery& query, mc::PoolVariant pool_variant);
 
   size_t Phase3ChunkCount(size_t survivors) const;
 

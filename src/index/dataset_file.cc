@@ -1,0 +1,243 @@
+#include "index/dataset_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace gprq::index {
+namespace {
+
+// Fixed-size prefix of the header, before the per-dimension bounds.
+struct HeaderPrefix {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t dim;
+  uint64_t count;
+  uint64_t reserved;
+};
+static_assert(sizeof(HeaderPrefix) == 32, "header prefix layout");
+
+size_t HeaderBytes(size_t dim) {
+  // Prefix + lo[dim] + hi[dim], padded so the point block starts on a page
+  // boundary (mmap'd rows stay 8-aligned for any dim, and sequential scans
+  // walk whole pages).
+  const size_t raw = sizeof(HeaderPrefix) + 2 * dim * sizeof(double);
+  return (raw + kDatasetPointAlignment - 1) / kDatasetPointAlignment *
+         kDatasetPointAlignment;
+}
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+DatasetFileWriter::DatasetFileWriter(std::FILE* file, size_t dim)
+    : file_(file), dim_(dim), bounds_(geom::Rect::Empty(dim)) {}
+
+DatasetFileWriter::DatasetFileWriter(DatasetFileWriter&& other) noexcept
+    : file_(other.file_),
+      dim_(other.dim_),
+      count_(other.count_),
+      bounds_(std::move(other.bounds_)) {
+  other.file_ = nullptr;
+}
+
+DatasetFileWriter& DatasetFileWriter::operator=(
+    DatasetFileWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    dim_ = other.dim_;
+    count_ = other.count_;
+    bounds_ = std::move(other.bounds_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+DatasetFileWriter::~DatasetFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<DatasetFileWriter> DatasetFileWriter::Create(const std::string& path,
+                                                    size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("dataset dim must be >= 1");
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) return ErrnoError("cannot create dataset file", path);
+
+  // Write a count = 0 header up front; Finish() patches it. A crash mid
+  // write therefore leaves a *valid empty* file, never a header whose count
+  // promises rows the file does not have.
+  const size_t header_bytes = HeaderBytes(dim);
+  std::vector<unsigned char> header(header_bytes, 0);
+  HeaderPrefix prefix{kDatasetMagic, kDatasetVersion,
+                      static_cast<uint32_t>(dim), 0, 0};
+  std::memcpy(header.data(), &prefix, sizeof(prefix));
+  if (std::fwrite(header.data(), 1, header_bytes, file) != header_bytes) {
+    std::fclose(file);
+    return ErrnoError("cannot write dataset header", path);
+  }
+  return DatasetFileWriter(file, dim);
+}
+
+Status DatasetFileWriter::Append(const double* row) {
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("dataset writer is closed");
+  }
+  if (std::fwrite(row, sizeof(double), dim_, file_) != dim_) {
+    return Status::IoError("short write appending dataset row");
+  }
+  bounds_.ExpandToInclude(la::Vector(std::vector<double>(row, row + dim_)));
+  ++count_;
+  return Status::OK();
+}
+
+Status DatasetFileWriter::Append(const la::Vector& point) {
+  if (point.dim() != dim_) {
+    return Status::InvalidArgument("dataset row dimension mismatch");
+  }
+  return Append(point.data());
+}
+
+Status DatasetFileWriter::Finish() {
+  if (file_ == nullptr) return Status::OK();
+  HeaderPrefix prefix{kDatasetMagic, kDatasetVersion,
+                      static_cast<uint32_t>(dim_), count_, 0};
+  std::vector<double> corners(2 * dim_, 0.0);
+  if (count_ > 0) {
+    for (size_t a = 0; a < dim_; ++a) {
+      corners[a] = bounds_.lo()[a];
+      corners[dim_ + a] = bounds_.hi()[a];
+    }
+  }
+  bool ok = std::fseek(file_, 0, SEEK_SET) == 0;
+  ok = ok && std::fwrite(&prefix, sizeof(prefix), 1, file_) == 1;
+  ok = ok && std::fwrite(corners.data(), sizeof(double), corners.size(),
+                         file_) == corners.size();
+  ok = ok && std::fflush(file_) == 0;
+  const int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!ok || close_rc != 0) {
+    return Status::IoError("failed to finalize dataset header");
+  }
+  return Status::OK();
+}
+
+MmapDataset::MmapDataset(MmapDataset&& other) noexcept
+    : mapping_(other.mapping_),
+      mapping_bytes_(other.mapping_bytes_),
+      points_(other.points_),
+      dim_(other.dim_),
+      count_(other.count_),
+      bounds_(std::move(other.bounds_)) {
+  other.mapping_ = nullptr;
+  other.points_ = nullptr;
+}
+
+MmapDataset& MmapDataset::operator=(MmapDataset&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    mapping_ = other.mapping_;
+    mapping_bytes_ = other.mapping_bytes_;
+    points_ = other.points_;
+    dim_ = other.dim_;
+    count_ = other.count_;
+    bounds_ = std::move(other.bounds_);
+    other.mapping_ = nullptr;
+    other.points_ = nullptr;
+  }
+  return *this;
+}
+
+MmapDataset::~MmapDataset() { Reset(); }
+
+void MmapDataset::Reset() {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapping_bytes_);
+    mapping_ = nullptr;
+  }
+  points_ = nullptr;
+}
+
+Result<MmapDataset> MmapDataset::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("cannot open dataset file", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoError("cannot stat dataset file", path);
+    ::close(fd);
+    return status;
+  }
+  const size_t file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes < sizeof(HeaderPrefix)) {
+    ::close(fd);
+    return Status::IoError("dataset file too small for a header: " + path);
+  }
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed either way.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return ErrnoError("cannot mmap dataset file", path);
+  }
+
+  MmapDataset dataset;
+  dataset.mapping_ = mapping;
+  dataset.mapping_bytes_ = file_bytes;
+
+  HeaderPrefix prefix;
+  std::memcpy(&prefix, mapping, sizeof(prefix));
+  if (prefix.magic != kDatasetMagic) {
+    return Status::IoError("not a GPRQ dataset file (bad magic): " + path);
+  }
+  if (prefix.version != kDatasetVersion) {
+    return Status::IoError("unsupported dataset version in " + path);
+  }
+  if (prefix.dim == 0) {
+    return Status::IoError("dataset file declares dim 0: " + path);
+  }
+  dataset.dim_ = prefix.dim;
+  dataset.count_ = prefix.count;
+
+  const size_t header_bytes = HeaderBytes(dataset.dim_);
+  const uint64_t need =
+      header_bytes + prefix.count * static_cast<uint64_t>(prefix.dim) *
+                         sizeof(double);
+  if (file_bytes < need) {
+    return Status::IoError("dataset file truncated: " + path);
+  }
+  const double* corners = reinterpret_cast<const double*>(
+      static_cast<const unsigned char*>(mapping) + sizeof(HeaderPrefix));
+  if (prefix.count > 0) {
+    la::Vector lo(dataset.dim_);
+    la::Vector hi(dataset.dim_);
+    for (size_t a = 0; a < dataset.dim_; ++a) {
+      lo[a] = corners[a];
+      hi[a] = corners[dataset.dim_ + a];
+      if (!(lo[a] <= hi[a])) {
+        return Status::IoError("dataset bounds corrupt in " + path);
+      }
+    }
+    dataset.bounds_ = geom::Rect(std::move(lo), std::move(hi));
+  } else {
+    dataset.bounds_ = geom::Rect::Empty(dataset.dim_);
+  }
+  dataset.points_ = reinterpret_cast<const double*>(
+      static_cast<const unsigned char*>(mapping) + header_bytes);
+  return dataset;
+}
+
+la::Vector MmapDataset::PointVector(uint64_t i) const {
+  const double* row = point(i);
+  return la::Vector(std::vector<double>(row, row + dim_));
+}
+
+}  // namespace gprq::index

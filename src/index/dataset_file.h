@@ -1,0 +1,110 @@
+#ifndef GPRQ_INDEX_DATASET_FILE_H_
+#define GPRQ_INDEX_DATASET_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "geom/rect.h"
+#include "la/vector.h"
+
+namespace gprq::index {
+
+/// The GPRQ binary point-dataset format, built for out-of-core workloads
+/// (10M+ points) where the CSV loader's parse-everything-into-RAM approach
+/// stops scaling. Layout (host-endian, written and read on the same
+/// machine class):
+///
+///   u64 magic ("GPRQDAT1")   u32 version   u32 dim
+///   u64 count                u64 reserved (0)
+///   f64 lo[dim]  f64 hi[dim]            -- dataset bounding box
+///   f64 points[count][dim]              -- row-major, 4096-aligned start
+///
+/// The point block starts at a page boundary so an mmap'd reader hands out
+/// naturally-aligned row pointers and the OS prefetches whole pages of
+/// consecutive rows during STR sorting. The bounding box is stored so shard
+/// planners can partition space without a pass over the data.
+inline constexpr uint64_t kDatasetMagic = 0x3154414451525047ULL;  // "GPRQDAT1"
+inline constexpr uint32_t kDatasetVersion = 1;
+inline constexpr size_t kDatasetPointAlignment = 4096;
+
+/// Streaming writer: rows are appended one at a time and never buffered as
+/// a whole, so converting a 10M-point CSV needs O(dim) memory. Finish()
+/// seeks back and patches the header with the final count and bounds.
+class DatasetFileWriter {
+ public:
+  static Result<DatasetFileWriter> Create(const std::string& path,
+                                          size_t dim);
+
+  DatasetFileWriter(DatasetFileWriter&& other) noexcept;
+  DatasetFileWriter& operator=(DatasetFileWriter&& other) noexcept;
+  DatasetFileWriter(const DatasetFileWriter&) = delete;
+  DatasetFileWriter& operator=(const DatasetFileWriter&) = delete;
+  /// Destroying an unfinished writer closes the stream and leaves the file
+  /// with count = 0 in its header — readers treat it as empty, not corrupt.
+  ~DatasetFileWriter();
+
+  /// Appends one row of dim() doubles.
+  Status Append(const double* row);
+  Status Append(const la::Vector& point);
+
+  /// Patches the header (count, bounds) and closes the file. Idempotent.
+  Status Finish();
+
+  size_t dim() const { return dim_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  DatasetFileWriter(std::FILE* file, size_t dim);
+
+  std::FILE* file_ = nullptr;
+  size_t dim_ = 0;
+  uint64_t count_ = 0;
+  geom::Rect bounds_ = geom::Rect::Empty(0);
+};
+
+/// Read-only memory-mapped view of a dataset file. Opening maps the file
+/// and validates the header; point(i) is a pointer into the mapping, so
+/// iterating the dataset touches only the pages the access pattern needs —
+/// the out-of-core STR shard build sorts *indices* and streams rows through
+/// this view instead of materializing 10M la::Vectors.
+class MmapDataset {
+ public:
+  static Result<MmapDataset> Open(const std::string& path);
+
+  MmapDataset(MmapDataset&& other) noexcept;
+  MmapDataset& operator=(MmapDataset&& other) noexcept;
+  MmapDataset(const MmapDataset&) = delete;
+  MmapDataset& operator=(const MmapDataset&) = delete;
+  ~MmapDataset();
+
+  size_t dim() const { return dim_; }
+  uint64_t count() const { return count_; }
+  /// The stored dataset bounding box (empty rect when count == 0).
+  const geom::Rect& bounds() const { return bounds_; }
+
+  /// Row i as a borrowed pointer to dim() doubles; valid while the dataset
+  /// is open.
+  const double* point(uint64_t i) const {
+    return points_ + i * static_cast<uint64_t>(dim_);
+  }
+
+  /// Row i copied into an owned vector (for APIs that take la::Vector).
+  la::Vector PointVector(uint64_t i) const;
+
+ private:
+  MmapDataset() = default;
+  void Reset();
+
+  void* mapping_ = nullptr;
+  size_t mapping_bytes_ = 0;
+  const double* points_ = nullptr;
+  size_t dim_ = 0;
+  uint64_t count_ = 0;
+  geom::Rect bounds_ = geom::Rect::Empty(0);
+};
+
+}  // namespace gprq::index
+
+#endif  // GPRQ_INDEX_DATASET_FILE_H_

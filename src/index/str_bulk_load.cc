@@ -73,7 +73,17 @@ void Tile(std::vector<Entry>::iterator begin,
 Result<RStarTree> StrBulkLoader::Load(size_t dim,
                                       const std::vector<la::Vector>& points,
                                       RStarTree::Options options) {
+  return Load(dim, points, {}, options);
+}
+
+Result<RStarTree> StrBulkLoader::Load(size_t dim,
+                                      const std::vector<la::Vector>& points,
+                                      const std::vector<ObjectId>& ids,
+                                      RStarTree::Options options) {
   RStarTree tree(dim, options);
+  if (!ids.empty() && ids.size() != points.size()) {
+    return Status::InvalidArgument("ids must be empty or match points in size");
+  }
   if (points.empty()) return tree;
   for (const auto& point : points) {
     if (point.dim() != dim) {
@@ -89,8 +99,8 @@ Result<RStarTree> StrBulkLoader::Load(size_t dim,
   std::vector<Entry> current;
   current.reserve(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
-    current.push_back(
-        Entry{geom::Rect(points[i]), nullptr, static_cast<ObjectId>(i)});
+    const ObjectId id = ids.empty() ? static_cast<ObjectId>(i) : ids[i];
+    current.push_back(Entry{geom::Rect(points[i]), nullptr, id});
   }
 
   size_t level = 0;

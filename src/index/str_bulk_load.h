@@ -21,6 +21,15 @@ class StrBulkLoader {
   static Result<RStarTree> Load(size_t dim,
                                 const std::vector<la::Vector>& points,
                                 RStarTree::Options options = {});
+
+  /// Like Load, but with caller-chosen object ids (`ids[i]` labels
+  /// `points[i]`). Shard builds use this form: each shard tree holds a
+  /// slice of the dataset but must report the *global* dataset positions,
+  /// or cross-shard result merging would alias unrelated points.
+  static Result<RStarTree> Load(size_t dim,
+                                const std::vector<la::Vector>& points,
+                                const std::vector<ObjectId>& ids,
+                                RStarTree::Options options = {});
 };
 
 }  // namespace gprq::index

@@ -100,6 +100,15 @@ std::shared_ptr<const SamplePool> AdaptiveMonteCarloEvaluator::MakeSamplePool(
                                             pool_random);
 }
 
+std::shared_ptr<const SamplePool>
+AdaptiveMonteCarloEvaluator::MakeSamplePool(
+    const core::GaussianDistribution& query, PoolVariant variant) {
+  const uint64_t stream_seed =
+      options_.seed ^ kPoolStreamSalt ^ QueryFingerprint(query);
+  return std::make_shared<const SamplePool>(query, options_.max_samples,
+                                            stream_seed, variant);
+}
+
 SamplePool::DecideOptions AdaptiveMonteCarloEvaluator::PoolDecideOptions()
     const {
   SamplePool::DecideOptions decide;

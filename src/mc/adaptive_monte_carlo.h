@@ -75,6 +75,12 @@ class AdaptiveMonteCarloEvaluator final : public ProbabilityEvaluator {
   std::shared_ptr<const SamplePool> MakeSamplePool(
       const core::GaussianDistribution& query) override;
 
+  /// Variant-selecting pool (see MonteCarloEvaluator): kPseudoRandom is
+  /// bit-identical to the overload above, kHalton draws randomized-Halton
+  /// QMC samples from the same stream seed.
+  std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query, PoolVariant variant) override;
+
   const char* name() const override { return "adaptive-monte-carlo"; }
 
   /// Samples drawn across all decisions since construction/reset.

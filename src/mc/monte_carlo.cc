@@ -84,6 +84,16 @@ std::shared_ptr<const SamplePool> MonteCarloEvaluator::MakeSamplePool(
                                             pool_random);
 }
 
+std::shared_ptr<const SamplePool> MonteCarloEvaluator::MakeSamplePool(
+    const core::GaussianDistribution& query, PoolVariant variant) {
+  // The same pure-function-of-(seed, query) stream seed for both variants;
+  // the variant only selects how the pool turns it into samples.
+  const uint64_t stream_seed =
+      options_.seed ^ kPoolStreamSalt ^ QueryFingerprint(query);
+  return std::make_shared<const SamplePool>(query, options_.samples,
+                                            stream_seed, variant);
+}
+
 void MonteCarloEvaluator::DecideBatch(const core::GaussianDistribution& query,
                                       const la::Vector* const* objects,
                                       size_t count, double delta, double theta,

@@ -60,6 +60,12 @@ class MonteCarloEvaluator final : public ProbabilityEvaluator {
   std::shared_ptr<const SamplePool> MakeSamplePool(
       const core::GaussianDistribution& query) override;
 
+  /// Variant-selecting pool from the same (seed, salt, fingerprint) stream
+  /// seed: kPseudoRandom is bit-identical to the overload above; kHalton
+  /// swaps the iid draws for the randomized-Halton QMC construction.
+  std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query, PoolVariant variant) override;
+
   /// Estimate plus its standard error sqrt(p(1−p)/n).
   struct Estimate {
     double probability = 0.0;

@@ -8,6 +8,7 @@
 #include "common/deadline.h"
 #include "core/gaussian.h"
 #include "la/vector.h"
+#include "mc/pool_variant.h"
 
 namespace gprq::mc {
 
@@ -66,6 +67,18 @@ class ProbabilityEvaluator {
       const core::GaussianDistribution& query) {
     (void)query;
     return nullptr;
+  }
+
+  /// Variant-selecting MakeSamplePool (core::PrqOptions::pool_variant):
+  /// kPseudoRandom must reproduce the one-argument overload bit-for-bit;
+  /// kHalton requests a randomized-Halton QMC pool. The default delegates
+  /// to the one-argument overload — exact evaluators return null for every
+  /// variant, and a sampling evaluator that has not opted in keeps its
+  /// native pool.
+  virtual std::shared_ptr<const SamplePool> MakeSamplePool(
+      const core::GaussianDistribution& query, PoolVariant variant) {
+    (void)variant;
+    return MakeSamplePool(query);
   }
 
   /// Batched Phase-3 decisions: sets decisions[i] to nonzero iff the

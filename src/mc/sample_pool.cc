@@ -9,6 +9,8 @@
 #include "common/stopwatch.h"
 #include "mc/simd/kernels.h"
 #include "obs/metrics.h"
+#include "rng/halton.h"
+#include "stats/special.h"
 
 namespace gprq::mc {
 namespace {
@@ -121,6 +123,43 @@ SamplePool::SamplePool(const core::GaussianDistribution& query,
   for (uint64_t i = 0; i < samples_; ++i) {
     query.Sample(random, x);
     for (size_t a = 0; a < dim_; ++a) data_[a * samples_ + i] = x[a];
+  }
+  McMetrics::Get().pool_builds->Add(1);
+  McMetrics::Get().pool_samples_drawn->Add(samples_);
+}
+
+SamplePool::SamplePool(const core::GaussianDistribution& query,
+                       uint64_t samples, uint64_t seed, PoolVariant variant)
+    : dim_(query.dim()),
+      samples_(std::max<uint64_t>(samples, 1)),
+      data_(dim_ * samples_) {
+  ScopedTimer build_timer(McMetrics::Get().pool_build_nanos);
+  if (variant == PoolVariant::kHalton &&
+      dim_ <= rng::HaltonSequence::kMaxDim) {
+    // Randomized-Halton QMC: low-discrepancy uniforms → standard-normal
+    // quantiles → the query's q + L·z transform, exactly the
+    // QuasiMonteCarloEvaluator mapping, scattered into the SoA layout.
+    rng::HaltonSequence halton(dim_, seed);
+    la::Vector u(dim_), z(dim_), x(dim_);
+    for (uint64_t i = 0; i < samples_; ++i) {
+      halton.Next(u);
+      for (size_t a = 0; a < dim_; ++a) {
+        // Guard the open-interval requirement of the quantile.
+        const double clipped = std::min(std::max(u[a], 1e-15), 1.0 - 1e-15);
+        z[a] = stats::StandardNormalQuantile(clipped);
+      }
+      query.TransformStandard(z, x);
+      for (size_t a = 0; a < dim_; ++a) data_[a * samples_ + i] = x[a];
+    }
+  } else {
+    // Pseudo-random draws, bit-identical to the stream constructor seeded
+    // the same way (also the d > kMaxDim fallback for kHalton).
+    rng::Random random(seed);
+    la::Vector x(dim_);
+    for (uint64_t i = 0; i < samples_; ++i) {
+      query.Sample(random, x);
+      for (size_t a = 0; a < dim_; ++a) data_[a * samples_ + i] = x[a];
+    }
   }
   McMetrics::Get().pool_builds->Add(1);
   McMetrics::Get().pool_samples_drawn->Add(samples_);

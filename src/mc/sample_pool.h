@@ -8,6 +8,7 @@
 #include "common/deadline.h"
 #include "core/gaussian.h"
 #include "la/vector.h"
+#include "mc/pool_variant.h"
 #include "rng/random.h"
 
 namespace gprq::mc {
@@ -65,6 +66,17 @@ class SamplePool {
   /// `random`; O(samples · d²) once, the cost this class amortizes.
   SamplePool(const core::GaussianDistribution& query, uint64_t samples,
              rng::Random& random);
+
+  /// Variant-selecting constructor, seeded instead of stream-fed so both
+  /// variants are a pure function of (seed, query):
+  /// PoolVariant::kPseudoRandom draws from rng::Random(seed) —
+  /// bit-identical to the stream constructor above with the same seed —
+  /// and PoolVariant::kHalton draws a randomized Halton sequence (rotation
+  /// seeded with `seed`) mapped through the standard-normal quantile and
+  /// the query's standard transform. Dimensions above
+  /// rng::HaltonSequence::kMaxDim fall back to kPseudoRandom.
+  SamplePool(const core::GaussianDistribution& query, uint64_t samples,
+             uint64_t seed, PoolVariant variant);
 
   size_t dim() const { return dim_; }
   uint64_t size() const { return samples_; }

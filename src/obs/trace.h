@@ -86,6 +86,14 @@ struct QueryTrace {
   uint64_t admission_wait_nanos = 0;  // time in the bounded admission queue
   double cost_estimate = 0.0;         // final admission cost (post-refine)
 
+  // ---- Sharded scatter-gather (set by shard::ShardedPrqEngine). ----
+  // Deliberately NOT folded by PublishFilterPhases/PublishPhase3: the
+  // registry's `gprq.engine.*` totals remain sums of single-engine traces
+  // (the ledger the trace tests reconcile), and the shard engine publishes
+  // its own `gprq.shard.*` series instead.
+  uint64_t shards_routed = 0;  // shards whose MBR met the search box
+  uint64_t shards_total = 0;   // shards in the deployment (0 = unsharded)
+
   // ---- Semantic result cache (set by the cache-aware exec path). ----
   // Exact hit: the stored complete answer was served verbatim — no filter
   // phases, no Phase 3, so the phase spans above stay zero. Semantic hit:

@@ -1,0 +1,129 @@
+#include "shard/shard_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/paged_tree.h"
+#include "index/str_bulk_load.h"
+
+namespace gprq::shard {
+namespace {
+
+/// Recursive STR tiling at shard granularity over *row indices*: sorts the
+/// index range by the current axis (reading coordinates through the mmap),
+/// splits it into slabs, and divides the remaining shard budget among the
+/// slabs proportionally. Produces exactly `tiles` contiguous ranges.
+void TileIndices(const index::MmapDataset& dataset,
+                 std::vector<uint64_t>::iterator begin,
+                 std::vector<uint64_t>::iterator end, size_t axis,
+                 size_t tiles,
+                 std::vector<std::pair<uint64_t, uint64_t>>* ranges,
+                 uint64_t base) {
+  const uint64_t n = static_cast<uint64_t>(end - begin);
+  if (tiles <= 1 || n == 0) {
+    ranges->emplace_back(base, base + n);
+    return;
+  }
+  const size_t dim = dataset.dim();
+  std::sort(begin, end, [&dataset, axis](uint64_t a, uint64_t b) {
+    const double ca = dataset.point(a)[axis];
+    const double cb = dataset.point(b)[axis];
+    if (ca != cb) return ca < cb;
+    return a < b;  // total order: ties broken by row, for reproducible tiles
+  });
+
+  // Slab count on this axis: the (d - axis)-th root of the remaining budget
+  // (the STR rule), capped by the budget itself.
+  const size_t axes_left = dim - std::min(axis, dim - 1);
+  size_t slabs = static_cast<size_t>(std::ceil(
+      std::pow(static_cast<double>(tiles),
+               1.0 / static_cast<double>(axes_left))));
+  slabs = std::max<size_t>(1, std::min(slabs, tiles));
+
+  const size_t next_axis = (axis + 1 < dim) ? axis + 1 : axis;
+  uint64_t offset = 0;
+  size_t tiles_left = tiles;
+  for (size_t s = 0; s < slabs; ++s) {
+    const size_t slabs_left = slabs - s;
+    const size_t slab_tiles =
+        (tiles_left + slabs_left - 1) / slabs_left;  // spread the budget
+    const uint64_t take = (n - offset) * slab_tiles / tiles_left;
+    TileIndices(dataset, begin + offset, begin + offset + take, next_axis,
+                slab_tiles, ranges, base + offset);
+    offset += take;
+    tiles_left -= slab_tiles;
+    if (tiles_left == 0) break;
+  }
+  if (offset < n) {
+    // Budget exhausted with rows left (rounding); fold them into the last
+    // tile so every row lands in exactly one shard.
+    ranges->back().second = base + n;
+  }
+}
+
+}  // namespace
+
+Result<ShardManifest> BuildShards(const index::MmapDataset& dataset,
+                                  const std::string& dataset_file,
+                                  const std::string& out_dir,
+                                  const ShardBuildOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (dataset.count() > 0 &&
+      dataset.count() < static_cast<uint64_t>(options.num_shards)) {
+    return Status::InvalidArgument(
+        "dataset has fewer points than requested shards");
+  }
+
+  // The only dataset-sized allocation of the build: the row permutation.
+  std::vector<uint64_t> order(dataset.count());
+  for (uint64_t i = 0; i < dataset.count(); ++i) order[i] = i;
+
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ranges.reserve(options.num_shards);
+  TileIndices(dataset, order.begin(), order.end(), 0, options.num_shards,
+              &ranges, 0);
+  while (ranges.size() < options.num_shards) {
+    // Degenerate datasets (n == K with extreme rounding) can under-produce;
+    // pad with empty shards so the manifest always has num_shards entries.
+    ranges.emplace_back(dataset.count(), dataset.count());
+  }
+
+  ShardManifest manifest;
+  manifest.dim = dataset.dim();
+  manifest.dataset_file = dataset_file;
+  manifest.shards.resize(options.num_shards);
+
+  // One shard materialized at a time: rows stream out of the mapping into
+  // la::Vectors, the tree is bulk-loaded and snapshotted, then freed.
+  for (size_t k = 0; k < options.num_shards; ++k) {
+    const auto [row_begin, row_end] = ranges[k];
+    const size_t count = static_cast<size_t>(row_end - row_begin);
+    std::vector<la::Vector> points;
+    std::vector<index::ObjectId> ids;
+    points.reserve(count);
+    ids.reserve(count);
+    for (uint64_t r = row_begin; r < row_end; ++r) {
+      points.push_back(dataset.PointVector(order[r]));
+      ids.push_back(static_cast<index::ObjectId>(order[r]));
+    }
+    Result<index::RStarTree> tree = index::StrBulkLoader::Load(
+        dataset.dim(), points, ids, options.tree_options);
+    if (!tree.ok()) return tree.status();
+
+    ShardInfo& shard = manifest.shards[k];
+    shard.tree_file = "shard_" + std::to_string(k) + ".tree";
+    shard.count = count;
+    shard.mbr = count > 0 ? tree->Bounds() : geom::Rect::Empty(dataset.dim());
+    GPRQ_RETURN_NOT_OK(index::TreeSnapshot::Write(
+        *tree, out_dir + "/" + shard.tree_file, options.page_size));
+  }
+
+  GPRQ_RETURN_NOT_OK(manifest.Save(out_dir + "/shards.manifest"));
+  return manifest;
+}
+
+}  // namespace gprq::shard

@@ -1,0 +1,43 @@
+#ifndef GPRQ_SHARD_SHARD_BUILDER_H_
+#define GPRQ_SHARD_SHARD_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "index/dataset_file.h"
+#include "index/rstar_tree.h"
+#include "shard/shard_manifest.h"
+
+namespace gprq::shard {
+
+struct ShardBuildOptions {
+  /// Number of shards to partition into (exactly this many are produced).
+  size_t num_shards = 4;
+  /// Options for each shard's R*-tree (STR bulk-loaded).
+  index::RStarTree::Options tree_options;
+  /// Page size of the per-shard TreeSnapshot files.
+  size_t page_size = 4096;
+};
+
+/// Partitions an mmap'd dataset into num_shards spatially-tiled shards and
+/// writes one paged tree snapshot per shard plus a manifest
+/// (`<out_dir>/shards.manifest`). The partition is the same Sort-Tile-
+/// Recursive discipline the in-memory bulk loader uses, applied at shard
+/// granularity: recursive coordinate-sorted slabs, so shards have compact,
+/// lightly-overlapping MBRs — which is what makes MBR routing selective.
+///
+/// Out-of-core by construction: the tiling permutes an index array
+/// (8 bytes/point) over the memory-mapped rows, and only one shard's points
+/// are ever materialized as la::Vectors at a time. A 10M-point build peaks
+/// near 80 MB of index plus one shard, not the 10M-vector dataset. Object
+/// ids in the shard trees are the global dataset row numbers, so the
+/// scatter-gather merge never aliases points across shards.
+Result<ShardManifest> BuildShards(const index::MmapDataset& dataset,
+                                  const std::string& dataset_file,
+                                  const std::string& out_dir,
+                                  const ShardBuildOptions& options);
+
+}  // namespace gprq::shard
+
+#endif  // GPRQ_SHARD_SHARD_BUILDER_H_

@@ -1,0 +1,123 @@
+#include "shard/shard_manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gprq::shard {
+namespace {
+
+constexpr const char* kMagicLine = "GPRQ-SHARDS";
+constexpr int kVersion = 1;
+
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool ParseHexDouble(const std::string& token, double* value) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  *value = std::strtod(begin, &end);
+  return end != begin && *end == '\0';
+}
+
+}  // namespace
+
+std::string ManifestDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash + 1);
+}
+
+Status ShardManifest::Save(const std::string& path) const {
+  if (dim == 0) return Status::InvalidArgument("manifest dim must be >= 1");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write shard manifest: " + path);
+  out << kMagicLine << ' ' << kVersion << '\n';
+  out << "dim " << dim << '\n';
+  out << "dataset " << (dataset_file.empty() ? "-" : dataset_file) << '\n';
+  out << "shards " << shards.size() << '\n';
+  for (size_t k = 0; k < shards.size(); ++k) {
+    const ShardInfo& shard = shards[k];
+    if (shard.mbr.dim() != dim && shard.count > 0) {
+      return Status::InvalidArgument("shard MBR dimension mismatch");
+    }
+    out << "shard " << k << ' ' << shard.tree_file << ' ' << shard.count;
+    for (size_t a = 0; a < dim; ++a) {
+      out << ' '
+          << HexDouble(shard.count > 0 ? shard.mbr.lo()[a] : 0.0);
+    }
+    for (size_t a = 0; a < dim; ++a) {
+      out << ' '
+          << HexDouble(shard.count > 0 ? shard.mbr.hi()[a] : 0.0);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("short write saving shard manifest");
+  return Status::OK();
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open shard manifest: " + path);
+
+  ShardManifest manifest;
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagicLine) {
+    return Status::IoError("not a shard manifest: " + path);
+  }
+  if (version != kVersion) {
+    return Status::IoError("unsupported shard manifest version in " + path);
+  }
+  std::string key;
+  size_t shard_count = 0;
+  if (!(in >> key >> manifest.dim) || key != "dim" || manifest.dim == 0) {
+    return Status::IoError("shard manifest missing dim: " + path);
+  }
+  if (!(in >> key >> manifest.dataset_file) || key != "dataset") {
+    return Status::IoError("shard manifest missing dataset line: " + path);
+  }
+  if (manifest.dataset_file == "-") manifest.dataset_file.clear();
+  if (!(in >> key >> shard_count) || key != "shards" || shard_count == 0) {
+    return Status::IoError("shard manifest missing shard count: " + path);
+  }
+
+  manifest.shards.resize(shard_count);
+  for (size_t k = 0; k < shard_count; ++k) {
+    size_t index = 0;
+    ShardInfo& shard = manifest.shards[k];
+    if (!(in >> key >> index >> shard.tree_file >> shard.count) ||
+        key != "shard" || index != k) {
+      return Status::IoError("malformed shard line in " + path);
+    }
+    la::Vector lo(manifest.dim);
+    la::Vector hi(manifest.dim);
+    std::string token;
+    for (size_t a = 0; a < 2 * manifest.dim; ++a) {
+      double value = 0.0;
+      if (!(in >> token) || !ParseHexDouble(token, &value)) {
+        return Status::IoError("malformed shard MBR in " + path);
+      }
+      if (a < manifest.dim) {
+        lo[a] = value;
+      } else {
+        hi[a - manifest.dim] = value;
+      }
+    }
+    for (size_t a = 0; a < manifest.dim; ++a) {
+      if (!(lo[a] <= hi[a])) {
+        return Status::IoError("shard MBR corrupt in " + path);
+      }
+    }
+    shard.mbr = geom::Rect(std::move(lo), std::move(hi));
+  }
+  return manifest;
+}
+
+}  // namespace gprq::shard

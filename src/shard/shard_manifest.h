@@ -1,0 +1,51 @@
+#ifndef GPRQ_SHARD_SHARD_MANIFEST_H_
+#define GPRQ_SHARD_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/rect.h"
+
+namespace gprq::shard {
+
+/// One shard of a partitioned dataset: a paged tree snapshot plus the exact
+/// MBR of its points. The MBR is the routing key — a query whose Phase-1
+/// search box misses it cannot receive a candidate from this shard.
+struct ShardInfo {
+  /// Snapshot file name, relative to the manifest's directory (shards move
+  /// with their manifest).
+  std::string tree_file;
+  uint64_t count = 0;
+  geom::Rect mbr = geom::Rect::Empty(0);
+};
+
+/// The on-disk description of a sharded deployment, written by BuildShards
+/// and read by ShardedPrqEngine. Stored as a small text file next to the
+/// shard snapshots; doubles are printed as C99 hexfloats so the MBRs
+/// round-trip bit-exactly (routing must see the same boxes the builder
+/// computed).
+struct ShardManifest {
+  size_t dim = 0;
+  /// The source dataset file ("" when unknown); informational.
+  std::string dataset_file;
+  std::vector<ShardInfo> shards;
+
+  static Result<ShardManifest> Load(const std::string& path);
+  Status Save(const std::string& path) const;
+
+  uint64_t total_points() const {
+    uint64_t total = 0;
+    for (const ShardInfo& shard : shards) total += shard.count;
+    return total;
+  }
+};
+
+/// The directory part of `path` ("" for a bare file name) — shard tree
+/// files are resolved relative to their manifest.
+std::string ManifestDirectory(const std::string& path);
+
+}  // namespace gprq::shard
+
+#endif  // GPRQ_SHARD_SHARD_MANIFEST_H_

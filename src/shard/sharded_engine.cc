@@ -1,0 +1,352 @@
+#include "shard/sharded_engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/filter_pipeline.h"
+#include "obs/metrics.h"
+
+namespace gprq::shard {
+namespace {
+
+// Shard-layer metrics, resolved once (the obs resolve-once idiom).
+// `gprq.shard.shards_routed / gprq.shard.shards_considered` is the routing
+// selectivity the scaling bench asserts on: < 1 means MBR routing is
+// actually skipping shards.
+struct ShardMetrics {
+  obs::Counter* queries;
+  obs::Counter* shards_routed;
+  obs::Counter* shards_considered;
+  obs::Counter* proved_empty;
+  obs::Counter* reloads;
+  obs::Counter* cache_invalidated;
+  obs::Histogram* scatter_nanos;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return ShardMetrics{r.GetCounter("gprq.shard.queries"),
+                          r.GetCounter("gprq.shard.shards_routed"),
+                          r.GetCounter("gprq.shard.shards_considered"),
+                          r.GetCounter("gprq.shard.proved_empty"),
+                          r.GetCounter("gprq.shard.reloads"),
+                          r.GetCounter("gprq.shard.cache_invalidated"),
+                          r.GetHistogram("gprq.shard.scatter_nanos")};
+    }();
+    return metrics;
+  }
+};
+
+/// Per-shard scatter state; slot k is written only by shard k's task.
+struct ShardSlot {
+  core::PrqEngine::FilterOutcome outcome;
+  core::Phase2Counts counts;
+  uint64_t index_candidates = 0;
+  bool expired = false;
+};
+
+}  // namespace
+
+ShardedPrqEngine::ShardedPrqEngine(ShardManifest manifest,
+                                   std::string manifest_path,
+                                   exec::BatchExecutor* executor,
+                                   const ShardedEngineOptions& options)
+    : manifest_(std::move(manifest)),
+      manifest_path_(std::move(manifest_path)),
+      manifest_dir_(ManifestDirectory(manifest_path_)),
+      executor_(executor),
+      options_(options) {}
+
+Result<index::PagedRStarTree> ShardedPrqEngine::OpenShardTree(
+    size_t shard) const {
+  index::PagedRStarTree::OpenOptions open;
+  open.page_size = options_.page_size;
+  open.buffer_pages = options_.buffer_pages;
+  return index::PagedRStarTree::Open(
+      manifest_dir_ + manifest_.shards[shard].tree_file, open);
+}
+
+Result<std::unique_ptr<ShardedPrqEngine>> ShardedPrqEngine::Open(
+    const std::string& manifest_path, exec::BatchExecutor* executor,
+    const ShardedEngineOptions& options) {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("sharded engine needs an executor");
+  }
+  Result<ShardManifest> manifest = ShardManifest::Load(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+
+  std::unique_ptr<ShardedPrqEngine> engine(new ShardedPrqEngine(
+      std::move(*manifest), manifest_path, executor, options));
+  const size_t num_shards = engine->manifest_.shards.size();
+  engine->shards_.resize(num_shards);
+
+  if (options.numa_first_touch) {
+    // Open (and root-probe) each shard from a pool worker: with first-touch
+    // NUMA policy the shard's buffer pool lands on the node of a thread
+    // that will serve its scatter tasks. Slots are disjoint; no locking.
+    std::vector<Status> statuses(num_shards);
+    std::vector<exec::WorkerPool::Task> tasks;
+    tasks.reserve(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      ShardedPrqEngine* raw = engine.get();
+      tasks.push_back([raw, &statuses, k](size_t) {
+        Result<index::PagedRStarTree> tree = raw->OpenShardTree(k);
+        if (!tree.ok()) {
+          statuses[k] = tree.status();
+          return;
+        }
+        raw->shards_[k] =
+            std::make_unique<index::PagedRStarTree>(std::move(*tree));
+        if (raw->manifest_.shards[k].count > 0) {
+          // Root-to-leaf warm probe; faults the first pages in.
+          const geom::Rect probe(raw->manifest_.shards[k].mbr.lo());
+          statuses[k] = raw->shards_[k]->RangeQuery(
+              probe, [](const la::Vector&, index::ObjectId) {});
+        }
+      });
+    }
+    GPRQ_RETURN_NOT_OK(executor->RunTasks(std::move(tasks)));
+    for (const Status& status : statuses) GPRQ_RETURN_NOT_OK(status);
+  } else {
+    for (size_t k = 0; k < num_shards; ++k) {
+      Result<index::PagedRStarTree> tree = engine->OpenShardTree(k);
+      if (!tree.ok()) return tree.status();
+      engine->shards_[k] =
+          std::make_unique<index::PagedRStarTree>(std::move(*tree));
+    }
+  }
+
+  for (size_t k = 0; k < num_shards; ++k) {
+    if (engine->shards_[k]->dim() != engine->manifest_.dim) {
+      return Status::IoError("shard tree dimension disagrees with manifest");
+    }
+  }
+  return engine;
+}
+
+const core::RadiusCatalog* ShardedPrqEngine::radius_catalog() const {
+  if (radius_catalog_ == nullptr) {
+    radius_catalog_ = std::make_unique<core::RadiusCatalog>(
+        core::RadiusCatalog::Build(manifest_.dim));
+  }
+  return radius_catalog_.get();
+}
+
+const core::AlphaCatalog* ShardedPrqEngine::alpha_catalog() const {
+  if (alpha_catalog_ == nullptr) {
+    alpha_catalog_ = std::make_unique<core::AlphaCatalog>(
+        core::AlphaCatalog::Build(manifest_.dim));
+  }
+  return alpha_catalog_.get();
+}
+
+Result<std::vector<size_t>> ShardedPrqEngine::Route(
+    const core::PrqQuery& query, const core::PrqOptions& options) const {
+  GPRQ_RETURN_NOT_OK(core::ValidatePrq(query, options, manifest_.dim));
+  const core::QueryGeometry geometry = core::PrepareQueryGeometry(
+      query, options, manifest_.dim,
+      options.use_catalogs ? radius_catalog() : nullptr,
+      options.use_catalogs ? alpha_catalog() : nullptr);
+  std::vector<size_t> routed;
+  if (geometry.proved_empty) return routed;
+  geom::Rect search_box = geom::Rect::Empty(manifest_.dim);
+  if (!core::ComputeSearchBox(geometry, query, manifest_.dim, &search_box)) {
+    return routed;
+  }
+  for (size_t k = 0; k < manifest_.shards.size(); ++k) {
+    if (manifest_.shards[k].count == 0) continue;
+    if (manifest_.shards[k].mbr.Intersects(search_box)) routed.push_back(k);
+  }
+  return routed;
+}
+
+Result<core::PrqResult> ShardedPrqEngine::ExecuteBounded(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  GPRQ_RETURN_NOT_OK(core::ValidatePrq(query, options, manifest_.dim));
+  const ShardMetrics& metrics = ShardMetrics::Get();
+  core::PrqStats local_stats;
+  core::PrqStats& out_stats = (stats != nullptr) ? *stats : local_stats;
+  out_stats = core::PrqStats();
+  if (trace != nullptr) {
+    *trace = obs::QueryTrace();
+    trace->shards_total = shards_.size();
+  }
+  metrics.queries->Add(1);
+  metrics.shards_considered->Add(shards_.size());
+
+  const common::QueryControl& control = options.control;
+  if (!control.Unbounded() && control.ShouldStop()) {
+    // Stopped on entry: like the single-tree engine, short-circuit before
+    // touching any shard. Nothing was scanned, so there is nothing to list
+    // as undecided; the status says the answer is not the full one.
+    core::PrqResult result;
+    result.status = control.StopStatus();
+    if (trace != nullptr) trace->deadline_expired = true;
+    return result;
+  }
+
+  // ---- Prep: one geometry for every shard (immutable during the scatter).
+  core::QueryGeometry geometry;
+  {
+    obs::QueryTrace::Span span(trace, obs::QueryTrace::kPrep);
+    Stopwatch watch;
+    geometry = core::PrepareQueryGeometry(
+        query, options, manifest_.dim,
+        options.use_catalogs ? radius_catalog() : nullptr,
+        options.use_catalogs ? alpha_catalog() : nullptr);
+    out_stats.prep_seconds = watch.ElapsedSeconds();
+  }
+
+  geom::Rect search_box = geom::Rect::Empty(manifest_.dim);
+  if (geometry.proved_empty ||
+      !core::ComputeSearchBox(geometry, query, manifest_.dim, &search_box)) {
+    out_stats.proved_empty = true;
+    if (trace != nullptr) trace->proved_empty = true;
+    metrics.proved_empty->Add(1);
+    return core::PrqResult{};
+  }
+
+  // ---- Route: shards whose MBR meets the search box.
+  std::vector<size_t> routed;
+  for (size_t k = 0; k < manifest_.shards.size(); ++k) {
+    if (manifest_.shards[k].count == 0) continue;
+    if (manifest_.shards[k].mbr.Intersects(search_box)) routed.push_back(k);
+  }
+  metrics.shards_routed->Add(routed.size());
+  if (trace != nullptr) trace->shards_routed = routed.size();
+
+  // ---- Scatter: Phases 1-2 per routed shard, one task per shard so each
+  // shard's buffer pool is touched by exactly one thread.
+  std::vector<ShardSlot> slots(routed.size());
+  {
+    Stopwatch watch;
+    obs::QueryTrace::Span span(trace, obs::QueryTrace::kPhase1);
+    std::vector<exec::WorkerPool::Task> tasks;
+    tasks.reserve(routed.size());
+    for (size_t i = 0; i < routed.size(); ++i) {
+      index::PagedRStarTree* tree = shards_[routed[i]].get();
+      ShardSlot* slot = &slots[i];
+      tasks.push_back([&query, &options, &geometry, &search_box, &control,
+                       tree, slot](size_t) {
+        if (!control.Unbounded() && control.ShouldStop()) {
+          // Fired before this shard was scanned; its candidates stay
+          // unknown and the merged result's status reports the truncation.
+          slot->expired = true;
+          return;
+        }
+        std::vector<std::pair<la::Vector, index::ObjectId>> candidates;
+        const Status scanned = tree->RangeQuery(
+            search_box,
+            [&candidates](const la::Vector& point, index::ObjectId id) {
+              candidates.emplace_back(point, id);
+            });
+        if (!scanned.ok()) throw std::runtime_error(scanned.ToString());
+        slot->index_candidates = candidates.size();
+        if (!control.Unbounded() && control.ShouldStop()) {
+          // Fired between the phases: skip Phase 2, surface every scanned
+          // candidate as a survivor (the engine's expired-filter rule).
+          slot->outcome.survivors = std::move(candidates);
+          slot->expired = true;
+          return;
+        }
+        core::RunPhase2(query, options, geometry, std::move(candidates),
+                        &slot->outcome, &slot->counts);
+      });
+    }
+    GPRQ_RETURN_NOT_OK(executor_->RunTasks(std::move(tasks)));
+    const uint64_t scatter_nanos = watch.ElapsedNanos();
+    metrics.scatter_nanos->Record(scatter_nanos);
+    // The scatter interleaves both phases across shards; attribute its wall
+    // time to Phase 1 (the span above) and report the same figure in stats.
+    out_stats.phase1_seconds = scatter_nanos * 1e-9;
+  }
+
+  // ---- Gather: set union in shard order (deterministic merge).
+  core::PrqEngine::FilterOutcome merged;
+  merged.search_box = search_box;
+  for (ShardSlot& slot : slots) {
+    merged.expired = merged.expired || slot.expired;
+    merged.accepted.insert(merged.accepted.end(),
+                           std::make_move_iterator(slot.outcome.accepted.begin()),
+                           std::make_move_iterator(slot.outcome.accepted.end()));
+    merged.survivors.insert(
+        merged.survivors.end(),
+        std::make_move_iterator(slot.outcome.survivors.begin()),
+        std::make_move_iterator(slot.outcome.survivors.end()));
+    out_stats.index_candidates += slot.index_candidates;
+    out_stats.pruned_rr_fringe += slot.counts.pruned_rr_fringe;
+    out_stats.pruned_bf_outer += slot.counts.pruned_bf_outer;
+    out_stats.pruned_or += slot.counts.pruned_or;
+    out_stats.pruned_marginal += slot.counts.pruned_marginal;
+  }
+  out_stats.accepted_without_integration = merged.accepted.size();
+  out_stats.integration_candidates = merged.survivors.size();
+  if (trace != nullptr) {
+    trace->index_candidates = out_stats.index_candidates;
+    trace->pruned_rr_fringe = out_stats.pruned_rr_fringe;
+    trace->pruned_bf_outer = out_stats.pruned_bf_outer;
+    trace->pruned_or = out_stats.pruned_or;
+    trace->pruned_marginal = out_stats.pruned_marginal;
+    trace->accepted_bf_inner = merged.accepted.size();
+    trace->phase3_candidates = merged.survivors.size();
+  }
+
+  // ---- Phase 3: one fan-out over the merged survivors, with the shared
+  // per-query pool — decided ids are therefore set-identical to a
+  // single-tree engine's, whatever the shard count.
+  return executor_->IntegrateOutcomeBounded(query, std::move(merged), control,
+                                            stats, trace,
+                                            options.pool_variant);
+}
+
+Result<std::vector<index::ObjectId>> ShardedPrqEngine::Execute(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::PrqStats* stats, obs::QueryTrace* trace) {
+  Result<core::PrqResult> bounded =
+      ExecuteBounded(query, options, stats, trace);
+  if (!bounded.ok()) return bounded.status();
+  if (!bounded->status.ok()) return bounded->status;
+  return std::move(bounded->ids);
+}
+
+Status ShardedPrqEngine::ReloadShard(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  Result<ShardManifest> reloaded = ShardManifest::Load(manifest_path_);
+  if (!reloaded.ok()) return reloaded.status();
+  if (reloaded->dim != manifest_.dim ||
+      reloaded->shards.size() != manifest_.shards.size()) {
+    return Status::InvalidArgument(
+        "manifest shape changed; reopen the engine instead of reloading");
+  }
+  const ShardInfo old_info = manifest_.shards[shard];
+  manifest_.shards[shard] = reloaded->shards[shard];
+  Result<index::PagedRStarTree> tree = OpenShardTree(shard);
+  if (!tree.ok()) {
+    manifest_.shards[shard] = old_info;  // keep serving the old shard
+    return tree.status();
+  }
+  shards_[shard] =
+      std::make_unique<index::PagedRStarTree>(std::move(*tree));
+
+  const ShardMetrics& metrics = ShardMetrics::Get();
+  metrics.reloads->Add(1);
+  if (cache_ != nullptr) {
+    // Region invalidation: any cached answer whose search box touched the
+    // shard's old or new extent may now be stale. Everything else survives.
+    size_t dropped = 0;
+    if (old_info.count > 0) dropped += cache_->Invalidate(old_info.mbr);
+    const ShardInfo& new_info = manifest_.shards[shard];
+    if (new_info.count > 0 && !(old_info.count > 0 &&
+                                old_info.mbr == new_info.mbr)) {
+      dropped += cache_->Invalidate(new_info.mbr);
+    }
+    metrics.cache_invalidated->Add(dropped);
+  }
+  return Status::OK();
+}
+
+}  // namespace gprq::shard

@@ -1,0 +1,171 @@
+// The GPRQ binary dataset format: streaming writer → mmap reader
+// round-trips bit-exactly, the header validation rejects corrupt and
+// truncated files with real errors (never a garbage view), and the
+// crash-safety contract holds — an unfinished writer leaves a *valid
+// empty* file, not a corrupt one.
+
+#include "index/dataset_file.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "la/vector.h"
+#include "rng/random.h"
+
+namespace gprq::index {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetFile, WriteReadRoundTripIsBitExact) {
+  const std::string path = TempPath("ds_roundtrip.gprq");
+  const size_t dim = 3;
+  const size_t n = 257;  // deliberately not a multiple of anything
+
+  rng::Random random(42);
+  std::vector<double> rows(n * dim);
+  for (double& v : rows) v = random.NextDouble(-1e6, 1e6);
+
+  auto writer = DatasetFileWriter::Create(path, dim);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(writer->Append(&rows[i * dim]).ok());
+  }
+  EXPECT_EQ(writer->count(), n);
+  ASSERT_TRUE(writer->Finish().ok());
+  ASSERT_TRUE(writer->Finish().ok());  // idempotent
+
+  auto dataset = MmapDataset::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->dim(), dim);
+  EXPECT_EQ(dataset->count(), n);
+  for (size_t i = 0; i < n; ++i) {
+    // Bit-exact: the format stores raw f64, no text round-trip involved.
+    EXPECT_EQ(std::memcmp(dataset->point(i), &rows[i * dim],
+                          dim * sizeof(double)),
+              0)
+        << "row " << i;
+  }
+
+  // Stored bounds cover every row tightly.
+  for (size_t a = 0; a < dim; ++a) {
+    double lo = rows[a], hi = rows[a];
+    for (size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, rows[i * dim + a]);
+      hi = std::max(hi, rows[i * dim + a]);
+    }
+    EXPECT_EQ(dataset->bounds().lo()[a], lo);
+    EXPECT_EQ(dataset->bounds().hi()[a], hi);
+  }
+
+  // PointVector copies match the borrowed pointers.
+  const la::Vector copy = dataset->PointVector(n - 1);
+  ASSERT_EQ(copy.dim(), dim);
+  for (size_t a = 0; a < dim; ++a) {
+    EXPECT_EQ(copy[a], dataset->point(n - 1)[a]);
+  }
+}
+
+TEST(DatasetFile, PointBlockIsPageAligned) {
+  const std::string path = TempPath("ds_aligned.gprq");
+  auto writer = DatasetFileWriter::Create(path, 2);
+  ASSERT_TRUE(writer.ok());
+  const double row[2] = {1.0, 2.0};
+  ASSERT_TRUE(writer->Append(row).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(static_cast<size_t>(size),
+            kDatasetPointAlignment + 2 * sizeof(double));
+}
+
+TEST(DatasetFile, EmptyDatasetRoundTrips) {
+  const std::string path = TempPath("ds_empty.gprq");
+  auto writer = DatasetFileWriter::Create(path, 4);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto dataset = MmapDataset::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->count(), 0u);
+  EXPECT_EQ(dataset->dim(), 4u);
+}
+
+TEST(DatasetFile, UnfinishedWriterLeavesValidEmptyFile) {
+  const std::string path = TempPath("ds_crash.gprq");
+  {
+    auto writer = DatasetFileWriter::Create(path, 2);
+    ASSERT_TRUE(writer.ok());
+    const double row[2] = {3.0, 4.0};
+    ASSERT_TRUE(writer->Append(row).ok());
+    // Writer destroyed without Finish(): simulated crash mid-conversion.
+  }
+  auto dataset = MmapDataset::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->count(), 0u);  // header still says empty — valid, safe
+}
+
+TEST(DatasetFile, RejectsBadMagic) {
+  const std::string path = TempPath("ds_badmagic.gprq");
+  auto writer = DatasetFileWriter::Create(path, 2);
+  ASSERT_TRUE(writer.ok());
+  const double row[2] = {0.0, 0.0};
+  ASSERT_TRUE(writer->Append(row).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const uint64_t garbage = 0xDEADBEEFDEADBEEFULL;
+  ASSERT_EQ(std::fwrite(&garbage, sizeof(garbage), 1, f), 1u);
+  std::fclose(f);
+
+  auto dataset = MmapDataset::Open(path);
+  EXPECT_FALSE(dataset.ok());
+}
+
+TEST(DatasetFile, RejectsTruncatedPointBlock) {
+  const std::string path = TempPath("ds_trunc.gprq");
+  auto writer = DatasetFileWriter::Create(path, 2);
+  ASSERT_TRUE(writer.ok());
+  const double row[2] = {1.0, 1.0};
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(writer->Append(row).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+
+  // Chop off half the point block; the header still claims 100 rows.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), full - 100 * 8), 0);
+
+  auto dataset = MmapDataset::Open(path);
+  EXPECT_FALSE(dataset.ok());
+}
+
+TEST(DatasetFile, RejectsMissingFile) {
+  auto dataset = MmapDataset::Open(TempPath("ds_nonexistent.gprq"));
+  EXPECT_FALSE(dataset.ok());
+}
+
+TEST(DatasetFile, RejectsZeroDim) {
+  auto writer = DatasetFileWriter::Create(TempPath("ds_zerodim.gprq"), 0);
+  EXPECT_FALSE(writer.ok());
+}
+
+}  // namespace
+}  // namespace gprq::index

@@ -26,6 +26,7 @@
 #include "fault/failpoint.h"
 #include "index/paged_tree.h"
 #include "index/str_bulk_load.h"
+#include "shard/sharded_engine.h"
 #include "mc/adaptive_monte_carlo.h"
 #include "mc/exact_evaluator.h"
 #include "mc/monte_carlo.h"
@@ -50,6 +51,12 @@ int Usage() {
       "[--strategy RR|OR|BF|RR+BF|...|ALL]\n"
       "            [--evaluator imhof|mc|adaptive] [--samples N] "
       "[--threads K]\n"
+      "            [--qmc]   (randomized-Halton Phase-3 sample pools)\n"
+      "            [--shards DIR]\n"
+      "            (query a sharded deployment built by `gprq_convert\n"
+      "             shard`: DIR holds shards.manifest + shard_<k>.tree;\n"
+      "             Phases 1-2 run shard-parallel over --threads workers\n"
+      "             on only the shards whose MBR meets the search box)\n"
       "            [--overload-policy SPEC] [--priority 0|1|2]\n"
       "            (SPEC is 'key=value;...', see exec/overload.h; an empty\n"
       "             SPEC uses the defaults. The query is then submitted\n"
@@ -225,7 +232,97 @@ Result<QuerySetup> LoadQuerySetup(const FlagSet& flags) {
                     core::PrqQuery{std::move(*g), *delta, *theta}};
 }
 
+/// Factory shared by the parallel paths: one evaluator per worker, with
+/// per-worker seeds for the Monte-Carlo kinds.
+core::PrqEngine::EvaluatorFactory MakeFactory(const std::string& kind,
+                                              uint64_t samples) {
+  return [kind, samples](size_t worker)
+             -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    if (kind == "mc") {
+      return std::make_unique<mc::MonteCarloEvaluator>(
+          mc::MonteCarloOptions{.samples = samples, .seed = 7 + worker});
+    }
+    if (kind == "adaptive") {
+      return std::make_unique<mc::AdaptiveMonteCarloEvaluator>(
+          mc::AdaptiveMonteCarloOptions{.max_samples = samples,
+                                        .seed = 7 + worker});
+    }
+    return std::make_unique<mc::ImhofEvaluator>();
+  };
+}
+
+int RunShardQuery(const FlagSet& flags) {
+  std::string manifest_path = flags.GetString("shards");
+  if (manifest_path.find(".manifest") == std::string::npos) {
+    manifest_path += "/shards.manifest";
+  }
+  auto q = flags.GetDoubleList("q");
+  if (!q.ok()) return Fail(q.status());
+  auto cov = CovarianceFromFlags(flags, q->size());
+  if (!cov.ok()) return Fail(cov.status());
+  auto g = core::GaussianDistribution::Create(la::Vector(*q), *cov);
+  if (!g.ok()) return Fail(g.status());
+  auto delta = flags.GetDouble("delta", 1.0);
+  auto theta = flags.GetDouble("theta", 0.1);
+  auto samples = flags.GetInt("samples", 100000);
+  auto threads = flags.GetInt("threads", 4);
+  if (!delta.ok()) return Fail(delta.status());
+  if (!theta.ok()) return Fail(theta.status());
+  if (!samples.ok()) return Fail(samples.status());
+  if (!threads.ok()) return Fail(threads.status());
+  auto strategy = StrategyFromFlags(flags);
+  if (!strategy.ok()) return Fail(strategy.status());
+  const std::string evaluator_kind = flags.GetString("evaluator", "imhof");
+  if (evaluator_kind != "imhof" && evaluator_kind != "mc" &&
+      evaluator_kind != "adaptive") {
+    return Fail(
+        Status::InvalidArgument("unknown evaluator '" + evaluator_kind + "'"));
+  }
+
+  auto executor = exec::BatchExecutor::CreateDetached(
+      MakeFactory(evaluator_kind, static_cast<uint64_t>(*samples)),
+      static_cast<size_t>(*threads > 0 ? *threads : 1));
+  if (!executor.ok()) return Fail(executor.status());
+  auto engine = shard::ShardedPrqEngine::Open(manifest_path, executor->get());
+  if (!engine.ok()) return Fail(engine.status());
+  if (q->size() != (*engine)->dim()) {
+    return Fail(
+        Status::InvalidArgument("--q must have the deployment's dimension"));
+  }
+
+  core::PrqQuery query{std::move(*g), *delta, *theta};
+  core::PrqOptions options;
+  options.strategies = *strategy;
+  if (flags.Has("qmc")) options.pool_variant = mc::PoolVariant::kHalton;
+
+  core::PrqStats stats;
+  obs::QueryTrace trace;
+  auto result = (*engine)->ExecuteBounded(query, options, &stats, &trace);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("sharded PRQ(delta=%.6g, theta=%.6g) over %llu points, "
+              "%zu shards (%s)\n",
+              query.delta, query.theta,
+              static_cast<unsigned long long>((*engine)->total_points()),
+              (*engine)->num_shards(), evaluator_kind.c_str());
+  std::printf("  routed %llu/%llu shards, %zu index candidates, "
+              "%zu integrations\n",
+              static_cast<unsigned long long>(trace.shards_routed),
+              static_cast<unsigned long long>(trace.shards_total),
+              stats.index_candidates, stats.integration_candidates);
+  std::printf("  time: %.2f ms (prep %.2f, scatter %.2f, p3 %.2f)\n",
+              stats.total_seconds() * 1e3, stats.prep_seconds * 1e3,
+              stats.phase1_seconds * 1e3, stats.phase3_seconds * 1e3);
+  std::printf("  %zu results, %zu undecided, status: %s\n",
+              result->ids.size(), result->undecided.size(),
+              result->status.ToString().c_str());
+  const size_t show = std::min<size_t>(result->ids.size(), 20);
+  for (size_t i = 0; i < show; ++i) std::printf(" %u", result->ids[i]);
+  if (show > 0) std::printf("\n");
+  return 0;
+}
+
 int RunQuery(const FlagSet& flags) {
+  if (flags.Has("shards")) return RunShardQuery(flags);
   auto setup = LoadQuerySetup(flags);
   if (!setup.ok()) return Fail(setup.status());
   auto strategy = StrategyFromFlags(flags);
@@ -244,6 +341,7 @@ int RunQuery(const FlagSet& flags) {
   auto priority = flags.GetInt("priority", core::kPriorityNormal);
   if (!priority.ok()) return Fail(priority.status());
   options.priority = static_cast<int>(*priority);
+  if (flags.Has("qmc")) options.pool_variant = mc::PoolVariant::kHalton;
 
   const std::string evaluator_kind = flags.GetString("evaluator", "imhof");
   core::PrqStats stats;

@@ -1,0 +1,238 @@
+// gprq_convert: produce, inspect and shard the GPRQ binary dataset format
+// (see index/dataset_file.h) — the on-ramp for 10M+ point workloads where
+// CSV parsing and whole-dataset RAM residency stop scaling.
+//
+// Examples:
+//   gprq_convert generate --kind uniform --n 10000000 --dim 2 --out pts.gprq
+//   gprq_convert csv --in points.csv --out points.gprq
+//   gprq_convert shard --data points.gprq --out-dir shards/ --shards 8
+//   gprq_convert info --data points.gprq
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "common/flags.h"
+#include "index/dataset_file.h"
+#include "index/paged_tree.h"
+#include "rng/random.h"
+#include "shard/shard_builder.h"
+#include "workload/corel_synthetic.h"
+#include "workload/csv.h"
+#include "workload/generators.h"
+#include "workload/tiger_synthetic.h"
+
+namespace gprq {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gprq_convert <command> [--flags]\n"
+      "commands:\n"
+      "  generate --kind uniform|clustered|tiger|corel --out FILE.gprq\n"
+      "           [--n N] [--dim D] [--seed S] [--extent E] [--clusters C]\n"
+      "           (uniform/clustered stream point-by-point: generating 10M+\n"
+      "            points needs O(dim) memory, not O(n))\n"
+      "  csv      --in FILE.csv --out FILE.gprq\n"
+      "  shard    --data FILE.gprq --out-dir DIR [--shards K]\n"
+      "           [--page-size 4096] [--max-entries 32]\n"
+      "           (out-of-core STR partition; writes DIR/shard_<k>.tree and\n"
+      "            DIR/shards.manifest)\n"
+      "  info     --data FILE.gprq\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGenerate(const FlagSet& flags) {
+  const std::string kind = flags.GetString("kind", "uniform");
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto n = flags.GetInt("n", 1000000);
+  auto dim = flags.GetInt("dim", 2);
+  auto seed = flags.GetInt("seed", 2009);
+  auto extent = flags.GetDouble("extent", 10000.0);
+  auto clusters = flags.GetInt("clusters", 64);
+  if (!n.ok()) return Fail(n.status());
+  if (!dim.ok()) return Fail(dim.status());
+  if (!seed.ok()) return Fail(seed.status());
+  if (!extent.ok()) return Fail(extent.status());
+  if (!clusters.ok()) return Fail(clusters.status());
+  if (*n <= 0 || *dim <= 0) {
+    return Fail(Status::InvalidArgument("--n and --dim must be positive"));
+  }
+  const size_t d = static_cast<size_t>(*dim);
+  const uint64_t count = static_cast<uint64_t>(*n);
+
+  auto writer = index::DatasetFileWriter::Create(out, d);
+  if (!writer.ok()) return Fail(writer.status());
+
+  if (kind == "uniform" || kind == "clustered") {
+    // Streamed: one row in flight, so --n is bounded by disk, not RAM.
+    rng::Random random(static_cast<uint64_t>(*seed));
+    std::vector<double> row(d);
+    std::vector<double> centers;
+    const size_t num_clusters =
+        std::max<size_t>(1, static_cast<size_t>(*clusters));
+    if (kind == "clustered") {
+      centers.resize(num_clusters * d);
+      for (double& c : centers) c = random.NextDouble(0.0, *extent);
+    }
+    const double stddev = *extent / 25.0;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (kind == "uniform") {
+        for (size_t a = 0; a < d; ++a) {
+          row[a] = random.NextDouble(0.0, *extent);
+        }
+      } else {
+        const uint64_t c = random.NextUint64(num_clusters);
+        for (size_t a = 0; a < d; ++a) {
+          double v = random.NextGaussian(centers[c * d + a], stddev);
+          row[a] = std::min(std::max(v, 0.0), *extent);
+        }
+      }
+      const Status appended = writer->Append(row.data());
+      if (!appended.ok()) return Fail(appended);
+    }
+  } else if (kind == "tiger" || kind == "corel") {
+    workload::Dataset dataset;
+    if (kind == "tiger") {
+      workload::TigerSyntheticOptions options;
+      if (count > 0) options.num_points = static_cast<size_t>(count);
+      options.seed = static_cast<uint64_t>(*seed);
+      dataset = workload::GenerateTigerSynthetic(options);
+    } else {
+      workload::CorelSyntheticOptions options;
+      if (count > 0) options.num_points = static_cast<size_t>(count);
+      options.seed = static_cast<uint64_t>(*seed);
+      dataset = workload::GenerateCorelSynthetic(options);
+    }
+    if (dataset.dim != d) {
+      return Fail(Status::InvalidArgument(
+          "--dim disagrees with the generator's dimension"));
+    }
+    for (const la::Vector& point : dataset.points) {
+      const Status appended = writer->Append(point);
+      if (!appended.ok()) return Fail(appended);
+    }
+  } else {
+    return Fail(Status::InvalidArgument("unknown kind '" + kind + "'"));
+  }
+
+  const Status finished = writer->Finish();
+  if (!finished.ok()) return Fail(finished);
+  std::printf("wrote %llu %zu-D points to %s\n",
+              static_cast<unsigned long long>(count), d, out.c_str());
+  return 0;
+}
+
+int RunCsv(const FlagSet& flags) {
+  const std::string in = flags.GetString("in");
+  const std::string out = flags.GetString("out");
+  if (in.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--in and --out are required"));
+  }
+  auto dataset = workload::LoadCsv(in);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto writer = index::DatasetFileWriter::Create(out, dataset->dim);
+  if (!writer.ok()) return Fail(writer.status());
+  for (const la::Vector& point : dataset->points) {
+    const Status appended = writer->Append(point);
+    if (!appended.ok()) return Fail(appended);
+  }
+  const Status finished = writer->Finish();
+  if (!finished.ok()) return Fail(finished);
+  std::printf("converted %zu %zu-D points: %s -> %s\n", dataset->size(),
+              dataset->dim, in.c_str(), out.c_str());
+  return 0;
+}
+
+int RunShard(const FlagSet& flags) {
+  const std::string data = flags.GetString("data");
+  const std::string out_dir = flags.GetString("out-dir");
+  if (data.empty() || out_dir.empty()) {
+    return Fail(Status::InvalidArgument("--data and --out-dir are required"));
+  }
+  auto shards = flags.GetInt("shards", 4);
+  auto page_size = flags.GetInt("page-size", 4096);
+  auto max_entries = flags.GetInt("max-entries", 32);
+  if (!shards.ok()) return Fail(shards.status());
+  if (!page_size.ok()) return Fail(page_size.status());
+  if (!max_entries.ok()) return Fail(max_entries.status());
+
+  auto dataset = index::MmapDataset::Open(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  ::mkdir(out_dir.c_str(), 0755);  // fine if it already exists
+
+  shard::ShardBuildOptions options;
+  options.num_shards = static_cast<size_t>(*shards > 0 ? *shards : 1);
+  options.page_size = static_cast<size_t>(*page_size);
+  options.tree_options.max_entries = std::min<size_t>(
+      static_cast<size_t>(*max_entries),
+      index::TreeSnapshot::MaxEntriesPerPage(options.page_size,
+                                             dataset->dim()));
+  if (options.tree_options.max_entries < 4) {
+    return Fail(Status::InvalidArgument(
+        "--page-size too small for this dimensionality"));
+  }
+  auto manifest = shard::BuildShards(*dataset, data, out_dir, options);
+  if (!manifest.ok()) return Fail(manifest.status());
+  std::printf("sharded %llu points into %zu shards under %s\n",
+              static_cast<unsigned long long>(dataset->count()),
+              manifest->shards.size(), out_dir.c_str());
+  for (size_t k = 0; k < manifest->shards.size(); ++k) {
+    std::printf("  shard %zu: %llu points (%s)\n", k,
+                static_cast<unsigned long long>(manifest->shards[k].count),
+                manifest->shards[k].tree_file.c_str());
+  }
+  return 0;
+}
+
+int RunInfo(const FlagSet& flags) {
+  const std::string data = flags.GetString("data");
+  if (data.empty()) return Fail(Status::InvalidArgument("--data is required"));
+  auto dataset = index::MmapDataset::Open(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("%s: %llu points, dim %zu\n", data.c_str(),
+              static_cast<unsigned long long>(dataset->count()),
+              dataset->dim());
+  if (dataset->count() > 0) {
+    for (size_t a = 0; a < dataset->dim(); ++a) {
+      std::printf("  axis %zu: [%.6g, %.6g]\n", a, dataset->bounds().lo()[a],
+                  dataset->bounds().hi()[a]);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto flags = FlagSet::Parse(args);
+  if (!flags.ok()) {
+    Fail(flags.status());
+    return Usage();
+  }
+  int code;
+  const std::string& command = flags->command();
+  if (command == "generate") code = RunGenerate(*flags);
+  else if (command == "csv") code = RunCsv(*flags);
+  else if (command == "shard") code = RunShard(*flags);
+  else if (command == "info") code = RunInfo(*flags);
+  else return Usage();
+
+  for (const std::string& key : flags->UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return code;
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main(int argc, char** argv) { return gprq::Main(argc, argv); }

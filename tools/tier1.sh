@@ -5,7 +5,8 @@
 # path, the exec/ worker-pool/batch-executor layer, the obs
 # metric-registry concurrency suites, the cross-thread-count determinism
 # regression, the fault/deadline/overload robustness suites, and the
-# result-cache and SIMD-kernel differential suites) and an
+# result-cache, SIMD-kernel and sharded scatter-gather differential
+# suites) and an
 # ASan+UBSan pass (GPRQ_SANITIZE=address,undefined) over the same set —
 # plus a GPRQ_FAULT=OFF build proving the failpoint macro compiles out.
 #
@@ -25,11 +26,11 @@ case "${MODE}" in
   *) echo "usage: $0 [all|build|tsan|asan|faultoff]" >&2; exit 2 ;;
 esac
 
-THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test|metrics_test|trace_test|fault_test|deadline_test|overload_test|cache_test|simd_kernel_test'
+THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test|metrics_test|trace_test|fault_test|deadline_test|overload_test|cache_test|simd_kernel_test|shard_test'
 THREADED_TARGETS=(parallel_test worker_pool_test batch_executor_test
                   determinism_test metrics_test trace_test
                   fault_test deadline_test overload_test
-                  cache_test simd_kernel_test)
+                  cache_test simd_kernel_test shard_test)
 
 # 1. Standard tier-1: full build + ctest.
 if [[ "${MODE}" == "all" || "${MODE}" == "build" ]]; then
