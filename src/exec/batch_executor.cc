@@ -746,4 +746,12 @@ ExecStats BatchExecutor::Snapshot() const {
   return snapshot;
 }
 
+Status BatchExecutor::Drain(double timeout_seconds) {
+  // Ungoverned executors have no in-flight ledger: their single-submitter
+  // contract means the caller *is* the in-flight query, so returning from
+  // SubmitBounded already implies idleness.
+  if (overload_ == nullptr) return Status::OK();
+  return overload_->WaitIdle(timeout_seconds);
+}
+
 }  // namespace gprq::exec

@@ -220,6 +220,17 @@ class BatchExecutor {
 
   size_t num_workers() const { return pool_.num_workers(); }
 
+  /// The engine Submit* routes through, or null for a detached executor.
+  /// The network front-end reads dataset facts (dim, size) through it.
+  const core::PrqEngine* engine() const { return engine_; }
+
+  /// Drain hook for serving front-ends: blocks until every governed
+  /// submission admitted through the OverloadController has been released
+  /// (trivially immediate for an ungoverned executor, whose callers are
+  /// the in-flight tracker). Returns DeadlineExceeded when queries are
+  /// still in flight after `timeout_seconds`.
+  Status Drain(double timeout_seconds = 5.0);
+
   /// Installs (or replaces) the overload policy after construction. Not
   /// safe to call while submissions are in flight; meant for startup
   /// configuration (tools, tests). Fails if the policy does not validate.

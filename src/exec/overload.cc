@@ -318,6 +318,17 @@ void OverloadController::Release(const AdmissionTicket& ticket) {
   capacity_cv_.notify_all();
 }
 
+Status OverloadController::WaitIdle(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool idle = capacity_cv_.wait_for(
+      lock, std::chrono::duration<double>(std::max(0.0, timeout_seconds)),
+      [this] { return inflight_queries_ == 0 && queued_ == 0; });
+  if (idle) return Status::OK();
+  return Status::DeadlineExceeded(
+      "drain timed out with " + std::to_string(inflight_queries_) +
+      " in-flight and " + std::to_string(queued_) + " queued queries");
+}
+
 void OverloadController::ApplyBrownout(core::PrqOptions* options) const {
   common::QueryControl& control = options->control;
   // The tighter deadline wins; a query already promising less keeps its

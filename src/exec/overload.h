@@ -171,6 +171,12 @@ class OverloadController {
   /// Returns the ticket's cost to the budget and wakes queued submitters.
   void Release(const AdmissionTicket& ticket);
 
+  /// Blocks until no queries are admitted-but-unreleased and none are
+  /// waiting in the admission queue — the serving front-end's drain
+  /// barrier. Returns DeadlineExceeded if the controller is still busy
+  /// after `timeout_seconds`.
+  Status WaitIdle(double timeout_seconds);
+
   /// Degrades a browned-out query's options in place: tightens the
   /// effective deadline to at most brownout_deadline_seconds and installs
   /// the Phase-3 sample budget.

@@ -250,6 +250,8 @@ std::vector<std::string> KnownSites() {
       "index.buffer_pool.get",
       "index.page_file.read",
       "index.page_file.write",
+      "net.server.read",
+      "net.server.write",
   };
 }
 

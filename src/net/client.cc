@@ -1,0 +1,322 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace gprq::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status Timeout(const char* what) {
+  return Status::DeadlineExceeded(std::string(what) + " timed out");
+}
+
+/// Waits for readiness; OK on ready, DeadlineExceeded on timeout.
+Status PollFd(int fd, short events, double timeout_seconds,
+              const char* what) {
+  pollfd p{fd, events, 0};
+  const int timeout_ms =
+      timeout_seconds <= 0.0
+          ? 0
+          : static_cast<int>(std::min(timeout_seconds * 1e3, 2.0e9));
+  const int n = ::poll(&p, 1, timeout_ms);
+  if (n < 0) return Errno("poll");
+  if (n == 0) return Timeout(what);
+  if ((p.revents & (POLLERR | POLLNVAL)) != 0) {
+    return Status::IoError(std::string(what) + ": socket error");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const ClientOptions& options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved) != 0 ||
+      resolved == nullptr) {
+    return Status::IoError("cannot resolve host '" + host + "'");
+  }
+  const int fd = ::socket(resolved->ai_family, resolved->ai_socktype,
+                          resolved->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(resolved);
+    return Errno("socket");
+  }
+  // Non-blocking connect bounded by connect_timeout_seconds.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, resolved->ai_addr, resolved->ai_addrlen);
+  ::freeaddrinfo(resolved);
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  if (rc < 0) {
+    const Status ready =
+        PollFd(fd, POLLOUT, options.connect_timeout_seconds, "connect");
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      ::close(fd);
+      return Status::IoError(std::string("connect: ") +
+                             std::strerror(so_error));
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<Client> client(new Client(fd, options));
+  if (!options.skip_hello) {
+    GPRQ_RETURN_NOT_OK(client->SendAll(EncodeHello(HelloFrame{}),
+                                       options.connect_timeout_seconds));
+    FrameType type;
+    std::string payload;
+    GPRQ_RETURN_NOT_OK(client->ReadFrame(&type, &payload,
+                                         options.connect_timeout_seconds));
+    if (type == FrameType::kError) {
+      auto error = DecodeErrorPayload(
+          reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+      return Status::IoError("server rejected HELLO: " +
+                             (error.ok() ? error->message : payload));
+    }
+    if (type != FrameType::kWelcome) {
+      return Status::IoError("expected WELCOME, got another frame");
+    }
+    auto welcome = DecodeWelcomePayload(
+        reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+    if (!welcome.ok()) return welcome.status();
+    if (welcome->version != kProtocolVersion) {
+      return Status::IoError("server negotiated unsupported version " +
+                             std::to_string(welcome->version));
+    }
+    client->welcome_ = *welcome;
+  }
+  return client;
+}
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd), options_(std::move(options)) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendAll(const std::string& frame, double timeout_seconds) {
+  if (fd_ < 0) return Status::IoError("client is closed");
+  Stopwatch stopwatch;
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const double left = timeout_seconds - stopwatch.ElapsedSeconds();
+    if (left <= 0.0) return Timeout("send");
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      GPRQ_RETURN_NOT_OK(PollFd(fd_, POLLOUT, left, "send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(FrameType* type, std::string* payload,
+                         double timeout_seconds) {
+  if (fd_ < 0) return Status::IoError("client is closed");
+  Stopwatch stopwatch;
+  uint8_t header[kFrameHeaderBytes];
+  size_t have = 0;
+  std::string* sink = nullptr;  // switches to payload after the header
+  size_t need = kFrameHeaderBytes;
+  FrameHeader parsed;
+
+  while (true) {
+    const double left = timeout_seconds - stopwatch.ElapsedSeconds();
+    if (left <= 0.0) return Timeout("response");
+    char buf[64 * 1024];
+    const size_t want =
+        std::min(sizeof(buf), need - (sink ? sink->size() : have));
+    const ssize_t n = ::recv(fd_, buf, want, 0);
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        GPRQ_RETURN_NOT_OK(PollFd(fd_, POLLIN, left, "response"));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (sink == nullptr) {
+      std::memcpy(header + have, buf, static_cast<size_t>(n));
+      have += static_cast<size_t>(n);
+      if (have < kFrameHeaderBytes) continue;
+      auto h = ParseFrameHeader(header, options_.max_frame_bytes);
+      if (!h.ok()) return h.status();
+      parsed = *h;
+      payload->clear();
+      if (parsed.length == 0) break;
+      payload->reserve(parsed.length);
+      sink = payload;
+      need = parsed.length;
+    } else {
+      sink->append(buf, static_cast<size_t>(n));
+      if (sink->size() == need) break;
+    }
+  }
+  *type = parsed.type;
+  return Status::OK();
+}
+
+Result<RemoteResult> Client::QueryOnce(const core::PrqQuery& query,
+                                       const core::PrqOptions& options,
+                                       double deadline_left_seconds) {
+  const uint64_t request_id = next_request_id_++;
+  QueryFrame frame = QueryFrame::FromQuery(request_id, query, options);
+  GPRQ_RETURN_NOT_OK(SendAll(EncodeQuery(frame), deadline_left_seconds));
+
+  FrameType type;
+  std::string payload;
+  GPRQ_RETURN_NOT_OK(ReadFrame(&type, &payload, deadline_left_seconds));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+
+  RemoteResult remote;
+  switch (type) {
+    case FrameType::kResponse: {
+      auto response =
+          DecodeResponsePayload(data, payload.size(), options_.max_frame_bytes);
+      if (!response.ok()) return response.status();
+      if (response->request_id != request_id) {
+        return Status::IoError("response for a different request id");
+      }
+      remote.result.ids = std::move(response->ids);
+      remote.result.undecided = std::move(response->undecided);
+      remote.result.status =
+          Status(static_cast<StatusCode>(response->status_code),
+                 response->message);
+      remote.server_micros = response->server_micros;
+      remote.integrations = response->integrations;
+      return remote;
+    }
+    case FrameType::kRetryAfter: {
+      auto retry = DecodeRetryAfterPayload(data, payload.size());
+      if (!retry.ok()) return retry.status();
+      if (retry->request_id != request_id) {
+        return Status::IoError("retry-after for a different request id");
+      }
+      remote.shed = true;
+      remote.retry_after_ms = retry->retry_after_ms;
+      remote.result.status =
+          Status::ResourceExhausted(retry->message.empty()
+                                        ? "shed by server"
+                                        : retry->message);
+      return remote;
+    }
+    case FrameType::kError: {
+      auto error = DecodeErrorPayload(data, payload.size());
+      if (!error.ok()) return error.status();
+      return Status(static_cast<StatusCode>(error->status_code),
+                    error->message);
+    }
+    default:
+      return Status::IoError("unexpected frame type in response");
+  }
+}
+
+Result<RemoteResult> Client::Query(const core::PrqQuery& query,
+                                   const core::PrqOptions& options) {
+  Stopwatch stopwatch;
+  int sheds = 0;
+  while (true) {
+    const double left =
+        options_.request_timeout_seconds - stopwatch.ElapsedSeconds();
+    if (left <= 0.0) return Timeout("request");
+    auto attempt = QueryOnce(query, options, left);
+    if (!attempt.ok()) return attempt.status();
+    attempt->shed_retries = sheds;
+    attempt->wire_seconds = stopwatch.ElapsedSeconds();
+    if (!attempt->shed || sheds >= options_.max_shed_retries) {
+      return attempt;
+    }
+    // Honor the server's backoff hint before re-sending (bounded by the
+    // remaining request budget).
+    ++sheds;
+    const double sleep_seconds =
+        std::min(static_cast<double>(attempt->retry_after_ms) * 1e-3,
+                 options_.request_timeout_seconds -
+                     stopwatch.ElapsedSeconds());
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
+    }
+  }
+}
+
+Result<std::string> Client::Stats(StatsFormat format) {
+  StatsRequestFrame request;
+  request.request_id = next_request_id_++;
+  request.format = format;
+  GPRQ_RETURN_NOT_OK(SendAll(EncodeStatsRequest(request),
+                             options_.request_timeout_seconds));
+  FrameType type;
+  std::string payload;
+  GPRQ_RETURN_NOT_OK(
+      ReadFrame(&type, &payload, options_.request_timeout_seconds));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  if (type == FrameType::kError) {
+    auto error = DecodeErrorPayload(data, payload.size());
+    if (!error.ok()) return error.status();
+    return Status(static_cast<StatusCode>(error->status_code),
+                  error->message);
+  }
+  if (type != FrameType::kStats) {
+    return Status::IoError("expected STATS frame");
+  }
+  auto stats = DecodeStatsPayload(data, payload.size(),
+                                  options_.max_frame_bytes);
+  if (!stats.ok()) return stats.status();
+  if (stats->request_id != request.request_id) {
+    return Status::IoError("stats for a different request id");
+  }
+  return std::move(stats->body);
+}
+
+}  // namespace gprq::net

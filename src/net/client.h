@@ -1,0 +1,109 @@
+#ifndef GPRQ_NET_CLIENT_H_
+#define GPRQ_NET_CLIENT_H_
+
+// Blocking GPRQ/1 client: one TCP connection, synchronous request/response
+// with connect and per-request timeouts, automatic version negotiation
+// (HELLO/WELCOME on connect) and retry-after honoring — a RETRY_AFTER
+// frame makes the client sleep the server's hint and resend, up to
+// ClientOptions::max_shed_retries, exactly the backoff contract
+// exec::RetryAfterSeconds documents for in-process callers.
+//
+// The remote result mirrors core::PrqResult: decided ids, explicit
+// undecided remainder, and the server's status reconstructed code-for-code
+// — the differential test (tests/net_e2e_test.cc) asserts wire results are
+// set-identical to in-process SubmitBounded.
+//
+// Thread-compatible: one request at a time per Client (the loadgen
+// pipelines by speaking the protocol directly over N connections).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/prq.h"
+#include "net/protocol.h"
+
+namespace gprq::net {
+
+struct ClientOptions {
+  double connect_timeout_seconds = 5.0;
+  double request_timeout_seconds = 30.0;
+  /// RETRY_AFTER responses automatically retried (sleeping the server's
+  /// retry_after_ms in between). 0 surfaces the shed immediately.
+  int max_shed_retries = 3;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Skip HELLO/WELCOME on connect (raw protocol tests).
+  bool skip_hello = false;
+};
+
+/// One remote query's outcome.
+struct RemoteResult {
+  /// ids/undecided/status exactly as the server's PrqResult carried them.
+  core::PrqResult result;
+  /// True when the final answer (after retries) was a shed; retry_after_ms
+  /// then carries the server's last backoff hint.
+  bool shed = false;
+  uint32_t retry_after_ms = 0;
+  /// Sheds answered with RETRY_AFTER before this response (each slept).
+  int shed_retries = 0;
+  uint64_t server_micros = 0;
+  uint64_t integrations = 0;
+  /// Round-trip wall time measured by the client, including retries.
+  double wire_seconds = 0.0;
+};
+
+class Client {
+ public:
+  /// Connects (with timeout) and, unless skip_hello, negotiates the
+  /// protocol version and fetches the dataset facts.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port, const ClientOptions& options =
+                                                  ClientOptions());
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Dataset facts from WELCOME (zeros when skip_hello was set).
+  const WelcomeFrame& server_info() const { return welcome_; }
+
+  /// Runs one query. The options' deadline crosses the wire as a budget in
+  /// µs; priority, strategy mask, filter-config bits and the pool-variant
+  /// flag are carried verbatim. A shed answer is retried per
+  /// max_shed_retries; other statuses (including degraded partial results)
+  /// return as-is inside RemoteResult. An error Result means the exchange
+  /// itself failed (connection, timeout, protocol violation, or a
+  /// request-scoped ERROR frame).
+  Result<RemoteResult> Query(const core::PrqQuery& query,
+                             const core::PrqOptions& options);
+
+  /// Fetches the server's metric-registry export.
+  Result<std::string> Stats(StatsFormat format);
+
+  void Close();
+
+ private:
+  Client(int fd, ClientOptions options);
+
+  /// Sends one QUERY and reads its reply (no shed retry).
+  Result<RemoteResult> QueryOnce(const core::PrqQuery& query,
+                                 const core::PrqOptions& options,
+                                 double deadline_left_seconds);
+
+  Status SendAll(const std::string& frame, double timeout_seconds);
+  /// Reads exactly one frame (header-validated) into *type/*payload.
+  Status ReadFrame(FrameType* type, std::string* payload,
+                   double timeout_seconds);
+
+  int fd_ = -1;
+  const ClientOptions options_;
+  WelcomeFrame welcome_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace gprq::net
+
+#endif  // GPRQ_NET_CLIENT_H_

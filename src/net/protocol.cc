@@ -1,0 +1,489 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/deadline.h"
+#include "core/gaussian.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "mc/pool_variant.h"
+
+namespace gprq::net {
+namespace {
+
+// -- little-endian primitives ----------------------------------------------
+// memcpy through fixed-width integers: the build targets are little-endian
+// (x86-64, aarch64), and going through memcpy keeps every access aligned
+// and strict-aliasing clean. A big-endian port would byte-swap here.
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  char bytes[2];
+  std::memcpy(bytes, &v, 2);
+  out->append(bytes, 2);
+}
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out->append(bytes, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out->append(bytes, 8);
+}
+void PutF64(std::string* out, double v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out->append(bytes, 8);
+}
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over a payload. Every Get* returns false (and
+/// stays false) on underflow, so a decoder is one linear pass plus a
+/// single `ok()` check — no partially-initialized results escape.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  bool GetU8(uint8_t* v) { return Fixed(v); }
+  bool GetU16(uint16_t* v) { return Fixed(v); }
+  bool GetU32(uint32_t* v) { return Fixed(v); }
+  bool GetU64(uint64_t* v) { return Fixed(v); }
+  bool GetF64(double* v) { return Fixed(v); }
+
+  bool GetString(std::string* v, size_t max_bytes) {
+    uint32_t length = 0;
+    if (!GetU32(&length)) return false;
+    if (length > max_bytes || length > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    v->assign(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return true;
+  }
+
+  bool GetF64Array(std::vector<double>* v, size_t count) {
+    if (remaining() < count * 8) {
+      ok_ = false;
+      return false;
+    }
+    v->resize(count);
+    std::memcpy(v->data(), data_ + pos_, count * 8);
+    pos_ += count * 8;
+    return true;
+  }
+
+  bool GetU32Array(std::vector<uint32_t>* v, size_t count) {
+    if (remaining() < count * 4) {
+      ok_ = false;
+      return false;
+    }
+    v->resize(count);
+    std::memcpy(v->data(), data_ + pos_, count * 4);
+    pos_ += count * 4;
+    return true;
+  }
+
+  /// A payload with trailing bytes is malformed — decoders call this last.
+  bool AtEnd() {
+    if (pos_ != size_) ok_ = false;
+    return ok_;
+  }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v) {
+    if (!ok_ || size_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what +
+                                 " payload");
+}
+
+std::string Frame(FrameType type, std::string payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrameHeader(&frame, type, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+bool IsClientFrame(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kStatsReq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
+                                     size_t max_frame_bytes) {
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const uint8_t version = data[4];
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  const uint8_t type = data[5];
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kWelcome:
+    case FrameType::kQuery:
+    case FrameType::kResponse:
+    case FrameType::kRetryAfter:
+    case FrameType::kError:
+    case FrameType::kStatsReq:
+    case FrameType::kStats:
+      break;
+    default:
+      return Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(type));
+  }
+  uint16_t reserved = 0;
+  std::memcpy(&reserved, data + 6, 2);
+  if (reserved != 0) {
+    return Status::InvalidArgument("nonzero reserved header bits");
+  }
+  uint32_t length = 0;
+  std::memcpy(&length, data + 8, 4);
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(max_frame_bytes));
+  }
+  return FrameHeader{static_cast<FrameType>(type), length};
+}
+
+void AppendFrameHeader(std::string* out, FrameType type, uint32_t length) {
+  out->append(reinterpret_cast<const char*>(kMagic), 4);
+  PutU8(out, kProtocolVersion);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU16(out, 0);
+  PutU32(out, length);
+}
+
+// -- HELLO / WELCOME -------------------------------------------------------
+
+std::string EncodeHello(const HelloFrame& hello) {
+  std::string payload;
+  PutU8(&payload, hello.min_version);
+  PutU8(&payload, hello.max_version);
+  return Frame(FrameType::kHello, std::move(payload));
+}
+
+Result<HelloFrame> DecodeHelloPayload(const uint8_t* data, size_t size) {
+  Reader reader(data, size);
+  HelloFrame hello;
+  reader.GetU8(&hello.min_version);
+  reader.GetU8(&hello.max_version);
+  if (!reader.AtEnd()) return Malformed("HELLO");
+  if (hello.min_version > hello.max_version) return Malformed("HELLO");
+  return hello;
+}
+
+std::string EncodeWelcome(const WelcomeFrame& welcome) {
+  std::string payload;
+  PutU8(&payload, welcome.version);
+  PutU32(&payload, welcome.dim);
+  PutU64(&payload, welcome.points);
+  PutU8(&payload, welcome.sharded);
+  PutU32(&payload, welcome.num_shards);
+  return Frame(FrameType::kWelcome, std::move(payload));
+}
+
+Result<WelcomeFrame> DecodeWelcomePayload(const uint8_t* data, size_t size) {
+  Reader reader(data, size);
+  WelcomeFrame welcome;
+  reader.GetU8(&welcome.version);
+  reader.GetU32(&welcome.dim);
+  reader.GetU64(&welcome.points);
+  reader.GetU8(&welcome.sharded);
+  reader.GetU32(&welcome.num_shards);
+  if (!reader.AtEnd()) return Malformed("WELCOME");
+  return welcome;
+}
+
+// -- QUERY -----------------------------------------------------------------
+
+QueryFrame QueryFrame::FromQuery(uint64_t request_id,
+                                 const core::PrqQuery& query,
+                                 const core::PrqOptions& options) {
+  QueryFrame frame;
+  frame.request_id = request_id;
+  const size_t d = query.query_object.dim();
+  frame.mean = query.query_object.mean().values();
+  frame.cov_lower.reserve(d * (d + 1) / 2);
+  const la::Matrix& cov = query.query_object.covariance();
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j <= i; ++j) frame.cov_lower.push_back(cov(i, j));
+  }
+  frame.delta = query.delta;
+  frame.theta = query.theta;
+  frame.strategies = options.strategies;
+  frame.option_flags = 0;
+  if (options.use_catalogs) frame.option_flags |= kOptionUseCatalogs;
+  if (options.fringe_filter_any_dim) frame.option_flags |= kOptionFringeAnyDim;
+  if (options.use_marginal_filter) frame.option_flags |= kOptionMarginalFilter;
+  frame.priority = static_cast<uint8_t>(options.priority);
+  frame.pool_variant = static_cast<uint8_t>(options.pool_variant);
+  const double remaining = options.control.deadline.remaining_seconds();
+  if (!options.control.deadline.is_infinite()) {
+    frame.deadline_micros =
+        remaining <= 0.0 ? 1 : static_cast<uint64_t>(remaining * 1e6);
+  }
+  return frame;
+}
+
+Result<std::pair<core::PrqQuery, core::PrqOptions>> QueryFrame::ToQuery()
+    const {
+  const size_t d = mean.size();
+  if (d == 0 || d > kMaxWireDim) {
+    return Status::InvalidArgument("query dimension out of range");
+  }
+  if (cov_lower.size() != d * (d + 1) / 2) {
+    return Status::InvalidArgument("covariance triangle size mismatch");
+  }
+  la::Matrix cov(d, d);
+  size_t k = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      cov(i, j) = cov_lower[k];
+      cov(j, i) = cov_lower[k];
+      ++k;
+    }
+  }
+  auto gaussian =
+      core::GaussianDistribution::Create(la::Vector(mean), std::move(cov));
+  if (!gaussian.ok()) return gaussian.status();
+  if (priority < core::kPriorityBackground ||
+      priority > core::kPriorityCritical) {
+    return Status::InvalidArgument("priority out of range");
+  }
+  if (pool_variant > static_cast<uint8_t>(mc::PoolVariant::kHalton)) {
+    return Status::InvalidArgument("unknown pool variant");
+  }
+
+  core::PrqQuery query{std::move(*gaussian), delta, theta};
+  core::PrqOptions options;
+  options.strategies = strategies;
+  options.use_catalogs = (option_flags & kOptionUseCatalogs) != 0;
+  options.fringe_filter_any_dim = (option_flags & kOptionFringeAnyDim) != 0;
+  options.use_marginal_filter = (option_flags & kOptionMarginalFilter) != 0;
+  options.priority = priority;
+  options.pool_variant = static_cast<mc::PoolVariant>(pool_variant);
+  if (deadline_micros != 0) {
+    options.control.deadline =
+        common::Deadline::After(static_cast<double>(deadline_micros) * 1e-6);
+  }
+  return std::make_pair(std::move(query), std::move(options));
+}
+
+std::string EncodeQuery(const QueryFrame& query) {
+  std::string payload;
+  PutU64(&payload, query.request_id);
+  PutU32(&payload, static_cast<uint32_t>(query.mean.size()));
+  for (double v : query.mean) PutF64(&payload, v);
+  for (double v : query.cov_lower) PutF64(&payload, v);
+  PutF64(&payload, query.delta);
+  PutF64(&payload, query.theta);
+  PutU32(&payload, query.strategies);
+  PutU32(&payload, query.option_flags);
+  PutU8(&payload, query.priority);
+  PutU8(&payload, query.pool_variant);
+  PutU16(&payload, 0);
+  PutU64(&payload, query.deadline_micros);
+  return Frame(FrameType::kQuery, std::move(payload));
+}
+
+Result<QueryFrame> DecodeQueryPayload(const uint8_t* data, size_t size) {
+  Reader reader(data, size);
+  QueryFrame query;
+  uint32_t dim = 0;
+  reader.GetU64(&query.request_id);
+  reader.GetU32(&dim);
+  if (!reader.ok()) return Malformed("QUERY");
+  // Bound dim before sizing the reads; the triangle below is what a
+  // hostile dim field would otherwise inflate.
+  if (dim == 0 || dim > kMaxWireDim) {
+    return Status::InvalidArgument("query dimension out of range");
+  }
+  reader.GetF64Array(&query.mean, dim);
+  reader.GetF64Array(&query.cov_lower, static_cast<size_t>(dim) * (dim + 1) /
+                                           2);
+  reader.GetF64(&query.delta);
+  reader.GetF64(&query.theta);
+  reader.GetU32(&query.strategies);
+  reader.GetU32(&query.option_flags);
+  reader.GetU8(&query.priority);
+  reader.GetU8(&query.pool_variant);
+  uint16_t reserved = 0;
+  reader.GetU16(&reserved);
+  reader.GetU64(&query.deadline_micros);
+  if (!reader.AtEnd() || reserved != 0) return Malformed("QUERY");
+  return query;
+}
+
+// -- RESPONSE --------------------------------------------------------------
+
+std::string EncodeResponse(const ResponseFrame& response) {
+  std::string payload;
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, response.status_code);
+  PutString(&payload, response.message);
+  PutU32(&payload, static_cast<uint32_t>(response.ids.size()));
+  for (index::ObjectId id : response.ids) PutU32(&payload, id);
+  PutU32(&payload, static_cast<uint32_t>(response.undecided.size()));
+  for (index::ObjectId id : response.undecided) PutU32(&payload, id);
+  PutU64(&payload, response.server_micros);
+  PutU64(&payload, response.integrations);
+  return Frame(FrameType::kResponse, std::move(payload));
+}
+
+Result<ResponseFrame> DecodeResponsePayload(const uint8_t* data, size_t size,
+                                            size_t max_frame_bytes) {
+  Reader reader(data, size);
+  ResponseFrame response;
+  reader.GetU64(&response.request_id);
+  reader.GetU8(&response.status_code);
+  reader.GetString(&response.message, max_frame_bytes);
+  uint32_t n = 0;
+  if (!reader.GetU32(&n) || !reader.GetU32Array(&response.ids, n)) {
+    return Malformed("RESPONSE");
+  }
+  if (!reader.GetU32(&n) || !reader.GetU32Array(&response.undecided, n)) {
+    return Malformed("RESPONSE");
+  }
+  reader.GetU64(&response.server_micros);
+  reader.GetU64(&response.integrations);
+  if (!reader.AtEnd()) return Malformed("RESPONSE");
+  if (response.status_code >
+      static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Malformed("RESPONSE");
+  }
+  return response;
+}
+
+// -- RETRY_AFTER -----------------------------------------------------------
+
+std::string EncodeRetryAfter(const RetryAfterFrame& retry) {
+  std::string payload;
+  PutU64(&payload, retry.request_id);
+  PutU32(&payload, retry.retry_after_ms);
+  PutString(&payload, retry.message);
+  return Frame(FrameType::kRetryAfter, std::move(payload));
+}
+
+Result<RetryAfterFrame> DecodeRetryAfterPayload(const uint8_t* data,
+                                                size_t size) {
+  Reader reader(data, size);
+  RetryAfterFrame retry;
+  reader.GetU64(&retry.request_id);
+  reader.GetU32(&retry.retry_after_ms);
+  reader.GetString(&retry.message, size);
+  if (!reader.AtEnd()) return Malformed("RETRY_AFTER");
+  return retry;
+}
+
+// -- ERROR -----------------------------------------------------------------
+
+std::string EncodeError(const ErrorFrame& error) {
+  std::string payload;
+  PutU64(&payload, error.request_id);
+  PutU8(&payload, error.status_code);
+  PutString(&payload, error.message);
+  return Frame(FrameType::kError, std::move(payload));
+}
+
+Result<ErrorFrame> DecodeErrorPayload(const uint8_t* data, size_t size) {
+  Reader reader(data, size);
+  ErrorFrame error;
+  reader.GetU64(&error.request_id);
+  reader.GetU8(&error.status_code);
+  reader.GetString(&error.message, size);
+  if (!reader.AtEnd()) return Malformed("ERROR");
+  if (error.status_code >
+      static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Malformed("ERROR");
+  }
+  return error;
+}
+
+// -- STATS -----------------------------------------------------------------
+
+std::string EncodeStatsRequest(const StatsRequestFrame& request) {
+  std::string payload;
+  PutU64(&payload, request.request_id);
+  PutU8(&payload, static_cast<uint8_t>(request.format));
+  return Frame(FrameType::kStatsReq, std::move(payload));
+}
+
+Result<StatsRequestFrame> DecodeStatsRequestPayload(const uint8_t* data,
+                                                    size_t size) {
+  Reader reader(data, size);
+  StatsRequestFrame request;
+  uint8_t format = 0;
+  reader.GetU64(&request.request_id);
+  reader.GetU8(&format);
+  if (!reader.AtEnd()) return Malformed("STATS_REQ");
+  if (format > static_cast<uint8_t>(StatsFormat::kPrometheus)) {
+    return Malformed("STATS_REQ");
+  }
+  request.format = static_cast<StatsFormat>(format);
+  return request;
+}
+
+std::string EncodeStats(const StatsFrame& stats) {
+  std::string payload;
+  PutU64(&payload, stats.request_id);
+  PutU8(&payload, static_cast<uint8_t>(stats.format));
+  PutString(&payload, stats.body);
+  return Frame(FrameType::kStats, std::move(payload));
+}
+
+Result<StatsFrame> DecodeStatsPayload(const uint8_t* data, size_t size,
+                                      size_t max_frame_bytes) {
+  Reader reader(data, size);
+  StatsFrame stats;
+  uint8_t format = 0;
+  reader.GetU64(&stats.request_id);
+  reader.GetU8(&format);
+  reader.GetString(&stats.body, max_frame_bytes);
+  if (!reader.AtEnd()) return Malformed("STATS");
+  if (format > static_cast<uint8_t>(StatsFormat::kPrometheus)) {
+    return Malformed("STATS");
+  }
+  stats.format = static_cast<StatsFormat>(format);
+  return stats;
+}
+
+}  // namespace gprq::net

@@ -1,0 +1,224 @@
+#ifndef GPRQ_NET_PROTOCOL_H_
+#define GPRQ_NET_PROTOCOL_H_
+
+// GPRQ/1 — the length-prefixed binary wire protocol of the network
+// front-end. One frame = a fixed 12-byte header followed by a payload of
+// exactly `length` bytes; everything is little-endian, doubles are IEEE-754
+// binary64. The protocol carries the *existing* query semantics over the
+// wire — a QUERY frame maps 1:1 onto BatchExecutor::SubmitBounded's inputs
+// (mean, covariance lower triangle, δ, θ, strategy mask, filter-config
+// bits, priority, deadline budget, pool variant) and a RESPONSE frame onto
+// the graceful-degradation PrqResult contract (decided ids + explicit
+// undecided remainder + status), so a remote client observes exactly the
+// in-process API, including overload rejections (RETRY_AFTER frames carry
+// the retry_after_ms hint of exec::OverloadPolicy).
+//
+//   header (12 bytes):
+//     0  u8[4]  magic     'G' 'P' 'R' 'Q'
+//     4  u8     version   1
+//     5  u8     type      FrameType
+//     6  u16    reserved  must be 0
+//     8  u32    length    payload bytes that follow
+//
+// The header is validated *before* any payload allocation: a frame whose
+// length exceeds the configured maximum (ServerOptions::max_frame_bytes /
+// ClientOptions::max_frame_bytes) is rejected at the 12-byte mark, so an
+// adversarial length field cannot make either side allocate.
+//
+// Version negotiation: a client MAY open with HELLO carrying the version
+// range it speaks; the server answers WELCOME with the version it chose
+// (currently always 1) plus dataset facts (dim, point count, sharding).
+// A client that skips HELLO and sends version-1 frames directly is also
+// valid — HELLO exists so future versions can be introduced without
+// breaking either side. Any frame whose header version is not 1 is a
+// decode error.
+//
+// Decode errors are never fatal to the *server*: a malformed header
+// (magic/version/reserved/length) poisons the stream framing, so the
+// server answers with a connection-level ERROR frame (request_id 0) and
+// closes that connection; a malformed *payload* inside a well-framed
+// QUERY is request-scoped — the server answers a request-level ERROR and
+// keeps the connection. Both paths increment `gprq.net.decode_errors`.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/prq.h"
+#include "index/rstar_tree.h"
+
+namespace gprq::net {
+
+inline constexpr uint8_t kMagic[4] = {'G', 'P', 'R', 'Q'};
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Hard ceiling on the query dimensionality a frame may claim; the engine
+/// tops out far below this, and the bound keeps a hostile dim field from
+/// driving the d(d+1)/2 covariance read out of range.
+inline constexpr uint32_t kMaxWireDim = 64;
+
+/// Default cap on one frame's payload; both ends reject longer frames at
+/// the header, before allocating.
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 0x01,       // client → server: version range
+  kWelcome = 0x02,     // server → client: chosen version + dataset facts
+  kQuery = 0x10,       // client → server: one PRQ
+  kResponse = 0x11,    // server → client: decided/undecided ids + status
+  kRetryAfter = 0x12,  // server → client: shed at admission, back off
+  kError = 0x13,       // either: request-scoped (id != 0) or connection-
+                       // level (id == 0, sender closes after flushing)
+  kStatsReq = 0x20,    // client → server: registry export request
+  kStats = 0x21,       // server → client: the export body
+};
+
+/// True for the frame types a client may send.
+bool IsClientFrame(FrameType type);
+
+/// A validated frame header. `length` is the payload size.
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  uint32_t length = 0;
+};
+
+/// Validates 12 header bytes: magic, version, reserved zeros, known type,
+/// length <= max_frame_bytes. Never reads past `kFrameHeaderBytes`.
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
+                                     size_t max_frame_bytes);
+
+/// Appends a 12-byte header for a payload of `length` bytes.
+void AppendFrameHeader(std::string* out, FrameType type, uint32_t length);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Encode* returns a complete frame (header + payload);
+// Decode*Payload parses the payload only (the caller already framed it).
+
+/// HELLO: the version range the client speaks.
+struct HelloFrame {
+  uint8_t min_version = kProtocolVersion;
+  uint8_t max_version = kProtocolVersion;
+};
+std::string EncodeHello(const HelloFrame& hello);
+Result<HelloFrame> DecodeHelloPayload(const uint8_t* data, size_t size);
+
+/// WELCOME: the server's chosen version plus dataset facts, so a client
+/// can build well-dimensioned queries without out-of-band configuration.
+struct WelcomeFrame {
+  uint8_t version = kProtocolVersion;
+  uint32_t dim = 0;
+  uint64_t points = 0;
+  uint8_t sharded = 0;
+  uint32_t num_shards = 0;
+};
+std::string EncodeWelcome(const WelcomeFrame& welcome);
+Result<WelcomeFrame> DecodeWelcomePayload(const uint8_t* data, size_t size);
+
+/// Filter-config bits carried by a QUERY frame (PrqOptions booleans).
+inline constexpr uint32_t kOptionUseCatalogs = 1u << 0;
+inline constexpr uint32_t kOptionFringeAnyDim = 1u << 1;
+inline constexpr uint32_t kOptionMarginalFilter = 1u << 2;
+
+/// QUERY: one probabilistic range query.
+///
+///   u64 request_id   (client-chosen; echoed by the response)
+///   u32 dim
+///   f64 mean[dim]
+///   f64 cov_lower[dim*(dim+1)/2]   (row-major lower triangle, Σ_ij j<=i)
+///   f64 delta, f64 theta
+///   u32 strategies   (core::StrategyMask)
+///   u32 option_flags (kOption* bits above)
+///   u8  priority     (core::kPriorityBackground/Normal/Critical)
+///   u8  pool_variant (mc::PoolVariant)
+///   u16 reserved = 0
+///   u64 deadline_micros  (budget from receipt; 0 = unbounded)
+struct QueryFrame {
+  uint64_t request_id = 0;
+  std::vector<double> mean;
+  std::vector<double> cov_lower;
+  double delta = 0.0;
+  double theta = 0.0;
+  uint32_t strategies = core::kStrategyAll;
+  uint32_t option_flags = kOptionUseCatalogs | kOptionFringeAnyDim;
+  uint8_t priority = core::kPriorityNormal;
+  uint8_t pool_variant = 0;
+  uint64_t deadline_micros = 0;
+
+  /// Captures a query + options into wire form. The deadline budget is the
+  /// control's *remaining* time (0 when infinite); cancellation tokens do
+  /// not cross the wire.
+  static QueryFrame FromQuery(uint64_t request_id, const core::PrqQuery& query,
+                              const core::PrqOptions& options);
+
+  /// Reconstructs the query (covariance re-mirrored from the lower
+  /// triangle and SPD-validated) and the options, including the deadline:
+  /// a nonzero budget becomes a Deadline::After starting *now* — the
+  /// receiving server starts the clock on decode.
+  Result<std::pair<core::PrqQuery, core::PrqOptions>> ToQuery() const;
+};
+std::string EncodeQuery(const QueryFrame& query);
+Result<QueryFrame> DecodeQueryPayload(const uint8_t* data, size_t size);
+
+/// RESPONSE: the wire form of core::PrqResult plus a timing/trace summary.
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;  // StatusCode
+  std::string message;
+  std::vector<index::ObjectId> ids;
+  std::vector<index::ObjectId> undecided;
+  uint64_t server_micros = 0;  // wall time inside the backend
+  uint64_t integrations = 0;   // Phase-3 integration candidates
+};
+std::string EncodeResponse(const ResponseFrame& response);
+Result<ResponseFrame> DecodeResponsePayload(const uint8_t* data, size_t size,
+                                            size_t max_frame_bytes);
+
+/// RETRY_AFTER: the query was shed at admission (no work was done). The
+/// hint mirrors exec::OverloadPolicy::retry_after_seconds.
+struct RetryAfterFrame {
+  uint64_t request_id = 0;
+  uint32_t retry_after_ms = 0;
+  std::string message;
+};
+std::string EncodeRetryAfter(const RetryAfterFrame& retry);
+Result<RetryAfterFrame> DecodeRetryAfterPayload(const uint8_t* data,
+                                                size_t size);
+
+/// ERROR: request-scoped (request_id != 0, connection continues) or
+/// connection-level (request_id == 0, sender closes after flushing).
+struct ErrorFrame {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;  // StatusCode
+  std::string message;
+};
+std::string EncodeError(const ErrorFrame& error);
+Result<ErrorFrame> DecodeErrorPayload(const uint8_t* data, size_t size);
+
+enum class StatsFormat : uint8_t { kJson = 0, kPrometheus = 1 };
+
+/// STATS_REQ: ask for the obs::MetricRegistry export.
+struct StatsRequestFrame {
+  uint64_t request_id = 0;
+  StatsFormat format = StatsFormat::kJson;
+};
+std::string EncodeStatsRequest(const StatsRequestFrame& request);
+Result<StatsRequestFrame> DecodeStatsRequestPayload(const uint8_t* data,
+                                                    size_t size);
+
+/// STATS: the export body (TextExporter::Json / ::Prometheus output).
+struct StatsFrame {
+  uint64_t request_id = 0;
+  StatsFormat format = StatsFormat::kJson;
+  std::string body;
+};
+std::string EncodeStats(const StatsFrame& stats);
+Result<StatsFrame> DecodeStatsPayload(const uint8_t* data, size_t size,
+                                      size_t max_frame_bytes);
+
+}  // namespace gprq::net
+
+#endif  // GPRQ_NET_PROTOCOL_H_

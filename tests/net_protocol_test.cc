@@ -1,0 +1,373 @@
+// GPRQ/1 codec tests: round-trips for every frame type plus the
+// robustness battery of the protocol contract — a hostile header or
+// payload must produce a clean error Status, never a crash or an
+// allocation driven by attacker-controlled length fields. The live-socket
+// half of the battery (mid-frame disconnect, ERROR-then-close behavior,
+// decode_errors metrics) lives in net_server_test.cc.
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "net/protocol.h"
+#include "workload/generators.h"
+
+namespace gprq::net {
+namespace {
+
+// -- header -----------------------------------------------------------------
+
+std::string HeaderBytes(FrameType type, uint32_t length) {
+  std::string header;
+  AppendFrameHeader(&header, type, length);
+  return header;
+}
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(FrameHeader, RoundTrip) {
+  const std::string header = HeaderBytes(FrameType::kQuery, 1234);
+  ASSERT_EQ(header.size(), kFrameHeaderBytes);
+  auto parsed = ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, FrameType::kQuery);
+  EXPECT_EQ(parsed->length, 1234u);
+}
+
+TEST(FrameHeader, BadMagicRejected) {
+  std::string header = HeaderBytes(FrameType::kQuery, 0);
+  header[0] = 'X';
+  auto parsed = ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameHeader, WrongVersionRejected) {
+  std::string header = HeaderBytes(FrameType::kQuery, 0);
+  header[4] = 2;
+  EXPECT_FALSE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+  header[4] = 0;
+  EXPECT_FALSE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+}
+
+TEST(FrameHeader, UnknownTypeRejected) {
+  std::string header = HeaderBytes(FrameType::kQuery, 0);
+  header[5] = 0x7F;
+  EXPECT_FALSE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+}
+
+TEST(FrameHeader, NonzeroReservedRejected) {
+  std::string header = HeaderBytes(FrameType::kQuery, 0);
+  header[6] = 1;
+  EXPECT_FALSE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+}
+
+// The oversized-length contract: the rejection happens on the 12 header
+// bytes alone, before any payload allocation — an adversarial length can
+// never make the receiver allocate.
+TEST(FrameHeader, OversizedLengthRejectedAtHeader) {
+  std::string header = HeaderBytes(FrameType::kQuery, 0);
+  const uint32_t hostile = 0xFFFFFFFFu;
+  std::memcpy(header.data() + 8, &hostile, 4);
+  auto parsed = ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("exceeds limit"),
+            std::string::npos);
+  // One byte over the cap is rejected; the cap itself is accepted.
+  const uint32_t over = static_cast<uint32_t>(kDefaultMaxFrameBytes) + 1;
+  std::memcpy(header.data() + 8, &over, 4);
+  EXPECT_FALSE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+  const uint32_t at = static_cast<uint32_t>(kDefaultMaxFrameBytes);
+  std::memcpy(header.data() + 8, &at, 4);
+  EXPECT_TRUE(ParseFrameHeader(Bytes(header), kDefaultMaxFrameBytes).ok());
+}
+
+// -- frame round-trips ------------------------------------------------------
+
+/// Splits an encoded frame into its validated payload for Decode*Payload.
+std::string PayloadOf(const std::string& frame) {
+  auto header = ParseFrameHeader(Bytes(frame), kDefaultMaxFrameBytes);
+  EXPECT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + header->length);
+  return frame.substr(kFrameHeaderBytes);
+}
+
+TEST(Codec, HelloRoundTrip) {
+  const std::string payload = PayloadOf(EncodeHello(HelloFrame{1, 3}));
+  auto hello = DecodeHelloPayload(Bytes(payload), payload.size());
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->min_version, 1);
+  EXPECT_EQ(hello->max_version, 3);
+}
+
+TEST(Codec, WelcomeRoundTrip) {
+  WelcomeFrame welcome;
+  welcome.dim = 9;
+  welcome.points = 1234567890123ull;
+  welcome.sharded = 1;
+  welcome.num_shards = 4;
+  const std::string payload = PayloadOf(EncodeWelcome(welcome));
+  auto decoded = DecodeWelcomePayload(Bytes(payload), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kProtocolVersion);
+  EXPECT_EQ(decoded->dim, 9u);
+  EXPECT_EQ(decoded->points, 1234567890123ull);
+  EXPECT_EQ(decoded->sharded, 1);
+  EXPECT_EQ(decoded->num_shards, 4u);
+}
+
+TEST(Codec, ResponseRoundTrip) {
+  ResponseFrame response;
+  response.request_id = 42;
+  response.status_code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+  response.message = "deadline expired";
+  response.ids = {1, 5, 9};
+  response.undecided = {2, 7};
+  response.server_micros = 1500;
+  response.integrations = 37;
+  const std::string payload = PayloadOf(EncodeResponse(response));
+  auto decoded =
+      DecodeResponsePayload(Bytes(payload), payload.size(),
+                            kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->status_code, response.status_code);
+  EXPECT_EQ(decoded->message, "deadline expired");
+  EXPECT_EQ(decoded->ids, response.ids);
+  EXPECT_EQ(decoded->undecided, response.undecided);
+  EXPECT_EQ(decoded->server_micros, 1500u);
+  EXPECT_EQ(decoded->integrations, 37u);
+}
+
+TEST(Codec, RetryAfterRoundTrip) {
+  RetryAfterFrame retry;
+  retry.request_id = 7;
+  retry.retry_after_ms = 50;
+  retry.message = "shed";
+  const std::string payload = PayloadOf(EncodeRetryAfter(retry));
+  auto decoded = DecodeRetryAfterPayload(Bytes(payload), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_EQ(decoded->retry_after_ms, 50u);
+  EXPECT_EQ(decoded->message, "shed");
+}
+
+TEST(Codec, ErrorRoundTrip) {
+  ErrorFrame error;
+  error.request_id = 0;  // connection-level
+  error.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+  error.message = "bad frame magic";
+  const std::string payload = PayloadOf(EncodeError(error));
+  auto decoded = DecodeErrorPayload(Bytes(payload), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 0u);
+  EXPECT_EQ(decoded->status_code, error.status_code);
+  EXPECT_EQ(decoded->message, "bad frame magic");
+}
+
+TEST(Codec, StatsRoundTrip) {
+  StatsRequestFrame request;
+  request.request_id = 3;
+  request.format = StatsFormat::kPrometheus;
+  const std::string request_payload = PayloadOf(EncodeStatsRequest(request));
+  auto decoded_request =
+      DecodeStatsRequestPayload(Bytes(request_payload),
+                                request_payload.size());
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request->format, StatsFormat::kPrometheus);
+
+  StatsFrame stats;
+  stats.request_id = 3;
+  stats.format = StatsFormat::kJson;
+  stats.body = "{\"counters\": {}}";
+  const std::string payload = PayloadOf(EncodeStats(stats));
+  auto decoded = DecodeStatsPayload(Bytes(payload), payload.size(),
+                                    kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->body, stats.body);
+}
+
+// -- QUERY semantics --------------------------------------------------------
+
+core::PrqQuery MakeQuery(size_t dim) {
+  la::Vector mean(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) mean[i] = 100.0 + 3.0 * double(i);
+  la::Matrix cov = dim == 2 ? workload::PaperCovariance2D(10.0)
+                            : la::Matrix::Identity(dim) * 4.0;
+  auto g = core::GaussianDistribution::Create(std::move(mean), std::move(cov));
+  EXPECT_TRUE(g.ok());
+  return core::PrqQuery{std::move(*g), 25.0, 0.01};
+}
+
+TEST(Codec, QueryRoundTripPreservesSemantics) {
+  for (const size_t dim : {size_t{2}, size_t{3}, size_t{9}}) {
+    const core::PrqQuery query = MakeQuery(dim);
+    core::PrqOptions options;
+    options.strategies = core::kStrategyRR | core::kStrategyBF;
+    options.priority = core::kPriorityCritical;
+    options.pool_variant = mc::PoolVariant::kHalton;
+    options.use_marginal_filter = true;
+    options.control.deadline = common::Deadline::After(1.0);
+
+    const QueryFrame sent = QueryFrame::FromQuery(99, query, options);
+    const std::string payload = PayloadOf(EncodeQuery(sent));
+    auto received = DecodeQueryPayload(Bytes(payload), payload.size());
+    ASSERT_TRUE(received.ok()) << received.status().ToString();
+    EXPECT_EQ(received->request_id, 99u);
+
+    auto rebuilt = received->ToQuery();
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    const core::PrqQuery& rq = rebuilt->first;
+    const core::PrqOptions& ro = rebuilt->second;
+    EXPECT_EQ(rq.query_object.dim(), dim);
+    EXPECT_EQ(rq.delta, query.delta);
+    EXPECT_EQ(rq.theta, query.theta);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_EQ(rq.query_object.mean()[i], query.query_object.mean()[i]);
+      for (size_t j = 0; j < dim; ++j) {
+        EXPECT_EQ(rq.query_object.covariance()(i, j),
+                  query.query_object.covariance()(i, j));
+      }
+    }
+    EXPECT_EQ(ro.strategies, options.strategies);
+    EXPECT_EQ(ro.priority, options.priority);
+    EXPECT_EQ(ro.pool_variant, options.pool_variant);
+    EXPECT_TRUE(ro.use_marginal_filter);
+    EXPECT_TRUE(ro.use_catalogs);
+    // The deadline crossed the wire as a budget: the rebuilt deadline is
+    // finite and no longer than the original's remaining time.
+    EXPECT_FALSE(ro.control.deadline.is_infinite());
+    EXPECT_LE(ro.control.deadline.remaining_seconds(), 1.0);
+    EXPECT_GT(ro.control.deadline.remaining_seconds(), 0.5);
+  }
+}
+
+TEST(Codec, QueryInfiniteDeadlineStaysInfinite) {
+  core::PrqOptions options;
+  const QueryFrame sent = QueryFrame::FromQuery(1, MakeQuery(2), options);
+  EXPECT_EQ(sent.deadline_micros, 0u);
+  auto rebuilt = sent.ToQuery();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->second.control.deadline.is_infinite());
+}
+
+// -- hostile payloads -------------------------------------------------------
+
+TEST(Robustness, QueryHostileDimRejectedBeforeAllocation) {
+  // dim = 0xFFFFFFFF with an 8-byte payload tail: the decoder must bound
+  // dim *before* sizing the d(d+1)/2 covariance read.
+  std::string payload;
+  payload.append(8, '\0');  // request_id
+  const uint32_t dim = 0xFFFFFFFFu;
+  payload.append(reinterpret_cast<const char*>(&dim), 4);
+  payload.append(8, '\x41');
+  auto decoded = DecodeQueryPayload(Bytes(payload), payload.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  const uint32_t zero = 0;
+  std::memcpy(payload.data() + 8, &zero, 4);
+  EXPECT_FALSE(DecodeQueryPayload(Bytes(payload), payload.size()).ok());
+
+  const uint32_t above = kMaxWireDim + 1;
+  std::memcpy(payload.data() + 8, &above, 4);
+  EXPECT_FALSE(DecodeQueryPayload(Bytes(payload), payload.size()).ok());
+}
+
+TEST(Robustness, TruncatedPayloadsRejected) {
+  core::PrqOptions options;
+  const std::string query =
+      PayloadOf(EncodeQuery(QueryFrame::FromQuery(5, MakeQuery(3), options)));
+  for (size_t cut = 0; cut < query.size(); ++cut) {
+    EXPECT_FALSE(DecodeQueryPayload(Bytes(query), cut).ok())
+        << "accepted a QUERY truncated to " << cut << " bytes";
+  }
+  ResponseFrame response;
+  response.request_id = 5;
+  response.ids = {1, 2, 3};
+  const std::string resp = PayloadOf(EncodeResponse(response));
+  for (size_t cut = 0; cut < resp.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeResponsePayload(Bytes(resp), cut, kDefaultMaxFrameBytes).ok())
+        << "accepted a RESPONSE truncated to " << cut << " bytes";
+  }
+}
+
+TEST(Robustness, TrailingBytesRejected) {
+  core::PrqOptions options;
+  std::string query =
+      PayloadOf(EncodeQuery(QueryFrame::FromQuery(5, MakeQuery(2), options)));
+  query.push_back('\0');
+  EXPECT_FALSE(DecodeQueryPayload(Bytes(query), query.size()).ok());
+
+  std::string hello = PayloadOf(EncodeHello(HelloFrame{}));
+  hello.push_back('\0');
+  EXPECT_FALSE(DecodeHelloPayload(Bytes(hello), hello.size()).ok());
+}
+
+TEST(Robustness, GarbagePayloadsNeverCrash) {
+  std::mt19937_64 rng(2009);
+  std::vector<uint8_t> garbage(512);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t size = static_cast<size_t>(rng() % garbage.size());
+    for (size_t i = 0; i < size; ++i) {
+      garbage[i] = static_cast<uint8_t>(rng());
+    }
+    // Any outcome is fine as long as it is a Status, not a crash; a
+    // random QUERY payload additionally survives ToQuery (SPD check).
+    auto query = DecodeQueryPayload(garbage.data(), size);
+    if (query.ok()) (void)query->ToQuery();
+    (void)DecodeResponsePayload(garbage.data(), size, kDefaultMaxFrameBytes);
+    (void)DecodeRetryAfterPayload(garbage.data(), size);
+    (void)DecodeErrorPayload(garbage.data(), size);
+    (void)DecodeWelcomePayload(garbage.data(), size);
+    (void)DecodeStatsPayload(garbage.data(), size, kDefaultMaxFrameBytes);
+    (void)DecodeStatsRequestPayload(garbage.data(), size);
+    (void)DecodeHelloPayload(garbage.data(), size);
+  }
+}
+
+TEST(Robustness, StringLengthBoundedByFrameCap) {
+  // An ERROR payload claiming a 100 MB message inside a small frame must
+  // be rejected without allocating the claimed length.
+  std::string payload;
+  payload.append(8, '\0');  // request_id
+  payload.push_back('\0');  // status_code
+  const uint32_t huge = 100u << 20;
+  payload.append(reinterpret_cast<const char*>(&huge), 4);
+  payload.append("short actual content");
+  EXPECT_FALSE(DecodeErrorPayload(Bytes(payload), payload.size()).ok());
+}
+
+TEST(Robustness, ResponseUnknownStatusCodeRejected) {
+  ResponseFrame response;
+  response.request_id = 1;
+  std::string payload = PayloadOf(EncodeResponse(response));
+  payload[8] = 0x5A;  // status_code byte, right after request_id
+  EXPECT_FALSE(
+      DecodeResponsePayload(Bytes(payload), payload.size(),
+                            kDefaultMaxFrameBytes)
+          .ok());
+}
+
+TEST(Robustness, ClientFrameClassification) {
+  EXPECT_TRUE(IsClientFrame(FrameType::kHello));
+  EXPECT_TRUE(IsClientFrame(FrameType::kQuery));
+  EXPECT_TRUE(IsClientFrame(FrameType::kStatsReq));
+  EXPECT_FALSE(IsClientFrame(FrameType::kWelcome));
+  EXPECT_FALSE(IsClientFrame(FrameType::kResponse));
+  EXPECT_FALSE(IsClientFrame(FrameType::kRetryAfter));
+  EXPECT_FALSE(IsClientFrame(FrameType::kError));
+  EXPECT_FALSE(IsClientFrame(FrameType::kStats));
+}
+
+}  // namespace
+}  // namespace gprq::net

@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/flags.h"
 #include "core/engine.h"
+#include "net/client.h"
 #include "core/histogram.h"
 #include "core/pnn.h"
 #include "exec/batch_executor.h"
@@ -71,6 +73,13 @@ int Usage() {
       "            [--samples N]\n"
       "  estimate  --data FILE.csv --q x,y,... --delta D --theta T\n"
       "            [--gamma G | --stddev S] [--cells N]\n"
+      "  remote    --host H --port P --q x,y,... --delta D --theta T\n"
+      "            [--gamma G | --stddev S | --cov a,b,...]\n"
+      "            [--strategy ...] [--qmc] [--priority 0|1|2]\n"
+      "            [--deadline-ms N] [--retries R] [--stats json|prom]\n"
+      "            (run the query against a gprq_server over the GPRQ/1\n"
+      "             wire protocol; RETRY_AFTER sheds are retried up to R\n"
+      "             times, honoring the server's backoff hint)\n"
       "  list-failpoints\n"
       "            print the failpoint sites compiled into this binary and\n"
       "            any currently armed configurations (GPRQ_FAILPOINTS)\n");
@@ -564,6 +573,104 @@ int RunEstimate(const FlagSet& flags) {
   return 0;
 }
 
+int RunRemote(const FlagSet& flags) {
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  auto port = flags.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port <= 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("--port is required"));
+  }
+  auto retries = flags.GetInt("retries", 3);
+  if (!retries.ok()) return Fail(retries.status());
+
+  net::ClientOptions client_options;
+  client_options.max_shed_retries = static_cast<int>(*retries);
+  auto client = net::Client::Connect(host, static_cast<uint16_t>(*port),
+                                     client_options);
+  if (!client.ok()) return Fail(client.status());
+  const net::WelcomeFrame& info = (*client)->server_info();
+  std::printf("connected: GPRQ/%u, %llu %u-D points%s\n", info.version,
+              static_cast<unsigned long long>(info.points), info.dim,
+              info.sharded ? " (sharded)" : "");
+
+  if (flags.Has("stats")) {
+    const std::string format = flags.GetString("stats", "json");
+    auto body = (*client)->Stats(format == "prom"
+                                     ? net::StatsFormat::kPrometheus
+                                     : net::StatsFormat::kJson);
+    if (!body.ok()) return Fail(body.status());
+    std::printf("%s\n", body->c_str());
+    return 0;
+  }
+
+  auto q = flags.GetDoubleList("q");
+  if (!q.ok()) return Fail(q.status());
+  if (q->size() != info.dim) {
+    return Fail(
+        Status::InvalidArgument("--q must have the server's dimension"));
+  }
+  auto cov = CovarianceFromFlags(flags, q->size());
+  if (!cov.ok()) return Fail(cov.status());
+  auto g = core::GaussianDistribution::Create(la::Vector(*q), *cov);
+  if (!g.ok()) return Fail(g.status());
+  auto delta = flags.GetDouble("delta", 1.0);
+  auto theta = flags.GetDouble("theta", 0.1);
+  auto priority = flags.GetInt("priority", core::kPriorityNormal);
+  auto deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  auto strategy = StrategyFromFlags(flags);
+  if (!delta.ok()) return Fail(delta.status());
+  if (!theta.ok()) return Fail(theta.status());
+  if (!priority.ok()) return Fail(priority.status());
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  if (!strategy.ok()) return Fail(strategy.status());
+
+  core::PrqQuery query{std::move(*g), *delta, *theta};
+  core::PrqOptions options;
+  options.strategies = *strategy;
+  options.priority = static_cast<int>(*priority);
+  if (flags.Has("qmc")) options.pool_variant = mc::PoolVariant::kHalton;
+  if (*deadline_ms > 0.0) {
+    options.control.deadline = common::Deadline::After(*deadline_ms * 1e-3);
+  }
+
+  auto remote = (*client)->Query(query, options);
+  if (!remote.ok()) return Fail(remote.status());
+  if (remote->shed) {
+    std::printf("shed by server after %d retries: %s\n", remote->shed_retries,
+                remote->result.status.ToString().c_str());
+    std::printf("  retry after %u ms\n", remote->retry_after_ms);
+    return 1;
+  }
+  std::printf("remote PRQ(delta=%.6g, theta=%.6g): %zu results, "
+              "%zu undecided\n",
+              query.delta, query.theta, remote->result.ids.size(),
+              remote->result.undecided.size());
+  std::printf("  status: %s\n", remote->result.status.ToString().c_str());
+  std::printf("  server %.2f ms (%llu integrations), wire %.2f ms, "
+              "%d shed retries\n",
+              static_cast<double>(remote->server_micros) * 1e-3,
+              static_cast<unsigned long long>(remote->integrations),
+              remote->wire_seconds * 1e3, remote->shed_retries);
+  const size_t show = std::min<size_t>(remote->result.ids.size(), 20);
+  std::printf("  ids:");
+  for (size_t i = 0; i < show; ++i) {
+    std::printf(" %u", remote->result.ids[i]);
+  }
+  if (remote->result.ids.size() > show) std::printf(" ...");
+  std::printf("\n");
+  if (!remote->result.undecided.empty()) {
+    const size_t undecided_show =
+        std::min<size_t>(remote->result.undecided.size(), 20);
+    std::printf("  undecided:");
+    for (size_t i = 0; i < undecided_show; ++i) {
+      std::printf(" %u", remote->result.undecided[i]);
+    }
+    if (remote->result.undecided.size() > undecided_show) std::printf(" ...");
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int RunListFailpoints(const FlagSet& flags) {
   (void)flags;
   std::printf("failpoint sites compiled into this binary (%s):\n",
@@ -612,6 +719,7 @@ int Main(int argc, char** argv) {
   else if (command == "query") code = RunQuery(*flags);
   else if (command == "pnn") code = RunPnn(*flags);
   else if (command == "estimate") code = RunEstimate(*flags);
+  else if (command == "remote") code = RunRemote(*flags);
   else if (command == "list-failpoints") code = RunListFailpoints(*flags);
   else return Usage();
 

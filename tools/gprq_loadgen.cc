@@ -1,0 +1,501 @@
+// gprq_loadgen: open-loop load generator for a running gprq_server.
+//
+// Phase 0 measures the server's closed-loop capacity (N connections each
+// issuing queries back-to-back); then, for each multiplier in --mults, an
+// open-loop Poisson arrival process at capacity×mult is offered over the
+// same N connections for --duration seconds. Open-loop means the arrival
+// clock never waits for responses — each connection pipelines its frames
+// and a reader thread matches responses by request_id — so when the server
+// saturates, the offered load keeps coming and the admission controller
+// must shed. The per-mult report separates goodput (OK answers), degraded
+// answers (brownout partials), sheds (RETRY_AFTER frames, with the
+// server's retry_after_ms hint), and errors.
+//
+// Results go to BENCH_net.json (--out). With --assert (the CI smoke
+// contract), the run fails unless the highest mult >= 2 saw nonzero
+// goodput, nonzero sheds, a nonzero retry_after_ms hint, and zero errors.
+//
+// Example:
+//   gprq_loadgen --port 7709 --connections 4 --duration 10 --mults 0.5,1,2
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/deadline.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "workload/generators.h"
+
+namespace gprq {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Query mix: alternating tight (γ=10) and vague (γ=100) Gaussians for 2-D
+// datasets — the paper's two covariance shapes — or isotropic stddev 5/15
+// for other dimensionalities; centers uniform in [0, extent]^d.
+
+class QueryMix {
+ public:
+  QueryMix(uint32_t dim, double extent, double delta, double theta,
+           uint64_t seed)
+      : dim_(dim), extent_(extent), delta_(delta), theta_(theta), rng_(seed) {}
+
+  core::PrqQuery Next() {
+    std::uniform_real_distribution<double> uniform(0.0, extent_);
+    la::Vector mean(dim_, 0.0);
+    for (size_t i = 0; i < dim_; ++i) mean[i] = uniform(rng_);
+    const bool vague = (count_++ % 2) == 1;
+    la::Matrix cov =
+        dim_ == 2 ? workload::PaperCovariance2D(vague ? 100.0 : 10.0)
+                  : la::Matrix::Identity(dim_) * (vague ? 225.0 : 25.0);
+    auto g = core::GaussianDistribution::Create(std::move(mean),
+                                                std::move(cov));
+    // The mix only produces SPD covariances; Create cannot fail here.
+    return core::PrqQuery{std::move(*g), delta_, theta_};
+  }
+
+  int NextPriority() {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    const double draw = uniform(rng_);
+    if (draw < 0.10) return core::kPriorityBackground;
+    if (draw < 0.20) return core::kPriorityCritical;
+    return core::kPriorityNormal;
+  }
+
+ private:
+  const size_t dim_;
+  const double extent_;
+  const double delta_;
+  const double theta_;
+  std::mt19937_64 rng_;
+  uint64_t count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Raw pipelined connection: blocking fd, a sender thread paces Poisson
+// arrivals, a reader thread matches responses by request_id. (net::Client
+// is strictly request/response; pipelining needs the frames directly.)
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    return Status::IoError("cannot resolve host '" + host + "'");
+  }
+  const int fd = ::socket(resolved->ai_family, resolved->ai_socktype,
+                          resolved->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(resolved);
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int rc = ::connect(fd, resolved->ai_addr, resolved->ai_addrlen);
+  ::freeaddrinfo(resolved);
+  if (rc < 0) {
+    const Status status =
+        Status::IoError("connect: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvExact(int fd, uint8_t* buffer, size_t size) {
+  size_t have = 0;
+  while (have < size) {
+    const ssize_t n = ::recv(fd, buffer + have, size - have, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    have += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// One mult's aggregate outcome (all connections).
+struct LoadStats {
+  std::mutex mutex;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;  // RESPONSE with non-OK status (brownout partials)
+  uint64_t shed = 0;      // RETRY_AFTER frames
+  uint64_t errors = 0;    // ERROR frames, unmatched ids, transport failures
+  uint32_t max_retry_after_ms = 0;
+  uint64_t retry_hints = 0;  // RETRY_AFTER frames with a nonzero hint
+  std::vector<double> latencies;  // seconds, answered queries only
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Offers `rate` arrivals/s over one connection for `duration` seconds,
+/// open loop. Returns when every in-flight request was answered or the
+/// post-duration grace expired.
+void RunConnection(const std::string& host, uint16_t port, double rate,
+                   double duration, double deadline_seconds, uint32_t dim,
+                   double extent, double delta, double theta, uint64_t seed,
+                   LoadStats* stats) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) {
+    std::lock_guard<std::mutex> lock(stats->mutex);
+    ++stats->errors;
+    return;
+  }
+
+  std::mutex pending_mutex;
+  std::unordered_map<uint64_t, std::chrono::steady_clock::time_point> pending;
+  std::atomic<bool> reader_dead{false};
+
+  std::thread reader([&] {
+    uint8_t header[net::kFrameHeaderBytes];
+    while (true) {
+      if (!RecvExact(*fd, header, sizeof(header))) break;
+      auto parsed = net::ParseFrameHeader(header, net::kDefaultMaxFrameBytes);
+      if (!parsed.ok()) break;
+      std::string payload(parsed->length, '\0');
+      if (parsed->length > 0 &&
+          !RecvExact(*fd, reinterpret_cast<uint8_t*>(payload.data()),
+                     payload.size())) {
+        break;
+      }
+      const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+      uint64_t request_id = 0;
+      bool answered = false;   // RESPONSE (ok or degraded)
+      bool shed = false;
+      uint32_t retry_ms = 0;
+      bool degraded = false;
+      if (parsed->type == net::FrameType::kResponse) {
+        auto response = net::DecodeResponsePayload(data, payload.size(),
+                                                   net::kDefaultMaxFrameBytes);
+        if (!response.ok()) break;
+        request_id = response->request_id;
+        answered = true;
+        degraded = response->status_code != 0;
+      } else if (parsed->type == net::FrameType::kRetryAfter) {
+        auto retry = net::DecodeRetryAfterPayload(data, payload.size());
+        if (!retry.ok()) break;
+        request_id = retry->request_id;
+        shed = true;
+        retry_ms = retry->retry_after_ms;
+      } else if (parsed->type == net::FrameType::kError) {
+        auto error = net::DecodeErrorPayload(data, payload.size());
+        if (!error.ok()) break;
+        request_id = error->request_id;
+        std::lock_guard<std::mutex> lock(stats->mutex);
+        ++stats->errors;
+        if (request_id == 0) break;  // connection-level: server will close
+      } else {
+        break;  // server speaks only the above to a query stream
+      }
+
+      double latency = 0.0;
+      bool matched = false;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex);
+        auto it = pending.find(request_id);
+        if (it != pending.end()) {
+          latency = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - it->second)
+                        .count();
+          pending.erase(it);
+          matched = true;
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats->mutex);
+      if (!matched) {
+        if (request_id != 0) ++stats->errors;
+        continue;
+      }
+      if (answered) {
+        ++(degraded ? stats->degraded : stats->ok);
+        stats->latencies.push_back(latency);
+      } else if (shed) {
+        ++stats->shed;
+        if (retry_ms > 0) {
+          ++stats->retry_hints;
+          stats->max_retry_after_ms =
+              std::max(stats->max_retry_after_ms, retry_ms);
+        }
+      }
+    }
+    reader_dead.store(true, std::memory_order_relaxed);
+  });
+
+  QueryMix mix(dim, extent, delta, theta, seed);
+  std::mt19937_64 arrival_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::exponential_distribution<double> gap(rate);
+  const auto start = std::chrono::steady_clock::now();
+  auto next = start;
+  uint64_t request_id = 1;
+  while (!reader_dead.load(std::memory_order_relaxed)) {
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap(arrival_rng)));
+    if (std::chrono::duration<double>(next - start).count() > duration) break;
+    std::this_thread::sleep_until(next);
+
+    const core::PrqQuery query = mix.Next();
+    core::PrqOptions options;
+    options.priority = mix.NextPriority();
+    net::QueryFrame frame =
+        net::QueryFrame::FromQuery(request_id, query, options);
+    frame.deadline_micros =
+        static_cast<uint64_t>(deadline_seconds * 1e6);
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex);
+      pending.emplace(request_id, std::chrono::steady_clock::now());
+    }
+    ++request_id;
+    if (!SendAll(*fd, net::EncodeQuery(frame))) {
+      std::lock_guard<std::mutex> lock(pending_mutex);
+      pending.erase(request_id - 1);
+      std::lock_guard<std::mutex> stats_lock(stats->mutex);
+      ++stats->errors;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(stats->mutex);
+    ++stats->sent;
+  }
+
+  // Grace period: let the reader drain the in-flight tail, then hard-close.
+  const Stopwatch grace;
+  while (grace.ElapsedSeconds() < 5.0 &&
+         !reader_dead.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex);
+      if (pending.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::shutdown(*fd, SHUT_RDWR);
+  reader.join();
+  ::close(*fd);
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto flags = FlagSet::Parse(args);
+  if (!flags.ok()) return Fail(flags.status());
+
+  const std::string host = flags->GetString("host", "127.0.0.1");
+  auto port = flags->GetInt("port", 0);
+  auto connections = flags->GetInt("connections", 4);
+  auto duration = flags->GetDouble("duration", 10.0);
+  auto deadline_ms = flags->GetDouble("deadline-ms", 250.0);
+  auto delta = flags->GetDouble("delta", 25.0);
+  auto theta = flags->GetDouble("theta", 0.01);
+  auto extent = flags->GetDouble("extent", 1000.0);
+  auto capacity_seconds = flags->GetDouble("capacity-seconds", 2.0);
+  auto rate_override = flags->GetDouble("rate", 0.0);
+  auto seed = flags->GetInt("seed", 2009);
+  auto mults = flags->GetDoubleList("mults");
+  if (!port.ok()) return Fail(port.status());
+  if (!connections.ok()) return Fail(connections.status());
+  if (!duration.ok()) return Fail(duration.status());
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  if (!delta.ok()) return Fail(delta.status());
+  if (!theta.ok()) return Fail(theta.status());
+  if (!extent.ok()) return Fail(extent.status());
+  if (!capacity_seconds.ok()) return Fail(capacity_seconds.status());
+  if (!rate_override.ok()) return Fail(rate_override.status());
+  if (!seed.ok()) return Fail(seed.status());
+  std::vector<double> mult_values = {0.5, 1.0, 2.0};
+  if (flags->Has("mults")) {
+    if (!mults.ok()) return Fail(mults.status());
+    mult_values = *mults;
+  }
+  const bool assert_mode =
+      flags->Has("assert") || std::getenv("GPRQ_NET_ASSERT") != nullptr;
+  const std::string out = flags->GetString("out", "BENCH_net.json");
+  if (*port <= 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("--port is required"));
+  }
+  const size_t num_conns =
+      static_cast<size_t>(*connections > 0 ? *connections : 1);
+
+  // Dataset facts from WELCOME; the mix builds well-dimensioned queries.
+  auto probe = net::Client::Connect(host, static_cast<uint16_t>(*port));
+  if (!probe.ok()) return Fail(probe.status());
+  const uint32_t dim = (*probe)->server_info().dim;
+  std::printf("server: dim=%u points=%llu sharded=%u\n", dim,
+              static_cast<unsigned long long>((*probe)->server_info().points),
+              (*probe)->server_info().sharded);
+
+  bench::JsonReport report;
+
+  // Phase 0: closed-loop capacity (skipped with --rate).
+  double capacity = *rate_override;
+  if (capacity <= 0.0) {
+    std::atomic<uint64_t> completed{0};
+    std::vector<std::thread> probes;
+    Stopwatch clock;
+    for (size_t c = 0; c < num_conns; ++c) {
+      probes.emplace_back([&, c] {
+        net::ClientOptions copts;
+        copts.max_shed_retries = 0;
+        auto client =
+            net::Client::Connect(host, static_cast<uint16_t>(*port), copts);
+        if (!client.ok()) return;
+        QueryMix mix(dim, *extent, *delta, *theta,
+                     static_cast<uint64_t>(*seed) + c);
+        while (clock.ElapsedSeconds() < *capacity_seconds) {
+          core::PrqOptions options;
+          options.control.deadline =
+              common::Deadline::After(*deadline_ms * 1e-3);
+          auto result = (*client)->Query(mix.Next(), options);
+          if (result.ok() && !result->shed) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : probes) t.join();
+    const double elapsed = clock.ElapsedSeconds();
+    capacity = static_cast<double>(completed.load()) / std::max(elapsed, 1e-9);
+    if (capacity <= 0.0) {
+      return Fail(Status::Internal(
+          "capacity probe completed no queries; is the server healthy?"));
+    }
+  }
+  std::printf("capacity: %.1f queries/s (closed loop, %zu connections)\n\n",
+              capacity, num_conns);
+  report.Add("capacity", bench::JsonReport::Metrics{
+                             {"queries_per_second", capacity},
+                             {"connections", static_cast<double>(num_conns)},
+                         });
+
+  std::printf("%-8s%12s%12s%12s%10s%10s%10s%10s%10s%10s\n", "mult", "offered/s",
+              "goodput/s", "degraded/s", "shed", "errors", "p50ms", "p95ms",
+              "p99ms", "retry_ms");
+  bench::Rule(104);
+
+  bool assert_ok = true;
+  std::string assert_reason;
+  for (const double mult : mult_values) {
+    const double rate = capacity * mult;
+    LoadStats stats;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < num_conns; ++c) {
+      threads.emplace_back(RunConnection, host, static_cast<uint16_t>(*port),
+                           rate / static_cast<double>(num_conns), *duration,
+                           *deadline_ms * 1e-3, dim, *extent, *delta, *theta,
+                           static_cast<uint64_t>(*seed) + 1000 + c, &stats);
+    }
+    for (auto& t : threads) t.join();
+
+    const double offered = static_cast<double>(stats.sent) / *duration;
+    const double goodput = static_cast<double>(stats.ok) / *duration;
+    const double degraded_rate = static_cast<double>(stats.degraded) / *duration;
+    const double p50 = Percentile(stats.latencies, 0.50) * 1e3;
+    const double p95 = Percentile(stats.latencies, 0.95) * 1e3;
+    const double p99 = Percentile(stats.latencies, 0.99) * 1e3;
+    std::printf("%-8.2f%12.1f%12.1f%12.1f%10llu%10llu%10.1f%10.1f%10.1f%10u\n",
+                mult, offered, goodput, degraded_rate,
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.errors), p50, p95, p99,
+                stats.max_retry_after_ms);
+
+    char name[32];
+    std::snprintf(name, sizeof(name), "mult_%.2fx", mult);
+    report.Add(name,
+               bench::JsonReport::Metrics{
+                   {"mult", mult},
+                   {"target_rate", rate},
+                   {"offered_per_second", offered},
+                   {"goodput_per_second", goodput},
+                   {"degraded_per_second", degraded_rate},
+                   {"sent", static_cast<double>(stats.sent)},
+                   {"ok", static_cast<double>(stats.ok)},
+                   {"degraded", static_cast<double>(stats.degraded)},
+                   {"shed", static_cast<double>(stats.shed)},
+                   {"errors", static_cast<double>(stats.errors)},
+                   {"p50_ms", p50},
+                   {"p95_ms", p95},
+                   {"p99_ms", p99},
+                   {"max_retry_after_ms",
+                    static_cast<double>(stats.max_retry_after_ms)},
+               });
+
+    if (assert_mode && mult >= 1.99) {
+      if (stats.ok == 0) {
+        assert_ok = false;
+        assert_reason = "no goodput at " + std::to_string(mult) + "x";
+      } else if (stats.shed == 0) {
+        assert_ok = false;
+        assert_reason = "no sheds at " + std::to_string(mult) +
+                        "x (overload protection never engaged)";
+      } else if (stats.retry_hints == 0) {
+        assert_ok = false;
+        assert_reason = "sheds carried no retry_after_ms hint";
+      } else if (stats.errors != 0) {
+        assert_ok = false;
+        assert_reason = std::to_string(stats.errors) + " errors at " +
+                        std::to_string(mult) + "x";
+      }
+    }
+  }
+
+  if (!report.WriteFile(out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  for (const std::string& key : flags->UnusedKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  if (assert_mode && !assert_ok) {
+    std::fprintf(stderr, "ASSERT FAILED: %s\n", assert_reason.c_str());
+    return 1;
+  }
+  if (assert_mode) std::printf("asserts passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main(int argc, char** argv) { return gprq::Main(argc, argv); }
