@@ -1,0 +1,406 @@
+// Update-churn bench + crash-recovery smoke driver for the mutable
+// storage engine. Three modes:
+//
+//   update_churn                 self-contained bench: churn a temp dir,
+//                                measure write/commit/checkpoint/query
+//                                rates, verify differentially, emit
+//                                BENCH_storage.json
+//   update_churn --dir D --run   deterministic seeded workload against D
+//                                (the CI recovery smoke runs this and
+//                                kill -9s it mid-flight)
+//   update_churn --dir D --verify  reopen D, replay the WAL, and assert
+//                                the recovered state equals the oracle of
+//                                exactly the committed operation prefix
+//                                (the LSN says how many ops survived);
+//                                exits non-zero on any mismatch
+//
+// The workload is deterministic for a given --seed, which is what makes
+// --verify possible after an arbitrary kill: the script is regenerated and
+// its first `recovered-lsn` operations replayed onto an in-memory oracle.
+//
+// Env overrides: GPRQ_CHURN_OPS (default 20000 bench / 200000 run),
+// GPRQ_BENCH_JSON (output path, default BENCH_storage.json).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/batch_executor.h"
+#include "mc/exact_evaluator.h"
+#include "obs/metrics.h"
+#include "rng/random.h"
+#include "storage/live_engine.h"
+#include "storage/storage_engine.h"
+#include "workload/generators.h"
+
+namespace gprq {
+namespace {
+
+constexpr size_t kDim = 2;
+constexpr double kExtent = 10000.0;
+
+/// Deterministic churn script: op i depends only on (seed, 0..i-1), so a
+/// verifier can regenerate any prefix. ~30% deletes once data exists.
+class ChurnScript {
+ public:
+  explicit ChurnScript(uint64_t seed) : random_(seed) {}
+
+  struct Op {
+    bool insert = true;
+    la::Vector point;
+    uint32_t id = 0;
+  };
+
+  Op Next() {
+    Op op;
+    if (!live_.empty() && random_.NextDouble() < 0.3) {
+      const size_t victim = random_.NextUint64(live_.size());
+      op.insert = false;
+      op.point = live_[victim].first;
+      op.id = live_[victim].second;
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      op.insert = true;
+      op.point = la::Vector(kDim);
+      for (size_t j = 0; j < kDim; ++j) {
+        op.point[j] = random_.NextDouble(0.0, kExtent);
+      }
+      op.id = next_id_++;
+      live_.emplace_back(op.point, op.id);
+    }
+    return op;
+  }
+
+ private:
+  rng::Random random_;
+  std::vector<std::pair<la::Vector, uint32_t>> live_;
+  uint32_t next_id_ = 1;
+};
+
+size_t EnvOps(size_t fallback) {
+  const char* env = std::getenv("GPRQ_CHURN_OPS");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return fallback;
+}
+
+std::string JsonPath() {
+  const char* env = std::getenv("GPRQ_BENCH_JSON");
+  return (env != nullptr && *env != '\0') ? env : "BENCH_storage.json";
+}
+
+using PointSet = std::vector<std::pair<std::vector<double>, uint32_t>>;
+
+PointSet Collect(const storage::StorageSnapshot& snapshot) {
+  PointSet set;
+  snapshot.ScanAll([&set](const la::Vector& point, index::ObjectId id) {
+    set.emplace_back(point.values(), id);
+  });
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+/// The oracle of the first `prefix` script operations.
+PointSet Oracle(uint64_t seed, uint64_t prefix) {
+  ChurnScript script(seed);
+  PointSet set;
+  for (uint64_t i = 0; i < prefix; ++i) {
+    const ChurnScript::Op op = script.Next();
+    std::pair<std::vector<double>, uint32_t> entry(op.point.values(), op.id);
+    if (op.insert) {
+      set.push_back(std::move(entry));
+    } else {
+      set.erase(std::find(set.begin(), set.end(), entry));
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name)->Value();
+}
+
+// ---- --run: the workload the CI smoke kills mid-flight ---------------------
+
+int RunWorkload(const std::string& dir, uint64_t seed, size_t ops) {
+  std::filesystem::create_directories(dir);
+  storage::StorageOptions options;
+  options.group_commit_ops = 8;
+  auto engine = storage::StorageEngine::Create(dir, kDim, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("churning %zu ops into %s (seed %llu)\n", ops, dir.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  ChurnScript script(seed);
+  for (size_t i = 0; i < ops; ++i) {
+    const ChurnScript::Op op = script.Next();
+    const Status status =
+        op.insert ? (*engine)->Insert(op.point, op.id)
+                  : (*engine)->Delete(op.point, op.id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "op %zu failed: %s\n", i,
+                   status.ToString().c_str());
+      return 1;
+    }
+    // Periodic checkpoints keep the WAL short and exercise the
+    // rename/restart windows while the killer's timer runs.
+    if ((i + 1) % 20000 == 0) {
+      if (Status s = (*engine)->Checkpoint(); !s.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  %zu ops, checkpointed\n", i + 1);
+      std::fflush(stdout);
+    }
+  }
+  if (Status s = (*engine)->Flush(); !s.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("workload complete: %zu objects\n",
+              (*engine)->PinSnapshot()->size());
+  return 0;
+}
+
+// ---- --verify: reopen after a crash and prove exact recovery ---------------
+
+int VerifyRecovery(const std::string& dir, uint64_t seed) {
+  storage::WalReplayInfo info;
+  storage::StorageOptions options;
+  options.group_commit_ops = 8;
+  auto engine = storage::StorageEngine::Open(dir, options, &info);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto snapshot = (*engine)->PinSnapshot();
+  std::printf("recovered: %zu objects, lsn %llu, wal records %llu%s\n",
+              snapshot->size(),
+              static_cast<unsigned long long>(snapshot->lsn()),
+              static_cast<unsigned long long>(info.records),
+              info.truncated_tail ? " (torn tail discarded)" : "");
+
+  int failures = 0;
+  if (Status s = snapshot->CheckInvariants(); !s.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", s.ToString().c_str());
+    ++failures;
+  }
+  // Every LSN is one script op, so the recovered LSN names the committed
+  // prefix exactly; the recovered tree must equal its oracle.
+  const PointSet expected = Oracle(seed, snapshot->lsn());
+  const PointSet actual = Collect(*snapshot);
+  if (actual != expected) {
+    std::fprintf(stderr,
+                 "DIFFERENTIAL MISMATCH: recovered %zu entries, oracle of "
+                 "%llu committed ops has %zu\n",
+                 actual.size(),
+                 static_cast<unsigned long long>(snapshot->lsn()),
+                 expected.size());
+    ++failures;
+  }
+  // Recovery must leave a writable engine behind.
+  if (Status s = (*engine)->Insert(la::Vector(kDim, -1.0), 0xFFFFFFFF);
+      !s.ok()) {
+    std::fprintf(stderr, "post-recovery write failed: %s\n",
+                 s.ToString().c_str());
+    ++failures;
+  }
+
+  bench::JsonReport report;
+  bench::JsonValue record = bench::JsonValue::Object();
+  record.Set("objects", bench::JsonValue(static_cast<double>(snapshot->size())));
+  record.Set("last_lsn", bench::JsonValue(static_cast<double>(snapshot->lsn())));
+  record.Set("wal_records", bench::JsonValue(static_cast<double>(info.records)));
+  record.Set("wal_valid_bytes",
+             bench::JsonValue(static_cast<double>(info.valid_bytes)));
+  record.Set("torn_tail", bench::JsonValue(info.truncated_tail ? 1.0 : 0.0));
+  record.Set("replayed_records",
+             bench::JsonValue(static_cast<double>(
+                 CounterValue("gprq.storage.wal.replayed_records"))));
+  record.Set("verified", bench::JsonValue(failures == 0 ? 1.0 : 0.0));
+  report.Add("update_churn_recovery", std::move(record));
+  const std::string json_path = JsonPath();
+  if (report.WriteFile(json_path)) {
+    std::printf("recovery report written to %s\n", json_path.c_str());
+  }
+  std::printf(failures == 0 ? "recovery verified: state == committed oracle\n"
+                            : "recovery FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+// ---- default: self-contained churn bench -----------------------------------
+
+int RunBench() {
+  const size_t ops = EnvOps(20000);
+  const uint64_t seed = 42;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gprq_update_churn").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  bench::JsonReport report;
+  std::printf("update churn: %zu ops, d=%zu\n\n", ops, kDim);
+  std::printf("%-22s%14s%14s%14s\n", "phase", "ops", "seconds", "ops/sec");
+
+  storage::StorageOptions options;
+  options.group_commit_ops = 8;
+  auto engine = storage::StorageEngine::Create(dir, kDim, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  ChurnScript script(seed);
+  Stopwatch churn_timer;
+  for (size_t i = 0; i < ops; ++i) {
+    const ChurnScript::Op op = script.Next();
+    const Status status =
+        op.insert ? (*engine)->Insert(op.point, op.id)
+                  : (*engine)->Delete(op.point, op.id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "op %zu failed: %s\n", i,
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = (*engine)->Flush(); !s.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double churn_seconds = churn_timer.ElapsedSeconds();
+  std::printf("%-22s%14zu%14.3f%14.0f\n", "churn (batch=8)", ops,
+              churn_seconds, ops / churn_seconds);
+
+  Stopwatch checkpoint_timer;
+  if (Status s = (*engine)->Checkpoint(); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double checkpoint_seconds = checkpoint_timer.ElapsedSeconds();
+  const size_t objects = (*engine)->PinSnapshot()->size();
+  std::printf("%-22s%14zu%14.3f%14s\n", "checkpoint", objects,
+              checkpoint_seconds, "-");
+
+  // PRQ serving against the mutated tree (exact Phase 3, 2 workers).
+  auto executor = exec::BatchExecutor::CreateDetached(
+      [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+        return std::make_unique<mc::ImhofEvaluator>();
+      },
+      2);
+  if (!executor.ok()) return 1;
+  storage::LivePrqEngine live(engine->get(), executor->get());
+  rng::Random random(seed * 17);
+  const size_t queries = 50;
+  size_t total_results = 0;
+  Stopwatch query_timer;
+  for (size_t q = 0; q < queries; ++q) {
+    la::Vector center(kDim);
+    for (size_t j = 0; j < kDim; ++j) {
+      center[j] = random.NextDouble(0.0, kExtent);
+    }
+    auto g = core::GaussianDistribution::Create(
+        center, workload::PaperCovariance2D(kExtent / 500.0));
+    if (!g.ok()) return 1;
+    const core::PrqQuery query{std::move(*g), kExtent / 100.0, 0.05};
+    auto result = live.Execute(query, core::PrqOptions());
+    if (!result.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", q,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    total_results += result->size();
+  }
+  const double query_seconds = query_timer.ElapsedSeconds();
+  std::printf("%-22s%14zu%14.3f%14.0f\n", "live PRQ", queries, query_seconds,
+              queries / query_seconds);
+
+  // Differential verification closes the bench: the bench is also a test.
+  const auto snapshot = (*engine)->PinSnapshot();
+  if (Status s = snapshot->CheckInvariants(); !s.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Collect(*snapshot) != Oracle(seed, snapshot->lsn())) {
+    std::fprintf(stderr, "DIFFERENTIAL MISMATCH after churn\n");
+    return 1;
+  }
+  std::printf("\nverified: %zu surviving objects match the oracle; "
+              "%zu results over %zu queries\n",
+              objects, total_results, queries);
+
+  bench::JsonValue record = bench::JsonValue::Object();
+  record.Set("ops", bench::JsonValue(static_cast<double>(ops)));
+  record.Set("ops_per_sec", bench::JsonValue(ops / churn_seconds));
+  record.Set("objects", bench::JsonValue(static_cast<double>(objects)));
+  record.Set("checkpoint_seconds", bench::JsonValue(checkpoint_seconds));
+  record.Set("queries_per_sec", bench::JsonValue(queries / query_seconds));
+  record.Set("inserts", bench::JsonValue(static_cast<double>(
+                            CounterValue("gprq.storage.inserts"))));
+  record.Set("deletes", bench::JsonValue(static_cast<double>(
+                            CounterValue("gprq.storage.deletes"))));
+  record.Set("commits", bench::JsonValue(static_cast<double>(
+                            CounterValue("gprq.storage.commits"))));
+  record.Set("verified", bench::JsonValue(1.0));
+  report.Add("update_churn", std::move(record));
+  const std::string json_path = JsonPath();
+  if (report.WriteFile(json_path)) {
+    std::printf("churn telemetry written to %s\n", json_path.c_str());
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main(int argc, char** argv) {
+  std::string dir;
+  uint64_t seed = 42;
+  bool run = false;
+  bool verify = false;
+  size_t ops = gprq::EnvOps(200000);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--ops" && i + 1 < argc) {
+      ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--run") {
+      run = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--dir D (--run [--ops N] | --verify)] "
+                   "[--seed S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if ((run || verify) && dir.empty()) {
+    std::fprintf(stderr, "--run/--verify require --dir\n");
+    return 2;
+  }
+  if (run) return gprq::RunWorkload(dir, seed, ops);
+  if (verify) return gprq::VerifyRecovery(dir, seed);
+  return gprq::RunBench();
+}

@@ -1,8 +1,11 @@
 #include "core/continuous.h"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "core/filter_pipeline.h"
 #include "core/filters.h"
 #include "core/radius_catalog.h"
 
@@ -174,6 +177,138 @@ Result<std::vector<index::ObjectId>> ContinuousPrqMonitor::Update(
   out.phase3_seconds = phase_timer.ElapsedSeconds();
   out.result_size = result.size();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// ContinuousQueryRegistry
+// ---------------------------------------------------------------------------
+
+ContinuousQueryRegistry::ContinuousQueryRegistry(size_t dim,
+                                                 Evaluate evaluate)
+    : dim_(dim), evaluate_(std::move(evaluate)) {}
+
+Result<ContinuousQueryRegistry::QueryId> ContinuousQueryRegistry::Register(
+    const PrqQuery& query, const PrqOptions& options) {
+  GPRQ_RETURN_NOT_OK(ValidatePrq(query, options, dim_));
+
+  Standing standing(query, options);
+  // The standing search box: recomputed here (not borrowed from any one
+  // execution) so registration does not depend on how the evaluator runs.
+  // Catalog rounding only widens boxes, and NotifyCommit only needs a
+  // sound superset, so the exact (catalog-free) geometry is fine.
+  const QueryGeometry geometry =
+      PrepareQueryGeometry(query, options, dim_, nullptr, nullptr);
+  geom::Rect search_box = geom::Rect::Empty(dim_);
+  if (geometry.proved_empty ||
+      !ComputeSearchBox(geometry, query, dim_, &search_box)) {
+    standing.proved_empty = true;
+  } else {
+    standing.search_box = search_box;
+  }
+
+  if (!standing.proved_empty) {
+    Result<PrqResult> initial = evaluate_(query, options);
+    if (!initial.ok()) return initial.status();
+    if (!initial->complete()) return initial->status;
+    standing.ids = std::move(initial->ids);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const QueryId id = next_id_++;
+  queries_.emplace(id, std::move(standing));
+  return id;
+}
+
+void ContinuousQueryRegistry::Unregister(QueryId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queries_.erase(id);
+}
+
+size_t ContinuousQueryRegistry::NotifyCommit(const geom::Rect& dirty_region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t marked = 0;
+  for (auto& [id, standing] : queries_) {
+    if (standing.stale || standing.proved_empty) continue;
+    if (dirty_region.IsEmpty()) continue;
+    if (standing.search_box.Intersects(dirty_region)) {
+      standing.stale = true;
+      ++marked;
+    }
+  }
+  return marked;
+}
+
+Status ContinuousQueryRegistry::RefreshOne(QueryId id) {
+  std::optional<PrqQuery> query;
+  PrqOptions options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("standing query " + std::to_string(id));
+    }
+    query = it->second.query;
+    options = it->second.options;
+  }
+  // Evaluate outside the lock: NotifyCommit from the write path must never
+  // wait on a query evaluation. A commit landing mid-evaluation re-marks
+  // the entry stale — since its flag only clears below when it was still
+  // found, the refresh loop picks it up again.
+  Result<PrqResult> fresh = evaluate_(*query, options);
+  if (!fresh.ok()) return fresh.status();
+  if (!fresh->complete()) return fresh->status;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return Status::OK();  // unregistered meanwhile
+  it->second.ids = std::move(fresh->ids);
+  it->second.stale = false;
+  return Status::OK();
+}
+
+Result<std::vector<ContinuousQueryRegistry::QueryId>>
+ContinuousQueryRegistry::RefreshStale() {
+  std::vector<QueryId> stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, standing] : queries_) {
+      if (standing.stale) stale.push_back(id);
+    }
+  }
+  for (QueryId id : stale) GPRQ_RETURN_NOT_OK(RefreshOne(id));
+  return stale;
+}
+
+Result<std::vector<index::ObjectId>> ContinuousQueryRegistry::Current(
+    QueryId id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("standing query " + std::to_string(id));
+    }
+    if (!it->second.stale) return it->second.ids;
+  }
+  GPRQ_RETURN_NOT_OK(RefreshOne(id));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("standing query " + std::to_string(id));
+  }
+  return it->second.ids;
+}
+
+size_t ContinuousQueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_.size();
+}
+
+size_t ContinuousQueryRegistry::stale_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& [id, standing] : queries_) {
+    if (standing.stale) ++count;
+  }
+  return count;
 }
 
 }  // namespace gprq::core

@@ -252,6 +252,9 @@ std::vector<std::string> KnownSites() {
       "index.page_file.write",
       "net.server.read",
       "net.server.write",
+      "storage.checkpoint.write",
+      "storage.wal.append",
+      "storage.wal.fsync",
   };
 }
 

@@ -1,5 +1,7 @@
 #include "index/page_file.h"
 
+#include <unistd.h>
+
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -127,6 +129,15 @@ Status PageFile::Sync() {
   assert(file_ != nullptr);
   if (std::fflush(file_) != 0) {
     return Status::IoError("flush failed");
+  }
+  return Status::OK();
+}
+
+Status PageFile::Fsync() {
+  GPRQ_RETURN_NOT_OK(Sync());
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

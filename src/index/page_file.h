@@ -52,6 +52,11 @@ class PageFile {
   /// Flushes the underlying file.
   Status Sync();
 
+  /// Flushes and then fsyncs the underlying file — the durability barrier
+  /// the storage engine's checkpoint protocol needs before renaming a
+  /// checkpoint into place (Sync alone only drains stdio buffers).
+  Status Fsync();
+
   /// Cumulative physical page reads/writes (I/O statistics).
   uint64_t physical_reads() const { return physical_reads_; }
   uint64_t physical_writes() const { return physical_writes_; }

@@ -1,0 +1,98 @@
+#ifndef GPRQ_STORAGE_LIVE_ENGINE_H_
+#define GPRQ_STORAGE_LIVE_ENGINE_H_
+
+// PRQ execution over a *mutable* dataset: the three-phase pipeline of the
+// paper run against StorageEngine epochs instead of a frozen index.
+//
+// A query pins the current epoch at admission (one shared_ptr copy) and
+// runs Phase 1 over that snapshot — concurrent writers commit freely and
+// are simply not visible to queries already in flight, which is exactly
+// the isolation level a consistent range query needs (no phantoms, no
+// half-applied batches; tests/storage_snapshot_test.cc proves it under
+// TSan). Phases 1-2 reuse core/filter_pipeline — the same geometry and
+// filter loop as PrqEngine and the sharded engine, so the differential
+// suite can compare the mutable path id-for-id against a freshly
+// bulk-loaded R*-tree. Phase 3 fans out through the caller's
+// exec::BatchExecutor (a detached executor: this engine owns the filter
+// phases, the executor supplies workers, evaluators and per-query sample
+// pools).
+//
+// The semantic result cache composes with updates: EnableResultCache
+// attaches the cache to the storage engine, whose commits invalidate
+// cached answers by dirtied region — a cached answer survives updates that
+// cannot affect it and is dropped the moment one could.
+
+#include <memory>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "common/status.h"
+#include "core/alpha_catalog.h"
+#include "core/prq.h"
+#include "core/radius_catalog.h"
+#include "exec/batch_executor.h"
+#include "obs/trace.h"
+#include "storage/storage_engine.h"
+
+namespace gprq::storage {
+
+class LivePrqEngine {
+ public:
+  /// Both pointers are borrowed and must outlive the engine. The executor
+  /// must be detached (CreateDetached) or otherwise dedicated: this engine
+  /// uses only IntegrateOutcomeBounded.
+  LivePrqEngine(StorageEngine* storage, exec::BatchExecutor* executor);
+
+  /// Creates the semantic result cache and attaches it to the storage
+  /// engine for commit-time region invalidation. A startup knob, not safe
+  /// once queries or writes are in flight.
+  Status EnableResultCache(const cache::ResultCacheOptions& options);
+
+  cache::ResultCache* result_cache() const { return cache_.get(); }
+
+  /// Deadline/cancellation-aware PRQ against the epoch current at
+  /// admission. Result-set semantics identical to PrqEngine::Execute over
+  /// an R*-tree holding the same points (compare as sets).
+  ///
+  /// Thread-compatible like BatchExecutor: one submitting thread at a time
+  /// (writers and snapshot readers are unrestricted).
+  Result<core::PrqResult> ExecuteBounded(const core::PrqQuery& query,
+                                         const core::PrqOptions& options,
+                                         core::PrqStats* stats = nullptr,
+                                         obs::QueryTrace* trace = nullptr);
+
+  /// Complete-answer convenience: ExecuteBounded, surfacing a degraded
+  /// run's stop status as the error.
+  Result<std::vector<index::ObjectId>> Execute(
+      const core::PrqQuery& query, const core::PrqOptions& options,
+      core::PrqStats* stats = nullptr, obs::QueryTrace* trace = nullptr);
+
+ private:
+  const core::RadiusCatalog* radius_catalog() const;
+  const core::AlphaCatalog* alpha_catalog() const;
+
+  /// Phase 3 + cache publication (mirrors BatchExecutor's miss path): fans
+  /// the outcome's survivors out under options.control and, when the cache
+  /// is on and the answer complete, publishes it for future exact and
+  /// containment serves. `pinned_epoch` is the epoch the answer was
+  /// computed against; publication is skipped when a commit superseded it
+  /// mid-query (the answer is correct for its epoch but possibly stale for
+  /// the current one, and commit-time invalidation already ran).
+  Result<core::PrqResult> IntegrateAndPublish(
+      const core::PrqQuery& query, const core::PrqOptions& options,
+      uint64_t config_bits, uint64_t pinned_epoch,
+      core::PrqEngine::FilterOutcome outcome, core::PrqStats* stats,
+      obs::QueryTrace* trace);
+
+  StorageEngine* storage_;
+  exec::BatchExecutor* executor_;
+  std::unique_ptr<cache::ResultCache> cache_;
+  // Lazy per-dimension catalogs (the sharded engine's idiom); touched only
+  // by the submitting thread.
+  mutable std::unique_ptr<core::RadiusCatalog> radius_catalog_;
+  mutable std::unique_ptr<core::AlphaCatalog> alpha_catalog_;
+};
+
+}  // namespace gprq::storage
+
+#endif  // GPRQ_STORAGE_LIVE_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "storage/page_store.h"
+
+namespace gprq::storage {
+
+PageStore::PageStore(size_t page_size) : page_size_(page_size) {}
+
+PageStore::~PageStore() {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    uint8_t* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) break;  // chunks are installed densely
+    delete[] chunk;
+  }
+}
+
+Result<StorePageId> PageStore::Allocate() {
+  const size_t id = count_;
+  const size_t chunk_index = id / kPagesPerChunk;
+  if (chunk_index >= kMaxChunks) {
+    return Status::ResourceExhausted("page store is full (" +
+                                     std::to_string(id) + " pages)");
+  }
+  if (chunk_index >= chunk_count_) {
+    // Fresh chunk: allocate, then install with a release store so a reader
+    // whose snapshot already covers an earlier page of this chunk (only
+    // possible after a publish that follows this call) sees initialised
+    // memory through its acquire load.
+    uint8_t* chunk = new uint8_t[chunk_bytes()]();
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+    chunk_count_ = chunk_index + 1;
+  } else {
+    // Reused slot after RollbackTo: zero the page, matching Allocate's
+    // fresh-page contract.
+    uint8_t* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    std::memset(chunk + (id % kPagesPerChunk) * page_size_, 0, page_size_);
+  }
+  ++count_;
+  return static_cast<StorePageId>(id);
+}
+
+uint8_t* PageStore::MutableData(StorePageId id) {
+  uint8_t* chunk =
+      chunks_[id / kPagesPerChunk].load(std::memory_order_relaxed);
+  return chunk + (id % kPagesPerChunk) * page_size_;
+}
+
+const uint8_t* PageStore::Data(StorePageId id) const {
+  const uint8_t* chunk =
+      chunks_[id / kPagesPerChunk].load(std::memory_order_acquire);
+  return chunk + (id % kPagesPerChunk) * page_size_;
+}
+
+void PageStore::RollbackTo(size_t frontier) {
+  if (frontier <= count_) count_ = frontier;
+}
+
+}  // namespace gprq::storage

@@ -1,0 +1,94 @@
+#ifndef GPRQ_STORAGE_PAGE_STORE_H_
+#define GPRQ_STORAGE_PAGE_STORE_H_
+
+// In-memory page arena for the mutable storage engine: the working copies
+// of the tree's node pages, allocated append-only, mutated only while
+// *private* (not yet reachable from a published epoch) and immutable ever
+// after — the copy-on-write discipline that makes epoch snapshot reads
+// lock-free (see storage_engine.h).
+//
+// Concurrency contract:
+//  * One writer thread allocates (Allocate) and mutates (MutableData of a
+//    private page). Serialised externally by the engine's writer mutex.
+//  * Any number of reader threads call Data(i) concurrently for pages
+//    below their pinned snapshot's frontier. Safety comes from the
+//    publication protocol, not from locks here: the writer finishes every
+//    byte of a page before publishing the snapshot that makes it
+//    reachable, and publication/pinning is a mutex-ordered handoff
+//    (happens-before), so readers only ever observe fully-written,
+//    never-again-mutated bytes.
+//  * Chunk installation uses a release store on an atomic slot; Data's
+//    acquire load pairs with it so a reader racing into a just-grown chunk
+//    table still sees initialised chunk memory. The fixed-size top-level
+//    table means the table itself never reallocates under readers.
+//
+// RollbackTo supports failed commits: pages allocated for a batch whose
+// WAL sync failed are unreachable from any snapshot, so the frontier can
+// be rewound and their slots reused.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/status.h"
+
+namespace gprq::storage {
+
+/// Index of a page within a PageStore (also the node "pointer" stored in
+/// tree pages — 32-bit, like index::PageId).
+using StorePageId = uint32_t;
+
+class PageStore {
+ public:
+  /// Pages per chunk (single allocation) and the fixed number of chunk
+  /// slots. 512 pages × 65536 chunks = 32M pages; at the default 4 KiB
+  /// page that is a 128 GiB addressing ceiling — far beyond what one
+  /// process serves, and small enough that the slot table is 512 KiB.
+  static constexpr size_t kPagesPerChunk = 512;
+  static constexpr size_t kMaxChunks = 1 << 16;
+
+  explicit PageStore(size_t page_size);
+  ~PageStore();
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Pages allocated (the append frontier). Writer-side view; readers use
+  /// their snapshot's recorded frontier instead.
+  size_t page_count() const { return count_; }
+
+  /// Appends a zeroed page and returns its id. Writer only. Fails with
+  /// ResourceExhausted at the addressing ceiling.
+  Result<StorePageId> Allocate();
+
+  /// Mutable bytes of page `id`. Writer only, and only for pages the
+  /// engine knows to be private (allocated after the last publish).
+  uint8_t* MutableData(StorePageId id);
+
+  /// Read-only bytes of page `id`. Safe from any thread for pages covered
+  /// by a pinned snapshot (see the concurrency contract above).
+  const uint8_t* Data(StorePageId id) const;
+
+  /// Rewinds the append frontier to `frontier` pages — only valid when
+  /// every discarded page is unpublished (a failed commit batch). Chunk
+  /// memory is retained for reuse; the zeroing happens on re-Allocate.
+  void RollbackTo(size_t frontier);
+
+  /// Approximate resident bytes (chunk allocations).
+  size_t resident_bytes() const { return chunk_count_ * chunk_bytes(); }
+
+ private:
+  size_t chunk_bytes() const { return kPagesPerChunk * page_size_; }
+
+  const size_t page_size_;
+  size_t count_ = 0;        // writer-side frontier
+  size_t chunk_count_ = 0;  // chunks installed (writer-side)
+  std::atomic<uint8_t*> chunks_[kMaxChunks] = {};
+};
+
+}  // namespace gprq::storage
+
+#endif  // GPRQ_STORAGE_PAGE_STORE_H_

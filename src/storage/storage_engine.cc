@@ -1,0 +1,1027 @@
+#include "storage/storage_engine.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "fault/failpoint.h"
+#include "index/page_file.h"
+#include "index/paged_tree.h"
+#include "obs/metrics.h"
+
+namespace gprq::storage {
+
+namespace {
+
+// Node page layout — identical to index::TreeSnapshot node pages so the two
+// formats stay mutually intelligible:
+//   level u32 (0 = leaf) | count u32 | count × [lo f64×d | hi f64×d | u32]
+// The trailing u32 is a child page id on internal levels and an ObjectId on
+// leaves; leaf entry rects are degenerate (lo == hi == the point).
+constexpr size_t kNodeHeaderBytes = 8;
+
+size_t EntryBytes(size_t dim) { return 16 * dim + sizeof(uint32_t); }
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+struct EntryData {
+  geom::Rect rect;
+  uint32_t payload = 0;  // child page (internal) or ObjectId (leaf)
+};
+
+struct NodeData {
+  uint32_t level = 0;
+  std::vector<EntryData> entries;
+};
+
+NodeData ReadNodePage(const uint8_t* page, size_t dim) {
+  NodeData node;
+  node.level = LoadU32(page);
+  const uint32_t count = LoadU32(page + 4);
+  node.entries.reserve(count);
+  const size_t entry_bytes = EntryBytes(dim);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* e = page + kNodeHeaderBytes + i * entry_bytes;
+    la::Vector lo(dim);
+    la::Vector hi(dim);
+    std::memcpy(lo.data(), e, dim * sizeof(double));
+    std::memcpy(hi.data(), e + dim * sizeof(double), dim * sizeof(double));
+    node.entries.push_back(
+        {geom::Rect(std::move(lo), std::move(hi)),
+         LoadU32(e + 2 * dim * sizeof(double))});
+  }
+  return node;
+}
+
+void WriteNodePage(uint8_t* page, size_t page_size, uint32_t level,
+                   const std::vector<EntryData>& entries, size_t dim) {
+  // Zero the whole page so unused tail bytes are deterministic — checkpoint
+  // files of equal trees are byte-identical.
+  std::memset(page, 0, page_size);
+  StoreU32(page, level);
+  StoreU32(page + 4, static_cast<uint32_t>(entries.size()));
+  const size_t entry_bytes = EntryBytes(dim);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    uint8_t* e = page + kNodeHeaderBytes + i * entry_bytes;
+    std::memcpy(e, entries[i].rect.lo().data(), dim * sizeof(double));
+    std::memcpy(e + dim * sizeof(double), entries[i].rect.hi().data(),
+                dim * sizeof(double));
+    StoreU32(e + 2 * dim * sizeof(double), entries[i].payload);
+  }
+}
+
+geom::Rect MbrOf(const std::vector<EntryData>& entries, size_t dim) {
+  geom::Rect mbr = geom::Rect::Empty(dim);
+  for (const EntryData& e : entries) mbr.ExpandToInclude(e.rect);
+  return mbr;
+}
+
+/// Quadratic-free split: cut the entry set at the median of the axis with
+/// the largest extent. No forced reinsertion — churn-degraded trees are
+/// reorganised by Checkpoint, not online (see storage_engine.h).
+std::vector<EntryData> SplitEntries(std::vector<EntryData>* entries,
+                                    size_t dim) {
+  const geom::Rect mbr = MbrOf(*entries, dim);
+  size_t axis = 0;
+  double best_extent = -1.0;
+  for (size_t a = 0; a < dim; ++a) {
+    const double extent = mbr.hi()[a] - mbr.lo()[a];
+    if (extent > best_extent) {
+      best_extent = extent;
+      axis = a;
+    }
+  }
+  std::stable_sort(entries->begin(), entries->end(),
+                   [axis](const EntryData& a, const EntryData& b) {
+                     return a.rect.lo()[axis] + a.rect.hi()[axis] <
+                            b.rect.lo()[axis] + b.rect.hi()[axis];
+                   });
+  const size_t left_count = (entries->size() + 1) / 2;
+  std::vector<EntryData> right(entries->begin() + left_count, entries->end());
+  entries->resize(left_count);
+  return right;
+}
+
+// Checkpoint file: an index::PageFile whose page 0 is this header and whose
+// remaining pages are node pages (ids compacted during the copy):
+//   magic u64 ("GPRQSTG1") | version u32 | dim u32 | page_size u64 |
+//   root u32 | height u32 | object_count u64 | node_count u64 |
+//   max_entries u32 | reserved u32 | last_lsn u64
+// `last_lsn` is the recovery contract: WAL records with lsn <= last_lsn are
+// already folded into these pages and replay must skip them — that makes a
+// crash between the checkpoint rename and the WAL restart harmless.
+constexpr uint64_t kCheckpointMagic = 0x3147545351525047ULL;  // "GPRQSTG1"
+constexpr uint32_t kCheckpointVersion = 1;
+
+struct CheckpointHeader {
+  uint32_t dim = 0;
+  uint64_t page_size = 0;
+  uint32_t root = 0;
+  uint32_t height = 0;
+  uint64_t object_count = 0;
+  uint64_t node_count = 0;
+  uint32_t max_entries = 0;
+  uint64_t last_lsn = 0;
+};
+
+void EncodeCheckpointHeader(const CheckpointHeader& h, uint8_t* page,
+                            size_t page_size) {
+  std::memset(page, 0, page_size);
+  StoreU64(page + 0, kCheckpointMagic);
+  StoreU32(page + 8, kCheckpointVersion);
+  StoreU32(page + 12, h.dim);
+  StoreU64(page + 16, h.page_size);
+  StoreU32(page + 24, h.root);
+  StoreU32(page + 28, h.height);
+  StoreU64(page + 32, h.object_count);
+  StoreU64(page + 40, h.node_count);
+  StoreU32(page + 48, h.max_entries);
+  StoreU64(page + 56, h.last_lsn);
+}
+
+Status DecodeCheckpointHeader(const uint8_t* page, size_t page_bytes,
+                              CheckpointHeader* h) {
+  if (page_bytes < 64) {
+    return Status::IoError("checkpoint header page is too small");
+  }
+  if (LoadU64(page + 0) != kCheckpointMagic) {
+    return Status::IoError("not a gprq storage checkpoint (bad magic)");
+  }
+  const uint32_t version = LoadU32(page + 8);
+  if (version != kCheckpointVersion) {
+    return Status::IoError("unsupported checkpoint version " +
+                           std::to_string(version));
+  }
+  h->dim = LoadU32(page + 12);
+  h->page_size = LoadU64(page + 16);
+  h->root = LoadU32(page + 24);
+  h->height = LoadU32(page + 28);
+  h->object_count = LoadU64(page + 32);
+  h->node_count = LoadU64(page + 40);
+  h->max_entries = LoadU32(page + 48);
+  h->last_lsn = LoadU64(page + 56);
+  return Status::OK();
+}
+
+struct StorageMetrics {
+  obs::Counter* inserts;
+  obs::Counter* deletes;
+  obs::Counter* commits;
+  obs::Counter* seals;
+  obs::Counter* checkpoints;
+  obs::Counter* replayed_records;
+  obs::Counter* cache_invalidations;
+  obs::Histogram* commit_nanos;
+  obs::Histogram* checkpoint_nanos;
+  obs::Gauge* epoch;
+  obs::Gauge* objects;
+  obs::Gauge* pages;
+  obs::Gauge* resident_bytes;
+};
+
+StorageMetrics& Metrics() {
+  static StorageMetrics m = [] {
+    obs::MetricRegistry& r = obs::MetricRegistry::Global();
+    StorageMetrics out;
+    out.inserts = r.GetCounter("gprq.storage.inserts");
+    out.deletes = r.GetCounter("gprq.storage.deletes");
+    out.commits = r.GetCounter("gprq.storage.commits");
+    out.seals = r.GetCounter("gprq.storage.seals");
+    out.checkpoints = r.GetCounter("gprq.storage.checkpoints");
+    out.replayed_records = r.GetCounter("gprq.storage.wal.replayed_records");
+    out.cache_invalidations =
+        r.GetCounter("gprq.storage.cache_invalidations");
+    out.commit_nanos = r.GetHistogram("gprq.storage.commit_nanos");
+    out.checkpoint_nanos = r.GetHistogram("gprq.storage.checkpoint_nanos");
+    out.epoch = r.GetGauge("gprq.storage.epoch");
+    out.objects = r.GetGauge("gprq.storage.objects");
+    out.pages = r.GetGauge("gprq.storage.pages");
+    out.resident_bytes = r.GetGauge("gprq.storage.resident_bytes");
+    return out;
+  }();
+  return m;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status SealError() {
+  return Status::IoError(
+      "storage engine is sealed after a write failure; reopen the "
+      "directory to recover to the last committed state");
+}
+
+void FsyncDirectory(const std::string& dir) {
+  // Persist the rename itself. Best effort: some filesystems refuse
+  // directory fsync, and the rename is still atomic without it.
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StorageSnapshot
+// ---------------------------------------------------------------------------
+
+void StorageSnapshot::RangeQuery(
+    const geom::Rect& box,
+    const std::function<void(const la::Vector&, index::ObjectId)>& visit)
+    const {
+  std::vector<StorePageId> stack = {root_};
+  while (!stack.empty()) {
+    const StorePageId id = stack.back();
+    stack.pop_back();
+    const NodeData node = ReadNodePage(store_->Data(id), dim_);
+    for (const EntryData& e : node.entries) {
+      if (node.level == 0) {
+        if (box.Contains(e.rect.lo())) visit(e.rect.lo(), e.payload);
+      } else if (box.Intersects(e.rect)) {
+        stack.push_back(e.payload);
+      }
+    }
+  }
+}
+
+void StorageSnapshot::ScanAll(
+    const std::function<void(const la::Vector&, index::ObjectId)>& visit)
+    const {
+  std::vector<StorePageId> stack = {root_};
+  while (!stack.empty()) {
+    const StorePageId id = stack.back();
+    stack.pop_back();
+    const NodeData node = ReadNodePage(store_->Data(id), dim_);
+    for (const EntryData& e : node.entries) {
+      if (node.level == 0) {
+        visit(e.rect.lo(), e.payload);
+      } else {
+        stack.push_back(e.payload);
+      }
+    }
+  }
+}
+
+geom::Rect StorageSnapshot::Bounds() const {
+  return MbrOf(ReadNodePage(store_->Data(root_), dim_).entries, dim_);
+}
+
+Status StorageSnapshot::CheckInvariants() const {
+  size_t leaf_entries = 0;
+  // (page, expected level, MBR promised by the parent entry; root has none.)
+  struct Frame {
+    StorePageId page;
+    uint32_t level;
+    std::optional<geom::Rect> promised;
+  };
+  std::vector<Frame> stack = {
+      {root_, static_cast<uint32_t>(height_ - 1), std::nullopt}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const NodeData node = ReadNodePage(store_->Data(f.page), dim_);
+    if (node.level != f.level) {
+      return Status::Internal("node level " + std::to_string(node.level) +
+                              " where " + std::to_string(f.level) +
+                              " expected (page " + std::to_string(f.page) +
+                              ")");
+    }
+    if (node.entries.size() > max_entries_) {
+      return Status::Internal("node overflow: " +
+                              std::to_string(node.entries.size()) +
+                              " entries (page " + std::to_string(f.page) +
+                              ")");
+    }
+    if (node.entries.empty() && f.promised.has_value()) {
+      return Status::Internal("empty non-root node (page " +
+                              std::to_string(f.page) + ")");
+    }
+    const geom::Rect mbr = MbrOf(node.entries, dim_);
+    if (f.promised.has_value() && !node.entries.empty() &&
+        !f.promised->Contains(mbr)) {
+      return Status::Internal("parent MBR does not cover child (page " +
+                              std::to_string(f.page) + ")");
+    }
+    for (const EntryData& e : node.entries) {
+      if (node.level == 0) {
+        if (!(e.rect.lo() == e.rect.hi())) {
+          return Status::Internal("leaf entry rect is not a point (page " +
+                                  std::to_string(f.page) + ")");
+        }
+        ++leaf_entries;
+      } else {
+        stack.push_back({e.payload, node.level - 1, e.rect});
+      }
+    }
+  }
+  if (leaf_entries != size_) {
+    return Status::Internal("leaf entry count " +
+                            std::to_string(leaf_entries) +
+                            " != recorded object count " +
+                            std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine — lifecycle
+// ---------------------------------------------------------------------------
+
+StorageEngine::StorageEngine(std::string dir, size_t dim,
+                             StorageOptions options)
+    : dir_(std::move(dir)),
+      dim_(dim),
+      options_(options),
+      store_(options.page_size),
+      batch_dirty_(geom::Rect::Empty(dim)) {}
+
+StorageEngine::~StorageEngine() {
+  // Best-effort group-commit drain: operations the caller already saw
+  // acknowledged as "applied" get their fsync on clean shutdown. A crash
+  // instead loses exactly the unsynced tail — the documented contract.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (!sealed_ && !batch_ops_.empty()) (void)CommitBatchLocked();
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Create(
+    const std::string& dir, size_t dim, const StorageOptions& options) {
+  if (dim == 0) {
+    return Status::InvalidArgument("storage dimension must be > 0");
+  }
+  size_t max_entries = options.max_entries != 0
+                           ? options.max_entries
+                           : index::TreeSnapshot::MaxEntriesPerPage(
+                                 options.page_size, dim);
+  if (max_entries < 4) {
+    return Status::InvalidArgument(
+        "node capacity must be >= 4 (page too small for dimension " +
+        std::to_string(dim) + ")");
+  }
+  if (kNodeHeaderBytes + max_entries * EntryBytes(dim) > options.page_size) {
+    return Status::InvalidArgument("max_entries does not fit the page size");
+  }
+
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(dir, dim, options));
+  engine->max_entries_ = max_entries;
+  Result<StorePageId> root = engine->store_.Allocate();
+  if (!root.ok()) return root.status();
+  engine->root_ = *root;  // a zeroed page is an empty leaf (level 0, count 0)
+  engine->private_pages_.insert(*root);
+  GPRQ_RETURN_NOT_OK(engine->WriteCheckpointLocked());
+
+  engine->committed_ = {engine->root_, engine->height_, engine->size_,
+                        /*epoch=*/1, /*lsn=*/0};
+  engine->committed_frontier_ = engine->store_.page_count();
+  engine->private_pages_.clear();
+  auto snapshot = std::shared_ptr<const StorageSnapshot>(new StorageSnapshot(
+      &engine->store_, engine->root_, engine->height_, engine->size_, dim,
+      max_entries, /*epoch=*/1, /*lsn=*/0));
+  {
+    std::lock_guard<std::mutex> lock(engine->snap_mutex_);
+    engine->current_ = std::move(snapshot);
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& dir, const StorageOptions& options,
+    WalReplayInfo* replayed) {
+  return OpenImpl(dir, options, replayed);
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::OpenImpl(
+    const std::string& dir, const StorageOptions& options,
+    WalReplayInfo* replayed) {
+  const std::string checkpoint_path = dir + "/" + kCheckpointFile;
+  Result<index::PageFile> opened =
+      index::PageFile::Open(checkpoint_path, options.page_size);
+  if (!opened.ok()) return opened.status();
+  index::PageFile file = std::move(*opened);
+
+  std::vector<uint8_t> buffer;
+  GPRQ_RETURN_NOT_OK(file.ReadPage(0, &buffer));
+  CheckpointHeader header;
+  GPRQ_RETURN_NOT_OK(
+      DecodeCheckpointHeader(buffer.data(), buffer.size(), &header));
+  if (header.page_size != options.page_size) {
+    return Status::InvalidArgument(
+        "checkpoint page size " + std::to_string(header.page_size) +
+        " does not match the requested " +
+        std::to_string(options.page_size));
+  }
+  if (options.max_entries != 0 && options.max_entries != header.max_entries) {
+    return Status::InvalidArgument(
+        "checkpoint node capacity " + std::to_string(header.max_entries) +
+        " does not match the requested " +
+        std::to_string(options.max_entries));
+  }
+  if (header.dim == 0 || header.height == 0 || header.node_count == 0 ||
+      header.root == 0 || header.root > header.node_count ||
+      header.node_count + 1 > file.page_count()) {
+    return Status::IoError("checkpoint header is inconsistent");
+  }
+
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(dir, header.dim, options));
+  engine->max_entries_ = header.max_entries;
+
+  // Load the checkpoint pages at their file ids (store page 0 doubles as
+  // the header slot the file reserves, so child pointers load unchanged).
+  for (uint64_t i = 0; i <= header.node_count; ++i) {
+    Result<StorePageId> page = engine->store_.Allocate();
+    if (!page.ok()) return page.status();
+    if (i == 0) continue;
+    GPRQ_RETURN_NOT_OK(file.ReadPage(static_cast<index::PageId>(i), &buffer));
+    std::memcpy(engine->store_.MutableData(*page), buffer.data(),
+                options.page_size);
+  }
+  engine->root_ = header.root;
+  engine->height_ = header.height;
+  engine->size_ = header.object_count;
+  engine->next_lsn_ = header.last_lsn + 1;
+
+  // Replay the WAL's committed prefix onto the checkpoint. Records the
+  // checkpoint already covers (lsn <= last_lsn: a crash landed between the
+  // checkpoint rename and the WAL restart) are skipped — inserts are not
+  // idempotent, the LSN filter is what makes recovery exactly-once.
+  const std::string wal_path = dir + "/" + kWalFile;
+  engine->replaying_ = true;
+  uint64_t applied = 0;
+  struct stat wal_stat;
+  const bool wal_usable =
+      ::stat(wal_path.c_str(), &wal_stat) == 0 &&
+      static_cast<size_t>(wal_stat.st_size) >= Wal::HeaderBytes();
+  WalReplayInfo info;
+  if (wal_usable) {
+    Result<Wal> wal = Wal::Open(
+        wal_path, header.dim,
+        [&](const WalRecord& record) -> Status {
+          if (record.lsn <= header.last_lsn) return Status::OK();
+          Status status =
+              record.type == WalRecordType::kInsert
+                  ? engine->InsertLocked(record.point, record.id, false)
+                  : engine->DeleteLocked(record.point, record.id, false);
+          if (!status.ok()) {
+            return Status::IoError(
+                "wal record " + std::to_string(record.lsn) +
+                " does not replay onto the checkpoint (" +
+                status.ToString() + ")");
+          }
+          engine->next_lsn_ = record.lsn + 1;
+          ++applied;
+          return Status::OK();
+        },
+        &info);
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::make_unique<Wal>(std::move(*wal));
+  } else {
+    // Missing, or shorter than its own header: a crash during WAL
+    // restart, after the checkpoint made every committed record
+    // redundant. Start a fresh log.
+    Result<Wal> wal = Wal::Create(wal_path, header.dim);
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::make_unique<Wal>(std::move(*wal));
+  }
+  engine->replaying_ = false;
+  engine->private_pages_.clear();
+  Metrics().replayed_records->Add(applied);
+
+  const uint64_t last_lsn = engine->next_lsn_ - 1;
+  engine->committed_ = {engine->root_, engine->height_, engine->size_,
+                        /*epoch=*/1, last_lsn};
+  engine->committed_frontier_ = engine->store_.page_count();
+  auto snapshot = std::shared_ptr<const StorageSnapshot>(new StorageSnapshot(
+      &engine->store_, engine->root_, engine->height_, engine->size_,
+      engine->dim_, engine->max_entries_, /*epoch=*/1, last_lsn));
+  {
+    std::lock_guard<std::mutex> lock(engine->snap_mutex_);
+    engine->current_ = std::move(snapshot);
+  }
+  Metrics().epoch->Set(1.0);
+  Metrics().objects->Set(static_cast<double>(engine->size_));
+  Metrics().pages->Set(static_cast<double>(engine->store_.page_count()));
+  Metrics().resident_bytes->Set(
+      static_cast<double>(engine->store_.resident_bytes()));
+  if (replayed != nullptr) *replayed = info;
+  return engine;
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine — write path
+// ---------------------------------------------------------------------------
+
+Status StorageEngine::Insert(const la::Vector& point, index::ObjectId id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return InsertLocked(point, id, /*log=*/true);
+}
+
+Status StorageEngine::Delete(const la::Vector& point, index::ObjectId id) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return DeleteLocked(point, id, /*log=*/true);
+}
+
+Status StorageEngine::Flush() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Sealed wins over "nothing pending": Flush is the caller's durability
+  // barrier, and a sealed engine cannot honour it.
+  if (sealed_) return SealError();
+  if (batch_ops_.empty()) return Status::OK();
+  return CommitBatchLocked();
+}
+
+Status StorageEngine::InsertLocked(const la::Vector& point,
+                                   index::ObjectId id, bool log) {
+  if (sealed_) return SealError();
+  if (point.dim() != dim_) {
+    return Status::InvalidArgument("point dimension " +
+                                   std::to_string(point.dim()) +
+                                   " does not match the tree's " +
+                                   std::to_string(dim_));
+  }
+  WalRecord record{WalRecordType::kInsert, next_lsn_, id, point};
+  if (log) {
+    Status appended = wal_->Append(record);
+    if (!appended.ok()) {
+      RollbackBatchLocked(appended);
+      return appended;
+    }
+  }
+  Status applied = ApplyInsert(point, id);
+  if (!applied.ok()) {
+    if (log) RollbackBatchLocked(applied);
+    return applied;
+  }
+  ++next_lsn_;
+  if (!log) return Status::OK();
+  batch_ops_.push_back(std::move(record));
+  batch_dirty_.ExpandToInclude(point);
+  Metrics().inserts->Add();
+  return MaybeCommitLocked();
+}
+
+Status StorageEngine::DeleteLocked(const la::Vector& point,
+                                   index::ObjectId id, bool log) {
+  if (sealed_) return SealError();
+  if (point.dim() != dim_) {
+    return Status::InvalidArgument("point dimension " +
+                                   std::to_string(point.dim()) +
+                                   " does not match the tree's " +
+                                   std::to_string(dim_));
+  }
+  // ApplyDelete verifies existence before mutating anything, so NotFound is
+  // a clean no-op: nothing logged, nothing sealed.
+  Status applied = ApplyDelete(point, id);
+  if (!applied.ok()) {
+    if (applied.code() == StatusCode::kNotFound) return applied;
+    if (log) RollbackBatchLocked(applied);
+    return applied;
+  }
+  WalRecord record{WalRecordType::kDelete, next_lsn_, id, point};
+  if (log) {
+    Status appended = wal_->Append(record);
+    if (!appended.ok()) {
+      RollbackBatchLocked(appended);
+      return appended;
+    }
+  }
+  ++next_lsn_;
+  if (!log) return Status::OK();
+  batch_ops_.push_back(std::move(record));
+  batch_dirty_.ExpandToInclude(point);
+  Metrics().deletes->Add();
+  return MaybeCommitLocked();
+}
+
+Status StorageEngine::MaybeCommitLocked() {
+  if (batch_ops_.size() < std::max<size_t>(1, options_.group_commit_ops)) {
+    return Status::OK();
+  }
+  return CommitBatchLocked();
+}
+
+Status StorageEngine::CommitBatchLocked() {
+  if (batch_ops_.empty()) return Status::OK();
+  const uint64_t start = NowNanos();
+
+  // The commit point: once the fsync returns, the batch is durable.
+  Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    RollbackBatchLocked(synced);
+    return synced;
+  }
+
+  // Publish the new epoch. Everything the snapshot references was written
+  // before this mutex-ordered handoff, which is the happens-before edge
+  // readers rely on (see PageStore's concurrency contract).
+  CommitInfo info;
+  info.epoch = committed_.epoch + 1;
+  info.last_lsn = batch_ops_.back().lsn;
+  info.dirty_region = batch_dirty_;
+  info.ops = std::move(batch_ops_);
+  auto snapshot = std::shared_ptr<const StorageSnapshot>(
+      new StorageSnapshot(&store_, root_, height_, size_, dim_, max_entries_,
+                          info.epoch, info.last_lsn));
+  {
+    std::lock_guard<std::mutex> lock(snap_mutex_);
+    current_ = std::move(snapshot);
+  }
+  committed_ = {root_, height_, size_, info.epoch, info.last_lsn};
+  committed_frontier_ = store_.page_count();
+  private_pages_.clear();
+  batch_ops_.clear();
+  batch_dirty_ = geom::Rect::Empty(dim_);
+
+  StorageMetrics& m = Metrics();
+  m.commits->Add();
+  m.commit_nanos->Record(NowNanos() - start);
+  m.epoch->Set(static_cast<double>(info.epoch));
+  m.objects->Set(static_cast<double>(size_));
+  m.pages->Set(static_cast<double>(store_.page_count()));
+  m.resident_bytes->Set(static_cast<double>(store_.resident_bytes()));
+
+  // Downstream hooks, after publication so they observe the new epoch.
+  // Invoked on the committing thread with the writer lock held: listeners
+  // may pin snapshots and run queries, but must not re-enter the write
+  // path.
+  if (cache_ != nullptr && !info.dirty_region.IsEmpty()) {
+    cache_->Invalidate(info.dirty_region);
+    m.cache_invalidations->Add();
+  }
+  for (const CommitListener& listener : listeners_) listener(info);
+  return Status::OK();
+}
+
+void StorageEngine::RollbackBatchLocked(const Status& cause) {
+  (void)cause;
+  // Copy-on-write makes this a pointer rewind: nothing the batch wrote is
+  // reachable from the committed epoch, so dropping the private pages and
+  // restoring the committed root erases the batch exactly.
+  store_.RollbackTo(committed_frontier_);
+  root_ = committed_.root;
+  height_ = committed_.height;
+  size_ = committed_.size;
+  next_lsn_ = committed_.lsn + 1;
+  private_pages_.clear();
+  batch_ops_.clear();
+  batch_dirty_ = geom::Rect::Empty(dim_);
+  wal_->DropBuffered();
+  sealed_ = true;
+  Metrics().seals->Add();
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine — tree mutation (copy-on-write)
+// ---------------------------------------------------------------------------
+
+Result<StorePageId> StorageEngine::EnsurePrivate(StorePageId page) {
+  // During WAL replay no snapshot exists yet, so every page is mutable in
+  // place and recovery costs no copies.
+  if (replaying_ || private_pages_.count(page) != 0) return page;
+  Result<StorePageId> copy = store_.Allocate();
+  if (!copy.ok()) return copy.status();
+  std::memcpy(store_.MutableData(*copy), store_.Data(page),
+              options_.page_size);
+  private_pages_.insert(*copy);
+  return *copy;
+}
+
+Status StorageEngine::ApplyInsert(const la::Vector& point,
+                                  index::ObjectId id) {
+  // Descend to a leaf, choosing the child whose MBR needs the least
+  // enlargement (ties: least volume) — the classic R-tree ChooseSubtree.
+  std::vector<StorePageId> path;
+  std::vector<size_t> child_slot;
+  const geom::Rect point_rect(point);
+  StorePageId cursor = root_;
+  for (size_t depth = height_; depth > 1; --depth) {
+    const NodeData node = ReadNodePage(store_.Data(cursor), dim_);
+    size_t best = 0;
+    double best_enlargement = 0.0;
+    double best_volume = 0.0;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double enlargement = node.entries[i].rect.Enlargement(point_rect);
+      const double volume = node.entries[i].rect.Volume();
+      if (i == 0 || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    path.push_back(cursor);
+    child_slot.push_back(best);
+    cursor = node.entries[best].payload;
+  }
+  path.push_back(cursor);
+
+  // Privatize the path root-to-leaf, rewiring each parent's child pointer
+  // to the private copy. Pages off the path are shared with the committed
+  // epoch and never touched.
+  for (size_t i = 0; i < path.size(); ++i) {
+    Result<StorePageId> page = EnsurePrivate(path[i]);
+    if (!page.ok()) return page.status();
+    if (*page != path[i]) {
+      if (i == 0) {
+        root_ = *page;
+      } else {
+        uint8_t* parent = store_.MutableData(path[i - 1]);
+        StoreU32(parent + kNodeHeaderBytes +
+                     child_slot[i - 1] * EntryBytes(dim_) +
+                     2 * dim_ * sizeof(double),
+                 *page);
+      }
+      path[i] = *page;
+    }
+  }
+
+  // Insert at the leaf and resolve overflows bottom-up. `carry` is the
+  // entry the current level must absorb: the new point at the leaf, then a
+  // split-off right sibling at each ancestor.
+  std::optional<EntryData> carry =
+      EntryData{point_rect, static_cast<uint32_t>(id)};
+  geom::Rect child_mbr = geom::Rect::Empty(dim_);
+  for (size_t step = path.size(); step-- > 0;) {
+    NodeData node = ReadNodePage(store_.Data(path[step]), dim_);
+    if (step + 1 < path.size()) node.entries[child_slot[step]].rect = child_mbr;
+    if (carry.has_value()) {
+      node.entries.push_back(*carry);
+      carry.reset();
+    }
+    if (node.entries.size() > max_entries_) {
+      std::vector<EntryData> right = SplitEntries(&node.entries, dim_);
+      Result<StorePageId> right_page = store_.Allocate();
+      if (!right_page.ok()) return right_page.status();
+      private_pages_.insert(*right_page);
+      WriteNodePage(store_.MutableData(*right_page), options_.page_size,
+                    node.level, right, dim_);
+      carry = EntryData{MbrOf(right, dim_), *right_page};
+    }
+    WriteNodePage(store_.MutableData(path[step]), options_.page_size,
+                  node.level, node.entries, dim_);
+    child_mbr = MbrOf(node.entries, dim_);
+  }
+  if (carry.has_value()) {
+    // The root split: grow the tree by one level.
+    Result<StorePageId> new_root = store_.Allocate();
+    if (!new_root.ok()) return new_root.status();
+    private_pages_.insert(*new_root);
+    std::vector<EntryData> entries = {{child_mbr, root_}, *carry};
+    WriteNodePage(store_.MutableData(*new_root), options_.page_size,
+                  static_cast<uint32_t>(height_), entries, dim_);
+    root_ = *new_root;
+    ++height_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status StorageEngine::ApplyDelete(const la::Vector& point,
+                                  index::ObjectId id) {
+  // Locate the exact (point, id) leaf entry. Read-only: NotFound leaves the
+  // tree untouched. Iterative DFS with an explicit parent-path per probe.
+  std::vector<StorePageId> path;
+  std::vector<size_t> child_slot;
+  {
+    struct Frame {
+      StorePageId page;
+      size_t next_entry = 0;
+    };
+    std::vector<Frame> stack = {{root_}};
+    bool found = false;
+    while (!stack.empty() && !found) {
+      Frame& top = stack.back();
+      const NodeData node = ReadNodePage(store_.Data(top.page), dim_);
+      if (node.level == 0) {
+        for (size_t i = 0; i < node.entries.size(); ++i) {
+          if (node.entries[i].payload == id &&
+              node.entries[i].rect.lo() == point) {
+            for (size_t f = 0; f + 1 < stack.size(); ++f) {
+              path.push_back(stack[f].page);
+              child_slot.push_back(stack[f].next_entry - 1);
+            }
+            path.push_back(top.page);
+            child_slot.push_back(i);
+            found = true;
+            break;
+          }
+        }
+        if (!found) stack.pop_back();
+        continue;
+      }
+      bool descended = false;
+      while (top.next_entry < node.entries.size()) {
+        const EntryData& e = node.entries[top.next_entry++];
+        if (e.rect.Contains(point)) {
+          stack.push_back({e.payload});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) stack.pop_back();
+    }
+    if (!found) {
+      return Status::NotFound("no entry (point, id=" + std::to_string(id) +
+                              ") in the tree");
+    }
+  }
+
+  // Privatize the path (as in ApplyInsert), then remove bottom-up. A node
+  // emptied by the removal is unlinked from its parent; no underfull
+  // re-balancing (see the class comment).
+  for (size_t i = 0; i < path.size(); ++i) {
+    Result<StorePageId> page = EnsurePrivate(path[i]);
+    if (!page.ok()) return page.status();
+    if (*page != path[i]) {
+      if (i == 0) {
+        root_ = *page;
+      } else {
+        uint8_t* parent = store_.MutableData(path[i - 1]);
+        StoreU32(parent + kNodeHeaderBytes +
+                     child_slot[i - 1] * EntryBytes(dim_) +
+                     2 * dim_ * sizeof(double),
+                 *page);
+      }
+      path[i] = *page;
+    }
+  }
+
+  bool remove_child = true;  // at the leaf: remove the point entry itself
+  geom::Rect child_mbr = geom::Rect::Empty(dim_);
+  for (size_t step = path.size(); step-- > 0;) {
+    NodeData node = ReadNodePage(store_.Data(path[step]), dim_);
+    if (remove_child) {
+      node.entries.erase(node.entries.begin() +
+                         static_cast<ptrdiff_t>(child_slot[step]));
+    } else {
+      node.entries[child_slot[step]].rect = child_mbr;
+    }
+    remove_child = node.entries.empty() && step > 0;
+    WriteNodePage(store_.MutableData(path[step]), options_.page_size,
+                  node.level, node.entries, dim_);
+    child_mbr = MbrOf(node.entries, dim_);
+  }
+  // Collapse a single-child root chain so the height matches the data.
+  while (height_ > 1) {
+    const NodeData root = ReadNodePage(store_.Data(root_), dim_);
+    if (root.entries.size() != 1) break;
+    root_ = root.entries[0].payload;
+    --height_;
+  }
+  --size_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine — checkpoint
+// ---------------------------------------------------------------------------
+
+Status StorageEngine::Checkpoint() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (sealed_) return SealError();
+  GPRQ_RETURN_NOT_OK(CommitBatchLocked());
+  const uint64_t start = NowNanos();
+  GPRQ_RETURN_NOT_OK(WriteCheckpointLocked());
+  StorageMetrics& m = Metrics();
+  m.checkpoints->Add();
+  m.checkpoint_nanos->Record(NowNanos() - start);
+  return Status::OK();
+}
+
+Status StorageEngine::WriteCheckpointLocked() {
+  const std::string tmp_path = dir_ + "/" + kCheckpointFile + ".tmp";
+  const std::string final_path = dir_ + "/" + kCheckpointFile;
+  Result<index::PageFile> created =
+      index::PageFile::Create(tmp_path, options_.page_size);
+  if (!created.ok()) return created.status();
+  index::PageFile file = std::move(*created);
+  Result<index::PageId> header_page = file.Allocate();
+  if (!header_page.ok()) return header_page.status();
+
+  // Copy the live tree post-order, compacting page ids (garbage pages from
+  // copy-on-write and unlinked nodes are left behind).
+  std::function<Result<uint32_t>(StorePageId)> copy =
+      [&](StorePageId page) -> Result<uint32_t> {
+    std::vector<uint8_t> bytes(options_.page_size);
+    std::memcpy(bytes.data(), store_.Data(page), options_.page_size);
+    const uint32_t level = LoadU32(bytes.data());
+    const uint32_t count = LoadU32(bytes.data() + 4);
+    if (level > 0) {
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t* slot = bytes.data() + kNodeHeaderBytes +
+                        i * EntryBytes(dim_) + 2 * dim_ * sizeof(double);
+        Result<uint32_t> child = copy(LoadU32(slot));
+        if (!child.ok()) return child.status();
+        StoreU32(slot, *child);
+      }
+    }
+    GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("storage.checkpoint.write"));
+    Result<index::PageId> out = file.Allocate();
+    if (!out.ok()) return out.status();
+    GPRQ_RETURN_NOT_OK(file.WritePage(*out, bytes));
+    return static_cast<uint32_t>(*out);
+  };
+  Result<uint32_t> new_root = copy(root_);
+  if (!new_root.ok()) {
+    ::remove(tmp_path.c_str());
+    return new_root.status();
+  }
+
+  CheckpointHeader header;
+  header.dim = static_cast<uint32_t>(dim_);
+  header.page_size = options_.page_size;
+  header.root = *new_root;
+  header.height = static_cast<uint32_t>(height_);
+  header.object_count = size_;
+  header.node_count = file.page_count() - 1;
+  header.max_entries = static_cast<uint32_t>(max_entries_);
+  header.last_lsn = next_lsn_ - 1;
+  std::vector<uint8_t> header_bytes(options_.page_size);
+  EncodeCheckpointHeader(header, header_bytes.data(), options_.page_size);
+  Status wrote = file.WritePage(*header_page, header_bytes);
+  if (wrote.ok()) wrote = file.Fsync();
+  if (!wrote.ok()) {
+    ::remove(tmp_path.c_str());
+    return wrote;
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status renamed = Status::IoError("cannot rename '" + tmp_path + "': " +
+                                     std::strerror(errno));
+    ::remove(tmp_path.c_str());
+    return renamed;
+  }
+  FsyncDirectory(dir_);
+
+  // Restart the WAL: every record it held is now folded into the durable
+  // checkpoint (the header's last_lsn makes a crash anywhere in this window
+  // recoverable — stale records replay as no-ops).
+  Result<Wal> wal = Wal::Create(dir_ + "/" + kWalFile, dim_);
+  if (!wal.ok()) {
+    // The checkpoint is durable but the log is in an unknown state; seal
+    // rather than risk acknowledging unlogged writes. Reopen recovers.
+    sealed_ = true;
+    Metrics().seals->Add();
+    return wal.status();
+  }
+  wal_ = std::make_unique<Wal>(std::move(*wal));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine — read path and hooks
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const StorageSnapshot> StorageEngine::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mutex_);
+  return current_;
+}
+
+void StorageEngine::AttachResultCache(cache::ResultCache* cache) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  cache_ = cache;
+}
+
+void StorageEngine::AddCommitListener(CommitListener listener) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+bool StorageEngine::sealed() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return sealed_;
+}
+
+size_t StorageEngine::pending_ops() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return batch_ops_.size();
+}
+
+}  // namespace gprq::storage

@@ -1,0 +1,295 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/failpoint.h"
+
+namespace gprq::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x3157414C51525047ULL;  // "GPRQWAL1"
+constexpr uint32_t kVersion = 1;
+
+constexpr size_t kFileHeaderBytes = 16;  // magic u64 + version u32 + dim u32
+constexpr size_t kFrameHeaderBytes = 17; // crc u32 + len u32 + lsn u64 + type u8
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+template <typename T>
+void Put(std::vector<uint8_t>& buffer, T value) {
+  const size_t offset = buffer.size();
+  buffer.resize(offset + sizeof(T));
+  std::memcpy(buffer.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* data, size_t* offset) {
+  T value;
+  std::memcpy(&value, data + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+/// Reads the whole file into memory. WAL files are bounded by the
+/// checkpoint cadence, so a full read keeps the scan logic trivial.
+Status ReadAll(int fd, const std::string& path, std::vector<uint8_t>* out) {
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) return ErrnoStatus("cannot seek", path);
+  out->resize(static_cast<size_t>(end));
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t n = ::pread(fd, out->data() + done, out->size() - done,
+                              static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("cannot read", path);
+    }
+    if (n == 0) return Status::IoError("short read on '" + path + "'");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteAllAt(int fd, const std::string& path, const uint8_t* data,
+                  size_t size, uint64_t offset) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, data + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("cannot write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  // Table-less bitwise CRC-32: the WAL frames are small and the table
+  // would be the only global state in this file.
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+size_t Wal::HeaderBytes() { return kFileHeaderBytes; }
+
+size_t Wal::RecordBytes(size_t dim) {
+  return kFrameHeaderBytes + sizeof(uint32_t) + dim * sizeof(double);
+}
+
+Result<Wal> Wal::Create(const std::string& path, size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("wal dimension must be > 0");
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create", path);
+
+  std::vector<uint8_t> header;
+  Put(header, kMagic);
+  Put(header, kVersion);
+  Put(header, static_cast<uint32_t>(dim));
+  Status written = WriteAllAt(fd, path, header.data(), header.size(), 0);
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = ErrnoStatus("cannot fsync", path);
+  }
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  return Wal(fd, path, dim, kFileHeaderBytes, 0);
+}
+
+Result<Wal> Wal::Open(const std::string& path, size_t dim,
+                      const std::function<Status(const WalRecord&)>& visit,
+                      WalReplayInfo* replayed) {
+  if (dim == 0) return Status::InvalidArgument("wal dimension must be > 0");
+  const int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open", path);
+
+  std::vector<uint8_t> bytes;
+  Status read = ReadAll(fd, path, &bytes);
+  if (!read.ok()) {
+    ::close(fd);
+    return read;
+  }
+  if (bytes.size() < kFileHeaderBytes) {
+    ::close(fd);
+    return Status::IoError("wal '" + path + "' is shorter than its header");
+  }
+  size_t offset = 0;
+  const uint64_t magic = Get<uint64_t>(bytes.data(), &offset);
+  const uint32_t version = Get<uint32_t>(bytes.data(), &offset);
+  const uint32_t file_dim = Get<uint32_t>(bytes.data(), &offset);
+  if (magic != kMagic) {
+    ::close(fd);
+    return Status::IoError("'" + path + "' is not a gprq wal (bad magic)");
+  }
+  if (version != kVersion) {
+    ::close(fd);
+    return Status::IoError("unsupported wal version " +
+                           std::to_string(version));
+  }
+  if (file_dim != dim) {
+    ::close(fd);
+    return Status::IoError("wal dimension " + std::to_string(file_dim) +
+                           " does not match the tree's " +
+                           std::to_string(dim));
+  }
+
+  // Scan the committed prefix: stop at the first torn or corrupt frame.
+  WalReplayInfo info;
+  info.valid_bytes = kFileHeaderBytes;
+  const size_t payload_bytes = sizeof(uint32_t) + dim * sizeof(double);
+  while (offset + kFrameHeaderBytes <= bytes.size()) {
+    size_t cursor = offset;
+    const uint32_t crc = Get<uint32_t>(bytes.data(), &cursor);
+    const uint32_t len = Get<uint32_t>(bytes.data(), &cursor);
+    const uint64_t lsn = Get<uint64_t>(bytes.data(), &cursor);
+    const uint8_t type = Get<uint8_t>(bytes.data(), &cursor);
+    if (len != payload_bytes || cursor + len > bytes.size() ||
+        (type != static_cast<uint8_t>(WalRecordType::kInsert) &&
+         type != static_cast<uint8_t>(WalRecordType::kDelete)) ||
+        lsn <= info.last_lsn) {
+      info.truncated_tail = true;
+      break;
+    }
+    // CRC covers len + lsn + type + payload (everything after the crc
+    // field itself).
+    const uint32_t actual = Crc32(bytes.data() + offset + sizeof(uint32_t),
+                                  kFrameHeaderBytes - sizeof(uint32_t) + len);
+    if (actual != crc) {
+      info.truncated_tail = true;
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type);
+    record.lsn = lsn;
+    record.id = Get<uint32_t>(bytes.data(), &cursor);
+    record.point = la::Vector(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      record.point[i] = Get<double>(bytes.data(), &cursor);
+    }
+    if (visit != nullptr) {
+      Status applied = visit(record);
+      if (!applied.ok()) {
+        ::close(fd);
+        return applied;
+      }
+    }
+    ++info.records;
+    info.last_lsn = lsn;
+    offset = cursor;
+    info.valid_bytes = offset;
+  }
+  if (offset + kFrameHeaderBytes > bytes.size() &&
+      offset < bytes.size()) {
+    info.truncated_tail = true;  // trailing partial frame header
+  }
+
+  // Drop the torn tail so appends resume from a clean durable prefix.
+  if (info.valid_bytes < bytes.size()) {
+    if (::ftruncate(fd, static_cast<off_t>(info.valid_bytes)) != 0) {
+      Status truncated = ErrnoStatus("cannot truncate", path);
+      ::close(fd);
+      return truncated;
+    }
+    if (::fsync(fd) != 0) {
+      Status synced = ErrnoStatus("cannot fsync", path);
+      ::close(fd);
+      return synced;
+    }
+  }
+  if (replayed != nullptr) *replayed = info;
+  return Wal(fd, path, dim, info.valid_bytes, info.records);
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      dim_(other.dim_),
+      durable_bytes_(other.durable_bytes_),
+      synced_records_(other.synced_records_),
+      buffered_records_(other.buffered_records_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = other.fd_;
+  path_ = std::move(other.path_);
+  dim_ = other.dim_;
+  durable_bytes_ = other.durable_bytes_;
+  synced_records_ = other.synced_records_;
+  buffered_records_ = other.buffered_records_;
+  buffer_ = std::move(other.buffer_);
+  other.fd_ = -1;
+  return *this;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(const WalRecord& record) {
+  if (record.point.dim() != dim_) {
+    return Status::InvalidArgument("wal record dimension mismatch");
+  }
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("storage.wal.append"));
+
+  // Frame body first (len + lsn + type + payload), CRC over it, then
+  // prepend... in practice: build the body in a scratch, compute the CRC,
+  // and emit crc|body into the batch buffer.
+  std::vector<uint8_t> body;
+  Put(body, static_cast<uint32_t>(sizeof(uint32_t) + dim_ * sizeof(double)));
+  Put(body, record.lsn);
+  Put(body, static_cast<uint8_t>(record.type));
+  Put(body, record.id);
+  for (size_t i = 0; i < dim_; ++i) Put(body, record.point[i]);
+
+  Put(buffer_, Crc32(body.data(), body.size()));
+  buffer_.insert(buffer_.end(), body.begin(), body.end());
+  ++buffered_records_;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT("storage.wal.fsync"));
+  if (buffer_.empty()) return Status::OK();
+  Status written =
+      WriteAllAt(fd_, path_, buffer_.data(), buffer_.size(), durable_bytes_);
+  if (written.ok() && ::fsync(fd_) != 0) {
+    written = ErrnoStatus("cannot fsync", path_);
+  }
+  if (!written.ok()) {
+    // The batch is not committed. Restore the durable length so a partial
+    // write cannot masquerade as a committed suffix if the process lives
+    // on, then drop the batch — the engine seals itself on this path.
+    (void)::ftruncate(fd_, static_cast<off_t>(durable_bytes_));
+    buffer_.clear();
+    buffered_records_ = 0;
+    return written;
+  }
+  durable_bytes_ += buffer_.size();
+  synced_records_ += buffered_records_;
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::OK();
+}
+
+}  // namespace gprq::storage

@@ -1,0 +1,150 @@
+#ifndef GPRQ_STORAGE_WAL_H_
+#define GPRQ_STORAGE_WAL_H_
+
+// Write-ahead log for the mutable storage engine (storage_engine.h).
+//
+// The WAL is *logical*: each record is one committed tree operation
+// (insert / delete of a (point, id) pair), not a physical page image.
+// Replay re-executes the operations against the checkpointed tree, which
+// is deterministic — the mutator has no randomized choices — so a reopened
+// engine reaches exactly the state the committed prefix describes.
+//
+// On-disk grammar (host byte order; the log, like the tree snapshot, is a
+// machine-local artifact):
+//
+//   file   := file-header record*
+//   file-header := magic u64 ("GPRQWAL1") | version u32 | dim u32
+//   record := crc u32 | payload_len u32 | lsn u64 | type u8 | payload
+//   payload(kInsert|kDelete) := id u32 | point f64 × dim
+//
+// `crc` is CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial) over
+// everything after the crc field: payload_len, lsn, type and the payload
+// bytes. Records are acknowledged only after an fsync covering them
+// (group commit: StorageEngine batches appends and syncs once per commit
+// boundary), so the durable prefix is exactly the acknowledged prefix.
+//
+// Replay stops cleanly at the first frame that is torn (fewer bytes than
+// the header promises) or corrupt (CRC mismatch, impossible length, wrong
+// type, non-monotonic LSN): everything before it is the committed prefix,
+// everything from it on is discarded trailing garbage from a crash
+// mid-write. tests/storage_recovery_test.cc truncates and corrupts a log
+// at every byte to prove this recovers exactly the committed records.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/vector.h"
+
+namespace gprq::storage {
+
+/// CRC-32 (reflected, poly 0xEDB88320) over a byte range — the frame
+/// checksum of the WAL and the checkpoint trailer. Exposed for tests that
+/// hand-corrupt frames.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+};
+
+/// One decoded log record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  uint64_t lsn = 0;
+  uint32_t id = 0;
+  la::Vector point;
+};
+
+/// Statistics of a replay scan (see Wal::Replay).
+struct WalReplayInfo {
+  /// Records decoded and delivered (the committed prefix).
+  uint64_t records = 0;
+  /// LSN of the last delivered record; 0 when none.
+  uint64_t last_lsn = 0;
+  /// Byte offset where the valid prefix ends (the append position for a
+  /// writer that reopens this log).
+  uint64_t valid_bytes = 0;
+  /// True when the scan stopped at a torn or corrupt frame (as opposed to
+  /// a clean end-of-file). Not an error — it is what a crash leaves behind.
+  bool truncated_tail = false;
+};
+
+/// Append side of the log. Single-writer (owned by StorageEngine, whose
+/// writer mutex serializes all mutation); not thread-safe on its own.
+class Wal {
+ public:
+  /// Creates a fresh log (truncating any existing file) for points of the
+  /// given dimension.
+  static Result<Wal> Create(const std::string& path, size_t dim);
+
+  /// Opens an existing log for appending. The file is scanned first:
+  /// appending resumes after the valid prefix (a torn tail from a crash is
+  /// overwritten), and `replayed`, when non-null, receives the scan result
+  /// so the caller knows the LSN to continue from. Every valid record is
+  /// delivered to `visit` (may be null when the caller only wants the
+  /// scan).
+  static Result<Wal> Open(const std::string& path, size_t dim,
+                          const std::function<Status(const WalRecord&)>& visit,
+                          WalReplayInfo* replayed);
+
+  Wal(Wal&& other) noexcept;
+  Wal& operator=(Wal&& other) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Buffers one record (framed + checksummed) for the next Sync. Nothing
+  /// reaches the file until Sync — a failed append leaves the log
+  /// unchanged. Failpoint: `storage.wal.append`.
+  Status Append(const WalRecord& record);
+
+  /// Writes every buffered record and fsyncs the file — the commit point:
+  /// once Sync returns OK the records are in the durable prefix. On
+  /// failure the buffered batch is dropped and the file is restored to the
+  /// last durable length (the caller must treat the batch as not
+  /// committed). Failpoint: `storage.wal.fsync`.
+  Status Sync();
+
+  /// Discards records buffered since the last Sync (a commit batch whose
+  /// tree application failed mid-way).
+  void DropBuffered() {
+    buffer_.clear();
+    buffered_records_ = 0;
+  }
+
+  size_t dim() const { return dim_; }
+  /// Durable log size in bytes (header included; buffered bytes excluded).
+  uint64_t durable_bytes() const { return durable_bytes_; }
+  /// Records appended *and synced* through this handle plus the replayed
+  /// prefix of Open.
+  uint64_t synced_records() const { return synced_records_; }
+
+  /// Size of the fixed file header in bytes.
+  static size_t HeaderBytes();
+  /// Size of a framed record for the given dimension.
+  static size_t RecordBytes(size_t dim);
+
+ private:
+  Wal(int fd, std::string path, size_t dim, uint64_t durable_bytes,
+      uint64_t synced_records)
+      : fd_(fd),
+        path_(std::move(path)),
+        dim_(dim),
+        durable_bytes_(durable_bytes),
+        synced_records_(synced_records) {}
+
+  int fd_ = -1;
+  std::string path_;
+  size_t dim_ = 0;
+  uint64_t durable_bytes_ = 0;
+  uint64_t synced_records_ = 0;
+  uint64_t buffered_records_ = 0;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace gprq::storage
+
+#endif  // GPRQ_STORAGE_WAL_H_

@@ -1,0 +1,331 @@
+// Differential proof that online mutation does not change query semantics:
+// after N randomized inserts and deletes (d ∈ {2, 3, 9}), PRQ answers from
+// the mutated tree are set-identical to a freshly bulk-loaded R*-tree over
+// the surviving points — through the full LivePrqEngine pipeline, composed
+// with crash/reopen, the semantic result cache, and deadlines.
+
+#include "storage/live_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/batch_executor.h"
+#include "index/str_bulk_load.h"
+#include "mc/exact_evaluator.h"
+#include "rng/random.h"
+#include "storage/storage_engine.h"
+#include "workload/generators.h"
+
+namespace gprq::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+core::PrqEngine::EvaluatorFactory ExactFactory() {
+  return [](size_t) -> std::unique_ptr<mc::ProbabilityEvaluator> {
+    return std::make_unique<mc::ImhofEvaluator>();
+  };
+}
+
+/// Applies `ops` random mutations to the engine and returns the survivors.
+/// Deletes pick a random live entry, inserts a fresh point; commit batches
+/// are whatever StorageOptions dictate (a trailing Flush publishes the
+/// remainder).
+std::vector<std::pair<la::Vector, index::ObjectId>> Churn(
+    StorageEngine* engine, size_t dim, size_t ops, double extent,
+    uint64_t seed) {
+  rng::Random random(seed);
+  std::vector<std::pair<la::Vector, index::ObjectId>> live;
+  uint32_t next_id = 1;
+  for (size_t i = 0; i < ops; ++i) {
+    if (!live.empty() && random.NextDouble() < 0.35) {
+      const size_t victim = random.NextUint64(live.size());
+      EXPECT_TRUE(
+          engine->Delete(live[victim].first, live[victim].second).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      la::Vector point(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        point[j] = random.NextDouble(0.0, extent);
+      }
+      EXPECT_TRUE(engine->Insert(point, next_id).ok());
+      live.emplace_back(std::move(point), next_id);
+      ++next_id;
+    }
+  }
+  EXPECT_TRUE(engine->Flush().ok());
+  return live;
+}
+
+/// Bulk-loads a reference R*-tree over exactly the surviving points with
+/// their storage ids.
+index::RStarTree ReferenceTree(
+    size_t dim,
+    const std::vector<std::pair<la::Vector, index::ObjectId>>& live) {
+  std::vector<la::Vector> points;
+  std::vector<index::ObjectId> ids;
+  for (const auto& [point, id] : live) {
+    points.push_back(point);
+    ids.push_back(id);
+  }
+  auto tree = index::StrBulkLoader::Load(dim, points, ids);
+  EXPECT_TRUE(tree.ok());
+  return std::move(*tree);
+}
+
+core::PrqQuery MakeQuery(size_t dim, const la::Vector& center, double extent,
+                         uint64_t seed, double delta, double theta) {
+  rng::Random random(seed);
+  la::Vector stddevs(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    stddevs[j] = random.NextDouble(extent / 200.0, extent / 40.0);
+  }
+  auto g = core::GaussianDistribution::Create(
+      center, workload::RandomRotatedCovariance(stddevs, seed + 1));
+  EXPECT_TRUE(g.ok());
+  return core::PrqQuery{std::move(*g), delta, theta};
+}
+
+std::vector<index::ObjectId> Sorted(std::vector<index::ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+struct ChurnCase {
+  size_t dim;
+  size_t ops;
+  uint64_t seed;
+  size_t group_commit_ops;
+};
+
+class StorageDifferentialTest : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(StorageDifferentialTest, MutatedTreeAnswersMatchFreshBulkLoad) {
+  const ChurnCase c = GetParam();
+  const double extent = 1000.0;
+  const std::string dir =
+      FreshDir("storage_diff_d" + std::to_string(c.dim) + "_s" +
+               std::to_string(c.seed));
+
+  StorageOptions options;
+  options.page_size = 4096;
+  options.group_commit_ops = c.group_commit_ops;
+  auto created = StorageEngine::Create(dir, c.dim, options);
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+  const auto live = Churn(engine, c.dim, c.ops, extent, c.seed);
+  ASSERT_FALSE(live.empty());
+
+  // The reference: a read-only R*-tree bulk-loaded from scratch over the
+  // surviving points, queried by the sequential engine.
+  const index::RStarTree reference = ReferenceTree(c.dim, live);
+  ASSERT_EQ(reference.size(), live.size());
+  const core::PrqEngine reference_engine(&reference);
+  mc::ImhofEvaluator exact;
+
+  auto executor = exec::BatchExecutor::CreateDetached(ExactFactory(), 2);
+  ASSERT_TRUE(executor.ok());
+  LivePrqEngine live_engine(engine, executor->get());
+
+  rng::Random random(c.seed * 131 + 5);
+  for (size_t q = 0; q < 8; ++q) {
+    const la::Vector& center = live[random.NextUint64(live.size())].first;
+    const core::PrqQuery query = MakeQuery(
+        c.dim, center, extent, c.seed * 1000 + q,
+        /*delta=*/random.NextDouble(extent / 100.0, extent / 20.0),
+        /*theta=*/random.NextDouble(0.005, 0.3));
+    core::PrqOptions prq_options;
+    prq_options.use_catalogs = (q % 2 == 0);
+
+    auto expected =
+        reference_engine.Execute(query, prq_options, &exact);
+    ASSERT_TRUE(expected.ok()) << "query " << q;
+    auto actual = live_engine.Execute(query, prq_options);
+    ASSERT_TRUE(actual.ok()) << "query " << q;
+    EXPECT_EQ(Sorted(*actual), Sorted(*expected)) << "query " << q;
+  }
+
+  // Crash/reopen composes: a reopened engine answers identically.
+  created->reset();
+  auto reopened = StorageEngine::Open(dir, options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->PinSnapshot()->size(), live.size());
+  LivePrqEngine reopened_engine(reopened->get(), executor->get());
+  const la::Vector& center = live[0].first;
+  const core::PrqQuery query =
+      MakeQuery(c.dim, center, extent, c.seed * 7 + 3, extent / 50.0, 0.05);
+  auto expected = reference_engine.Execute(query, core::PrqOptions(), &exact);
+  ASSERT_TRUE(expected.ok());
+  auto actual = reopened_engine.Execute(query, core::PrqOptions());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(Sorted(*actual), Sorted(*expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dimensions, StorageDifferentialTest,
+    ::testing::Values(ChurnCase{2, 400, 17, 1}, ChurnCase{2, 400, 18, 7},
+                      ChurnCase{3, 300, 19, 4}, ChurnCase{9, 200, 23, 3}),
+    [](const ::testing::TestParamInfo<ChurnCase>& info) {
+      return "d" + std::to_string(info.param.dim) + "_seed" +
+             std::to_string(info.param.seed) + "_batch" +
+             std::to_string(info.param.group_commit_ops);
+    });
+
+TEST(StorageDifferential, EmptyAndFullyDeletedTreesAnswerEmpty) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("storage_diff_empty");
+  auto created = StorageEngine::Create(dir, dim, StorageOptions());
+  ASSERT_TRUE(created.ok());
+  auto executor = exec::BatchExecutor::CreateDetached(ExactFactory(), 1);
+  ASSERT_TRUE(executor.ok());
+  LivePrqEngine live_engine(created->get(), executor->get());
+
+  const core::PrqQuery query =
+      MakeQuery(dim, la::Vector(dim, 50.0), 100.0, 3, 10.0, 0.05);
+  auto empty = live_engine.Execute(query, core::PrqOptions());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // Insert a batch right on the query mean, then delete every entry: the
+  // answer must return to empty (deleted points never resurface).
+  for (uint32_t id = 1; id <= 20; ++id) {
+    la::Vector point(dim, 50.0);
+    point[0] += static_cast<double>(id) * 0.1;
+    ASSERT_TRUE(created->get()->Insert(point, id).ok());
+  }
+  auto populated = live_engine.Execute(query, core::PrqOptions());
+  ASSERT_TRUE(populated.ok());
+  EXPECT_FALSE(populated->empty());
+  for (uint32_t id = 1; id <= 20; ++id) {
+    la::Vector point(dim, 50.0);
+    point[0] += static_cast<double>(id) * 0.1;
+    ASSERT_TRUE(created->get()->Delete(point, id).ok());
+  }
+  EXPECT_EQ((*created)->PinSnapshot()->size(), 0u);
+  auto drained = live_engine.Execute(query, core::PrqOptions());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained->empty());
+}
+
+TEST(StorageDifferential, ResultCacheComposesWithUpdates) {
+  const size_t dim = 2;
+  const double extent = 1000.0;
+  const std::string dir = FreshDir("storage_diff_cache");
+  auto created = StorageEngine::Create(dir, dim, StorageOptions());
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+  const auto live = Churn(engine, dim, 300, extent, /*seed=*/77);
+
+  auto executor = exec::BatchExecutor::CreateDetached(ExactFactory(), 2);
+  ASSERT_TRUE(executor.ok());
+  LivePrqEngine live_engine(engine, executor->get());
+  ASSERT_TRUE(
+      live_engine.EnableResultCache(cache::ResultCacheOptions()).ok());
+
+  const la::Vector center = live[live.size() / 2].first;
+  const core::PrqQuery query =
+      MakeQuery(dim, center, extent, 55, extent / 40.0, 0.02);
+
+  obs::QueryTrace trace;
+  auto first = live_engine.Execute(query, core::PrqOptions(), nullptr,
+                                   &trace);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(trace.cache_hit_exact);
+
+  auto second = live_engine.Execute(query, core::PrqOptions(), nullptr,
+                                    &trace);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(trace.cache_hit_exact);
+  EXPECT_EQ(Sorted(*second), Sorted(*first));
+
+  // A commit inside the query region invalidates the cached answer: the
+  // next execution recomputes and sees the new point.
+  la::Vector newcomer = center;
+  ASSERT_TRUE(engine->Insert(newcomer, 999001).ok());
+  auto third = live_engine.Execute(query, core::PrqOptions(), nullptr,
+                                   &trace);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(trace.cache_hit_exact);
+  auto expected = Sorted(*first);
+  expected.push_back(999001);  // sits at the mean: certainly qualifies
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Sorted(*third), expected);
+
+  // Differential check of the recomputed answer against a fresh tree.
+  std::vector<std::pair<la::Vector, index::ObjectId>> now = live;
+  now.emplace_back(newcomer, 999001);
+  const index::RStarTree reference = ReferenceTree(dim, now);
+  const core::PrqEngine reference_engine(&reference);
+  mc::ImhofEvaluator exact;
+  auto oracle = reference_engine.Execute(query, core::PrqOptions(), &exact);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(Sorted(*third), Sorted(*oracle));
+
+  // A commit far outside the region must NOT evict: next run is a hit.
+  la::Vector far_away(dim, -extent * 10.0);
+  ASSERT_TRUE(engine->Insert(far_away, 999002).ok());
+  auto fourth = live_engine.Execute(query, core::PrqOptions(), nullptr,
+                                    &trace);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_TRUE(trace.cache_hit_exact);
+  EXPECT_EQ(Sorted(*fourth), Sorted(*third));
+}
+
+TEST(StorageDifferential, DeadlinesDegradeGracefullyOverLiveData) {
+  const size_t dim = 2;
+  const double extent = 1000.0;
+  const std::string dir = FreshDir("storage_diff_deadline");
+  auto created = StorageEngine::Create(dir, dim, StorageOptions());
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+  const auto live = Churn(engine, dim, 300, extent, /*seed=*/88);
+
+  auto executor = exec::BatchExecutor::CreateDetached(ExactFactory(), 2);
+  ASSERT_TRUE(executor.ok());
+  LivePrqEngine live_engine(engine, executor->get());
+
+  const core::PrqQuery query = MakeQuery(
+      dim, live[3].first, extent, 91, extent / 30.0, 0.02);
+
+  core::PrqOptions unbounded;
+  auto full = live_engine.ExecuteBounded(query, unbounded);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->complete());
+
+  // Already-expired control: a sound degraded answer, not an error. Every
+  // id it does decide agrees with the unbounded run.
+  core::PrqOptions expired;
+  expired.control =
+      common::QueryControl::WithDeadline(common::Deadline::Expired());
+  obs::QueryTrace trace;
+  auto degraded = live_engine.ExecuteBounded(query, expired, nullptr,
+                                             &trace);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_FALSE(degraded->complete());
+  EXPECT_TRUE(trace.deadline_expired);
+  const auto full_ids = Sorted(full->ids);
+  for (index::ObjectId id : degraded->ids) {
+    EXPECT_TRUE(std::binary_search(full_ids.begin(), full_ids.end(), id));
+  }
+  // The complete-answer API surfaces the stop status as an error.
+  auto strict = live_engine.Execute(query, expired);
+  EXPECT_FALSE(strict.ok());
+}
+
+}  // namespace
+}  // namespace gprq::storage

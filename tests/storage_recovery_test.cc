@@ -1,0 +1,554 @@
+// Crash-recovery battery for the mutable storage engine: the WAL is
+// truncated at EVERY byte and corrupted at every interesting frame offset,
+// the directory is reopened, and the recovered point set is compared
+// differentially against a shadow in-memory oracle of the committed
+// operation prefix. Injected fsync/append failures exercise the sealing
+// path, and the checkpoint's crash windows (rename durable but WAL restart
+// lost, and vice versa) prove replay is exactly-once.
+
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "rng/random.h"
+#include "storage/wal.h"
+
+namespace gprq::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Shadow oracle --------------------------------------------------------
+//
+// The committed history is a flat list of operations; the oracle applies a
+// prefix of it to a plain multiset. Recovery is correct iff the reopened
+// engine's ScanAll equals the oracle of exactly the committed prefix.
+
+struct Op {
+  bool insert = true;
+  la::Vector point;
+  uint32_t id = 0;
+};
+
+using PointSet = std::vector<std::pair<std::vector<double>, uint32_t>>;
+
+void OracleOf(const std::vector<Op>& ops, size_t prefix, PointSet* out) {
+  out->clear();
+  for (size_t i = 0; i < prefix; ++i) {
+    const Op& op = ops[i];
+    std::pair<std::vector<double>, uint32_t> entry(op.point.values(), op.id);
+    if (op.insert) {
+      out->push_back(std::move(entry));
+    } else {
+      auto it = std::find(out->begin(), out->end(), entry);
+      ASSERT_NE(it, out->end()) << "oracle delete of absent entry at op " << i;
+      out->erase(it);
+    }
+  }
+  std::sort(out->begin(), out->end());
+}
+
+PointSet Collect(const StorageSnapshot& snapshot) {
+  PointSet set;
+  snapshot.ScanAll([&set](const la::Vector& point, index::ObjectId id) {
+    set.emplace_back(point.values(), id);
+  });
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+// ---- Filesystem helpers ---------------------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Copies checkpoint + WAL into a scratch directory the test may mangle.
+std::string CloneDir(const std::string& src, const std::string& name) {
+  const std::string dst = FreshDir(name);
+  for (const char* file :
+       {StorageEngine::kCheckpointFile, StorageEngine::kWalFile}) {
+    if (fs::exists(src + "/" + file)) {
+      fs::copy_file(src + "/" + file, dst + "/" + file);
+    }
+  }
+  return dst;
+}
+
+/// A deterministic mixed insert/delete history: every delete removes a
+/// previously inserted entry, so each prefix is a valid oracle input.
+std::vector<Op> MakeHistory(size_t dim, size_t count, uint64_t seed) {
+  rng::Random random(seed);
+  std::vector<Op> ops;
+  std::vector<std::pair<la::Vector, uint32_t>> live;
+  uint32_t next_id = 1;
+  while (ops.size() < count) {
+    const bool do_delete = !live.empty() && random.NextDouble() < 0.3;
+    if (do_delete) {
+      const size_t victim = random.NextUint64(live.size());
+      ops.push_back(Op{false, live[victim].first, live[victim].second});
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      la::Vector point(dim);
+      for (size_t i = 0; i < dim; ++i) point[i] = random.NextDouble(0.0, 100.0);
+      ops.push_back(Op{true, point, next_id});
+      live.emplace_back(point, next_id);
+      ++next_id;
+    }
+  }
+  return ops;
+}
+
+Status Apply(StorageEngine* engine, const Op& op) {
+  return op.insert ? engine->Insert(op.point, op.id)
+                   : engine->Delete(op.point, op.id);
+}
+
+class StorageRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FailpointRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FailpointRegistry::Global().DisarmAll(); }
+};
+
+// ---- WAL unit behaviour ---------------------------------------------------
+
+TEST_F(StorageRecoveryTest, WalRoundTripReplaysEveryRecord) {
+  const std::string path = ::testing::TempDir() + "/wal_roundtrip.wal";
+  const size_t dim = 3;
+  auto wal = Wal::Create(path, dim);
+  ASSERT_TRUE(wal.ok());
+  std::vector<WalRecord> written;
+  for (uint64_t lsn = 1; lsn <= 5; ++lsn) {
+    WalRecord record;
+    record.type = (lsn % 2 == 0) ? WalRecordType::kDelete
+                                 : WalRecordType::kInsert;
+    record.lsn = lsn;
+    record.id = static_cast<uint32_t>(100 + lsn);
+    record.point = la::Vector(dim, static_cast<double>(lsn) * 1.5);
+    ASSERT_TRUE(wal->Append(record).ok());
+    written.push_back(record);
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->synced_records(), 5u);
+  EXPECT_EQ(wal->durable_bytes(),
+            Wal::HeaderBytes() + 5 * Wal::RecordBytes(dim));
+
+  std::vector<WalRecord> replayed;
+  WalReplayInfo info;
+  auto reopened = Wal::Open(
+      path, dim,
+      [&replayed](const WalRecord& record) -> Status {
+        replayed.push_back(record);
+        return Status::OK();
+      },
+      &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.records, 5u);
+  EXPECT_EQ(info.last_lsn, 5u);
+  EXPECT_FALSE(info.truncated_tail);
+  ASSERT_EQ(replayed.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replayed[i].type, written[i].type);
+    EXPECT_EQ(replayed[i].lsn, written[i].lsn);
+    EXPECT_EQ(replayed[i].id, written[i].id);
+    EXPECT_EQ(replayed[i].point, written[i].point);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StorageRecoveryTest, WalRejectsDimensionMismatch) {
+  const std::string path = ::testing::TempDir() + "/wal_dim.wal";
+  ASSERT_TRUE(Wal::Create(path, 2).ok());
+  WalReplayInfo info;
+  EXPECT_FALSE(Wal::Open(path, 3, nullptr, &info).ok());
+  std::remove(path.c_str());
+}
+
+// ---- Torn-write battery: truncation at EVERY byte -------------------------
+
+TEST_F(StorageRecoveryTest, TruncationAtEveryByteRecoversCommittedPrefix) {
+  const size_t dim = 2;
+  const size_t kOps = 12;
+  const std::string dir = FreshDir("recovery_trunc");
+  const std::vector<Op> ops = MakeHistory(dim, kOps, /*seed=*/7);
+
+  StorageOptions options;
+  options.page_size = 512;
+  options.group_commit_ops = 1;  // every op individually durable
+  {
+    auto engine = StorageEngine::Create(dir, dim, options);
+    ASSERT_TRUE(engine.ok());
+    for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  }
+
+  const std::vector<uint8_t> wal_bytes =
+      ReadFile(dir + "/" + StorageEngine::kWalFile);
+  const size_t header = Wal::HeaderBytes();
+  const size_t record = Wal::RecordBytes(dim);
+  ASSERT_EQ(wal_bytes.size(), header + kOps * record);
+
+  for (size_t cut = 0; cut <= wal_bytes.size(); ++cut) {
+    const std::string scratch = CloneDir(dir, "recovery_trunc_cut");
+    WriteFile(scratch + "/" + StorageEngine::kWalFile,
+              std::vector<uint8_t>(wal_bytes.begin(),
+                                   wal_bytes.begin() +
+                                       static_cast<ptrdiff_t>(cut)));
+    WalReplayInfo info;
+    auto reopened = StorageEngine::Open(scratch, options, &info);
+    ASSERT_TRUE(reopened.ok()) << "cut at byte " << cut << ": "
+                               << reopened.status().ToString();
+    // A file shorter than its own header counts as a crash before any
+    // record landed: zero ops survive. Otherwise exactly the fully
+    // contained frames are the committed prefix.
+    const size_t committed =
+        (cut < header) ? 0 : std::min(kOps, (cut - header) / record);
+    PointSet expected;
+    OracleOf(ops, committed, &expected);
+    EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected)
+        << "cut at byte " << cut;
+    EXPECT_TRUE((*reopened)->PinSnapshot()->CheckInvariants().ok())
+        << "cut at byte " << cut;
+    if (cut >= header) {
+      EXPECT_EQ(info.records, committed) << "cut at byte " << cut;
+      EXPECT_EQ(info.truncated_tail, (cut - header) % record != 0)
+          << "cut at byte " << cut;
+    }
+    // The torn tail was truncated away on open: the engine must accept
+    // new writes and survive a second reopen without losing them.
+    la::Vector extra(dim, -1.0);
+    ASSERT_TRUE((*reopened)->Insert(extra, 9999).ok())
+        << "cut at byte " << cut;
+    reopened->reset();
+    auto again = StorageEngine::Open(scratch, options, nullptr);
+    ASSERT_TRUE(again.ok()) << "cut at byte " << cut;
+    expected.emplace_back(extra.values(), 9999u);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(Collect(*(*again)->PinSnapshot()), expected)
+        << "cut at byte " << cut;
+  }
+}
+
+// ---- Corruption inside a frame --------------------------------------------
+
+TEST_F(StorageRecoveryTest, CorruptFrameStopsReplayAtItsRecord) {
+  const size_t dim = 2;
+  const size_t kOps = 8;
+  const std::string dir = FreshDir("recovery_corrupt");
+  const std::vector<Op> ops = MakeHistory(dim, kOps, /*seed=*/11);
+
+  StorageOptions options;
+  options.page_size = 512;
+  {
+    auto engine = StorageEngine::Create(dir, dim, options);
+    ASSERT_TRUE(engine.ok());
+    for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  }
+  const std::vector<uint8_t> wal_bytes =
+      ReadFile(dir + "/" + StorageEngine::kWalFile);
+  const size_t header = Wal::HeaderBytes();
+  const size_t record = Wal::RecordBytes(dim);
+
+  // Flip one byte at every offset of one frame: crc, length, lsn, type and
+  // payload corruption must all be detected, for a middle record and for
+  // the very last one.
+  for (size_t victim : {size_t{3}, kOps - 1}) {
+    for (size_t offset = 0; offset < record; ++offset) {
+      std::vector<uint8_t> mangled = wal_bytes;
+      mangled[header + victim * record + offset] ^= 0xFF;
+      const std::string scratch = CloneDir(dir, "recovery_corrupt_flip");
+      WriteFile(scratch + "/" + StorageEngine::kWalFile, mangled);
+      WalReplayInfo info;
+      auto reopened = StorageEngine::Open(scratch, options, &info);
+      ASSERT_TRUE(reopened.ok())
+          << "victim " << victim << " offset " << offset;
+      EXPECT_EQ(info.records, victim)
+          << "victim " << victim << " offset " << offset;
+      EXPECT_TRUE(info.truncated_tail);
+      PointSet expected;
+      OracleOf(ops, victim, &expected);
+      EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected)
+          << "victim " << victim << " offset " << offset;
+    }
+  }
+}
+
+// ---- Group commit atomicity ----------------------------------------------
+
+TEST_F(StorageRecoveryTest, UnflushedBatchIsInvisibleAndNotDurable) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("recovery_group");
+  StorageOptions options;
+  options.page_size = 512;
+  options.group_commit_ops = 4;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+
+  // Fill one full batch (auto-commits) and then a partial one.
+  const std::vector<Op> ops = MakeHistory(dim, 7, /*seed=*/23);
+  for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  EXPECT_EQ((*engine)->pending_ops(), 3u);
+
+  // Readers see only the committed batch...
+  PointSet committed;
+  OracleOf(ops, 4, &committed);
+  EXPECT_EQ(Collect(*(*engine)->PinSnapshot()), committed);
+
+  // ...and so does a "crash" (the directory as it exists right now,
+  // appends buffered but not synced).
+  {
+    const std::string scratch = CloneDir(dir, "recovery_group_crash");
+    auto crashed = StorageEngine::Open(scratch, options, nullptr);
+    ASSERT_TRUE(crashed.ok());
+    EXPECT_EQ(Collect(*(*crashed)->PinSnapshot()), committed);
+  }
+
+  // Flush publishes and hardens the partial batch atomically.
+  ASSERT_TRUE((*engine)->Flush().ok());
+  EXPECT_EQ((*engine)->pending_ops(), 0u);
+  PointSet all;
+  OracleOf(ops, ops.size(), &all);
+  EXPECT_EQ(Collect(*(*engine)->PinSnapshot()), all);
+  {
+    const std::string scratch = CloneDir(dir, "recovery_group_flushed");
+    auto reopened = StorageEngine::Open(scratch, options, nullptr);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), all);
+  }
+}
+
+// ---- Injected WAL failures seal the engine --------------------------------
+
+TEST_F(StorageRecoveryTest, FsyncFailureSealsEngineAndReopenRecovers) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("recovery_fsync");
+  StorageOptions options;
+  options.page_size = 512;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Op> ops = MakeHistory(dim, 5, /*seed=*/31);
+  for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  PointSet committed;
+  OracleOf(ops, ops.size(), &committed);
+
+  fault::FailpointConfig config;
+  config.code = StatusCode::kIoError;
+  config.message = "lost fsync";
+  config.max_triggers = 1;
+  fault::FailpointRegistry::Global().Arm("storage.wal.fsync", config);
+
+  la::Vector doomed(dim, 42.0);
+  const Status failed = (*engine)->Insert(doomed, 777);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE((*engine)->sealed());
+
+  // Sealed: writes refused even though the failpoint has expired...
+  EXPECT_FALSE((*engine)->Insert(doomed, 778).ok());
+  EXPECT_FALSE((*engine)->Flush().ok());
+  EXPECT_FALSE((*engine)->Checkpoint().ok());
+  // ...but reads keep serving the last committed epoch, rolled back to
+  // exactly the pre-failure state.
+  EXPECT_EQ(Collect(*(*engine)->PinSnapshot()), committed);
+  EXPECT_TRUE((*engine)->PinSnapshot()->CheckInvariants().ok());
+
+  // Reopening the directory recovers: the failed operation was never
+  // acknowledged and must not surface.
+  engine->reset();
+  auto reopened = StorageEngine::Open(dir, options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE((*reopened)->sealed());
+  EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), committed);
+  ASSERT_TRUE((*reopened)->Insert(doomed, 779).ok());
+}
+
+TEST_F(StorageRecoveryTest, AppendFailureSealsBeforeAnythingIsLogged) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("recovery_append");
+  StorageOptions options;
+  options.page_size = 512;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Insert(la::Vector(dim, 1.0), 1).ok());
+
+  fault::FailpointConfig config;
+  config.code = StatusCode::kIoError;
+  config.max_triggers = 1;
+  fault::FailpointRegistry::Global().Arm("storage.wal.append", config);
+  EXPECT_FALSE((*engine)->Insert(la::Vector(dim, 2.0), 2).ok());
+  EXPECT_TRUE((*engine)->sealed());
+
+  engine->reset();
+  auto reopened = StorageEngine::Open(dir, options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  PointSet expected{{la::Vector(dim, 1.0).values(), 1u}};
+  EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected);
+}
+
+// ---- Checkpoint crash windows ---------------------------------------------
+
+TEST_F(StorageRecoveryTest, CheckpointWriteFailureKeepsServingOldState) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("recovery_ckpt_fail");
+  StorageOptions options;
+  options.page_size = 512;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Op> ops = MakeHistory(dim, 20, /*seed=*/41);
+  for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  PointSet expected;
+  OracleOf(ops, ops.size(), &expected);
+
+  fault::FailpointConfig config;
+  config.code = StatusCode::kIoError;
+  config.max_triggers = 1;
+  fault::FailpointRegistry::Global().Arm("storage.checkpoint.write", config);
+  EXPECT_FALSE((*engine)->Checkpoint().ok());
+
+  // A failed page copy aborts before the rename: the engine is NOT sealed,
+  // the old checkpoint + WAL still describe the full state, and a retry
+  // succeeds once the fault clears.
+  EXPECT_FALSE((*engine)->sealed());
+  EXPECT_EQ(Collect(*(*engine)->PinSnapshot()), expected);
+  EXPECT_FALSE(fs::exists(dir + "/" + StorageEngine::kCheckpointFile +
+                          ".tmp"));
+  ASSERT_TRUE((*engine)->Checkpoint().ok());
+  engine->reset();
+
+  WalReplayInfo info;
+  auto reopened = StorageEngine::Open(dir, options, &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.records, 0u);  // everything folded into the checkpoint
+  EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected);
+}
+
+TEST_F(StorageRecoveryTest, StaleWalAfterCheckpointReplaysAsNoOps) {
+  // The window between the checkpoint rename and the WAL restart: the new
+  // checkpoint already covers every logged record. Reconstruct that state
+  // by restoring the pre-checkpoint WAL over the restarted one; the LSN
+  // filter must skip every record (inserts are not idempotent — without
+  // the filter the dataset would double).
+  const size_t dim = 2;
+  const std::string dir = FreshDir("recovery_ckpt_window");
+  StorageOptions options;
+  options.page_size = 512;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Op> ops = MakeHistory(dim, 15, /*seed=*/43);
+  for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  const std::vector<uint8_t> old_wal =
+      ReadFile(dir + "/" + StorageEngine::kWalFile);
+  ASSERT_TRUE((*engine)->Checkpoint().ok());
+  engine->reset();
+  WriteFile(dir + "/" + StorageEngine::kWalFile, old_wal);
+
+  WalReplayInfo info;
+  auto reopened = StorageEngine::Open(dir, options, &info);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(info.records, ops.size());  // scanned, but all filtered
+  PointSet expected;
+  OracleOf(ops, ops.size(), &expected);
+  EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected);
+  EXPECT_TRUE((*reopened)->PinSnapshot()->CheckInvariants().ok());
+
+  // And new writes continue with LSNs above the replayed ones.
+  ASSERT_TRUE((*reopened)->Insert(la::Vector(dim, 5.0), 4242).ok());
+  reopened->reset();
+  auto again = StorageEngine::Open(dir, options, nullptr);
+  ASSERT_TRUE(again.ok());
+  expected.emplace_back(la::Vector(dim, 5.0).values(), 4242u);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(Collect(*(*again)->PinSnapshot()), expected);
+}
+
+TEST_F(StorageRecoveryTest, ZeroByteWalAfterCheckpointStartsFresh) {
+  // A crash during the WAL restart can leave a zero-length (or sub-header)
+  // log. The checkpoint is complete, so recovery starts a fresh log.
+  const size_t dim = 3;
+  const std::string dir = FreshDir("recovery_zero_wal");
+  StorageOptions options;
+  options.page_size = 512;
+  auto engine = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<Op> ops = MakeHistory(dim, 10, /*seed=*/47);
+  for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  ASSERT_TRUE((*engine)->Checkpoint().ok());
+  engine->reset();
+  WriteFile(dir + "/" + StorageEngine::kWalFile, {});
+
+  auto reopened = StorageEngine::Open(dir, options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  PointSet expected;
+  OracleOf(ops, ops.size(), &expected);
+  EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected);
+  ASSERT_TRUE((*reopened)->Insert(la::Vector(dim, 9.0), 999).ok());
+}
+
+// ---- Randomized differential crash sweep ----------------------------------
+
+TEST_F(StorageRecoveryTest, RandomizedCrashPointsMatchOracleExactly) {
+  const size_t dim = 3;
+  const size_t kOps = 200;
+  const std::string dir = FreshDir("recovery_random");
+  const std::vector<Op> ops = MakeHistory(dim, kOps, /*seed=*/97);
+
+  StorageOptions options;
+  options.page_size = 1024;
+  options.group_commit_ops = 1;
+  {
+    auto engine = StorageEngine::Create(dir, dim, options);
+    ASSERT_TRUE(engine.ok());
+    for (const Op& op : ops) ASSERT_TRUE(Apply(engine->get(), op).ok());
+  }
+  const std::vector<uint8_t> wal_bytes =
+      ReadFile(dir + "/" + StorageEngine::kWalFile);
+  const size_t header = Wal::HeaderBytes();
+  const size_t record = Wal::RecordBytes(dim);
+
+  rng::Random random(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t cut = random.NextUint64(wal_bytes.size() + 1);
+    const std::string scratch = CloneDir(dir, "recovery_random_cut");
+    WriteFile(scratch + "/" + StorageEngine::kWalFile,
+              std::vector<uint8_t>(wal_bytes.begin(),
+                                   wal_bytes.begin() +
+                                       static_cast<ptrdiff_t>(cut)));
+    auto reopened = StorageEngine::Open(scratch, options, nullptr);
+    ASSERT_TRUE(reopened.ok()) << "cut " << cut;
+    const size_t committed =
+        (cut < header) ? 0 : std::min(kOps, (cut - header) / record);
+    PointSet expected;
+    OracleOf(ops, committed, &expected);
+    EXPECT_EQ(Collect(*(*reopened)->PinSnapshot()), expected)
+        << "cut " << cut;
+    EXPECT_TRUE((*reopened)->PinSnapshot()->CheckInvariants().ok());
+  }
+}
+
+}  // namespace
+}  // namespace gprq::storage

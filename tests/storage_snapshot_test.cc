@@ -1,0 +1,210 @@
+// Epoch snapshot isolation under concurrent writer churn, designed to run
+// under ThreadSanitizer (tier-1 threaded set): readers pin epochs while a
+// writer commits batches, and every scan must observe a single consistent
+// tree version — all of a commit batch or none of it, never a torn state.
+//
+// The detector is the paired-insert invariant: the writer only ever
+// commits the pair (id, id + kTwin) atomically (group_commit_ops == 2), so
+// any snapshot that shows one half without the other has observed a
+// half-applied batch.
+
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/vector.h"
+
+namespace gprq::storage {
+namespace {
+
+constexpr uint32_t kTwin = 1'000'000;  // id offset between pair halves
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+la::Vector PairPoint(size_t dim, uint32_t id, bool twin) {
+  la::Vector point(dim, static_cast<double>(id));
+  point[0] += twin ? 0.5 : 0.0;
+  return point;
+}
+
+std::set<uint32_t> ScanIds(const StorageSnapshot& snapshot) {
+  std::set<uint32_t> ids;
+  snapshot.ScanAll([&ids](const la::Vector&, index::ObjectId id) {
+    ids.insert(id);
+  });
+  return ids;
+}
+
+/// Fails the test if `ids` contains one half of a pair without the other.
+void ExpectPairsComplete(const std::set<uint32_t>& ids, uint64_t epoch) {
+  for (uint32_t id : ids) {
+    if (id < kTwin) {
+      EXPECT_TRUE(ids.count(id + kTwin))
+          << "epoch " << epoch << ": id " << id << " without its twin";
+    } else {
+      EXPECT_TRUE(ids.count(id - kTwin))
+          << "epoch " << epoch << ": twin " << id << " without its id";
+    }
+  }
+}
+
+TEST(StorageSnapshot, ReadersNeverObserveHalfACommitBatch) {
+  const size_t dim = 2;
+  const uint32_t kPairs = 300;
+  const std::string dir = FreshDir("snapshot_pairs");
+  StorageOptions options;
+  options.page_size = 512;  // small pages: every batch splits nodes
+  options.group_commit_ops = 2;
+  auto created = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint32_t id = 1; id <= kPairs; ++id) {
+      ASSERT_TRUE(engine->Insert(PairPoint(dim, id, false), id).ok());
+      ASSERT_TRUE(
+          engine->Insert(PairPoint(dim, id, true), id + kTwin).ok());
+    }
+    // Second phase: atomically retire every other pair.
+    for (uint32_t id = 1; id <= kPairs; id += 2) {
+      ASSERT_TRUE(engine->Delete(PairPoint(dim, id, false), id).ok());
+      ASSERT_TRUE(
+          engine->Delete(PairPoint(dim, id, true), id + kTwin).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      size_t scans = 0;
+      while (!done.load(std::memory_order_acquire) || scans < 5) {
+        const auto snapshot = engine->PinSnapshot();
+        ASSERT_NE(snapshot, nullptr);
+        // Epochs only move forward.
+        EXPECT_GE(snapshot->epoch(), last_epoch);
+        last_epoch = snapshot->epoch();
+        const std::set<uint32_t> ids = ScanIds(*snapshot);
+        // A snapshot is one tree version: its advertised size matches
+        // what the scan actually finds...
+        EXPECT_EQ(ids.size(), snapshot->size());
+        // ...its entry count is even (pairs commit together)...
+        EXPECT_EQ(ids.size() % 2, 0u)
+            << "epoch " << snapshot->epoch() << " saw a torn batch";
+        // ...and no pair is ever half-visible.
+        ExpectPairsComplete(ids, snapshot->epoch());
+        EXPECT_TRUE(snapshot->CheckInvariants().ok());
+        ++scans;
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+
+  // Final state: the surviving pairs exactly.
+  const auto final_ids = ScanIds(*engine->PinSnapshot());
+  std::set<uint32_t> expected;
+  for (uint32_t id = 2; id <= kPairs; id += 2) {
+    expected.insert(id);
+    expected.insert(id + kTwin);
+  }
+  EXPECT_EQ(final_ids, expected);
+}
+
+TEST(StorageSnapshot, PinnedEpochIsImmuneToLaterCommits) {
+  const size_t dim = 3;
+  const std::string dir = FreshDir("snapshot_pinned");
+  StorageOptions options;
+  options.page_size = 512;
+  auto created = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+
+  for (uint32_t id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(engine->Insert(PairPoint(dim, id, false), id).ok());
+  }
+  const auto pinned = engine->PinSnapshot();
+  const std::set<uint32_t> before = ScanIds(*pinned);
+  const uint64_t epoch_before = pinned->epoch();
+
+  // Churn hard after the pin: overwrite-adjacent inserts and deletes that
+  // split and unlink nodes all over the tree.
+  std::thread reader([&] {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(ScanIds(*pinned), before);
+      EXPECT_EQ(pinned->epoch(), epoch_before);
+    }
+  });
+  for (uint32_t id = 51; id <= 400; ++id) {
+    ASSERT_TRUE(engine->Insert(PairPoint(dim, id, false), id).ok());
+  }
+  for (uint32_t id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(engine->Delete(PairPoint(dim, id, false), id).ok());
+  }
+  reader.join();
+
+  // The pin held its version; the current epoch moved on.
+  EXPECT_EQ(ScanIds(*pinned), before);
+  const auto now = engine->PinSnapshot();
+  EXPECT_GT(now->epoch(), epoch_before);
+  EXPECT_EQ(now->size(), 350u);
+}
+
+TEST(StorageSnapshot, RangeQueryAgreesWithScanUnderChurn) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("snapshot_range");
+  StorageOptions options;
+  options.page_size = 512;
+  options.group_commit_ops = 4;
+  auto created = StorageEngine::Create(dir, dim, options);
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint32_t id = 1; id <= 600; ++id) {
+      ASSERT_TRUE(engine->Insert(PairPoint(dim, id, false), id).ok());
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snapshot = engine->PinSnapshot();
+      // Within ONE snapshot, a range query over the tree bounds and a
+      // full scan must agree exactly — whatever epoch was current.
+      const geom::Rect bounds = snapshot->Bounds();
+      if (snapshot->size() == 0) continue;
+      std::set<uint32_t> ranged;
+      snapshot->RangeQuery(bounds,
+                           [&ranged](const la::Vector&, index::ObjectId id) {
+                             ranged.insert(id);
+                           });
+      EXPECT_EQ(ranged, ScanIds(*snapshot))
+          << "epoch " << snapshot->epoch();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(engine->PinSnapshot()->size(), 600u);
+}
+
+}  // namespace
+}  // namespace gprq::storage

@@ -13,8 +13,11 @@
 //   gprq_cli estimate --data points.csv --q 500,500 --gamma 10
 //       --delta 25 --theta 0.01
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <system_error>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "index/paged_tree.h"
 #include "index/str_bulk_load.h"
 #include "shard/sharded_engine.h"
+#include "storage/live_engine.h"
+#include "storage/storage_engine.h"
 #include "mc/adaptive_monte_carlo.h"
 #include "mc/exact_evaluator.h"
 #include "mc/monte_carlo.h"
@@ -82,7 +87,20 @@ int Usage() {
       "             times, honoring the server's backoff hint)\n"
       "  list-failpoints\n"
       "            print the failpoint sites compiled into this binary and\n"
-      "            any currently armed configurations (GPRQ_FAILPOINTS)\n");
+      "            any currently armed configurations (GPRQ_FAILPOINTS)\n"
+      "  storage   --dir D --init --dim N [--page-size 4096]\n"
+      "            (initialise a mutable WAL-backed storage directory)\n"
+      "            --dir D --stats | --checkpoint | --verify\n"
+      "            --dir D --q x,y,... --delta D --theta T\n"
+      "            [--gamma G | --stddev S | --cov ...] [--threads K]\n"
+      "            [--evaluator imhof|mc|adaptive] [--samples N]\n"
+      "            (PRQ against the live tree via an epoch snapshot)\n"
+      "  insert    --dir D (--p x,y,... --id K | --data FILE.csv)\n"
+      "            (durably insert one point, or bulk-load a CSV; every\n"
+      "             operation is WAL-logged and fsynced before it is\n"
+      "             acknowledged)\n"
+      "  delete    --dir D --p x,y,... --id K\n"
+      "            (durably delete one exact (point, id) entry)\n");
   return 2;
 }
 
@@ -698,6 +716,212 @@ int RunListFailpoints(const FlagSet& flags) {
   return 0;
 }
 
+// ---- storage: online updates against a WAL-backed directory ---------------
+
+Result<storage::StorageOptions> StorageOptionsFromFlags(const FlagSet& flags) {
+  storage::StorageOptions options;
+  auto page_size = flags.GetInt("page-size", 4096);
+  if (!page_size.ok()) return page_size.status();
+  options.page_size = static_cast<size_t>(*page_size);
+  auto batch = flags.GetInt("batch", 1);
+  if (!batch.ok()) return batch.status();
+  options.group_commit_ops = static_cast<size_t>(*batch > 0 ? *batch : 1);
+  return options;
+}
+
+Result<std::unique_ptr<storage::StorageEngine>> OpenStorage(
+    const FlagSet& flags, storage::WalReplayInfo* replayed = nullptr) {
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty()) return Status::InvalidArgument("--dir is required");
+  auto options = StorageOptionsFromFlags(flags);
+  if (!options.ok()) return options.status();
+  return storage::StorageEngine::Open(dir, *options, replayed);
+}
+
+void PrintStorageState(const storage::StorageEngine& engine) {
+  const auto snapshot = engine.PinSnapshot();
+  std::printf("storage: %zu objects (d=%zu), height %zu, epoch %llu, "
+              "lsn %llu\n",
+              snapshot->size(), snapshot->dim(), snapshot->height(),
+              static_cast<unsigned long long>(snapshot->epoch()),
+              static_cast<unsigned long long>(snapshot->lsn()));
+}
+
+int RunStorageInit(const FlagSet& flags) {
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty()) return Fail(Status::InvalidArgument("--dir is required"));
+  auto dim = flags.GetInt("dim", 2);
+  if (!dim.ok()) return Fail(dim.status());
+  auto options = StorageOptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  auto engine =
+      storage::StorageEngine::Create(dir, static_cast<size_t>(*dim),
+                                     *options);
+  if (!engine.ok()) return Fail(engine.status());
+  std::printf("initialised %s: empty %lld-d tree, page size %zu\n",
+              dir.c_str(), static_cast<long long>(*dim),
+              (*engine)->options().page_size);
+  return 0;
+}
+
+int RunStorageStats(const FlagSet& flags) {
+  storage::WalReplayInfo replayed;
+  auto engine = OpenStorage(flags, &replayed);
+  if (!engine.ok()) return Fail(engine.status());
+  PrintStorageState(**engine);
+  std::printf("  wal: %llu records scanned on open%s\n",
+              static_cast<unsigned long long>(replayed.records),
+              replayed.truncated_tail ? ", torn tail discarded" : "");
+  return 0;
+}
+
+int RunStorageVerify(const FlagSet& flags) {
+  auto engine = OpenStorage(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  const auto snapshot = (*engine)->PinSnapshot();
+  if (const Status invariants = snapshot->CheckInvariants();
+      !invariants.ok()) {
+    return Fail(invariants);
+  }
+  PrintStorageState(**engine);
+  std::printf("  invariants OK\n");
+  return 0;
+}
+
+int RunStorageCheckpoint(const FlagSet& flags) {
+  auto engine = OpenStorage(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  if (const Status status = (*engine)->Checkpoint(); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("checkpointed %s; WAL restarted\n",
+              flags.GetString("dir").c_str());
+  PrintStorageState(**engine);
+  return 0;
+}
+
+int RunStorageQuery(const FlagSet& flags) {
+  auto engine = OpenStorage(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  const size_t dim = (*engine)->dim();
+  auto q = flags.GetDoubleList("q");
+  if (!q.ok()) return Fail(q.status());
+  if (q->size() != dim) {
+    return Fail(Status::InvalidArgument("--q must have the tree's dimension"));
+  }
+  auto cov = CovarianceFromFlags(flags, dim);
+  if (!cov.ok()) return Fail(cov.status());
+  auto g = core::GaussianDistribution::Create(la::Vector(*q), *cov);
+  if (!g.ok()) return Fail(g.status());
+  auto delta = flags.GetDouble("delta", 1.0);
+  auto theta = flags.GetDouble("theta", 0.1);
+  if (!delta.ok()) return Fail(delta.status());
+  if (!theta.ok()) return Fail(theta.status());
+  const core::PrqQuery query{std::move(*g), *delta, *theta};
+  auto strategy = StrategyFromFlags(flags);
+  if (!strategy.ok()) return Fail(strategy.status());
+  auto samples = flags.GetInt("samples", 100000);
+  auto threads = flags.GetInt("threads", 1);
+  if (!samples.ok()) return Fail(samples.status());
+  if (!threads.ok()) return Fail(threads.status());
+  const std::string evaluator_kind = flags.GetString("evaluator", "imhof");
+  if (evaluator_kind != "imhof" && evaluator_kind != "mc" &&
+      evaluator_kind != "adaptive") {
+    return Fail(Status::InvalidArgument("unknown evaluator '" +
+                                        evaluator_kind + "'"));
+  }
+  auto executor = exec::BatchExecutor::CreateDetached(
+      MakeFactory(evaluator_kind, static_cast<uint64_t>(*samples)),
+      static_cast<size_t>(*threads > 0 ? *threads : 1));
+  if (!executor.ok()) return Fail(executor.status());
+  storage::LivePrqEngine live(engine->get(), executor->get());
+  core::PrqOptions options;
+  options.strategies = *strategy;
+  core::PrqStats stats;
+  auto result = live.Execute(query, options, &stats);
+  if (!result.ok()) return Fail(result.status());
+  std::sort(result->begin(), result->end());
+  std::printf("live PRQ(delta=%.6g, theta=%.6g) over epoch %llu: "
+              "%zu results\n",
+              query.delta, query.theta,
+              static_cast<unsigned long long>(
+                  (*engine)->PinSnapshot()->epoch()),
+              result->size());
+  std::printf("  phase1 %zu candidates, phase3 %zu integrations, %.2f ms\n",
+              stats.index_candidates, stats.integration_candidates,
+              stats.total_seconds() * 1e3);
+  const size_t show = std::min<size_t>(result->size(), 20);
+  std::printf("  ids:");
+  for (size_t i = 0; i < show; ++i) std::printf(" %u", (*result)[i]);
+  if (result->size() > show) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}
+
+int RunStorage(const FlagSet& flags) {
+  if (flags.Has("init")) return RunStorageInit(flags);
+  if (flags.Has("checkpoint")) return RunStorageCheckpoint(flags);
+  if (flags.Has("verify")) return RunStorageVerify(flags);
+  if (flags.Has("q")) return RunStorageQuery(flags);
+  if (flags.Has("stats") || flags.Has("dir")) return RunStorageStats(flags);
+  return Usage();
+}
+
+int RunStorageMutation(const FlagSet& flags, bool insert) {
+  auto engine = OpenStorage(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  const size_t dim = (*engine)->dim();
+
+  if (insert && flags.Has("data")) {
+    // Bulk path: stream a CSV through the normal logged write path.
+    auto dataset = workload::LoadCsv(flags.GetString("data"));
+    if (!dataset.ok()) return Fail(dataset.status());
+    if (dataset->dim != dim) {
+      return Fail(Status::InvalidArgument(
+          "CSV dimension does not match the storage directory"));
+    }
+    auto id_base = flags.GetInt("id-base", 1);
+    if (!id_base.ok()) return Fail(id_base.status());
+    for (size_t i = 0; i < dataset->points.size(); ++i) {
+      const Status status = (*engine)->Insert(
+          dataset->points[i],
+          static_cast<index::ObjectId>(*id_base + static_cast<int64_t>(i)));
+      if (!status.ok()) return Fail(status);
+    }
+    if (const Status status = (*engine)->Flush(); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("inserted %zu points from %s\n", dataset->points.size(),
+                flags.GetString("data").c_str());
+    PrintStorageState(**engine);
+    return 0;
+  }
+
+  auto p = flags.GetDoubleList("p");
+  if (!p.ok()) return Fail(p.status());
+  if (p->size() != dim) {
+    return Fail(Status::InvalidArgument("--p must have the tree's dimension"));
+  }
+  auto id = flags.GetInt("id", -1);
+  if (!id.ok()) return Fail(id.status());
+  if (*id < 0) return Fail(Status::InvalidArgument("--id is required"));
+  const la::Vector point(*p);
+  const Status status =
+      insert ? (*engine)->Insert(point, static_cast<index::ObjectId>(*id))
+             : (*engine)->Delete(point, static_cast<index::ObjectId>(*id));
+  if (!status.ok()) return Fail(status);
+  if (const Status flushed = (*engine)->Flush(); !flushed.ok()) {
+    return Fail(flushed);
+  }
+  std::printf("%s (point, id=%lld): durable\n",
+              insert ? "inserted" : "deleted",
+              static_cast<long long>(*id));
+  PrintStorageState(**engine);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   // Operators can inject faults without code changes:
   //   GPRQ_FAILPOINTS='index.page_file.read=error(io,p=0.01)' gprq_cli ...
@@ -721,6 +945,9 @@ int Main(int argc, char** argv) {
   else if (command == "estimate") code = RunEstimate(*flags);
   else if (command == "remote") code = RunRemote(*flags);
   else if (command == "list-failpoints") code = RunListFailpoints(*flags);
+  else if (command == "storage") code = RunStorage(*flags);
+  else if (command == "insert") code = RunStorageMutation(*flags, true);
+  else if (command == "delete") code = RunStorageMutation(*flags, false);
   else return Usage();
 
   for (const std::string& key : flags->UnusedKeys()) {
