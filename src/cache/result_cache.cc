@@ -149,11 +149,17 @@ void ResultCache::EvictToFitLocked() {
 }
 
 ResultCache::Lookup ResultCache::Find(const core::PrqQuery& query,
-                                      uint64_t config_bits) {
+                                      uint64_t config_bits, uint64_t epoch) {
   const CacheMetrics& metrics = CacheMetrics::Get();
   const ExactKey key = MakeExactKey(query, config_bits);
   std::lock_guard<std::mutex> lock(mutex_);
   metrics.lookups->Add(1);
+  if (epoch < epoch_) {
+    // The caller's pin predates a commit whose invalidation already ran:
+    // surviving entries answer for the latest epoch, not this pin's.
+    metrics.misses->Add(1);
+    return {};
+  }
 
   auto exact = exact_.find(key);
   if (exact != exact_.end() &&
@@ -196,7 +202,7 @@ void ResultCache::Insert(
     const core::PrqQuery& query, uint64_t config_bits,
     const geom::Rect& search_box,
     std::vector<std::pair<la::Vector, index::ObjectId>> candidates,
-    std::vector<index::ObjectId> ids) {
+    std::vector<index::ObjectId> ids, uint64_t epoch) {
   const CacheMetrics& metrics = CacheMetrics::Get();
   auto entry = std::make_shared<CachedEntry>();
   entry->dim = query.query_object.dim();
@@ -213,6 +219,11 @@ void ResultCache::Insert(
 
   const ExactKey key = MakeExactKey(query, config_bits);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch < epoch_) {
+    // Computed against a pre-commit snapshot whose region invalidation
+    // has already run — publishing it now would resurrect a stale answer.
+    return;
+  }
   auto existing = exact_.find(key);
   if (existing != exact_.end()) {
     // Deterministic answers cannot disagree; keep the stored entry, just
@@ -244,9 +255,8 @@ void ResultCache::InvalidateAll() {
   metrics.bytes->Set(0.0);
 }
 
-size_t ResultCache::Invalidate(const geom::Rect& region) {
+size_t ResultCache::InvalidateLocked(const geom::Rect& region) {
   const CacheMetrics& metrics = CacheMetrics::Get();
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     auto next = std::next(it);
@@ -261,6 +271,26 @@ size_t ResultCache::Invalidate(const geom::Rect& region) {
   metrics.entries->Set(static_cast<double>(lru_.size()));
   metrics.bytes->Set(static_cast<double>(bytes_));
   return dropped;
+}
+
+size_t ResultCache::Invalidate(const geom::Rect& region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InvalidateLocked(region);
+}
+
+size_t ResultCache::BeginEpoch(uint64_t epoch, const geom::Rect& dirty_region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The advance and the drop share one critical section: a stale-pinned
+  // Insert serialises either before both (the drop removes it) or after
+  // both (the epoch check rejects it) — never in between.
+  if (epoch > epoch_) epoch_ = epoch;
+  if (dirty_region.IsEmpty()) return 0;
+  return InvalidateLocked(dirty_region);
+}
+
+uint64_t ResultCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
 }
 
 size_t ResultCache::entries() const {

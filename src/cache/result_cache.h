@@ -82,8 +82,22 @@ struct CachedEntry {
 ///
 /// Entries are only valid for a fixed dataset and a fixed Phase-3
 /// configuration (evaluator seed and sample count): the owning executor
-/// must InvalidateAll() on any dataset or evaluator change — Invalidate(
-/// region) is the narrower hook for the future online-update path.
+/// must InvalidateAll() on any dataset or evaluator change.
+///
+/// Online updates (storage::StorageEngine) instead drive the epoch
+/// protocol: every commit calls BeginEpoch(new_epoch, dirty_region)
+/// *before* publishing its snapshot, which — in one critical section —
+/// drops poisoned entries and advances the cache's epoch. Readers pass
+/// their pinned epoch to Find/Insert; a lookup or publication whose pin
+/// is behind the cache's epoch degrades to a miss / no-op. Together
+/// these close both commit/query races: a reader pinning the new epoch
+/// can never hit a not-yet-invalidated entry (invalidation happens
+/// before the epoch is pinnable), and a reader that pinned the old
+/// epoch can never install an answer computed before a commit that has
+/// already invalidated (its stale pin is rejected under the same lock
+/// the commit advanced the epoch under). Static deployments (no storage
+/// engine) simply never call BeginEpoch: the epoch stays 0 and the
+/// default arguments preserve the old behaviour.
 class ResultCache {
  public:
   explicit ResultCache(const ResultCacheOptions& options);
@@ -96,8 +110,12 @@ class ResultCache {
 
   /// Looks the query up (exact first, then the semantic containment rule
   /// unless disabled). Records gprq.cache.{lookups,hit_exact,hit_semantic,
-  /// misses} and refreshes the entry's LRU position on a hit.
-  Lookup Find(const core::PrqQuery& query, uint64_t config_bits);
+  /// misses} and refreshes the entry's LRU position on a hit. `epoch` is
+  /// the caller's pinned snapshot epoch: when it is behind the cache's
+  /// (a commit published since the pin), the lookup is a miss — surviving
+  /// entries answer for the *latest* epoch, not the caller's.
+  Lookup Find(const core::PrqQuery& query, uint64_t config_bits,
+              uint64_t epoch = 0);
 
   /// Publishes a complete answer. `candidates` must be the execution's
   /// accepted ∪ survivors set (with coordinates) and `ids` its complete
@@ -105,11 +123,14 @@ class ResultCache {
   /// results. Re-inserting an existing exact key refreshes its LRU position
   /// and keeps the stored entry (answers are deterministic — they cannot
   /// disagree). May evict LRU entries to satisfy the bounds; an entry
-  /// larger than max_bytes on its own is dropped, not inserted.
+  /// larger than max_bytes on its own is dropped, not inserted. `epoch`
+  /// is the snapshot epoch the answer was computed against: when it is
+  /// behind the cache's epoch (a commit invalidated since the pin), the
+  /// answer may be stale for the live tree and is silently dropped.
   void Insert(const core::PrqQuery& query, uint64_t config_bits,
               const geom::Rect& search_box,
               std::vector<std::pair<la::Vector, index::ObjectId>> candidates,
-              std::vector<index::ObjectId> ids);
+              std::vector<index::ObjectId> ids, uint64_t epoch = 0);
 
   /// Drops every entry (dataset reload, evaluator reconfiguration).
   void InvalidateAll();
@@ -119,6 +140,17 @@ class ResultCache {
   /// whose search box contains p, and box-intersection over-approximates
   /// that. Returns the number of entries dropped.
   size_t Invalidate(const geom::Rect& region);
+
+  /// The commit hook: atomically advances the cache's epoch to `epoch`
+  /// and drops every entry whose search box intersects `dirty_region`
+  /// (one critical section — no window where the new epoch can pair with
+  /// a not-yet-dropped entry, or a stale-pinned Insert can slip in after
+  /// the drop). MUST be called *before* the new snapshot is published to
+  /// readers. Returns the number of entries dropped.
+  size_t BeginEpoch(uint64_t epoch, const geom::Rect& dirty_region);
+
+  /// The epoch stale pins are validated against (0 until BeginEpoch).
+  uint64_t epoch() const;
 
   size_t entries() const;
   size_t bytes() const;
@@ -164,6 +196,7 @@ class ResultCache {
   void TouchLocked(LruList::iterator it);
   void EraseLocked(LruList::iterator it);
   void EvictToFitLocked();
+  size_t InvalidateLocked(const geom::Rect& region);
 
   const ResultCacheOptions options_;
 
@@ -173,6 +206,9 @@ class ResultCache {
   std::unordered_map<FamilyKey, std::vector<LruList::iterator>, FamilyKeyHash>
       families_;
   size_t bytes_ = 0;
+  /// Latest storage epoch whose invalidation has run (BeginEpoch); pins
+  /// behind it are rejected in Find and Insert.
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace gprq::cache

@@ -206,16 +206,26 @@ Result<ContinuousQueryRegistry::QueryId> ContinuousQueryRegistry::Register(
     standing.search_box = search_box;
   }
 
-  if (!standing.proved_empty) {
-    Result<PrqResult> initial = evaluate_(query, options);
-    if (!initial.ok()) return initial.status();
-    if (!initial->complete()) return initial->status;
-    standing.ids = std::move(initial->ids);
+  // Insert the entry first — born stale — and only then run the initial
+  // evaluation, through the same race-safe refresh path every later
+  // re-evaluation uses. Evaluating before insertion would leave a window
+  // where a commit (landing between the evaluation's epoch pin and the
+  // emplace) cannot mark the not-yet-visible query, registering it with
+  // stale initial ids and stale == false.
+  const bool proved_empty = standing.proved_empty;
+  standing.stale = !proved_empty;
+  QueryId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    queries_.emplace(id, std::move(standing));
   }
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  const QueryId id = next_id_++;
-  queries_.emplace(id, std::move(standing));
+  if (proved_empty) return id;
+  Status initial = RefreshOne(id);
+  if (!initial.ok()) {
+    Unregister(id);
+    return initial;
+  }
   return id;
 }
 
@@ -226,13 +236,19 @@ void ContinuousQueryRegistry::Unregister(QueryId id) {
 
 size_t ContinuousQueryRegistry::NotifyCommit(const geom::Rect& dirty_region) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (dirty_region.IsEmpty()) return 0;
   size_t marked = 0;
   for (auto& [id, standing] : queries_) {
-    if (standing.stale || standing.proved_empty) continue;
-    if (dirty_region.IsEmpty()) continue;
+    if (standing.proved_empty) continue;
     if (standing.search_box.Intersects(dirty_region)) {
-      standing.stale = true;
-      ++marked;
+      // Bump the generation even when already stale: an in-flight refresh
+      // that captured the pre-bump value must not clear the flag (its
+      // evaluation pinned an epoch that misses this commit).
+      ++standing.generation;
+      if (!standing.stale) {
+        standing.stale = true;
+        ++marked;
+      }
     }
   }
   return marked;
@@ -241,6 +257,7 @@ size_t ContinuousQueryRegistry::NotifyCommit(const geom::Rect& dirty_region) {
 Status ContinuousQueryRegistry::RefreshOne(QueryId id) {
   std::optional<PrqQuery> query;
   PrqOptions options;
+  uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = queries_.find(id);
@@ -249,17 +266,20 @@ Status ContinuousQueryRegistry::RefreshOne(QueryId id) {
     }
     query = it->second.query;
     options = it->second.options;
+    generation = it->second.generation;
   }
   // Evaluate outside the lock: NotifyCommit from the write path must never
-  // wait on a query evaluation. A commit landing mid-evaluation re-marks
-  // the entry stale — since its flag only clears below when it was still
-  // found, the refresh loop picks it up again.
+  // wait on a query evaluation. A commit landing mid-evaluation bumps the
+  // entry's generation; the captured value below then mismatches and the
+  // entry stays stale (this result answered against a pre-commit epoch),
+  // so the next refresh picks it up again.
   Result<PrqResult> fresh = evaluate_(*query, options);
   if (!fresh.ok()) return fresh.status();
   if (!fresh->complete()) return fresh->status;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = queries_.find(id);
   if (it == queries_.end()) return Status::OK();  // unregistered meanwhile
+  if (it->second.generation != generation) return Status::OK();
   it->second.ids = std::move(fresh->ids);
   it->second.stale = false;
   return Status::OK();

@@ -157,11 +157,18 @@ class ContinuousQueryRegistry {
     geom::Rect search_box;
     bool proved_empty = false;
     bool stale = false;
+    /// Bumped by every intersecting commit (even when already stale): a
+    /// refresh captures it before evaluating outside the lock and only
+    /// clears `stale` if it is unchanged after — a commit landing
+    /// mid-evaluation (whose data the pinned epoch missed) keeps the
+    /// entry stale instead of being silently erased.
+    uint64_t generation = 0;
     std::vector<index::ObjectId> ids;
   };
 
   /// Evaluates one standing query (outside the lock) and stores the fresh
-  /// result; on success clears its stale flag.
+  /// result; clears its stale flag only when no intersecting commit
+  /// landed during the evaluation (generation unchanged).
   Status RefreshOne(QueryId id);
 
   const size_t dim_;

@@ -87,10 +87,13 @@ Result<core::PrqResult> LivePrqEngine::ExecuteBounded(
   const uint64_t config_bits =
       (cache_ != nullptr) ? cache::FilterConfigBits(options) : 0;
   if (cache_ != nullptr) {
-    // The cache is attached to the storage engine, whose commits drop
-    // entries dirtied before this lookup; an entry that survives is valid
-    // for the pinned epoch.
-    const cache::ResultCache::Lookup hit = cache_->Find(query, config_bits);
+    // The cache is attached to the storage engine: every commit drops
+    // dirtied entries and advances the cache's epoch *before* publishing
+    // its snapshot, and the lookup below passes our pinned epoch — so a
+    // hit is an entry whose invalidation history matches the pinned tree
+    // version exactly (a pin behind the cache's epoch is a miss).
+    const cache::ResultCache::Lookup hit =
+        cache_->Find(query, config_bits, snapshot->epoch());
     if (hit.kind == cache::ResultCache::HitKind::kExact) {
       core::PrqResult result;
       result.ids = hit.entry->ids;
@@ -243,17 +246,16 @@ Result<core::PrqResult> LivePrqEngine::IntegrateAndPublish(
       options.pool_variant);
   if (cacheable && result.ok() && result->status.ok() &&
       result->undecided.empty()) {
-    // Only complete answers are published. A commit landing DURING the
-    // query would make this answer stale for the current epoch while
-    // having run its invalidation before the insert — so publish only when
-    // the engine's epoch still matches the one the answer was computed
-    // against (any commit AFTER the insert invalidates through the
-    // attached cache as usual).
-    const std::shared_ptr<const StorageSnapshot> now = storage_->PinSnapshot();
-    if (now != nullptr && now->epoch() == pinned_epoch) {
-      cache_->Insert(query, config_bits, search_box, std::move(candidates),
-                     result->ids);
-    }
+    // Only complete answers are published. The insert is epoch-validated
+    // inside the cache: a commit landing during the query advances the
+    // cache's epoch (under the cache's own lock, before its snapshot
+    // publishes), so this answer — computed against the pre-commit pin —
+    // is rejected there rather than installed stale. An engine-side
+    // epoch recheck here could not close that race: a commit between the
+    // check and the insert would run its invalidation before the entry
+    // exists.
+    cache_->Insert(query, config_bits, search_box, std::move(candidates),
+                   result->ids, pinned_epoch);
   }
   return result;
 }

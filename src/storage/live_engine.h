@@ -20,7 +20,12 @@
 // The semantic result cache composes with updates: EnableResultCache
 // attaches the cache to the storage engine, whose commits invalidate
 // cached answers by dirtied region — a cached answer survives updates that
-// cannot affect it and is dropped the moment one could.
+// cannot affect it and is dropped the moment one could. Lookups and
+// publications carry the query's pinned snapshot epoch, and commits
+// advance the cache's epoch (atomically with their region drop, before
+// publishing their snapshot), so a commit racing a query can neither
+// serve it a not-yet-invalidated entry nor let it install an answer
+// computed against the pre-commit tree (see cache::ResultCache).
 
 #include <memory>
 #include <vector>

@@ -638,14 +638,26 @@ Status StorageEngine::CommitBatchLocked() {
     return synced;
   }
 
-  // Publish the new epoch. Everything the snapshot references was written
-  // before this mutex-ordered handoff, which is the happens-before edge
-  // readers rely on (see PageStore's concurrency contract).
   CommitInfo info;
   info.epoch = committed_.epoch + 1;
   info.last_lsn = batch_ops_.back().lsn;
   info.dirty_region = batch_dirty_;
   info.ops = std::move(batch_ops_);
+
+  // Drop poisoned cache entries and advance the cache's epoch BEFORE the
+  // snapshot handoff below: a reader that pins the new epoch must already
+  // see the post-invalidation cache (live_engine relies on a surviving
+  // entry being valid for the pinned epoch), and in-flight queries still
+  // pinning the old epoch must have their publications rejected from here
+  // on (ResultCache::Insert validates the pin against this epoch).
+  if (cache_ != nullptr) {
+    cache_->BeginEpoch(info.epoch, info.dirty_region);
+    Metrics().cache_invalidations->Add();
+  }
+
+  // Publish the new epoch. Everything the snapshot references was written
+  // before this mutex-ordered handoff, which is the happens-before edge
+  // readers rely on (see PageStore's concurrency contract).
   auto snapshot = std::shared_ptr<const StorageSnapshot>(
       new StorageSnapshot(&store_, root_, height_, size_, dim_, max_entries_,
                           info.epoch, info.last_lsn));
@@ -670,11 +682,7 @@ Status StorageEngine::CommitBatchLocked() {
   // Downstream hooks, after publication so they observe the new epoch.
   // Invoked on the committing thread with the writer lock held: listeners
   // may pin snapshots and run queries, but must not re-enter the write
-  // path.
-  if (cache_ != nullptr && !info.dirty_region.IsEmpty()) {
-    cache_->Invalidate(info.dirty_region);
-    m.cache_invalidations->Add();
-  }
+  // path. (The cache hook ran above, before publication — see there.)
   for (const CommitListener& listener : listeners_) listener(info);
   return Status::OK();
 }
@@ -1007,6 +1015,11 @@ std::shared_ptr<const StorageSnapshot> StorageEngine::PinSnapshot() const {
 void StorageEngine::AttachResultCache(cache::ResultCache* cache) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   cache_ = cache;
+  if (cache_ != nullptr) {
+    // Sync the cache to the current committed epoch so a query that
+    // pinned a snapshot before the attach cannot publish into it.
+    cache_->BeginEpoch(committed_.epoch, geom::Rect::Empty(dim_));
+  }
 }
 
 void StorageEngine::AddCommitListener(CommitListener listener) {

@@ -338,6 +338,46 @@ TEST(ResultCache, RegionInvalidationDropsIntersectingEntriesOnly) {
   EXPECT_EQ(cache.bytes(), 0u);
 }
 
+// The epoch protocol behind online updates: every storage commit calls
+// BeginEpoch(new_epoch, dirty_region) before publishing its snapshot, and
+// readers pass their pinned epoch to Find/Insert. A pin behind the cache's
+// epoch must neither hit (surviving entries answer for the latest epoch)
+// nor publish (the answer predates an invalidation that already ran).
+TEST(ResultCache, EpochValidatesStalePinnedFindsAndInserts) {
+  ResultCache cache(ResultCacheOptions{});
+  cache.Insert(SyntheticQuery(0.0, 1.0, 0.1), 0, BoxAround(0.0, 5.0), {},
+               {index::ObjectId{1}}, /*epoch=*/1);
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0, 1).kind,
+            ResultCache::HitKind::kExact);
+
+  // A commit at epoch 2 dirties a far-away region: the entry survives,
+  // but only epoch-2 pins may use it.
+  EXPECT_EQ(cache.BeginEpoch(2, BoxAround(100.0, 1.0)), 0u);
+  EXPECT_EQ(cache.epoch(), 2u);
+  ASSERT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0, 1).kind,
+            ResultCache::HitKind::kMiss);
+  EXPECT_EQ(cache.Find(SyntheticQuery(0.0, 1.0, 0.1), 0, 2).kind,
+            ResultCache::HitKind::kExact);
+
+  // An answer computed against the pre-commit pin is rejected: its
+  // region invalidation already ran, so installing it now would serve a
+  // stale answer until the next intersecting commit.
+  cache.Insert(SyntheticQuery(50.0, 1.0, 0.1), 0, BoxAround(50.0, 5.0), {},
+               {}, /*epoch=*/1);
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.Insert(SyntheticQuery(50.0, 1.0, 0.1), 0, BoxAround(50.0, 5.0), {},
+               {}, /*epoch=*/2);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // The advance and the region drop are one atomic step.
+  EXPECT_EQ(cache.BeginEpoch(3, BoxAround(1.0, 2.0)), 1u);
+  EXPECT_EQ(cache.epoch(), 3u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.Find(SyntheticQuery(50.0, 1.0, 0.1), 0, 3).kind,
+            ResultCache::HitKind::kExact);
+}
+
 TEST(ResultCache, SemanticPrefersTightestEligibleTheta) {
   ResultCache cache(ResultCacheOptions{});
   for (const double theta : {0.05, 0.2, 0.4}) {

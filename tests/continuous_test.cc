@@ -222,6 +222,85 @@ TEST(ContinuousRegistry, MarksOnlyIntersectingQueriesStale) {
   EXPECT_EQ(registry.NotifyCommit(geom::Rect::Empty(2)), 0u);
 }
 
+// A commit landing in the middle of a refresh's evaluation (which pinned a
+// pre-commit epoch) must not be erased when the refresh stores its result:
+// the entry stays stale until a quiet re-evaluation succeeds. NotifyCommit
+// is re-entered from inside the Evaluate callback — legal, since the
+// registry evaluates outside its lock — which makes the race deterministic.
+TEST(ContinuousRegistry, CommitDuringRefreshKeepsQueryStale) {
+  const geom::Rect dirty(la::Vector{95.0, 95.0}, la::Vector{105.0, 105.0});
+  ContinuousQueryRegistry* registry_ptr = nullptr;
+  bool commit_during_next_eval = false;
+  std::vector<index::ObjectId> next_ids;
+  ContinuousQueryRegistry registry(
+      2, [&](const PrqQuery&, const PrqOptions&) {
+        PrqResult result;
+        result.ids = next_ids;
+        if (commit_during_next_eval) {
+          commit_during_next_eval = false;
+          registry_ptr->NotifyCommit(dirty);
+        }
+        return Result<PrqResult>(std::move(result));
+      });
+  registry_ptr = &registry;
+
+  next_ids = {1};
+  auto qid = registry.Register(QueryAt(100, 100, 10.0, 25.0, 0.01),
+                               PrqOptions());
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(registry.stale_count(), 0u);
+
+  registry.NotifyCommit(dirty);
+  EXPECT_EQ(registry.stale_count(), 1u);
+  commit_during_next_eval = true;
+  next_ids = {2};
+  ASSERT_TRUE(registry.RefreshStale().ok());
+  // The refresh's answer predates the mid-evaluation commit: still stale.
+  EXPECT_EQ(registry.stale_count(), 1u);
+
+  // A quiet refresh settles it.
+  next_ids = {3};
+  ASSERT_TRUE(registry.RefreshStale().ok());
+  EXPECT_EQ(registry.stale_count(), 0u);
+  auto current = registry.Current(*qid);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, (std::vector<index::ObjectId>{3}));
+}
+
+// The same race at registration time: the standing entry must be visible
+// to NotifyCommit before its initial evaluation runs, so a commit landing
+// mid-evaluation leaves the new query marked stale instead of registering
+// it fresh with pre-commit ids.
+TEST(ContinuousRegistry, CommitDuringRegistrationLeavesQueryStale) {
+  const geom::Rect dirty(la::Vector{95.0, 95.0}, la::Vector{105.0, 105.0});
+  ContinuousQueryRegistry* registry_ptr = nullptr;
+  bool commit_during_next_eval = true;  // fires during the initial eval
+  std::vector<index::ObjectId> next_ids = {1};
+  ContinuousQueryRegistry registry(
+      2, [&](const PrqQuery&, const PrqOptions&) {
+        PrqResult result;
+        result.ids = next_ids;
+        if (commit_during_next_eval) {
+          commit_during_next_eval = false;
+          registry_ptr->NotifyCommit(dirty);
+        }
+        return Result<PrqResult>(std::move(result));
+      });
+  registry_ptr = &registry;
+
+  auto qid = registry.Register(QueryAt(100, 100, 10.0, 25.0, 0.01),
+                               PrqOptions());
+  ASSERT_TRUE(qid.ok());
+  EXPECT_EQ(registry.stale_count(), 1u);
+
+  // Current() refreshes and now sees the post-commit data.
+  next_ids = {1, 2};
+  auto current = registry.Current(*qid);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, (std::vector<index::ObjectId>{1, 2}));
+  EXPECT_EQ(registry.stale_count(), 0u);
+}
+
 TEST(ContinuousRegistry, TracksStorageInsertsAndDeletes) {
   const size_t dim = 2;
   const std::string dir = ::testing::TempDir() + "/continuous_registry";

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "la/vector.h"
 
 namespace gprq::storage {
@@ -164,6 +165,36 @@ TEST(StorageSnapshot, PinnedEpochIsImmuneToLaterCommits) {
   const auto now = engine->PinSnapshot();
   EXPECT_GT(now->epoch(), epoch_before);
   EXPECT_EQ(now->size(), 350u);
+}
+
+// The cache-invalidation contract: AttachResultCache syncs the cache to
+// the committed epoch (a query that pinned its snapshot before the attach
+// cannot publish into the fresh cache), and every commit advances the
+// cache's epoch — with its region drop, atomically — before the new
+// snapshot becomes pinnable, observed here from a commit listener.
+TEST(StorageSnapshot, ResultCacheEpochFollowsCommits) {
+  const size_t dim = 2;
+  const std::string dir = FreshDir("snapshot_cache_epoch");
+  auto created = StorageEngine::Create(dir, dim, {});
+  ASSERT_TRUE(created.ok());
+  StorageEngine* engine = created->get();
+  for (uint32_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(engine->Insert(PairPoint(dim, id, false), id).ok());
+  }
+  const uint64_t committed = engine->PinSnapshot()->epoch();
+  ASSERT_GT(committed, 0u);
+
+  cache::ResultCache cache{cache::ResultCacheOptions{}};
+  EXPECT_EQ(cache.epoch(), 0u);
+  engine->AttachResultCache(&cache);
+  EXPECT_EQ(cache.epoch(), committed);
+
+  engine->AddCommitListener([&cache](const CommitInfo& info) {
+    EXPECT_EQ(cache.epoch(), info.epoch);
+  });
+  ASSERT_TRUE(engine->Insert(PairPoint(dim, 4, false), 4).ok());
+  EXPECT_EQ(cache.epoch(), engine->PinSnapshot()->epoch());
+  EXPECT_EQ(cache.epoch(), committed + 1);
 }
 
 TEST(StorageSnapshot, RangeQueryAgreesWithScanUnderChurn) {
