@@ -1,0 +1,334 @@
+// Remote scatter-gather under load and under failure: builds a sharded
+// deployment at K ∈ {2, 4}, serves every shard from an in-process GPRQ/1
+// backend (the gprq_server --shard-only shape), and drives the
+// RemoteShardedEngine coordinator through three phases per K:
+//
+//   1. closed-loop capacity: back-to-back queries measure the sustainable
+//      throughput of the full RPC scatter-gather path;
+//   2. open-loop at 0.5x / 1x / 2x of that capacity, healthy: arrivals on
+//      a fixed schedule, latency measured from *scheduled* arrival (queue
+//      wait included), goodput = complete answers per second;
+//   3. the same open-loop sweep with one backend killed: the breaker
+//      fails the dead shard fast, queries routed to it degrade to partial
+//      answers (their candidates undecided), everything else completes.
+//
+// Writes BENCH_remote.json (GPRQ_BENCH_JSON overrides). Scale with:
+//
+//   GPRQ_REMOTE_BENCH_N  points to generate            (default 200000)
+//   GPRQ_MC_SAMPLES      MC samples per integration    (default 4000)
+//   GPRQ_TRIALS          queries per open-loop phase   (default 64)
+//   GPRQ_REMOTE_KS       comma-separated shard counts  (default 2,4)
+//   GPRQ_REMOTE_BENCH_DIR  scratch directory           (default mkdtemp)
+//
+// Expected shape: goodput tracks the offered rate up to 1x and saturates
+// at 2x (p99 then grows with queue depth); with one backend down, goodput
+// only loses the degraded fraction — the deployment keeps answering.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/batch_executor.h"
+#include "index/dataset_file.h"
+#include "mc/monte_carlo.h"
+#include "net/server.h"
+#include "obs/trace.h"
+#include "remote/remote_engine.h"
+#include "rng/random.h"
+#include "shard/shard_builder.h"
+#include "shard/sharded_engine.h"
+
+namespace gprq {
+namespace {
+
+core::PrqEngine::EvaluatorFactory McFactory(uint64_t samples) {
+  return [samples](size_t worker) {
+    return std::make_unique<mc::MonteCarloEvaluator>(
+        mc::MonteCarloOptions{.samples = samples, .seed = 100 + worker});
+  };
+}
+
+std::vector<size_t> ShardCounts() {
+  const char* env = std::getenv("GPRQ_REMOTE_KS");
+  if (env == nullptr || *env == '\0') return {2, 4};
+  std::vector<size_t> counts;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (k > 0) counts.push_back(static_cast<size_t>(k));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (counts.empty()) counts = {2, 4};
+  return counts;
+}
+
+std::string ScratchDir() {
+  const char* env = std::getenv("GPRQ_REMOTE_BENCH_DIR");
+  if (env != nullptr && *env != '\0') {
+    ::mkdir(env, 0755);
+    return env;
+  }
+  char tmpl[] = "/tmp/gprq_remote_bench.XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) std::abort();
+  return dir;
+}
+
+void GenerateDataset(const std::string& path, uint64_t n, double extent) {
+  auto writer = index::DatasetFileWriter::Create(path, 2);
+  if (!writer.ok()) std::abort();
+  rng::Random random(2009);
+  constexpr size_t kClusters = 64;
+  std::vector<double> centers(kClusters * 2);
+  for (double& c : centers) c = random.NextDouble(0.0, extent);
+  const double stddev = extent / 25.0;
+  double row[2];
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t c = random.NextUint64(kClusters);
+    for (size_t a = 0; a < 2; ++a) {
+      const double v = random.NextGaussian(centers[c * 2 + a], stddev);
+      row[a] = std::min(std::max(v, 0.0), extent);
+    }
+    if (!writer->Append(row).ok()) std::abort();
+  }
+  if (!writer->Finish().ok()) std::abort();
+}
+
+/// One K-shard deployment: per-shard backend servers + the coordinator.
+struct Deployment {
+  std::vector<std::unique_ptr<exec::BatchExecutor>> backend_executors;
+  std::vector<std::unique_ptr<shard::ShardedPrqEngine>> backend_engines;
+  std::vector<std::unique_ptr<net::Server>> backend_servers;
+  std::unique_ptr<exec::BatchExecutor> coordinator_executor;
+  std::unique_ptr<remote::RemoteShardedEngine> coordinator;
+};
+
+Deployment MakeDeployment(const std::string& manifest_path, size_t shards,
+                          uint64_t samples) {
+  Deployment deployment;
+  std::vector<remote::BackendAddress> addresses;
+  for (size_t k = 0; k < shards; ++k) {
+    auto executor = exec::BatchExecutor::CreateDetached(McFactory(samples), 2);
+    if (!executor.ok()) std::abort();
+    deployment.backend_executors.push_back(std::move(*executor));
+    shard::ShardedEngineOptions backend_options;
+    backend_options.only_shard = static_cast<int64_t>(k);
+    auto engine = shard::ShardedPrqEngine::Open(
+        manifest_path, deployment.backend_executors.back().get(),
+        backend_options);
+    if (!engine.ok()) std::abort();
+    deployment.backend_engines.push_back(std::move(*engine));
+    auto server = net::Server::Serve(deployment.backend_engines.back().get(),
+                                     net::ServerOptions());
+    if (!server.ok()) std::abort();
+    deployment.backend_servers.push_back(std::move(*server));
+    addresses.push_back(remote::BackendAddress{
+        "127.0.0.1", deployment.backend_servers.back()->port()});
+  }
+
+  auto executor =
+      exec::BatchExecutor::CreateDetached(McFactory(samples), shards);
+  if (!executor.ok()) std::abort();
+  deployment.coordinator_executor = std::move(*executor);
+  // A chaos-tolerant policy: fail a dead backend fast (short connect
+  // timeout, no retries against connection-refused) and let the breaker
+  // absorb the rest of the outage.
+  remote::RemoteEngineOptions options;
+  options.policy.connect_timeout_seconds = 0.1;
+  options.policy.max_retries = 1;
+  options.policy.retry_base_seconds = 0.005;
+  options.policy.breaker.failure_threshold = 2;
+  options.policy.breaker.open_seconds = 1.0;
+  auto coordinator = remote::RemoteShardedEngine::Open(
+      manifest_path, std::move(addresses),
+      deployment.coordinator_executor.get(), options);
+  if (!coordinator.ok()) std::abort();
+  deployment.coordinator = std::move(*coordinator);
+  return deployment;
+}
+
+struct PhaseResult {
+  double offered_qps = 0.0;
+  double goodput_qps = 0.0;
+  double p99_ms = 0.0;
+  double degraded_fraction = 0.0;
+  uint64_t complete = 0;
+  uint64_t degraded = 0;
+};
+
+/// Open-loop run: query i is *scheduled* at i/rate; the single submitter
+/// (the engine's contract) picks it up when free, and latency is measured
+/// from the scheduled arrival — queue wait counts, which is what makes
+/// the 2x overload point visibly saturate.
+PhaseResult RunOpenLoop(remote::RemoteShardedEngine* coordinator,
+                        const std::vector<core::PrqQuery>& queries,
+                        double rate_qps) {
+  PhaseResult phase;
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  Stopwatch clock;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double scheduled = static_cast<double>(i) / rate_qps;
+    double now = clock.ElapsedSeconds();
+    if (now < scheduled) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(scheduled - now));
+    }
+    auto result = coordinator->ExecuteBounded(queries[i], core::PrqOptions());
+    if (!result.ok()) std::abort();
+    now = clock.ElapsedSeconds();
+    latencies.push_back((now - scheduled) * 1e3);
+    if (result->complete()) {
+      ++phase.complete;
+    } else {
+      ++phase.degraded;
+    }
+  }
+  const double elapsed = clock.ElapsedSeconds();
+  phase.offered_qps = rate_qps;
+  phase.goodput_qps = static_cast<double>(phase.complete) / elapsed;
+  phase.degraded_fraction = static_cast<double>(phase.degraded) /
+                            static_cast<double>(queries.size());
+  std::sort(latencies.begin(), latencies.end());
+  const size_t rank = std::min(
+      latencies.size() - 1, static_cast<size_t>(0.99 * latencies.size()));
+  phase.p99_ms = latencies[rank];
+  return phase;
+}
+
+void Run() {
+  const uint64_t n = bench::EnvOr("GPRQ_REMOTE_BENCH_N", 200000);
+  const uint64_t samples = bench::EnvOr("GPRQ_MC_SAMPLES", 4000);
+  const uint64_t trials = bench::EnvOr("GPRQ_TRIALS", 64);
+  const double extent = 10000.0;
+  const double delta = 150.0;
+  const double theta = 0.05;
+
+  const std::string dir = ScratchDir();
+  const std::string dataset_path = dir + "/points.gprq";
+
+  std::printf("Remote scaling: %llu clustered points, %llu queries per "
+              "phase, %llu MC samples\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(samples));
+
+  GenerateDataset(dataset_path, n, extent);
+  auto dataset = index::MmapDataset::Open(dataset_path);
+  if (!dataset.ok()) std::abort();
+
+  // Fixed query workload, identical across K and across conditions.
+  rng::Random random(77);
+  const la::Matrix cov = workload::PaperCovariance2D(10.0);
+  std::vector<core::PrqQuery> queries;
+  for (uint64_t t = 0; t < trials; ++t) {
+    auto g = core::GaussianDistribution::Create(
+        dataset->PointVector(random.NextUint64(dataset->count())), cov);
+    if (!g.ok()) std::abort();
+    queries.push_back(core::PrqQuery{std::move(*g), delta, theta});
+  }
+
+  std::printf("%-4s%-10s%8s%14s%14s%10s%12s\n", "K", "condition", "rate",
+              "offered", "goodput", "p99 ms", "degraded");
+  bench::Rule(72);
+
+  bench::JsonReport report;
+  for (const size_t shards : ShardCounts()) {
+    const std::string shard_dir = dir + "/k" + std::to_string(shards);
+    ::mkdir(shard_dir.c_str(), 0755);
+    shard::ShardBuildOptions build;
+    build.num_shards = shards;
+    auto manifest =
+        shard::BuildShards(*dataset, dataset_path, shard_dir, build);
+    if (!manifest.ok()) std::abort();
+    const std::string manifest_path = shard_dir + "/shards.manifest";
+
+    Deployment deployment = MakeDeployment(manifest_path, shards, samples);
+
+    // Phase 1: closed-loop capacity (and connection warm-up).
+    Stopwatch capacity_timer;
+    uint64_t closed_complete = 0;
+    for (const core::PrqQuery& query : queries) {
+      auto result = deployment.coordinator->ExecuteBounded(
+          query, core::PrqOptions());
+      if (!result.ok()) std::abort();
+      closed_complete += result->complete() ? 1 : 0;
+    }
+    const double capacity_qps =
+        static_cast<double>(trials) / capacity_timer.ElapsedSeconds();
+    if (closed_complete != trials) {
+      std::fprintf(stderr, "healthy closed loop had %llu incomplete runs\n",
+                   static_cast<unsigned long long>(trials - closed_complete));
+      std::abort();
+    }
+    std::printf("%-4zu%-10s%8s%11.1f/s%11.1f/s%10s%12s\n", shards, "healthy",
+                "closed", capacity_qps, capacity_qps, "-", "-");
+    bench::JsonValue capacity = bench::JsonValue::Object();
+    capacity.Set("k", bench::JsonValue(static_cast<double>(shards)));
+    capacity.Set("condition", bench::JsonValue("healthy"));
+    capacity.Set("phase", bench::JsonValue("closed_loop"));
+    capacity.Set("capacity_qps", bench::JsonValue(capacity_qps));
+    report.Add("remote_scaling", std::move(capacity));
+
+    // Phases 2 and 3: open-loop sweep, healthy then one backend killed.
+    for (const char* condition : {"healthy", "one_killed"}) {
+      if (std::string(condition) == "one_killed") {
+        deployment.backend_servers.front()->Shutdown();
+      }
+      for (const double multiplier : {0.5, 1.0, 2.0}) {
+        const PhaseResult phase = RunOpenLoop(
+            deployment.coordinator.get(), queries,
+            std::max(capacity_qps * multiplier, 1e-3));
+        std::printf("%-4zu%-10s%7.1fx%11.1f/s%11.1f/s%10.1f%11.1f%%\n",
+                    shards, condition, multiplier, phase.offered_qps,
+                    phase.goodput_qps, phase.p99_ms,
+                    phase.degraded_fraction * 1e2);
+        bench::JsonValue record = bench::JsonValue::Object();
+        record.Set("k", bench::JsonValue(static_cast<double>(shards)));
+        record.Set("condition", bench::JsonValue(condition));
+        record.Set("phase", bench::JsonValue("open_loop"));
+        record.Set("rate_multiplier", bench::JsonValue(multiplier));
+        record.Set("offered_qps", bench::JsonValue(phase.offered_qps));
+        record.Set("goodput_qps", bench::JsonValue(phase.goodput_qps));
+        record.Set("p99_ms", bench::JsonValue(phase.p99_ms));
+        record.Set("degraded_fraction",
+                   bench::JsonValue(phase.degraded_fraction));
+        record.Set("complete",
+                   bench::JsonValue(static_cast<double>(phase.complete)));
+        record.Set("degraded",
+                   bench::JsonValue(static_cast<double>(phase.degraded)));
+        report.Add("remote_scaling", std::move(record));
+      }
+    }
+  }
+
+  std::printf("\nexpected shape: goodput tracks the offered rate until "
+              "capacity, p99 inflates at 2x, and killing one backend costs "
+              "only the degraded fraction.\n");
+
+  const char* json_env = std::getenv("GPRQ_BENCH_JSON");
+  const std::string json_path = (json_env != nullptr && *json_env != '\0')
+                                    ? json_env
+                                    : "BENCH_remote.json";
+  if (report.WriteFile(json_path)) {
+    std::printf("remote scaling report written to %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace gprq
+
+int main() {
+  gprq::Run();
+  return 0;
+}

@@ -252,6 +252,8 @@ std::vector<std::string> KnownSites() {
       "index.page_file.write",
       "net.server.read",
       "net.server.write",
+      "remote.rpc.recv",
+      "remote.rpc.send",
       "storage.checkpoint.write",
       "storage.wal.append",
       "storage.wal.fsync",

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "rng/random.h"
 
 namespace gprq::net {
 namespace {
@@ -29,9 +30,10 @@ Status Timeout(const char* what) {
   return Status::DeadlineExceeded(std::string(what) + " timed out");
 }
 
-/// Waits for readiness; OK on ready, DeadlineExceeded on timeout.
-Status PollFd(int fd, short events, double timeout_seconds,
-              const char* what) {
+}  // namespace
+
+Status PollReady(int fd, short events, double timeout_seconds,
+                 const char* what) {
   pollfd p{fd, events, 0};
   const int timeout_ms =
       timeout_seconds <= 0.0
@@ -46,11 +48,8 @@ Status PollFd(int fd, short events, double timeout_seconds,
   return Status::OK();
 }
 
-}  // namespace
-
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                uint16_t port,
-                                                const ClientOptions& options) {
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      double timeout_seconds) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -66,7 +65,7 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     ::freeaddrinfo(resolved);
     return Errno("socket");
   }
-  // Non-blocking connect bounded by connect_timeout_seconds.
+  // Non-blocking connect bounded by timeout_seconds.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, resolved->ai_addr, resolved->ai_addrlen);
@@ -77,8 +76,7 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     return status;
   }
   if (rc < 0) {
-    const Status ready =
-        PollFd(fd, POLLOUT, options.connect_timeout_seconds, "connect");
+    const Status ready = PollReady(fd, POLLOUT, timeout_seconds, "connect");
     if (!ready.ok()) {
       ::close(fd);
       return ready;
@@ -94,8 +92,35 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
 
-  std::unique_ptr<Client> client(new Client(fd, options));
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const ClientOptions& options) {
+  // De-correlate reconnect storms: distinct (host, port, seed) triples get
+  // distinct jitter streams even when every caller leaves the seed at 0.
+  uint64_t seed = options.connect_retry_jitter_seed;
+  if (seed == 0) {
+    seed = 0x243F6A8885A308D3ULL ^ (static_cast<uint64_t>(port) << 17);
+    for (char c : host) seed = seed * 1099511628211ULL + static_cast<uint8_t>(c);
+  }
+  rng::Random jitter(seed);
+
+  Result<int> fd = Status::Internal("unreachable");
+  for (int attempt = 0;; ++attempt) {
+    fd = ConnectFd(host, port, options.connect_timeout_seconds);
+    if (fd.ok() || attempt >= options.max_connect_retries) break;
+    const double backoff =
+        std::min(options.connect_retry_cap_seconds,
+                 options.connect_retry_base_seconds *
+                     static_cast<double>(uint64_t{1} << std::min(attempt, 30)));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        backoff * jitter.NextDouble(0.5, 1.0)));
+  }
+  if (!fd.ok()) return fd.status();
+
+  std::unique_ptr<Client> client(new Client(*fd, options));
   if (!options.skip_hello) {
     GPRQ_RETURN_NOT_OK(client->SendAll(EncodeHello(HelloFrame{}),
                                        options.connect_timeout_seconds));
@@ -150,7 +175,7 @@ Status Client::SendAll(const std::string& frame, double timeout_seconds) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      GPRQ_RETURN_NOT_OK(PollFd(fd_, POLLOUT, left, "send"));
+      GPRQ_RETURN_NOT_OK(PollReady(fd_, POLLOUT, left, "send"));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -179,7 +204,7 @@ Status Client::ReadFrame(FrameType* type, std::string* payload,
     if (n == 0) return Status::IoError("server closed the connection");
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        GPRQ_RETURN_NOT_OK(PollFd(fd_, POLLIN, left, "response"));
+        GPRQ_RETURN_NOT_OK(PollReady(fd_, POLLIN, left, "response"));
         continue;
       }
       if (errno == EINTR) continue;
@@ -211,6 +236,15 @@ Result<RemoteResult> Client::QueryOnce(const core::PrqQuery& query,
                                        double deadline_left_seconds) {
   const uint64_t request_id = next_request_id_++;
   QueryFrame frame = QueryFrame::FromQuery(request_id, query, options);
+  // Never ship a deadline budget looser than the time this client will
+  // actually wait: a backend running past the abandoned request would burn
+  // Phase-3 work nobody reads. 0 on the wire means unbounded, so it too is
+  // clamped down to the remaining request budget.
+  const uint64_t left_micros = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::max(deadline_left_seconds, 0.0) * 1e6));
+  if (frame.deadline_micros == 0 || frame.deadline_micros > left_micros) {
+    frame.deadline_micros = left_micros;
+  }
   GPRQ_RETURN_NOT_OK(SendAll(EncodeQuery(frame), deadline_left_seconds));
 
   FrameType type;

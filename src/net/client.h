@@ -34,6 +34,17 @@ struct ClientOptions {
   /// RETRY_AFTER responses automatically retried (sleeping the server's
   /// retry_after_ms in between). 0 surfaces the shed immediately.
   int max_shed_retries = 3;
+  /// Additional connect attempts after the first fails (refused port,
+  /// resolve hiccup, connect timeout). Each retry sleeps a jittered
+  /// exponential backoff: U(0.5, 1.0) × min(cap, base × 2^attempt), so a
+  /// fleet of clients reconnecting to a restarted server does not
+  /// synchronize. 0 keeps the historical single-attempt behavior.
+  int max_connect_retries = 0;
+  double connect_retry_base_seconds = 0.05;
+  double connect_retry_cap_seconds = 1.0;
+  /// Seed for the backoff jitter stream; 0 derives one from the address so
+  /// distinct clients naturally de-correlate.
+  uint64_t connect_retry_jitter_seed = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Skip HELLO/WELCOME on connect (raw protocol tests).
   bool skip_hello = false;
@@ -55,10 +66,22 @@ struct RemoteResult {
   double wire_seconds = 0.0;
 };
 
+/// Resolves `host:port` and performs one bounded non-blocking TCP connect
+/// (TCP_NODELAY set). Returns the connected fd, still in non-blocking mode.
+/// Shared by Client and the remote coordinator's backend channels.
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      double timeout_seconds);
+
+/// Waits for readiness on one fd; OK on ready, DeadlineExceeded on timeout,
+/// IoError on socket error. `what` labels the error message.
+Status PollReady(int fd, short events, double timeout_seconds,
+                 const char* what);
+
 class Client {
  public:
-  /// Connects (with timeout) and, unless skip_hello, negotiates the
-  /// protocol version and fetches the dataset facts.
+  /// Connects — retrying per max_connect_retries with jittered exponential
+  /// backoff — and, unless skip_hello, negotiates the protocol version and
+  /// fetches the dataset facts.
   static Result<std::unique_ptr<Client>> Connect(
       const std::string& host, uint16_t port, const ClientOptions& options =
                                                   ClientOptions());
@@ -71,8 +94,10 @@ class Client {
   const WelcomeFrame& server_info() const { return welcome_; }
 
   /// Runs one query. The options' deadline crosses the wire as a budget in
-  /// µs; priority, strategy mask, filter-config bits and the pool-variant
-  /// flag are carried verbatim. A shed answer is retried per
+  /// µs, clamped to the remaining request_timeout_seconds so a backend
+  /// never burns Phase-3 work on a request this client has already
+  /// abandoned; priority, strategy mask, filter-config bits and the
+  /// pool-variant flag are carried verbatim. A shed answer is retried per
   /// max_shed_retries; other statuses (including degraded partial results)
   /// return as-is inside RemoteResult. An error Result means the exchange
   /// itself failed (connection, timeout, protocol violation, or a

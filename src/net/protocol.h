@@ -122,6 +122,12 @@ Result<WelcomeFrame> DecodeWelcomePayload(const uint8_t* data, size_t size);
 inline constexpr uint32_t kOptionUseCatalogs = 1u << 0;
 inline constexpr uint32_t kOptionFringeAnyDim = 1u << 1;
 inline constexpr uint32_t kOptionMarginalFilter = 1u << 2;
+/// Set by the remote coordinator on the per-shard QUERY frames it scatters:
+/// this request is one shard's slice of a fan-out, not a user query. Purely
+/// informational for the backend (counted as gprq.net.server.subqueries so
+/// operators can tell coordinator traffic from direct traffic); it does not
+/// change execution.
+inline constexpr uint32_t kOptionShardSubquery = 1u << 3;
 
 /// QUERY: one probabilistic range query.
 ///

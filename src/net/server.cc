@@ -197,7 +197,7 @@ Result<std::unique_ptr<Server>> Server::Serve(exec::BatchExecutor* executor,
   // Without admission control SubmitBounded is single-submitter.
   if (executor->overload() == nullptr) effective.submit_threads = 1;
   std::unique_ptr<Server> server(
-      new Server(executor, nullptr, info, effective));
+      new Server(executor, nullptr, nullptr, info, effective));
   GPRQ_RETURN_NOT_OK(server->Start());
   return server;
 }
@@ -215,14 +215,35 @@ Result<std::unique_ptr<Server>> Server::Serve(shard::ShardedPrqEngine* engine,
   info.num_shards = static_cast<uint32_t>(engine->num_shards());
   ServerOptions effective = options;
   effective.submit_threads = 1;  // single-submitter contract
-  std::unique_ptr<Server> server(new Server(nullptr, engine, info, effective));
+  std::unique_ptr<Server> server(
+      new Server(nullptr, engine, nullptr, info, effective));
+  GPRQ_RETURN_NOT_OK(server->Start());
+  return server;
+}
+
+Result<std::unique_ptr<Server>> Server::Serve(QueryBackend* backend,
+                                              const ServerOptions& options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend must not be null");
+  }
+  GPRQ_RETURN_NOT_OK(options.Validate());
+  const BackendInfo info = backend->Describe();
+  ServerOptions effective = options;
+  if (!backend->concurrent_submitters()) effective.submit_threads = 1;
+  std::unique_ptr<Server> server(
+      new Server(nullptr, nullptr, backend, info, effective));
   GPRQ_RETURN_NOT_OK(server->Start());
   return server;
 }
 
 Server::Server(exec::BatchExecutor* executor, shard::ShardedPrqEngine* sharded,
-               BackendInfo info, const ServerOptions& options)
-    : options_(options), executor_(executor), sharded_(sharded), info_(info) {
+               QueryBackend* backend, BackendInfo info,
+               const ServerOptions& options)
+    : options_(options),
+      executor_(executor),
+      sharded_(sharded),
+      backend_(backend),
+      info_(info) {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   metrics_.connections = registry.GetCounter("gprq.net.connections");
   metrics_.active_connections =
@@ -235,6 +256,9 @@ Server::Server(exec::BatchExecutor* executor, shard::ShardedPrqEngine* sharded,
   metrics_.queries = registry.GetCounter("gprq.net.queries");
   metrics_.rejects = registry.GetCounter("gprq.net.rejects");
   metrics_.io_faults = registry.GetCounter("gprq.net.io_faults");
+  metrics_.subqueries = registry.GetCounter("gprq.net.server.subqueries");
+  metrics_.last_deadline_budget =
+      registry.GetGauge("gprq.net.server.last_deadline_budget_micros");
   metrics_.request_nanos = registry.GetHistogram("gprq.net.request_nanos");
 }
 
@@ -738,6 +762,12 @@ std::string Server::ExecuteQuery(const QueryFrame& wire) {
     return EncodeError(error);
   };
 
+  if ((wire.option_flags & kOptionShardSubquery) != 0) {
+    metrics_.subqueries->Add();
+  }
+  metrics_.last_deadline_budget->Set(
+      static_cast<double>(wire.deadline_micros));
+
   auto parsed = wire.ToQuery();
   if (!parsed.ok()) return error_frame(parsed.status());
   const core::PrqQuery& query = parsed->first;
@@ -752,6 +782,13 @@ std::string Server::ExecuteQuery(const QueryFrame& wire) {
   Result<core::PrqResult> outcome = [&]() -> Result<core::PrqResult> {
     if (executor_ != nullptr) {
       return executor_->SubmitBounded(query, options, &stats);
+    }
+    if (backend_ != nullptr) {
+      if (backend_->concurrent_submitters()) {
+        return backend_->ExecuteQueryBounded(query, options, &stats);
+      }
+      std::lock_guard<std::mutex> lock(sharded_mutex_);
+      return backend_->ExecuteQueryBounded(query, options, &stats);
     }
     // Sharded engine: single-submitter contract, serialized here.
     std::lock_guard<std::mutex> lock(sharded_mutex_);

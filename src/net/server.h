@@ -92,6 +92,29 @@ struct BackendInfo {
   uint32_t num_shards = 0;
 };
 
+/// Anything that can answer PRQ queries behind a Server, beyond the two
+/// built-in backends. The remote coordinator (remote::RemoteShardedEngine)
+/// implements this so net/ never depends on remote/ — the dependency arrow
+/// stays remote → net.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Dataset facts for the WELCOME frame.
+  virtual BackendInfo Describe() const = 0;
+
+  /// Blocking bounded execution; same contract as
+  /// ShardedPrqEngine::ExecuteBounded (returned ids exact, cut-off work in
+  /// undecided, status reports why). `stats` may be null.
+  virtual Result<core::PrqResult> ExecuteQueryBounded(
+      const core::PrqQuery& query, const core::PrqOptions& options,
+      core::PrqStats* stats) = 0;
+
+  /// True when ExecuteQueryBounded tolerates concurrent callers. When
+  /// false the server forces one submitter and serializes besides.
+  virtual bool concurrent_submitters() const { return false; }
+};
+
 class Server {
  public:
   /// Serves a single-tree executor (created with an engine; with an
@@ -104,6 +127,11 @@ class Server {
   /// Serves a sharded deployment. The engine's single-submitter contract
   /// forces submit_threads to 1.
   static Result<std::unique_ptr<Server>> Serve(shard::ShardedPrqEngine* engine,
+                                               const ServerOptions& options);
+
+  /// Serves a custom backend (e.g. the remote coordinator). submit_threads
+  /// is forced to 1 unless backend->concurrent_submitters().
+  static Result<std::unique_ptr<Server>> Serve(QueryBackend* backend,
                                                const ServerOptions& options);
 
   ~Server();
@@ -169,6 +197,11 @@ class Server {
     obs::Counter* queries;
     obs::Counter* rejects;
     obs::Counter* io_faults;
+    obs::Counter* subqueries;
+    /// Deadline budget µs of the most recent QUERY frame, as received on
+    /// the wire — the clamp regression test reads this to prove the client
+    /// tightened the budget before sending.
+    obs::Gauge* last_deadline_budget;
     obs::Histogram* request_nanos;
   };
 
@@ -179,7 +212,8 @@ class Server {
 #endif
 
   Server(exec::BatchExecutor* executor, shard::ShardedPrqEngine* sharded,
-         BackendInfo info, const ServerOptions& options);
+         QueryBackend* backend, BackendInfo info,
+         const ServerOptions& options);
 
   Status Start();
   void LoopThread();
@@ -212,9 +246,10 @@ class Server {
   const ServerOptions options_;
   exec::BatchExecutor* const executor_;  // exactly one backend is non-null
   shard::ShardedPrqEngine* const sharded_;
+  QueryBackend* const backend_;
   const BackendInfo info_;
-  /// Serializes sharded ExecuteBounded (single-submitter contract). Unused
-  /// in executor mode.
+  /// Serializes sharded / non-concurrent custom backends
+  /// (single-submitter contract). Unused in executor mode.
   std::mutex sharded_mutex_;
 
   uint16_t port_ = 0;

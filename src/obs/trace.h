@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -93,6 +95,18 @@ struct QueryTrace {
   // its own `gprq.shard.*` series instead.
   uint64_t shards_routed = 0;  // shards whose MBR met the search box
   uint64_t shards_total = 0;   // shards in the deployment (0 = unsharded)
+
+  // ---- Remote scatter-gather (set by remote::RemoteShardedEngine, on top
+  // of the shard fields above; same ledger exemption). ----
+  /// Routed shards whose backend could not answer within budget — their
+  /// candidates were folded into `undecided` (the partial-answer contract).
+  uint64_t shards_degraded = 0;
+  uint64_t remote_retries = 0;  // RPC attempts beyond the first, all shards
+  uint64_t remote_hedges = 0;   // hedged requests issued
+  /// (shard, StatusCode) for every routed shard that ended non-OK, in
+  /// shard order — the per-shard status record the degradation contract
+  /// promises. Codes are the wire encoding (uint8_t of StatusCode).
+  std::vector<std::pair<uint32_t, uint8_t>> remote_shard_errors;
 
   // ---- Semantic result cache (set by the cache-aware exec path). ----
   // Exact hit: the stored complete answer was served verbatim — no filter

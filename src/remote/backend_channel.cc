@@ -1,0 +1,574 @@
+#include "remote/backend_channel.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "fault/failpoint.h"
+#include "net/client.h"
+
+namespace gprq::remote {
+namespace {
+
+// Coordinator-side RPC metrics, resolved once (the obs idiom).
+struct ChannelMetrics {
+  obs::Counter* rpcs;
+  obs::Counter* retries;
+  obs::Counter* hedges;
+  obs::Counter* hedge_wins;
+  obs::Counter* breaker_rejects;
+  obs::Histogram* rpc_nanos;
+
+  static const ChannelMetrics& Get() {
+    static const ChannelMetrics metrics = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return ChannelMetrics{r.GetCounter("gprq.remote.rpcs"),
+                            r.GetCounter("gprq.remote.retries"),
+                            r.GetCounter("gprq.remote.hedges"),
+                            r.GetCounter("gprq.remote.hedge_wins"),
+                            r.GetCounter("gprq.remote.breaker_rejects"),
+                            r.GetHistogram("gprq.remote.rpc_nanos")};
+    }();
+    return metrics;
+  }
+};
+
+/// Evaluates the generic failpoint site, then the per-shard one — chaos
+/// tests arm `remote.rpc.send.<k>` to kill exactly one shard's RPCs.
+Status EvaluateRpcSite(const char* base, const char* shard_site) {
+#ifdef GPRQ_FAULT_DISABLED
+  (void)base;
+  (void)shard_site;
+  return Status::OK();
+#else
+  GPRQ_RETURN_NOT_OK(GPRQ_FAILPOINT(base));
+  return GPRQ_FAILPOINT(shard_site);
+#endif
+}
+
+/// Sends every byte within the budget; IoError/DeadlineExceeded on failure.
+Status SendFrameFd(int fd, const std::string& bytes, double timeout_seconds) {
+  Stopwatch watch;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const double left = timeout_seconds - watch.ElapsedSeconds();
+    if (left <= 0.0) return Status::DeadlineExceeded("rpc send timed out");
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      GPRQ_RETURN_NOT_OK(net::PollReady(fd, POLLOUT, left, "rpc send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(std::string("rpc send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// One non-blocking read, appended to *acc. OK on progress or EAGAIN;
+/// IoError on EOF or a socket error.
+Status RecvSome(int fd, std::string* acc) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      acc->append(buf, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::IoError("backend closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("rpc recv: ") + std::strerror(errno));
+  }
+}
+
+/// Extracts one complete frame from the front of *acc if present.
+Result<bool> TryExtractFrame(std::string* acc, size_t max_frame_bytes,
+                             net::FrameType* type, std::string* payload) {
+  if (acc->size() < net::kFrameHeaderBytes) return false;
+  auto header = net::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(acc->data()), max_frame_bytes);
+  if (!header.ok()) return header.status();
+  const size_t total = net::kFrameHeaderBytes + header->length;
+  if (acc->size() < total) return false;
+  *type = header->type;
+  payload->assign(*acc, net::kFrameHeaderBytes, header->length);
+  acc->erase(0, total);
+  return true;
+}
+
+bool Retryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<BackendAddress> ParseBackendAddress(const std::string& spec) {
+  BackendAddress address;
+  const size_t colon = spec.find_last_of(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("backend address wants host:port, got '" +
+                                   spec + "'");
+  }
+  if (colon > 0) address.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+  if (port.empty() || end == nullptr || *end != '\0' || value == 0 ||
+      value > 65535) {
+    return Status::InvalidArgument("bad backend port in '" + spec + "'");
+  }
+  address.port = static_cast<uint16_t>(value);
+  return address;
+}
+
+// ---- LatencyWindow ---------------------------------------------------------
+
+void LatencyWindow::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.size() < kCapacity) {
+    window_.push_back(seconds);
+  } else {
+    window_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % kCapacity;
+}
+
+double LatencyWindow::Quantile(double q, int min_samples) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (min_samples < 1) min_samples = 1;
+    if (window_.size() < static_cast<size_t>(min_samples)) return -1.0;
+    sorted = window_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+size_t LatencyWindow::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_.size();
+}
+
+// ---- BackendChannel --------------------------------------------------------
+
+BackendChannel::BackendChannel(size_t shard, BackendAddress address,
+                               const RemotePolicy* policy,
+                               uint32_t expected_dim, uint64_t expected_points)
+    : shard_(shard),
+      address_(std::move(address)),
+      policy_(policy),
+      expected_dim_(expected_dim),
+      expected_points_(expected_points),
+      send_site_("remote.rpc.send." + std::to_string(shard)),
+      recv_site_("remote.rpc.recv." + std::to_string(shard)),
+      jitter_(policy->jitter_seed != 0
+                  ? policy->jitter_seed + shard
+                  : 0x8C5FB7D3A1E94C2FULL + shard * 0x9E3779B97F4A7C15ULL),
+      breaker_(policy->breaker, "backend " + std::to_string(shard)),
+      breaker_state_gauge_(obs::MetricRegistry::Global().GetGauge(
+          "gprq.remote.backend." + std::to_string(shard) + ".breaker_state")) {
+}
+
+BackendChannel::~BackendChannel() { ClosePrimary(); }
+
+void BackendChannel::ClosePrimary() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+double BackendChannel::HedgeDelaySeconds() const {
+  if (!policy_->hedge) return -1.0;
+  const double p95 = latency_.Quantile(0.95, policy_->hedge_min_samples);
+  if (p95 < 0.0) return -1.0;
+  return std::max(policy_->hedge_min_seconds,
+                  policy_->hedge_multiplier * p95);
+}
+
+Result<int> BackendChannel::OpenConnection(double timeout_seconds,
+                                           bool skip_welcome) {
+  Stopwatch watch;
+  Result<int> fd = net::ConnectFd(address_.host, address_.port,
+                                  timeout_seconds);
+  if (!fd.ok()) return fd.status();
+  if (skip_welcome) return *fd;
+
+  auto fail = [&](const Status& status) -> Result<int> {
+    ::close(*fd);
+    return status;
+  };
+  Status sent = SendFrameFd(*fd, net::EncodeHello(net::HelloFrame{}),
+                            timeout_seconds - watch.ElapsedSeconds());
+  if (!sent.ok()) return fail(sent);
+
+  std::string acc;
+  net::FrameType type;
+  std::string payload;
+  while (true) {
+    Result<bool> complete =
+        TryExtractFrame(&acc, net::kDefaultMaxFrameBytes, &type, &payload);
+    if (!complete.ok()) return fail(complete.status());
+    if (*complete) break;
+    const double left = timeout_seconds - watch.ElapsedSeconds();
+    if (left <= 0.0) {
+      return fail(Status::DeadlineExceeded("backend WELCOME timed out"));
+    }
+    Status ready = net::PollReady(*fd, POLLIN, left, "welcome");
+    if (!ready.ok()) return fail(ready);
+    Status read = RecvSome(*fd, &acc);
+    if (!read.ok()) return fail(read);
+  }
+  if (type != net::FrameType::kWelcome) {
+    return fail(Status::IoError("expected WELCOME from backend"));
+  }
+  auto welcome = net::DecodeWelcomePayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (!welcome.ok()) return fail(welcome.status());
+  if (welcome->version != net::kProtocolVersion) {
+    return fail(Status::IoError("backend negotiated unsupported version " +
+                                std::to_string(welcome->version)));
+  }
+  if (welcome->dim != expected_dim_) {
+    return fail(Status::InvalidArgument(
+        "backend for shard " + std::to_string(shard_) + " serves dim " +
+        std::to_string(welcome->dim) + ", manifest wants " +
+        std::to_string(expected_dim_)));
+  }
+  if (policy_->validate_points && welcome->points != expected_points_) {
+    return fail(Status::InvalidArgument(
+        "backend for shard " + std::to_string(shard_) + " serves " +
+        std::to_string(welcome->points) + " points, manifest lists " +
+        std::to_string(expected_points_) +
+        " — is it serving the right shard?"));
+  }
+  return *fd;
+}
+
+Status BackendChannel::Probe() {
+  Result<int> fd = OpenConnection(policy_->connect_timeout_seconds,
+                                  /*skip_welcome=*/false);
+  if (!fd.ok()) return fd.status();
+  ::close(*fd);
+  return Status::OK();
+}
+
+Status BackendChannel::AttemptOnce(net::QueryFrame* frame,
+                                   double timeout_seconds,
+                                   net::ResponseFrame* response,
+                                   RpcStats* stats) {
+  const ChannelMetrics& metrics = ChannelMetrics::Get();
+  Stopwatch watch;
+
+  Status injected = EvaluateRpcSite("remote.rpc.send", send_site_.c_str());
+  if (!injected.ok()) {
+    ClosePrimary();
+    return injected;
+  }
+  if (fd_ < 0) {
+    Result<int> fd = OpenConnection(
+        std::min(policy_->connect_timeout_seconds, timeout_seconds),
+        /*skip_welcome=*/false);
+    if (!fd.ok()) return fd.status();
+    fd_ = *fd;
+  }
+
+  frame->request_id = next_request_id_++;
+  const uint64_t primary_id = frame->request_id;
+  Status sent = SendFrameFd(fd_, net::EncodeQuery(*frame),
+                            timeout_seconds - watch.ElapsedSeconds());
+  if (!sent.ok()) {
+    ClosePrimary();
+    return sent;
+  }
+  ++stats->attempts;
+  metrics.rpcs->Add();
+
+  // The recv failpoint fires before we start waiting: an error injection
+  // poisons the attempt (transport-failure path), a latency-only injection
+  // stalls it past the hedge delay (straggler path).
+  injected = EvaluateRpcSite("remote.rpc.recv", recv_site_.c_str());
+  if (!injected.ok()) {
+    ClosePrimary();
+    return injected;
+  }
+
+  const double hedge_delay = HedgeDelaySeconds();
+  bool hedge_tried = false;
+  int hedge_fd = -1;
+  uint64_t hedge_id = 0;
+  std::string primary_acc;
+  std::string hedge_acc;
+  bool primary_alive = true;
+
+  auto close_hedge = [&] {
+    if (hedge_fd >= 0) {
+      ::close(hedge_fd);
+      hedge_fd = -1;
+    }
+  };
+  // Every return path below either keeps a *clean* primary (a complete
+  // frame consumed, nothing pending) or closes it; the hedge connection
+  // never survives the attempt.
+  auto finish = [&](const Status& status, bool primary_clean) {
+    close_hedge();
+    if (!primary_clean || !primary_acc.empty()) ClosePrimary();
+    return status;
+  };
+
+  while (true) {
+    const double left = timeout_seconds - watch.ElapsedSeconds();
+    if (left <= 0.0) {
+      return finish(Status::DeadlineExceeded(
+                        "rpc to shard " + std::to_string(shard_) +
+                        " backend timed out"),
+                    /*primary_clean=*/false);
+    }
+
+    // Issue the hedge once the delay elapses (and the primary is still
+    // silent). Hedge connects fresh and skips HELLO — the server answers
+    // QUERY frames without negotiation.
+    double poll_timeout = left;
+    if (!hedge_tried && hedge_delay >= 0.0 && primary_alive) {
+      const double until_hedge = hedge_delay - watch.ElapsedSeconds();
+      if (until_hedge <= 0.0) {
+        hedge_tried = true;
+        Result<int> fd = OpenConnection(
+            std::min(policy_->connect_timeout_seconds, left),
+            /*skip_welcome=*/true);
+        if (fd.ok()) {
+          frame->request_id = next_request_id_++;
+          hedge_id = frame->request_id;
+          Status hsent = SendFrameFd(*fd, net::EncodeQuery(*frame), left);
+          if (hsent.ok()) {
+            hedge_fd = *fd;
+            ++stats->attempts;
+            ++stats->hedges;
+            metrics.rpcs->Add();
+            metrics.hedges->Add();
+          } else {
+            ::close(*fd);
+          }
+        }
+        continue;
+      }
+      poll_timeout = std::min(poll_timeout, until_hedge);
+    }
+    if (!primary_alive && hedge_fd < 0) {
+      return finish(Status::IoError("backend connection lost"),
+                    /*primary_clean=*/false);
+    }
+
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    int primary_slot = -1;
+    int hedge_slot = -1;
+    if (primary_alive && fd_ >= 0) {
+      primary_slot = static_cast<int>(nfds);
+      fds[nfds++] = pollfd{fd_, POLLIN, 0};
+    }
+    if (hedge_fd >= 0) {
+      hedge_slot = static_cast<int>(nfds);
+      fds[nfds++] = pollfd{hedge_fd, POLLIN, 0};
+    }
+    const int timeout_ms = static_cast<int>(
+        std::min(std::max(poll_timeout, 0.0) * 1e3 + 1.0, 2.0e9));
+    const int n = ::poll(fds, nfds, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return finish(Status::IoError(std::string("rpc poll: ") +
+                                    std::strerror(errno)),
+                    /*primary_clean=*/false);
+    }
+    if (n == 0) continue;  // hedge timer or deadline handled at loop top
+
+    // Drain whichever side is readable; a dead side is dropped, the other
+    // may still win.
+    if (primary_slot >= 0 &&
+        (fds[primary_slot].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      Status read = RecvSome(fd_, &primary_acc);
+      if (!read.ok()) {
+        ClosePrimary();
+        primary_alive = false;
+        if (hedge_fd < 0) return finish(read, /*primary_clean=*/false);
+      }
+    }
+    if (hedge_slot >= 0 &&
+        (fds[hedge_slot].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      Status read = RecvSome(hedge_fd, &hedge_acc);
+      if (!read.ok()) close_hedge();
+    }
+
+    // A complete frame on either side resolves the attempt.
+    for (int side = 0; side < 2; ++side) {
+      const bool is_primary = side == 0;
+      if (is_primary && (!primary_alive || fd_ < 0)) continue;
+      if (!is_primary && hedge_fd < 0) continue;
+      std::string& acc = is_primary ? primary_acc : hedge_acc;
+      const uint64_t want_id = is_primary ? primary_id : hedge_id;
+
+      net::FrameType type;
+      std::string payload;
+      Result<bool> complete =
+          TryExtractFrame(&acc, net::kDefaultMaxFrameBytes, &type, &payload);
+      if (!complete.ok()) {
+        if (is_primary) {
+          ClosePrimary();
+          primary_alive = false;
+          if (hedge_fd < 0) {
+            return finish(complete.status(), /*primary_clean=*/false);
+          }
+        } else {
+          close_hedge();
+        }
+        continue;
+      }
+      if (!*complete) continue;
+      const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+
+      switch (type) {
+        case net::FrameType::kResponse: {
+          auto decoded = net::DecodeResponsePayload(
+              data, payload.size(), net::kDefaultMaxFrameBytes);
+          if (!decoded.ok() || decoded->request_id != want_id) {
+            const Status bad = decoded.ok()
+                                   ? Status::IoError(
+                                         "response for a different request")
+                                   : decoded.status();
+            if (is_primary) {
+              ClosePrimary();
+              primary_alive = false;
+              if (hedge_fd < 0) {
+                return finish(bad, /*primary_clean=*/false);
+              }
+            } else {
+              close_hedge();
+            }
+            continue;
+          }
+          *response = std::move(*decoded);
+          if (!is_primary) {
+            stats->hedge_won = true;
+            metrics.hedge_wins->Add();
+            // The primary still owes a response — poisoned, drop it.
+            return finish(Status::OK(), /*primary_clean=*/false);
+          }
+          return finish(Status::OK(), /*primary_clean=*/true);
+        }
+        case net::FrameType::kRetryAfter: {
+          auto retry = net::DecodeRetryAfterPayload(data, payload.size());
+          const Status shed = Status::ResourceExhausted(
+              retry.ok() && !retry->message.empty() ? retry->message
+                                                    : "shed by backend");
+          shed_hint_seconds_ =
+              retry.ok() ? static_cast<double>(retry->retry_after_ms) * 1e-3
+                         : 0.0;
+          // The connection is healthy (a complete, well-formed reply);
+          // the *request* was shed.
+          replied_ = true;
+          return finish(shed, /*primary_clean=*/is_primary);
+        }
+        case net::FrameType::kError: {
+          auto error = net::DecodeErrorPayload(data, payload.size());
+          if (!error.ok()) {
+            return finish(error.status(), /*primary_clean=*/false);
+          }
+          replied_ = true;
+          return finish(Status(static_cast<StatusCode>(error->status_code),
+                               error->message),
+                        /*primary_clean=*/is_primary);
+        }
+        default:
+          return finish(Status::IoError("unexpected frame from backend"),
+                        /*primary_clean=*/false);
+      }
+    }
+  }
+}
+
+Status BackendChannel::Call(net::QueryFrame frame, double budget_seconds,
+                            net::ResponseFrame* response, RpcStats* stats) {
+  const ChannelMetrics& metrics = ChannelMetrics::Get();
+  auto publish_state = [&] {
+    breaker_state_gauge_->Set(
+        static_cast<double>(static_cast<int>(breaker_.state())));
+  };
+
+  Status gate = breaker_.Allow();
+  publish_state();
+  if (!gate.ok()) {
+    metrics.breaker_rejects->Add();
+    return gate;
+  }
+
+  Stopwatch watch;
+  Status last = Status::OK();
+  replied_ = false;
+  for (int attempt = 0;; ++attempt) {
+    const double left = budget_seconds - watch.ElapsedSeconds();
+    if (left <= 0.0) {
+      last = Status::DeadlineExceeded("shard " + std::to_string(shard_) +
+                                      " rpc budget exhausted");
+      break;
+    }
+    shed_hint_seconds_ = 0.0;
+    Stopwatch attempt_watch;
+    last = AttemptOnce(&frame, std::min(policy_->rpc_timeout_seconds, left),
+                       response, stats);
+    if (last.ok()) {
+      latency_.Record(attempt_watch.ElapsedSeconds());
+      metrics.rpc_nanos->Record(attempt_watch.ElapsedNanos());
+      breaker_.RecordSuccess();
+      publish_state();
+      return Status::OK();
+    }
+    if (!Retryable(last) || attempt >= policy_->max_retries) break;
+    double backoff =
+        std::min(policy_->retry_cap_seconds,
+                 policy_->retry_base_seconds *
+                     static_cast<double>(uint64_t{1} << std::min(attempt, 30)));
+    backoff = std::max(backoff * jitter_.NextDouble(0.5, 1.0),
+                       shed_hint_seconds_);
+    backoff = std::min(backoff, budget_seconds - watch.ElapsedSeconds());
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    ++stats->retries;
+    metrics.retries->Add();
+  }
+  // A well-formed reply (shed or request-scoped error) proves the backend
+  // alive — only transport-level failures feed the breaker.
+  if (replied_) {
+    breaker_.RecordSuccess();
+  } else {
+    breaker_.RecordFailure();
+  }
+  publish_state();
+  return last;
+}
+
+}  // namespace gprq::remote

@@ -1,0 +1,146 @@
+#ifndef GPRQ_REMOTE_BACKEND_CHANNEL_H_
+#define GPRQ_REMOTE_BACKEND_CHANNEL_H_
+
+// One shard's RPC channel to its gprq_server backend, wrapping a
+// persistent GPRQ/1 connection in the full fault-handling stack:
+//
+//  * breaker gate — common::CircuitBreaker per backend; while open, Call
+//    fails in microseconds with ResourceExhausted (the shard degrades to
+//    undecided without waiting on a dead host), and half-open probes
+//    detect recovery;
+//  * bounded retries — connect/transport errors, RPC timeouts and shed
+//    (RETRY_AFTER) replies retry on a *fresh* connection with jittered
+//    exponential backoff, capped by RemotePolicy::max_retries and by the
+//    caller's budget;
+//  * hedging — once enough latency samples exist, an attempt that outlives
+//    max(hedge_min, hedge_multiplier × p95) issues one duplicate request
+//    on a second connection; the first complete response wins and the
+//    loser is closed (a poisoned connection is never reused);
+//  * fault injection — `remote.rpc.send` / `remote.rpc.recv` failpoints,
+//    evaluated both under the generic site name and a per-shard suffixed
+//    one (`remote.rpc.send.<shard>`), so chaos tests can kill exactly one
+//    shard's RPCs.
+//
+// Thread-compatible: the engine's scatter issues at most one Call per
+// channel at a time (one task per routed shard); the breaker and latency
+// ring are internally locked so health state survives across queries and
+// threads.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "remote/remote_policy.h"
+#include "rng/random.h"
+
+namespace gprq::remote {
+
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Parses "host:port" (host may be empty → 127.0.0.1).
+Result<BackendAddress> ParseBackendAddress(const std::string& spec);
+
+/// What one Call spent; the engine folds these into the query trace.
+struct RpcStats {
+  int attempts = 0;  // total request transmissions, hedges included
+  int retries = 0;   // attempts caused by a failed predecessor
+  int hedges = 0;    // hedged duplicates issued
+  bool hedge_won = false;
+};
+
+/// Sliding window of successful RPC latencies; Quantile powers the hedge
+/// delay. Internally locked (written by whichever worker ran the scatter
+/// task).
+class LatencyWindow {
+ public:
+  void Record(double seconds);
+  /// The q-quantile (0 < q < 1) of the window, or -1 with fewer than
+  /// `min_samples` recorded.
+  double Quantile(double q, int min_samples) const;
+  size_t size() const;
+
+ private:
+  static constexpr size_t kCapacity = 128;
+  mutable std::mutex mutex_;
+  std::vector<double> window_;
+  size_t next_ = 0;
+};
+
+class BackendChannel {
+ public:
+  /// `policy` is referenced, not copied; it must outlive the channel.
+  /// expected_dim/expected_points validate the backend's WELCOME against
+  /// the manifest entry (points only when policy.validate_points).
+  BackendChannel(size_t shard, BackendAddress address,
+                 const RemotePolicy* policy, uint32_t expected_dim,
+                 uint64_t expected_points);
+  ~BackendChannel();
+
+  BackendChannel(const BackendChannel&) = delete;
+  BackendChannel& operator=(const BackendChannel&) = delete;
+
+  /// One fault-handled exchange: sends `frame` (request_id is overwritten
+  /// per attempt) and waits for the matching RESPONSE, retrying and
+  /// hedging per policy within `budget_seconds`. OK ⇒ *response holds the
+  /// backend's answer (which may itself carry a degraded status — that is
+  /// the backend's verdict, not a transport failure). Shed replies that
+  /// survive every retry surface as ResourceExhausted; transport failures
+  /// as IoError/DeadlineExceeded; an open breaker as ResourceExhausted
+  /// without touching the network.
+  Status Call(net::QueryFrame frame, double budget_seconds,
+              net::ResponseFrame* response, RpcStats* stats);
+
+  /// Best-effort connect + WELCOME validation (used at engine open to
+  /// surface misconfiguration early). Does not touch the breaker.
+  Status Probe();
+
+  common::CircuitBreaker& breaker() { return breaker_; }
+  const BackendAddress& address() const { return address_; }
+  size_t shard() const { return shard_; }
+  /// Current hedge delay, or -1 while disarmed (hedging off / too few
+  /// samples).
+  double HedgeDelaySeconds() const;
+
+ private:
+  /// Opens a fresh connection and (skip_welcome=false) validates
+  /// HELLO/WELCOME. Returns the fd.
+  Result<int> OpenConnection(double timeout_seconds, bool skip_welcome);
+  /// One attempt: ensure a primary connection, send, await the response,
+  /// hedging if armed. Closes whatever failed.
+  Status AttemptOnce(net::QueryFrame* frame, double timeout_seconds,
+                     net::ResponseFrame* response, RpcStats* stats);
+  void ClosePrimary();
+
+  const size_t shard_;
+  const BackendAddress address_;
+  const RemotePolicy* const policy_;
+  const uint32_t expected_dim_;
+  const uint64_t expected_points_;
+  const std::string send_site_;  // "remote.rpc.send.<shard>"
+  const std::string recv_site_;  // "remote.rpc.recv.<shard>"
+
+  int fd_ = -1;  // persistent primary connection (-1 = disconnected)
+  uint64_t next_request_id_ = 1;
+  rng::Random jitter_;
+  // Per-Call scratch (one Call at a time per channel): did any attempt get
+  // a well-formed reply (feeds the breaker — a shed backend is alive), and
+  // the backend's RETRY_AFTER hint for the next backoff.
+  bool replied_ = false;
+  double shed_hint_seconds_ = 0.0;
+
+  common::CircuitBreaker breaker_;
+  LatencyWindow latency_;
+  obs::Gauge* breaker_state_gauge_;
+};
+
+}  // namespace gprq::remote
+
+#endif  // GPRQ_REMOTE_BACKEND_CHANNEL_H_

@@ -1,0 +1,111 @@
+#include "remote/remote_policy.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gprq::remote {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Result<bool> ParseOnOff(const std::string& value, const std::string& key) {
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  return Status::InvalidArgument("remote policy " + key +
+                                 " wants on/off, got '" + value + "'");
+}
+
+}  // namespace
+
+Status RemotePolicy::Validate() const {
+  if (rpc_timeout_seconds <= 0.0) {
+    return Status::InvalidArgument("rpc_timeout must be > 0");
+  }
+  if (connect_timeout_seconds <= 0.0) {
+    return Status::InvalidArgument("connect_timeout must be > 0");
+  }
+  if (max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be >= 0");
+  }
+  if (retry_base_seconds < 0.0 || retry_cap_seconds < 0.0) {
+    return Status::InvalidArgument("retry backoff must be >= 0");
+  }
+  if (hedge_min_seconds < 0.0 || hedge_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "hedge_min must be >= 0 and hedge_multiplier >= 1");
+  }
+  if (hedge_min_samples < 1) {
+    return Status::InvalidArgument("hedge_min_samples must be >= 1");
+  }
+  return breaker.Validate();
+}
+
+Result<RemotePolicy> RemotePolicy::FromSpec(const std::string& spec) {
+  RemotePolicy policy;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    const std::string entry = Trim(spec.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("remote policy entry missing '=': " +
+                                     entry);
+    }
+    const std::string key = Trim(entry.substr(0, eq));
+    const std::string value = Trim(entry.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("malformed remote policy entry: " +
+                                     entry);
+    }
+    const double number = std::strtod(value.c_str(), nullptr);
+    if (key == "rpc_timeout_ms") {
+      policy.rpc_timeout_seconds = number * 1e-3;
+    } else if (key == "connect_timeout_ms") {
+      policy.connect_timeout_seconds = number * 1e-3;
+    } else if (key == "max_retries") {
+      policy.max_retries = static_cast<int>(number);
+    } else if (key == "retry_base_ms") {
+      policy.retry_base_seconds = number * 1e-3;
+    } else if (key == "retry_cap_ms") {
+      policy.retry_cap_seconds = number * 1e-3;
+    } else if (key == "jitter_seed") {
+      policy.jitter_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "hedge") {
+      Result<bool> on = ParseOnOff(value, key);
+      if (!on.ok()) return on.status();
+      policy.hedge = *on;
+    } else if (key == "hedge_min_ms") {
+      policy.hedge_min_seconds = number * 1e-3;
+    } else if (key == "hedge_multiplier") {
+      policy.hedge_multiplier = number;
+    } else if (key == "hedge_min_samples") {
+      policy.hedge_min_samples = static_cast<int>(number);
+    } else if (key == "breaker_failures") {
+      policy.breaker.failure_threshold = static_cast<int>(number);
+    } else if (key == "breaker_open_ms") {
+      policy.breaker.open_seconds = number * 1e-3;
+    } else if (key == "breaker_probes") {
+      policy.breaker.half_open_probes = static_cast<int>(number);
+    } else if (key == "validate_points") {
+      Result<bool> on = ParseOnOff(value, key);
+      if (!on.ok()) return on.status();
+      policy.validate_points = *on;
+    } else {
+      return Status::InvalidArgument("unknown remote policy key: " + key);
+    }
+  }
+  GPRQ_RETURN_NOT_OK(policy.Validate());
+  return policy;
+}
+
+}  // namespace gprq::remote

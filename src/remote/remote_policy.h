@@ -1,0 +1,65 @@
+#ifndef GPRQ_REMOTE_REMOTE_POLICY_H_
+#define GPRQ_REMOTE_REMOTE_POLICY_H_
+
+// The coordinator's fault-handling knobs, grouped so one spec string can
+// configure a stock gprq_coordinator binary (mirroring
+// exec::OverloadPolicy::FromSpec). Three layers, outermost first:
+//
+//  * Circuit breaker (per backend): after `breaker_failures` consecutive
+//    failed RPCs the backend is skipped outright (its shard degrades to
+//    undecided in microseconds instead of burning retry budget), until an
+//    open interval elapses and a half-open probe proves recovery.
+//  * Retries (per RPC): connect/transport errors and shed replies retry
+//    with jittered exponential backoff, bounded by `max_retries` and by
+//    the query's remaining deadline budget.
+//  * Hedging (per attempt): once a backend has `hedge_min_samples`
+//    recorded latencies, a response slower than
+//    max(hedge_min, hedge_multiplier × p95) triggers one hedged duplicate
+//    on a fresh connection; first complete response wins.
+
+#include <string>
+
+#include "common/circuit_breaker.h"
+#include "common/status.h"
+
+namespace gprq::remote {
+
+struct RemotePolicy {
+  /// Per-attempt cap on one backend RPC, additionally clamped to the
+  /// query's remaining deadline budget.
+  double rpc_timeout_seconds = 5.0;
+  double connect_timeout_seconds = 1.0;
+  /// RPC attempts beyond the first (0 disables retries).
+  int max_retries = 2;
+  double retry_base_seconds = 0.02;
+  double retry_cap_seconds = 0.5;
+  /// Seed for the backoff jitter stream; 0 derives one per channel from
+  /// the shard index so backends never back off in lockstep.
+  uint64_t jitter_seed = 0;
+
+  bool hedge = true;
+  double hedge_min_seconds = 0.05;
+  double hedge_multiplier = 2.0;
+  int hedge_min_samples = 16;
+
+  common::CircuitBreakerOptions breaker;
+
+  /// Check the backend's WELCOME point count against the manifest entry
+  /// (catches a backend serving the wrong shard). Dimension is always
+  /// checked.
+  bool validate_points = true;
+
+  Status Validate() const;
+
+  /// Parses `key=value;key=value` (whitespace-tolerant). Keys:
+  ///   rpc_timeout_ms, connect_timeout_ms, max_retries, retry_base_ms,
+  ///   retry_cap_ms, jitter_seed, hedge (on/off), hedge_min_ms,
+  ///   hedge_multiplier, hedge_min_samples, breaker_failures,
+  ///   breaker_open_ms, breaker_probes, validate_points (on/off).
+  /// Unknown keys fail; an empty spec yields the defaults.
+  static Result<RemotePolicy> FromSpec(const std::string& spec);
+};
+
+}  // namespace gprq::remote
+
+#endif  // GPRQ_REMOTE_REMOTE_POLICY_H_

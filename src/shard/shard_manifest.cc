@@ -66,35 +66,53 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open shard manifest: " + path);
 
+  // Content errors are InvalidArgument (the file opened; its bytes are
+  // hostile or corrupt), and every cap check precedes the allocation the
+  // parsed value would size.
   ShardManifest manifest;
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != kMagicLine) {
-    return Status::IoError("not a shard manifest: " + path);
+    return Status::InvalidArgument("not a shard manifest: " + path);
   }
   if (version != kVersion) {
-    return Status::IoError("unsupported shard manifest version in " + path);
+    return Status::InvalidArgument("unsupported shard manifest version in " +
+                                   path);
   }
   std::string key;
   size_t shard_count = 0;
   if (!(in >> key >> manifest.dim) || key != "dim" || manifest.dim == 0) {
-    return Status::IoError("shard manifest missing dim: " + path);
+    return Status::InvalidArgument("shard manifest missing dim: " + path);
+  }
+  if (manifest.dim > kMaxManifestDim) {
+    return Status::InvalidArgument("shard manifest dim " +
+                                   std::to_string(manifest.dim) +
+                                   " exceeds the cap in " + path);
   }
   if (!(in >> key >> manifest.dataset_file) || key != "dataset") {
-    return Status::IoError("shard manifest missing dataset line: " + path);
+    return Status::InvalidArgument("shard manifest missing dataset line: " +
+                                   path);
   }
   if (manifest.dataset_file == "-") manifest.dataset_file.clear();
   if (!(in >> key >> shard_count) || key != "shards" || shard_count == 0) {
-    return Status::IoError("shard manifest missing shard count: " + path);
+    return Status::InvalidArgument("shard manifest missing shard count: " +
+                                   path);
+  }
+  if (shard_count > kMaxManifestShards) {
+    return Status::InvalidArgument("shard manifest shard count " +
+                                   std::to_string(shard_count) +
+                                   " exceeds the cap in " + path);
   }
 
   manifest.shards.resize(shard_count);
   for (size_t k = 0; k < shard_count; ++k) {
     size_t index = 0;
     ShardInfo& shard = manifest.shards[k];
+    // `index != k` also rejects duplicate and out-of-order shard ids: the
+    // file must list exactly 0..K-1 ascending.
     if (!(in >> key >> index >> shard.tree_file >> shard.count) ||
         key != "shard" || index != k) {
-      return Status::IoError("malformed shard line in " + path);
+      return Status::InvalidArgument("malformed shard line in " + path);
     }
     la::Vector lo(manifest.dim);
     la::Vector hi(manifest.dim);
@@ -102,7 +120,7 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
     for (size_t a = 0; a < 2 * manifest.dim; ++a) {
       double value = 0.0;
       if (!(in >> token) || !ParseHexDouble(token, &value)) {
-        return Status::IoError("malformed shard MBR in " + path);
+        return Status::InvalidArgument("malformed shard MBR in " + path);
       }
       if (a < manifest.dim) {
         lo[a] = value;
@@ -112,7 +130,7 @@ Result<ShardManifest> ShardManifest::Load(const std::string& path) {
     }
     for (size_t a = 0; a < manifest.dim; ++a) {
       if (!(lo[a] <= hi[a])) {
-        return Status::IoError("shard MBR corrupt in " + path);
+        return Status::InvalidArgument("shard MBR corrupt in " + path);
       }
     }
     shard.mbr = geom::Rect(std::move(lo), std::move(hi));

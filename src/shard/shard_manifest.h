@@ -26,12 +26,23 @@ struct ShardInfo {
 /// shard snapshots; doubles are printed as C99 hexfloats so the MBRs
 /// round-trip bit-exactly (routing must see the same boxes the builder
 /// computed).
+/// Sanity caps enforced by ShardManifest::Load *before* any allocation
+/// sized by a parsed value — a hostile manifest must fail with
+/// InvalidArgument, never drive an attacker-chosen resize. Generous: real
+/// deployments are orders of magnitude below both.
+inline constexpr size_t kMaxManifestDim = 4096;
+inline constexpr size_t kMaxManifestShards = 1u << 20;
+
 struct ShardManifest {
   size_t dim = 0;
   /// The source dataset file ("" when unknown); informational.
   std::string dataset_file;
   std::vector<ShardInfo> shards;
 
+  /// IoError when the file cannot be opened; InvalidArgument for any
+  /// malformed *content* — truncated lines, non-numeric MBR tokens,
+  /// duplicate or out-of-order shard ids, dim/shard counts beyond the
+  /// kMaxManifest* caps, MBRs with lo > hi (NaN included).
   static Result<ShardManifest> Load(const std::string& path);
   Status Save(const std::string& path) const;
 

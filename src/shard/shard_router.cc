@@ -1,0 +1,48 @@
+#include "shard/shard_router.h"
+
+namespace gprq::shard {
+
+const core::RadiusCatalog* ShardRouter::radius_catalog() const {
+  if (radius_catalog_ == nullptr) {
+    radius_catalog_ = std::make_unique<core::RadiusCatalog>(
+        core::RadiusCatalog::Build(manifest_->dim));
+  }
+  return radius_catalog_.get();
+}
+
+const core::AlphaCatalog* ShardRouter::alpha_catalog() const {
+  if (alpha_catalog_ == nullptr) {
+    alpha_catalog_ = std::make_unique<core::AlphaCatalog>(
+        core::AlphaCatalog::Build(manifest_->dim));
+  }
+  return alpha_catalog_.get();
+}
+
+Result<RoutingDecision> ShardRouter::Route(
+    const core::PrqQuery& query, const core::PrqOptions& options,
+    core::QueryGeometry* geometry_out) const {
+  const size_t dim = manifest_->dim;
+  GPRQ_RETURN_NOT_OK(core::ValidatePrq(query, options, dim));
+  core::QueryGeometry geometry = core::PrepareQueryGeometry(
+      query, options, dim, options.use_catalogs ? radius_catalog() : nullptr,
+      options.use_catalogs ? alpha_catalog() : nullptr);
+
+  RoutingDecision decision;
+  decision.search_box = geom::Rect::Empty(dim);
+  if (geometry.proved_empty ||
+      !core::ComputeSearchBox(geometry, query, dim, &decision.search_box)) {
+    decision.proved_empty = true;
+    if (geometry_out != nullptr) *geometry_out = std::move(geometry);
+    return decision;
+  }
+  for (size_t k = 0; k < manifest_->shards.size(); ++k) {
+    if (manifest_->shards[k].count == 0) continue;
+    if (manifest_->shards[k].mbr.Intersects(decision.search_box)) {
+      decision.routed.push_back(k);
+    }
+  }
+  if (geometry_out != nullptr) *geometry_out = std::move(geometry);
+  return decision;
+}
+
+}  // namespace gprq::shard

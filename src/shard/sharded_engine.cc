@@ -56,7 +56,8 @@ ShardedPrqEngine::ShardedPrqEngine(ShardManifest manifest,
       manifest_path_(std::move(manifest_path)),
       manifest_dir_(ManifestDirectory(manifest_path_)),
       executor_(executor),
-      options_(options) {}
+      options_(options),
+      router_(&manifest_) {}
 
 Result<index::PagedRStarTree> ShardedPrqEngine::OpenShardTree(
     size_t shard) const {
@@ -75,6 +76,18 @@ Result<std::unique_ptr<ShardedPrqEngine>> ShardedPrqEngine::Open(
   }
   Result<ShardManifest> manifest = ShardManifest::Load(manifest_path);
   if (!manifest.ok()) return manifest.status();
+  if (options.only_shard >= 0) {
+    // Single-shard-backend mode: narrow the manifest to that one entry so
+    // the rest of the engine — routing, scatter, WELCOME facts — sees a
+    // one-shard deployment holding exactly this shard's points.
+    const size_t only = static_cast<size_t>(options.only_shard);
+    if (only >= manifest->shards.size()) {
+      return Status::InvalidArgument(
+          "only_shard " + std::to_string(only) + " out of range (manifest has " +
+          std::to_string(manifest->shards.size()) + " shards)");
+    }
+    manifest->shards = {manifest->shards[only]};
+  }
 
   std::unique_ptr<ShardedPrqEngine> engine(new ShardedPrqEngine(
       std::move(*manifest), manifest_path, executor, options));
@@ -125,40 +138,11 @@ Result<std::unique_ptr<ShardedPrqEngine>> ShardedPrqEngine::Open(
   return engine;
 }
 
-const core::RadiusCatalog* ShardedPrqEngine::radius_catalog() const {
-  if (radius_catalog_ == nullptr) {
-    radius_catalog_ = std::make_unique<core::RadiusCatalog>(
-        core::RadiusCatalog::Build(manifest_.dim));
-  }
-  return radius_catalog_.get();
-}
-
-const core::AlphaCatalog* ShardedPrqEngine::alpha_catalog() const {
-  if (alpha_catalog_ == nullptr) {
-    alpha_catalog_ = std::make_unique<core::AlphaCatalog>(
-        core::AlphaCatalog::Build(manifest_.dim));
-  }
-  return alpha_catalog_.get();
-}
-
 Result<std::vector<size_t>> ShardedPrqEngine::Route(
     const core::PrqQuery& query, const core::PrqOptions& options) const {
-  GPRQ_RETURN_NOT_OK(core::ValidatePrq(query, options, manifest_.dim));
-  const core::QueryGeometry geometry = core::PrepareQueryGeometry(
-      query, options, manifest_.dim,
-      options.use_catalogs ? radius_catalog() : nullptr,
-      options.use_catalogs ? alpha_catalog() : nullptr);
-  std::vector<size_t> routed;
-  if (geometry.proved_empty) return routed;
-  geom::Rect search_box = geom::Rect::Empty(manifest_.dim);
-  if (!core::ComputeSearchBox(geometry, query, manifest_.dim, &search_box)) {
-    return routed;
-  }
-  for (size_t k = 0; k < manifest_.shards.size(); ++k) {
-    if (manifest_.shards[k].count == 0) continue;
-    if (manifest_.shards[k].mbr.Intersects(search_box)) routed.push_back(k);
-  }
-  return routed;
+  Result<RoutingDecision> decision = router_.Route(query, options);
+  if (!decision.ok()) return decision.status();
+  return std::move(decision->routed);
 }
 
 Result<core::PrqResult> ShardedPrqEngine::ExecuteBounded(
@@ -187,33 +171,28 @@ Result<core::PrqResult> ShardedPrqEngine::ExecuteBounded(
     return result;
   }
 
-  // ---- Prep: one geometry for every shard (immutable during the scatter).
+  // ---- Prep + route: one geometry for every shard (immutable during the
+  // scatter), then the shared MBR routing decision.
   core::QueryGeometry geometry;
+  RoutingDecision decision;
   {
     obs::QueryTrace::Span span(trace, obs::QueryTrace::kPrep);
     Stopwatch watch;
-    geometry = core::PrepareQueryGeometry(
-        query, options, manifest_.dim,
-        options.use_catalogs ? radius_catalog() : nullptr,
-        options.use_catalogs ? alpha_catalog() : nullptr);
+    Result<RoutingDecision> routed_result =
+        router_.Route(query, options, &geometry);
+    if (!routed_result.ok()) return routed_result.status();
+    decision = std::move(*routed_result);
     out_stats.prep_seconds = watch.ElapsedSeconds();
   }
 
-  geom::Rect search_box = geom::Rect::Empty(manifest_.dim);
-  if (geometry.proved_empty ||
-      !core::ComputeSearchBox(geometry, query, manifest_.dim, &search_box)) {
+  if (decision.proved_empty) {
     out_stats.proved_empty = true;
     if (trace != nullptr) trace->proved_empty = true;
     metrics.proved_empty->Add(1);
     return core::PrqResult{};
   }
-
-  // ---- Route: shards whose MBR meets the search box.
-  std::vector<size_t> routed;
-  for (size_t k = 0; k < manifest_.shards.size(); ++k) {
-    if (manifest_.shards[k].count == 0) continue;
-    if (manifest_.shards[k].mbr.Intersects(search_box)) routed.push_back(k);
-  }
+  const geom::Rect& search_box = decision.search_box;
+  const std::vector<size_t>& routed = decision.routed;
   metrics.shards_routed->Add(routed.size());
   if (trace != nullptr) trace->shards_routed = routed.size();
 
@@ -314,6 +293,10 @@ Result<std::vector<index::ObjectId>> ShardedPrqEngine::Execute(
 Status ShardedPrqEngine::ReloadShard(size_t shard) {
   if (shard >= shards_.size()) {
     return Status::InvalidArgument("shard index out of range");
+  }
+  if (options_.only_shard >= 0) {
+    return Status::InvalidArgument(
+        "ReloadShard is unsupported in single-shard (only_shard) mode");
   }
   Result<ShardManifest> reloaded = ShardManifest::Load(manifest_path_);
   if (!reloaded.ok()) return reloaded.status();

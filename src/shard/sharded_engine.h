@@ -13,6 +13,7 @@
 #include "index/paged_tree.h"
 #include "obs/trace.h"
 #include "shard/shard_manifest.h"
+#include "shard/shard_router.h"
 
 namespace gprq::shard {
 
@@ -27,6 +28,12 @@ struct ShardedEngineOptions {
   /// the node of a worker that will actually serve it; elsewhere it is a
   /// harmless parallel open.
   bool numa_first_touch = false;
+  /// >= 0 opens only that manifest position: the single-shard-backend mode
+  /// `gprq_server --shard-only` uses so one process serves one shard of a
+  /// multi-process deployment. The engine then sees a one-shard manifest
+  /// (num_shards() == 1, total_points() == that shard's count); ReloadShard
+  /// is unsupported in this mode (the on-disk manifest keeps every shard).
+  int64_t only_shard = -1;
 };
 
 /// Scatter-gather PRQ execution over a sharded dataset (BuildShards): each
@@ -105,22 +112,18 @@ class ShardedPrqEngine {
   /// Opens shard k's snapshot per the current manifest entry.
   Result<index::PagedRStarTree> OpenShardTree(size_t shard) const;
 
-  /// Lazily built catalogs (shared by every shard — they depend only on
-  /// the dimension), mirroring PrqEngine's members.
-  const core::RadiusCatalog* radius_catalog() const;
-  const core::AlphaCatalog* alpha_catalog() const;
-
   ShardManifest manifest_;
   std::string manifest_path_;
   std::string manifest_dir_;
   exec::BatchExecutor* executor_;
   ShardedEngineOptions options_;
+  /// Validation + geometry prep + MBR routing, shared with the remote
+  /// coordinator so both route identically.
+  ShardRouter router_;
   /// unique_ptr per shard: scatter tasks and reloads swap whole trees
   /// without moving a tree another task might reference.
   std::vector<std::unique_ptr<index::PagedRStarTree>> shards_;
   cache::ResultCache* cache_ = nullptr;
-  mutable std::unique_ptr<core::RadiusCatalog> radius_catalog_;
-  mutable std::unique_ptr<core::AlphaCatalog> alpha_catalog_;
 };
 
 }  // namespace gprq::shard

@@ -17,13 +17,13 @@ constexpr int kMaxTerms = 100000;
 /// log of the Poisson(λ/2) weight at j.
 double LogPoissonWeight(double half_lambda, int j) {
   if (half_lambda == 0.0) return (j == 0) ? 0.0 : -INFINITY;
-  return -half_lambda + j * std::log(half_lambda) - std::lgamma(j + 1.0);
+  return -half_lambda + j * std::log(half_lambda) - LogGamma(j + 1.0);
 }
 
 /// log of g_j = y^{a+j} e^{-y} / Γ(a+j+1), the decrement between successive
 /// central chi-squared CDF terms: P(a+j+1, y) = P(a+j, y) − g_j.
 double LogGammaStep(double a, double y, int j) {
-  return (a + j) * std::log(y) - y - std::lgamma(a + j + 1.0);
+  return (a + j) * std::log(y) - y - LogGamma(a + j + 1.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stats/chi_squared.h"
+#include "stats/special.h"
 
 namespace gprq::stats {
 
@@ -51,7 +52,7 @@ Result<double> RubenCdf(const std::vector<QuadraticFormTerm>& terms, double t,
   const double a = static_cast<double>(d) / 2.0;
   double chi_cdf = ChiSquaredCdf(d, x);
   // step_k = x^{a+k} e^{−x/2} / (2^{a+k} Γ(a+k+1)), starting at k = 0.
-  double log_step = a * std::log(x / 2.0) - x / 2.0 - std::lgamma(a + 1.0);
+  double log_step = a * std::log(x / 2.0) - x / 2.0 - LogGamma(a + 1.0);
   double step = std::exp(log_step);
 
   // Running series with the Ruben recursion for c_k.

@@ -4,7 +4,22 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__GLIBC__)
+// Strict -std=c++20 hides the POSIX declaration; the symbol is always
+// in libm.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace gprq::stats {
+
+double LogGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 namespace {
 
@@ -23,7 +38,7 @@ double GammaPSeries(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 /// Continued-fraction representation of Q(a, x); converges fast for
@@ -45,7 +60,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 }  // namespace
@@ -94,7 +109,7 @@ double InverseRegularizedGammaP(double a, double p) {
       lo = x;
     }
     // Derivative of P(a, x) is the gamma density x^{a-1} e^{-x} / Γ(a).
-    const double logpdf = (a - 1.0) * std::log(x) - x - std::lgamma(a);
+    const double logpdf = (a - 1.0) * std::log(x) - x - LogGamma(a);
     const double pdf = std::exp(logpdf);
     double next;
     if (pdf > 0.0 && std::isfinite(pdf)) {

@@ -18,6 +18,13 @@ double RegularizedGammaQ(double a, double x);
 /// Uses a Newton iteration with bisection safeguarding.
 double InverseRegularizedGammaP(double a, double p);
 
+/// log Γ(x), thread-safe. glibc's lgamma(3) writes the process-global
+/// `signgam`, which is a data race when concurrent threads (e.g. two
+/// in-process shard backends lazily building their catalogs) evaluate
+/// gamma-family CDFs; this wrapper uses the reentrant lgamma_r where
+/// available. All in-tree callers must use this, never std::lgamma.
+double LogGamma(double x);
+
 /// CDF of the standard normal distribution.
 double StandardNormalCdf(double x);
 

@@ -1,0 +1,224 @@
+// Hostile-input battery for the shard-manifest parser. The coordinator
+// and the --shard-only servers both feed operator-provided manifest paths
+// straight into ShardManifest::Load, so the parser must turn every
+// malformed byte sequence into InvalidArgument (and an unopenable path
+// into IoError) — never a crash, hang, or huge allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "geom/rect.h"
+#include "shard/shard_manifest.h"
+
+namespace gprq::shard {
+namespace {
+
+std::string WriteManifest(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  out.flush();
+  return path;
+}
+
+/// A well-formed 2-shard, 2-d manifest body; the hostile cases are
+/// mutations of this baseline.
+std::string GoodBody() {
+  return
+      "GPRQ-SHARDS 1\n"
+      "dim 2\n"
+      "dataset points.gprq\n"
+      "shards 2\n"
+      "shard 0 shard_0.tree 10 0x0p+0 0x0p+0 0x1.9p+6 0x1.9p+6\n"
+      "shard 1 shard_1.tree 10 0x1.9p+6 0x1.9p+6 0x1.9p+7 0x1.9p+7\n";
+}
+
+TEST(ShardManifestHostileTest, BaselineParses) {
+  auto manifest = ShardManifest::Load(WriteManifest("good", GoodBody()));
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->dim, 2u);
+  EXPECT_EQ(manifest->shards.size(), 2u);
+  EXPECT_EQ(manifest->shards[1].tree_file, "shard_1.tree");
+  EXPECT_EQ(manifest->total_points(), 20u);
+}
+
+TEST(ShardManifestHostileTest, MissingFileIsIoError) {
+  auto manifest = ShardManifest::Load(::testing::TempDir() + "/no_such_file");
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kIoError);
+}
+
+TEST(ShardManifestHostileTest, HostileHeaders) {
+  const struct {
+    const char* name;
+    const char* body;
+  } cases[] = {
+      {"empty", ""},
+      {"wrong_magic", "GPRQ-TREES 1\ndim 2\n"},
+      {"wrong_version", "GPRQ-SHARDS 2\ndim 2\n"},
+      {"version_garbage", "GPRQ-SHARDS one\n"},
+      {"missing_dim", "GPRQ-SHARDS 1\nshards 2\n"},
+      {"zero_dim", "GPRQ-SHARDS 1\ndim 0\ndataset -\nshards 1\n"},
+      {"dim_garbage", "GPRQ-SHARDS 1\ndim two\n"},
+      {"missing_dataset", "GPRQ-SHARDS 1\ndim 2\nshards 2\n"},
+      {"missing_shards", "GPRQ-SHARDS 1\ndim 2\ndataset -\n"},
+      {"zero_shards", "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 0\n"},
+      {"negative_shards", "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards -4\n"},
+  };
+  for (const auto& hostile : cases) {
+    auto manifest =
+        ShardManifest::Load(WriteManifest(hostile.name, hostile.body));
+    ASSERT_FALSE(manifest.ok()) << hostile.name;
+    EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument)
+        << hostile.name << ": " << manifest.status().ToString();
+  }
+}
+
+TEST(ShardManifestHostileTest, OversizedCountsRejectedBeforeAllocation) {
+  // Both caps must fire on the parsed value itself — a parser that resizes
+  // first would attempt a multi-terabyte allocation here.
+  auto big_dim = ShardManifest::Load(WriteManifest(
+      "big_dim",
+      "GPRQ-SHARDS 1\ndim 999999999\ndataset -\nshards 1\n"));
+  ASSERT_FALSE(big_dim.ok());
+  EXPECT_EQ(big_dim.status().code(), StatusCode::kInvalidArgument);
+
+  auto big_shards = ShardManifest::Load(WriteManifest(
+      "big_shards",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 99999999999\n"));
+  ASSERT_FALSE(big_shards.ok());
+  EXPECT_EQ(big_shards.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestHostileTest, TruncatedShardLines) {
+  const std::string good = GoodBody();
+  // Chop the body anywhere inside the shard records: every prefix must be
+  // InvalidArgument (the header region parses but the records are short).
+  const size_t records_start = good.find("shard 0");
+  ASSERT_NE(records_start, std::string::npos);
+  for (size_t cut = records_start + 1; cut < good.size(); cut += 7) {
+    auto manifest = ShardManifest::Load(WriteManifest(
+        "truncated_" + std::to_string(cut), good.substr(0, cut)));
+    ASSERT_FALSE(manifest.ok()) << "cut at " << cut;
+    EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ShardManifestHostileTest, NonNumericMbrTokens) {
+  // strtod accepts hexfloat and decimal alike; these tokens are neither.
+  const char* garbage[] = {"mbr", "0x", "--1", "1.5garbage", "nanx", ","};
+  for (const char* token : garbage) {
+    std::string body =
+        "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 1\n"
+        "shard 0 shard_0.tree 10 0x0p+0 ";
+    body += token;
+    body += " 0x1p+4 0x1p+4\n";
+    auto manifest = ShardManifest::Load(
+        WriteManifest(std::string("garbage_") + token, body));
+    ASSERT_FALSE(manifest.ok()) << token;
+    EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument)
+        << token;
+  }
+}
+
+TEST(ShardManifestHostileTest, CorruptMbrGeometry) {
+  // Inverted box (lo > hi) and NaN bounds both fail the lo <= hi check.
+  auto inverted = ShardManifest::Load(WriteManifest(
+      "inverted",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 1\n"
+      "shard 0 shard_0.tree 10 0x1p+4 0x1p+4 0x0p+0 0x0p+0\n"));
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+
+  auto not_a_number = ShardManifest::Load(WriteManifest(
+      "nan_mbr",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 1\n"
+      "shard 0 shard_0.tree 10 nan 0x0p+0 0x1p+4 0x1p+4\n"));
+  ASSERT_FALSE(not_a_number.ok());
+  EXPECT_EQ(not_a_number.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestHostileTest, ShardIdsMustBeExactlyAscending) {
+  // Duplicate id.
+  auto duplicate = ShardManifest::Load(WriteManifest(
+      "dup_ids",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 2\n"
+      "shard 0 shard_0.tree 10 0x0p+0 0x0p+0 0x1p+4 0x1p+4\n"
+      "shard 0 shard_1.tree 10 0x0p+0 0x0p+0 0x1p+4 0x1p+4\n"));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+
+  // Out-of-order ids.
+  auto reversed = ShardManifest::Load(WriteManifest(
+      "reversed_ids",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 2\n"
+      "shard 1 shard_1.tree 10 0x0p+0 0x0p+0 0x1p+4 0x1p+4\n"
+      "shard 0 shard_0.tree 10 0x0p+0 0x0p+0 0x1p+4 0x1p+4\n"));
+  ASSERT_FALSE(reversed.ok());
+  EXPECT_EQ(reversed.status().code(), StatusCode::kInvalidArgument);
+
+  // Id beyond the declared count.
+  auto out_of_range = ShardManifest::Load(WriteManifest(
+      "id_out_of_range",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 1\n"
+      "shard 7 shard_7.tree 10 0x0p+0 0x0p+0 0x1p+4 0x1p+4\n"));
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestHostileTest, BinaryGarbageNeverCrashes) {
+  // Deterministic pseudo-random bytes; whatever the parser makes of them,
+  // it must return a status, not crash.
+  std::string noise(4096, '\0');
+  uint64_t state = 0x243F6A8885A308D3ULL;
+  for (char& byte : noise) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    byte = static_cast<char>(state >> 56);
+  }
+  auto manifest = ShardManifest::Load(WriteManifest("binary_noise", noise));
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument);
+
+  // Same bytes but behind a valid-looking header: the shard records are
+  // noise.
+  auto framed = ShardManifest::Load(WriteManifest(
+      "framed_noise",
+      "GPRQ-SHARDS 1\ndim 2\ndataset -\nshards 3\n" + noise));
+  ASSERT_FALSE(framed.ok());
+  EXPECT_EQ(framed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestHostileTest, SaveLoadRoundTripSurvivesReload) {
+  // The writer and parser agree: a saved manifest loads back identically
+  // (hexfloat MBRs are exact).
+  ShardManifest manifest;
+  manifest.dim = 3;
+  manifest.dataset_file = "points.gprq";
+  manifest.shards.resize(2);
+  manifest.shards[0].tree_file = "shard_0.tree";
+  manifest.shards[0].count = 5;
+  manifest.shards[0].mbr =
+      geom::Rect(la::Vector{0.125, -2.5, 3.0}, la::Vector{7.75, 0.5, 9.0});
+  manifest.shards[1].tree_file = "shard_1.tree";
+  manifest.shards[1].count = 0;  // empty shard: MBR written as zeros
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.manifest";
+  ASSERT_TRUE(manifest.Save(path).ok());
+  auto loaded = ShardManifest::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dim, 3u);
+  EXPECT_EQ(loaded->dataset_file, "points.gprq");
+  ASSERT_EQ(loaded->shards.size(), 2u);
+  EXPECT_EQ(loaded->shards[0].count, 5u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(loaded->shards[0].mbr.lo()[a], manifest.shards[0].mbr.lo()[a]);
+    EXPECT_EQ(loaded->shards[0].mbr.hi()[a], manifest.shards[0].mbr.hi()[a]);
+  }
+}
+
+}  // namespace
+}  // namespace gprq::shard

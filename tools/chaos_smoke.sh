@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# Chaos smoke for the multi-process deployment: 4 shard backends behind
+# gprq_coordinator, live load, then kill -9 one backend mid-stream and
+# assert — by exit code — that
+#   1. queries keep being answered, with the dead shard's candidates
+#      reported *undecided* (gprq_cli remote --expect-degraded),
+#   2. the surviving decided ids are a subset of the healthy answer and
+#      nothing was silently dropped (decided ∪ undecided ⊇ healthy),
+#   3. after restarting the backend on the same port, the breaker
+#      half-opens and the answer returns set-identical to the healthy run.
+#
+# Usage: chaos_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+WORK="$(mktemp -d /tmp/gprq_chaos.XXXXXX)"
+SHARDS=4
+QUERY=(--q 5000,5000 --stddev 120 --delta 600 --theta 0.05)
+
+BACKEND_PIDS=()
+COORD_PID=""
+cleanup() {
+  [[ -n "${COORD_PID}" ]] && kill "${COORD_PID}" 2>/dev/null || true
+  for pid in "${BACKEND_PIDS[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_ready() { # logfile marker
+  for _ in $(seq 1 100); do
+    grep -qs "$2 READY" "$1" && return 0
+    sleep 0.2
+  done
+  echo "FAIL: $2 never became ready ($1):" >&2
+  cat "$1" >&2
+  return 1
+}
+
+port_of() { sed -n 's/.*READY port=\([0-9]*\).*/\1/p' "$1"; }
+
+ids_of() { # logfile prefix -> sorted ids on stdout
+  sed -n "s/^$2: //p" "$1" | tr ' ' '\n' | sed '/^$/d' | sort
+}
+
+echo "== generate + shard the dataset =="
+"./${BUILD}/gprq_convert" generate --kind clustered --n 200000 --dim 2 \
+  --out "${WORK}/points.gprq"
+"./${BUILD}/gprq_convert" shard --data "${WORK}/points.gprq" \
+  --out-dir "${WORK}/deploy" --shards "${SHARDS}"
+
+echo "== boot ${SHARDS} shard backends =="
+BACKENDS=""
+for k in $(seq 0 $((SHARDS - 1))); do
+  "./${BUILD}/gprq_server" --shards "${WORK}/deploy" --shard-only "${k}" \
+    --port 0 --threads 2 --evaluator mc --samples 4000 \
+    > "${WORK}/backend${k}.log" 2> "${WORK}/backend${k}.err" &
+  BACKEND_PIDS+=($!)
+done
+for k in $(seq 0 $((SHARDS - 1))); do
+  wait_ready "${WORK}/backend${k}.log" GPRQ_SERVER
+  port="$(port_of "${WORK}/backend${k}.log")"
+  echo "backend${k}.port=${port}"
+  echo "${port}" > "${WORK}/backend${k}.port"
+  BACKENDS="${BACKENDS:+${BACKENDS},}127.0.0.1:${port}"
+done
+
+echo "== boot the coordinator =="
+"./${BUILD}/gprq_coordinator" --shards "${WORK}/deploy" \
+  --backends "${BACKENDS}" --port 0 \
+  --policy 'connect_timeout_ms=200;max_retries=1;retry_base_ms=5;breaker_failures=2;breaker_open_ms=300' \
+  > "${WORK}/coordinator.log" 2> "${WORK}/coordinator.err" &
+COORD_PID=$!
+wait_ready "${WORK}/coordinator.log" GPRQ_COORDINATOR
+COORD_PORT="$(port_of "${WORK}/coordinator.log")"
+
+echo "== healthy baseline (must be a complete answer) =="
+"./${BUILD}/gprq_cli" remote --port "${COORD_PORT}" "${QUERY[@]}" \
+  --expect-complete --print-ids > "${WORK}/healthy.out"
+ids_of "${WORK}/healthy.out" IDS > "${WORK}/healthy.ids"
+test -s "${WORK}/healthy.ids" || {
+  echo "FAIL: healthy query returned no ids — probe too selective" >&2
+  exit 1
+}
+echo "healthy answer: $(wc -l < "${WORK}/healthy.ids") ids"
+
+echo "== open-loop load through the coordinator, kill -9 one backend =="
+"./${BUILD}/gprq_loadgen" --port "${COORD_PORT}" --connections 2 \
+  --duration 8 --mults 0.5 --out "${WORK}/loadgen_chaos.json" \
+  > "${WORK}/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+sleep 2
+kill -9 "${BACKEND_PIDS[0]}"
+echo "killed backend 0 (pid ${BACKEND_PIDS[0]})"
+
+echo "== degraded answers must be partial, sound, and explicit =="
+# Give the breaker a moment to observe the corpse, then assert the
+# contract by exit code: non-OK status AND a nonempty undecided set.
+sleep 1
+"./${BUILD}/gprq_cli" remote --port "${COORD_PORT}" "${QUERY[@]}" \
+  --expect-degraded --print-ids > "${WORK}/degraded.out"
+ids_of "${WORK}/degraded.out" IDS > "${WORK}/degraded.ids"
+ids_of "${WORK}/degraded.out" UNDECIDED > "${WORK}/degraded.undecided"
+echo "degraded answer: $(wc -l < "${WORK}/degraded.ids") decided," \
+     "$(wc -l < "${WORK}/degraded.undecided") undecided"
+
+# Decided ⊆ healthy: nothing fabricated.
+if [[ -n "$(comm -23 "${WORK}/degraded.ids" "${WORK}/healthy.ids")" ]]; then
+  echo "FAIL: degraded run decided ids outside the healthy answer" >&2
+  exit 1
+fi
+# Decided ∪ undecided ⊇ healthy: nothing silently dropped.
+sort -u "${WORK}/degraded.ids" "${WORK}/degraded.undecided" \
+  > "${WORK}/degraded.union"
+if [[ -n "$(comm -23 "${WORK}/healthy.ids" "${WORK}/degraded.union")" ]]; then
+  echo "FAIL: healthy qualifiers missing from decided+undecided" >&2
+  exit 1
+fi
+echo "partial-answer contract holds (subset + no silent drops)"
+
+wait "${LOADGEN_PID}" || {
+  echo "FAIL: loadgen against the degraded deployment exited nonzero" >&2
+  cat "${WORK}/loadgen.log" >&2
+  exit 1
+}
+tail -3 "${WORK}/loadgen.log"
+
+echo "== restart backend 0 on its old port; breaker must recover =="
+"./${BUILD}/gprq_server" --shards "${WORK}/deploy" --shard-only 0 \
+  --port "$(cat "${WORK}/backend0.port")" --threads 2 --evaluator mc \
+  --samples 4000 \
+  > "${WORK}/backend0b.log" 2> "${WORK}/backend0b.err" &
+BACKEND_PIDS[0]=$!
+wait_ready "${WORK}/backend0b.log" GPRQ_SERVER
+
+RECOVERED=0
+for _ in $(seq 1 30); do
+  if "./${BUILD}/gprq_cli" remote --port "${COORD_PORT}" "${QUERY[@]}" \
+       --expect-complete --print-ids > "${WORK}/recovered.out" 2>/dev/null
+  then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.5
+done
+if [[ "${RECOVERED}" != 1 ]]; then
+  echo "FAIL: coordinator never recovered after the backend restart" >&2
+  exit 1
+fi
+ids_of "${WORK}/recovered.out" IDS > "${WORK}/recovered.ids"
+if ! cmp -s "${WORK}/recovered.ids" "${WORK}/healthy.ids"; then
+  echo "FAIL: recovered answer differs from the healthy baseline" >&2
+  diff "${WORK}/healthy.ids" "${WORK}/recovered.ids" | head >&2
+  exit 1
+fi
+echo "recovered answer set-identical to the healthy baseline"
+
+echo "== graceful drain (coordinator and backends must exit 0) =="
+kill -TERM "${COORD_PID}"
+wait "${COORD_PID}"
+COORD_PID=""
+for pid in "${BACKEND_PIDS[@]}"; do
+  kill -TERM "${pid}" 2>/dev/null || true
+done
+for pid in "${BACKEND_PIDS[@]}"; do
+  wait "${pid}" || { echo "FAIL: backend ${pid} exited nonzero" >&2; exit 1; }
+done
+BACKEND_PIDS=()
+
+echo "chaos smoke OK (work dir: ${WORK})"

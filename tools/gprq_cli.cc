@@ -85,6 +85,12 @@ int Usage() {
       "            (run the query against a gprq_server over the GPRQ/1\n"
       "             wire protocol; RETRY_AFTER sheds are retried up to R\n"
       "             times, honoring the server's backoff hint)\n"
+      "            [--print-ids]        (sorted 'IDS:'/'UNDECIDED:' lines,\n"
+      "             for script-level set comparison)\n"
+      "            [--expect-complete]  (exit 1 unless the answer is\n"
+      "             complete: OK status and no undecided)\n"
+      "            [--expect-degraded]  (exit 1 unless the answer is an\n"
+      "             explicit partial: non-OK status with undecided ids)\n"
       "  list-failpoints\n"
       "            print the failpoint sites compiled into this binary and\n"
       "            any currently armed configurations (GPRQ_FAILPOINTS)\n"
@@ -685,6 +691,38 @@ int RunRemote(const FlagSet& flags) {
     }
     if (remote->result.undecided.size() > undecided_show) std::printf(" ...");
     std::printf("\n");
+  }
+  if (flags.Has("print-ids")) {
+    // Machine-readable, sorted, complete — scripts compare these lines
+    // across runs to prove set identity / degradation.
+    std::vector<index::ObjectId> ids = remote->result.ids;
+    std::vector<index::ObjectId> undecided = remote->result.undecided;
+    std::sort(ids.begin(), ids.end());
+    std::sort(undecided.begin(), undecided.end());
+    std::printf("IDS:");
+    for (index::ObjectId id : ids) std::printf(" %u", id);
+    std::printf("\nUNDECIDED:");
+    for (index::ObjectId id : undecided) std::printf(" %u", id);
+    std::printf("\n");
+  }
+  const bool complete =
+      remote->result.status.ok() && remote->result.undecided.empty();
+  if (flags.Has("expect-complete") && !complete) {
+    std::fprintf(stderr,
+                 "FAIL: expected a complete answer, got status '%s' with "
+                 "%zu undecided\n",
+                 remote->result.status.ToString().c_str(),
+                 remote->result.undecided.size());
+    return 1;
+  }
+  if (flags.Has("expect-degraded") &&
+      (remote->result.status.ok() || remote->result.undecided.empty())) {
+    std::fprintf(stderr,
+                 "FAIL: expected an explicit partial answer, got status "
+                 "'%s' with %zu undecided\n",
+                 remote->result.status.ToString().c_str(),
+                 remote->result.undecided.size());
+    return 1;
   }
   return 0;
 }

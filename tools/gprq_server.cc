@@ -49,6 +49,8 @@ int Usage() {
       "  --submitters N       submitter threads feeding admission control\n"
       "                       (default 2; forced to 1 without a policy and\n"
       "                       for --shards)\n"
+      "  --shard-only K       with --shards: serve only manifest shard K\n"
+      "                       (one process per shard behind a coordinator)\n"
       "  --evaluator E        imhof|mc|adaptive (default imhof)\n"
       "  --samples N          Phase-3 sample budget for mc/adaptive\n"
       "  --overload-policy S  install admission control; S is 'key=value;...'\n"
@@ -201,7 +203,14 @@ int Main(int argc, char** argv) {
     auto created = exec::BatchExecutor::CreateDetached(factory, workers);
     if (!created.ok()) return Fail(created.status());
     executor = std::move(*created);
-    auto opened = shard::ShardedPrqEngine::Open(manifest_path, executor.get());
+    shard::ShardedEngineOptions sharded_options;
+    if (flags->Has("shard-only")) {
+      auto only = flags->GetInt("shard-only", -1);
+      if (!only.ok()) return Fail(only.status());
+      sharded_options.only_shard = *only;
+    }
+    auto opened = shard::ShardedPrqEngine::Open(manifest_path, executor.get(),
+                                                sharded_options);
     if (!opened.ok()) return Fail(opened.status());
     sharded = std::move(*opened);
     auto served = net::Server::Serve(sharded.get(), server_options);

@@ -7,8 +7,10 @@
 # regression, the fault/deadline/overload robustness suites, and the
 # result-cache, SIMD-kernel and sharded scatter-gather differential
 # suites, the net/ wire-protocol robustness + live-server +
-# end-to-end differential suites, and the storage engine's
-# crash-recovery, churn-differential and epoch-snapshot suites) and an
+# end-to-end differential suites, the storage engine's
+# crash-recovery, churn-differential and epoch-snapshot suites, and the
+# remote-coordinator differential/chaos suite with its hostile
+# shard-manifest battery) and an
 # ASan+UBSan pass (GPRQ_SANITIZE=address,undefined) over the same set —
 # plus a GPRQ_FAULT=OFF build proving the failpoint macro compiles out.
 #
@@ -28,14 +30,14 @@ case "${MODE}" in
   *) echo "usage: $0 [all|build|tsan|asan|faultoff]" >&2; exit 2 ;;
 esac
 
-THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test|metrics_test|trace_test|fault_test|deadline_test|overload_test|cache_test|simd_kernel_test|shard_test|net_protocol_test|net_server_test|net_e2e_test|storage_recovery_test|storage_differential_test|storage_snapshot_test'
+THREADED_TESTS='parallel_test|worker_pool_test|batch_executor_test|determinism_test|metrics_test|trace_test|fault_test|deadline_test|overload_test|cache_test|simd_kernel_test|shard_test|net_protocol_test|net_server_test|net_e2e_test|storage_recovery_test|storage_differential_test|storage_snapshot_test|remote_test|shard_manifest_test'
 THREADED_TARGETS=(parallel_test worker_pool_test batch_executor_test
                   determinism_test metrics_test trace_test
                   fault_test deadline_test overload_test
                   cache_test simd_kernel_test shard_test
                   net_protocol_test net_server_test net_e2e_test
                   storage_recovery_test storage_differential_test
-                  storage_snapshot_test)
+                  storage_snapshot_test remote_test shard_manifest_test)
 
 # 1. Standard tier-1: full build + ctest.
 if [[ "${MODE}" == "all" || "${MODE}" == "build" ]]; then
